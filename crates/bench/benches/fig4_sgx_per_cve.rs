@@ -1,0 +1,63 @@
+//! Figure 4 — SGX-based patch preparation time per benchmark CVE
+//! (paper §VI-C3): the six drill-down CVEs, full pipeline, with the
+//! SGX-side simulated breakdown printed and the real wall-clock cost of
+//! a complete live patch measured per CVE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_cve::{find, patch_for, FIGURE_CVES};
+
+fn print_simulated_fig4() {
+    println!("\nFigure 4 (simulated SGX preparation time per CVE):");
+    println!(
+        "{:<16} {:>9} {:>12} {:>14} {:>10} {:>12}",
+        "CVE", "Payload", "Fetch", "Pre-process", "Pass", "SGX total"
+    );
+    for (i, id) in FIGURE_CVES.iter().enumerate() {
+        let spec = find(id).unwrap();
+        let (kernel, server) = boot_benchmark_kernel(spec.version);
+        let mut system = install_kshot(kernel, 600 + i as u64);
+        let r = system.live_patch(&server, &patch_for(spec)).unwrap();
+        println!(
+            "{:<16} {:>8}B {:>12} {:>14} {:>10} {:>12}",
+            id,
+            r.payload_size,
+            r.sgx.fetch.to_string(),
+            r.sgx.preprocess.to_string(),
+            r.sgx.pass.to_string(),
+            r.sgx.total().to_string()
+        );
+    }
+}
+
+fn bench_per_cve(c: &mut Criterion) {
+    print_simulated_fig4();
+    let mut group = c.benchmark_group("fig4/live_patch_wallclock");
+    group.sample_size(10);
+    for id in FIGURE_CVES {
+        let spec = find(id).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(id), spec, |b, spec| {
+            b.iter_batched(
+                || {
+                    let (kernel, server) = boot_benchmark_kernel(spec.version);
+                    (install_kshot(kernel, 601), server)
+                },
+                |(mut system, server)| {
+                    system
+                        .live_patch(&server, &patch_for(spec))
+                        .expect("live patch")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_per_cve
+}
+criterion_main!(benches);

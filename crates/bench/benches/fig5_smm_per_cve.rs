@@ -1,0 +1,69 @@
+//! Figure 5 — SMM-based live patching time per benchmark CVE
+//! (paper §VI-C3): the OS-pause breakdown for the six drill-down CVEs,
+//! with switching and key-generation costs visibly constant across
+//! patches and the work stages scaling with payload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_cve::{find, patch_for, FIGURE_CVES};
+
+fn print_simulated_fig5() {
+    println!("\nFigure 5 (simulated SMM pause breakdown per CVE):");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "CVE", "SwIn", "KeyGen", "Decrypt", "Verify", "Apply", "SwOut", "Pause total"
+    );
+    for (i, id) in FIGURE_CVES.iter().enumerate() {
+        let spec = find(id).unwrap();
+        let (kernel, server) = boot_benchmark_kernel(spec.version);
+        let mut system = install_kshot(kernel, 700 + i as u64);
+        let r = system.live_patch(&server, &patch_for(spec)).unwrap();
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+            id,
+            r.smm.switch_in.to_string(),
+            r.smm.keygen.to_string(),
+            r.smm.decrypt.to_string(),
+            r.smm.verify.to_string(),
+            r.smm.apply.to_string(),
+            r.smm.switch_out.to_string(),
+            r.smm.total().to_string()
+        );
+    }
+}
+
+fn bench_smm_phase(c: &mut Criterion) {
+    print_simulated_fig5();
+    // Wall-clock: measure the *SMM-resident work* per CVE — everything
+    // between SMI and RSM — by pre-staging with the helper and then
+    // timing patch-application rounds on fresh systems.
+    let mut group = c.benchmark_group("fig5/smm_pause_wallclock");
+    group.sample_size(10);
+    for id in FIGURE_CVES {
+        let spec = find(id).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(id), spec, |b, spec| {
+            b.iter_batched(
+                || {
+                    let (kernel, server) = boot_benchmark_kernel(spec.version);
+                    let system = install_kshot(kernel, 701);
+                    let bundle = server
+                        .build_patch(&system.kernel().info(), &patch_for(spec))
+                        .unwrap()
+                        .bundle;
+                    (system, bundle)
+                },
+                |(mut system, bundle)| system.live_patch_bundle(bundle).expect("patch"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_smm_phase
+}
+criterion_main!(benches);

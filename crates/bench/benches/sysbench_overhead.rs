@@ -1,0 +1,97 @@
+//! §VI-C3 — whole-system overhead under a Sysbench-class workload.
+//! Prints the simulated overhead over scaled patch counts (the paper's
+//! claim: <3% over 1,000 live patches) and wall-clock-benches the
+//! workload engine with and without interleaved patch events.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_cve::{find, patch_for, FIGURE_CVES};
+use kshot_kernel::Workload;
+use kshot_machine::SimTime;
+
+const OP_LATENCY: SimTime = SimTime::from_us(450);
+
+fn workload(seed: u64, count: usize) -> Workload {
+    let menu: &[(&str, u64)] = &[("sysbench_cpu", 80), ("sysbench_mem", 60), ("vfs_noop", 7)];
+    Workload::uniform_mix(menu, count, seed).with_op_latency(OP_LATENCY)
+}
+
+fn print_simulated_overhead() {
+    let spec0 = find(FIGURE_CVES[0]).unwrap();
+    println!("\n§VI-C3 simulated overhead (ops = 4×patches, 450µs/op):");
+    println!("{:>8} {:>14} {:>14} {:>10}", "Patches", "Baseline", "Pauses", "Overhead");
+    for patches in [100usize, 400, 1000] {
+        let ops = patches * 4;
+        let (mut bk, _s) = boot_benchmark_kernel(spec0.version);
+        let baseline = workload(1, ops).run(&mut bk);
+        let (kernel, server) = boot_benchmark_kernel(spec0.version);
+        let mut system = install_kshot(kernel, 2);
+        let cves: Vec<&str> = FIGURE_CVES
+            .iter()
+            .copied()
+            .filter(|id| find(id).unwrap().version == spec0.version)
+            .collect();
+        for e in 0..patches {
+            let spec = find(cves[e % cves.len()]).unwrap();
+            system.live_patch(&server, &patch_for(spec)).unwrap();
+            system.rollback_last().unwrap();
+        }
+        let pause: SimTime = system
+            .history()
+            .iter()
+            .map(|r| r.smm.total())
+            .fold(SimTime::ZERO, |a, b| a + b);
+        let overhead = pause.as_ns() as f64 / baseline.elapsed.as_ns() as f64;
+        println!(
+            "{:>8} {:>14} {:>14} {:>9.2}%",
+            patches,
+            baseline.elapsed.to_string(),
+            pause.to_string(),
+            overhead * 100.0
+        );
+        assert!(overhead < 0.03, "paper bound violated at {patches} patches");
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    print_simulated_overhead();
+    let spec0 = find(FIGURE_CVES[0]).unwrap();
+    let mut group = c.benchmark_group("sysbench/wallclock");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("workload", "200ops_baseline"), |b| {
+        b.iter_batched(
+            || boot_benchmark_kernel(spec0.version).0,
+            |mut kernel| workload(3, 200).run(&mut kernel),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function(
+        BenchmarkId::new("workload", "200ops_with_10_patches"),
+        |b| {
+            b.iter_batched(
+                || {
+                    let (kernel, server) = boot_benchmark_kernel(spec0.version);
+                    (install_kshot(kernel, 4), server)
+                },
+                |(mut system, server)| {
+                    let cve = find("CVE-2016-2543").unwrap();
+                    for i in 0..10 {
+                        system.live_patch(&server, &patch_for(cve)).unwrap();
+                        system.rollback_last().unwrap();
+                        let _ = workload(5 + i, 20).run(system.kernel_mut());
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_overhead
+}
+criterion_main!(benches);

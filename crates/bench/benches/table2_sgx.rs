@@ -1,0 +1,81 @@
+//! Table II — SGX operation breakdown across patch sizes.
+//!
+//! Two measurements per size:
+//! * the **simulated** per-stage times from the calibrated cost model
+//!   (printed once; these are the numbers EXPERIMENTS.md compares to the
+//!   paper), and
+//! * the **real** wall-clock cost of the work our SGX stage actually
+//!   performs (bundle decode + placement/relocation/packaging +
+//!   encryption), which Criterion measures — validating that the stage
+//!   shapes (preprocess ≫ pass, linear growth) are real, not modelled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kshot::bench_setup::{
+    boot_benchmark_kernel_on, install_kshot, synthetic_bundle, TABLE_SIZES,
+};
+use kshot_crypto::dh::DhParams;
+use kshot_cve::KernelVersion;
+use kshot_machine::MemLayout;
+use kshot_patchserver::channel::SecureChannel;
+
+fn print_simulated_table() {
+    let version = KernelVersion::V4_4;
+    let (kernel, _server) = boot_benchmark_kernel_on(version, MemLayout::benchmark());
+    let mut system = install_kshot(kernel, 11);
+    println!("\nTable II (simulated µs, calibrated cost model):");
+    println!(
+        "{:<7} {:>12} {:>14} {:>10} {:>14}",
+        "Size", "Fetching", "Pre-process", "Passing", "Total"
+    );
+    for &(label, size) in TABLE_SIZES {
+        let bundle = synthetic_bundle(&format!("T2-{label}"), version, size);
+        let r = system.live_patch_bundle(bundle).expect("sweep patch");
+        println!(
+            "{:<7} {:>12.1} {:>14.1} {:>10.1} {:>14.1}",
+            label,
+            r.sgx.fetch.as_us_f64(),
+            r.sgx.preprocess.as_us_f64(),
+            r.sgx.pass.as_us_f64(),
+            r.sgx.total().as_us_f64()
+        );
+    }
+}
+
+fn bench_sgx_stages(c: &mut Criterion) {
+    print_simulated_table();
+    let params = DhParams::default_group();
+    let mut group = c.benchmark_group("table2/sgx_real_work");
+    // Skip the 10MB row in the wall-clock loop (covered by the simulated
+    // table; the 400KB row already establishes the linear regime).
+    for &(label, size) in TABLE_SIZES.iter().filter(|(_, s)| *s <= 400 * 1024) {
+        let bundle = synthetic_bundle("T2", KernelVersion::V4_4, size);
+        let encoded = bundle.encode();
+        group.throughput(Throughput::Bytes(size as u64));
+        // "Fetching": decrypt + decode the bundle frame.
+        let (mut tx, rx) = SecureChannel::pair_via_dh(&params, &[1u8; 32], &[2u8; 32]).unwrap();
+        let frame = tx.seal(&encoded);
+        group.bench_with_input(BenchmarkId::new("fetch", label), &frame, |b, frame| {
+            b.iter(|| {
+                let mut rx = rx.clone();
+                let plain = rx.open(frame).unwrap();
+                kshot_patchserver::PatchBundle::decode(&plain).unwrap()
+            })
+        });
+        // "Passing": package + encrypt + frame.
+        group.bench_with_input(BenchmarkId::new("pass", label), &encoded, |b, encoded| {
+            b.iter(|| {
+                let mut tx = tx.clone();
+                tx.seal(encoded)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sgx_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Table III — SMM operation breakdown across patch sizes, plus the
+//! SHA-256 vs SDBM verification ablation the paper suggests (§VI-C2:
+//! "We could reduce this time by employing a simpler hashing algorithm
+//! such as SDBM").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use kshot::bench_setup::{boot_benchmark_kernel_on, synthetic_bundle, TABLE_SIZES};
+use kshot_core::VerificationAlgorithm;
+use kshot_crypto::chacha::ChaCha20;
+use kshot_cve::KernelVersion;
+use kshot_machine::MemLayout;
+
+fn print_simulated_table(alg: VerificationAlgorithm, label: &str) {
+    let version = KernelVersion::V4_4;
+    let (kernel, _server) = boot_benchmark_kernel_on(version, MemLayout::benchmark());
+    let mut system = kshot_core::KShot::with_options(
+        kernel,
+        13,
+        kshot_core::smm::DhGroup::Default,
+        alg,
+    )
+    .expect("install");
+    println!("\nTable III (simulated µs, verification = {label}):");
+    println!(
+        "{:<7} {:>10} {:>10} {:>10} {:>12}",
+        "Size", "Decrypt", "Verify", "Apply", "Total"
+    );
+    for &(slabel, size) in TABLE_SIZES {
+        let bundle = synthetic_bundle(&format!("T3-{slabel}"), version, size);
+        let r = system.live_patch_bundle(bundle).expect("sweep patch");
+        println!(
+            "{:<7} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
+            slabel,
+            r.smm.decrypt.as_us_f64(),
+            r.smm.verify.as_us_f64(),
+            r.smm.apply.as_us_f64(),
+            r.smm.total().as_us_f64()
+        );
+    }
+}
+
+fn bench_smm_stages(c: &mut Criterion) {
+    print_simulated_table(VerificationAlgorithm::Sha256, "SHA-256 (paper)");
+    print_simulated_table(VerificationAlgorithm::Sdbm, "SDBM (ablation)");
+    let mut group = c.benchmark_group("table3/smm_real_work");
+    for &(label, size) in TABLE_SIZES.iter().filter(|(_, s)| *s <= 400 * 1024) {
+        let payload = vec![0x90u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        // Decrypt stage: ChaCha20 over the staged ciphertext.
+        group.bench_with_input(BenchmarkId::new("decrypt", label), &payload, |b, p| {
+            let key = [7u8; 32];
+            let nonce = [9u8; 12];
+            b.iter(|| {
+                let mut data = p.clone();
+                ChaCha20::new(&key, &nonce).apply(&mut data);
+                data
+            })
+        });
+        // Verify stage: SHA-256 (the paper's dominant cost)…
+        group.bench_with_input(BenchmarkId::new("verify_sha256", label), &payload, |b, p| {
+            b.iter(|| kshot_crypto::sha256(p))
+        });
+        // …and the SDBM alternative.
+        group.bench_with_input(BenchmarkId::new("verify_sdbm", label), &payload, |b, p| {
+            b.iter(|| kshot_crypto::sdbm::sdbm(p))
+        });
+        // Apply stage: the memory write.
+        group.bench_with_input(BenchmarkId::new("apply", label), &payload, |b, p| {
+            let mut dst = vec![0u8; size];
+            b.iter(|| dst.copy_from_slice(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_smm_stages
+}
+criterion_main!(benches);

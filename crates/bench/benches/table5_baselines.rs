@@ -1,0 +1,102 @@
+//! Table V — kernel live patching comparison. Prints the measured
+//! (simulated-time) comparison matrix and wall-clock-benches each
+//! baseline mechanism applying the same CVE patch to the same kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_baselines::kgraft::Kgraft;
+use kshot_baselines::kpatch::Kpatch;
+use kshot_baselines::kup::Kup;
+use kshot_baselines::{karma::Karma, LivePatcher, OsPatchApi};
+use kshot_cve::{find, patch_for};
+
+const CVE: &str = "CVE-2016-2543";
+
+fn print_simulated_table5() {
+    let spec = find(CVE).unwrap();
+    println!("\nTable V (simulated, patch = {CVE}):");
+    println!(
+        "{:<10} {:<13} {:>14} {:>14} {:>14}  Trusted base",
+        "System", "Granularity", "Patch time", "Downtime", "Memory"
+    );
+    let mut rows: Vec<Box<dyn LivePatcher>> = vec![
+        Box::new(Karma),
+        Box::new(Kgraft::default()),
+        Box::new(Kpatch),
+        Box::new(Kup),
+    ];
+    for baseline in rows.iter_mut() {
+        let (mut kernel, server) = boot_benchmark_kernel(spec.version);
+        let mut api = OsPatchApi::new();
+        let r = baseline
+            .apply(&mut api, &mut kernel, &server, &patch_for(spec))
+            .unwrap();
+        println!(
+            "{:<10} {:<13} {:>14} {:>14} {:>13}B  {}",
+            baseline.name(),
+            baseline.granularity().to_string(),
+            r.patch_time.to_string(),
+            r.downtime.to_string(),
+            r.memory_used,
+            baseline.trusted_base()
+        );
+    }
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 42);
+    let r = system.live_patch(&server, &patch_for(spec)).unwrap();
+    println!(
+        "{:<10} {:<13} {:>14} {:>14} {:>13}B  {}",
+        "KShot",
+        "function",
+        r.total().to_string(),
+        r.smm.total().to_string(),
+        system.memory_overhead(),
+        kshot_baselines::TrustedBase::TeeOnly
+    );
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    print_simulated_table5();
+    let spec = find(CVE).unwrap();
+    let mut group = c.benchmark_group("table5/apply_wallclock");
+    group.sample_size(10);
+    for name in ["kpatch", "kGraft", "KARMA", "KUP"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter_batched(
+                || boot_benchmark_kernel(spec.version),
+                |(mut kernel, server)| {
+                    let mut api = OsPatchApi::new();
+                    let mut baseline: Box<dyn LivePatcher> = match name {
+                        "kpatch" => Box::new(Kpatch),
+                        "kGraft" => Box::new(Kgraft::default()),
+                        "KARMA" => Box::new(Karma),
+                        _ => Box::new(Kup),
+                    };
+                    baseline
+                        .apply(&mut api, &mut kernel, &server, &patch_for(spec))
+                        .expect("baseline apply")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("KShot", |b| {
+        b.iter_batched(
+            || {
+                let (kernel, server) = boot_benchmark_kernel(spec.version);
+                (install_kshot(kernel, 43), server)
+            },
+            |(mut system, server)| system.live_patch(&server, &patch_for(spec)).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Source-level and binary-level call graphs.
+//!
+//! The source graph plays the role of `codeviz` in the paper's prototype;
+//! the binary graph plays the role of IDA Pro. Their *difference* is the
+//! inlining evidence consumed by [`crate::worklist`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kshot_isa::disasm::Sweep;
+use kshot_isa::Inst;
+use kshot_kcc::image::KernelImage;
+use kshot_kcc::ir::Program;
+
+use crate::AnalysisError;
+
+/// A call graph: function name → set of callee names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an edge (both endpoints become nodes).
+    pub fn add_edge(&mut self, caller: impl Into<String>, callee: impl Into<String>) {
+        let callee = callee.into();
+        self.edges.entry(callee.clone()).or_default();
+        self.edges.entry(caller.into()).or_default().insert(callee);
+    }
+
+    /// Ensure a node exists even with no outgoing edges.
+    pub fn add_node(&mut self, name: impl Into<String>) {
+        self.edges.entry(name.into()).or_default();
+    }
+
+    /// The callees of `caller` (empty set if unknown).
+    pub fn callees(&self, caller: &str) -> BTreeSet<String> {
+        self.edges.get(caller).cloned().unwrap_or_default()
+    }
+
+    /// Whether the edge `caller → callee` exists.
+    pub fn has_edge(&self, caller: &str, callee: &str) -> bool {
+        self.edges
+            .get(caller)
+            .is_some_and(|s| s.contains(callee))
+    }
+
+    /// All node names.
+    pub fn nodes(&self) -> impl Iterator<Item = &String> {
+        self.edges.keys()
+    }
+
+    /// Functions that call `callee`.
+    pub fn callers_of(&self, callee: &str) -> BTreeSet<String> {
+        self.edges
+            .iter()
+            .filter(|(_, cs)| cs.contains(callee))
+            .map(|(c, _)| c.clone())
+            .collect()
+    }
+
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Build the source-level call graph from the KIR tree.
+pub fn source_call_graph(program: &Program) -> CallGraph {
+    let mut g = CallGraph::new();
+    for (caller, callees) in program.call_graph() {
+        g.add_node(caller.clone());
+        for callee in callees {
+            g.add_edge(caller.clone(), callee);
+        }
+    }
+    g
+}
+
+/// Build the binary-level call graph by disassembling every function in
+/// the image and resolving `call` targets through the symbol table.
+///
+/// # Errors
+///
+/// [`AnalysisError::Disassembly`] if a function body does not decode
+/// cleanly.
+pub fn binary_call_graph(image: &KernelImage) -> Result<CallGraph, AnalysisError> {
+    let mut g = CallGraph::new();
+    for sym in image.symbols.functions() {
+        g.add_node(sym.name.clone());
+        let body = image
+            .function_bytes(&sym.name)
+            .ok_or_else(|| AnalysisError::MissingSymbol(sym.name.clone()))?;
+        let mut sweep = Sweep::new(body, sym.addr);
+        for (addr, inst) in &mut sweep {
+            if let Inst::Call { .. } = inst {
+                if let Some(target) = inst.branch_target(addr) {
+                    if let Some(callee) = image.symbols.function_at(target) {
+                        g.add_edge(sym.name.clone(), callee.name.clone());
+                    }
+                }
+            }
+        }
+        if sweep.offset() != body.len() {
+            return Err(AnalysisError::Disassembly {
+                function: sym.name.clone(),
+            });
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, InlineHint};
+    use kshot_kcc::{link, CodegenOptions};
+
+    fn sample_program() -> Program {
+        let mut p = Program::new();
+        p.add_function(Function::new("leaf", 0, 0).returning(Expr::c(1)));
+        p.add_function(
+            Function::new("mid", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::call("leaf", vec![]).add(Expr::c(1))),
+        );
+        p.add_function(
+            Function::new("top", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::call("mid", vec![])),
+        );
+        p
+    }
+
+    #[test]
+    fn source_graph_matches_ir() {
+        let g = source_call_graph(&sample_program());
+        assert!(g.has_edge("mid", "leaf"));
+        assert!(g.has_edge("top", "mid"));
+        assert!(!g.has_edge("top", "leaf"));
+        assert!(g.callees("leaf").is_empty());
+        assert_eq!(g.callers_of("leaf"), BTreeSet::from(["mid".to_string()]));
+    }
+
+    #[test]
+    fn binary_graph_reflects_real_calls() {
+        let p = sample_program();
+        // With no inlining, binary graph == source graph.
+        let img = link(&p, &CodegenOptions::no_inline(), 0x10_0000, 0x90_0000).unwrap();
+        let bg = binary_call_graph(&img).unwrap();
+        let sg = source_call_graph(&p);
+        assert_eq!(bg, sg);
+    }
+
+    #[test]
+    fn binary_graph_loses_edges_to_inlining() {
+        let p = sample_program();
+        // Default options: `leaf` (1 stmt) inlines into `mid`.
+        let img = link(&p, &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let bg = binary_call_graph(&img).unwrap();
+        assert!(
+            !bg.has_edge("mid", "leaf"),
+            "leaf call should have been inlined away"
+        );
+        assert!(bg.has_edge("top", "mid"), "mid is Never-inline");
+    }
+
+    #[test]
+    fn graph_utilities() {
+        let mut g = CallGraph::new();
+        g.add_edge("a", "b");
+        g.add_edge("a", "c");
+        g.add_edge("b", "c");
+        g.add_node("d");
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.nodes().count(), 4);
+        assert_eq!(
+            g.callers_of("c"),
+            BTreeSet::from(["a".to_string(), "b".to_string()])
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Patch type classification (paper §V-A / Table I).
+//!
+//! * **Type 1** — plain function replacement, no inlining involved.
+//! * **Type 2** — at least one changed function is inlined into another
+//!   binary function (or receives inlined code), so additional functions
+//!   are implicated.
+//! * **Type 3** — the patch changes global/shared data (value, type or
+//!   layout).
+//!
+//! A single CVE patch may carry several types (Table I lists "1,2",
+//! "1,3" etc.), so the classification is a set.
+
+use std::fmt;
+
+use kshot_kcc::image::KernelImage;
+
+use crate::diff::{GlobalChange, SourceDiff};
+use crate::worklist::InlineMap;
+
+/// The (possibly multiple) types of one patch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchTypes {
+    /// Plain function replacement present.
+    pub t1: bool,
+    /// Inlining involved.
+    pub t2: bool,
+    /// Global / shared-variable changes involved.
+    pub t3: bool,
+}
+
+impl PatchTypes {
+    /// Whether the patch resizes a global — the hazardous Type 3 subcase
+    /// the paper calls out ("if storage space for a variable is inserted
+    /// or deleted, care must be taken").
+    pub fn has_any(&self) -> bool {
+        self.t1 || self.t2 || self.t3
+    }
+}
+
+impl fmt::Display for PatchTypes {
+    /// Renders like Table I's "Type" column, e.g. `1,2`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (flag, label) in [(self.t1, "1"), (self.t2, "2"), (self.t3, "3")] {
+            if flag {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{label}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classify a patch given its source diff, the inferred inline map of the
+/// pre-patch binary, and the post-patch image (used to check whether an
+/// added global fits — informational only here).
+pub fn classify(diff: &SourceDiff, inlines: &InlineMap, _post: &KernelImage) -> PatchTypes {
+    let mut t = PatchTypes::default();
+    let t2 = diff.changed_functions.iter().any(|f| {
+        // Changed function is folded into some host, or itself hosts
+        // inlined code (its binary body embeds other functions).
+        !inlines.hosts_of(f).is_empty() || !inlines.guests_of(f).is_empty()
+    });
+    let t3 = !diff.global_changes.is_empty();
+    // Type 1 when there is at least one changed function that stands on
+    // its own (not merely implicated through data changes).
+    let t1 = diff
+        .changed_functions
+        .iter()
+        .any(|f| inlines.hosts_of(f).is_empty());
+    t.t1 = t1;
+    t.t2 = t2;
+    t.t3 = t3;
+    t
+}
+
+/// Whether any global change in the diff resizes storage — the case the
+/// paper warns may fail (§V-A, §VIII); `kshot-core` refuses such patches
+/// unless the operator forces them.
+pub fn has_layout_hazard(diff: &SourceDiff) -> bool {
+    diff.global_changes
+        .iter()
+        .any(|c| matches!(c, GlobalChange::Resized { .. } | GlobalChange::Removed { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn image() -> KernelImage {
+        let mut p = kshot_kcc::ir::Program::new();
+        p.add_function(kshot_kcc::ir::Function::new("f", 0, 0).returning(kshot_kcc::ir::Expr::c(0)));
+        kshot_kcc::link(
+            &p,
+            &kshot_kcc::CodegenOptions::default(),
+            0x10_0000,
+            0x90_0000,
+        )
+        .unwrap()
+    }
+
+    fn diff_changing(names: &[&str]) -> SourceDiff {
+        SourceDiff {
+            changed_functions: names.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plain_change_is_type1() {
+        let d = diff_changing(&["f"]);
+        let t = classify(&d, &InlineMap::default(), &image());
+        assert_eq!(
+            t,
+            PatchTypes {
+                t1: true,
+                t2: false,
+                t3: false
+            }
+        );
+        assert_eq!(t.to_string(), "1");
+    }
+
+    #[test]
+    fn inlined_change_is_type2() {
+        let d = diff_changing(&["g"]);
+        let mut m = InlineMap::default();
+        m.add("host", "g");
+        let t = classify(&d, &m, &image());
+        assert!(t.t2);
+        assert!(!t.t1, "g never stands alone");
+        assert_eq!(t.to_string(), "2");
+    }
+
+    #[test]
+    fn mixed_type_1_2() {
+        let d = diff_changing(&["standalone", "inlined_one"]);
+        let mut m = InlineMap::default();
+        m.add("host", "inlined_one");
+        let t = classify(&d, &m, &image());
+        assert!(t.t1 && t.t2 && !t.t3);
+        assert_eq!(t.to_string(), "1,2");
+    }
+
+    #[test]
+    fn global_changes_are_type3() {
+        let mut d = diff_changing(&["f"]);
+        d.global_changes.push(GlobalChange::ValueChanged {
+            name: "v".into(),
+        });
+        let t = classify(&d, &InlineMap::default(), &image());
+        assert!(t.t1 && t.t3);
+        assert_eq!(t.to_string(), "1,3");
+        assert!(!has_layout_hazard(&d));
+    }
+
+    #[test]
+    fn resize_is_layout_hazard() {
+        let mut d = SourceDiff::default();
+        d.global_changes.push(GlobalChange::Resized {
+            name: "s".into(),
+            old: 8,
+            new: 16,
+        });
+        assert!(has_layout_hazard(&d));
+        let mut d2 = SourceDiff::default();
+        d2.global_changes.push(GlobalChange::Removed { name: "x".into() });
+        assert!(has_layout_hazard(&d2));
+        let mut d3 = SourceDiff::default();
+        d3.global_changes.push(GlobalChange::Added {
+            name: "y".into(),
+            size: 8,
+        });
+        assert!(!has_layout_hazard(&d3), "additions get fresh storage");
+    }
+
+    #[test]
+    fn empty_renders_dash() {
+        assert_eq!(PatchTypes::default().to_string(), "-");
+        assert!(!PatchTypes::default().has_any());
+    }
+
+    #[test]
+    fn host_of_inlined_code_counts_as_type2() {
+        // Changing the HOST whose body embeds others is also a Type 2
+        // situation (its binary differs although its own source is the
+        // same shape).
+        let d = diff_changing(&["host"]);
+        let mut m = InlineMap::default();
+        m.add("host", "guest");
+        let t = classify(&d, &m, &image());
+        assert!(t.t2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Source- and binary-level patch diffing.
+
+use std::collections::BTreeSet;
+
+use kshot_kcc::image::KernelImage;
+use kshot_kcc::ir::Program;
+
+/// How a global changed between pre- and post-patch sources.
+///
+/// The paper's Type 3 discussion (§V-A) distinguishes value/type changes
+/// (safe to fix in place) from size changes (layout hazards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalChange {
+    /// Added by the patch.
+    Added {
+        /// Global name.
+        name: String,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// Removed by the patch.
+    Removed {
+        /// Global name.
+        name: String,
+    },
+    /// Same size, different initial contents.
+    ValueChanged {
+        /// Global name.
+        name: String,
+    },
+    /// The size changed — the hazardous case.
+    Resized {
+        /// Global name.
+        name: String,
+        /// Pre-patch size in bytes.
+        old: u64,
+        /// Post-patch size in bytes.
+        new: u64,
+    },
+}
+
+impl GlobalChange {
+    /// The affected global's name.
+    pub fn name(&self) -> &str {
+        match self {
+            GlobalChange::Added { name, .. }
+            | GlobalChange::Removed { name }
+            | GlobalChange::ValueChanged { name }
+            | GlobalChange::Resized { name, .. } => name,
+        }
+    }
+}
+
+/// The source-level difference between two kernel trees.
+#[derive(Debug, Clone, Default)]
+pub struct SourceDiff {
+    /// Functions whose IR changed.
+    pub changed_functions: BTreeSet<String>,
+    /// Functions present only in the post tree.
+    pub added_functions: BTreeSet<String>,
+    /// Functions present only in the pre tree.
+    pub removed_functions: BTreeSet<String>,
+    /// Global changes.
+    pub global_changes: Vec<GlobalChange>,
+}
+
+impl SourceDiff {
+    /// Whether the patch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.changed_functions.is_empty()
+            && self.added_functions.is_empty()
+            && self.removed_functions.is_empty()
+            && self.global_changes.is_empty()
+    }
+}
+
+/// Diff two source trees.
+pub fn source_diff(pre: &Program, post: &Program) -> SourceDiff {
+    let mut d = SourceDiff::default();
+    for f in &pre.functions {
+        match post.function(&f.name) {
+            None => {
+                d.removed_functions.insert(f.name.clone());
+            }
+            Some(g) if g != f => {
+                d.changed_functions.insert(f.name.clone());
+            }
+            Some(_) => {}
+        }
+    }
+    for g in &post.functions {
+        if pre.function(&g.name).is_none() {
+            d.added_functions.insert(g.name.clone());
+        }
+    }
+    for g in &pre.globals {
+        match post.global(&g.name) {
+            None => d.global_changes.push(GlobalChange::Removed {
+                name: g.name.clone(),
+            }),
+            Some(h) if h.size() != g.size() => d.global_changes.push(GlobalChange::Resized {
+                name: g.name.clone(),
+                old: g.size(),
+                new: h.size(),
+            }),
+            Some(h) if h.words != g.words => d.global_changes.push(GlobalChange::ValueChanged {
+                name: g.name.clone(),
+            }),
+            Some(_) => {}
+        }
+    }
+    for h in &post.globals {
+        if pre.global(&h.name).is_none() {
+            d.global_changes.push(GlobalChange::Added {
+                name: h.name.clone(),
+                size: h.size(),
+            });
+        }
+    }
+    d
+}
+
+/// Binary-level diff: names of functions whose compiled bytes differ
+/// between two images (alignment padding ignored; bodies compared
+/// symbol-by-symbol).
+pub fn binary_diff(pre: &KernelImage, post: &KernelImage) -> BTreeSet<String> {
+    let mut changed = BTreeSet::new();
+    for sym in pre.symbols.functions() {
+        let pre_body = pre.function_bytes(&sym.name);
+        let post_body = post.function_bytes(&sym.name);
+        match (pre_body, post_body) {
+            (Some(a), Some(b)) if a == b => {}
+            _ => {
+                changed.insert(sym.name.clone());
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, Global};
+    use kshot_kcc::{link, CodegenOptions};
+
+    fn base() -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::word("g", 1));
+        p.add_global(Global::buffer("buf", 2));
+        p.add_function(Function::new("a", 0, 0).returning(Expr::c(1)));
+        p.add_function(Function::new("b", 0, 0).returning(Expr::c(2)));
+        p
+    }
+
+    #[test]
+    fn identical_trees_diff_empty() {
+        let p = base();
+        assert!(source_diff(&p, &p.clone()).is_empty());
+    }
+
+    #[test]
+    fn changed_function_detected() {
+        let pre = base();
+        let mut post = base();
+        post.replace_function(Function::new("a", 0, 0).returning(Expr::c(99)));
+        let d = source_diff(&pre, &post);
+        assert_eq!(d.changed_functions, BTreeSet::from(["a".to_string()]));
+        assert!(d.added_functions.is_empty());
+        assert!(d.global_changes.is_empty());
+    }
+
+    #[test]
+    fn added_and_removed_functions() {
+        let pre = base();
+        let mut post = base();
+        post.functions.retain(|f| f.name != "b");
+        post.add_function(Function::new("c", 0, 0).returning(Expr::c(3)));
+        let d = source_diff(&pre, &post);
+        assert_eq!(d.removed_functions, BTreeSet::from(["b".to_string()]));
+        assert_eq!(d.added_functions, BTreeSet::from(["c".to_string()]));
+    }
+
+    #[test]
+    fn global_value_size_add_remove() {
+        let pre = base();
+        let mut post = base();
+        // value change
+        post.globals[0].words[0] = 42;
+        // resize
+        post.globals[1].words.push(0);
+        // add + remove
+        post.add_global(Global::word("newg", 0));
+        let d = source_diff(&pre, &post);
+        assert!(d
+            .global_changes
+            .iter()
+            .any(|c| matches!(c, GlobalChange::ValueChanged { name } if name == "g")));
+        assert!(d.global_changes.iter().any(
+            |c| matches!(c, GlobalChange::Resized { name, old: 16, new: 24 } if name == "buf")
+        ));
+        assert!(d
+            .global_changes
+            .iter()
+            .any(|c| matches!(c, GlobalChange::Added { name, size: 8 } if name == "newg")));
+    }
+
+    #[test]
+    fn binary_diff_matches_source_change() {
+        let pre = base();
+        let mut post = base();
+        post.replace_function(Function::new("a", 0, 0).returning(Expr::c(99)));
+        let opts = CodegenOptions::default();
+        let pre_img = link(&pre, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let post_img = link(&post, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let changed = binary_diff(&pre_img, &post_img);
+        assert!(changed.contains("a"));
+        assert!(!changed.contains("b"));
+    }
+
+    #[test]
+    fn global_change_name_accessor() {
+        assert_eq!(
+            GlobalChange::Removed { name: "x".into() }.name(),
+            "x"
+        );
+        assert_eq!(
+            GlobalChange::Resized {
+                name: "y".into(),
+                old: 1,
+                new: 2
+            }
+            .name(),
+            "y"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Extracting patched function bodies from the post-patch image.
+//!
+//! The patch server sends binary function bodies; the SGX preprocessor
+//! later relocates them into `mem_X`. A body must therefore be
+//! position-independent *except* for its calls, which carry a relocation
+//! table mapping each call site to a symbolic callee. Intra-function
+//! branches are relative and survive relocation untouched (paper §V-A
+//! discusses the offset bookkeeping; our ISA makes intra-function
+//! branches base-independent by construction, and calls are the residual
+//! fixups).
+//!
+//! The leading ftrace pad is stripped: the running kernel keeps its own
+//! pad at the original entry (the tracer owns those bytes), and the
+//! trampoline lands *after* it, so the relocated body must not re-enter
+//! the tracer.
+
+use kshot_isa::disasm::Sweep;
+use kshot_isa::{opcodes, Inst};
+use kshot_kcc::image::KernelImage;
+
+use crate::AnalysisError;
+
+/// A call-site fixup inside an extracted body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallReloc {
+    /// Offset of the `call` instruction within the extracted body.
+    pub offset: u32,
+    /// Symbolic callee name.
+    pub callee: String,
+}
+
+/// A patched function body ready for packaging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedFunction {
+    /// Function name.
+    pub name: String,
+    /// Body bytes, ftrace pad stripped, call displacements zeroed.
+    pub body: Vec<u8>,
+    /// Call fixups.
+    pub relocs: Vec<CallReloc>,
+}
+
+/// Extract `name`'s body from `image`.
+///
+/// # Errors
+///
+/// [`AnalysisError::MissingSymbol`] if the function is absent;
+/// [`AnalysisError::Disassembly`] if its body fails to decode (required
+/// to find the call sites).
+pub fn extract_function(image: &KernelImage, name: &str) -> Result<ExtractedFunction, AnalysisError> {
+    let sym = image
+        .symbols
+        .lookup(name)
+        .ok_or_else(|| AnalysisError::MissingSymbol(name.to_string()))?;
+    let full = image
+        .function_bytes(name)
+        .ok_or_else(|| AnalysisError::MissingSymbol(name.to_string()))?;
+    // Strip the leading trace pad, if present.
+    let skip = match sym.ftrace_offset {
+        Some(0) if full.first() == Some(&opcodes::FTRACE) => kshot_isa::JMP_LEN,
+        _ => 0,
+    };
+    let mut body = full[skip..].to_vec();
+    let body_base = sym.addr + skip as u64;
+    // Find call sites and neutralize their displacements.
+    let mut relocs = Vec::new();
+    let mut sweep = Sweep::new(&body, body_base);
+    let mut sites = Vec::new();
+    for (addr, inst) in &mut sweep {
+        if let Inst::Call { .. } = inst {
+            let target = inst.branch_target(addr).expect("call has target");
+            let callee = image
+                .symbols
+                .function_at(target)
+                .ok_or_else(|| AnalysisError::Disassembly {
+                    function: name.to_string(),
+                })?;
+            sites.push(((addr - body_base) as u32, callee.name.clone()));
+        }
+    }
+    if sweep.offset() != body.len() {
+        return Err(AnalysisError::Disassembly {
+            function: name.to_string(),
+        });
+    }
+    for (offset, callee) in sites {
+        let o = offset as usize;
+        body[o + 1..o + 5].copy_from_slice(&0i32.to_le_bytes());
+        relocs.push(CallReloc { offset, callee });
+    }
+    Ok(ExtractedFunction {
+        name: name.to_string(),
+        body,
+        relocs,
+    })
+}
+
+impl ExtractedFunction {
+    /// Resolve this body for placement at `paddr`, rewriting each call to
+    /// target the address returned by `resolve(callee_name)`.
+    ///
+    /// This is the "branch instruction replacing" step the SGX enclave
+    /// performs during preprocessing (paper §VI-C1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unresolvable callee's name, or the callee whose
+    /// displacement overflowed.
+    pub fn relocate(
+        &self,
+        paddr: u64,
+        mut resolve: impl FnMut(&str) -> Option<u64>,
+    ) -> Result<Vec<u8>, String> {
+        let mut out = self.body.clone();
+        for r in &self.relocs {
+            let target = resolve(&r.callee).ok_or_else(|| r.callee.clone())?;
+            let at = paddr + r.offset as u64;
+            let rel = kshot_isa::rel32_for(at, target).map_err(|_| r.callee.clone())?;
+            let o = r.offset as usize;
+            out[o + 1..o + 5].copy_from_slice(&rel.to_le_bytes());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_isa::disasm::disassemble;
+    use kshot_kcc::ir::{Expr, Function, InlineHint, Program};
+    use kshot_kcc::{link, CodegenOptions};
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("helper", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).add(Expr::c(1))),
+        );
+        p.add_function(
+            Function::new("target", 1, 0)
+                .returning(Expr::call("helper", vec![Expr::param(0)]).mul(Expr::c(2))),
+        );
+        p
+    }
+
+    #[test]
+    fn extract_strips_ftrace_pad() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let e = extract_function(&img, "target").unwrap();
+        assert_ne!(e.body[0], opcodes::FTRACE);
+        let full = img.function_bytes("target").unwrap();
+        assert_eq!(e.body.len(), full.len() - 5);
+    }
+
+    #[test]
+    fn extract_keeps_whole_body_when_untraced() {
+        let opts = CodegenOptions {
+            tracing: false,
+            ..CodegenOptions::default()
+        };
+        let img = link(&program(), &opts, 0x10_0000, 0x90_0000).unwrap();
+        let e = extract_function(&img, "target").unwrap();
+        let full = img.function_bytes("target").unwrap();
+        assert_eq!(e.body.len(), full.len());
+    }
+
+    #[test]
+    fn call_relocs_identified_and_zeroed() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let e = extract_function(&img, "target").unwrap();
+        assert_eq!(e.relocs.len(), 1);
+        assert_eq!(e.relocs[0].callee, "helper");
+        let o = e.relocs[0].offset as usize;
+        assert_eq!(e.body[o], opcodes::CALL);
+        assert_eq!(&e.body[o + 1..o + 5], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn relocate_targets_resolved_addresses() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let e = extract_function(&img, "target").unwrap();
+        let paddr = 0x0200_0000u64;
+        let helper_addr = img.symbols.lookup("helper").unwrap().addr;
+        let placed = e
+            .relocate(paddr, |name| {
+                (name == "helper").then_some(helper_addr)
+            })
+            .unwrap();
+        // The placed body decodes, and its call targets helper.
+        let insts = disassemble(&placed, paddr).unwrap();
+        let call = insts
+            .iter()
+            .find(|(_, i)| matches!(i, Inst::Call { .. }))
+            .unwrap();
+        assert_eq!(call.1.branch_target(call.0), Some(helper_addr));
+    }
+
+    #[test]
+    fn relocate_fails_on_unknown_callee() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let e = extract_function(&img, "target").unwrap();
+        let err = e.relocate(0x0200_0000, |_| None).unwrap_err();
+        assert_eq!(err, "helper");
+    }
+
+    #[test]
+    fn missing_symbol_is_error() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        assert!(matches!(
+            extract_function(&img, "ghost"),
+            Err(AnalysisError::MissingSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn extracted_body_is_executable_shape() {
+        // The stripped body must still start at the prologue and
+        // disassemble end-to-end.
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let e = extract_function(&img, "target").unwrap();
+        let insts = disassemble(&e.body, 0).unwrap();
+        assert!(matches!(insts[0].1, Inst::Push { .. }));
+        assert_eq!(insts.last().unwrap().1, Inst::Ret);
+    }
+}

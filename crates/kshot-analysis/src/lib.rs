@@ -1,0 +1,164 @@
+#![warn(missing_docs)]
+
+//! # kshot-analysis — patch identification and binary analysis
+//!
+//! Implements the paper's §V-A pipeline ("Identifying Target Functions"):
+//!
+//! 1. **Call graphs** ([`callgraph`]) — a source-level call graph from the
+//!    KIR tree (the `codeviz` role) and a binary-level call graph from
+//!    disassembling the image (the IDA Pro role).
+//! 2. **Diffing** ([`diff`]) — which source functions and globals a patch
+//!    changes, and which binary function bodies differ between the
+//!    pre-patch and post-patch builds.
+//! 3. **Inlining recovery + worklist** ([`worklist`]) — edges present in
+//!    the source graph but missing from the binary graph expose inlining;
+//!    a worklist closes the "transitively implicated" set, exactly as the
+//!    paper describes ("Because functions may be transitively inlined, we
+//!    employ a worklist algorithm…").
+//! 4. **Signature matching** ([`signature`]) — normalized binary
+//!    signatures in the spirit of iBinHunt/FIBER, used to align functions
+//!    across builds and to verify that the running kernel's bytes match
+//!    what the patch was built against.
+//! 5. **Classification** ([`classify`]) — Type 1 (plain), Type 2
+//!    (inlining involved), Type 3 (global/data changes), matching
+//!    Table I's taxonomy.
+//! 6. **Extraction** ([`extract`]) — pulls a patched function's body out
+//!    of the post-patch image (ftrace pad stripped) together with its
+//!    call-relocation table, ready for the SGX preprocessor.
+//!
+//! The entry point is [`analyze`], which runs the full pipeline and
+//! returns a [`PatchAnalysis`].
+
+pub mod callgraph;
+pub mod cfg;
+pub mod classify;
+pub mod diff;
+pub mod extract;
+pub mod signature;
+pub mod worklist;
+
+use std::collections::BTreeSet;
+
+use kshot_kcc::image::KernelImage;
+use kshot_kcc::ir::Program;
+
+pub use callgraph::CallGraph;
+pub use cfg::{BasicBlock, Cfg};
+pub use classify::PatchTypes;
+pub use diff::{GlobalChange, SourceDiff};
+pub use extract::ExtractedFunction;
+pub use worklist::InlineMap;
+
+/// The result of running the full §V-A analysis over a pre/post pair.
+#[derive(Debug, Clone)]
+pub struct PatchAnalysis {
+    /// Source-level changes.
+    pub source_diff: SourceDiff,
+    /// Inferred inline relationships in the pre-patch binary.
+    pub inline_map: InlineMap,
+    /// Every binary function that must be live-patched (changed functions
+    /// plus everything transitively implicated by inlining).
+    pub implicated: BTreeSet<String>,
+    /// Patch type classification.
+    pub types: PatchTypes,
+}
+
+/// Errors from the analysis pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Disassembly of a function body failed.
+    Disassembly {
+        /// The function whose body failed to decode.
+        function: String,
+    },
+    /// A required symbol was missing from an image.
+    MissingSymbol(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Disassembly { function } => {
+                write!(f, "failed to disassemble `{function}`")
+            }
+            AnalysisError::MissingSymbol(s) => write!(f, "missing symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Run the complete identification pipeline.
+///
+/// `pre_program`/`post_program` are the source trees before and after the
+/// patch; `pre_image` is the build matching the running kernel, and
+/// `post_image` the patched build with identical flags.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError`] when an image cannot be disassembled.
+pub fn analyze(
+    pre_program: &Program,
+    post_program: &Program,
+    pre_image: &KernelImage,
+    post_image: &KernelImage,
+) -> Result<PatchAnalysis, AnalysisError> {
+    let source_diff = diff::source_diff(pre_program, post_program);
+    let src_graph = callgraph::source_call_graph(pre_program);
+    let bin_graph = callgraph::binary_call_graph(pre_image)?;
+    let inline_map = worklist::infer_inlines(&src_graph, &bin_graph);
+    let implicated = worklist::implicated_functions(&source_diff.changed_functions, &inline_map);
+    // Functions only exist as patch targets if they exist in the binary;
+    // brand-new functions are carried separately by the patch server.
+    let implicated = implicated
+        .into_iter()
+        .filter(|f| pre_image.symbols.lookup(f).is_some())
+        .collect();
+    let types = classify::classify(&source_diff, &inline_map, post_image);
+    Ok(PatchAnalysis {
+        source_diff,
+        inline_map,
+        implicated,
+        types,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, InlineHint};
+    use kshot_kcc::{link, CodegenOptions};
+
+    #[test]
+    fn end_to_end_analysis_on_inlined_patch() {
+        // tiny() is auto-inlined into wrapper(); patching tiny must
+        // implicate wrapper too.
+        let mut pre = Program::new();
+        pre.add_function(Function::new("tiny", 0, 0).returning(Expr::c(1)));
+        pre.add_function(
+            Function::new("wrapper", 0, 0).returning(Expr::call("tiny", vec![]).add(Expr::c(5))),
+        );
+        pre.add_function(
+            Function::new("unrelated", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(9)),
+        );
+        let mut post = pre.clone();
+        post.replace_function(Function::new("tiny", 0, 0).returning(Expr::c(2)));
+        let opts = CodegenOptions::default();
+        let pre_img = link(&pre, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let post_img = link(&post, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let a = analyze(&pre, &post, &pre_img, &post_img).unwrap();
+        assert!(a.source_diff.changed_functions.contains("tiny"));
+        assert!(a.implicated.contains("tiny"));
+        assert!(a.implicated.contains("wrapper"), "{:?}", a.implicated);
+        assert!(!a.implicated.contains("unrelated"));
+        assert!(a.types.t2, "inlining ⇒ Type 2");
+        // Cross-check against the compiler's ground truth.
+        assert_eq!(
+            pre_img.inline_log["wrapper"],
+            vec!["tiny".to_string()],
+            "ground truth says tiny was inlined into wrapper"
+        );
+    }
+}

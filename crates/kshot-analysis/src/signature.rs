@@ -1,0 +1,274 @@
+//! Normalized binary signatures and cross-build function matching.
+//!
+//! Plays the role the paper assigns to iBinHunt/FIBER: align functions
+//! across two builds and verify that a function's in-memory bytes match
+//! what a patch was prepared against. The signature normalizes away
+//! link-time artefacts — call displacements and address-sized immediates —
+//! so two compilations of the same source at different layouts produce
+//! identical signatures.
+
+use kshot_isa::disasm::Sweep;
+use kshot_isa::Inst;
+use kshot_kcc::image::KernelImage;
+
+/// A normalized instruction token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Token {
+    Op(u8),
+    OpReg(u8, u8),
+    OpRegReg(u8, u8, u8),
+    OpRegImm(u8, u8, i64),
+    /// Branch with the displacement kept (intra-function shape matters)…
+    Branch(u8, i32),
+    /// …but calls lose their displacement (link-time artefact).
+    CallAny,
+    /// Address-looking immediates are masked (data-segment layout).
+    OpRegAddr(u8, u8),
+}
+
+/// A function signature: the normalized token sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature {
+    tokens: Vec<Token>,
+}
+
+impl Signature {
+    /// Number of instructions contributing to the signature.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the body decoded to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Similarity in `[0, 1]` with another signature: the length of the
+    /// longest common subsequence of tokens divided by the longer length.
+    pub fn similarity(&self, other: &Signature) -> f64 {
+        let (a, b) = (&self.tokens, &other.tokens);
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let longer = a.len().max(b.len());
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        // Classic O(n·m) LCS; function bodies are small.
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut cur = vec![0usize; b.len() + 1];
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                cur[j] = if a[i - 1] == b[j - 1] {
+                    prev[j - 1] + 1
+                } else {
+                    prev[j].max(cur[j - 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()] as f64 / longer as f64
+    }
+}
+
+/// Threshold above which an immediate is treated as an address and masked
+/// (our machine keeps code/data above 1 MB).
+const ADDR_THRESHOLD: u64 = 0x10_0000;
+
+/// Compute the signature of a function body.
+///
+/// Bytes that fail to decode terminate the signature (same tolerance the
+/// introspection sweep uses).
+pub fn signature(body: &[u8]) -> Signature {
+    let tokens = Sweep::new(body, 0)
+        .map(|(_, inst)| normalize(inst))
+        .collect();
+    Signature { tokens }
+}
+
+fn normalize(inst: Inst) -> Token {
+    use kshot_isa::opcodes as op;
+    match inst {
+        Inst::Nop => Token::Op(op::NOP),
+        // Trace pads carry a build-assigned site id — mask it.
+        Inst::Ftrace { .. } => Token::Op(op::FTRACE),
+        Inst::Jmp { rel } => Token::Branch(op::JMP, rel),
+        Inst::Call { .. } => Token::CallAny,
+        Inst::Ret => Token::Op(op::RET),
+        Inst::Jcc { cond, rel } => Token::Branch(0x0F00u16 as u8 ^ cond.code(), rel),
+        Inst::MovImm { dst, imm } => {
+            if imm >= ADDR_THRESHOLD {
+                Token::OpRegAddr(op::MOV_IMM, dst.index() as u8)
+            } else {
+                Token::OpRegImm(op::MOV_IMM, dst.index() as u8, imm as i64)
+            }
+        }
+        Inst::MovReg { dst, src } => Token::OpRegReg(op::MOV_REG, dst.index() as u8, src.index() as u8),
+        Inst::Add { dst, src } => Token::OpRegReg(op::ADD, dst.index() as u8, src.index() as u8),
+        Inst::Sub { dst, src } => Token::OpRegReg(op::SUB, dst.index() as u8, src.index() as u8),
+        Inst::And { dst, src } => Token::OpRegReg(op::AND, dst.index() as u8, src.index() as u8),
+        Inst::Or { dst, src } => Token::OpRegReg(op::OR, dst.index() as u8, src.index() as u8),
+        Inst::Xor { dst, src } => Token::OpRegReg(op::XOR, dst.index() as u8, src.index() as u8),
+        Inst::Mul { dst, src } => Token::OpRegReg(op::MUL, dst.index() as u8, src.index() as u8),
+        Inst::Div { dst, src } => Token::OpRegReg(op::DIV, dst.index() as u8, src.index() as u8),
+        Inst::ShlImm { dst, amount } => {
+            Token::OpRegImm(op::SHL_IMM, dst.index() as u8, amount as i64)
+        }
+        Inst::ShrImm { dst, amount } => {
+            Token::OpRegImm(op::SHR_IMM, dst.index() as u8, amount as i64)
+        }
+        Inst::AddImm { dst, imm } => Token::OpRegImm(op::ADD_IMM, dst.index() as u8, imm as i64),
+        Inst::Load { dst, base, disp } => {
+            Token::OpRegImm(op::LOAD, pack(dst.index(), base.index()), disp as i64)
+        }
+        Inst::Store { base, disp, src } => {
+            Token::OpRegImm(op::STORE, pack(src.index(), base.index()), disp as i64)
+        }
+        Inst::LoadByte { dst, base, disp } => {
+            Token::OpRegImm(op::LOAD_BYTE, pack(dst.index(), base.index()), disp as i64)
+        }
+        Inst::StoreByte { base, disp, src } => {
+            Token::OpRegImm(op::STORE_BYTE, pack(src.index(), base.index()), disp as i64)
+        }
+        Inst::Cmp { a, b } => Token::OpRegReg(op::CMP, a.index() as u8, b.index() as u8),
+        Inst::CmpImm { reg, imm } => Token::OpRegImm(op::CMP_IMM, reg.index() as u8, imm as i64),
+        Inst::Push { src } => Token::OpReg(op::PUSH, src.index() as u8),
+        Inst::Pop { dst } => Token::OpReg(op::POP, dst.index() as u8),
+        Inst::Sys { num } => Token::OpReg(op::SYS, num),
+        Inst::Halt => Token::Op(op::HALT),
+        Inst::Trap => Token::Op(op::TRAP),
+    }
+}
+
+fn pack(a: usize, b: usize) -> u8 {
+    ((a << 4) | b) as u8
+}
+
+/// Match each function of `pre` against the functions of `post` by
+/// signature, returning `(name_in_pre, best_match_in_post, similarity)`.
+///
+/// With symbol tables intact this is trivially the identity mapping; the
+/// matcher exists for the paper's stripped-binary scenario and as a
+/// verification cross-check.
+pub fn match_functions(
+    pre: &KernelImage,
+    post: &KernelImage,
+) -> Vec<(String, Option<String>, f64)> {
+    let post_sigs: Vec<(String, Signature)> = post
+        .symbols
+        .functions()
+        .iter()
+        .filter_map(|s| post.function_bytes(&s.name).map(|b| (s.name.clone(), signature(b))))
+        .collect();
+    pre.symbols
+        .functions()
+        .iter()
+        .map(|s| {
+            let sig = signature(pre.function_bytes(&s.name).unwrap_or(&[]));
+            let mut best: Option<(String, f64)> = None;
+            for (name, ps) in &post_sigs {
+                let score = sig.similarity(ps);
+                if best.as_ref().is_none_or(|(_, b)| score > *b) {
+                    best = Some((name.clone(), score));
+                }
+            }
+            match best {
+                Some((name, score)) => (s.name.clone(), Some(name), score),
+                None => (s.name.clone(), None, 0.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, Global, InlineHint, Program, Stmt};
+    use kshot_kcc::{link, CodegenOptions};
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::word("g", 3));
+        p.add_function(
+            Function::new("target", 1, 1).with_body(vec![
+                Stmt::Assign(0, Expr::param(0).add(Expr::global("g"))),
+                Stmt::Return(Expr::local(0)),
+            ]),
+        );
+        p.add_function(
+            Function::new("other", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::call("target", vec![Expr::c(5)])),
+        );
+        p
+    }
+
+    #[test]
+    fn signature_is_layout_invariant() {
+        let p = program();
+        let opts = CodegenOptions::default();
+        let a = link(&p, &opts, 0x10_0000, 0x90_0000).unwrap();
+        // Same source, different text and data bases → same signatures.
+        let b = link(&p, &opts, 0x20_0000, 0xA0_0000).unwrap();
+        for f in ["target", "other"] {
+            let sa = signature(a.function_bytes(f).unwrap());
+            let sb = signature(b.function_bytes(f).unwrap());
+            assert_eq!(sa, sb, "{f}");
+            assert!((sa.similarity(&sb) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_functions_differ() {
+        let p = program();
+        let img = link(&p, &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let st = signature(img.function_bytes("target").unwrap());
+        let so = signature(img.function_bytes("other").unwrap());
+        assert_ne!(st, so);
+        assert!(st.similarity(&so) < 1.0);
+    }
+
+    #[test]
+    fn small_patch_keeps_high_similarity() {
+        let pre = program();
+        let mut post = program();
+        // Add one bounds check — most of the body is unchanged.
+        post.replace_function(Function::new("target", 1, 1).with_body(vec![
+            Stmt::if_then(
+                kshot_kcc::ir::CondExpr::new(Expr::param(0), kshot_isa::Cond::A, Expr::c(100)),
+                vec![Stmt::Return(Expr::c(0))],
+            ),
+            Stmt::Assign(0, Expr::param(0).add(Expr::global("g"))),
+            Stmt::Return(Expr::local(0)),
+        ]));
+        let opts = CodegenOptions::default();
+        let a = link(&pre, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let b = link(&post, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let sa = signature(a.function_bytes("target").unwrap());
+        let sb = signature(b.function_bytes("target").unwrap());
+        let sim = sa.similarity(&sb);
+        assert!(sim > 0.6, "patched function should stay similar: {sim}");
+        assert!(sim < 1.0, "but not identical");
+    }
+
+    #[test]
+    fn match_functions_finds_identity_mapping() {
+        let p = program();
+        let opts = CodegenOptions::default();
+        let a = link(&p, &opts, 0x10_0000, 0x90_0000).unwrap();
+        let b = link(&p, &opts, 0x30_0000, 0xB0_0000).unwrap();
+        for (pre_name, post_name, score) in match_functions(&a, &b) {
+            assert_eq!(post_name.as_deref(), Some(pre_name.as_str()));
+            assert!((score - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_signatures() {
+        let s = signature(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.similarity(&signature(&[])), 1.0);
+        let nonempty = signature(&[kshot_isa::opcodes::RET]);
+        assert_eq!(s.similarity(&nonempty), 0.0);
+    }
+}

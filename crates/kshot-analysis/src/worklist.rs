@@ -1,0 +1,168 @@
+//! Inlining inference and the transitive-implication worklist.
+//!
+//! Paper §V-A: "Differences between the source- and binary-level call
+//! graphs illuminate certain compiler optimizations, including inlining…
+//! Because functions may be transitively inlined, we employ a worklist
+//! algorithm that iteratively identifies implicated functions until no
+//! new implicated functions can be added."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+
+/// Inferred inline relationships: `host → {guests}` meaning each guest's
+/// body was folded into the host in the binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InlineMap {
+    inlined_into: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl InlineMap {
+    /// Record that `guest` was inlined into `host`.
+    pub fn add(&mut self, host: impl Into<String>, guest: impl Into<String>) {
+        self.inlined_into
+            .entry(host.into())
+            .or_default()
+            .insert(guest.into());
+    }
+
+    /// Functions inlined (directly) into `host`.
+    pub fn guests_of(&self, host: &str) -> BTreeSet<String> {
+        self.inlined_into.get(host).cloned().unwrap_or_default()
+    }
+
+    /// Hosts that (directly) inlined `guest`.
+    pub fn hosts_of(&self, guest: &str) -> BTreeSet<String> {
+        self.inlined_into
+            .iter()
+            .filter(|(_, gs)| gs.contains(guest))
+            .map(|(h, _)| h.clone())
+            .collect()
+    }
+
+    /// Whether any inlining was inferred at all.
+    pub fn is_empty(&self) -> bool {
+        self.inlined_into.is_empty()
+    }
+
+    /// Number of direct (host, guest) pairs.
+    pub fn len(&self) -> usize {
+        self.inlined_into.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Infer inlining from call-graph divergence: if the source graph has the
+/// edge `A → B` but the binary graph does not, `B` was inlined into `A`.
+pub fn infer_inlines(source: &CallGraph, binary: &CallGraph) -> InlineMap {
+    let mut m = InlineMap::default();
+    for caller in source.nodes() {
+        for callee in source.callees(caller) {
+            if !binary.has_edge(caller, &callee) {
+                m.add(caller.clone(), callee);
+            }
+        }
+    }
+    m
+}
+
+/// Close the set of changed source functions over the inline relation:
+/// any host that inlined an implicated function becomes implicated, until
+/// fixpoint.
+pub fn implicated_functions(
+    changed: &BTreeSet<String>,
+    inlines: &InlineMap,
+) -> BTreeSet<String> {
+    let mut implicated: BTreeSet<String> = changed.clone();
+    let mut work: Vec<String> = changed.iter().cloned().collect();
+    while let Some(f) = work.pop() {
+        for host in inlines.hosts_of(&f) {
+            if implicated.insert(host.clone()) {
+                work.push(host);
+            }
+        }
+    }
+    implicated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(&str, &str)]) -> CallGraph {
+        let mut g = CallGraph::new();
+        for (a, b) in edges {
+            g.add_edge(*a, *b);
+        }
+        g
+    }
+
+    #[test]
+    fn infer_simple_inline() {
+        let src = graph(&[("a", "b"), ("a", "c")]);
+        let bin = graph(&[("a", "c")]); // b's call vanished → inlined
+        let m = infer_inlines(&src, &bin);
+        assert_eq!(m.guests_of("a"), BTreeSet::from(["b".to_string()]));
+        assert_eq!(m.hosts_of("b"), BTreeSet::from(["a".to_string()]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn no_divergence_no_inlines() {
+        let g = graph(&[("a", "b")]);
+        assert!(infer_inlines(&g, &g.clone()).is_empty());
+    }
+
+    #[test]
+    fn worklist_direct_implication() {
+        let mut m = InlineMap::default();
+        m.add("host", "guest");
+        let changed = BTreeSet::from(["guest".to_string()]);
+        let imp = implicated_functions(&changed, &m);
+        assert_eq!(
+            imp,
+            BTreeSet::from(["guest".to_string(), "host".to_string()])
+        );
+    }
+
+    #[test]
+    fn worklist_transitive_chain() {
+        // c inlined into b, b inlined into a; changing c implicates all.
+        let mut m = InlineMap::default();
+        m.add("b", "c");
+        m.add("a", "b");
+        let changed = BTreeSet::from(["c".to_string()]);
+        let imp = implicated_functions(&changed, &m);
+        assert_eq!(
+            imp,
+            BTreeSet::from(["a".to_string(), "b".to_string(), "c".to_string()])
+        );
+    }
+
+    #[test]
+    fn worklist_multiple_hosts() {
+        let mut m = InlineMap::default();
+        m.add("h1", "g");
+        m.add("h2", "g");
+        let imp = implicated_functions(&BTreeSet::from(["g".to_string()]), &m);
+        assert!(imp.contains("h1") && imp.contains("h2"));
+        assert_eq!(imp.len(), 3);
+    }
+
+    #[test]
+    fn worklist_terminates_on_cycles() {
+        // Degenerate cyclic evidence must not loop forever.
+        let mut m = InlineMap::default();
+        m.add("a", "b");
+        m.add("b", "a");
+        let imp = implicated_functions(&BTreeSet::from(["a".to_string()]), &m);
+        assert_eq!(imp, BTreeSet::from(["a".to_string(), "b".to_string()]));
+    }
+
+    #[test]
+    fn unrelated_functions_stay_out() {
+        let mut m = InlineMap::default();
+        m.add("x", "y");
+        let imp = implicated_functions(&BTreeSet::from(["z".to_string()]), &m);
+        assert_eq!(imp, BTreeSet::from(["z".to_string()]));
+    }
+}

@@ -1,0 +1,184 @@
+//! The qualitative comparison matrices (paper Tables IV and V).
+
+use std::fmt::Write as _;
+
+/// What a patching system targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// On-disk executable binaries.
+    BinaryFile,
+    /// A userspace process.
+    UserProcess,
+    /// The OS kernel.
+    Kernel,
+    /// Whole-system dynamic update (process- or OS-level with
+    /// annotations).
+    DynamicUpdate,
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Target::BinaryFile => "binary file",
+            Target::UserProcess => "user process",
+            Target::Kernel => "kernel",
+            Target::DynamicUpdate => "dynamic update",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the paper's Table IV general comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemProfile {
+    /// System name.
+    pub name: &'static str,
+    /// Patch target.
+    pub target: Target,
+    /// Can it patch *runtime memory* (vs. only files on disk)?
+    pub handles_runtime_memory: bool,
+    /// Does correct patching require trusting the target OS?
+    pub requires_os_trust: bool,
+    /// Does it need developer annotations / safe update points?
+    pub requires_annotations: bool,
+    /// How application/OS state is kept consistent.
+    pub state_handling: &'static str,
+}
+
+/// The Table IV matrix (paper §VI-D1).
+pub fn general_matrix() -> Vec<SystemProfile> {
+    vec![
+        SystemProfile {
+            name: "Dyninst",
+            target: Target::BinaryFile,
+            handles_runtime_memory: false,
+            requires_os_trust: true,
+            requires_annotations: false,
+            state_handling: "none (static rewriting)",
+        },
+        SystemProfile {
+            name: "EEL",
+            target: Target::BinaryFile,
+            handles_runtime_memory: false,
+            requires_os_trust: true,
+            requires_annotations: false,
+            state_handling: "none (static rewriting)",
+        },
+        SystemProfile {
+            name: "Libcare",
+            target: Target::UserProcess,
+            handles_runtime_memory: true,
+            requires_os_trust: true,
+            requires_annotations: false,
+            state_handling: "per-process hooks via ptrace",
+        },
+        SystemProfile {
+            name: "Kitsune",
+            target: Target::DynamicUpdate,
+            handles_runtime_memory: true,
+            requires_os_trust: true,
+            requires_annotations: true,
+            state_handling: "developer-marked update points",
+        },
+        SystemProfile {
+            name: "PROTEOS",
+            target: Target::DynamicUpdate,
+            handles_runtime_memory: true,
+            requires_os_trust: true,
+            requires_annotations: true,
+            state_handling: "annotated state transfer",
+        },
+        SystemProfile {
+            name: "kpatch",
+            target: Target::Kernel,
+            handles_runtime_memory: true,
+            requires_os_trust: true,
+            requires_annotations: false,
+            state_handling: "stop_machine + stack check",
+        },
+        SystemProfile {
+            name: "Ksplice",
+            target: Target::Kernel,
+            handles_runtime_memory: true,
+            requires_os_trust: true,
+            requires_annotations: false,
+            state_handling: "stop_machine + stack check",
+        },
+        SystemProfile {
+            name: "KUP",
+            target: Target::Kernel,
+            handles_runtime_memory: true,
+            requires_os_trust: true,
+            requires_annotations: false,
+            state_handling: "checkpoint/restore (CRIU)",
+        },
+        SystemProfile {
+            name: "KShot",
+            target: Target::Kernel,
+            handles_runtime_memory: true,
+            requires_os_trust: false,
+            requires_annotations: false,
+            state_handling: "hardware save/restore via SMM",
+        },
+    ]
+}
+
+/// Render Table IV as aligned text.
+pub fn render_general_matrix() -> String {
+    let rows = general_matrix();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:<15} {:<8} {:<10} {:<12} State handling",
+        "System", "Target", "RtMem", "OS-trust", "Annotations"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:<15} {:<8} {:<10} {:<12} {}",
+            r.name,
+            r.target.to_string(),
+            if r.handles_runtime_memory { "yes" } else { "no" },
+            if r.requires_os_trust { "yes" } else { "no" },
+            if r.requires_annotations { "yes" } else { "no" },
+            r.state_handling,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_kshot_avoids_os_trust() {
+        let rows = general_matrix();
+        let untrusting: Vec<&str> = rows
+            .iter()
+            .filter(|r| !r.requires_os_trust)
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(untrusting, vec!["KShot"], "the paper's headline claim");
+    }
+
+    #[test]
+    fn annotation_systems_are_the_dsu_ones() {
+        for r in general_matrix() {
+            if r.requires_annotations {
+                assert_eq!(r.target, Target::DynamicUpdate, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render_general_matrix();
+        for name in [
+            "Dyninst", "EEL", "Libcare", "Kitsune", "PROTEOS", "kpatch", "Ksplice", "KUP",
+            "KShot",
+        ] {
+            assert!(text.contains(name), "{name} missing");
+        }
+    }
+}

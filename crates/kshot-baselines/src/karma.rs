@@ -1,0 +1,156 @@
+//! KARMA-style live patching: a kernel module applies instruction-level
+//! edits when possible and falls back to function redirection otherwise
+//! ("KARMA uses a kernel module to replace vulnerable instructions that
+//! it identifies from a given patch diff"). No stop_machine; tuned for
+//! very small patches (the paper credits it with <5 µs).
+
+use kshot_machine::SimTime;
+use kshot_patchserver::{PatchServer, SourcePatch};
+
+use crate::kpatch::{apply_function_patches, apply_global_ops};
+use crate::ksplice::instruction_diff;
+use crate::{
+    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi,
+    TrustedBase,
+};
+
+/// Fixed module-entry cost.
+pub const SETUP_COST: SimTime = SimTime::from_ns(2_000);
+
+/// Per-edit cost.
+pub const PER_EDIT_COST: SimTime = SimTime::from_ns(150);
+
+/// The KARMA mechanism.
+#[derive(Debug, Default)]
+pub struct Karma;
+
+impl LivePatcher for Karma {
+    fn name(&self) -> &'static str {
+        "KARMA"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::Instruction
+    }
+
+    fn trusted_base(&self) -> TrustedBase {
+        TrustedBase::Kernel
+    }
+
+    fn apply(
+        &mut self,
+        api: &mut OsPatchApi,
+        kernel: &mut kshot_kernel::Kernel,
+        server: &PatchServer,
+        patch: &SourcePatch,
+    ) -> Result<BaselineReport, BaselineError> {
+        let build = build_bundle(kernel, server, patch)?;
+        let t0 = kernel.machine().now();
+        kernel.machine_mut().charge(SETUP_COST);
+        let mut in_place_edits = 0usize;
+        let mut fallback_entries = Vec::new();
+        for e in &build.bundle.entries {
+            let pre = build.pre_image.function_bytes(&e.name);
+            let post = build.post_image.function_bytes(&e.name);
+            match (pre, post) {
+                (Some(pre), Some(post)) => match instruction_diff(pre, post) {
+                    Some(edits) => {
+                        for (off, bytes) in edits {
+                            api.text_poke(kernel, e.taddr + off, &bytes)?;
+                            kernel.machine_mut().charge(PER_EDIT_COST);
+                            in_place_edits += 1;
+                        }
+                    }
+                    None => fallback_entries.push(e.clone()),
+                },
+                _ => fallback_entries.push(e.clone()),
+            }
+        }
+        // Fall back to module-based redirection for layout-changing
+        // functions (KARMA's "complex patch" adapter).
+        let mut memory_used = 0u64;
+        let mut sites = in_place_edits;
+        if !fallback_entries.is_empty() {
+            let (written, s) = apply_function_patches(
+                api,
+                kernel,
+                &fallback_entries,
+                &build.bundle.new_functions,
+            )?;
+            memory_used += written;
+            sites += s;
+        }
+        memory_used += apply_global_ops(kernel, &build.bundle.global_ops)?;
+        let patch_time = kernel.machine().now() - t0;
+        Ok(BaselineReport {
+            patch_time,
+            downtime: SimTime::ZERO, // no stop_machine
+            memory_used,
+            sites,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, InlineHint, Program};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_kernel::Kernel;
+    use kshot_machine::MemLayout;
+
+    fn setup() -> (Kernel, PatchServer) {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("f_imm", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(1)),
+        );
+        p.add_function(
+            Function::new("f_layout", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0)),
+        );
+        let layout = MemLayout::standard();
+        let img = link(
+            &p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        let kernel = Kernel::boot(img, "kv-4.4", layout).unwrap();
+        let mut server = PatchServer::new();
+        server.register_tree("kv-4.4", p);
+        (kernel, server)
+    }
+
+    #[test]
+    fn small_patch_is_in_place_and_fast() {
+        let (mut kernel, server) = setup();
+        let patch = SourcePatch::new("CVE-K").replacing(
+            Function::new("f_imm", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(9)),
+        );
+        let mut api = OsPatchApi::new();
+        let report = Karma.apply(&mut api, &mut kernel, &server, &patch).unwrap();
+        assert_eq!(report.memory_used, 0, "in-place edit");
+        assert!(report.patch_time < SimTime::from_us(5), "KARMA is <5µs");
+        assert_eq!(kernel.call_function("f_imm", &[]).unwrap(), 9);
+    }
+
+    #[test]
+    fn layout_change_falls_back_to_redirect() {
+        let (mut kernel, server) = setup();
+        let patch = SourcePatch::new("CVE-K2").replacing(
+            Function::new("f_layout", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).mul(Expr::c(3)).add(Expr::c(1))),
+        );
+        let mut api = OsPatchApi::new();
+        let report = Karma.apply(&mut api, &mut kernel, &server, &patch).unwrap();
+        assert!(report.memory_used > 0, "module fallback used");
+        assert_eq!(kernel.call_function("f_layout", &[5]).unwrap(), 16);
+    }
+}

@@ -1,0 +1,212 @@
+//! Ksplice-style live patching: individual instructions replaced in
+//! place ("Ksplice patches individual instructions instead of
+//! functions"). Only patches whose pre/post bodies have identical
+//! instruction layout are expressible; anything else is refused — the
+//! real system's run-pre/run-post matching has the same character.
+
+use kshot_isa::disasm::disassemble;
+use kshot_machine::SimTime;
+use kshot_patchserver::{PatchServer, SourcePatch};
+
+use crate::{
+    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi,
+    TrustedBase,
+};
+
+/// Fixed setup cost (safety checks, stacks walked).
+pub const SETUP_COST: SimTime = SimTime::from_ns(3_000);
+
+/// Per-replaced-instruction cost.
+pub const PER_INST_COST: SimTime = SimTime::from_ns(100);
+
+/// The Ksplice mechanism.
+#[derive(Debug, Default)]
+pub struct Ksplice;
+
+/// Compute the in-place instruction replacements between two bodies laid
+/// out at the same address. Returns `(offset, new_bytes)` per differing
+/// instruction, or `None` if the layouts diverge.
+pub(crate) fn instruction_diff(pre: &[u8], post: &[u8]) -> Option<Vec<(u64, Vec<u8>)>> {
+    let a = disassemble(pre, 0).ok()?;
+    let b = disassemble(post, 0).ok()?;
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut edits = Vec::new();
+    for ((off_a, inst_a), (off_b, inst_b)) in a.iter().zip(b.iter()) {
+        if off_a != off_b {
+            return None; // layout shifted
+        }
+        if inst_a != inst_b {
+            if inst_a.encoded_len() != inst_b.encoded_len() {
+                return None;
+            }
+            edits.push((*off_a, inst_b.encode()));
+        }
+    }
+    Some(edits)
+}
+
+impl LivePatcher for Ksplice {
+    fn name(&self) -> &'static str {
+        "Ksplice"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::Instruction
+    }
+
+    fn trusted_base(&self) -> TrustedBase {
+        TrustedBase::Kernel
+    }
+
+    fn apply(
+        &mut self,
+        api: &mut OsPatchApi,
+        kernel: &mut kshot_kernel::Kernel,
+        server: &PatchServer,
+        patch: &SourcePatch,
+    ) -> Result<BaselineReport, BaselineError> {
+        let build = build_bundle(kernel, server, patch)?;
+        if !build.bundle.new_functions.is_empty() || !build.bundle.global_ops.is_empty() {
+            return Err(BaselineError::Unsupported(
+                "Ksplice cannot add functions or change data".into(),
+            ));
+        }
+        // Compute in-place edits per function against live memory.
+        let mut all_edits = Vec::new();
+        let mut ranges = Vec::new();
+        for e in &build.bundle.entries {
+            let pre = build
+                .pre_image
+                .function_bytes(&e.name)
+                .ok_or_else(|| BaselineError::Unsupported(format!("missing `{}`", e.name)))?;
+            let post = build
+                .post_image
+                .function_bytes(&e.name)
+                .ok_or_else(|| BaselineError::Unsupported(format!("missing `{}`", e.name)))?;
+            let edits = instruction_diff(pre, post).ok_or_else(|| {
+                BaselineError::Unsupported(format!(
+                    "`{}`: instruction layout changed; not expressible in-place",
+                    e.name
+                ))
+            })?;
+            ranges.push((e.name.clone(), e.taddr, e.taddr + e.tsize));
+            for (off, bytes) in edits {
+                all_edits.push((e.taddr + off, bytes));
+            }
+        }
+        // Safety: nothing executing inside the targets.
+        let t0 = kernel.machine().now();
+        kernel.machine_mut().charge(SETUP_COST);
+        api.quiescent_check(kernel, &ranges)?;
+        for (addr, bytes) in &all_edits {
+            api.text_poke(kernel, *addr, bytes)?;
+            kernel.machine_mut().charge(PER_INST_COST);
+        }
+        let downtime = kernel.machine().now() - t0;
+        Ok(BaselineReport {
+            patch_time: downtime,
+            downtime,
+            memory_used: 0, // in-place: no extra memory
+            sites: all_edits.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, InlineHint, Program};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_kernel::Kernel;
+    use kshot_machine::MemLayout;
+
+    fn setup(pre_imm: u64) -> (Kernel, PatchServer) {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("limit_check", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).add(Expr::c(pre_imm))),
+        );
+        let layout = MemLayout::standard();
+        let img = link(
+            &p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        let kernel = Kernel::boot(img, "kv-4.4", layout).unwrap();
+        let mut server = PatchServer::new();
+        server.register_tree("kv-4.4", p);
+        (kernel, server)
+    }
+
+    #[test]
+    fn immediate_only_patch_applies_in_place() {
+        let (mut kernel, server) = setup(1);
+        let patch = SourcePatch::new("CVE-S").replacing(
+            Function::new("limit_check", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).add(Expr::c(1000))),
+        );
+        let mut api = OsPatchApi::new();
+        let report = Ksplice
+            .apply(&mut api, &mut kernel, &server, &patch)
+            .unwrap();
+        assert!(report.sites >= 1);
+        assert_eq!(report.memory_used, 0);
+        assert_eq!(kernel.call_function("limit_check", &[5]).unwrap(), 1005);
+        // Ksplice is fast on tiny patches: well under kpatch's
+        // stop_machine cost.
+        assert!(report.downtime < crate::kpatch::STOP_MACHINE_COST);
+    }
+
+    #[test]
+    fn layout_changing_patch_is_refused() {
+        let (mut kernel, server) = setup(1);
+        // Adding a statement changes the instruction layout.
+        let patch = SourcePatch::new("CVE-S2").replacing(
+            Function::new("limit_check", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).add(Expr::c(1)).mul(Expr::c(2))),
+        );
+        let mut api = OsPatchApi::new();
+        assert!(matches!(
+            Ksplice.apply(&mut api, &mut kernel, &server, &patch),
+            Err(BaselineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn instruction_diff_identifies_minimal_edits() {
+        let pre = [
+            kshot_isa::Inst::MovImm {
+                dst: kshot_isa::Reg::R0,
+                imm: 1,
+            },
+            kshot_isa::Inst::Ret,
+        ]
+        .iter()
+        .flat_map(|i| i.encode())
+        .collect::<Vec<_>>();
+        let post = [
+            kshot_isa::Inst::MovImm {
+                dst: kshot_isa::Reg::R0,
+                imm: 2,
+            },
+            kshot_isa::Inst::Ret,
+        ]
+        .iter()
+        .flat_map(|i| i.encode())
+        .collect::<Vec<_>>();
+        let edits = instruction_diff(&pre, &post).unwrap();
+        assert_eq!(edits.len(), 1);
+        assert_eq!(edits[0].0, 0);
+        // Identical bodies → no edits.
+        assert!(instruction_diff(&pre, &pre).unwrap().is_empty());
+        // Different lengths → inexpressible.
+        assert!(instruction_diff(&pre, &post[..post.len() - 1]).is_none());
+    }
+}

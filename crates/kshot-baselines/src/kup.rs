@@ -1,0 +1,200 @@
+//! KUP-style live patching: replace the *entire kernel* and preserve
+//! application state with checkpoint/restore ("KUP replaces the whole
+//! kernel at runtime while retaining state from running applications.
+//! However, KUP incurs significant runtime and resource overhead").
+//!
+//! Capabilities and costs both follow the paper's characterisation:
+//! KUP handles layout-changing patches no trampoline system can express,
+//! but pays seconds of downtime and checkpoint storage proportional to
+//! application state.
+
+use kshot_machine::{AccessCtx, SimTime};
+use kshot_patchserver::{PatchServer, SourcePatch};
+
+use crate::{BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi, TrustedBase};
+
+/// Fixed kexec + kernel-boot cost (paper Table V: ~3 s).
+pub const KEXEC_COST: SimTime = SimTime::from_ns(3_000_000_000);
+
+/// Per-byte cost of checkpointing and image writing.
+pub const PER_BYTE_NS: u64 = 1;
+
+/// Bytes checkpointed per task: CPU save image + its whole stack
+/// (the analogue of CRIU dumping process state; the paper reports >30 GB
+/// for real workloads — ours scales with the simulated tasks).
+pub const TASK_STACK_BYTES: u64 = 64 * 1024;
+
+/// The KUP mechanism.
+#[derive(Debug, Default)]
+pub struct Kup;
+
+impl LivePatcher for Kup {
+    fn name(&self) -> &'static str {
+        "KUP"
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::WholeKernel
+    }
+
+    fn trusted_base(&self) -> TrustedBase {
+        TrustedBase::Kernel
+    }
+
+    fn apply(
+        &mut self,
+        api: &mut OsPatchApi,
+        kernel: &mut kshot_kernel::Kernel,
+        server: &PatchServer,
+        patch: &SourcePatch,
+    ) -> Result<BaselineReport, BaselineError> {
+        // KUP builds whole images — no hazard gate, no analysis.
+        let (_pre, post) = server
+            .build_images(&kernel.info(), patch)
+            .map_err(BaselineError::Server)?;
+        // Everything must be out of the kernel: the whole text is about
+        // to be replaced and function addresses may shift.
+        let text_range = vec![(
+            "kernel text".to_string(),
+            post.text_base,
+            post.text_base + kernel.machine().layout().kernel_text_size,
+        )];
+        api.quiescent_check(kernel, &text_range)?;
+        let t0 = kernel.machine().now();
+        // 1. Checkpoint application state (CPU images + stacks).
+        let tasks = kernel.task_ids().len() as u64;
+        let checkpoint_bytes =
+            tasks * (kshot_machine::cpu::SAVE_AREA_LEN as u64 + TASK_STACK_BYTES);
+        // 2. "kexec": swap the whole kernel image. Text goes through the
+        // (hookable) text-poke path; data is re-initialized exactly as a
+        // kernel reboot would re-initialize kernel globals.
+        api.text_poke(kernel, post.text_base, &post.text)?;
+        if !api.is_hooked() {
+            kernel
+                .machine_mut()
+                .write_bytes(AccessCtx::Kernel, post.data_base, &post.data)?;
+        }
+        // 3. Restore application state: tasks keep their stacks and CPU
+        // contexts (they were quiescent, so no saved PC points into the
+        // replaced text).
+        let written = post.text.len() as u64 + post.data.len() as u64 + checkpoint_bytes;
+        kernel.machine_mut().charge(KEXEC_COST);
+        kernel
+            .machine_mut()
+            .charge(SimTime::from_ns(written * PER_BYTE_NS));
+        let downtime = kernel.machine().now() - t0;
+        Ok(BaselineReport {
+            patch_time: downtime,
+            downtime,
+            memory_used: checkpoint_bytes + post.text.len() as u64,
+            sites: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, Global, InlineHint, Program};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_kernel::Kernel;
+    use kshot_machine::MemLayout;
+
+    fn setup() -> (Kernel, PatchServer) {
+        let mut p = Program::new();
+        p.add_global(Global::buffer("shared", 2));
+        p.add_function(
+            Function::new("probe", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(1)),
+        );
+        let layout = MemLayout::standard();
+        let img = link(
+            &p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        let kernel = Kernel::boot(img, "kv-4.4", layout).unwrap();
+        let mut server = PatchServer::new();
+        server.register_tree("kv-4.4", p);
+        (kernel, server)
+    }
+
+    #[test]
+    fn kup_replaces_the_whole_kernel() {
+        let (mut kernel, server) = setup();
+        let patch = SourcePatch::new("CVE-U").replacing(
+            Function::new("probe", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(2)),
+        );
+        let mut api = OsPatchApi::new();
+        let report = Kup.apply(&mut api, &mut kernel, &server, &patch).unwrap();
+        assert!(report.downtime >= KEXEC_COST, "seconds of downtime");
+        assert_eq!(kernel.call_function("probe", &[]).unwrap(), 2);
+    }
+
+    #[test]
+    fn kup_handles_layout_hazards_other_systems_refuse() {
+        let (mut kernel, server) = setup();
+        // Resize a shared global — rejected by the trampoline pipeline…
+        let hazard = SourcePatch::new("CVE-HAZ")
+            .resizing_global("shared", 8)
+            .replacing(
+                Function::new("probe", 0, 0)
+                    .with_inline(InlineHint::Never)
+                    .returning(Expr::c(3)),
+            );
+        assert!(matches!(
+            server.build_patch(&kernel.info(), &hazard),
+            Err(kshot_patchserver::ServerError::LayoutHazard(_))
+        ));
+        // …but KUP swaps the whole kernel.
+        let mut api = OsPatchApi::new();
+        Kup.apply(&mut api, &mut kernel, &server, &hazard).unwrap();
+        assert_eq!(kernel.call_function("probe", &[]).unwrap(), 3);
+    }
+
+    #[test]
+    fn kup_checkpoint_cost_scales_with_tasks() {
+        let (mut kernel, server) = setup();
+        // Spawn and finish a few tasks (they must be quiescent).
+        for i in 0..3 {
+            let id = kernel.spawn(format!("t{i}"), "probe", &[]).unwrap();
+            while kernel.run_task_slice(id, 10_000).unwrap()
+                == kshot_kernel::SliceOutcome::Preempted
+            {}
+        }
+        let patch = SourcePatch::new("CVE-U2").replacing(
+            Function::new("probe", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(5)),
+        );
+        let mut api = OsPatchApi::new();
+        let report = Kup.apply(&mut api, &mut kernel, &server, &patch).unwrap();
+        assert!(
+            report.memory_used > 3 * TASK_STACK_BYTES,
+            "checkpoints dominate memory: {}",
+            report.memory_used
+        );
+    }
+
+    #[test]
+    fn kup_refuses_while_tasks_are_in_kernel() {
+        let (mut kernel, server) = setup();
+        let id = kernel.spawn("t", "probe", &[]).unwrap();
+        kernel.run_task_slice(id, 1).unwrap(); // parked mid-text
+        let patch = SourcePatch::new("CVE-U3").replacing(
+            Function::new("probe", 0, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::c(9)),
+        );
+        let mut api = OsPatchApi::new();
+        assert!(matches!(
+            Kup.apply(&mut api, &mut kernel, &server, &patch),
+            Err(BaselineError::Busy { .. })
+        ));
+    }
+}

@@ -1,0 +1,411 @@
+#![warn(missing_docs)]
+
+//! # kshot-baselines — the live-patching systems KShot is compared to
+//!
+//! Tables IV and V of the paper compare KShot against existing live
+//! patching systems. To make those comparisons *measured* rather than
+//! merely quoted, this crate implements the mechanism of each kernel
+//! live patcher against the same miniature kernel:
+//!
+//! * [`kpatch`] — function-granularity ftrace trampolines under
+//!   `stop_machine`, patched bodies in kernel module memory.
+//! * [`ksplice`] — instruction-granularity in-place replacement with the
+//!   "no task inside the target" safety check.
+//! * [`kgraft`] — per-task migration: trampolines installed without
+//!   stopping the machine, at the cost of a mixed-version window.
+//! * [`kup`] — whole-kernel replacement with application
+//!   checkpoint/restore (heavyweight, but layout-change capable).
+//! * [`karma`] — KARMA-style instruction-level patching via a kernel
+//!   module, optimized for tiny patches.
+//!
+//! All of them share one decisive property KShot does not have: they run
+//! **inside the kernel's trust domain** ([`OsPatchApi`]). A rootkit that
+//! hooks the kernel's text-poke path ([`OsPatchApi::install_rootkit`])
+//! silently defeats every baseline while KShot's SMM path is unaffected —
+//! the experiment behind the paper's Table V "Trusted Base" column.
+//!
+//! [`comparison`] carries the qualitative Table IV matrix.
+
+pub mod comparison;
+pub mod karma;
+pub mod kgraft;
+pub mod kpatch;
+pub mod ksplice;
+pub mod kup;
+
+use std::fmt;
+
+use kshot_kernel::Kernel;
+use kshot_machine::{AccessCtx, MachineError, PageAttrs, SimTime};
+use kshot_patchserver::{PatchServer, ServerError, SourcePatch};
+
+/// Patch granularity (Table V column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Individual instructions replaced in place.
+    Instruction,
+    /// Whole functions redirected.
+    Function,
+    /// The entire kernel image swapped.
+    WholeKernel,
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Granularity::Instruction => "instruction",
+            Granularity::Function => "function",
+            Granularity::WholeKernel => "whole kernel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What must be trusted for the patch to be trustworthy (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrustedBase {
+    /// The whole OS kernel (every baseline).
+    Kernel,
+    /// Only the TEEs: SMM handler + SGX enclave (KShot).
+    TeeOnly,
+}
+
+impl fmt::Display for TrustedBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrustedBase::Kernel => "whole kernel",
+            TrustedBase::TeeOnly => "SMM + SGX enclave",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What one baseline patch application measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// Total patching time.
+    pub patch_time: SimTime,
+    /// Time the OS (or affected tasks) were stopped.
+    pub downtime: SimTime,
+    /// Extra memory consumed (module area, checkpoints…).
+    pub memory_used: u64,
+    /// Functions/instructions touched.
+    pub sites: usize,
+}
+
+/// Baseline failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The patch server refused/failed.
+    Server(ServerError),
+    /// A task is executing inside the target function (Ksplice-style
+    /// safety check failed).
+    Busy {
+        /// The blocked function.
+        function: String,
+    },
+    /// Machine fault.
+    Machine(MachineError),
+    /// The mechanism cannot express the patch.
+    Unsupported(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Server(e) => write!(f, "patch server: {e}"),
+            BaselineError::Busy { function } => {
+                write!(f, "task active inside `{function}`; cannot patch safely")
+            }
+            BaselineError::Machine(e) => write!(f, "machine fault: {e}"),
+            BaselineError::Unsupported(s) => write!(f, "unsupported by this mechanism: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<ServerError> for BaselineError {
+    fn from(e: ServerError) -> Self {
+        BaselineError::Server(e)
+    }
+}
+
+impl From<MachineError> for BaselineError {
+    fn from(e: MachineError) -> Self {
+        BaselineError::Machine(e)
+    }
+}
+
+/// A kernel live-patching system under comparison.
+pub trait LivePatcher {
+    /// System name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Patch granularity (Table V).
+    fn granularity(&self) -> Granularity;
+
+    /// Trust requirements (Table V).
+    fn trusted_base(&self) -> TrustedBase;
+
+    /// Apply `patch` to the running kernel via this mechanism.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError`] on mechanism-specific failures.
+    fn apply(
+        &mut self,
+        api: &mut OsPatchApi,
+        kernel: &mut Kernel,
+        server: &PatchServer,
+        patch: &SourcePatch,
+    ) -> Result<BaselineReport, BaselineError>;
+}
+
+/// The kernel-internal patching services every baseline depends on
+/// (ftrace/text_poke/stop_machine/kexec analogues) — and the attack
+/// surface a kernel rootkit hooks.
+#[derive(Debug, Default)]
+pub struct OsPatchApi {
+    rootkit_hooked: bool,
+    /// Next free offset in the module area.
+    module_cursor: u64,
+}
+
+/// Size of the kernel "module area" baselines load patched bodies into
+/// (carved from the top half of the kernel data region).
+pub const MODULE_AREA_SIZE: u64 = 2 * 1024 * 1024;
+
+impl OsPatchApi {
+    /// Fresh, unhooked API.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a rootkit hook on the kernel's text-modification path.
+    /// From now on, trampoline/text writes requested through the OS are
+    /// silently discarded — the attack of paper §II-A/§VI-D2.
+    pub fn install_rootkit(&mut self) {
+        self.rootkit_hooked = true;
+    }
+
+    /// Whether the rootkit is active.
+    pub fn is_hooked(&self) -> bool {
+        self.rootkit_hooked
+    }
+
+    /// Base of the module area in this kernel's layout.
+    pub fn module_base(&self, kernel: &Kernel) -> u64 {
+        let l = kernel.machine().layout();
+        l.kernel_data_base + l.kernel_data_size - MODULE_AREA_SIZE
+    }
+
+    /// Allocate `size` bytes of executable module memory and copy `code`
+    /// there (the kernel marks its own module pages `rwx`).
+    ///
+    /// # Errors
+    ///
+    /// Machine faults / exhaustion.
+    pub fn module_alloc(
+        &mut self,
+        kernel: &mut Kernel,
+        code: &[u8],
+    ) -> Result<u64, BaselineError> {
+        let base = self.module_base(kernel);
+        let addr = (base + self.module_cursor + 15) & !15;
+        let end = addr + code.len() as u64;
+        if end > base + MODULE_AREA_SIZE {
+            return Err(BaselineError::Unsupported(
+                "module area exhausted".to_string(),
+            ));
+        }
+        self.module_cursor = end - base;
+        let m = kernel.machine_mut();
+        m.set_page_attrs(addr & !0xFFF, (end | 0xFFF) + 1 - (addr & !0xFFF), PageAttrs::RWX)?;
+        m.write_bytes(AccessCtx::Kernel, addr, code)?;
+        Ok(addr)
+    }
+
+    /// The kernel's text-poke: temporarily remap the page writable and
+    /// write. **This is the hookable path** — with a rootkit installed
+    /// the write is silently dropped and the caller cannot tell.
+    ///
+    /// # Errors
+    ///
+    /// Machine faults.
+    pub fn text_poke(
+        &mut self,
+        kernel: &mut Kernel,
+        addr: u64,
+        bytes: &[u8],
+    ) -> Result<(), BaselineError> {
+        if self.rootkit_hooked {
+            // The rootkit filters text modifications; the API reports
+            // success exactly like the real attack would.
+            return Ok(());
+        }
+        let m = kernel.machine_mut();
+        let page = addr & !0xFFF;
+        let span = ((addr + bytes.len() as u64) | 0xFFF) + 1 - page;
+        m.set_page_attrs(page, span, PageAttrs::RWX)?;
+        m.write_bytes(AccessCtx::Kernel, addr, bytes)?;
+        m.set_page_attrs(page, span, PageAttrs::RX)?;
+        Ok(())
+    }
+
+    /// stop_machine: verify no ready task's saved PC lies inside any of
+    /// the given ranges. Returns the offending function name on failure.
+    pub fn quiescent_check(
+        &self,
+        kernel: &Kernel,
+        ranges: &[(String, u64, u64)],
+    ) -> Result<(), BaselineError> {
+        for id in kernel.task_ids() {
+            let task = kernel.task(id).expect("listed id");
+            if !matches!(task.state, kshot_kernel::TaskState::Ready) {
+                continue;
+            }
+            let pc = task.cpu.pc;
+            for (name, lo, hi) in ranges {
+                if pc >= *lo && pc < *hi {
+                    return Err(BaselineError::Busy {
+                        function: name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: build a server bundle for a patch (all baselines reuse
+/// KShot's patch server as their build infrastructure; the *application*
+/// mechanism is what differs).
+pub(crate) fn build_bundle(
+    kernel: &Kernel,
+    server: &PatchServer,
+    patch: &SourcePatch,
+) -> Result<kshot_patchserver::server::BuildOutput, BaselineError> {
+    Ok(server.build_patch(&kernel.info(), patch)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, Program};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_machine::MemLayout;
+
+    fn kernel() -> Kernel {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 0, 0).returning(Expr::c(1)));
+        let layout = MemLayout::standard();
+        let img = link(
+            &p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        Kernel::boot(img, "kv", layout).unwrap()
+    }
+
+    #[test]
+    fn module_alloc_produces_executable_memory() {
+        let mut k = kernel();
+        let mut api = OsPatchApi::new();
+        let addr = api.module_alloc(&mut k, &[kshot_isa::opcodes::RET]).unwrap();
+        let (inst, _) = k
+            .machine_mut()
+            .fetch(AccessCtx::Kernel, addr)
+            .expect("module memory is executable");
+        assert_eq!(inst, kshot_isa::Inst::Ret);
+        // Sequential allocations don't overlap.
+        let addr2 = api.module_alloc(&mut k, &[0x90; 64]).unwrap();
+        assert!(addr2 > addr);
+    }
+
+    #[test]
+    fn module_area_exhaustion() {
+        let mut k = kernel();
+        let mut api = OsPatchApi::new();
+        let big = vec![0x90u8; MODULE_AREA_SIZE as usize - 64];
+        api.module_alloc(&mut k, &big).unwrap();
+        assert!(matches!(
+            api.module_alloc(&mut k, &[0u8; 128]),
+            Err(BaselineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn text_poke_writes_and_restores_protection() {
+        let mut k = kernel();
+        let mut api = OsPatchApi::new();
+        let addr = k.function_addr("f").unwrap();
+        api.text_poke(&mut k, addr, &[kshot_isa::opcodes::NOP]).unwrap();
+        let mut b = [0u8; 1];
+        k.machine_mut()
+            .read_bytes(AccessCtx::Kernel, addr, &mut b)
+            .unwrap();
+        assert_eq!(b[0], kshot_isa::opcodes::NOP);
+        // Text is protected again.
+        assert!(k
+            .machine_mut()
+            .write_bytes(AccessCtx::Kernel, addr, &[0])
+            .is_err());
+    }
+
+    #[test]
+    fn rootkit_hook_silently_drops_writes() {
+        let mut k = kernel();
+        let mut api = OsPatchApi::new();
+        api.install_rootkit();
+        let addr = k.function_addr("f").unwrap();
+        // The call "succeeds"…
+        api.text_poke(&mut k, addr, &[kshot_isa::opcodes::NOP]).unwrap();
+        // …but memory is unchanged.
+        let mut b = [0u8; 1];
+        k.machine_mut()
+            .read_bytes(AccessCtx::Kernel, addr, &mut b)
+            .unwrap();
+        assert_ne!(b[0], kshot_isa::opcodes::NOP);
+    }
+
+    #[test]
+    fn quiescent_check_spots_active_tasks() {
+        let mut p = Program::new();
+        p.add_function(Function::new("spin", 1, 1).with_body(vec![
+            kshot_kcc::ir::Stmt::Assign(0, Expr::c(0)),
+            kshot_kcc::ir::Stmt::While {
+                cond: kshot_kcc::ir::CondExpr::new(
+                    Expr::local(0),
+                    kshot_isa::Cond::B,
+                    Expr::param(0),
+                ),
+                body: vec![kshot_kcc::ir::Stmt::Assign(0, Expr::local(0).add(Expr::c(1)))],
+            },
+            kshot_kcc::ir::Stmt::Return(Expr::local(0)),
+        ]));
+        let layout = MemLayout::standard();
+        let img = link(
+            &p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        let mut k = Kernel::boot(img, "kv", layout).unwrap();
+        let sym = k.image().symbols.lookup("spin").unwrap().clone();
+        let id = k.spawn("t", "spin", &[100000]).unwrap();
+        k.run_task_slice(id, 50).unwrap(); // park it mid-function
+        let api = OsPatchApi::new();
+        let ranges = vec![("spin".to_string(), sym.addr, sym.addr + sym.size)];
+        assert!(matches!(
+            api.quiescent_check(&k, &ranges),
+            Err(BaselineError::Busy { .. })
+        ));
+        // Run it to completion → quiescent.
+        while k.run_task_slice(id, 100_000).unwrap() == kshot_kernel::SliceOutcome::Preempted {}
+        api.quiescent_check(&k, &ranges).unwrap();
+    }
+}

@@ -1,0 +1,274 @@
+//! SMM-based patching protection (paper §V-D).
+//!
+//! A compromised kernel controls its own page tables (modelled by
+//! `Machine::set_page_attrs` being reachable from kernel-privileged
+//! code), so it *can* re-map its text writable and revert a trampoline —
+//! the "Malicious Patch Reversion" attack. What it cannot do is touch
+//! SMRAM, where the SMM handler keeps the ground truth: every installed
+//! trampoline site and the hash of every placed `mem_X` body. This
+//! module walks that ground truth under SMM privilege, reports
+//! violations, and re-installs clobbered trampolines.
+//!
+//! It also implements the DOS-detection handshake: the enclave sets a
+//! progress marker in `mem_RW` after staging; the remote server can ask
+//! the SMM handler whether staging/application actually happened
+//! ("This approach cannot prevent DOS attacks but can detect them").
+
+use kshot_machine::{AccessCtx, CpuMode, Machine};
+
+use crate::reserved::{rw_offsets, ReservedLayout};
+use crate::smm::{SmmError, SmmHandler};
+
+/// A protection violation discovered by introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The trampoline at a patched function's entry was overwritten
+    /// (e.g. restored to the vulnerable original by a rootkit).
+    TrampolineReverted {
+        /// The patched function's entry address.
+        taddr: u64,
+        /// Bytes found at the trampoline site.
+        found: [u8; 5],
+        /// The trampoline bytes that should be there.
+        expected: [u8; 5],
+    },
+    /// A placed patch body in `mem_X` no longer matches its hash.
+    MemXCorrupted {
+        /// Placement address.
+        paddr: u64,
+        /// Body size.
+        size: u32,
+    },
+}
+
+/// Result of the DOS-detection probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DosProbe {
+    /// The enclave reported staging a package.
+    pub staged: bool,
+    /// The SMM handler's patch epoch (increments on every applied
+    /// patch). A server that saw `staged == true` but no epoch bump
+    /// concludes the SMI was suppressed.
+    pub epoch: u64,
+}
+
+/// Expected trampoline bytes for a record.
+fn expected_jmp(taddr: u64, skip: u8, paddr: u64) -> Result<[u8; 5], SmmError> {
+    let site = taddr + skip as u64;
+    let mut jmp = [0u8; 5];
+    kshot_isa::write_jmp_rel32(&mut jmp, site, paddr).map_err(|_| SmmError::BadPlacement {
+        sequence: 0,
+        paddr,
+    })?;
+    Ok(jmp)
+}
+
+/// Walk every active record and report violations. Must run in SMM.
+///
+/// # Errors
+///
+/// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise.
+pub fn check(machine: &mut Machine, handler: &SmmHandler) -> Result<Vec<Violation>, SmmError> {
+    if machine.mode() != CpuMode::Smm {
+        return Err(SmmError::NotInSmm);
+    }
+    let mut violations = Vec::new();
+    let count = handler.record_count(machine)?;
+    for i in 0..count {
+        let rec = handler.read_record(machine, i)?;
+        if !rec.active || rec.kind != crate::smm::RecordKind::Trampoline {
+            continue;
+        }
+        let site = rec.taddr + rec.skip as u64;
+        let mut found = [0u8; 5];
+        machine.read_bytes(AccessCtx::Smm, site, &mut found)?;
+        let expected = expected_jmp(rec.taddr, rec.skip, rec.paddr)?;
+        if found != expected {
+            violations.push(Violation::TrampolineReverted {
+                taddr: rec.taddr,
+                found,
+                expected,
+            });
+        }
+        let mut body = vec![0u8; rec.size as usize];
+        machine.read_bytes(AccessCtx::Smm, rec.paddr, &mut body)?;
+        if kshot_crypto::sha256(&body) != rec.memx_hash {
+            violations.push(Violation::MemXCorrupted {
+                paddr: rec.paddr,
+                size: rec.size,
+            });
+        }
+    }
+    Ok(violations)
+}
+
+/// Re-install every reverted trampoline; returns how many were repaired.
+/// `mem_X` corruption is *reported* by [`check`] but cannot be repaired
+/// from SMRAM alone (the body is not retained there) — the orchestrator
+/// re-applies the patch in that case.
+///
+/// # Errors
+///
+/// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise.
+pub fn repair(machine: &mut Machine, handler: &SmmHandler) -> Result<usize, SmmError> {
+    if machine.mode() != CpuMode::Smm {
+        return Err(SmmError::NotInSmm);
+    }
+    let mut repaired = 0;
+    let count = handler.record_count(machine)?;
+    for i in 0..count {
+        let rec = handler.read_record(machine, i)?;
+        if !rec.active || rec.kind != crate::smm::RecordKind::Trampoline {
+            continue;
+        }
+        let site = rec.taddr + rec.skip as u64;
+        let expected = expected_jmp(rec.taddr, rec.skip, rec.paddr)?;
+        let mut found = [0u8; 5];
+        machine.read_bytes(AccessCtx::Smm, site, &mut found)?;
+        if found != expected {
+            machine.write_bytes(AccessCtx::Smm, site, &expected)?;
+            repaired += 1;
+        }
+    }
+    Ok(repaired)
+}
+
+/// DOS-detection probe: read the progress marker and patch epoch under
+/// SMM privilege (the remote server triggers this via its own SMI).
+///
+/// # Errors
+///
+/// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise.
+pub fn dos_probe(
+    machine: &mut Machine,
+    reserved: &ReservedLayout,
+) -> Result<DosProbe, SmmError> {
+    if machine.mode() != CpuMode::Smm {
+        return Err(SmmError::NotInSmm);
+    }
+    let staged =
+        machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::PROGRESS)? != 0;
+    let epoch = machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::EPOCH)?;
+    Ok(DosProbe { staged, epoch })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smm::DhGroup;
+    use kshot_machine::MemLayout;
+
+    fn setup() -> (Machine, ReservedLayout, SmmHandler) {
+        let mut m = Machine::new(MemLayout::standard()).unwrap();
+        let r = ReservedLayout::from_machine(&m);
+        r.install(&mut m).unwrap();
+        m.raise_smi().unwrap();
+        let h = SmmHandler::install(&mut m, &r, &[7u8; 32], DhGroup::Default).unwrap();
+        m.rsm().unwrap();
+        (m, r, h)
+    }
+
+    /// Plant a fake active record + matching memory so introspection has
+    /// something to verify.
+    fn plant_patch(m: &mut Machine, h: &SmmHandler, r: &ReservedLayout) -> (u64, u64) {
+        let taddr = m.layout().kernel_text_base + 0x100;
+        let paddr = r.x_base + 0x40;
+        let body = vec![0x90u8, 0xC3];
+        m.raise_smi().unwrap();
+        m.write_bytes(AccessCtx::Smm, paddr, &body).unwrap();
+        let mut jmp = [0u8; 5];
+        kshot_isa::write_jmp_rel32(&mut jmp, taddr + 5, paddr).unwrap();
+        m.write_bytes(AccessCtx::Smm, taddr + 5, &jmp).unwrap();
+        let rec = crate::smm::SmramRecord {
+            active: true,
+            kind: crate::smm::RecordKind::Trampoline,
+            taddr,
+            skip: 5,
+            orig_len: 5,
+            orig: [0; crate::smm::MAX_ORIG],
+            paddr,
+            size: body.len() as u32,
+            memx_hash: kshot_crypto::sha256(&body),
+            id: "CVE-PLANT".into(),
+        };
+        h.write_record(m, 0, &rec).unwrap();
+        // Bump the SMRAM record count via a second record write pattern:
+        // install() zeroed it; write count = 1 by re-using the handler's
+        // private path through a real record append is not exposed, so
+        // we poke the counter directly in SMRAM.
+        let scratch = m.smram_scratch_base();
+        m.write_u64(AccessCtx::Smm, scratch + 0x100, 1).unwrap();
+        m.rsm().unwrap();
+        (taddr, paddr)
+    }
+
+    #[test]
+    fn clean_state_reports_no_violations() {
+        let (mut m, _r, h) = setup();
+        m.raise_smi().unwrap();
+        assert!(check(&mut m, &h).unwrap().is_empty());
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn reverted_trampoline_detected_and_repaired() {
+        let (mut m, r, h) = setup();
+        let (taddr, _) = plant_patch(&mut m, &h, &r);
+        // The rootkit remaps text writable and restores "original" bytes
+        // — kernel-privileged operations, both.
+        m.set_page_attrs(taddr & !0xFFF, 0x1000, kshot_machine::PageAttrs::RWX)
+            .unwrap();
+        m.write_bytes(AccessCtx::Kernel, taddr + 5, &[0x90; 5])
+            .unwrap();
+        m.raise_smi().unwrap();
+        let v = check(&mut m, &h).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::TrampolineReverted { taddr: t, .. } if t == taddr));
+        // Repair re-installs the jump.
+        assert_eq!(repair(&mut m, &h).unwrap(), 1);
+        assert!(check(&mut m, &h).unwrap().is_empty());
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn memx_corruption_detected() {
+        let (mut m, r, h) = setup();
+        let (_, paddr) = plant_patch(&mut m, &h, &r);
+        // Corrupt the placed body via firmware privilege (the kernel
+        // cannot write mem_X; this models a hypothetical DMA attack).
+        m.write_bytes(AccessCtx::Firmware, paddr, &[0xFF]).unwrap();
+        m.raise_smi().unwrap();
+        let v = check(&mut m, &h).unwrap();
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::MemXCorrupted { paddr: p, .. } if *p == paddr)));
+        // Repair cannot fix mem_X (body not in SMRAM); it only fixes
+        // trampolines.
+        assert_eq!(repair(&mut m, &h).unwrap(), 0);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn dos_probe_reads_progress_and_epoch() {
+        let (mut m, r, _h) = setup();
+        m.raise_smi().unwrap();
+        let p = dos_probe(&mut m, &r).unwrap();
+        assert!(!p.staged);
+        assert_eq!(p.epoch, 0);
+        m.rsm().unwrap();
+        // The enclave stages → marker set.
+        m.write_u64(AccessCtx::Kernel, r.rw_base + rw_offsets::PROGRESS, 1)
+            .unwrap();
+        m.raise_smi().unwrap();
+        assert!(dos_probe(&mut m, &r).unwrap().staged);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn introspection_requires_smm() {
+        let (mut m, r, h) = setup();
+        assert!(matches!(check(&mut m, &h), Err(SmmError::NotInSmm)));
+        assert!(matches!(repair(&mut m, &h), Err(SmmError::NotInSmm)));
+        assert!(matches!(dos_probe(&mut m, &r), Err(SmmError::NotInSmm)));
+    }
+}

@@ -1,0 +1,319 @@
+//! The SGX→SMM patch package (paper Fig. 3).
+//!
+//! Each record carries a fixed 42-byte header — `{sequence, opt, type,
+//! taddr, paddr, size, …}` exactly as Fig. 3 sketches (§VI-C3 confirms
+//! "each function requires 42 bytes of header data in the transmitted
+//! patch package") — followed by the payload hash, the expected hash of
+//! the *target's current bytes* (so SMM can refuse to patch a diverged
+//! kernel), and the payload itself.
+
+use kshot_crypto::sdbm::sdbm;
+use kshot_crypto::sha256::{sha256, DIGEST_LEN};
+use kshot_patchserver::wire::{Reader, WireError, Writer};
+
+/// Fixed header length per record (paper §VI-C3).
+pub const HEADER_LEN: usize = 42;
+
+/// The operation a record requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackageOp {
+    /// Place `payload` at `paddr` in `mem_X` and install a trampoline at
+    /// `taddr` (+ ftrace skip).
+    Patch = 0,
+    /// Write `payload` at `taddr` in the kernel data segment (Type 3
+    /// global edit).
+    GlobalWrite = 1,
+    /// Place `payload` at `paddr` with **no** trampoline (a function
+    /// newly added by the patch).
+    PlaceOnly = 2,
+}
+
+impl PackageOp {
+    fn from_u8(v: u8) -> Option<PackageOp> {
+        match v {
+            0 => Some(PackageOp::Patch),
+            1 => Some(PackageOp::GlobalWrite),
+            2 => Some(PackageOp::PlaceOnly),
+            _ => None,
+        }
+    }
+}
+
+/// Which hash verifies payloads — SHA-256 per the paper, or the cheaper
+/// SDBM the paper suggests as an optimisation (§VI-C2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerificationAlgorithm {
+    /// SHA-256 (default; collision resistant).
+    #[default]
+    Sha256 = 0,
+    /// SDBM (fast, *not* collision resistant — opt-in ablation only).
+    Sdbm = 1,
+}
+
+impl VerificationAlgorithm {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(VerificationAlgorithm::Sha256),
+            1 => Some(VerificationAlgorithm::Sdbm),
+            _ => None,
+        }
+    }
+
+    /// Hash `data` into a 32-byte field (SDBM fills the first 8 bytes).
+    pub fn digest(self, data: &[u8]) -> [u8; DIGEST_LEN] {
+        match self {
+            VerificationAlgorithm::Sha256 => sha256(data),
+            VerificationAlgorithm::Sdbm => {
+                let mut out = [0u8; DIGEST_LEN];
+                out[..8].copy_from_slice(&sdbm(data).to_le_bytes());
+                out
+            }
+        }
+    }
+}
+
+/// One record of the package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageRecord {
+    /// Position in the package (the paper's `sequence`).
+    pub sequence: u32,
+    /// Operation.
+    pub op: PackageOp,
+    /// Patch type tag (1/2/3) for logging.
+    pub ptype: u8,
+    /// Target address: function entry (Patch), data address
+    /// (GlobalWrite), unused (PlaceOnly).
+    pub taddr: u64,
+    /// Placement address in `mem_X` (Patch/PlaceOnly).
+    pub paddr: u64,
+    /// Bytes to skip at `taddr` before the trampoline — 5 when the
+    /// target has an ftrace pad, 0 otherwise (paper §V-A).
+    pub ftrace_skip: u8,
+    /// Hash of `payload` under the package's verification algorithm.
+    pub payload_hash: [u8; DIGEST_LEN],
+    /// Expected hash of the target's *current* bytes (`tsize` bytes at
+    /// `taddr`); all-zero to skip the check (GlobalWrite/PlaceOnly).
+    pub expected_pre_hash: [u8; DIGEST_LEN],
+    /// Size of the target's current body (for the pre-hash check).
+    pub tsize: u32,
+    /// The patch body or data bytes.
+    pub payload: Vec<u8>,
+}
+
+impl PackageRecord {
+    /// Verify the payload hash.
+    pub fn verify_payload(&self, alg: VerificationAlgorithm) -> bool {
+        alg.digest(&self.payload) == self.payload_hash
+    }
+}
+
+/// A complete package: records plus the verification algorithm tag.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatchPackage {
+    /// Patch identifier (CVE string).
+    pub id: String,
+    /// Hash algorithm for payload verification.
+    pub algorithm: VerificationAlgorithm,
+    /// Records in application order.
+    pub records: Vec<PackageRecord>,
+}
+
+impl PatchPackage {
+    /// Total payload bytes (the "patch size" of Tables II/III).
+    pub fn payload_size(&self) -> usize {
+        self.records.iter().map(|r| r.payload.len()).sum()
+    }
+
+    /// Total on-wire size.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.id);
+        w.put_u8(self.algorithm as u8);
+        w.put_u32(self.records.len() as u32);
+        for r in &self.records {
+            // 42-byte fixed header.
+            let mut header = [0u8; HEADER_LEN];
+            header[0..4].copy_from_slice(&r.sequence.to_le_bytes());
+            header[4] = r.op as u8;
+            header[5] = r.ptype;
+            header[6..14].copy_from_slice(&r.taddr.to_le_bytes());
+            header[14..22].copy_from_slice(&r.paddr.to_le_bytes());
+            header[22..26].copy_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            header[26] = r.ftrace_skip;
+            header[27..31].copy_from_slice(&r.tsize.to_le_bytes());
+            // header[31..42] reserved.
+            w.put_raw(&header);
+            w.put_raw(&r.payload_hash);
+            w.put_raw(&r.expected_pre_hash);
+            w.put_raw(&r.payload);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let id = r.get_str("package id")?;
+        let algorithm = VerificationAlgorithm::from_u8(r.get_u8("algorithm")?).ok_or(
+            WireError::BadTag {
+                what: "algorithm",
+                tag: 255,
+            },
+        )?;
+        let count = r.get_u32("record count")?;
+        let mut records = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let header = r.get_raw(HEADER_LEN, "record header")?;
+            let sequence = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+            let op = PackageOp::from_u8(header[4]).ok_or(WireError::BadTag {
+                what: "package op",
+                tag: header[4],
+            })?;
+            let ptype = header[5];
+            let taddr = u64::from_le_bytes(header[6..14].try_into().expect("8"));
+            let paddr = u64::from_le_bytes(header[14..22].try_into().expect("8"));
+            let size = u32::from_le_bytes(header[22..26].try_into().expect("4"));
+            let ftrace_skip = header[26];
+            let tsize = u32::from_le_bytes(header[27..31].try_into().expect("4"));
+            let mut payload_hash = [0u8; DIGEST_LEN];
+            payload_hash.copy_from_slice(r.get_raw(DIGEST_LEN, "payload hash")?);
+            let mut expected_pre_hash = [0u8; DIGEST_LEN];
+            expected_pre_hash.copy_from_slice(r.get_raw(DIGEST_LEN, "pre hash")?);
+            let payload = r.get_raw(size as usize, "payload")?.to_vec();
+            records.push(PackageRecord {
+                sequence,
+                op,
+                ptype,
+                taddr,
+                paddr,
+                ftrace_skip,
+                payload_hash,
+                expected_pre_hash,
+                tsize,
+                payload,
+            });
+        }
+        r.finish()?;
+        Ok(Self {
+            id,
+            algorithm,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u32, op: PackageOp, payload: Vec<u8>) -> PackageRecord {
+        let alg = VerificationAlgorithm::Sha256;
+        PackageRecord {
+            sequence: seq,
+            op,
+            ptype: 1,
+            taddr: 0x10_0040,
+            paddr: 0x0200_0000,
+            ftrace_skip: 5,
+            payload_hash: alg.digest(&payload),
+            expected_pre_hash: sha256(b"pre"),
+            tsize: 77,
+            payload,
+        }
+    }
+
+    fn package() -> PatchPackage {
+        PatchPackage {
+            id: "CVE-2016-5195".into(),
+            algorithm: VerificationAlgorithm::Sha256,
+            records: vec![
+                record(0, PackageOp::Patch, vec![1, 2, 3, 4]),
+                record(1, PackageOp::GlobalWrite, vec![9; 16]),
+                record(2, PackageOp::PlaceOnly, vec![0xC3]),
+            ],
+        }
+    }
+
+    #[test]
+    fn header_is_42_bytes() {
+        assert_eq!(HEADER_LEN, 42, "paper §VI-C3");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = package();
+        let bytes = p.encode();
+        assert_eq!(PatchPackage::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_and_wire_sizes() {
+        let p = package();
+        assert_eq!(p.payload_size(), 4 + 16 + 1);
+        // wire = id-prefix + id + alg + count + 3*(42+32+32) + payloads
+        assert_eq!(
+            p.wire_size(),
+            4 + 13 + 1 + 4 + 3 * (42 + 32 + 32) + p.payload_size()
+        );
+    }
+
+    #[test]
+    fn payload_verification_sha256() {
+        let p = package();
+        for r in &p.records {
+            assert!(r.verify_payload(VerificationAlgorithm::Sha256));
+            assert!(!r.verify_payload(VerificationAlgorithm::Sdbm));
+        }
+        let mut bad = p.records[0].clone();
+        bad.payload[0] ^= 1;
+        assert!(!bad.verify_payload(VerificationAlgorithm::Sha256));
+    }
+
+    #[test]
+    fn payload_verification_sdbm() {
+        let alg = VerificationAlgorithm::Sdbm;
+        let payload = vec![5u8; 100];
+        let r = PackageRecord {
+            payload_hash: alg.digest(&payload),
+            ..record(0, PackageOp::Patch, payload)
+        };
+        assert!(r.verify_payload(alg));
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_detected() {
+        let bytes = package().encode();
+        assert!(PatchPackage::decode(&bytes[..bytes.len() - 2]).is_err());
+        assert!(PatchPackage::decode(&bytes[..8]).is_err());
+        // Corrupt the op byte of record 0 to an invalid tag.
+        let mut corrupt = bytes.clone();
+        // id(4+13) + alg(1) + count(4) → header starts at 22; op at +4.
+        corrupt[22 + 4] = 9;
+        assert!(matches!(
+            PatchPackage::decode(&corrupt),
+            Err(WireError::BadTag {
+                what: "package op",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_package_roundtrips() {
+        let p = PatchPackage {
+            id: "x".into(),
+            ..Default::default()
+        };
+        assert_eq!(PatchPackage::decode(&p.encode()).unwrap(), p);
+        assert_eq!(p.payload_size(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The boot-reserved KShot memory region.
+//!
+//! Paper §V-B: "We first configure the boot loader (e.g., grub) to
+//! reserve a suitable kernel memory allocation space (18MB for our
+//! prototype implementation). We also add page attribute operation code
+//! to the paging_init function to provide the appropriate access
+//! limitations… The reserved memory includes three logical parts:
+//! mem_RW, mem_W, and mem_X."
+//!
+//! * `mem_RW` — small read/write window for Diffie–Hellman key exchange
+//!   and control flags.
+//! * `mem_W` — write-only window where the untrusted helper deposits the
+//!   encrypted patch package (the kernel can write it but never read it
+//!   back, so a compromised kernel cannot even observe ciphertext
+//!   layout).
+//! * `mem_X` — execute-only window holding decrypted patched function
+//!   bodies as kernel text ("Read and write access to those instructions
+//!   is prohibited … to maintain integrity").
+//!
+//! Only the SMM handler, with its hardware privilege, can read and write
+//! everywhere (enforced by `kshot-machine`).
+
+use kshot_machine::{Machine, MachineError, PageAttrs, PAGE_SIZE};
+
+/// Sub-layout of the reserved region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservedLayout {
+    /// Base of `mem_RW`.
+    pub rw_base: u64,
+    /// Size of `mem_RW`.
+    pub rw_size: u64,
+    /// Base of `mem_W`.
+    pub w_base: u64,
+    /// Size of `mem_W`.
+    pub w_size: u64,
+    /// Base of `mem_X`.
+    pub x_base: u64,
+    /// Size of `mem_X`.
+    pub x_size: u64,
+}
+
+/// `mem_RW` control offsets (fixed word slots within the window).
+pub mod rw_offsets {
+    /// SMM's current DH public value: length u32 at +0, bytes at +8.
+    pub const SMM_PUB: u64 = 0;
+    /// Helper's DH public value: length u32 at +0x400, bytes at +0x408.
+    pub const HELPER_PUB: u64 = 0x400;
+    /// Monotonic patch epoch (u64) maintained by the SMM handler; bound
+    /// into key derivation so every patch uses a fresh key.
+    pub const EPOCH: u64 = 0x800;
+    /// Progress marker the enclave sets after staging a patch; the
+    /// remote server's DOS detection checks it via SMM introspection.
+    pub const PROGRESS: u64 = 0x808;
+    /// Length (u32) of the staged ciphertext in `mem_W`.
+    pub const STAGED_LEN: u64 = 0x810;
+    /// Next free placement address in `mem_X`, published by the SMM
+    /// handler so the enclave can assign `paddr`s (validated again in
+    /// SMM — a lying helper is caught).
+    pub const NEXT_PADDR: u64 = 0x818;
+    /// Maximum serialized DH public size.
+    pub const MAX_PUB: u64 = 0x3F0;
+}
+
+impl ReservedLayout {
+    /// Carve the machine's boot-reserved region into the three windows:
+    /// 64 KiB `mem_RW`, then 1/3 of the remainder as `mem_W`, the rest
+    /// as `mem_X`.
+    pub fn from_machine(machine: &Machine) -> ReservedLayout {
+        let base = machine.layout().reserved_base;
+        let size = machine.layout().reserved_size;
+        let rw_size = 16 * PAGE_SIZE; // 64 KiB
+        let rest = size - rw_size;
+        let w_size = (rest / 3 / PAGE_SIZE) * PAGE_SIZE;
+        let x_size = rest - w_size;
+        ReservedLayout {
+            rw_base: base,
+            rw_size,
+            w_base: base + rw_size,
+            w_size,
+            x_base: base + rw_size + w_size,
+            x_size,
+        }
+    }
+
+    /// Apply the page attributes (the `paging_init` hook from the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine faults for out-of-range windows.
+    pub fn install(&self, machine: &mut Machine) -> Result<(), MachineError> {
+        machine.set_page_attrs(self.rw_base, self.rw_size, PageAttrs::RW)?;
+        machine.set_page_attrs(self.w_base, self.w_size, PageAttrs::W)?;
+        machine.set_page_attrs(self.x_base, self.x_size, PageAttrs::X)?;
+        Ok(())
+    }
+
+    /// Total reserved bytes (should be the paper's 18 MB on the standard
+    /// layout).
+    pub fn total(&self) -> u64 {
+        self.rw_size + self.w_size + self.x_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_machine::{AccessCtx, MemLayout};
+
+    fn installed() -> (Machine, ReservedLayout) {
+        let mut m = Machine::new(MemLayout::standard()).unwrap();
+        let r = ReservedLayout::from_machine(&m);
+        r.install(&mut m).unwrap();
+        (m, r)
+    }
+
+    #[test]
+    fn layout_covers_whole_region() {
+        let (m, r) = installed();
+        assert_eq!(r.total(), m.layout().reserved_size);
+        assert_eq!(r.total(), 18 * 1024 * 1024, "the paper's 18MB");
+        assert_eq!(r.rw_base, m.layout().reserved_base);
+        assert_eq!(r.w_base, r.rw_base + r.rw_size);
+        assert_eq!(r.x_base + r.x_size, r.rw_base + r.total());
+        assert_eq!(r.rw_base % PAGE_SIZE, 0);
+        assert_eq!(r.w_base % PAGE_SIZE, 0);
+        assert_eq!(r.x_base % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn mem_rw_is_read_write() {
+        let (mut m, r) = installed();
+        m.write_bytes(AccessCtx::Kernel, r.rw_base, &[1, 2]).unwrap();
+        let mut out = [0u8; 2];
+        m.read_bytes(AccessCtx::Kernel, r.rw_base, &mut out).unwrap();
+        assert_eq!(out, [1, 2]);
+        assert!(m.fetch(AccessCtx::Kernel, r.rw_base).is_err());
+    }
+
+    #[test]
+    fn mem_w_is_write_only() {
+        let (mut m, r) = installed();
+        m.write_bytes(AccessCtx::Kernel, r.w_base, &[9]).unwrap();
+        let mut out = [0u8; 1];
+        // The kernel cannot read back what it wrote.
+        assert!(m.read_bytes(AccessCtx::Kernel, r.w_base, &mut out).is_err());
+        assert!(m.fetch(AccessCtx::Kernel, r.w_base).is_err());
+    }
+
+    #[test]
+    fn mem_x_is_execute_only() {
+        let (mut m, r) = installed();
+        // Firmware plants a ret; the kernel can execute it…
+        m.write_bytes(AccessCtx::Firmware, r.x_base, &[0xC3]).unwrap();
+        let (inst, _) = m.fetch(AccessCtx::Kernel, r.x_base).unwrap();
+        assert_eq!(inst, kshot_isa::Inst::Ret);
+        // …but can neither read nor write it.
+        let mut out = [0u8; 1];
+        assert!(m.read_bytes(AccessCtx::Kernel, r.x_base, &mut out).is_err());
+        assert!(m.write_bytes(AccessCtx::Kernel, r.x_base, &[0]).is_err());
+    }
+
+    #[test]
+    fn smm_reads_and_writes_everywhere() {
+        let (mut m, r) = installed();
+        m.raise_smi().unwrap();
+        for addr in [r.rw_base, r.w_base, r.x_base] {
+            m.write_bytes(AccessCtx::Smm, addr, &[0x5A]).unwrap();
+            let mut out = [0u8; 1];
+            m.read_bytes(AccessCtx::Smm, addr, &mut out).unwrap();
+            assert_eq!(out, [0x5A]);
+        }
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn rw_offsets_fit_in_window() {
+        let (_, r) = installed();
+        assert!(rw_offsets::STAGED_LEN + 8 < r.rw_size);
+        const { assert!(rw_offsets::HELPER_PUB + 8 + rw_offsets::MAX_PUB < rw_offsets::EPOCH) };
+    }
+}

@@ -1,0 +1,962 @@
+//! The SMM-resident live-patching handler (paper §V-C).
+//!
+//! Everything the handler persists — its DH key seed, the patch epoch,
+//! the `mem_X` allocation cursor, and the rollback store — lives in the
+//! SMRAM scratch area as real bytes written under SMM privilege. Nothing
+//! is cached in host-side Rust state, so the security property "patch
+//! state survives arbitrary kernel compromise because SMRAM is locked"
+//! holds by construction and is exercised by the tests.
+//!
+//! Workflow per patch (paper's numbered steps):
+//! 1. key generation (fresh per patch — replay defence),
+//! 2. fetch + decrypt the staged package from `mem_W`,
+//! 3. verify payload hashes (and the target's current bytes),
+//! 4. apply global edits, place bodies in `mem_X`, install trampolines
+//!    honouring the 5-byte ftrace pads,
+//! 5. publish a fresh DH public for the next patch and `RSM`.
+
+use std::fmt;
+
+use kshot_crypto::dh::{DhKeyPair, DhParams};
+use kshot_machine::{AccessCtx, CpuMode, Machine, MachineError, SimTime};
+use kshot_patchserver::channel::{ChannelError, Frame, SecureChannel};
+use kshot_patchserver::wire::WireError;
+
+use crate::package::{PackageOp, PatchPackage, VerificationAlgorithm};
+use crate::reserved::{rw_offsets, ReservedLayout};
+
+/// Per-stage SMM timing breakdown (Table III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmmTimings {
+    /// Switching into SMM (charged by the SMI itself).
+    pub switch_in: SimTime,
+    /// Session-key generation.
+    pub keygen: SimTime,
+    /// Reading and decrypting the staged package.
+    pub decrypt: SimTime,
+    /// Hash verification (payloads + patch targets).
+    pub verify: SimTime,
+    /// Global edits, body placement, trampoline installation.
+    pub apply: SimTime,
+    /// Resuming from SMM.
+    pub switch_out: SimTime,
+}
+
+impl SmmTimings {
+    /// Total OS pause time.
+    pub fn total(&self) -> SimTime {
+        self.switch_in + self.keygen + self.decrypt + self.verify + self.apply + self.switch_out
+    }
+}
+
+/// Result of applying one package in SMM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmmPatchOutcome {
+    /// Timing breakdown.
+    pub timings: SmmTimings,
+    /// Total payload bytes processed.
+    pub payload_size: usize,
+    /// Number of trampolines installed.
+    pub trampolines: usize,
+    /// Number of global writes performed.
+    pub global_writes: usize,
+}
+
+/// SMM handler failures. Any `Err` leaves the target kernel unpatched
+/// (records are applied only after *all* verification passes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmmError {
+    /// Handler invoked while the CPU is not in SMM.
+    NotInSmm,
+    /// SMRAM scratch does not carry the handler's magic (not installed).
+    NotInstalled,
+    /// The staged frame failed authentication or decryption.
+    Channel(ChannelError),
+    /// The decrypted package failed to parse.
+    Package(WireError),
+    /// A payload hash mismatched.
+    PayloadHashMismatch {
+        /// Record sequence number.
+        sequence: u32,
+    },
+    /// The running kernel's bytes at the target do not match what the
+    /// patch was built against.
+    TargetMismatch {
+        /// Record sequence number.
+        sequence: u32,
+        /// Target address.
+        taddr: u64,
+    },
+    /// A record's `paddr` is outside `mem_X` or overlaps prior patches.
+    BadPlacement {
+        /// Record sequence number.
+        sequence: u32,
+        /// Offending placement.
+        paddr: u64,
+    },
+    /// The target function is too small to hold a trampoline.
+    TargetTooSmall {
+        /// Target address.
+        taddr: u64,
+    },
+    /// The rollback store is full.
+    StoreFull,
+    /// Nothing to roll back.
+    RollbackEmpty,
+    /// Machine-level fault.
+    Machine(MachineError),
+    /// The staged ciphertext length in `mem_RW` is implausible.
+    BadStagedLength(u64),
+}
+
+impl fmt::Display for SmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmmError::NotInSmm => write!(f, "SMM handler invoked outside SMM"),
+            SmmError::NotInstalled => write!(f, "SMM handler not installed in SMRAM"),
+            SmmError::Channel(e) => write!(f, "staged package rejected: {e}"),
+            SmmError::Package(e) => write!(f, "package malformed: {e}"),
+            SmmError::PayloadHashMismatch { sequence } => {
+                write!(f, "payload hash mismatch in record {sequence}")
+            }
+            SmmError::TargetMismatch { sequence, taddr } => write!(
+                f,
+                "record {sequence}: target {taddr:#x} does not match expected pre-patch bytes"
+            ),
+            SmmError::BadPlacement { sequence, paddr } => {
+                write!(f, "record {sequence}: bad mem_X placement {paddr:#x}")
+            }
+            SmmError::TargetTooSmall { taddr } => {
+                write!(f, "target {taddr:#x} too small for a trampoline")
+            }
+            SmmError::StoreFull => write!(f, "SMRAM rollback store full"),
+            SmmError::RollbackEmpty => write!(f, "no patch to roll back"),
+            SmmError::Machine(e) => write!(f, "machine fault: {e}"),
+            SmmError::BadStagedLength(n) => write!(f, "implausible staged length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SmmError {}
+
+impl From<MachineError> for SmmError {
+    fn from(e: MachineError) -> Self {
+        SmmError::Machine(e)
+    }
+}
+
+// ---- SMRAM scratch layout -------------------------------------------------
+
+const MAGIC: u64 = 0x4B53_484F_545F_534D; // "KSHOT_SM"
+const OFF_MAGIC: u64 = 0;
+const OFF_EPOCH: u64 = 8;
+const OFF_NEXT_PADDR: u64 = 16;
+const OFF_DH_SEED: u64 = 24; // 32 bytes
+const OFF_RECORDS: u64 = 0x100;
+/// Fixed size of one rollback/introspection record in SMRAM.
+pub(crate) const RECORD_LEN: u64 = 128;
+/// Maximum records the scratch area holds.
+pub(crate) const RECORD_CAP: u32 = 512;
+
+/// What a record undoes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordKind {
+    /// A trampoline installed at `taddr + skip`; `orig` holds the 5
+    /// overwritten bytes; `paddr`/`size`/`memx_hash` describe the placed
+    /// body for introspection.
+    Trampoline,
+    /// A Type 3 data write at `taddr`; `orig` holds up to 16 original
+    /// bytes so rollback can restore them. Writes longer than 16 bytes
+    /// are recorded with `orig_len == NOT_REVERTIBLE` and skipped on
+    /// rollback (surfaced to the operator).
+    DataWrite,
+}
+
+/// Marker for data writes too large to be captured for rollback.
+pub(crate) const NOT_REVERTIBLE: u8 = 0xFF;
+
+/// Maximum original bytes captured per data write.
+pub(crate) const MAX_ORIG: usize = 16;
+
+/// One rollback / introspection record, SMRAM-serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SmramRecord {
+    pub active: bool,
+    pub kind: RecordKind,
+    /// Target address (function entry or data address).
+    pub taddr: u64,
+    /// Ftrace skip applied when the trampoline was installed.
+    pub skip: u8,
+    /// Number of valid bytes in `orig` (or [`NOT_REVERTIBLE`]).
+    pub orig_len: u8,
+    /// Original bytes the write overwrote.
+    pub orig: [u8; MAX_ORIG],
+    /// Placement of the patched body (trampolines only).
+    pub paddr: u64,
+    /// Patched body / written data size.
+    pub size: u32,
+    /// SHA-256 of the placed body (for `mem_X` integrity introspection).
+    pub memx_hash: [u8; 32],
+    /// Patch identifier (truncated to 55 bytes).
+    pub id: String,
+}
+
+impl SmramRecord {
+    fn encode(&self) -> [u8; RECORD_LEN as usize] {
+        let mut b = [0u8; RECORD_LEN as usize];
+        b[0] = self.active as u8;
+        b[1] = match self.kind {
+            RecordKind::Trampoline => 0,
+            RecordKind::DataWrite => 1,
+        };
+        b[2..10].copy_from_slice(&self.taddr.to_le_bytes());
+        b[10] = self.skip;
+        b[11] = self.orig_len;
+        b[12..28].copy_from_slice(&self.orig);
+        b[28..36].copy_from_slice(&self.paddr.to_le_bytes());
+        b[36..40].copy_from_slice(&self.size.to_le_bytes());
+        b[40..72].copy_from_slice(&self.memx_hash);
+        let id = self.id.as_bytes();
+        let n = id.len().min(55);
+        b[72] = n as u8;
+        b[73..73 + n].copy_from_slice(&id[..n]);
+        b
+    }
+
+    fn decode(b: &[u8]) -> SmramRecord {
+        let n = (b[72] as usize).min(55);
+        SmramRecord {
+            active: b[0] != 0,
+            kind: if b[1] == 0 {
+                RecordKind::Trampoline
+            } else {
+                RecordKind::DataWrite
+            },
+            taddr: u64::from_le_bytes(b[2..10].try_into().expect("8")),
+            skip: b[10],
+            orig_len: b[11],
+            orig: b[12..28].try_into().expect("16"),
+            paddr: u64::from_le_bytes(b[28..36].try_into().expect("8")),
+            size: u32::from_le_bytes(b[36..40].try_into().expect("4")),
+            memx_hash: b[40..72].try_into().expect("32"),
+            id: String::from_utf8_lossy(&b[73..73 + n]).into_owned(),
+        }
+    }
+}
+
+/// The SMM handler. Carries no host-side state beyond the scratch base;
+/// see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct SmmHandler {
+    scratch: u64,
+    params_id: DhGroup,
+}
+
+/// Which DH group the handler uses (a small tag; the group itself is
+/// reconstructed on demand).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhGroup {
+    /// The fast 512-bit default group.
+    Default,
+    /// RFC 3526 MODP-2048.
+    Modp2048,
+}
+
+impl DhGroup {
+    fn params(self) -> DhParams {
+        match self {
+            DhGroup::Default => DhParams::default_group(),
+            DhGroup::Modp2048 => DhParams::modp_2048(),
+        }
+    }
+}
+
+impl SmmHandler {
+    /// Install the handler: requires the CPU to be in SMM (the firmware
+    /// installs it from the first SMI). Initializes the SMRAM state,
+    /// generates the initial DH key pair from `entropy`, and publishes
+    /// the public value and `mem_X` cursor in `mem_RW`.
+    ///
+    /// # Errors
+    ///
+    /// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise.
+    pub fn install(
+        machine: &mut Machine,
+        reserved: &ReservedLayout,
+        entropy: &[u8; 32],
+        group: DhGroup,
+    ) -> Result<SmmHandler, SmmError> {
+        if machine.mode() != CpuMode::Smm {
+            return Err(SmmError::NotInSmm);
+        }
+        let h = SmmHandler {
+            scratch: machine.smram_scratch_base(),
+            params_id: group,
+        };
+        h.write_u64(machine, OFF_MAGIC, MAGIC)?;
+        h.write_u64(machine, OFF_EPOCH, 0)?;
+        h.write_u64(machine, OFF_NEXT_PADDR, reserved.x_base)?;
+        machine.write_bytes(AccessCtx::Smm, h.scratch + OFF_DH_SEED, entropy)?;
+        h.set_record_count(machine, 0)?;
+        h.publish_public(machine, reserved)?;
+        h.publish_cursor(machine, reserved)?;
+        Ok(h)
+    }
+
+    /// Re-attach to an already-installed handler (e.g. after the
+    /// orchestrator was rebuilt). Verifies the SMRAM magic.
+    ///
+    /// # Errors
+    ///
+    /// [`SmmError::NotInstalled`] when the magic is absent.
+    pub fn attach(machine: &mut Machine, group: DhGroup) -> Result<SmmHandler, SmmError> {
+        if machine.mode() != CpuMode::Smm {
+            return Err(SmmError::NotInSmm);
+        }
+        let h = SmmHandler {
+            scratch: machine.smram_scratch_base(),
+            params_id: group,
+        };
+        if h.read_u64(machine, OFF_MAGIC)? != MAGIC {
+            return Err(SmmError::NotInstalled);
+        }
+        Ok(h)
+    }
+
+    // ---- scratch primitives ------------------------------------------
+
+    fn read_u64(&self, machine: &mut Machine, off: u64) -> Result<u64, SmmError> {
+        Ok(machine.read_u64(AccessCtx::Smm, self.scratch + off)?)
+    }
+
+    fn write_u64(&self, machine: &mut Machine, off: u64, v: u64) -> Result<(), SmmError> {
+        Ok(machine.write_u64(AccessCtx::Smm, self.scratch + off, v)?)
+    }
+
+    pub(crate) fn record_count(&self, machine: &mut Machine) -> Result<u32, SmmError> {
+        Ok(self.read_u64(machine, OFF_RECORDS)? as u32)
+    }
+
+    fn set_record_count(&self, machine: &mut Machine, n: u32) -> Result<(), SmmError> {
+        self.write_u64(machine, OFF_RECORDS, n as u64)
+    }
+
+    pub(crate) fn read_record(
+        &self,
+        machine: &mut Machine,
+        idx: u32,
+    ) -> Result<SmramRecord, SmmError> {
+        let mut buf = [0u8; RECORD_LEN as usize];
+        let addr = self.scratch + OFF_RECORDS + 8 + idx as u64 * RECORD_LEN;
+        machine.read_bytes(AccessCtx::Smm, addr, &mut buf)?;
+        Ok(SmramRecord::decode(&buf))
+    }
+
+    pub(crate) fn write_record(
+        &self,
+        machine: &mut Machine,
+        idx: u32,
+        rec: &SmramRecord,
+    ) -> Result<(), SmmError> {
+        let addr = self.scratch + OFF_RECORDS + 8 + idx as u64 * RECORD_LEN;
+        Ok(machine.write_bytes(AccessCtx::Smm, addr, &rec.encode())?)
+    }
+
+    /// Append a record chronologically; when the store fills, compact it
+    /// (drop rolled-back records, preserving order). Long-running hosts
+    /// cycle through thousands of patch/rollback events (the §VI-C3
+    /// 1,000-patch experiment), so the store must reclaim.
+    fn append_record(&self, machine: &mut Machine, rec: &SmramRecord) -> Result<(), SmmError> {
+        let mut count = self.record_count(machine)?;
+        if count >= RECORD_CAP {
+            let mut keep = Vec::new();
+            for i in 0..count {
+                let r = self.read_record(machine, i)?;
+                if r.active {
+                    keep.push(r);
+                }
+            }
+            if keep.len() as u32 >= RECORD_CAP {
+                return Err(SmmError::StoreFull);
+            }
+            for (i, r) in keep.iter().enumerate() {
+                self.write_record(machine, i as u32, r)?;
+            }
+            count = keep.len() as u32;
+            self.set_record_count(machine, count)?;
+        }
+        self.write_record(machine, count, rec)?;
+        self.set_record_count(machine, count + 1)
+    }
+
+    fn current_keypair(&self, machine: &mut Machine) -> Result<DhKeyPair, SmmError> {
+        let mut seed = [0u8; 32];
+        machine.read_bytes(AccessCtx::Smm, self.scratch + OFF_DH_SEED, &mut seed)?;
+        DhKeyPair::from_entropy(&self.params_id.params(), &seed)
+            .map_err(|e| SmmError::Channel(ChannelError::Dh(e)))
+    }
+
+    /// Publish the current DH public value into `mem_RW` so the enclave
+    /// can derive the session key for the *next* patch.
+    fn publish_public(
+        &self,
+        machine: &mut Machine,
+        reserved: &ReservedLayout,
+    ) -> Result<(), SmmError> {
+        let kp = self.current_keypair(machine)?;
+        let pub_bytes = kp.public().to_bytes_be();
+        let base = reserved.rw_base + rw_offsets::SMM_PUB;
+        machine.write_u64(AccessCtx::Smm, base, pub_bytes.len() as u64)?;
+        machine.write_bytes(AccessCtx::Smm, base + 8, &pub_bytes)?;
+        let epoch = self.read_u64(machine, OFF_EPOCH)?;
+        machine.write_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::EPOCH, epoch)?;
+        Ok(())
+    }
+
+    fn publish_cursor(
+        &self,
+        machine: &mut Machine,
+        reserved: &ReservedLayout,
+    ) -> Result<(), SmmError> {
+        let next = self.read_u64(machine, OFF_NEXT_PADDR)?;
+        machine.write_u64(
+            AccessCtx::Smm,
+            reserved.rw_base + rw_offsets::NEXT_PADDR,
+            next,
+        )?;
+        Ok(())
+    }
+
+    /// Rotate the DH key: new seed, bumped epoch, re-published public.
+    fn rotate_key(
+        &self,
+        machine: &mut Machine,
+        reserved: &ReservedLayout,
+        entropy: &[u8; 32],
+    ) -> Result<(), SmmError> {
+        machine.write_bytes(AccessCtx::Smm, self.scratch + OFF_DH_SEED, entropy)?;
+        let epoch = self.read_u64(machine, OFF_EPOCH)? + 1;
+        self.write_u64(machine, OFF_EPOCH, epoch)?;
+        self.publish_public(machine, reserved)
+    }
+
+    // ---- the patch path ----------------------------------------------
+
+    /// Apply the package staged in `mem_W`.
+    ///
+    /// `fresh_entropy` seeds the *next* patch's DH key (rotation).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SmmError`]; verification failures abort before any byte of
+    /// kernel state is modified.
+    pub fn handle_patch(
+        &self,
+        machine: &mut Machine,
+        reserved: &ReservedLayout,
+        fresh_entropy: &[u8; 32],
+    ) -> Result<SmmPatchOutcome, SmmError> {
+        if machine.mode() != CpuMode::Smm {
+            return Err(SmmError::NotInSmm);
+        }
+        let mut timings = SmmTimings {
+            switch_in: machine.cost().smm_entry,
+            switch_out: machine.cost().smm_exit,
+            ..Default::default()
+        };
+        // 1. Key generation.
+        let t0 = machine.now();
+        let kp = self.current_keypair(machine)?;
+        let helper_pub = read_public(machine, reserved.rw_base + rw_offsets::HELPER_PUB)?;
+        let key = kp
+            .agree(&self.params_id.params(), &helper_pub)
+            .map_err(|e| SmmError::Channel(ChannelError::Dh(e)))?;
+        let keygen_cost = machine.cost().smm_keygen;
+        machine.charge(keygen_cost);
+        timings.keygen = machine.now() - t0;
+        // 2. Fetch + decrypt.
+        let t1 = machine.now();
+        let staged_len =
+            machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::STAGED_LEN)?;
+        if staged_len == 0 || staged_len > reserved.w_size {
+            return Err(SmmError::BadStagedLength(staged_len));
+        }
+        let mut ciphertext = vec![0u8; staged_len as usize];
+        machine.read_bytes(AccessCtx::Smm, reserved.w_base, &mut ciphertext)?;
+        let decrypt_cost = machine.cost().smm_decrypt.for_bytes(ciphertext.len());
+        machine.charge(decrypt_cost);
+        let frame = Frame::decode(&ciphertext).map_err(SmmError::Package)?;
+        let mut channel = SecureChannel::new(key);
+        let plaintext = channel.open(&frame).map_err(SmmError::Channel)?;
+        let package = PatchPackage::decode(&plaintext).map_err(SmmError::Package)?;
+        timings.decrypt = machine.now() - t1;
+        // 3. Verify everything before touching kernel state.
+        let t2 = machine.now();
+        let mut verify_bytes = 0usize;
+        // Placement validation walks a virtual cursor so records within
+        // one package cannot overlap each other either — the enclave's
+        // assignment is re-checked, not trusted.
+        let mut virtual_next = self.read_u64(machine, OFF_NEXT_PADDR)?;
+        for rec in &package.records {
+            verify_bytes += rec.payload.len();
+            if !rec.verify_payload(package.algorithm) {
+                return Err(SmmError::PayloadHashMismatch {
+                    sequence: rec.sequence,
+                });
+            }
+            if rec.op == PackageOp::Patch {
+                // Check the running kernel matches the build the patch
+                // was prepared against.
+                let mut cur = vec![0u8; rec.tsize as usize];
+                machine.read_bytes(AccessCtx::Smm, rec.taddr, &mut cur)?;
+                verify_bytes += cur.len();
+                if VerificationAlgorithm::Sha256.digest(&cur) != rec.expected_pre_hash {
+                    return Err(SmmError::TargetMismatch {
+                        sequence: rec.sequence,
+                        taddr: rec.taddr,
+                    });
+                }
+                if (rec.tsize as usize) < rec.ftrace_skip as usize + kshot_isa::JMP_LEN {
+                    return Err(SmmError::TargetTooSmall { taddr: rec.taddr });
+                }
+            }
+            // Placement validation.
+            if matches!(rec.op, PackageOp::Patch | PackageOp::PlaceOnly) {
+                let next = self.read_u64(machine, OFF_NEXT_PADDR)?;
+                let end = rec.paddr.checked_add(rec.payload.len() as u64);
+                let in_range = rec.paddr >= next
+                    && end.is_some_and(|e| e <= reserved.x_base + reserved.x_size);
+                if !in_range {
+                    return Err(SmmError::BadPlacement {
+                        sequence: rec.sequence,
+                        paddr: rec.paddr,
+                    });
+                }
+            }
+        }
+        let verify_cost = machine.cost().smm_verify.for_bytes(verify_bytes);
+        let verify_cost = match package.algorithm {
+            VerificationAlgorithm::Sha256 => verify_cost,
+            VerificationAlgorithm::Sdbm => machine.cost().smm_verify_sdbm.for_bytes(verify_bytes),
+        };
+        machine.charge(verify_cost);
+        timings.verify = machine.now() - t2;
+        // 4. Apply.
+        let t3 = machine.now();
+        let mut trampolines = 0usize;
+        let mut global_writes = 0usize;
+        let mut applied_bytes = 0usize;
+        for rec in &package.records {
+            match rec.op {
+                PackageOp::GlobalWrite => {
+                    // Capture the original bytes for rollback (up to
+                    // MAX_ORIG; longer writes are not revertible).
+                    let mut orig = [0u8; MAX_ORIG];
+                    let orig_len = if rec.payload.len() <= MAX_ORIG {
+                        machine.read_bytes(
+                            AccessCtx::Smm,
+                            rec.taddr,
+                            &mut orig[..rec.payload.len()],
+                        )?;
+                        rec.payload.len() as u8
+                    } else {
+                        NOT_REVERTIBLE
+                    };
+                    machine.write_bytes(AccessCtx::Smm, rec.taddr, &rec.payload)?;
+                    self.append_record(
+                        machine,
+                        &SmramRecord {
+                            active: true,
+                            kind: RecordKind::DataWrite,
+                            taddr: rec.taddr,
+                            skip: 0,
+                            orig_len,
+                            orig,
+                            paddr: 0,
+                            size: rec.payload.len() as u32,
+                            memx_hash: [0; 32],
+                            id: package.id.clone(),
+                        },
+                    )?;
+                    global_writes += 1;
+                    applied_bytes += rec.payload.len();
+                }
+                PackageOp::PlaceOnly | PackageOp::Patch => {
+                    machine.write_bytes(AccessCtx::Smm, rec.paddr, &rec.payload)?;
+                    applied_bytes += rec.payload.len();
+                    let end = rec.paddr + rec.payload.len() as u64;
+                    let next = self.read_u64(machine, OFF_NEXT_PADDR)?;
+                    if end > next {
+                        self.write_u64(machine, OFF_NEXT_PADDR, end)?;
+                    }
+                    if rec.op == PackageOp::Patch {
+                        let site = rec.taddr + rec.skip_u64();
+                        let mut orig = [0u8; 5];
+                        machine.read_bytes(AccessCtx::Smm, site, &mut orig)?;
+                        let mut jmp = [0u8; 5];
+                        kshot_isa::write_jmp_rel32(&mut jmp, site, rec.paddr).map_err(|_| {
+                            SmmError::BadPlacement {
+                                sequence: rec.sequence,
+                                paddr: rec.paddr,
+                            }
+                        })?;
+                        machine.write_bytes(AccessCtx::Smm, site, &jmp)?;
+                        applied_bytes += jmp.len();
+                        trampolines += 1;
+                        // Record for rollback + introspection.
+                        let mut orig16 = [0u8; MAX_ORIG];
+                        orig16[..5].copy_from_slice(&orig);
+                        self.append_record(
+                            machine,
+                            &SmramRecord {
+                                active: true,
+                                kind: RecordKind::Trampoline,
+                                taddr: rec.taddr,
+                                skip: rec.ftrace_skip,
+                                orig_len: 5,
+                                orig: orig16,
+                                paddr: rec.paddr,
+                                size: rec.payload.len() as u32,
+                                memx_hash: kshot_crypto::sha256(&rec.payload),
+                                id: package.id.clone(),
+                            },
+                        )?;
+                    }
+                }
+            }
+        }
+        let apply_cost = machine.cost().smm_apply.for_bytes(applied_bytes);
+        machine.charge(apply_cost);
+        timings.apply = machine.now() - t3;
+        // 5. Rotate the key for the next patch and publish the cursor.
+        self.rotate_key(machine, reserved, fresh_entropy)?;
+        self.publish_cursor(machine, reserved)?;
+        // Clear the staged length so a re-trigger cannot re-apply.
+        machine.write_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::STAGED_LEN, 0)?;
+        Ok(SmmPatchOutcome {
+            timings,
+            payload_size: package.payload_size(),
+            trampolines,
+            global_writes,
+        })
+    }
+
+    /// Roll back the most recent patch (all trampolines installed under
+    /// its package id), restoring the original entry bytes (paper §V-C,
+    /// "Patch Rollback/Update").
+    ///
+    /// # Errors
+    ///
+    /// [`SmmError::RollbackEmpty`] when nothing is active.
+    pub fn handle_rollback(&self, machine: &mut Machine) -> Result<Vec<u64>, SmmError> {
+        if machine.mode() != CpuMode::Smm {
+            return Err(SmmError::NotInSmm);
+        }
+        let count = self.record_count(machine)?;
+        // Find the last active record and its package id.
+        let mut last_active: Option<(u32, String)> = None;
+        for i in (0..count).rev() {
+            let r = self.read_record(machine, i)?;
+            if r.active {
+                last_active = Some((i, r.id));
+                break;
+            }
+        }
+        let (last, id) = last_active.ok_or(SmmError::RollbackEmpty)?;
+        let mut restored = Vec::new();
+        for i in (0..=last).rev() {
+            let mut r = self.read_record(machine, i)?;
+            if !r.active || r.id != id {
+                break;
+            }
+            match r.kind {
+                RecordKind::Trampoline => {
+                    let site = r.taddr + r.skip as u64;
+                    machine.write_bytes(AccessCtx::Smm, site, &r.orig[..5])?;
+                    restored.push(r.taddr);
+                }
+                RecordKind::DataWrite => {
+                    if r.orig_len != NOT_REVERTIBLE {
+                        machine.write_bytes(
+                            AccessCtx::Smm,
+                            r.taddr,
+                            &r.orig[..r.orig_len as usize],
+                        )?;
+                        restored.push(r.taddr);
+                    }
+                    // Non-revertible data writes are deactivated but not
+                    // restored; the operator re-patches instead.
+                }
+            }
+            r.active = false;
+            self.write_record(machine, i, &r)?;
+        }
+        Ok(restored)
+    }
+}
+
+impl crate::package::PackageRecord {
+    fn skip_u64(&self) -> u64 {
+        self.ftrace_skip as u64
+    }
+}
+
+/// Read a length-prefixed DH public value from `mem_RW`.
+pub(crate) fn read_public(
+    machine: &mut Machine,
+    base: u64,
+) -> Result<kshot_crypto::BigUint, SmmError> {
+    let len = machine.read_u64(AccessCtx::Smm, base)?;
+    if len > rw_offsets::MAX_PUB {
+        return Err(SmmError::BadStagedLength(len));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    machine.read_bytes(AccessCtx::Smm, base + 8, &mut bytes)?;
+    Ok(kshot_crypto::BigUint::from_bytes_be(&bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_machine::MemLayout;
+
+    fn setup() -> (Machine, ReservedLayout, SmmHandler) {
+        let mut m = Machine::new(MemLayout::standard()).unwrap();
+        let r = ReservedLayout::from_machine(&m);
+        r.install(&mut m).unwrap();
+        m.raise_smi().unwrap();
+        let h = SmmHandler::install(&mut m, &r, &[7u8; 32], DhGroup::Default).unwrap();
+        m.rsm().unwrap();
+        (m, r, h)
+    }
+
+    #[test]
+    fn install_publishes_public_and_cursor() {
+        let (mut m, r, _) = setup();
+        // The kernel (and thus the helper) can read mem_RW.
+        let len = m
+            .read_u64(AccessCtx::Kernel, r.rw_base + rw_offsets::SMM_PUB)
+            .unwrap();
+        assert!(len > 0 && len < 200);
+        let cursor = m
+            .read_u64(AccessCtx::Kernel, r.rw_base + rw_offsets::NEXT_PADDR)
+            .unwrap();
+        assert_eq!(cursor, r.x_base);
+        let epoch = m
+            .read_u64(AccessCtx::Kernel, r.rw_base + rw_offsets::EPOCH)
+            .unwrap();
+        assert_eq!(epoch, 0);
+    }
+
+    #[test]
+    fn install_requires_smm() {
+        let mut m = Machine::new(MemLayout::standard()).unwrap();
+        let r = ReservedLayout::from_machine(&m);
+        r.install(&mut m).unwrap();
+        assert!(matches!(
+            SmmHandler::install(&mut m, &r, &[0u8; 32], DhGroup::Default),
+            Err(SmmError::NotInSmm)
+        ));
+    }
+
+    #[test]
+    fn attach_checks_magic() {
+        let (mut m, _, _) = setup();
+        m.raise_smi().unwrap();
+        SmmHandler::attach(&mut m, DhGroup::Default).unwrap();
+        m.rsm().unwrap();
+        // A fresh machine has no magic.
+        let mut m2 = Machine::new(MemLayout::standard()).unwrap();
+        m2.raise_smi().unwrap();
+        assert!(matches!(
+            SmmHandler::attach(&mut m2, DhGroup::Default),
+            Err(SmmError::NotInstalled)
+        ));
+    }
+
+    #[test]
+    fn record_roundtrip_in_smram() {
+        let (mut m, _, h) = setup();
+        m.raise_smi().unwrap();
+        let mut orig = [0u8; MAX_ORIG];
+        orig[..5].copy_from_slice(&[1, 2, 3, 4, 5]);
+        let rec = SmramRecord {
+            active: true,
+            kind: RecordKind::Trampoline,
+            taddr: 0x10_0040,
+            skip: 5,
+            orig_len: 5,
+            orig,
+            paddr: 0x0200_0000,
+            size: 99,
+            memx_hash: [0xAB; 32],
+            id: "CVE-2016-5195".into(),
+        };
+        h.write_record(&mut m, 0, &rec).unwrap();
+        assert_eq!(h.read_record(&mut m, 0).unwrap(), rec);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn record_long_id_truncates() {
+        let (mut m, _, h) = setup();
+        m.raise_smi().unwrap();
+        let rec = SmramRecord {
+            active: false,
+            kind: RecordKind::DataWrite,
+            taddr: 0,
+            skip: 0,
+            orig_len: 0,
+            orig: [0; MAX_ORIG],
+            paddr: 0,
+            size: 0,
+            memx_hash: [0; 32],
+            id: "X".repeat(100),
+        };
+        h.write_record(&mut m, 1, &rec).unwrap();
+        let back = h.read_record(&mut m, 1).unwrap();
+        assert_eq!(back.id.len(), 55);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn record_store_compacts_when_full() {
+        // Fill the store beyond capacity with mostly-inactive records
+        // (the patch/rollback churn of a long-lived host): compaction
+        // must reclaim the inactive slots and preserve active ones in
+        // order.
+        let (mut m, _, h) = setup();
+        m.raise_smi().unwrap();
+        let mk = |i: u32, active: bool| SmramRecord {
+            active,
+            kind: RecordKind::Trampoline,
+            taddr: 0x10_0000 + i as u64,
+            skip: 5,
+            orig_len: 5,
+            orig: [0; MAX_ORIG],
+            paddr: 0x200_0000 + i as u64,
+            size: 1,
+            memx_hash: [0; 32],
+            id: format!("CVE-{i}"),
+        };
+        // Fill to capacity; every third record stays active.
+        for i in 0..RECORD_CAP {
+            h.append_record(&mut m, &mk(i, i % 3 == 0)).unwrap();
+        }
+        assert_eq!(h.record_count(&mut m).unwrap(), RECORD_CAP);
+        // The next append triggers compaction.
+        h.append_record(&mut m, &mk(9999, true)).unwrap();
+        let count = h.record_count(&mut m).unwrap();
+        let expected_active = RECORD_CAP.div_ceil(3) + 1;
+        assert_eq!(count, expected_active);
+        // Order preserved: taddrs strictly increase.
+        let mut prev = 0;
+        for i in 0..count {
+            let r = h.read_record(&mut m, i).unwrap();
+            assert!(r.active);
+            assert!(r.taddr > prev || i == 0);
+            prev = r.taddr;
+        }
+        let last = h.read_record(&mut m, count - 1).unwrap();
+        assert_eq!(last.taddr, 0x10_0000 + 9999);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn record_store_full_of_active_records_errors() {
+        let (mut m, _, h) = setup();
+        m.raise_smi().unwrap();
+        let mk = |i: u32| SmramRecord {
+            active: true,
+            kind: RecordKind::Trampoline,
+            taddr: i as u64,
+            skip: 0,
+            orig_len: 5,
+            orig: [0; MAX_ORIG],
+            paddr: 0,
+            size: 1,
+            memx_hash: [0; 32],
+            id: "CVE".into(),
+        };
+        for i in 0..RECORD_CAP {
+            h.append_record(&mut m, &mk(i)).unwrap();
+        }
+        assert!(matches!(
+            h.append_record(&mut m, &mk(RECORD_CAP)),
+            Err(SmmError::StoreFull)
+        ));
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn rollback_on_empty_store_fails() {
+        let (mut m, _, h) = setup();
+        m.raise_smi().unwrap();
+        assert!(matches!(
+            h.handle_rollback(&mut m),
+            Err(SmmError::RollbackEmpty)
+        ));
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn handle_patch_requires_smm_mode() {
+        let (mut m, r, h) = setup();
+        assert!(matches!(
+            h.handle_patch(&mut m, &r, &[1u8; 32]),
+            Err(SmmError::NotInSmm)
+        ));
+    }
+
+    #[test]
+    fn staged_garbage_is_rejected() {
+        let (mut m, r, h) = setup();
+        // Kernel stages nonsense (it can write mem_W and mem_RW).
+        m.write_bytes(AccessCtx::Kernel, r.w_base, &[0xFF; 64])
+            .unwrap();
+        m.write_u64(AccessCtx::Kernel, r.rw_base + rw_offsets::STAGED_LEN, 64)
+            .unwrap();
+        // Also stage a "helper public" so keygen succeeds.
+        let params = DhParams::default_group();
+        let kp = DhKeyPair::from_entropy(&params, &[9u8; 32]).unwrap();
+        let pb = kp.public().to_bytes_be();
+        m.write_u64(
+            AccessCtx::Kernel,
+            r.rw_base + rw_offsets::HELPER_PUB,
+            pb.len() as u64,
+        )
+        .unwrap();
+        m.write_bytes(AccessCtx::Kernel, r.rw_base + rw_offsets::HELPER_PUB + 8, &pb)
+            .unwrap();
+        m.raise_smi().unwrap();
+        let err = h.handle_patch(&mut m, &r, &[2u8; 32]).unwrap_err();
+        assert!(
+            matches!(err, SmmError::Package(_) | SmmError::Channel(_)),
+            "{err:?}"
+        );
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn zero_staged_length_rejected() {
+        let (mut m, r, h) = setup();
+        m.raise_smi().unwrap();
+        // Provide a valid helper public but no staged data.
+        let params = DhParams::default_group();
+        let kp = DhKeyPair::from_entropy(&params, &[9u8; 32]).unwrap();
+        let pb = kp.public().to_bytes_be();
+        m.write_u64(
+            AccessCtx::Smm,
+            r.rw_base + rw_offsets::HELPER_PUB,
+            pb.len() as u64,
+        )
+        .unwrap();
+        m.write_bytes(AccessCtx::Smm, r.rw_base + rw_offsets::HELPER_PUB + 8, &pb)
+            .unwrap();
+        assert!(matches!(
+            h.handle_patch(&mut m, &r, &[2u8; 32]),
+            Err(SmmError::BadStagedLength(0))
+        ));
+        m.rsm().unwrap();
+    }
+}

@@ -1,0 +1,217 @@
+//! ChaCha20 stream cipher (RFC 8439 block function).
+//!
+//! Used as the symmetric cipher protecting patch payloads written by the
+//! SGX enclave into the shared `mem_W` region and decrypted inside the SMM
+//! handler (paper §V-B: "we encrypt data while in transit"). Encryption and
+//! decryption are the same keystream XOR, so a single [`ChaCha20::apply`]
+//! serves both directions.
+
+/// Key size in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Nonce size in bytes (RFC 8439, 96-bit nonce).
+pub const NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// A ChaCha20 cipher instance bound to a key and nonce.
+///
+/// # Examples
+///
+/// ```
+/// use kshot_crypto::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut data = b"patch payload".to_vec();
+/// ChaCha20::new(&key, &nonce).apply(&mut data);          // encrypt
+/// ChaCha20::new(&key, &nonce).apply(&mut data);          // decrypt
+/// assert_eq!(data, b"patch payload");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+}
+
+impl ChaCha20 {
+    /// Create a cipher with block counter starting at 1 (RFC 8439
+    /// convention for AEAD payloads; counter 0 is reserved for the Poly
+    /// key in the RFC — we simply start at 1 for symmetry).
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> Self {
+        Self::with_counter(key, nonce, 1)
+    }
+
+    /// Create a cipher with an explicit initial block counter.
+    pub fn with_counter(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+        let mut k = [0u32; 8];
+        for (i, item) in k.iter_mut().enumerate() {
+            *item = u32::from_le_bytes([
+                key[i * 4],
+                key[i * 4 + 1],
+                key[i * 4 + 2],
+                key[i * 4 + 3],
+            ]);
+        }
+        let mut n = [0u32; 3];
+        for (i, item) in n.iter_mut().enumerate() {
+            *item = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        Self {
+            key: k,
+            nonce: n,
+            counter,
+        }
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let mut w = state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let v = w[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR the keystream into `data` in place, advancing the block counter.
+    ///
+    /// Calling `apply` twice on the same instance continues the keystream;
+    /// to decrypt, construct a fresh instance with the same key/nonce.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let ks = self.block(self.counter);
+            self.counter = self.counter.wrapping_add(1);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Convenience: encrypt a copy of `data`.
+    pub fn apply_to_vec(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut v = data.to_vec();
+        self.apply(&mut v);
+        v
+    }
+}
+
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 block-function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let c = ChaCha20::with_counter(&key, &nonce, 1);
+        let block = c.block(1);
+        let expected: [u8; 64] = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a,
+            0xc3, 0xd4, 0x6c, 0x4e, 0xd2, 0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2,
+            0xd7, 0x05, 0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e, 0xb9,
+            0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e,
+        ];
+        assert_eq!(block, expected);
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        ChaCha20::with_counter(&key, &nonce, 1).apply(&mut data);
+        assert_eq!(
+            &data[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd,
+                0x0d, 0x69, 0x81
+            ]
+        );
+        assert_eq!(
+            &data[data.len() - 6..],
+            &[0xf2, 0x78, 0x5e, 0x42, 0x87, 0x4d]
+        );
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let key = [0x42u8; 32];
+        let nonce = [0x17u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut enc = data.clone();
+            ChaCha20::new(&key, &nonce).apply(&mut enc);
+            if len > 8 {
+                assert_ne!(enc, data, "len {len}");
+            }
+            ChaCha20::new(&key, &nonce).apply(&mut enc);
+            assert_eq!(enc, data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let nonce = [0u8; 12];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::new(&[1u8; 32], &nonce).apply(&mut a);
+        ChaCha20::new(&[2u8; 32], &nonce).apply(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn streaming_continues_counter() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let data: Vec<u8> = (0..200u8).collect();
+        let mut whole = data.clone();
+        ChaCha20::new(&key, &nonce).apply(&mut whole);
+        // Chunked apply over 64-byte boundaries must match.
+        let mut chunked = data.clone();
+        let mut c = ChaCha20::new(&key, &nonce);
+        let (x, y) = chunked.split_at_mut(128);
+        c.apply(x);
+        c.apply(y);
+        assert_eq!(chunked, whole);
+    }
+}

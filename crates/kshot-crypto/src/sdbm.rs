@@ -1,0 +1,87 @@
+//! The SDBM hash.
+//!
+//! Paper §VI-C2: "the majority of the patch time comes from the patch
+//! verification process, which involves computing a SHA-2 hash. We could
+//! reduce this time by employing a simpler hashing algorithm such as
+//! SDBM." This module provides that alternative so the ablation benchmark
+//! (`bench/benches/table3_smm.rs`) can quantify the trade-off.
+//!
+//! SDBM is **not** collision-resistant; the `kshot-core` SMM handler only
+//! accepts it when the operator explicitly opts in to
+//! `VerificationAlgorithm::Sdbm`.
+
+/// 64-bit SDBM hash of `data`.
+///
+/// The classic recurrence `h = c + (h << 6) + (h << 16) − h`, widened to
+/// 64 bits.
+pub fn sdbm(data: &[u8]) -> u64 {
+    let mut h: u64 = 0;
+    for &c in data {
+        h = (c as u64)
+            .wrapping_add(h << 6)
+            .wrapping_add(h << 16)
+            .wrapping_sub(h);
+    }
+    h
+}
+
+/// Incremental SDBM hasher mirroring the [`crate::Sha256`] interface shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sdbm {
+    state: u64,
+}
+
+impl Sdbm {
+    /// Start a fresh hash.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        for &c in data {
+            self.state = (c as u64)
+                .wrapping_add(self.state << 6)
+                .wrapping_add(self.state << 16)
+                .wrapping_sub(self.state);
+        }
+    }
+
+    /// Finish and return the 64-bit hash.
+    pub fn finalize(self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(sdbm(b""), 0);
+    }
+
+    #[test]
+    fn single_byte() {
+        assert_eq!(sdbm(b"a"), b'a' as u64);
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(sdbm(b"kernel"), sdbm(b"kernel"));
+        assert_ne!(sdbm(b"kernel"), sdbm(b"kernal"));
+        assert_ne!(sdbm(b"ab"), sdbm(b"ba"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"some patch payload bytes";
+        for split in 0..=data.len() {
+            let mut h = Sdbm::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sdbm(data));
+        }
+    }
+}

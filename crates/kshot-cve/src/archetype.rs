@@ -1,0 +1,631 @@
+//! Vulnerability archetypes.
+//!
+//! Each archetype is a parametric model of one *mechanism class* from the
+//! benchmark: it contributes the vulnerable functions/globals to the
+//! kernel tree, produces the source patch that fixes them, and produces
+//! the exploit check that observes the difference. Padding statements
+//! (benign arithmetic on a scratch local, identical pre- and post-patch)
+//! scale each function to the source-line sizes reported in Table I.
+
+use kshot_isa::Cond;
+use kshot_kcc::ir::{CondExpr, Expr, Function, Global, InlineHint, Program, Stmt};
+use kshot_patchserver::SourcePatch;
+
+use crate::exploit::ExploitCheck;
+
+/// Clean sentinel value planted before exploit attempts.
+pub const RESET: u64 = 0xA5A5;
+/// Value a successful exploit plants.
+pub const CORRUPT: u64 = 0xDEAD_BEEF;
+/// The "secret" adjacent to leaky buffers.
+pub const SECRET: u64 = 0x5EC_12E7;
+/// Return value patched functions use to refuse an attack.
+pub const REFUSED: u64 = u64::MAX;
+
+/// A function name plus its padding statement count.
+pub type PaddedFn = (&'static str, usize);
+
+/// The mechanism class of one CVE model. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Archetype {
+    /// Unchecked buffer index write; the patch adds the bounds check.
+    /// One sub-vulnerability per listed function (the exploit targets
+    /// the first).
+    BoundsWrite {
+        /// Affected functions.
+        funcs: &'static [PaddedFn],
+    },
+    /// A host function ignores a safety predicate computed by a small
+    /// helper that the compiler inlines (Type 1,2).
+    MissingCheckPair {
+        /// The outer function (standalone in the binary).
+        host: PaddedFn,
+        /// The inlined predicate helper.
+        helper: PaddedFn,
+    },
+    /// Small functions that swallow an error code; each is inlined into
+    /// a synthetic `<name>_host` caller that the patch does not name but
+    /// the analysis must implicate (Type 2).
+    InlinedOnly {
+        /// The changed (inlined) functions.
+        changed: &'static [PaddedFn],
+    },
+    /// The patch adds a struct field (a fresh global) that a writer
+    /// function must save and a reader must consume (Type 3,
+    /// CVE-2014-3690-class).
+    StructField {
+        /// Function that should save the new field.
+        writer: PaddedFn,
+        /// Function that should read it back.
+        reader: PaddedFn,
+        /// Optional third implicated function.
+        extra: Option<PaddedFn>,
+        /// Name of the new field/global added by the patch.
+        field: &'static str,
+    },
+    /// Unchecked division by an attacker-controlled value (kernel oops).
+    DivZero {
+        /// Affected function.
+        func: PaddedFn,
+    },
+    /// Out-of-bounds read that leaks the adjacent secret.
+    InfoLeak {
+        /// Affected function.
+        func: PaddedFn,
+    },
+    /// Signed comparison guards an unsigned index; a huge index passes
+    /// the check and writes *before* the buffer.
+    SignConfusion {
+        /// Affected function.
+        func: PaddedFn,
+    },
+    /// A shared limit global holds an unsafe value and the function
+    /// trusts it; the patch hardens the function *and* fixes the global
+    /// (Type 1,3, CVE-2016-5195-class).
+    ValueChange {
+        /// The two affected functions.
+        funcs: [PaddedFn; 2],
+    },
+    /// Crafted input reaches undefined behaviour (`trap`); the patch
+    /// intercepts it.
+    TrapOops {
+        /// Affected function.
+        func: PaddedFn,
+    },
+}
+
+/// Benign padding: `pad_local += i` repeated, on a dedicated local.
+fn pad(n: usize, pad_local: usize) -> Vec<Stmt> {
+    (0..n)
+        .map(|i| {
+            Stmt::Assign(
+                pad_local,
+                Expr::local(pad_local).add(Expr::c(i as u64 + 1)),
+            )
+        })
+        .collect()
+}
+
+fn with_pad(padding: usize, pad_local: usize, core: Vec<Stmt>) -> Vec<Stmt> {
+    let mut body = pad(padding, pad_local);
+    body.extend(core);
+    body
+}
+
+fn buf_name(prefix: &str, i: usize) -> String {
+    format!("{prefix}_{i}_buf")
+}
+
+fn sent_name(prefix: &str, i: usize) -> String {
+    format!("{prefix}_{i}_sent")
+}
+
+impl Archetype {
+    /// Add this CVE's vulnerable functions and globals to the tree.
+    pub fn add_vulnerable(&self, p: &mut Program, prefix: String) {
+        match self {
+            Archetype::BoundsWrite { funcs } => {
+                for (i, &(name, padding)) in funcs.iter().enumerate() {
+                    p.add_global(Global::buffer(buf_name(&prefix, i), 2));
+                    p.add_global(Global::word(sent_name(&prefix, i), RESET));
+                    p.add_function(
+                        Function::new(name, 2, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                padding,
+                                0,
+                                vec![
+                                    Stmt::Store {
+                                        addr: Expr::global_addr(buf_name(&prefix, i))
+                                            .add(Expr::param(0).mul(Expr::c(8))),
+                                        value: Expr::param(1),
+                                    },
+                                    Stmt::Return(Expr::c(0)),
+                                ],
+                            )),
+                    );
+                }
+            }
+            Archetype::MissingCheckPair { host, helper } => {
+                p.add_global(Global::word(format!("{prefix}_flag"), 1));
+                p.add_global(Global::word(format!("{prefix}_state"), RESET));
+                p.add_function(
+                    Function::new(helper.0, 0, 1).with_body(with_pad(
+                        helper.1,
+                        0,
+                        vec![Stmt::Return(Expr::global(format!("{prefix}_flag")))],
+                    )),
+                );
+                p.add_function(
+                    Function::new(host.0, 1, 2)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            host.1,
+                            0,
+                            vec![
+                                Stmt::Assign(1, Expr::call(helper.0, vec![])),
+                                // Vulnerable: the predicate result is ignored.
+                                Stmt::StoreGlobal(format!("{prefix}_state"), Expr::param(0)),
+                                Stmt::Return(Expr::c(0)),
+                            ],
+                        )),
+                );
+            }
+            Archetype::InlinedOnly { changed } => {
+                for (i, &(name, padding)) in changed.iter().enumerate() {
+                    let state = format!("{prefix}_{i}_state");
+                    p.add_global(Global::word(&state[..], RESET));
+                    // Vulnerable: swallows the error code.
+                    p.add_function(Function::new(name, 1, 1).with_body(with_pad(
+                        padding,
+                        0,
+                        vec![Stmt::Return(Expr::c(0))],
+                    )));
+                    p.add_function(
+                        Function::new(format!("{name}_host"), 2, 2)
+                            .with_inline(InlineHint::Never)
+                            .with_body(vec![
+                                Stmt::Assign(1, Expr::call(name, vec![Expr::param(0)])),
+                                Stmt::if_then(
+                                    CondExpr::new(Expr::local(1), Cond::Eq, Expr::c(0)),
+                                    vec![Stmt::StoreGlobal(state.clone(), Expr::param(1))],
+                                ),
+                                Stmt::Return(Expr::local(1)),
+                            ]),
+                    );
+                }
+            }
+            Archetype::StructField {
+                writer,
+                reader,
+                extra,
+                field: _,
+            } => {
+                p.add_global(Global::word(format!("{prefix}_legacy"), 0));
+                p.add_function(
+                    Function::new(writer.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        // Vulnerable: fails to save the state.
+                        .with_body(with_pad(writer.1, 0, vec![Stmt::Return(Expr::c(0))])),
+                );
+                p.add_function(
+                    Function::new(reader.0, 0, 1)
+                        .with_inline(InlineHint::Never)
+                        // Vulnerable: reads the stale legacy slot.
+                        .with_body(with_pad(
+                            reader.1,
+                            0,
+                            vec![Stmt::Return(Expr::global(format!("{prefix}_legacy")))],
+                        )),
+                );
+                if let Some((name, padding)) = extra {
+                    p.add_function(
+                        Function::new(*name, 0, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(*padding, 0, vec![Stmt::Return(Expr::c(0))])),
+                    );
+                }
+            }
+            Archetype::DivZero { func } => {
+                p.add_function(
+                    Function::new(func.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![Stmt::Return(Expr::c(1000).div(Expr::param(0)))],
+                        )),
+                );
+            }
+            Archetype::InfoLeak { func } => {
+                p.add_global(Global {
+                    name: format!("{prefix}_buf"),
+                    words: vec![0x11, 0x22],
+                });
+                p.add_global(Global::word(format!("{prefix}_secret"), SECRET));
+                p.add_function(
+                    Function::new(func.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![Stmt::Return(
+                                Expr::global_addr(format!("{prefix}_buf"))
+                                    .add(Expr::param(0).mul(Expr::c(8)))
+                                    .deref(),
+                            )],
+                        )),
+                );
+            }
+            Archetype::SignConfusion { func } => {
+                // Victim is laid out immediately before the buffer.
+                p.add_global(Global::word(format!("{prefix}_victim"), RESET));
+                p.add_global(Global::buffer(format!("{prefix}_buf"), 2));
+                p.add_function(
+                    Function::new(func.0, 2, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![
+                                // Vulnerable: *signed* comparison.
+                                Stmt::if_then(
+                                    CondExpr::new(Expr::param(0), Cond::Lt, Expr::c(2)),
+                                    vec![Stmt::Store {
+                                        addr: Expr::global_addr(format!("{prefix}_buf"))
+                                            .add(Expr::param(0).mul(Expr::c(8))),
+                                        value: Expr::param(1),
+                                    }],
+                                ),
+                                Stmt::Return(Expr::c(0)),
+                            ],
+                        )),
+                );
+            }
+            Archetype::ValueChange { funcs } => {
+                p.add_global(Global::word(format!("{prefix}_limit"), 8)); // unsafe
+                p.add_global(Global::buffer(format!("{prefix}_buf"), 2));
+                p.add_global(Global::word(format!("{prefix}_sent"), RESET));
+                let (f1, f2) = (funcs[0], funcs[1]);
+                p.add_function(
+                    Function::new(f1.0, 2, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            f1.1,
+                            0,
+                            vec![
+                                Stmt::if_then(
+                                    CondExpr::new(
+                                        Expr::param(0),
+                                        Cond::Ae,
+                                        Expr::global(format!("{prefix}_limit")),
+                                    ),
+                                    vec![Stmt::Return(Expr::c(REFUSED))],
+                                ),
+                                Stmt::Store {
+                                    addr: Expr::global_addr(format!("{prefix}_buf"))
+                                        .add(Expr::param(0).mul(Expr::c(8))),
+                                    value: Expr::param(1),
+                                },
+                                Stmt::Return(Expr::c(0)),
+                            ],
+                        )),
+                );
+                p.add_function(
+                    Function::new(f2.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(f2.1, 0, vec![Stmt::Return(Expr::param(0))])),
+                );
+            }
+            Archetype::TrapOops { func } => {
+                p.add_function(
+                    Function::new(func.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![
+                                Stmt::if_then(
+                                    CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0x7777)),
+                                    vec![Stmt::Trap],
+                                ),
+                                Stmt::Return(Expr::param(0)),
+                            ],
+                        )),
+                );
+            }
+        }
+    }
+
+    /// Build the source patch fixing this CVE.
+    pub fn patch(&self, cve_id: &str, prefix: String) -> SourcePatch {
+        let mut patch = SourcePatch::new(cve_id);
+        match self {
+            Archetype::BoundsWrite { funcs } => {
+                for (i, &(name, padding)) in funcs.iter().enumerate() {
+                    patch = patch.replacing(
+                        Function::new(name, 2, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                padding,
+                                0,
+                                vec![
+                                    Stmt::if_then(
+                                        CondExpr::new(Expr::param(0), Cond::Ae, Expr::c(2)),
+                                        vec![Stmt::Return(Expr::c(REFUSED))],
+                                    ),
+                                    Stmt::Store {
+                                        addr: Expr::global_addr(buf_name(&prefix, i))
+                                            .add(Expr::param(0).mul(Expr::c(8))),
+                                        value: Expr::param(1),
+                                    },
+                                    Stmt::Return(Expr::c(0)),
+                                ],
+                            )),
+                    );
+                }
+            }
+            Archetype::MissingCheckPair { host, helper } => {
+                patch = patch
+                    .replacing(Function::new(helper.0, 0, 1).with_body(with_pad(
+                        helper.1,
+                        0,
+                        vec![Stmt::Return(
+                            Expr::global(format!("{prefix}_flag")).add(Expr::c(0)),
+                        )],
+                    )))
+                    .replacing(
+                        Function::new(host.0, 1, 2)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                host.1,
+                                0,
+                                vec![
+                                    Stmt::Assign(1, Expr::call(helper.0, vec![])),
+                                    Stmt::if_then(
+                                        CondExpr::new(Expr::local(1), Cond::Ne, Expr::c(0)),
+                                        vec![Stmt::Return(Expr::c(REFUSED))],
+                                    ),
+                                    Stmt::StoreGlobal(format!("{prefix}_state"), Expr::param(0)),
+                                    Stmt::Return(Expr::c(0)),
+                                ],
+                            )),
+                    );
+            }
+            Archetype::InlinedOnly { changed } => {
+                for &(name, padding) in changed.iter() {
+                    patch = patch.replacing(Function::new(name, 1, 1).with_body(with_pad(
+                        padding,
+                        0,
+                        vec![Stmt::Return(Expr::param(0))],
+                    )));
+                }
+            }
+            Archetype::StructField {
+                writer,
+                reader,
+                extra,
+                field,
+            } => {
+                let saved = format!("{prefix}_{field}");
+                patch = patch
+                    .adding_global(Global::word(&saved[..], 0))
+                    .replacing(
+                        Function::new(writer.0, 1, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                writer.1,
+                                0,
+                                vec![
+                                    Stmt::StoreGlobal(saved.clone(), Expr::param(0)),
+                                    Stmt::Return(Expr::c(0)),
+                                ],
+                            )),
+                    )
+                    .replacing(
+                        Function::new(reader.0, 0, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                reader.1,
+                                0,
+                                vec![Stmt::Return(Expr::global(saved.clone()))],
+                            )),
+                    );
+                if let Some((name, padding)) = extra {
+                    patch = patch.replacing(
+                        Function::new(*name, 0, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                *padding,
+                                0,
+                                vec![Stmt::Return(Expr::global(saved).add(Expr::c(0)))],
+                            )),
+                    );
+                }
+            }
+            Archetype::DivZero { func } => {
+                patch = patch.replacing(
+                    Function::new(func.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![
+                                Stmt::if_then(
+                                    CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0)),
+                                    vec![Stmt::Return(Expr::c(REFUSED))],
+                                ),
+                                Stmt::Return(Expr::c(1000).div(Expr::param(0))),
+                            ],
+                        )),
+                );
+            }
+            Archetype::InfoLeak { func } => {
+                patch = patch.replacing(
+                    Function::new(func.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![
+                                Stmt::if_then(
+                                    CondExpr::new(Expr::param(0), Cond::Ae, Expr::c(2)),
+                                    vec![Stmt::Return(Expr::c(0))],
+                                ),
+                                Stmt::Return(
+                                    Expr::global_addr(format!("{prefix}_buf"))
+                                        .add(Expr::param(0).mul(Expr::c(8)))
+                                        .deref(),
+                                ),
+                            ],
+                        )),
+                );
+            }
+            Archetype::SignConfusion { func } => {
+                patch = patch.replacing(
+                    Function::new(func.0, 2, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![
+                                Stmt::if_then(
+                                    // Fixed: unsigned comparison.
+                                    CondExpr::new(Expr::param(0), Cond::B, Expr::c(2)),
+                                    vec![Stmt::Store {
+                                        addr: Expr::global_addr(format!("{prefix}_buf"))
+                                            .add(Expr::param(0).mul(Expr::c(8))),
+                                        value: Expr::param(1),
+                                    }],
+                                ),
+                                Stmt::Return(Expr::c(0)),
+                            ],
+                        )),
+                );
+            }
+            Archetype::ValueChange { funcs } => {
+                let (f1, f2) = (funcs[0], funcs[1]);
+                patch = patch
+                    .replacing(
+                        Function::new(f1.0, 2, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                f1.1,
+                                0,
+                                vec![
+                                    Stmt::if_then(
+                                        CondExpr::new(Expr::param(0), Cond::Ae, Expr::c(2)),
+                                        vec![Stmt::Return(Expr::c(REFUSED))],
+                                    ),
+                                    Stmt::if_then(
+                                        CondExpr::new(
+                                            Expr::param(0),
+                                            Cond::Ae,
+                                            Expr::global(format!("{prefix}_limit")),
+                                        ),
+                                        vec![Stmt::Return(Expr::c(REFUSED))],
+                                    ),
+                                    Stmt::Store {
+                                        addr: Expr::global_addr(format!("{prefix}_buf"))
+                                            .add(Expr::param(0).mul(Expr::c(8))),
+                                        value: Expr::param(1),
+                                    },
+                                    Stmt::Return(Expr::c(0)),
+                                ],
+                            )),
+                    )
+                    .replacing(
+                        Function::new(f2.0, 1, 1)
+                            .with_inline(InlineHint::Never)
+                            .with_body(with_pad(
+                                f2.1,
+                                0,
+                                vec![Stmt::Return(Expr::param(0).add(Expr::c(0)))],
+                            )),
+                    )
+                    .setting_global(format!("{prefix}_limit"), 2);
+            }
+            Archetype::TrapOops { func } => {
+                patch = patch.replacing(
+                    Function::new(func.0, 1, 1)
+                        .with_inline(InlineHint::Never)
+                        .with_body(with_pad(
+                            func.1,
+                            0,
+                            vec![
+                                Stmt::if_then(
+                                    CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0x7777)),
+                                    vec![Stmt::Return(Expr::c(REFUSED))],
+                                ),
+                                Stmt::Return(Expr::param(0)),
+                            ],
+                        )),
+                );
+            }
+        }
+        patch
+    }
+
+    /// Build the exploit check.
+    pub fn exploit(&self, prefix: String) -> ExploitCheck {
+        match self {
+            Archetype::BoundsWrite { funcs } => ExploitCheck::CorruptsGlobal {
+                func: funcs[0].0.to_string(),
+                args: vec![2, CORRUPT],
+                global: sent_name(&prefix, 0),
+                reset: RESET,
+                corrupted: CORRUPT,
+            },
+            Archetype::MissingCheckPair { host, .. } => ExploitCheck::CorruptsGlobal {
+                func: host.0.to_string(),
+                args: vec![CORRUPT],
+                global: format!("{prefix}_state"),
+                reset: RESET,
+                corrupted: CORRUPT,
+            },
+            Archetype::InlinedOnly { changed } => ExploitCheck::CorruptsGlobal {
+                func: format!("{}_host", changed[0].0),
+                args: vec![1, CORRUPT],
+                global: format!("{prefix}_0_state"),
+                reset: RESET,
+                corrupted: CORRUPT,
+            },
+            Archetype::StructField { writer, reader, .. } => ExploitCheck::Returns {
+                setup: Some((writer.0.to_string(), vec![42])),
+                func: reader.0.to_string(),
+                args: vec![],
+                vulnerable_rv: 0,
+                patched_rv: 42,
+            },
+            Archetype::DivZero { func } => ExploitCheck::Faults {
+                func: func.0.to_string(),
+                args: vec![0],
+            },
+            Archetype::InfoLeak { func } => ExploitCheck::Returns {
+                setup: None,
+                func: func.0.to_string(),
+                args: vec![2],
+                vulnerable_rv: SECRET,
+                patched_rv: 0,
+            },
+            Archetype::SignConfusion { func } => ExploitCheck::CorruptsGlobal {
+                func: func.0.to_string(),
+                args: vec![u64::MAX, CORRUPT],
+                global: format!("{prefix}_victim"),
+                reset: RESET,
+                corrupted: CORRUPT,
+            },
+            Archetype::ValueChange { funcs } => ExploitCheck::CorruptsGlobal {
+                func: funcs[0].0.to_string(),
+                args: vec![2, CORRUPT],
+                global: format!("{prefix}_sent"),
+                reset: RESET,
+                corrupted: CORRUPT,
+            },
+            Archetype::TrapOops { func } => ExploitCheck::Faults {
+                func: func.0.to_string(),
+                args: vec![0x7777],
+            },
+        }
+    }
+}

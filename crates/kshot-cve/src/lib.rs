@@ -1,0 +1,225 @@
+#![warn(missing_docs)]
+
+//! # kshot-cve — the 30-CVE benchmark suite (paper Table I)
+//!
+//! The paper evaluates KShot on 30 randomly selected, reproducible Linux
+//! kernel CVEs. We cannot run real Linux CVE exploits against a simulated
+//! kernel, so each CVE is modelled as a **synthetic vulnerability of the
+//! same class** in the miniature kernel:
+//!
+//! * the affected function names, patch sizes (source lines) and Type
+//!   1/2/3 classification mirror Table I;
+//! * each model has an *executable exploit check*
+//!   ([`exploit::ExploitCheck`]) that observably succeeds on the
+//!   vulnerable kernel and observably fails after the patch — so RQ1
+//!   ("can KShot correctly apply kernel patches?") is answered by running
+//!   code, not by flags;
+//! * the vulnerability archetypes ([`archetype::Archetype`]) cover the
+//!   mechanism classes in the benchmark: unchecked buffer writes
+//!   (CVE-2014-0196-class), missing algorithm/permission checks
+//!   (CVE-2017-17806-class), error codes lost through inlined helpers
+//!   (CVE-2017-17053-class), struct-field additions (CVE-2014-3690-class,
+//!   Type 3), signedness confusions, division-by-zero oopses,
+//!   out-of-bounds info leaks, and bad shared limits (CVE-2016-5195-class,
+//!   Type 1+3).
+//!
+//! Function names duplicated across Table I rows (`sctp_assoc_update`,
+//! `init_new_context`) carry a `__<cve>` suffix in the tree so both rows
+//! can coexist in one kernel; the metadata keeps the paper's names.
+//!
+//! Two kernel versions are modelled, as in the paper: CVEs published
+//! before 2016 live in the `kv-3.14` tree, the rest in `kv-4.4`.
+
+pub mod archetype;
+pub mod exploit;
+pub mod table;
+
+use kshot_kcc::ir::{Function, Global, InlineHint, Program};
+use kshot_kcc::CodegenOptions;
+use kshot_patchserver::SourcePatch;
+
+pub use exploit::ExploitCheck;
+pub use table::{CveSpec, KernelVersion, ALL_CVES, FIGURE_CVES};
+
+/// The codegen options the benchmark kernels are compiled with.
+///
+/// A higher auto-inline threshold than the library default lets Type 2
+/// CVEs carry realistically sized inlined helpers (the paper's patch
+/// sizes reach ~50 lines for inlined functions).
+pub fn benchmark_options() -> CodegenOptions {
+    CodegenOptions {
+        inline_threshold: 24,
+        tracing: true,
+        align: 16,
+    }
+}
+
+/// Base kernel functions present in every benchmark tree (the workload
+/// operations and a couple of innocuous helpers).
+fn base_tree(p: &mut Program) {
+    use kshot_kcc::ir::{CondExpr, Expr, Stmt};
+    use kshot_isa::Cond;
+    // A sysbench-style CPU op: sum of squares below n.
+    p.add_function(
+        Function::new("sysbench_cpu", 1, 2)
+            .with_inline(InlineHint::Never)
+            .with_body(vec![
+                Stmt::Assign(0, Expr::c(0)),
+                Stmt::Assign(1, Expr::c(0)),
+                Stmt::While {
+                    cond: CondExpr::new(Expr::local(1), Cond::B, Expr::param(0)),
+                    body: vec![
+                        Stmt::Assign(0, Expr::local(0).add(Expr::local(1).mul(Expr::local(1)))),
+                        Stmt::Assign(1, Expr::local(1).add(Expr::c(1))),
+                    ],
+                },
+                Stmt::Return(Expr::local(0)),
+            ]),
+    );
+    // A memory op: walk a scratch buffer.
+    p.add_global(Global::buffer("sysbench_scratch", 64));
+    p.add_function(
+        Function::new("sysbench_mem", 1, 1)
+            .with_inline(InlineHint::Never)
+            .with_body(vec![
+                Stmt::Assign(0, Expr::c(0)),
+                Stmt::While {
+                    cond: CondExpr::new(Expr::local(0), Cond::B, Expr::param(0).and(Expr::c(63))),
+                    body: vec![
+                        Stmt::Store {
+                            addr: Expr::global_addr("sysbench_scratch")
+                                .add(Expr::local(0).mul(Expr::c(8))),
+                            value: Expr::local(0),
+                        },
+                        Stmt::Assign(0, Expr::local(0).add(Expr::c(1))),
+                    ],
+                },
+                Stmt::Return(Expr::local(0)),
+            ]),
+    );
+    // A no-op syscall-ish function.
+    p.add_function(
+        Function::new("vfs_noop", 1, 0)
+            .with_inline(InlineHint::Never)
+            .returning(Expr::param(0)),
+    );
+}
+
+/// Build the vulnerable kernel source tree for one kernel version: the
+/// base functions plus every CVE model targeting that version.
+pub fn benchmark_tree(version: KernelVersion) -> Program {
+    let mut p = Program::new();
+    base_tree(&mut p);
+    for spec in ALL_CVES {
+        if spec.version == version {
+            spec.archetype.add_vulnerable(&mut p, spec.prefix());
+        }
+    }
+    p.validate().expect("benchmark tree is well-formed");
+    p
+}
+
+/// Build the source patch for one CVE.
+pub fn patch_for(spec: &CveSpec) -> SourcePatch {
+    spec.archetype.patch(spec.id, spec.prefix())
+}
+
+/// Build the exploit check for one CVE.
+pub fn exploit_for(spec: &CveSpec) -> ExploitCheck {
+    spec.archetype.exploit(spec.prefix())
+}
+
+/// Find a CVE spec by id.
+pub fn find(id: &str) -> Option<&'static CveSpec> {
+    ALL_CVES.iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::link;
+    use kshot_machine::MemLayout;
+
+    #[test]
+    fn thirty_cves_registered() {
+        assert_eq!(ALL_CVES.len(), 30);
+        let v314 = ALL_CVES
+            .iter()
+            .filter(|s| s.version == KernelVersion::V3_14)
+            .count();
+        assert_eq!(v314, 15);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<_> = ALL_CVES.iter().map(|s| s.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 30);
+    }
+
+    #[test]
+    fn both_trees_validate_and_link() {
+        for version in [KernelVersion::V3_14, KernelVersion::V4_4] {
+            let tree = benchmark_tree(version);
+            let layout = MemLayout::standard();
+            let img = link(
+                &tree,
+                &benchmark_options(),
+                layout.kernel_text_base,
+                layout.kernel_data_base,
+            )
+            .unwrap();
+            assert!(img.text_size() > 0);
+            assert!(
+                img.text_size() < layout.kernel_text_size,
+                "tree must fit the text region"
+            );
+        }
+    }
+
+    #[test]
+    fn every_patch_applies_to_its_tree() {
+        for spec in ALL_CVES {
+            let tree = benchmark_tree(spec.version);
+            let patch = patch_for(spec);
+            let post = patch.apply(&tree).unwrap_or_else(|e| {
+                panic!("{}: patch failed to apply: {e}", spec.id);
+            });
+            post.validate()
+                .unwrap_or_else(|e| panic!("{}: post tree invalid: {e}", spec.id));
+        }
+    }
+
+    #[test]
+    fn patch_sizes_approximate_table1() {
+        // "Size" in Table I is the line count of all changed functions
+        // post-patch; our stmt counts should land within a loose band.
+        for spec in ALL_CVES {
+            let tree = benchmark_tree(spec.version);
+            let patch = patch_for(spec);
+            let post = patch.apply(&tree).unwrap();
+            let mut lines = 0usize;
+            for f in &patch.replace_functions {
+                lines += post.function(&f.name).unwrap().stmt_count();
+            }
+            for f in &patch.add_functions {
+                lines += post.function(&f.name).unwrap().stmt_count();
+            }
+            let target = spec.patch_lines;
+            assert!(
+                lines * 2 >= target && lines <= target * 2 + 8,
+                "{}: modelled {lines} lines vs Table I {target}",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_types_render() {
+        for spec in ALL_CVES {
+            assert!(!spec.types.is_empty());
+            assert!(!spec.functions.is_empty());
+        }
+    }
+}

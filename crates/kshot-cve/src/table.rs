@@ -1,0 +1,438 @@
+//! The benchmark registry mirroring the paper's Table I.
+//!
+//! Each entry records the CVE number, the affected function names and
+//! patch size (source lines) as printed in Table I, the paper's Type
+//! classification, the kernel version the model targets, and the
+//! [`Archetype`] that models the vulnerability mechanism.
+//!
+//! Where Table I lists the same function name for two CVEs
+//! (`sctp_assoc_update`, `init_new_context`), the tree-level names carry
+//! a `__<cve>` suffix so one kernel can host both models; `functions`
+//! keeps the paper's names.
+
+use crate::archetype::Archetype;
+
+/// Which miniature kernel tree the CVE belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelVersion {
+    /// The `kv-3.14` tree (CVEs published before 2016).
+    V3_14,
+    /// The `kv-4.4` tree (2016 and later).
+    V4_4,
+}
+
+impl KernelVersion {
+    /// The version string used when booting.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelVersion::V3_14 => "kv-3.14",
+            KernelVersion::V4_4 => "kv-4.4",
+        }
+    }
+}
+
+/// One Table I row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CveSpec {
+    /// CVE number as printed.
+    pub id: &'static str,
+    /// Affected function names as printed in Table I.
+    pub functions: &'static [&'static str],
+    /// "Patch Size" column (source lines of changed functions).
+    pub patch_lines: usize,
+    /// "Type" column as printed (`"1"`, `"1,2"`, `"3"`, …).
+    pub types: &'static str,
+    /// Target kernel tree.
+    pub version: KernelVersion,
+    /// Mechanism model.
+    pub archetype: Archetype,
+}
+
+impl CveSpec {
+    /// Globals-name prefix unique to this CVE (e.g. `g2014_0196`).
+    pub fn prefix(&self) -> String {
+        let digits: String = self
+            .id
+            .chars()
+            .map(|c| if c.is_ascii_digit() { c } else { '_' })
+            .collect();
+        format!("g{}", digits.trim_matches('_').replace("__", "_"))
+    }
+}
+
+use Archetype::*;
+use KernelVersion::*;
+
+/// All 30 benchmark CVEs (paper Table I).
+pub static ALL_CVES: &[CveSpec] = &[
+    CveSpec {
+        id: "CVE-2014-0196",
+        functions: &["n_tty_write"],
+        patch_lines: 86,
+        types: "1",
+        version: V3_14,
+        archetype: BoundsWrite {
+            funcs: &[("n_tty_write", 80)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-3687",
+        functions: &["sctp_chunk_pending", "sctp_assoc_lookup_asconf_ack"],
+        patch_lines: 16,
+        types: "1,2",
+        version: V3_14,
+        archetype: MissingCheckPair {
+            host: ("sctp_assoc_lookup_asconf_ack", 6),
+            helper: ("sctp_chunk_pending", 4),
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-3690",
+        functions: &["vmx_vcpu_run", "vmcs_host_cr4", "vmx_set_constant_host_state"],
+        patch_lines: 247,
+        types: "3",
+        version: V3_14,
+        archetype: StructField {
+            writer: ("vmx_set_constant_host_state", 120),
+            reader: ("vmx_vcpu_run", 120),
+            extra: None,
+            field: "vmcs_host_cr4",
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-4157",
+        functions: &["current_thread_info"],
+        patch_lines: 5,
+        types: "2",
+        version: V3_14,
+        archetype: InlinedOnly {
+            changed: &[("current_thread_info", 2)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-5077",
+        functions: &["sctp_assoc_update"],
+        patch_lines: 98,
+        types: "1",
+        version: V3_14,
+        archetype: BoundsWrite {
+            funcs: &[("sctp_assoc_update", 92)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-8206",
+        functions: &["do_remount"],
+        patch_lines: 34,
+        types: "2",
+        version: V3_14,
+        archetype: InlinedOnly {
+            changed: &[("do_remount", 20)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-7842",
+        functions: &["handle_emulation_failure"],
+        patch_lines: 16,
+        types: "1",
+        version: V3_14,
+        archetype: TrapOops {
+            func: ("handle_emulation_failure", 12),
+        },
+    },
+    CveSpec {
+        id: "CVE-2014-8133",
+        functions: &["set_tls_desc", "regset_tls_set"],
+        patch_lines: 81,
+        types: "1,2",
+        version: V3_14,
+        archetype: MissingCheckPair {
+            host: ("regset_tls_set", 40),
+            helper: ("set_tls_desc", 20),
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-1333",
+        functions: &["__key_link_end"],
+        patch_lines: 21,
+        types: "1",
+        version: V3_14,
+        archetype: BoundsWrite {
+            funcs: &[("__key_link_end", 15)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-1421",
+        functions: &["sctp_assoc_update"],
+        patch_lines: 96,
+        types: "1",
+        version: V3_14,
+        archetype: InfoLeak {
+            func: ("sctp_assoc_update__1421", 90),
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-5707",
+        functions: &["sg_start_req"],
+        patch_lines: 117,
+        types: "1",
+        version: V3_14,
+        archetype: SignConfusion {
+            func: ("sg_start_req", 111),
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-7172",
+        functions: &["key_gc_unused_keys", "request_key_and_link"],
+        patch_lines: 20,
+        types: "1",
+        version: V3_14,
+        archetype: BoundsWrite {
+            funcs: &[("key_gc_unused_keys", 5), ("request_key_and_link", 5)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-8812",
+        functions: &["iwch_l2t_send", "iwch_cxgb3_ofld_send"],
+        patch_lines: 26,
+        types: "1",
+        version: V3_14,
+        archetype: BoundsWrite {
+            funcs: &[("iwch_l2t_send", 8), ("iwch_cxgb3_ofld_send", 8)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-8963",
+        functions: &[
+            "perf_swevent_add",
+            "swevent_hlist_get_cpu",
+            "perf_event_exit_cpu_context",
+        ],
+        patch_lines: 72,
+        types: "3",
+        version: V3_14,
+        archetype: StructField {
+            writer: ("perf_swevent_add", 20),
+            reader: ("swevent_hlist_get_cpu", 20),
+            extra: Some(("perf_event_exit_cpu_context", 20)),
+            field: "hlist_cpu_state",
+        },
+    },
+    CveSpec {
+        id: "CVE-2015-8964",
+        functions: &["tty_set_termios_ldisc"],
+        patch_lines: 10,
+        types: "2",
+        version: V3_14,
+        archetype: InlinedOnly {
+            changed: &[("tty_set_termios_ldisc", 6)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-2143",
+        functions: &["init_new_context", "pgd_alloc", "pgd_free"],
+        patch_lines: 53,
+        types: "2",
+        version: V4_4,
+        archetype: InlinedOnly {
+            changed: &[
+                ("init_new_context__2143", 15),
+                ("pgd_alloc", 15),
+                ("pgd_free", 15),
+            ],
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-2543",
+        functions: &["snd_seq_ioctl_remove_events"],
+        patch_lines: 25,
+        types: "1",
+        version: V4_4,
+        archetype: DivZero {
+            func: ("snd_seq_ioctl_remove_events", 20),
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-4578",
+        functions: &["snd_timer_user_ccallback"],
+        patch_lines: 24,
+        types: "1",
+        version: V4_4,
+        archetype: InfoLeak {
+            func: ("snd_timer_user_ccallback", 18),
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-4580",
+        functions: &["x25_negotiate_facilities"],
+        patch_lines: 67,
+        types: "1",
+        version: V4_4,
+        archetype: InfoLeak {
+            func: ("x25_negotiate_facilities", 61),
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-5195",
+        functions: &["follow_page_pte", "faultin_page"],
+        patch_lines: 229,
+        types: "1,3",
+        version: V4_4,
+        archetype: ValueChange {
+            funcs: [("follow_page_pte", 150), ("faultin_page", 70)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-5829",
+        functions: &["hiddev_ioctl_usage"],
+        patch_lines: 119,
+        types: "1",
+        version: V4_4,
+        archetype: BoundsWrite {
+            funcs: &[("hiddev_ioctl_usage", 113)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-7914",
+        functions: &["assoc_array_insert_into_terminal_node"],
+        patch_lines: 330,
+        types: "1",
+        version: V4_4,
+        archetype: BoundsWrite {
+            funcs: &[("assoc_array_insert_into_terminal_node", 324)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2016-7916",
+        functions: &["environ_read"],
+        patch_lines: 63,
+        types: "1",
+        version: V4_4,
+        archetype: InfoLeak {
+            func: ("environ_read", 57),
+        },
+    },
+    CveSpec {
+        id: "CVE-2017-6347",
+        functions: &["ip_cmsg_recv_checksum"],
+        patch_lines: 15,
+        types: "2",
+        version: V4_4,
+        archetype: InlinedOnly {
+            changed: &[("ip_cmsg_recv_checksum", 11)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2017-8251",
+        functions: &["omninet_open"],
+        patch_lines: 9,
+        types: "2",
+        version: V4_4,
+        archetype: InlinedOnly {
+            changed: &[("omninet_open", 5)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2017-16994",
+        functions: &["walk_page_range"],
+        patch_lines: 27,
+        types: "1",
+        version: V4_4,
+        archetype: TrapOops {
+            func: ("walk_page_range", 22),
+        },
+    },
+    CveSpec {
+        id: "CVE-2017-17053",
+        functions: &["init_new_context"],
+        patch_lines: 13,
+        types: "2",
+        version: V4_4,
+        archetype: InlinedOnly {
+            changed: &[("init_new_context__17053", 9)],
+        },
+    },
+    CveSpec {
+        id: "CVE-2017-17806",
+        functions: &["hmac_create", "crypto_hash_algs_setkey"],
+        patch_lines: 91,
+        types: "1,2",
+        version: V4_4,
+        archetype: MissingCheckPair {
+            host: ("hmac_create", 60),
+            helper: ("crypto_hash_algs_setkey", 20),
+        },
+    },
+    CveSpec {
+        id: "CVE-2017-18270",
+        functions: &["install_user_keyring", "join_session_keyring"],
+        patch_lines: 273,
+        types: "1,2",
+        version: V4_4,
+        archetype: MissingCheckPair {
+            host: ("join_session_keyring", 240),
+            helper: ("install_user_keyring", 20),
+        },
+    },
+    CveSpec {
+        id: "CVE-2018-10124",
+        functions: &["kill_something_info", "sys_kill"],
+        patch_lines: 51,
+        types: "1,2",
+        version: V4_4,
+        archetype: MissingCheckPair {
+            host: ("sys_kill", 25),
+            helper: ("kill_something_info", 18),
+        },
+    },
+];
+
+/// The six CVEs the paper selects for the whole-system drill-down
+/// (§VI-C3, Figures 4 and 5). The paper names CVE-2014-4608 in the text,
+/// which is absent from Table I; we substitute the Table I entry
+/// CVE-2014-4157 of the same vintage and size class (documented in
+/// EXPERIMENTS.md).
+pub static FIGURE_CVES: &[&str] = &[
+    "CVE-2014-4157",
+    "CVE-2014-7842",
+    "CVE-2015-1333",
+    "CVE-2016-2543",
+    "CVE-2017-17806",
+    "CVE-2016-5195",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_unique_and_clean() {
+        let mut ps: Vec<String> = ALL_CVES.iter().map(|s| s.prefix()).collect();
+        ps.sort();
+        ps.dedup();
+        assert_eq!(ps.len(), ALL_CVES.len());
+        for p in ps {
+            assert!(p.starts_with('g'));
+            assert!(!p.contains("__"));
+        }
+    }
+
+    #[test]
+    fn figure_cves_exist_in_table() {
+        for id in FIGURE_CVES {
+            assert!(
+                ALL_CVES.iter().any(|s| s.id == *id),
+                "{id} missing from Table I registry"
+            );
+        }
+        assert_eq!(FIGURE_CVES.len(), 6);
+    }
+
+    #[test]
+    fn version_split_matches_years() {
+        for s in ALL_CVES {
+            let year: u32 = s.id[4..8].parse().unwrap();
+            let expected = if year < 2016 { V3_14 } else { V4_4 };
+            assert_eq!(s.version, expected, "{}", s.id);
+        }
+    }
+}

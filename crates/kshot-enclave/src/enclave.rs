@@ -1,0 +1,109 @@
+//! The enclave container: private state behind an ECALL door.
+
+/// An enclave instance with private state `S`.
+///
+/// The state is reachable only through [`Enclave::ecall`] — there is no
+/// other accessor, and `Debug` does not print it. This is the simulation
+/// counterpart of the EPC access control: host code can *invoke* the
+/// enclave but never inspect it.
+///
+/// # Examples
+///
+/// ```
+/// use kshot_enclave::SgxPlatform;
+///
+/// let mut platform = SgxPlatform::new(b"entropy");
+/// let mut enclave = platform.create_enclave(b"counter-v1", 0u64);
+/// let value = enclave.ecall(|state| {
+///     *state += 1;
+///     *state
+/// });
+/// assert_eq!(value, 1);
+/// ```
+pub struct Enclave<S> {
+    id: u64,
+    measurement: [u8; 32],
+    state: S,
+    ecalls: u64,
+}
+
+impl<S> Enclave<S> {
+    pub(crate) fn new_internal(id: u64, measurement: [u8; 32], state: S) -> Self {
+        Self {
+            id,
+            measurement,
+            state,
+            ecalls: 0,
+        }
+    }
+
+    /// Enclave id (EID analogue).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The enclave measurement (MRENCLAVE analogue).
+    pub fn measurement(&self) -> [u8; 32] {
+        self.measurement
+    }
+
+    /// Enter the enclave: run trusted code against the private state.
+    ///
+    /// Everything the helper application does with patch plaintext or key
+    /// material happens inside one of these calls.
+    pub fn ecall<R>(&mut self, f: impl FnOnce(&mut S) -> R) -> R {
+        self.ecalls += 1;
+        f(&mut self.state)
+    }
+
+    /// Number of ECALLs performed (for the performance accounting).
+    pub fn ecall_count(&self) -> u64 {
+        self.ecalls
+    }
+
+    /// Destroy the enclave, zeroizing nothing but dropping the state
+    /// (EREMOVE analogue). Consumes the enclave so no further ECALLs can
+    /// occur.
+    pub fn destroy(self) {
+        drop(self.state);
+    }
+}
+
+impl<S> std::fmt::Debug for Enclave<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Enclave(id={}, measurement={:02x}{:02x}…, state=<protected>)",
+            self.id, self.measurement[0], self.measurement[1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::SgxPlatform;
+
+    #[test]
+    fn ecall_is_the_only_door() {
+        let mut p = SgxPlatform::new(b"e");
+        let mut e = p.create_enclave(b"code", vec![1u8, 2, 3]);
+        let sum: u32 = e.ecall(|s| s.iter().map(|&b| b as u32).sum());
+        assert_eq!(sum, 6);
+        assert_eq!(e.ecall_count(), 1);
+        // Debug output never leaks state.
+        let dbg = format!("{e:?}");
+        assert!(dbg.contains("<protected>"));
+        assert!(!dbg.contains("[1, 2, 3]"));
+        e.destroy();
+    }
+
+    #[test]
+    fn state_mutations_persist_across_ecalls() {
+        let mut p = SgxPlatform::new(b"e");
+        let mut e = p.create_enclave(b"code", String::new());
+        e.ecall(|s| s.push_str("key material"));
+        let len = e.ecall(|s| s.len());
+        assert_eq!(len, 12);
+        assert_eq!(e.ecall_count(), 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! An explicit Enclave Page Cache model.
+//!
+//! Real SGX reserves a region of physical memory (the EPC) that the CPU
+//! refuses to read or write for any non-enclave accessor. The typed
+//! [`crate::Enclave`] container enforces that structurally; this module
+//! additionally provides the *observable* version: a page store whose
+//! every access names its [`Accessor`] and faults exactly the way the
+//! hardware would, so the security experiments can show a compromised OS
+//! bouncing off enclave memory.
+
+use std::fmt;
+
+/// EPC page size (matches SGX's 4 KiB).
+pub const EPC_PAGE_SIZE: usize = 4096;
+
+/// Who is touching the EPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Accessor {
+    /// Code executing inside the named enclave.
+    Enclave(u64),
+    /// The OS kernel or any other non-enclave software.
+    Os,
+}
+
+/// EPC faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EpcError {
+    /// Non-enclave software touched enclave memory, or the wrong enclave
+    /// touched another's pages.
+    AccessDenied {
+        /// The page index.
+        page: usize,
+        /// Who attempted the access.
+        accessor: Accessor,
+    },
+    /// The page index is beyond the EPC.
+    OutOfRange {
+        /// The page index.
+        page: usize,
+    },
+    /// The page is not currently allocated to any enclave.
+    NotAllocated {
+        /// The page index.
+        page: usize,
+    },
+    /// No free pages remain.
+    Full,
+}
+
+impl fmt::Display for EpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpcError::AccessDenied { page, accessor } => {
+                write!(f, "EPC access denied: {accessor:?} on page {page}")
+            }
+            EpcError::OutOfRange { page } => write!(f, "EPC page {page} out of range"),
+            EpcError::NotAllocated { page } => write!(f, "EPC page {page} not allocated"),
+            EpcError::Full => write!(f, "EPC exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EpcError {}
+
+struct EpcPage {
+    owner: Option<u64>,
+    data: Box<[u8; EPC_PAGE_SIZE]>,
+}
+
+/// The Enclave Page Cache.
+pub struct Epc {
+    pages: Vec<EpcPage>,
+}
+
+impl fmt::Debug for Epc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Epc({} pages, {} allocated)",
+            self.pages.len(),
+            self.pages.iter().filter(|p| p.owner.is_some()).count()
+        )
+    }
+}
+
+impl Epc {
+    /// Create an EPC with `pages` 4 KiB pages.
+    pub fn new(pages: usize) -> Self {
+        Self {
+            pages: (0..pages)
+                .map(|_| EpcPage {
+                    owner: None,
+                    data: Box::new([0; EPC_PAGE_SIZE]),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pages currently owned by `enclave`.
+    pub fn pages_of(&self, enclave: u64) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| p.owner == Some(enclave))
+            .count()
+    }
+
+    /// Allocate a free page to `enclave` (EADD analogue); returns the
+    /// page index.
+    ///
+    /// # Errors
+    ///
+    /// [`EpcError::Full`] when no page is free.
+    pub fn alloc(&mut self, enclave: u64) -> Result<usize, EpcError> {
+        let idx = self
+            .pages
+            .iter()
+            .position(|p| p.owner.is_none())
+            .ok_or(EpcError::Full)?;
+        self.pages[idx].owner = Some(enclave);
+        self.pages[idx].data.fill(0);
+        Ok(idx)
+    }
+
+    /// Free a page (EREMOVE analogue); contents are scrubbed.
+    ///
+    /// # Errors
+    ///
+    /// Denied unless the owning enclave itself frees the page.
+    pub fn free(&mut self, page: usize, accessor: Accessor) -> Result<(), EpcError> {
+        self.check(page, accessor)?;
+        let p = &mut self.pages[page];
+        p.data.fill(0);
+        p.owner = None;
+        Ok(())
+    }
+
+    fn check(&self, page: usize, accessor: Accessor) -> Result<(), EpcError> {
+        let p = self
+            .pages
+            .get(page)
+            .ok_or(EpcError::OutOfRange { page })?;
+        let owner = p.owner.ok_or(EpcError::NotAllocated { page })?;
+        match accessor {
+            Accessor::Enclave(id) if id == owner => Ok(()),
+            _ => Err(EpcError::AccessDenied { page, accessor }),
+        }
+    }
+
+    /// Read bytes from a page.
+    ///
+    /// # Errors
+    ///
+    /// [`EpcError::AccessDenied`] for any non-owner accessor (including
+    /// the OS — the attack the experiments exercise).
+    pub fn read(
+        &self,
+        page: usize,
+        offset: usize,
+        out: &mut [u8],
+        accessor: Accessor,
+    ) -> Result<(), EpcError> {
+        self.check(page, accessor)?;
+        let end = offset + out.len();
+        if end > EPC_PAGE_SIZE {
+            return Err(EpcError::OutOfRange { page });
+        }
+        out.copy_from_slice(&self.pages[page].data[offset..end]);
+        Ok(())
+    }
+
+    /// Write bytes to a page.
+    ///
+    /// # Errors
+    ///
+    /// As [`Epc::read`].
+    pub fn write(
+        &mut self,
+        page: usize,
+        offset: usize,
+        data: &[u8],
+        accessor: Accessor,
+    ) -> Result<(), EpcError> {
+        self.check(page, accessor)?;
+        let end = offset + data.len();
+        if end > EPC_PAGE_SIZE {
+            return Err(EpcError::OutOfRange { page });
+        }
+        self.pages[page].data[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enclave_reads_its_own_pages() {
+        let mut epc = Epc::new(4);
+        let page = epc.alloc(1).unwrap();
+        epc.write(page, 0, b"secret", Accessor::Enclave(1)).unwrap();
+        let mut out = [0u8; 6];
+        epc.read(page, 0, &mut out, Accessor::Enclave(1)).unwrap();
+        assert_eq!(&out, b"secret");
+    }
+
+    #[test]
+    fn os_is_denied() {
+        let mut epc = Epc::new(4);
+        let page = epc.alloc(1).unwrap();
+        epc.write(page, 0, b"key", Accessor::Enclave(1)).unwrap();
+        let mut out = [0u8; 3];
+        assert_eq!(
+            epc.read(page, 0, &mut out, Accessor::Os),
+            Err(EpcError::AccessDenied {
+                page,
+                accessor: Accessor::Os
+            })
+        );
+        assert!(epc.write(page, 0, b"pwn", Accessor::Os).is_err());
+        assert_eq!(out, [0; 3], "nothing leaked");
+    }
+
+    #[test]
+    fn other_enclave_is_denied() {
+        let mut epc = Epc::new(4);
+        let page = epc.alloc(1).unwrap();
+        let mut out = [0u8; 1];
+        assert!(matches!(
+            epc.read(page, 0, &mut out, Accessor::Enclave(2)),
+            Err(EpcError::AccessDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn free_scrubs_contents() {
+        let mut epc = Epc::new(2);
+        let page = epc.alloc(1).unwrap();
+        epc.write(page, 0, &[0xAA; 16], Accessor::Enclave(1)).unwrap();
+        epc.free(page, Accessor::Enclave(1)).unwrap();
+        // Reallocate to another enclave; the old contents must be gone.
+        let page2 = epc.alloc(2).unwrap();
+        assert_eq!(page2, page);
+        let mut out = [0xFFu8; 16];
+        epc.read(page2, 0, &mut out, Accessor::Enclave(2)).unwrap();
+        assert_eq!(out, [0; 16]);
+    }
+
+    #[test]
+    fn exhaustion_and_bounds() {
+        let mut epc = Epc::new(1);
+        let p = epc.alloc(1).unwrap();
+        assert_eq!(epc.alloc(2), Err(EpcError::Full));
+        let mut out = [0u8; 8];
+        assert!(matches!(
+            epc.read(p, EPC_PAGE_SIZE - 4, &mut out, Accessor::Enclave(1)),
+            Err(EpcError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            epc.read(9, 0, &mut out, Accessor::Enclave(1)),
+            Err(EpcError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unallocated_page_faults() {
+        let epc = Epc::new(2);
+        let mut out = [0u8; 1];
+        assert_eq!(
+            epc.read(0, 0, &mut out, Accessor::Enclave(1)),
+            Err(EpcError::NotAllocated { page: 0 })
+        );
+    }
+
+    #[test]
+    fn page_accounting() {
+        let mut epc = Epc::new(8);
+        for _ in 0..3 {
+            epc.alloc(7).unwrap();
+        }
+        assert_eq!(epc.pages_of(7), 3);
+        assert_eq!(epc.pages_of(1), 0);
+        assert_eq!(epc.page_count(), 8);
+        assert!(format!("{epc:?}").contains("3 allocated"));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # kshot-enclave — the Intel SGX simulation
+//!
+//! KShot runs its patch-preprocessing helper inside an SGX enclave so
+//! that a compromised OS can neither read the session keys nor tamper
+//! with the decrypted patch before it is re-encrypted for the SMM handler
+//! (paper §II-C, §V-B). This crate supplies the SGX substrate:
+//!
+//! * [`platform`] — the per-machine SGX platform with its sealing
+//!   identity, enclave creation, and local-attestation [`Report`]s.
+//! * [`enclave`] — [`Enclave<S>`]: private state `S` reachable *only*
+//!   through [`Enclave::ecall`], the simulation's EENTER. The state is
+//!   structurally unreachable from outside (private field, opaque
+//!   `Debug`), mirroring the EPC access-control guarantee.
+//! * [`epc`] — an explicit Enclave Page Cache model whose reads/writes
+//!   check the accessor, so "the OS tried to read enclave memory and the
+//!   CPU said no" is an observable, testable event.
+//! * [`sealed`] — sealing/unsealing of enclave state to untrusted
+//!   storage, bound to the enclave measurement and platform identity.
+//!
+//! Side-channel attacks against SGX are out of scope, matching the
+//! paper's threat model (§III).
+
+pub mod enclave;
+pub mod epc;
+pub mod platform;
+pub mod sealed;
+
+pub use enclave::Enclave;
+pub use epc::{Accessor, Epc, EpcError};
+pub use platform::{Report, SgxPlatform};
+pub use sealed::SealedBlob;

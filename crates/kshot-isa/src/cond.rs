@@ -1,0 +1,142 @@
+//! Branch condition codes.
+
+use std::fmt;
+
+/// Condition code for conditional branches (`Jcc`).
+///
+/// Conditions are evaluated against the flags produced by the most recent
+/// `Cmp`/`CmpImm` instruction, which records both a signed and an unsigned
+/// comparison of its two operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal.
+    Eq = 0,
+    /// Not equal.
+    Ne = 1,
+    /// Signed less-than.
+    Lt = 2,
+    /// Signed less-or-equal.
+    Le = 3,
+    /// Signed greater-than.
+    Gt = 4,
+    /// Signed greater-or-equal.
+    Ge = 5,
+    /// Unsigned below.
+    B = 6,
+    /// Unsigned below-or-equal.
+    Be = 7,
+    /// Unsigned above.
+    A = 8,
+    /// Unsigned above-or-equal.
+    Ae = 9,
+}
+
+impl Cond {
+    /// All condition codes, indexed by their encoding.
+    pub const ALL: [Cond; 10] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+    ];
+
+    /// Encoding byte.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode from an encoding byte.
+    pub fn from_code(code: u8) -> Option<Cond> {
+        Cond::ALL.get(code as usize).copied()
+    }
+
+    /// Evaluate the condition against a pair of compared values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i64) < (b as i64),
+            Cond::Le => (a as i64) <= (b as i64),
+            Cond::Gt => (a as i64) > (b as i64),
+            Cond::Ge => (a as i64) >= (b as i64),
+            Cond::B => a < b,
+            Cond::Be => a <= b,
+            Cond::A => a > b,
+            Cond::Ae => a >= b,
+        }
+    }
+
+    /// The condition that accepts exactly the complementary set of inputs.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::B => Cond::Ae,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::Ae => Cond::B,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_code(c.code()), Some(c));
+        }
+        assert_eq!(Cond::from_code(10), None);
+    }
+
+    #[test]
+    fn signed_vs_unsigned() {
+        let neg1 = u64::MAX; // -1 as i64
+        assert!(Cond::Lt.eval(neg1, 0)); // signed: -1 < 0
+        assert!(!Cond::B.eval(neg1, 0)); // unsigned: MAX > 0
+        assert!(Cond::A.eval(neg1, 0));
+        assert!(Cond::Ge.eval(0, neg1));
+    }
+
+    #[test]
+    fn negation_is_exact_complement() {
+        let samples = [(0u64, 0u64), (1, 2), (2, 1), (u64::MAX, 0), (0, u64::MAX)];
+        for c in Cond::ALL {
+            for &(a, b) in &samples {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b), "{c} on ({a},{b})");
+            }
+        }
+    }
+}

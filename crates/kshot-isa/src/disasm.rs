@@ -1,0 +1,159 @@
+//! Linear-sweep disassembler.
+//!
+//! The binary-analysis pipeline (`kshot-analysis`) and the SMM handler's
+//! integrity introspection both need to walk instruction streams; this
+//! module provides a plain linear sweep plus a formatted listing helper.
+
+use crate::{Inst, IsaError};
+
+/// Disassemble an entire byte region laid out at `base`.
+///
+/// Returns `(address, instruction)` pairs in layout order.
+///
+/// # Errors
+///
+/// Fails if any byte position begins an unknown or truncated instruction —
+/// a linear sweep must consume the whole region exactly.
+pub fn disassemble(bytes: &[u8], base: u64) -> Result<Vec<(u64, Inst)>, IsaError> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let (inst, len) = Inst::decode(bytes, off)?;
+        out.push((base + off as u64, inst));
+        off += len;
+    }
+    Ok(out)
+}
+
+/// Iterator-style disassembler that tolerates errors by stopping.
+///
+/// Unlike [`disassemble`], this yields instructions until the first decode
+/// failure, which is what introspection wants when scanning a region that
+/// may end in non-code bytes.
+#[derive(Debug, Clone)]
+pub struct Sweep<'a> {
+    bytes: &'a [u8],
+    base: u64,
+    off: usize,
+}
+
+impl<'a> Sweep<'a> {
+    /// Start a sweep over `bytes` laid out at `base`.
+    pub fn new(bytes: &'a [u8], base: u64) -> Self {
+        Self {
+            bytes,
+            base,
+            off: 0,
+        }
+    }
+
+    /// Byte offset the sweep has reached.
+    pub fn offset(&self) -> usize {
+        self.off
+    }
+}
+
+impl Iterator for Sweep<'_> {
+    type Item = (u64, Inst);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.off >= self.bytes.len() {
+            return None;
+        }
+        match Inst::decode(self.bytes, self.off) {
+            Ok((inst, len)) => {
+                let addr = self.base + self.off as u64;
+                self.off += len;
+                Some((addr, inst))
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// Produce a human-readable listing (one instruction per line, with
+/// addresses), for debugging and the example binaries' output.
+pub fn listing(bytes: &[u8], base: u64) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (addr, inst) in Sweep::new(bytes, base) {
+        let _ = writeln!(s, "{addr:#010x}:  {inst}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Reg};
+
+    fn sample_code() -> Vec<u8> {
+        let mut buf = Vec::new();
+        for inst in [
+            Inst::Ftrace { site: 7 },
+            Inst::MovImm {
+                dst: Reg::R0,
+                imm: 1,
+            },
+            Inst::CmpImm {
+                reg: Reg::R0,
+                imm: 0,
+            },
+            Inst::Jcc {
+                cond: Cond::Eq,
+                rel: 1,
+            },
+            Inst::Ret,
+        ] {
+            inst.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    #[test]
+    fn full_disassembly() {
+        let code = sample_code();
+        let insts = disassemble(&code, 0x8000).unwrap();
+        assert_eq!(insts.len(), 5);
+        assert_eq!(insts[0], (0x8000, Inst::Ftrace { site: 7 }));
+        assert_eq!(insts[4].1, Inst::Ret);
+        // Addresses are cumulative encoded lengths.
+        assert_eq!(insts[1].0, 0x8005);
+        assert_eq!(insts[2].0, 0x800F);
+    }
+
+    #[test]
+    fn disassemble_rejects_garbage() {
+        let mut code = sample_code();
+        code.push(0xAB); // junk trailing byte
+        assert!(disassemble(&code, 0).is_err());
+    }
+
+    #[test]
+    fn sweep_stops_at_garbage() {
+        let mut code = sample_code();
+        let good_len = code.len();
+        code.push(0xAB);
+        let sweep = Sweep::new(&code, 0);
+        let got: Vec<_> = sweep.collect();
+        assert_eq!(got.len(), 5);
+        let mut sweep = Sweep::new(&code, 0);
+        while sweep.next().is_some() {}
+        assert_eq!(sweep.offset(), good_len);
+    }
+
+    #[test]
+    fn listing_contains_addresses_and_mnemonics() {
+        let code = sample_code();
+        let text = listing(&code, 0x8000);
+        assert!(text.contains("0x00008000"));
+        assert!(text.contains("ftrace"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn empty_region() {
+        assert!(disassemble(&[], 0).unwrap().is_empty());
+        assert_eq!(Sweep::new(&[], 0).count(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for encoding, decoding and assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding, decoding or assembling KV instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A relative displacement does not fit in 32 bits.
+    RelOutOfRange {
+        /// Address of the branch instruction.
+        at: u64,
+        /// Intended branch target.
+        target: u64,
+    },
+    /// The output buffer is too small for the requested write.
+    BufferTooSmall {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// An unknown opcode byte was encountered while decoding.
+    UnknownOpcode {
+        /// The offending byte.
+        opcode: u8,
+        /// Offset within the decoded buffer.
+        offset: usize,
+    },
+    /// The instruction at `offset` is truncated (buffer ended mid-encoding).
+    Truncated {
+        /// Offset within the decoded buffer.
+        offset: usize,
+    },
+    /// An operand field decoded to an invalid value (bad register or
+    /// condition index).
+    BadOperand {
+        /// Offset within the decoded buffer.
+        offset: usize,
+        /// Human-readable description of the field.
+        what: &'static str,
+    },
+    /// A label referenced during assembly was never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once during assembly.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RelOutOfRange { at, target } => write!(
+                f,
+                "relative displacement from {at:#x} to {target:#x} exceeds 32 bits"
+            ),
+            IsaError::BufferTooSmall { need, have } => {
+                write!(f, "buffer too small: need {need} bytes, have {have}")
+            }
+            IsaError::UnknownOpcode { opcode, offset } => {
+                write!(f, "unknown opcode {opcode:#04x} at offset {offset:#x}")
+            }
+            IsaError::Truncated { offset } => {
+                write!(f, "truncated instruction at offset {offset:#x}")
+            }
+            IsaError::BadOperand { offset, what } => {
+                write!(f, "invalid {what} operand at offset {offset:#x}")
+            }
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let samples: Vec<IsaError> = vec![
+            IsaError::RelOutOfRange { at: 1, target: 2 },
+            IsaError::BufferTooSmall { need: 5, have: 1 },
+            IsaError::UnknownOpcode {
+                opcode: 0xff,
+                offset: 3,
+            },
+            IsaError::Truncated { offset: 9 },
+            IsaError::BadOperand {
+                offset: 0,
+                what: "register",
+            },
+            IsaError::UndefinedLabel("x".into()),
+            IsaError::DuplicateLabel("y".into()),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

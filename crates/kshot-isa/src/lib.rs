@@ -1,0 +1,150 @@
+#![warn(missing_docs)]
+
+//! # kshot-isa — the KV instruction set
+//!
+//! A compact, x86-flavoured instruction set used by the KShot reproduction
+//! as the binary substrate for its miniature kernel. The design goals mirror
+//! the properties of x86-64 that the KShot paper's binary patching mechanics
+//! depend on:
+//!
+//! * **Variable-length encoding** so that binary diffing, disassembly and
+//!   signature matching are non-trivial (as they are on x86).
+//! * **A 5-byte `jmp rel32`** (`0xE9` + little-endian `i32`), which is the
+//!   exact trampoline shape KShot installs at the entry of a vulnerable
+//!   function: `offset = p.paddr − p.taddr + 5`.
+//! * **A 5-byte ftrace pad** (`call __fentry__`-analogue) emitted at the
+//!   entry of traceable functions, which live patching must skip over
+//!   (paper §V-A, "Supporting Kernel Tracing").
+//! * Enough real computation (ALU, memory, branches, calls, syscalls) that
+//!   kernel functions — and therefore CVE exploits and their fixes — are
+//!   *executable behaviours*, not flags.
+//!
+//! The crate provides instruction [`Inst`] encode/decode, a two-pass
+//! label-resolving [`asm::Assembler`], a linear-sweep [`disasm`]
+//! disassembler, and the raw byte-level helpers used by the SMM patching
+//! module (e.g. [`write_jmp_rel32`]).
+//!
+//! ```
+//! use kshot_isa::{Inst, Reg, asm::Assembler};
+//!
+//! let mut a = Assembler::new();
+//! a.label("loop");
+//! a.push(Inst::AddImm { dst: Reg::R0, imm: 1 });
+//! a.jmp("loop");
+//! let code = a.assemble(0x1000).unwrap();
+//! assert_eq!(code.len(), 6 + 5);
+//! ```
+
+pub mod asm;
+pub mod disasm;
+
+mod cond;
+mod error;
+mod inst;
+mod reg;
+
+pub use cond::Cond;
+pub use error::IsaError;
+pub use inst::{opcodes, Inst, JMP_LEN, MAX_INST_LEN};
+pub use reg::Reg;
+
+/// Compute the `rel32` displacement for a 5-byte jump/call placed at
+/// address `at` whose target is `target`.
+///
+/// The displacement is relative to the *next* instruction, i.e.
+/// `target = at + 5 + rel`, matching both x86 and the paper's
+/// `p.paddr − p.taddr + 5` formulation (the paper states the stored offset
+/// such that control arrives at `paddr`; solving for the encoded
+/// displacement gives `paddr − (taddr + 5)`).
+///
+/// # Errors
+///
+/// Returns [`IsaError::RelOutOfRange`] if the displacement does not fit in
+/// a signed 32-bit value.
+pub fn rel32_for(at: u64, target: u64) -> Result<i32, IsaError> {
+    let next = at.wrapping_add(JMP_LEN as u64);
+    let rel = (target as i128) - (next as i128);
+    if rel > i32::MAX as i128 || rel < i32::MIN as i128 {
+        return Err(IsaError::RelOutOfRange { at, target });
+    }
+    Ok(rel as i32)
+}
+
+/// Encode a 5-byte `jmp rel32` into `buf` such that execution at address
+/// `at` lands on `target`. This is the trampoline writer used by the SMM
+/// handler when redirecting a vulnerable function into `mem_X`.
+///
+/// # Errors
+///
+/// Returns an error if `buf` is shorter than 5 bytes or the displacement
+/// is out of range.
+pub fn write_jmp_rel32(buf: &mut [u8], at: u64, target: u64) -> Result<(), IsaError> {
+    if buf.len() < JMP_LEN {
+        return Err(IsaError::BufferTooSmall {
+            need: JMP_LEN,
+            have: buf.len(),
+        });
+    }
+    let rel = rel32_for(at, target)?;
+    buf[0] = inst::opcodes::JMP;
+    buf[1..5].copy_from_slice(&rel.to_le_bytes());
+    Ok(())
+}
+
+/// Decode the target of a 5-byte `jmp rel32` located at address `at`.
+///
+/// Returns `None` if the bytes do not start with a jump opcode or are too
+/// short.
+pub fn read_jmp_target(buf: &[u8], at: u64) -> Option<u64> {
+    if buf.len() < JMP_LEN || buf[0] != inst::opcodes::JMP {
+        return None;
+    }
+    let rel = i32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    Some(at.wrapping_add(JMP_LEN as u64).wrapping_add(rel as i64 as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel32_forward_and_back() {
+        assert_eq!(rel32_for(0x1000, 0x1005).unwrap(), 0);
+        assert_eq!(rel32_for(0x1000, 0x1000).unwrap(), -5);
+        assert_eq!(rel32_for(0x1000, 0x2000).unwrap(), 0xFFB);
+    }
+
+    #[test]
+    fn rel32_out_of_range() {
+        assert!(rel32_for(0, 0x1_0000_0000).is_err());
+    }
+
+    #[test]
+    fn jmp_roundtrip() {
+        let mut buf = [0u8; 5];
+        write_jmp_rel32(&mut buf, 0xffff_0000, 0xffff_1234).unwrap();
+        assert_eq!(read_jmp_target(&buf, 0xffff_0000), Some(0xffff_1234));
+    }
+
+    #[test]
+    fn jmp_backward_target() {
+        let mut buf = [0u8; 5];
+        write_jmp_rel32(&mut buf, 0x2000, 0x1000).unwrap();
+        assert_eq!(read_jmp_target(&buf, 0x2000), Some(0x1000));
+    }
+
+    #[test]
+    fn jmp_buffer_too_small() {
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            write_jmp_rel32(&mut buf, 0, 0),
+            Err(IsaError::BufferTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn read_jmp_rejects_non_jmp() {
+        let buf = [0x90u8, 0, 0, 0, 0];
+        assert_eq!(read_jmp_target(&buf, 0), None);
+    }
+}

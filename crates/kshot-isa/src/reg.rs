@@ -1,0 +1,120 @@
+//! General-purpose register names for the KV ISA.
+
+use std::fmt;
+
+/// One of the sixteen 64-bit general-purpose registers (`r0`–`r15`).
+///
+/// By convention (enforced by the `kshot-kcc` code generator, not the
+/// hardware):
+///
+/// * `r0` — return value / first scratch
+/// * `r1`–`r5` — argument registers
+/// * `r14` — frame-ish scratch reserved for the compiler
+/// * `r15` — stack pointer
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// General-purpose register `r0`.
+    R0 = 0,
+    /// General-purpose register `r1`.
+    R1 = 1,
+    /// General-purpose register `r2`.
+    R2 = 2,
+    /// General-purpose register `r3`.
+    R3 = 3,
+    /// General-purpose register `r4`.
+    R4 = 4,
+    /// General-purpose register `r5`.
+    R5 = 5,
+    /// General-purpose register `r6`.
+    R6 = 6,
+    /// General-purpose register `r7`.
+    R7 = 7,
+    /// General-purpose register `r8`.
+    R8 = 8,
+    /// General-purpose register `r9`.
+    R9 = 9,
+    /// General-purpose register `r10`.
+    R10 = 10,
+    /// General-purpose register `r11`.
+    R11 = 11,
+    /// General-purpose register `r12`.
+    R12 = 12,
+    /// General-purpose register `r13`.
+    R13 = 13,
+    /// General-purpose register `r14`.
+    R14 = 14,
+    /// General-purpose register `r15`.
+    R15 = 15,
+}
+
+impl Reg {
+    /// Number of architectural general-purpose registers.
+    pub const COUNT: usize = 16;
+
+    /// The stack-pointer register (`r15`).
+    pub const SP: Reg = Reg::R15;
+
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Register index as used in instruction encodings.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Build a register from an encoding index.
+    ///
+    /// Returns `None` for indices ≥ 16.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        Reg::ALL.get(idx as usize).copied()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u8), Some(r));
+        }
+    }
+
+    #[test]
+    fn from_index_out_of_range() {
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::SP.to_string(), "r15");
+    }
+}

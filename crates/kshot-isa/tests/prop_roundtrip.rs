@@ -1,0 +1,112 @@
+//! Property tests: arbitrary instruction streams encode/decode losslessly,
+//! and trampoline arithmetic is exact for arbitrary address pairs.
+
+use kshot_isa::{asm::Assembler, disasm, read_jmp_target, rel32_for, write_jmp_rel32};
+use kshot_isa::{Cond, Inst, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..10).prop_map(|i| Cond::from_code(i).unwrap())
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Ret),
+        Just(Inst::Halt),
+        Just(Inst::Trap),
+        any::<u32>().prop_map(|site| Inst::Ftrace { site }),
+        any::<i32>().prop_map(|rel| Inst::Jmp { rel }),
+        any::<i32>().prop_map(|rel| Inst::Call { rel }),
+        (arb_cond(), any::<i32>()).prop_map(|(cond, rel)| Inst::Jcc { cond, rel }),
+        (arb_reg(), any::<u64>()).prop_map(|(dst, imm)| Inst::MovImm { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::MovReg { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Add { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Sub { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Xor { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Mul { dst, src }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Div { dst, src }),
+        (arb_reg(), any::<u8>()).prop_map(|(dst, amount)| Inst::ShlImm { dst, amount }),
+        (arb_reg(), any::<i32>()).prop_map(|(dst, imm)| Inst::AddImm { dst, imm }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, base, disp)| Inst::Load { dst, base, disp }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(base, src, disp)| Inst::Store { base, disp, src }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(dst, base, disp)| Inst::LoadByte { dst, base, disp }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(base, src, disp)| Inst::StoreByte { base, disp, src }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Cmp { a, b }),
+        (arb_reg(), any::<i32>()).prop_map(|(reg, imm)| Inst::CmpImm { reg, imm }),
+        arb_reg().prop_map(|src| Inst::Push { src }),
+        arb_reg().prop_map(|dst| Inst::Pop { dst }),
+        any::<u8>().prop_map(|num| Inst::Sys { num }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn single_inst_roundtrip(inst in arb_inst()) {
+        let bytes = inst.encode();
+        prop_assert_eq!(bytes.len(), inst.encoded_len());
+        let (decoded, len) = Inst::decode(&bytes, 0).unwrap();
+        prop_assert_eq!(decoded, inst);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn stream_roundtrip(insts in prop::collection::vec(arb_inst(), 0..64), base in any::<u32>()) {
+        let base = base as u64;
+        let mut buf = Vec::new();
+        for i in &insts {
+            i.encode_into(&mut buf);
+        }
+        let decoded = disasm::disassemble(&buf, base).unwrap();
+        let got: Vec<Inst> = decoded.iter().map(|(_, i)| *i).collect();
+        prop_assert_eq!(got, insts.clone());
+        // Addresses are strictly increasing and start at base.
+        if let Some(&(first, _)) = decoded.first() {
+            prop_assert_eq!(first, base);
+        }
+        for w in decoded.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn trampoline_exact_for_reachable_targets(at in any::<u32>(), delta in any::<i32>()) {
+        // Target within ±2 GiB of the jump site, computed without overflow.
+        let at = at as u64 + 0x1_0000_0000; // keep away from u64 underflow
+        let target = (at as i128 + delta as i128) as u64;
+        let mut buf = [0u8; 8];
+        if write_jmp_rel32(&mut buf, at, target).is_ok() {
+            prop_assert_eq!(read_jmp_target(&buf, at), Some(target));
+        } else {
+            // rel32_for must agree that it is unreachable.
+            prop_assert!(rel32_for(at, target).is_err());
+        }
+    }
+
+    #[test]
+    fn assembler_label_resolution_matches_decode(n_nops in 0usize..200) {
+        // jmp over a variable-length pad, then ret.
+        let mut a = Assembler::new();
+        a.jmp("end");
+        for _ in 0..n_nops {
+            a.push(Inst::Nop);
+        }
+        a.label("end");
+        a.push(Inst::Ret);
+        let code = a.assemble(0x9000).unwrap();
+        let insts = disasm::disassemble(&code, 0x9000).unwrap();
+        let target = insts[0].1.branch_target(0x9000).unwrap();
+        // The target must be the address of the ret.
+        let (ret_addr, ret) = *insts.last().unwrap();
+        prop_assert_eq!(ret, Inst::Ret);
+        prop_assert_eq!(target, ret_addr);
+    }
+}

@@ -1,0 +1,761 @@
+//! Code generation: KIR → KV machine code, with codegen-time inlining.
+//!
+//! ## ABI
+//!
+//! * `r0` — return value and expression result.
+//! * `r1`–`r5` — argument registers.
+//! * `r10`, `r11` — codegen scratch.
+//! * `r14` — frame pointer (callee-saved via push/pop).
+//! * `r15` — stack pointer; `Push`/`Pop` move it by 8.
+//!
+//! Each function's frame holds its parameters (spilled at entry), its
+//! locals, and — crucially — the parameter/local slots of every call it
+//! **inlines**, recursively. Inlining happens at codegen time: instead of
+//! emitting `call f`, the compiler emits `f`'s body in place, binding
+//! `f`'s parameter slots and redirecting `f`'s returns to a local label.
+//! This is the mechanism that produces genuine source-vs-binary call-graph
+//! divergence, which `kshot-analysis` must then recover (paper §V-A,
+//! Type 2 patches).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kshot_isa::asm::Assembler;
+use kshot_isa::{Inst, IsaError, Reg};
+
+use crate::ir::{CondExpr, Expr, Function, InlineHint, Program, Stmt};
+
+/// Compilation options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Auto-inline functions whose statement count is at most this
+    /// (functions hinted `Always`/`Never` override it).
+    pub inline_threshold: usize,
+    /// Emit the 5-byte ftrace pad at the entry of traceable functions
+    /// (paper: the kernel tracer owns those bytes at runtime).
+    pub tracing: bool,
+    /// Function alignment in the text segment.
+    pub align: usize,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        Self {
+            inline_threshold: 3,
+            tracing: true,
+            align: 16,
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// Options with inlining completely disabled (used to build the
+    /// "source-shaped" binary that the call-graph comparison needs).
+    pub fn no_inline() -> Self {
+        Self {
+            inline_threshold: 0,
+            tracing: true,
+            align: 16,
+        }
+    }
+}
+
+/// A call-site relocation: the `Call` instruction at `offset` (relative to
+/// the function start) targets `callee` and must be fixed up at link time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Byte offset of the `Call` instruction within the function body.
+    pub offset: usize,
+    /// Name of the called function.
+    pub callee: String,
+}
+
+/// The output of compiling one function.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Function name.
+    pub name: String,
+    /// Machine code (with zeroed placeholders at call relocations).
+    pub code: Vec<u8>,
+    /// Call fixups for the linker.
+    pub relocs: Vec<Reloc>,
+    /// Offset of the ftrace pad, if one was emitted (always 0 today, but
+    /// recorded so analysis does not assume).
+    pub ftrace_offset: Option<usize>,
+    /// Ground truth: every function transitively inlined into this body,
+    /// in emission order (with duplicates if inlined at several sites).
+    pub inlined: Vec<String>,
+}
+
+/// Errors produced during code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Call to a function not present in the program.
+    UnknownFunction(String),
+    /// Reference to a global not present in the address map.
+    UnknownGlobal(String),
+    /// Assembly-level failure (label or displacement problems).
+    Asm(IsaError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            CodegenError::UnknownGlobal(n) => write!(f, "unknown global `{n}`"),
+            CodegenError::Asm(e) => write!(f, "assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<IsaError> for CodegenError {
+    fn from(e: IsaError) -> Self {
+        CodegenError::Asm(e)
+    }
+}
+
+const SCRATCH_A: Reg = Reg::R10;
+const SCRATCH_B: Reg = Reg::R11;
+const FP: Reg = Reg::R14;
+const RESULT: Reg = Reg::R0;
+
+/// Compile one function of `program`.
+///
+/// `globals` maps global names to their physical data-segment addresses
+/// (assigned by the linker before compilation). `site` is the ftrace site
+/// id stamped into the trace pad.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] on dangling references or assembly failures;
+/// run [`Program::validate`] first for friendlier diagnostics.
+pub fn compile_function(
+    program: &Program,
+    func: &Function,
+    globals: &BTreeMap<String, u64>,
+    opts: &CodegenOptions,
+    site: u32,
+) -> Result<CompiledFunction, CodegenError> {
+    let mut c = Compiler {
+        program,
+        opts,
+        globals,
+        asm: Assembler::new(),
+        relocs: Vec::new(),
+        inlined: Vec::new(),
+        label_counter: 0,
+        next_slot: 0,
+        inline_stack: vec![func.name.clone()],
+    };
+    let total = c.slots_for(func, &mut vec![func.name.clone()])?;
+    let mut ftrace_offset = None;
+    if opts.tracing && func.traceable {
+        ftrace_offset = Some(c.asm.offset());
+        c.asm.push(Inst::Ftrace { site });
+    }
+    // Prologue.
+    c.asm.push(Inst::Push { src: FP });
+    c.asm.push(Inst::MovReg {
+        dst: FP,
+        src: Reg::SP,
+    });
+    if total > 0 {
+        c.asm.push(Inst::AddImm {
+            dst: Reg::SP,
+            imm: -(8 * total as i32),
+        });
+    }
+    // Spill parameters, zero locals.
+    c.next_slot = func.params + func.locals;
+    for i in 0..func.params {
+        c.asm.push(Inst::Store {
+            base: FP,
+            disp: slot_disp(i),
+            src: arg_reg(i),
+        });
+    }
+    c.zero_slots(func.params, func.locals);
+    let ctx = FnCtx {
+        param_base: 0,
+        local_base: func.params,
+        end_label: None,
+    };
+    c.stmts(&func.body, &ctx)?;
+    // Epilogue.
+    c.asm.label(EPILOGUE);
+    c.asm.push(Inst::MovReg {
+        dst: Reg::SP,
+        src: FP,
+    });
+    c.asm.push(Inst::Pop { dst: FP });
+    c.asm.push(Inst::Ret);
+    debug_assert_eq!(c.next_slot, total, "slot planner / emitter divergence");
+    let code = c.asm.assemble(0)?;
+    Ok(CompiledFunction {
+        name: func.name.clone(),
+        code,
+        relocs: c.relocs,
+        ftrace_offset,
+        inlined: c.inlined,
+    })
+}
+
+const EPILOGUE: &str = "__epilogue";
+
+fn arg_reg(i: usize) -> Reg {
+    Reg::from_index(1 + i as u8).expect("≤5 args by IR validation")
+}
+
+fn slot_disp(slot: usize) -> i32 {
+    -8 * (slot as i32 + 1)
+}
+
+/// Per-(possibly inlined)-body compilation context.
+#[derive(Debug, Clone)]
+struct FnCtx {
+    param_base: usize,
+    local_base: usize,
+    /// For inlined bodies, the label a `Return` jumps to; `None` in the
+    /// outer function (returns go to the epilogue).
+    end_label: Option<String>,
+}
+
+struct Compiler<'a> {
+    program: &'a Program,
+    opts: &'a CodegenOptions,
+    globals: &'a BTreeMap<String, u64>,
+    asm: Assembler,
+    relocs: Vec<Reloc>,
+    inlined: Vec<String>,
+    label_counter: u64,
+    next_slot: usize,
+    inline_stack: Vec<String>,
+}
+
+impl Compiler<'_> {
+    fn fresh(&mut self, tag: &str) -> String {
+        self.label_counter += 1;
+        format!("{tag}_{}", self.label_counter)
+    }
+
+    fn should_inline(&self, callee: &Function, stack: &[String]) -> bool {
+        if stack.iter().any(|n| n == &callee.name) {
+            return false; // never inline recursion
+        }
+        match callee.inline {
+            InlineHint::Always => true,
+            InlineHint::Never => false,
+            InlineHint::Auto => {
+                self.opts.inline_threshold > 0 && callee.stmt_count() <= self.opts.inline_threshold
+            }
+        }
+    }
+
+    /// Total frame slots needed by `f`, including transitively inlined
+    /// callees. Must mirror the emitter's slot consumption exactly.
+    fn slots_for(&self, f: &Function, stack: &mut Vec<String>) -> Result<usize, CodegenError> {
+        let mut n = f.params + f.locals;
+        for callee_name in f.callees() {
+            let callee = self
+                .program
+                .function(&callee_name)
+                .ok_or_else(|| CodegenError::UnknownFunction(callee_name.clone()))?;
+            if self.should_inline(callee, stack) {
+                stack.push(callee_name);
+                n += self.slots_for(callee, stack)?;
+                stack.pop();
+            }
+        }
+        Ok(n)
+    }
+
+    fn zero_slots(&mut self, base: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.asm.push(Inst::MovImm {
+            dst: SCRATCH_A,
+            imm: 0,
+        });
+        for j in 0..count {
+            self.asm.push(Inst::Store {
+                base: FP,
+                disp: slot_disp(base + j),
+                src: SCRATCH_A,
+            });
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt], ctx: &FnCtx) -> Result<(), CodegenError> {
+        for s in stmts {
+            self.stmt(s, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, ctx: &FnCtx) -> Result<(), CodegenError> {
+        match s {
+            Stmt::Assign(l, e) => {
+                self.expr(e, ctx)?;
+                self.asm.push(Inst::Store {
+                    base: FP,
+                    disp: slot_disp(ctx.local_base + l),
+                    src: RESULT,
+                });
+            }
+            Stmt::StoreGlobal(g, e) => {
+                let addr = self.global_addr(g)?;
+                self.expr(e, ctx)?;
+                self.asm.push(Inst::MovImm {
+                    dst: SCRATCH_A,
+                    imm: addr,
+                });
+                self.asm.push(Inst::Store {
+                    base: SCRATCH_A,
+                    disp: 0,
+                    src: RESULT,
+                });
+            }
+            Stmt::Store { addr, value } => {
+                self.expr(addr, ctx)?;
+                self.asm.push(Inst::Push { src: RESULT });
+                self.expr(value, ctx)?;
+                self.asm.push(Inst::Pop { dst: SCRATCH_A });
+                self.asm.push(Inst::Store {
+                    base: SCRATCH_A,
+                    disp: 0,
+                    src: RESULT,
+                });
+            }
+            Stmt::StoreByte { addr, value } => {
+                self.expr(addr, ctx)?;
+                self.asm.push(Inst::Push { src: RESULT });
+                self.expr(value, ctx)?;
+                self.asm.push(Inst::Pop { dst: SCRATCH_A });
+                self.asm.push(Inst::StoreByte {
+                    base: SCRATCH_A,
+                    disp: 0,
+                    src: RESULT,
+                });
+            }
+            Stmt::If { cond, then, els } => {
+                let l_else = self.fresh("else");
+                let l_end = self.fresh("endif");
+                self.cond(cond, ctx)?;
+                self.asm.jcc(cond.op.negate(), l_else.clone());
+                self.stmts(then, ctx)?;
+                self.asm.jmp(l_end.clone());
+                self.asm.label(l_else);
+                self.stmts(els, ctx)?;
+                self.asm.label(l_end);
+            }
+            Stmt::While { cond, body } => {
+                let l_head = self.fresh("while");
+                let l_end = self.fresh("wend");
+                self.asm.label(l_head.clone());
+                self.cond(cond, ctx)?;
+                self.asm.jcc(cond.op.negate(), l_end.clone());
+                self.stmts(body, ctx)?;
+                self.asm.jmp(l_head);
+                self.asm.label(l_end);
+            }
+            Stmt::Return(e) => {
+                self.expr(e, ctx)?;
+                match &ctx.end_label {
+                    Some(l) => {
+                        let l = l.clone();
+                        self.asm.jmp(l);
+                    }
+                    None => {
+                        self.asm.jmp(EPILOGUE);
+                    }
+                }
+            }
+            Stmt::Call(name, args) => {
+                self.emit_call(name, args, ctx)?;
+            }
+            Stmt::Trap => {
+                self.asm.push(Inst::Trap);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate a condition: leaves the flags set for `cond.op`.
+    fn cond(&mut self, cond: &CondExpr, ctx: &FnCtx) -> Result<(), CodegenError> {
+        self.expr(&cond.lhs, ctx)?;
+        self.asm.push(Inst::Push { src: RESULT });
+        self.expr(&cond.rhs, ctx)?;
+        self.asm.push(Inst::MovReg {
+            dst: SCRATCH_B,
+            src: RESULT,
+        });
+        self.asm.push(Inst::Pop { dst: RESULT });
+        self.asm.push(Inst::Cmp {
+            a: RESULT,
+            b: SCRATCH_B,
+        });
+        Ok(())
+    }
+
+    /// Evaluate an expression into `r0`.
+    fn expr(&mut self, e: &Expr, ctx: &FnCtx) -> Result<(), CodegenError> {
+        match e {
+            Expr::Const(v) => {
+                self.asm.push(Inst::MovImm {
+                    dst: RESULT,
+                    imm: *v,
+                });
+            }
+            Expr::Param(i) => {
+                self.asm.push(Inst::Load {
+                    dst: RESULT,
+                    base: FP,
+                    disp: slot_disp(ctx.param_base + i),
+                });
+            }
+            Expr::Local(l) => {
+                self.asm.push(Inst::Load {
+                    dst: RESULT,
+                    base: FP,
+                    disp: slot_disp(ctx.local_base + l),
+                });
+            }
+            Expr::Global(g) => {
+                let addr = self.global_addr(g)?;
+                self.asm.push(Inst::MovImm {
+                    dst: SCRATCH_A,
+                    imm: addr,
+                });
+                self.asm.push(Inst::Load {
+                    dst: RESULT,
+                    base: SCRATCH_A,
+                    disp: 0,
+                });
+            }
+            Expr::GlobalAddr(g) => {
+                let addr = self.global_addr(g)?;
+                self.asm.push(Inst::MovImm {
+                    dst: RESULT,
+                    imm: addr,
+                });
+            }
+            Expr::Bin(op, a, b) => {
+                self.expr(a, ctx)?;
+                self.asm.push(Inst::Push { src: RESULT });
+                self.expr(b, ctx)?;
+                self.asm.push(Inst::MovReg {
+                    dst: SCRATCH_B,
+                    src: RESULT,
+                });
+                self.asm.push(Inst::Pop { dst: RESULT });
+                let inst = match op {
+                    crate::ir::BinOp::Add => Inst::Add {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                    crate::ir::BinOp::Sub => Inst::Sub {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                    crate::ir::BinOp::Mul => Inst::Mul {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                    crate::ir::BinOp::Div => Inst::Div {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                    crate::ir::BinOp::And => Inst::And {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                    crate::ir::BinOp::Or => Inst::Or {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                    crate::ir::BinOp::Xor => Inst::Xor {
+                        dst: RESULT,
+                        src: SCRATCH_B,
+                    },
+                };
+                self.asm.push(inst);
+            }
+            Expr::Call(name, args) => {
+                self.emit_call(name, args, ctx)?;
+            }
+            Expr::Load(a) => {
+                self.expr(a, ctx)?;
+                self.asm.push(Inst::MovReg {
+                    dst: SCRATCH_A,
+                    src: RESULT,
+                });
+                self.asm.push(Inst::Load {
+                    dst: RESULT,
+                    base: SCRATCH_A,
+                    disp: 0,
+                });
+            }
+            Expr::LoadByte(a) => {
+                self.expr(a, ctx)?;
+                self.asm.push(Inst::MovReg {
+                    dst: SCRATCH_A,
+                    src: RESULT,
+                });
+                self.asm.push(Inst::LoadByte {
+                    dst: RESULT,
+                    base: SCRATCH_A,
+                    disp: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit a call — either a real `call` (with relocation) or an inline
+    /// expansion. Leaves the result in `r0`.
+    fn emit_call(&mut self, name: &str, args: &[Expr], ctx: &FnCtx) -> Result<(), CodegenError> {
+        let callee = self
+            .program
+            .function(name)
+            .ok_or_else(|| CodegenError::UnknownFunction(name.to_string()))?
+            .clone();
+        if self.should_inline(&callee, &self.inline_stack) {
+            self.emit_inline(&callee, args, ctx)
+        } else {
+            // Evaluate args left-to-right onto the stack, then pop into
+            // argument registers (reverse order).
+            for a in args {
+                self.expr(a, ctx)?;
+                self.asm.push(Inst::Push { src: RESULT });
+            }
+            for i in (0..args.len()).rev() {
+                self.asm.push(Inst::Pop { dst: arg_reg(i) });
+            }
+            self.relocs.push(Reloc {
+                offset: self.asm.offset(),
+                callee: name.to_string(),
+            });
+            self.asm.push(Inst::Call { rel: 0 });
+            Ok(())
+        }
+    }
+
+    fn emit_inline(
+        &mut self,
+        callee: &Function,
+        args: &[Expr],
+        ctx: &FnCtx,
+    ) -> Result<(), CodegenError> {
+        self.inlined.push(callee.name.clone());
+        let base = self.next_slot;
+        self.next_slot += callee.params + callee.locals;
+        // Bind arguments into the callee's parameter slots (evaluated in
+        // the *caller's* context).
+        for (i, a) in args.iter().enumerate() {
+            self.expr(a, ctx)?;
+            self.asm.push(Inst::Store {
+                base: FP,
+                disp: slot_disp(base + i),
+                src: RESULT,
+            });
+        }
+        self.zero_slots(base + callee.params, callee.locals);
+        let end = self.fresh("inlret");
+        let inner = FnCtx {
+            param_base: base,
+            local_base: base + callee.params,
+            end_label: Some(end.clone()),
+        };
+        self.inline_stack.push(callee.name.clone());
+        self.stmts(&callee.body, &inner)?;
+        self.inline_stack.pop();
+        self.asm.label(end);
+        Ok(())
+    }
+
+    fn global_addr(&self, name: &str) -> Result<u64, CodegenError> {
+        self.globals
+            .get(name)
+            .copied()
+            .ok_or_else(|| CodegenError::UnknownGlobal(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Global, Program};
+    use kshot_isa::Cond;
+
+    fn compile_one(p: &Program, name: &str, opts: &CodegenOptions) -> CompiledFunction {
+        let globals: BTreeMap<String, u64> = p
+            .globals
+            .iter()
+            .scan(0x90_0000u64, |addr, g| {
+                let a = *addr;
+                *addr += g.size();
+                Some((g.name.clone(), a))
+            })
+            .collect();
+        compile_function(p, p.function(name).unwrap(), &globals, opts, 0).unwrap()
+    }
+
+    #[test]
+    fn leaf_function_compiles_and_has_ftrace_pad() {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 1, 0).returning(Expr::param(0).add(Expr::c(1))));
+        let out = compile_one(&p, "f", &CodegenOptions::default());
+        assert_eq!(out.ftrace_offset, Some(0));
+        assert_eq!(out.code[0], kshot_isa::opcodes::FTRACE);
+        assert!(out.relocs.is_empty());
+        assert!(out.inlined.is_empty());
+        // Whole body disassembles cleanly.
+        kshot_isa::disasm::disassemble(&out.code, 0).unwrap();
+    }
+
+    #[test]
+    fn tracing_disabled_removes_pad() {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 0, 0).returning(Expr::c(1)));
+        let opts = CodegenOptions {
+            tracing: false,
+            ..CodegenOptions::default()
+        };
+        let out = compile_one(&p, "f", &opts);
+        assert_eq!(out.ftrace_offset, None);
+        assert_ne!(out.code[0], kshot_isa::opcodes::FTRACE);
+    }
+
+    #[test]
+    fn untraceable_function_has_no_pad() {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 0, 0).untraceable().returning(Expr::c(1)));
+        let out = compile_one(&p, "f", &CodegenOptions::default());
+        assert_eq!(out.ftrace_offset, None);
+    }
+
+    #[test]
+    fn call_produces_relocation_when_not_inlined() {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("big", 1, 0)
+                .with_inline(crate::ir::InlineHint::Never)
+                .returning(Expr::param(0)),
+        );
+        p.add_function(
+            Function::new("caller", 0, 0).returning(Expr::call("big", vec![Expr::c(3)])),
+        );
+        let out = compile_one(&p, "caller", &CodegenOptions::default());
+        assert_eq!(out.relocs.len(), 1);
+        assert_eq!(out.relocs[0].callee, "big");
+        assert!(out.inlined.is_empty());
+        // The reloc offset points at a Call opcode.
+        assert_eq!(out.code[out.relocs[0].offset], kshot_isa::opcodes::CALL);
+    }
+
+    #[test]
+    fn small_function_is_auto_inlined() {
+        let mut p = Program::new();
+        p.add_function(Function::new("tiny", 1, 0).returning(Expr::param(0).add(Expr::c(7))));
+        p.add_function(
+            Function::new("caller", 0, 0).returning(Expr::call("tiny", vec![Expr::c(1)])),
+        );
+        let out = compile_one(&p, "caller", &CodegenOptions::default());
+        assert!(out.relocs.is_empty(), "tiny should be inlined");
+        assert_eq!(out.inlined, vec!["tiny".to_string()]);
+    }
+
+    #[test]
+    fn always_hint_forces_inline_of_large_function() {
+        let mut p = Program::new();
+        let mut body = Vec::new();
+        for i in 0..20 {
+            body.push(Stmt::Assign(0, Expr::c(i)));
+        }
+        body.push(Stmt::Return(Expr::local(0)));
+        p.add_function(
+            Function::new("large", 0, 1)
+                .with_inline(crate::ir::InlineHint::Always)
+                .with_body(body),
+        );
+        p.add_function(
+            Function::new("caller", 0, 0).returning(Expr::call("large", vec![])),
+        );
+        let out = compile_one(&p, "caller", &CodegenOptions::default());
+        assert!(out.relocs.is_empty());
+        assert_eq!(out.inlined, vec!["large".to_string()]);
+    }
+
+    #[test]
+    fn transitive_inlining_recorded() {
+        let mut p = Program::new();
+        p.add_function(Function::new("h", 0, 0).returning(Expr::c(1)));
+        p.add_function(Function::new("g", 0, 0).returning(Expr::call("h", vec![]).add(Expr::c(1))));
+        p.add_function(Function::new("f", 0, 0).returning(Expr::call("g", vec![])));
+        let out = compile_one(&p, "f", &CodegenOptions::default());
+        assert_eq!(out.inlined, vec!["g".to_string(), "h".to_string()]);
+    }
+
+    #[test]
+    fn recursion_is_never_inlined() {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("rec", 1, 0)
+                .with_inline(crate::ir::InlineHint::Always)
+                .with_body(vec![Stmt::If {
+                    cond: CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0)),
+                    then: vec![Stmt::Return(Expr::c(0))],
+                    els: vec![Stmt::Return(Expr::call(
+                        "rec",
+                        vec![Expr::param(0).sub(Expr::c(1))],
+                    ))],
+                }]),
+        );
+        p.add_function(
+            Function::new("caller", 0, 0).returning(Expr::call("rec", vec![Expr::c(3)])),
+        );
+        let out = compile_one(&p, "caller", &CodegenOptions::default());
+        // "rec" inlines into caller once, but the recursive call inside
+        // stays a real call.
+        assert_eq!(out.inlined, vec!["rec".to_string()]);
+        assert_eq!(out.relocs.len(), 1);
+        assert_eq!(out.relocs[0].callee, "rec");
+    }
+
+    #[test]
+    fn no_inline_options_disable_auto() {
+        let mut p = Program::new();
+        p.add_function(Function::new("tiny", 0, 0).returning(Expr::c(5)));
+        p.add_function(Function::new("caller", 0, 0).returning(Expr::call("tiny", vec![])));
+        let out = compile_one(&p, "caller", &CodegenOptions::no_inline());
+        assert_eq!(out.relocs.len(), 1);
+    }
+
+    #[test]
+    fn code_disassembles_for_control_flow() {
+        let mut p = Program::new();
+        p.add_global(Global::buffer("buf", 8));
+        p.add_function(Function::new("loops", 1, 2).with_body(vec![
+            Stmt::Assign(0, Expr::c(0)),
+            Stmt::While {
+                cond: CondExpr::new(Expr::local(0), Cond::B, Expr::param(0)),
+                body: vec![
+                    Stmt::Store {
+                        addr: Expr::global_addr("buf").add(Expr::local(0).mul(Expr::c(8))),
+                        value: Expr::local(0),
+                    },
+                    Stmt::Assign(0, Expr::local(0).add(Expr::c(1))),
+                ],
+            },
+            Stmt::Return(Expr::local(0)),
+        ]));
+        let out = compile_one(&p, "loops", &CodegenOptions::default());
+        let listing = kshot_isa::disasm::disassemble(&out.code, 0).unwrap();
+        assert!(listing.len() > 10);
+        // Ends with ret.
+        assert_eq!(listing.last().unwrap().1, Inst::Ret);
+    }
+}

@@ -1,0 +1,372 @@
+//! Kernel image layout and linking.
+//!
+//! Produces the binary artefact the rest of the system consumes: a text
+//! segment with all functions laid out and call relocations resolved, a
+//! data segment with globals, and a symbol table (the `System.map`
+//! analogue the SMM handler uses to locate Type 3 globals, paper §V-C
+//! step 2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::codegen::{compile_function, CodegenError, CodegenOptions};
+use crate::ir::Program;
+
+/// A function symbol: where the function landed in the text segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSym {
+    /// Symbol name.
+    pub name: String,
+    /// Physical address of the function entry.
+    pub addr: u64,
+    /// Size of the function body in bytes.
+    pub size: u64,
+    /// Offset of the ftrace pad from the entry, if compiled in.
+    pub ftrace_offset: Option<u64>,
+}
+
+/// A global symbol: where the global landed in the data segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalSym {
+    /// Symbol name.
+    pub name: String,
+    /// Physical address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// The kernel symbol table (functions + globals), in address order.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    functions: Vec<FunctionSym>,
+    globals: Vec<GlobalSym>,
+}
+
+impl SymbolTable {
+    /// Look up a function by name.
+    pub fn lookup(&self, name: &str) -> Option<&FunctionSym> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Look up a global by name.
+    pub fn lookup_global(&self, name: &str) -> Option<&GlobalSym> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// The function containing `addr`, if any.
+    pub fn function_at(&self, addr: u64) -> Option<&FunctionSym> {
+        self.functions
+            .iter()
+            .find(|f| addr >= f.addr && addr < f.addr + f.size)
+    }
+
+    /// All function symbols in layout order.
+    pub fn functions(&self) -> &[FunctionSym] {
+        &self.functions
+    }
+
+    /// All global symbols in layout order.
+    pub fn globals(&self) -> &[GlobalSym] {
+        &self.globals
+    }
+}
+
+/// A fully linked kernel image.
+#[derive(Debug, Clone)]
+pub struct KernelImage {
+    /// Text segment bytes.
+    pub text: Vec<u8>,
+    /// Physical base address of the text segment.
+    pub text_base: u64,
+    /// Data segment bytes (globals, initialized).
+    pub data: Vec<u8>,
+    /// Physical base address of the data segment.
+    pub data_base: u64,
+    /// Symbol table.
+    pub symbols: SymbolTable,
+    /// Ground truth: for each compiled (binary) function, the source
+    /// functions transitively inlined into it. Used only to validate
+    /// `kshot-analysis`, never consulted by it.
+    pub inline_log: BTreeMap<String, Vec<String>>,
+    /// The options the image was compiled with (patch compatibility
+    /// requires rebuilding with identical flags, paper §V-A).
+    pub options: CodegenOptions,
+}
+
+/// Linking failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// Code generation failed for a function.
+    Codegen {
+        /// The function being compiled.
+        function: String,
+        /// The underlying error.
+        source: CodegenError,
+    },
+    /// A call relocation references a function missing from the layout.
+    UnresolvedCall {
+        /// The calling function.
+        caller: String,
+        /// The missing callee.
+        callee: String,
+    },
+    /// A branch displacement overflowed during relocation.
+    RelocOutOfRange {
+        /// The calling function.
+        caller: String,
+        /// The callee.
+        callee: String,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Codegen { function, source } => {
+                write!(f, "compiling `{function}`: {source}")
+            }
+            LinkError::UnresolvedCall { caller, callee } => {
+                write!(f, "`{caller}` calls `{callee}` which was not laid out")
+            }
+            LinkError::RelocOutOfRange { caller, callee } => {
+                write!(f, "call from `{caller}` to `{callee}` out of rel32 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Compile and link `program` into a kernel image.
+///
+/// Functions are laid out in declaration order, aligned per
+/// `options.align`; globals are laid out in declaration order, 8-byte
+/// aligned, starting at `data_base`.
+///
+/// # Errors
+///
+/// Returns [`LinkError`] on compilation or relocation failures.
+pub fn link(
+    program: &Program,
+    options: &CodegenOptions,
+    text_base: u64,
+    data_base: u64,
+) -> Result<KernelImage, LinkError> {
+    // Lay out globals first (codegen needs their addresses).
+    let mut data = Vec::new();
+    let mut globals = Vec::new();
+    let mut global_addrs = BTreeMap::new();
+    for g in &program.globals {
+        // 8-byte align.
+        while data.len() % 8 != 0 {
+            data.push(0);
+        }
+        let addr = data_base + data.len() as u64;
+        for w in &g.words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        global_addrs.insert(g.name.clone(), addr);
+        globals.push(GlobalSym {
+            name: g.name.clone(),
+            addr,
+            size: g.size(),
+        });
+    }
+    // Compile each function.
+    let mut compiled = Vec::with_capacity(program.functions.len());
+    for (i, f) in program.functions.iter().enumerate() {
+        let c = compile_function(program, f, &global_addrs, options, i as u32).map_err(|e| {
+            LinkError::Codegen {
+                function: f.name.clone(),
+                source: e,
+            }
+        })?;
+        compiled.push(c);
+    }
+    // Lay out text.
+    let align = options.align.max(1) as u64;
+    let mut text = Vec::new();
+    let mut functions = Vec::new();
+    let mut fn_addrs = BTreeMap::new();
+    let mut inline_log = BTreeMap::new();
+    for c in &compiled {
+        while !(text_base + text.len() as u64).is_multiple_of(align) {
+            text.push(kshot_isa::opcodes::NOP);
+        }
+        let addr = text_base + text.len() as u64;
+        fn_addrs.insert(c.name.clone(), addr);
+        functions.push(FunctionSym {
+            name: c.name.clone(),
+            addr,
+            size: c.code.len() as u64,
+            ftrace_offset: c.ftrace_offset.map(|o| o as u64),
+        });
+        inline_log.insert(c.name.clone(), c.inlined.clone());
+        text.extend_from_slice(&c.code);
+    }
+    // Resolve call relocations.
+    for (c, sym) in compiled.iter().zip(functions.iter()) {
+        for reloc in &c.relocs {
+            let &target = fn_addrs
+                .get(&reloc.callee)
+                .ok_or_else(|| LinkError::UnresolvedCall {
+                    caller: c.name.clone(),
+                    callee: reloc.callee.clone(),
+                })?;
+            let at = sym.addr + reloc.offset as u64;
+            let rel =
+                kshot_isa::rel32_for(at, target).map_err(|_| LinkError::RelocOutOfRange {
+                    caller: c.name.clone(),
+                    callee: reloc.callee.clone(),
+                })?;
+            let off = (at - text_base) as usize;
+            debug_assert_eq!(text[off], kshot_isa::opcodes::CALL);
+            text[off + 1..off + 5].copy_from_slice(&rel.to_le_bytes());
+        }
+    }
+    Ok(KernelImage {
+        text,
+        text_base,
+        data,
+        data_base,
+        symbols: SymbolTable { functions, globals },
+        inline_log,
+        options: options.clone(),
+    })
+}
+
+impl KernelImage {
+    /// The bytes of a single function's body.
+    pub fn function_bytes(&self, name: &str) -> Option<&[u8]> {
+        let sym = self.symbols.lookup(name)?;
+        let start = (sym.addr - self.text_base) as usize;
+        Some(&self.text[start..start + sym.size as usize])
+    }
+
+    /// Total text size in bytes.
+    pub fn text_size(&self) -> u64 {
+        self.text.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Expr, Function, Global, InlineHint, Program, Stmt};
+    use kshot_isa::disasm::disassemble;
+    use kshot_isa::Inst;
+
+    fn program() -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::word("state", 7));
+        p.add_global(Global::buffer("buf", 4));
+        p.add_function(
+            Function::new("callee", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).add(Expr::global("state"))),
+        );
+        p.add_function(Function::new("main_fn", 0, 1).with_body(vec![
+            Stmt::Assign(0, Expr::call("callee", vec![Expr::c(1)])),
+            Stmt::StoreGlobal("state".into(), Expr::local(0)),
+            Stmt::Return(Expr::local(0)),
+        ]));
+        p
+    }
+
+    #[test]
+    fn link_produces_symbols_and_resolves_calls() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let callee = img.symbols.lookup("callee").unwrap();
+        let main_fn = img.symbols.lookup("main_fn").unwrap();
+        assert!(callee.addr < main_fn.addr);
+        assert_eq!(callee.addr % 16, 0);
+        // Find the call in main_fn and check it targets callee's entry.
+        let body = img.function_bytes("main_fn").unwrap();
+        let insts = disassemble(body, main_fn.addr).unwrap();
+        let call = insts
+            .iter()
+            .find(|(_, i)| matches!(i, Inst::Call { .. }))
+            .expect("main_fn must contain a call");
+        assert_eq!(call.1.branch_target(call.0), Some(callee.addr));
+    }
+
+    #[test]
+    fn globals_are_laid_out_with_initial_values() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let state = img.symbols.lookup_global("state").unwrap();
+        assert_eq!(state.addr, 0x90_0000);
+        assert_eq!(state.size, 8);
+        let word = u64::from_le_bytes(img.data[0..8].try_into().unwrap());
+        assert_eq!(word, 7);
+        let buf = img.symbols.lookup_global("buf").unwrap();
+        assert_eq!(buf.addr, 0x90_0008);
+        assert_eq!(buf.size, 32);
+    }
+
+    #[test]
+    fn function_at_resolves_interior_addresses() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let callee = img.symbols.lookup("callee").unwrap().clone();
+        assert_eq!(
+            img.symbols.function_at(callee.addr + 3).map(|f| &f.name),
+            Some(&callee.name)
+        );
+        assert!(img.symbols.function_at(0).is_none());
+    }
+
+    #[test]
+    fn inline_log_is_ground_truth() {
+        let mut p = program();
+        p.add_function(Function::new("tiny", 0, 0).returning(Expr::c(2)));
+        p.add_function(
+            Function::new("wrapper", 0, 0).returning(Expr::call("tiny", vec![])),
+        );
+        let img = link(&p, &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        assert_eq!(img.inline_log["wrapper"], vec!["tiny".to_string()]);
+        assert!(img.inline_log["main_fn"].is_empty());
+        // The binary wrapper contains no call.
+        let body = img.function_bytes("wrapper").unwrap();
+        let insts = disassemble(body, 0).unwrap();
+        assert!(!insts.iter().any(|(_, i)| matches!(i, Inst::Call { .. })));
+    }
+
+    #[test]
+    fn whole_text_disassembles() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        disassemble(&img.text, img.text_base).unwrap();
+    }
+
+    #[test]
+    fn ftrace_offsets_recorded() {
+        let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        assert_eq!(
+            img.symbols.lookup("callee").unwrap().ftrace_offset,
+            Some(0)
+        );
+        let no_trace = CodegenOptions {
+            tracing: false,
+            ..CodegenOptions::default()
+        };
+        let img2 = link(&program(), &no_trace, 0x10_0000, 0x90_0000).unwrap();
+        assert_eq!(img2.symbols.lookup("callee").unwrap().ftrace_offset, None);
+    }
+
+    #[test]
+    fn unresolved_call_is_an_error_at_validate_or_link() {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("f", 0, 0).with_body(vec![Stmt::Call("ghost".into(), vec![])]),
+        );
+        let err = link(&p, &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap_err();
+        assert!(matches!(err, LinkError::Codegen { .. }));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        let b = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # kshot-kcc — the miniature kernel compiler
+//!
+//! KShot's patch-identification pipeline (paper §V-A) hinges on compiler
+//! behaviour: patched functions may be **inlined** into callers (Type 2
+//! patches), so the set of binary functions that must be live-patched is
+//! larger than the set of source functions the patch diff touches. The
+//! paper recovers this by comparing a *source-level* call graph against a
+//! *binary-level* call graph and running a worklist algorithm over the
+//! differences.
+//!
+//! To reproduce that honestly we need a compiler that really inlines.
+//! `kshot-kcc` compiles a small structured IR ("KIR", [`ir`]) down to the
+//! KV instruction set ([`kshot_isa`]):
+//!
+//! * [`ir`] — functions, statements, expressions, globals; the "kernel
+//!   source tree" that patches are written against.
+//! * [`codegen`] — a stack-frame code generator with **codegen-time
+//!   inlining** driven by per-function hints and a size threshold, plus
+//!   optional ftrace-pad emission (the 5-byte trace slot at function
+//!   entry, paper §V-A "Supporting Kernel Tracing").
+//! * [`image`] — lays out globals and functions, links inter-function
+//!   calls, and produces a [`image::KernelImage`] with a symbol table and
+//!   a ground-truth inline log (used to *validate* the analysis crate,
+//!   never consulted by it).
+//!
+//! ```
+//! use kshot_kcc::ir::{Expr, Function, Program, Stmt};
+//! use kshot_kcc::image::link;
+//! use kshot_kcc::codegen::CodegenOptions;
+//!
+//! let mut p = Program::new();
+//! p.add_function(Function::new("answer", 0, 0).returning(Expr::c(42)));
+//! let image = link(&p, &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
+//! assert!(image.symbols.lookup("answer").is_some());
+//! ```
+
+pub mod codegen;
+pub mod image;
+pub mod ir;
+
+pub use codegen::CodegenOptions;
+pub use image::{link, KernelImage};
+pub use ir::{Expr, Function, Program, Stmt};

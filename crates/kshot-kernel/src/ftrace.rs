@@ -1,0 +1,149 @@
+//! The runtime function tracer.
+//!
+//! Recent kernels compile most functions with a 5-byte pad at entry that
+//! the tracing machinery may rewrite at runtime (paper §V-A: 23,000 of
+//! 32,000 functions in Linux 3.14). KShot must not clobber those bytes
+//! when installing trampolines. This module is the *owner* of those pads
+//! in the simulation: it counts hits as the interpreter executes
+//! [`kshot_isa::Inst::Ftrace`] pads, and it can rewrite pad payload bytes
+//! at runtime — creating exactly the hazard the paper's "patch after the
+//! pad" rule avoids.
+
+use std::collections::BTreeMap;
+
+use kshot_isa::{opcodes, Inst};
+use kshot_machine::{AccessCtx, Machine, MachineError};
+
+/// Runtime tracer state: whether tracing is enabled, and per-site hit
+/// counts.
+#[derive(Debug, Clone, Default)]
+pub struct TraceState {
+    enabled: bool,
+    hits: BTreeMap<u32, u64>,
+}
+
+impl TraceState {
+    /// Fresh, disabled tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable hit counting.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disable hit counting (pads still execute, hits are not recorded).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether tracing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a pad execution (called by the interpreter).
+    pub(crate) fn record(&mut self, site: u32) {
+        if self.enabled {
+            *self.hits.entry(site).or_insert(0) += 1;
+        }
+    }
+
+    /// Hits recorded for a trace site.
+    pub fn hits(&self, site: u32) -> u64 {
+        self.hits.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Total hits across all sites.
+    pub fn total_hits(&self) -> u64 {
+        self.hits.values().sum()
+    }
+
+    /// Clear all counters.
+    pub fn reset(&mut self) {
+        self.hits.clear();
+    }
+}
+
+/// Rewrite the ftrace pad at `pad_addr` to carry a new site id — the
+/// kernel's dynamic-tracing runtime doing what it is allowed to do with
+/// its own 5 bytes. Fails if the bytes there are not an ftrace pad
+/// (e.g. someone clobbered them with a trampoline — the bug KShot's
+/// pad-aware patching avoids).
+///
+/// # Errors
+///
+/// Returns a machine fault on unreadable memory, or an
+/// [`MachineError::AccessViolation`]-shaped fault when the pad was
+/// destroyed.
+pub fn retag_pad(machine: &mut Machine, pad_addr: u64, new_site: u32) -> Result<(), MachineError> {
+    let mut cur = [0u8; 5];
+    // The tracer runs inside the kernel, but rewriting r-x text is done
+    // through the kernel's own text-poke machinery; model that with
+    // firmware-privilege writes after verifying the pad is intact.
+    machine.read_bytes(AccessCtx::Firmware, pad_addr, &mut cur)?;
+    if cur[0] != opcodes::FTRACE {
+        return Err(MachineError::AccessViolation {
+            addr: pad_addr,
+            access: kshot_machine::attrs::Access::Write,
+            ctx: "ftrace",
+            reason: "trace pad destroyed",
+        });
+    }
+    let mut pad = Vec::with_capacity(5);
+    Inst::Ftrace { site: new_site }.encode_into(&mut pad);
+    machine.write_bytes(AccessCtx::Firmware, pad_addr, &pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_machine::MemLayout;
+
+    #[test]
+    fn hit_counting_respects_enable() {
+        let mut t = TraceState::new();
+        t.record(1);
+        assert_eq!(t.hits(1), 0); // disabled
+        t.enable();
+        t.record(1);
+        t.record(1);
+        t.record(2);
+        assert_eq!(t.hits(1), 2);
+        assert_eq!(t.hits(2), 1);
+        assert_eq!(t.total_hits(), 3);
+        t.disable();
+        t.record(1);
+        assert_eq!(t.hits(1), 2);
+        t.reset();
+        assert_eq!(t.total_hits(), 0);
+    }
+
+    #[test]
+    fn retag_rewrites_valid_pad() {
+        let mut m = Machine::new(MemLayout::standard()).unwrap();
+        let addr = m.layout().kernel_text_base;
+        let mut pad = Vec::new();
+        Inst::Ftrace { site: 7 }.encode_into(&mut pad);
+        m.write_bytes(AccessCtx::Firmware, addr, &pad).unwrap();
+        retag_pad(&mut m, addr, 99).unwrap();
+        let mut out = [0u8; 5];
+        m.read_bytes(AccessCtx::Firmware, addr, &mut out).unwrap();
+        let (inst, _) = Inst::decode(&out, 0).unwrap();
+        assert_eq!(inst, Inst::Ftrace { site: 99 });
+    }
+
+    #[test]
+    fn retag_refuses_destroyed_pad() {
+        let mut m = Machine::new(MemLayout::standard()).unwrap();
+        let addr = m.layout().kernel_text_base;
+        // A jmp where the pad should be (a naive patcher's damage).
+        let mut jmp = [0u8; 5];
+        kshot_isa::write_jmp_rel32(&mut jmp, addr, addr + 64).unwrap();
+        m.write_bytes(AccessCtx::Firmware, addr, &jmp).unwrap();
+        let err = retag_pad(&mut m, addr, 1).unwrap_err();
+        assert!(matches!(err, MachineError::AccessViolation { reason, .. }
+            if reason == "trace pad destroyed"));
+    }
+}

@@ -1,0 +1,652 @@
+//! The instruction interpreter — the "CPU core" executing kernel code.
+//!
+//! Every memory access goes through the machine's privilege checks under
+//! [`AccessCtx::Kernel`], so page attributes (including KShot's
+//! execute-only `mem_X`) and SMRAM protection apply to everything the
+//! kernel — or an exploit running inside it — does.
+
+use std::fmt;
+
+use kshot_isa::{Inst, Reg};
+use kshot_machine::{AccessCtx, MachineError};
+
+use crate::loader::Kernel;
+
+/// The sentinel return address marking the bottom of an execution
+/// context; `ret` to this address ends the invocation.
+pub const RETURN_SENTINEL: u64 = 0xFFFF_FFFF_FFFF_FFF0;
+
+/// Default fuel (instruction budget) for one function invocation.
+pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// A fault that terminates guest execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecFault {
+    /// Memory access rejected by the machine.
+    Memory(MachineError),
+    /// Unsigned division by zero.
+    DivideByZero {
+        /// Faulting instruction address.
+        pc: u64,
+    },
+    /// A `trap` instruction executed (deliberate undefined behaviour).
+    Trap {
+        /// Faulting instruction address.
+        pc: u64,
+    },
+    /// Unknown syscall number.
+    UnknownSyscall {
+        /// The requested service.
+        num: u8,
+        /// Faulting instruction address.
+        pc: u64,
+    },
+    /// The instruction budget ran out (runaway loop).
+    FuelExhausted,
+    /// A named symbol was not found (host-side API misuse).
+    UnknownSymbol,
+}
+
+impl fmt::Display for ExecFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecFault::Memory(e) => write!(f, "memory fault: {e}"),
+            ExecFault::DivideByZero { pc } => write!(f, "division by zero at {pc:#x}"),
+            ExecFault::Trap { pc } => write!(f, "trap at {pc:#x}"),
+            ExecFault::UnknownSyscall { num, pc } => {
+                write!(f, "unknown syscall {num} at {pc:#x}")
+            }
+            ExecFault::FuelExhausted => write!(f, "instruction budget exhausted"),
+            ExecFault::UnknownSymbol => write!(f, "unknown kernel symbol"),
+        }
+    }
+}
+
+impl std::error::Error for ExecFault {}
+
+impl From<MachineError> for ExecFault {
+    fn from(e: MachineError) -> Self {
+        ExecFault::Memory(e)
+    }
+}
+
+/// Outcome of a single interpreter step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Execution continues.
+    Continue,
+    /// `ret` reached the sentinel — the invocation returned; `r0` holds
+    /// the return value.
+    Returned,
+    /// `hlt` executed — the context halted voluntarily.
+    Halted,
+}
+
+/// A bounded ring of recently executed instructions — the post-mortem
+/// debugging aid for kernel faults (think `ftrace`'s function ring or a
+/// crash dump's last-branch record). Disabled by default; costs nothing
+/// when off.
+#[derive(Debug, Clone, Default)]
+pub struct ExecTrace {
+    enabled: bool,
+    ring: std::collections::VecDeque<(u64, Inst)>,
+}
+
+/// Capacity of the execution-trace ring.
+pub const EXEC_TRACE_CAP: usize = 64;
+
+impl ExecTrace {
+    /// Enable recording.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Disable recording (the ring is retained for inspection).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Clear the ring.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+
+    /// The recorded `(address, instruction)` pairs, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(u64, Inst)> {
+        self.ring.iter()
+    }
+
+    /// Render the ring as a human-readable listing.
+    pub fn listing(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (addr, inst) in &self.ring {
+            let _ = writeln!(s, "{addr:#010x}:  {inst}");
+        }
+        s
+    }
+
+    #[inline]
+    fn record(&mut self, addr: u64, inst: Inst) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == EXEC_TRACE_CAP {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((addr, inst));
+    }
+}
+
+/// Kernel service numbers reachable via the `sys` instruction.
+pub mod syscalls {
+    /// No-op (scheduling hint).
+    pub const YIELD: u8 = 0;
+    /// Returns the current simulated time in nanoseconds in `r0`.
+    pub const CLOCK: u8 = 1;
+    /// Returns the current task id in `r0` (0 when not in a task).
+    pub const GETTID: u8 = 2;
+}
+
+impl Kernel {
+    /// Execute one instruction at the current CPU program counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecFault`] on any fault; the CPU state is left at
+    /// the faulting instruction for post-mortem inspection.
+    pub fn step(&mut self) -> Result<StepEvent, ExecFault> {
+        let pc = self.machine.cpu().pc;
+        let (inst, len) = self.machine.fetch(AccessCtx::Kernel, pc)?;
+        self.exec_trace.record(pc, inst);
+        let insn_cost = self.machine.cost().insn;
+        self.machine.charge(insn_cost);
+        let next = pc.wrapping_add(len as u64);
+        match inst {
+            Inst::Nop => self.machine.cpu_mut().pc = next,
+            Inst::Ftrace { site } => {
+                self.tracer.record(site);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Jmp { .. } => {
+                self.machine.cpu_mut().pc = inst.branch_target(pc).expect("jmp has target");
+            }
+            Inst::Call { .. } => {
+                self.push(next)?;
+                self.machine.cpu_mut().pc = inst.branch_target(pc).expect("call has target");
+            }
+            Inst::Ret => {
+                let addr = self.pop()?;
+                if addr == RETURN_SENTINEL {
+                    return Ok(StepEvent::Returned);
+                }
+                self.machine.cpu_mut().pc = addr;
+            }
+            Inst::Jcc { cond, .. } => {
+                let (a, b) = self.machine.cpu().flags.unwrap_or((0, 0));
+                if cond.eval(a, b) {
+                    self.machine.cpu_mut().pc = inst.branch_target(pc).expect("jcc has target");
+                } else {
+                    self.machine.cpu_mut().pc = next;
+                }
+            }
+            Inst::MovImm { dst, imm } => {
+                self.machine.cpu_mut().set(dst, imm);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::MovReg { dst, src } => {
+                let v = self.machine.cpu().get(src);
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Add { dst, src } => self.alu(dst, src, next, u64::wrapping_add),
+            Inst::Sub { dst, src } => self.alu(dst, src, next, u64::wrapping_sub),
+            Inst::And { dst, src } => self.alu(dst, src, next, |a, b| a & b),
+            Inst::Or { dst, src } => self.alu(dst, src, next, |a, b| a | b),
+            Inst::Xor { dst, src } => self.alu(dst, src, next, |a, b| a ^ b),
+            Inst::Mul { dst, src } => self.alu(dst, src, next, u64::wrapping_mul),
+            Inst::Div { dst, src } => {
+                let d = self.machine.cpu().get(src);
+                if d == 0 {
+                    return Err(ExecFault::DivideByZero { pc });
+                }
+                let v = self.machine.cpu().get(dst) / d;
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::ShlImm { dst, amount } => {
+                let v = self.machine.cpu().get(dst) << (amount & 63);
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::ShrImm { dst, amount } => {
+                let v = self.machine.cpu().get(dst) >> (amount & 63);
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::AddImm { dst, imm } => {
+                let v = self.machine.cpu().get(dst).wrapping_add(imm as i64 as u64);
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Load { dst, base, disp } => {
+                let addr = self
+                    .machine
+                    .cpu()
+                    .get(base)
+                    .wrapping_add(disp as i64 as u64);
+                let v = self.machine.read_u64(AccessCtx::Kernel, addr)?;
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Store { base, disp, src } => {
+                let addr = self
+                    .machine
+                    .cpu()
+                    .get(base)
+                    .wrapping_add(disp as i64 as u64);
+                let v = self.machine.cpu().get(src);
+                self.machine.write_u64(AccessCtx::Kernel, addr, v)?;
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::LoadByte { dst, base, disp } => {
+                let addr = self
+                    .machine
+                    .cpu()
+                    .get(base)
+                    .wrapping_add(disp as i64 as u64);
+                let mut b = [0u8; 1];
+                self.machine.read_bytes(AccessCtx::Kernel, addr, &mut b)?;
+                self.machine.cpu_mut().set(dst, b[0] as u64);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::StoreByte { base, disp, src } => {
+                let addr = self
+                    .machine
+                    .cpu()
+                    .get(base)
+                    .wrapping_add(disp as i64 as u64);
+                let v = self.machine.cpu().get(src) as u8;
+                self.machine.write_bytes(AccessCtx::Kernel, addr, &[v])?;
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Cmp { a, b } => {
+                let flags = (self.machine.cpu().get(a), self.machine.cpu().get(b));
+                self.machine.cpu_mut().flags = Some(flags);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::CmpImm { reg, imm } => {
+                let flags = (self.machine.cpu().get(reg), imm as i64 as u64);
+                self.machine.cpu_mut().flags = Some(flags);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Push { src } => {
+                let v = self.machine.cpu().get(src);
+                self.push(v)?;
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Pop { dst } => {
+                let v = self.pop()?;
+                self.machine.cpu_mut().set(dst, v);
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Sys { num } => {
+                match num {
+                    syscalls::YIELD => {}
+                    syscalls::CLOCK => {
+                        let now = self.machine.now().as_ns();
+                        self.machine.cpu_mut().set(Reg::R0, now);
+                    }
+                    syscalls::GETTID => {
+                        let tid = self.current_task.unwrap_or(0);
+                        self.machine.cpu_mut().set(Reg::R0, tid);
+                    }
+                    other => return Err(ExecFault::UnknownSyscall { num: other, pc }),
+                }
+                self.machine.cpu_mut().pc = next;
+            }
+            Inst::Halt => return Ok(StepEvent::Halted),
+            Inst::Trap => return Err(ExecFault::Trap { pc }),
+        }
+        Ok(StepEvent::Continue)
+    }
+
+    fn alu(&mut self, dst: Reg, src: Reg, next: u64, f: fn(u64, u64) -> u64) {
+        let v = f(self.machine.cpu().get(dst), self.machine.cpu().get(src));
+        self.machine.cpu_mut().set(dst, v);
+        self.machine.cpu_mut().pc = next;
+    }
+
+    fn push(&mut self, v: u64) -> Result<(), ExecFault> {
+        let sp = self.machine.cpu().get(Reg::SP).wrapping_sub(8);
+        self.machine.write_u64(AccessCtx::Kernel, sp, v)?;
+        self.machine.cpu_mut().set(Reg::SP, sp);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u64, ExecFault> {
+        let sp = self.machine.cpu().get(Reg::SP);
+        let v = self.machine.read_u64(AccessCtx::Kernel, sp)?;
+        self.machine.cpu_mut().set(Reg::SP, sp.wrapping_add(8));
+        Ok(v)
+    }
+
+    /// Call a kernel function by name with up to five arguments, running
+    /// it to completion on a dedicated kernel stack.
+    ///
+    /// This models an in-kernel invocation (a syscall dispatching into
+    /// the vulnerable function, an exploit driver, a workload operation).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`ExecFault`] the guest code raises;
+    /// [`ExecFault::FuelExhausted`] after [`DEFAULT_FUEL`] instructions.
+    pub fn call_function(&mut self, name: &str, args: &[u64]) -> Result<u64, ExecFault> {
+        self.call_function_with_fuel(name, args, DEFAULT_FUEL)
+    }
+
+    /// [`Kernel::call_function`] with an explicit instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::call_function`].
+    pub fn call_function_with_fuel(
+        &mut self,
+        name: &str,
+        args: &[u64],
+        fuel: u64,
+    ) -> Result<u64, ExecFault> {
+        assert!(args.len() <= 5, "at most five arguments");
+        let entry = self.function_addr(name).ok_or(ExecFault::UnknownSymbol)?;
+        let saved = self.machine.cpu().clone();
+        let result = self.run_invocation(entry, args, fuel);
+        *self.machine.cpu_mut() = saved;
+        result
+    }
+
+    fn run_invocation(&mut self, entry: u64, args: &[u64], fuel: u64) -> Result<u64, ExecFault> {
+        {
+            let cpu = self.machine.cpu_mut();
+            *cpu = Default::default();
+            for (i, &a) in args.iter().enumerate() {
+                cpu.set(Reg::from_index(1 + i as u8).expect("≤5 args"), a);
+            }
+            cpu.set(Reg::SP, 0); // placeholder, set below
+            cpu.pc = entry;
+        }
+        let top = self.syscall_stack_top();
+        self.machine.cpu_mut().set(Reg::SP, top);
+        self.push(RETURN_SENTINEL)?;
+        for _ in 0..fuel {
+            match self.step()? {
+                StepEvent::Continue => {}
+                StepEvent::Returned | StepEvent::Halted => {
+                    return Ok(self.machine.cpu().get(Reg::R0));
+                }
+            }
+        }
+        Err(ExecFault::FuelExhausted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_isa::Cond;
+    use kshot_kcc::ir::{CondExpr, Expr, Function, Global, InlineHint, Program, Stmt};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_machine::MemLayout;
+
+    fn boot(p: &Program) -> Kernel {
+        boot_opts(p, &CodegenOptions::default())
+    }
+
+    fn boot_opts(p: &Program, opts: &CodegenOptions) -> Kernel {
+        p.validate().unwrap();
+        let layout = MemLayout::standard();
+        let image = link(p, opts, layout.kernel_text_base, layout.kernel_data_base).unwrap();
+        Kernel::boot(image, "kv-test", layout).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_function() {
+        let mut p = Program::new();
+        p.add_function(Function::new("axpy", 3, 0).returning(
+            Expr::param(0).mul(Expr::param(1)).add(Expr::param(2)),
+        ));
+        let mut k = boot(&p);
+        assert_eq!(k.call_function("axpy", &[3, 7, 11]).unwrap(), 32);
+    }
+
+    #[test]
+    fn loops_and_locals() {
+        let mut p = Program::new();
+        // sum of 0..n
+        p.add_function(Function::new("sum", 1, 2).with_body(vec![
+            Stmt::Assign(0, Expr::c(0)),
+            Stmt::Assign(1, Expr::c(0)),
+            Stmt::While {
+                cond: CondExpr::new(Expr::local(1), Cond::B, Expr::param(0)),
+                body: vec![
+                    Stmt::Assign(0, Expr::local(0).add(Expr::local(1))),
+                    Stmt::Assign(1, Expr::local(1).add(Expr::c(1))),
+                ],
+            },
+            Stmt::Return(Expr::local(0)),
+        ]));
+        let mut k = boot(&p);
+        assert_eq!(k.call_function("sum", &[10]).unwrap(), 45);
+        assert_eq!(k.call_function("sum", &[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn nested_calls_and_inlining_agree() {
+        let mut p = Program::new();
+        p.add_function(Function::new("sq", 1, 0).returning(Expr::param(0).mul(Expr::param(0))));
+        p.add_function(
+            Function::new("sumsq", 2, 0).returning(
+                Expr::call("sq", vec![Expr::param(0)]).add(Expr::call("sq", vec![Expr::param(1)])),
+            ),
+        );
+        // Inlined build and non-inlined build must agree.
+        let mut k_inline = boot(&p);
+        let mut k_call = boot_opts(&p, &CodegenOptions::no_inline());
+        for (a, b) in [(0u64, 0u64), (3, 4), (100, 1)] {
+            let want = a * a + b * b;
+            assert_eq!(k_inline.call_function("sumsq", &[a, b]).unwrap(), want);
+            assert_eq!(k_call.call_function("sumsq", &[a, b]).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn recursion_executes() {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("fact", 1, 0)
+                .with_inline(InlineHint::Never)
+                .with_body(vec![Stmt::If {
+                    cond: CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0)),
+                    then: vec![Stmt::Return(Expr::c(1))],
+                    els: vec![Stmt::Return(
+                        Expr::param(0).mul(Expr::call(
+                            "fact",
+                            vec![Expr::param(0).sub(Expr::c(1))],
+                        )),
+                    )],
+                }]),
+        );
+        let mut k = boot(&p);
+        assert_eq!(k.call_function("fact", &[10]).unwrap(), 3_628_800);
+    }
+
+    #[test]
+    fn globals_and_buffers() {
+        let mut p = Program::new();
+        p.add_global(Global::word("counter", 100));
+        p.add_global(Global::buffer("buf", 4));
+        p.add_function(Function::new("bump", 1, 0).with_body(vec![
+            Stmt::StoreGlobal("counter".into(), Expr::global("counter").add(Expr::param(0))),
+            Stmt::Store {
+                addr: Expr::global_addr("buf").add(Expr::c(8)),
+                value: Expr::global("counter"),
+            },
+            Stmt::Return(Expr::global("counter")),
+        ]));
+        let mut k = boot(&p);
+        assert_eq!(k.call_function("bump", &[5]).unwrap(), 105);
+        assert_eq!(k.read_global("counter").unwrap(), 105);
+        assert_eq!(k.read_global_word("buf", 1).unwrap(), 105);
+        assert_eq!(k.call_function("bump", &[5]).unwrap(), 110);
+    }
+
+    #[test]
+    fn buffer_overflow_corrupts_neighbour() {
+        // The core mechanism behind several benchmark CVEs: an unchecked
+        // index write walks past a buffer into the adjacent global.
+        let mut p = Program::new();
+        p.add_global(Global::buffer("buf", 2));
+        p.add_global(Global::word("sentinel", 0xAAAA));
+        p.add_function(Function::new("write_at", 2, 0).with_body(vec![
+            Stmt::Store {
+                addr: Expr::global_addr("buf").add(Expr::param(0).mul(Expr::c(8))),
+                value: Expr::param(1),
+            },
+            Stmt::Return(Expr::c(0)),
+        ]));
+        let mut k = boot(&p);
+        k.call_function("write_at", &[0, 1]).unwrap();
+        assert_eq!(k.read_global("sentinel").unwrap(), 0xAAAA);
+        // Out-of-bounds index 2 lands on the sentinel.
+        k.call_function("write_at", &[2, 0xDEAD]).unwrap();
+        assert_eq!(k.read_global("sentinel").unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let mut p = Program::new();
+        p.add_function(
+            Function::new("divider", 2, 0).returning(Expr::param(0).div(Expr::param(1))),
+        );
+        let mut k = boot(&p);
+        assert_eq!(k.call_function("divider", &[10, 2]).unwrap(), 5);
+        assert!(matches!(
+            k.call_function("divider", &[10, 0]),
+            Err(ExecFault::DivideByZero { .. })
+        ));
+    }
+
+    #[test]
+    fn trap_faults() {
+        let mut p = Program::new();
+        p.add_function(Function::new("boom", 0, 0).with_body(vec![Stmt::Trap]));
+        let mut k = boot(&p);
+        assert!(matches!(
+            k.call_function("boom", &[]),
+            Err(ExecFault::Trap { .. })
+        ));
+    }
+
+    #[test]
+    fn runaway_loop_exhausts_fuel() {
+        let mut p = Program::new();
+        p.add_function(Function::new("spin", 0, 0).with_body(vec![Stmt::While {
+            cond: CondExpr::new(Expr::c(0), Cond::Eq, Expr::c(0)),
+            body: vec![],
+        }]));
+        let mut k = boot(&p);
+        assert_eq!(
+            k.call_function_with_fuel("spin", &[], 10_000),
+            Err(ExecFault::FuelExhausted)
+        );
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let p = {
+            let mut p = Program::new();
+            p.add_function(Function::new("f", 0, 0).returning(Expr::c(0)));
+            p
+        };
+        let mut k = boot(&p);
+        assert_eq!(
+            k.call_function("missing", &[]),
+            Err(ExecFault::UnknownSymbol)
+        );
+    }
+
+    #[test]
+    fn ftrace_pads_are_counted() {
+        let mut p = Program::new();
+        p.add_function(Function::new("traced", 0, 0).returning(Expr::c(1)));
+        let mut k = boot(&p);
+        k.tracer_mut().enable();
+        k.call_function("traced", &[]).unwrap();
+        k.call_function("traced", &[]).unwrap();
+        assert_eq!(k.tracer().hits(0), 2);
+    }
+
+    #[test]
+    fn clock_syscall_returns_time() {
+        // Hand-assemble: sys CLOCK; ret.
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 0, 0).returning(Expr::c(0)));
+        let mut k = boot(&p);
+        // Patch f's body via firmware to: sys 1; ret (no frame needed).
+        let addr = k.function_addr("f").unwrap();
+        let mut code = Vec::new();
+        Inst::Sys { num: syscalls::CLOCK }.encode_into(&mut code);
+        Inst::Ret.encode_into(&mut code);
+        k.machine_mut()
+            .write_bytes(kshot_machine::AccessCtx::Firmware, addr, &code)
+            .unwrap();
+        let t = k.call_function("f", &[]).unwrap();
+        assert!(t > 0);
+        let t2 = k.call_function("f", &[]).unwrap();
+        assert!(t2 > t);
+    }
+
+    #[test]
+    fn exec_trace_records_last_instructions_of_a_fault() {
+        let mut p = Program::new();
+        p.add_function(Function::new("boom2", 1, 0).with_body(vec![
+            Stmt::if_then(
+                CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(7)),
+                vec![Stmt::Trap],
+            ),
+            Stmt::Return(Expr::param(0)),
+        ]));
+        let mut k = boot(&p);
+        k.exec_trace_mut().enable();
+        let err = k.call_function("boom2", &[7]).unwrap_err();
+        assert!(matches!(err, ExecFault::Trap { .. }));
+        // The last recorded instruction is the trap itself, and the ring
+        // holds the path that led to it.
+        let entries: Vec<_> = k.exec_trace().entries().cloned().collect();
+        assert_eq!(entries.last().unwrap().1, Inst::Trap);
+        assert!(entries.len() > 3);
+        let listing = k.exec_trace().listing();
+        assert!(listing.contains("trap"));
+        // Ring is bounded.
+        k.exec_trace_mut().clear();
+        for _ in 0..50 {
+            let _ = k.call_function("boom2", &[1]);
+        }
+        assert!(k.exec_trace().entries().count() <= super::EXEC_TRACE_CAP);
+        // Disabled by default: a fresh kernel records nothing.
+        let mut k2 = boot(&p);
+        let _ = k2.call_function("boom2", &[1]);
+        assert_eq!(k2.exec_trace().entries().count(), 0);
+    }
+
+    #[test]
+    fn call_function_restores_cpu_state() {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 0, 0).returning(Expr::c(7)));
+        let mut k = boot(&p);
+        k.machine_mut().cpu_mut().set(Reg::R5, 0x5555);
+        k.machine_mut().cpu_mut().pc = 0x1234;
+        k.call_function("f", &[]).unwrap();
+        assert_eq!(k.machine().cpu().get(Reg::R5), 0x5555);
+        assert_eq!(k.machine().cpu().pc, 0x1234);
+    }
+}

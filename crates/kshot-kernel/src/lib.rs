@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # kshot-kernel — the miniature running kernel
+//!
+//! The KShot paper patches *live* Linux kernels: the correctness criterion
+//! for RQ1 is that a vulnerable kernel function misbehaves before the
+//! patch and behaves after it, with no crashes, no corrupted tasks, and no
+//! inconsistency for workloads running across the patch event (§VI-B).
+//!
+//! To make those observations real rather than asserted, this crate runs a
+//! miniature kernel on the simulated machine:
+//!
+//! * [`Kernel::boot`] loads a [`kshot_kcc::KernelImage`] into machine
+//!   memory the way a boot loader would (text `r-x`, data `rw-`), and
+//!   reserves the KShot region per the paper's grub configuration.
+//! * [`interp`] executes KV instructions against machine memory under
+//!   kernel privilege — so a buffer overflow in a "kernel function" really
+//!   scribbles over adjacent globals, and execute-only pages really fault
+//!   when read.
+//! * [`task`] provides preemptible tasks and a round-robin scheduler,
+//!   letting live patches land *between* or *during* task slices.
+//! * [`ftrace`] is the runtime tracer that owns the 5-byte pads at
+//!   function entry (paper §V-A): it counts hits and may rewrite pad
+//!   bytes at runtime, which live patching must tolerate.
+//! * [`workload`] is the Sysbench analogue used by the whole-system
+//!   overhead experiment (§VI-C3).
+
+pub mod ftrace;
+pub mod interp;
+pub mod task;
+pub mod workload;
+
+mod loader;
+
+pub use interp::{ExecFault, ExecTrace, StepEvent};
+pub use loader::{BootError, Kernel, KernelInfo};
+pub use task::{Scheduler, SliceOutcome, Task, TaskId, TaskState};
+pub use workload::{Workload, WorkloadReport};

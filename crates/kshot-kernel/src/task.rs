@@ -1,0 +1,364 @@
+//! Tasks and a round-robin scheduler.
+//!
+//! Live patching must not corrupt in-flight work: the paper patches with
+//! "the default Ubuntu background processes running" and again under
+//! heavier workloads (§VI-B, §VI-C3). Tasks here are preemptible guest
+//! execution contexts — an SMI can land between (or conceptually during)
+//! slices, and the hardware save/restore guarantees each task resumes
+//! exactly where it left off.
+
+use kshot_isa::Reg;
+use kshot_machine::cpu::CpuState;
+
+use crate::interp::{ExecFault, StepEvent, RETURN_SENTINEL};
+use crate::loader::{Kernel, TASK_STACK_SIZE};
+
+/// Task identifier (non-zero; 0 means "no task" in `sys gettid`).
+pub type TaskId = u64;
+
+/// Lifecycle state of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskState {
+    /// Runnable (possibly mid-execution).
+    Ready,
+    /// Finished with a return value.
+    Exited(u64),
+    /// Terminated by a fault.
+    Killed(ExecFault),
+}
+
+/// A guest task: a named invocation of a kernel function with its own
+/// stack and a saved CPU context.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Identifier.
+    pub id: TaskId,
+    /// Human-readable name.
+    pub name: String,
+    /// Saved CPU context (swapped onto the machine while running).
+    pub cpu: CpuState,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Instructions executed so far.
+    pub steps: u64,
+}
+
+/// What a scheduling slice concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// Fuel ran out; the task remains ready.
+    Preempted,
+    /// The task's function returned.
+    Exited(u64),
+    /// The task faulted and was killed.
+    Killed(ExecFault),
+    /// The task was already finished before the slice.
+    AlreadyDone,
+}
+
+impl Kernel {
+    /// Spawn a task that will run kernel function `func` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecFault::UnknownSymbol`] if `func` does not exist; a memory
+    /// fault if the task table outgrew the stack region.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        func: &str,
+        args: &[u64],
+    ) -> Result<TaskId, ExecFault> {
+        assert!(args.len() <= 5, "at most five arguments");
+        let entry = self.function_addr(func).ok_or(ExecFault::UnknownSymbol)?;
+        let id = self.tasks.len() as TaskId + 1;
+        // Stack slot 0 is reserved for call_function; tasks start at 1.
+        let layout = *self.machine.layout();
+        let stack_top = layout.kernel_stack_base + TASK_STACK_SIZE * (id + 1);
+        if stack_top > layout.kernel_stack_base + layout.kernel_stack_size {
+            return Err(ExecFault::Memory(
+                kshot_machine::MachineError::OutOfRange {
+                    addr: stack_top,
+                    len: 0,
+                    mem_size: layout.total,
+                },
+            ));
+        }
+        let mut cpu = CpuState::new();
+        for (i, &a) in args.iter().enumerate() {
+            cpu.set(Reg::from_index(1 + i as u8).expect("≤5 args"), a);
+        }
+        let sp = stack_top - 8;
+        cpu.set(Reg::SP, sp);
+        cpu.pc = entry;
+        // Seed the sentinel return address.
+        self.machine
+            .write_u64(kshot_machine::AccessCtx::Kernel, sp, RETURN_SENTINEL)
+            .map_err(ExecFault::Memory)?;
+        self.tasks.push(Task {
+            id,
+            name: name.into(),
+            cpu,
+            state: TaskState::Ready,
+            steps: 0,
+        });
+        Ok(id)
+    }
+
+    /// Look up a task.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// All task ids.
+    pub fn task_ids(&self) -> Vec<TaskId> {
+        self.tasks.iter().map(|t| t.id).collect()
+    }
+
+    /// Run task `id` for at most `fuel` instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecFault::UnknownSymbol`] for a bogus id (task faults are
+    /// reported in the returned [`SliceOutcome`], not as `Err`).
+    pub fn run_task_slice(&mut self, id: TaskId, fuel: u64) -> Result<SliceOutcome, ExecFault> {
+        let idx = self
+            .tasks
+            .iter()
+            .position(|t| t.id == id)
+            .ok_or(ExecFault::UnknownSymbol)?;
+        if self.tasks[idx].state != TaskState::Ready {
+            return Ok(SliceOutcome::AlreadyDone);
+        }
+        // Context switch in.
+        let saved = self.machine.cpu().clone();
+        let task_cpu = self.tasks[idx].cpu.clone();
+        *self.machine.cpu_mut() = task_cpu;
+        self.current_task = Some(id);
+        let mut outcome = SliceOutcome::Preempted;
+        for _ in 0..fuel {
+            self.tasks[idx].steps += 1;
+            match self.step() {
+                Ok(StepEvent::Continue) => {}
+                Ok(StepEvent::Returned) | Ok(StepEvent::Halted) => {
+                    let rv = self.machine.cpu().get(Reg::R0);
+                    self.tasks[idx].state = TaskState::Exited(rv);
+                    outcome = SliceOutcome::Exited(rv);
+                    break;
+                }
+                Err(fault) => {
+                    self.tasks[idx].state = TaskState::Killed(fault.clone());
+                    outcome = SliceOutcome::Killed(fault);
+                    break;
+                }
+            }
+        }
+        // Context switch out.
+        self.tasks[idx].cpu = self.machine.cpu().clone();
+        *self.machine.cpu_mut() = saved;
+        self.current_task = None;
+        Ok(outcome)
+    }
+}
+
+/// A simple round-robin scheduler over a set of tasks.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    ids: Vec<TaskId>,
+    next: usize,
+}
+
+impl Scheduler {
+    /// Schedule the given tasks round-robin.
+    pub fn new(ids: Vec<TaskId>) -> Self {
+        Self { ids, next: 0 }
+    }
+
+    /// Run one slice of the next ready task. Returns `None` when every
+    /// task has finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host-side errors (bogus task ids).
+    pub fn run_next(
+        &mut self,
+        kernel: &mut Kernel,
+        fuel: u64,
+    ) -> Result<Option<(TaskId, SliceOutcome)>, ExecFault> {
+        let n = self.ids.len();
+        for _ in 0..n {
+            let id = self.ids[self.next % n];
+            self.next = (self.next + 1) % n;
+            if matches!(kernel.task(id).map(|t| &t.state), Some(TaskState::Ready)) {
+                let outcome = kernel.run_task_slice(id, fuel)?;
+                return Ok(Some((id, outcome)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Run everything to completion with the given per-slice fuel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host-side errors.
+    pub fn run_to_completion(&mut self, kernel: &mut Kernel, fuel: u64) -> Result<(), ExecFault> {
+        while self.run_next(kernel, fuel)?.is_some() {}
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_isa::Cond;
+    use kshot_kcc::ir::{CondExpr, Expr, Function, Global, Program, Stmt};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_machine::MemLayout;
+
+    fn boot(p: &Program) -> Kernel {
+        p.validate().unwrap();
+        let layout = MemLayout::standard();
+        let image = link(
+            p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        Kernel::boot(image, "kv-test", layout).unwrap()
+    }
+
+    fn counting_program() -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::word("total", 0));
+        p.add_global(Global::word("total_b", 0));
+        // Adds `n` to a counter one unit at a time. `work` bumps `total`,
+        // `work_b` bumps `total_b` (disjoint so interleaving is safe).
+        for (fname, gname) in [("work", "total"), ("work_b", "total_b")] {
+            p.add_function(Function::new(fname, 1, 1).with_body(vec![
+                Stmt::Assign(0, Expr::c(0)),
+                Stmt::While {
+                    cond: CondExpr::new(Expr::local(0), Cond::B, Expr::param(0)),
+                    body: vec![
+                        Stmt::StoreGlobal(gname.into(), Expr::global(gname).add(Expr::c(1))),
+                        Stmt::Assign(0, Expr::local(0).add(Expr::c(1))),
+                    ],
+                },
+                Stmt::Return(Expr::local(0)),
+            ]));
+        }
+        p
+    }
+
+    #[test]
+    fn single_task_runs_to_completion() {
+        let mut k = boot(&counting_program());
+        let id = k.spawn("t", "work", &[25]).unwrap();
+        let mut out = SliceOutcome::Preempted;
+        for _ in 0..1000 {
+            out = k.run_task_slice(id, 100).unwrap();
+            if out != SliceOutcome::Preempted {
+                break;
+            }
+        }
+        assert_eq!(out, SliceOutcome::Exited(25));
+        assert_eq!(k.read_global("total").unwrap(), 25);
+        assert!(matches!(k.task(id).unwrap().state, TaskState::Exited(25)));
+    }
+
+    #[test]
+    fn preemption_interleaves_tasks() {
+        let mut k = boot(&counting_program());
+        let a = k.spawn("a", "work", &[30]).unwrap();
+        let b = k.spawn("b", "work_b", &[30]).unwrap();
+        let mut sched = Scheduler::new(vec![a, b]);
+        // Small slices force interleaving; both must still finish exactly.
+        sched.run_to_completion(&mut k, 37).unwrap();
+        assert_eq!(k.read_global("total").unwrap(), 30);
+        assert_eq!(k.read_global("total_b").unwrap(), 30);
+        assert!(matches!(k.task(a).unwrap().state, TaskState::Exited(30)));
+        assert!(matches!(k.task(b).unwrap().state, TaskState::Exited(30)));
+    }
+
+    #[test]
+    fn preemption_mid_increment_exhibits_real_races() {
+        // Two tasks bumping the SAME global with a non-atomic
+        // load-add-store can lose updates when preempted mid-sequence —
+        // the same hazard real kernels guard with locks. This documents
+        // that our preemption is instruction-granular, not op-granular.
+        let mut k = boot(&counting_program());
+        let a = k.spawn("a", "work", &[30]).unwrap();
+        let b = k.spawn("b", "work", &[30]).unwrap();
+        let mut sched = Scheduler::new(vec![a, b]);
+        sched.run_to_completion(&mut k, 37).unwrap();
+        let total = k.read_global("total").unwrap();
+        assert!(total <= 60, "cannot exceed the update count");
+        assert!(total >= 30, "each task performed its own 30 updates");
+    }
+
+    #[test]
+    fn task_fault_is_contained() {
+        let mut p = counting_program();
+        p.add_function(Function::new("boom", 0, 0).with_body(vec![Stmt::Trap]));
+        let mut k = boot(&p);
+        let good = k.spawn("good", "work", &[5]).unwrap();
+        let bad = k.spawn("bad", "boom", &[]).unwrap();
+        let mut sched = Scheduler::new(vec![good, bad]);
+        sched.run_to_completion(&mut k, 50).unwrap();
+        assert!(matches!(k.task(bad).unwrap().state, TaskState::Killed(_)));
+        assert!(matches!(
+            k.task(good).unwrap().state,
+            TaskState::Exited(5)
+        ));
+    }
+
+    #[test]
+    fn slice_preserves_host_cpu_state() {
+        let mut k = boot(&counting_program());
+        let id = k.spawn("t", "work", &[5]).unwrap();
+        k.machine_mut().cpu_mut().set(Reg::R9, 0x9999);
+        k.run_task_slice(id, 10).unwrap();
+        assert_eq!(k.machine().cpu().get(Reg::R9), 0x9999);
+    }
+
+    #[test]
+    fn finished_task_reports_already_done() {
+        let mut k = boot(&counting_program());
+        let id = k.spawn("t", "work", &[1]).unwrap();
+        while k.run_task_slice(id, 1000).unwrap() == SliceOutcome::Preempted {}
+        assert_eq!(
+            k.run_task_slice(id, 10).unwrap(),
+            SliceOutcome::AlreadyDone
+        );
+    }
+
+    #[test]
+    fn unknown_task_is_error() {
+        let mut k = boot(&counting_program());
+        assert!(k.run_task_slice(42, 10).is_err());
+    }
+
+    #[test]
+    fn gettid_syscall_sees_task_id() {
+        // A function that returns sys_gettid; hand-patch body after boot.
+        let mut p = counting_program();
+        p.add_function(Function::new("whoami", 0, 0).returning(Expr::c(0)));
+        let mut k = boot(&p);
+        let addr = k.function_addr("whoami").unwrap();
+        let mut code = Vec::new();
+        kshot_isa::Inst::Sys {
+            num: crate::interp::syscalls::GETTID,
+        }
+        .encode_into(&mut code);
+        kshot_isa::Inst::Ret.encode_into(&mut code);
+        k.machine_mut()
+            .write_bytes(kshot_machine::AccessCtx::Firmware, addr, &code)
+            .unwrap();
+        let id = k.spawn("w", "whoami", &[]).unwrap();
+        let out = k.run_task_slice(id, 100).unwrap();
+        assert_eq!(out, SliceOutcome::Exited(id));
+        // Outside a task, gettid reports 0.
+        assert_eq!(k.call_function("whoami", &[]).unwrap(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The Sysbench analogue: a syscall-heavy synthetic workload with
+//! throughput accounting in simulated time.
+//!
+//! Paper §VI-C3: "We also used Sysbench to measure overall system
+//! overhead. We live patched the kernel while Sysbench executed in
+//! userspace and measured end-user-visible system overhead. Over 1,000
+//! live patches … we incur under 3% overhead." The
+//! `bench/benches/sysbench_overhead.rs` harness replays that experiment
+//! against this engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kshot_machine::SimTime;
+
+use crate::interp::ExecFault;
+use crate::loader::Kernel;
+
+/// One workload operation: a kernel function invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Kernel function to invoke.
+    pub func: String,
+    /// Arguments.
+    pub args: Vec<u64>,
+}
+
+/// A deterministic stream of operations over a set of kernel functions.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    ops: Vec<Op>,
+    /// Additional simulated time charged per op, modelling the userspace
+    /// side of each benchmark event (real sysbench events are
+    /// millisecond-class prime computations; the interpreted kernel part
+    /// of an op is only tens of µs). Zero by default.
+    op_latency: SimTime,
+}
+
+/// Result of running a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations that faulted (should be zero on a healthy kernel).
+    pub faults: u64,
+    /// Simulated time consumed.
+    pub elapsed: SimTime,
+}
+
+impl WorkloadReport {
+    /// Throughput in operations per simulated second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.ops as f64 / (self.elapsed.as_ns() as f64 / 1e9)
+    }
+
+    /// Relative slowdown of `self` versus a `baseline` run of the same
+    /// op count, as a fraction (0.03 = 3% overhead).
+    pub fn overhead_vs(&self, baseline: &WorkloadReport) -> f64 {
+        if baseline.elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        let b = baseline.elapsed.as_ns() as f64;
+        let s = self.elapsed.as_ns() as f64;
+        (s - b) / b
+    }
+}
+
+impl Workload {
+    /// Build a workload from an explicit op sequence.
+    pub fn from_ops(ops: Vec<Op>) -> Self {
+        Self {
+            ops,
+            op_latency: SimTime::ZERO,
+        }
+    }
+
+    /// Builder: charge `latency` of simulated time per op on top of the
+    /// interpreted kernel work (models the userspace share of each
+    /// benchmark event; see EXPERIMENTS.md).
+    pub fn with_op_latency(mut self, latency: SimTime) -> Self {
+        self.op_latency = latency;
+        self
+    }
+
+    /// Build a deterministic random mix of `count` calls over the given
+    /// `(function, max_arg)` menu — each op calls one function with a
+    /// single argument in `1..=max_arg`.
+    pub fn uniform_mix(menu: &[(&str, u64)], count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = (0..count)
+            .map(|_| {
+                let (f, max) = menu[rng.gen_range(0..menu.len())];
+                Op {
+                    func: f.to_string(),
+                    args: vec![rng.gen_range(1..=max)],
+                }
+            })
+            .collect();
+        Self {
+            ops,
+            op_latency: SimTime::ZERO,
+        }
+    }
+
+    /// Number of operations in the workload.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The op list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Run every operation against the kernel, timing in simulated time.
+    ///
+    /// Individual op faults are counted, not fatal (a userspace benchmark
+    /// keeps running when one syscall fails).
+    pub fn run(&self, kernel: &mut Kernel) -> WorkloadReport {
+        self.run_with_hook(kernel, |_, _| {})
+    }
+
+    /// Like [`Workload::run`], invoking `hook(kernel, op_index)` before
+    /// every operation. The overhead experiment uses the hook to inject
+    /// live patch events at chosen points in the op stream.
+    pub fn run_with_hook(
+        &self,
+        kernel: &mut Kernel,
+        mut hook: impl FnMut(&mut Kernel, usize),
+    ) -> WorkloadReport {
+        let start = kernel.machine().now();
+        let mut ops = 0u64;
+        let mut faults = 0u64;
+        for (i, op) in self.ops.iter().enumerate() {
+            hook(kernel, i);
+            kernel.machine_mut().charge(self.op_latency);
+            match kernel.call_function(&op.func, &op.args) {
+                Ok(_) => ops += 1,
+                Err(ExecFault::UnknownSymbol) => faults += 1,
+                Err(_) => faults += 1,
+            }
+        }
+        WorkloadReport {
+            ops,
+            faults,
+            elapsed: kernel.machine().now() - start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_isa::Cond;
+    use kshot_kcc::ir::{CondExpr, Expr, Function, Program, Stmt};
+    use kshot_kcc::{link, CodegenOptions};
+    use kshot_machine::MemLayout;
+
+    fn boot() -> Kernel {
+        let mut p = Program::new();
+        // A CPU-bound op akin to sysbench's prime loop.
+        p.add_function(Function::new("cpu_op", 1, 2).with_body(vec![
+            Stmt::Assign(0, Expr::c(0)),
+            Stmt::Assign(1, Expr::c(0)),
+            Stmt::While {
+                cond: CondExpr::new(Expr::local(1), Cond::B, Expr::param(0)),
+                body: vec![
+                    Stmt::Assign(0, Expr::local(0).add(Expr::local(1).mul(Expr::local(1)))),
+                    Stmt::Assign(1, Expr::local(1).add(Expr::c(1))),
+                ],
+            },
+            Stmt::Return(Expr::local(0)),
+        ]));
+        p.add_function(Function::new("fast_op", 1, 0).returning(Expr::param(0).add(Expr::c(1))));
+        p.validate().unwrap();
+        let layout = MemLayout::standard();
+        let image = link(
+            &p,
+            &CodegenOptions::default(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        Kernel::boot(image, "kv-test", layout).unwrap()
+    }
+
+    #[test]
+    fn workload_runs_and_times() {
+        let mut k = boot();
+        let w = Workload::uniform_mix(&[("cpu_op", 50), ("fast_op", 10)], 100, 42);
+        let r = w.run(&mut k);
+        assert_eq!(r.ops, 100);
+        assert_eq!(r.faults, 0);
+        assert!(r.elapsed > SimTime::ZERO);
+        assert!(r.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w1 = Workload::uniform_mix(&[("cpu_op", 50)], 50, 7);
+        let w2 = Workload::uniform_mix(&[("cpu_op", 50)], 50, 7);
+        assert_eq!(w1.ops(), w2.ops());
+        let mut k1 = boot();
+        let mut k2 = boot();
+        assert_eq!(w1.run(&mut k1).elapsed, w2.run(&mut k2).elapsed);
+    }
+
+    #[test]
+    fn hook_injection_points_fire() {
+        let mut k = boot();
+        let w = Workload::uniform_mix(&[("fast_op", 5)], 10, 1);
+        let mut fired = 0;
+        w.run_with_hook(&mut k, |_, _| fired += 1);
+        assert_eq!(fired, 10);
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let base = WorkloadReport {
+            ops: 100,
+            faults: 0,
+            elapsed: SimTime::from_us(100),
+        };
+        let patched = WorkloadReport {
+            ops: 100,
+            faults: 0,
+            elapsed: SimTime::from_us(102),
+        };
+        let oh = patched.overhead_vs(&base);
+        assert!((oh - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_latency_charges_simulated_time() {
+        let mut k1 = boot();
+        let mut k2 = boot();
+        let w_fast = Workload::uniform_mix(&[("fast_op", 5)], 10, 3);
+        let w_slow = Workload::uniform_mix(&[("fast_op", 5)], 10, 3)
+            .with_op_latency(SimTime::from_us(100));
+        let fast = w_fast.run(&mut k1);
+        let slow = w_slow.run(&mut k2);
+        assert_eq!(
+            slow.elapsed.as_ns() - fast.elapsed.as_ns(),
+            10 * 100_000,
+            "latency must add exactly 100µs per op"
+        );
+    }
+
+    #[test]
+    fn faulting_ops_are_counted_not_fatal() {
+        let mut k = boot();
+        let w = Workload::from_ops(vec![
+            Op {
+                func: "fast_op".into(),
+                args: vec![1],
+            },
+            Op {
+                func: "missing".into(),
+                args: vec![],
+            },
+            Op {
+                func: "fast_op".into(),
+                args: vec![2],
+            },
+        ]);
+        let r = w.run(&mut k);
+        assert_eq!(r.ops, 2);
+        assert_eq!(r.faults, 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! Differential testing of the whole compile–link–boot–execute stack.
+//!
+//! Random KIR programs are run three ways and must agree exactly:
+//!
+//! 1. a direct reference interpreter over the IR (defined here, simple
+//!    enough to audit by eye),
+//! 2. compiled **with** inlining, executed on the machine, and
+//! 3. compiled **without** inlining, executed on the machine.
+//!
+//! Agreement of (2) and (3) is precisely the property KShot's Type 2
+//! patch handling depends on: inlining must be semantics-preserving, and
+//! therefore the only observable difference between the builds is the
+//! call-graph shape the analysis recovers.
+
+use std::collections::BTreeMap;
+
+use kshot_isa::Cond;
+use kshot_kcc::ir::{BinOp, CondExpr, Expr, Function, Global, Program, Stmt};
+use kshot_kcc::{link, CodegenOptions};
+use kshot_kernel::Kernel;
+use kshot_machine::MemLayout;
+use proptest::prelude::*;
+
+// ---- reference interpreter ------------------------------------------------
+
+struct RefEval<'p> {
+    program: &'p Program,
+    globals: BTreeMap<String, u64>,
+}
+
+impl<'p> RefEval<'p> {
+    fn new(program: &'p Program) -> Self {
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.words[0]))
+            .collect();
+        Self { program, globals }
+    }
+
+    fn call(&mut self, name: &str, args: &[u64]) -> u64 {
+        let f = self.program.function(name).expect("function exists");
+        let mut locals = vec![0u64; f.locals];
+        let body = f.body.clone();
+        // The generator always ends bodies with an explicit Return, so
+        // fall-through (None) cannot occur for generated programs.
+        self.run(&body, args, &mut locals).unwrap_or_default()
+    }
+
+    fn run(&mut self, stmts: &[Stmt], args: &[u64], locals: &mut Vec<u64>) -> Option<u64> {
+        for s in stmts {
+            match s {
+                Stmt::Assign(l, e) => {
+                    let v = self.eval(e, args, locals);
+                    locals[*l] = v;
+                }
+                Stmt::StoreGlobal(g, e) => {
+                    let v = self.eval(e, args, locals);
+                    *self.globals.get_mut(g).expect("global exists") = v;
+                }
+                Stmt::If { cond, then, els } => {
+                    let branch = if self.cond(cond, args, locals) {
+                        then
+                    } else {
+                        els
+                    };
+                    if let Some(v) = self.run(branch, args, locals) {
+                        return Some(v);
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    while self.cond(cond, args, locals) {
+                        if let Some(v) = self.run(body, args, locals) {
+                            return Some(v);
+                        }
+                    }
+                }
+                Stmt::Return(e) => return Some(self.eval(e, args, locals)),
+                Stmt::Call(name, call_args) => {
+                    let vals: Vec<u64> =
+                        call_args.iter().map(|a| self.eval(a, args, locals)).collect();
+                    self.call(name, &vals);
+                }
+                other => unreachable!("generator does not emit {other:?}"),
+            }
+        }
+        None
+    }
+
+    fn cond(&mut self, c: &CondExpr, args: &[u64], locals: &mut Vec<u64>) -> bool {
+        let l = self.eval(&c.lhs, args, locals);
+        let r = self.eval(&c.rhs, args, locals);
+        c.op.eval(l, r)
+    }
+
+    fn eval(&mut self, e: &Expr, args: &[u64], locals: &mut Vec<u64>) -> u64 {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Param(i) => args[*i],
+            Expr::Local(l) => locals[*l],
+            Expr::Global(g) => self.globals[g],
+            Expr::Bin(op, a, b) => {
+                let x = self.eval(a, args, locals);
+                let y = self.eval(b, args, locals);
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Div => unreachable!("generator avoids div"),
+                }
+            }
+            Expr::Call(name, call_args) => {
+                let vals: Vec<u64> =
+                    call_args.iter().map(|a| self.eval(a, args, locals)).collect();
+                self.call(name, &vals)
+            }
+            other => unreachable!("generator does not emit {other:?}"),
+        }
+    }
+}
+
+// ---- program generator ------------------------------------------------------
+
+const N_GLOBALS: usize = 3;
+const LOCALS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct GenCtx {
+    /// Index of the function being generated (may call strictly lower).
+    fn_index: usize,
+    params: usize,
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ]
+}
+
+fn arb_cond_code() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::B),
+        Just(Cond::Be),
+        Just(Cond::A),
+        Just(Cond::Ae),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+    ]
+}
+
+fn arb_expr(ctx: GenCtx, depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = {
+        let mut options: Vec<BoxedStrategy<Expr>> = vec![
+            (0u64..1000).prop_map(Expr::Const).boxed(),
+            (0..LOCALS).prop_map(Expr::Local).boxed(),
+            (0..N_GLOBALS)
+                .prop_map(|g| Expr::Global(format!("g{g}")))
+                .boxed(),
+        ];
+        if ctx.params > 0 {
+            options.push((0..ctx.params).prop_map(Expr::Param).boxed());
+        }
+        prop::strategy::Union::new(options)
+    };
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_expr(ctx.clone(), depth - 1);
+    let bin = (arb_binop(), sub.clone(), sub.clone())
+        .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)));
+    let mut options: Vec<BoxedStrategy<Expr>> = vec![leaf.boxed(), bin.boxed()];
+    if ctx.fn_index > 0 {
+        // Call an earlier function with freshly generated args; callee
+        // arity is fixed at 2 for simplicity of generation.
+        let callee = 0..ctx.fn_index;
+        let args = prop::collection::vec(arb_expr(ctx, depth - 1), 2);
+        options.push(
+            (callee, args)
+                .prop_map(|(k, args)| Expr::Call(format!("f{k}"), args))
+                .boxed(),
+        );
+    }
+    prop::strategy::Union::new(options).boxed()
+}
+
+fn arb_cond(ctx: GenCtx) -> impl Strategy<Value = CondExpr> {
+    (
+        arb_expr(ctx.clone(), 1),
+        arb_cond_code(),
+        arb_expr(ctx, 1),
+    )
+        .prop_map(|(l, op, r)| CondExpr::new(l, op, r))
+}
+
+fn arb_stmt(ctx: GenCtx, depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = ((0..LOCALS), arb_expr(ctx.clone(), 2)).prop_map(|(l, e)| Stmt::Assign(l, e));
+    let store = ((0..N_GLOBALS), arb_expr(ctx.clone(), 2))
+        .prop_map(|(g, e)| Stmt::StoreGlobal(format!("g{g}"), e));
+    if depth == 0 {
+        return prop_oneof![assign, store].boxed();
+    }
+    let iff = (
+        arb_cond(ctx.clone()),
+        prop::collection::vec(arb_stmt(ctx.clone(), depth - 1), 0..3),
+        prop::collection::vec(arb_stmt(ctx.clone(), depth - 1), 0..3),
+    )
+        .prop_map(|(cond, then, els)| Stmt::If { cond, then, els });
+    // A strictly counted loop: local 3 runs 0..k with a fixed increment,
+    // guaranteeing termination independent of the body.
+    let counted_loop = (
+        1u64..8,
+        prop::collection::vec(arb_stmt(ctx.clone(), depth - 1), 0..3),
+    )
+        .prop_map(|(k, mut body)| {
+            body.retain(|s| !touches_counter(s));
+            let mut stmts = vec![Stmt::Assign(3, Expr::c(0))];
+            body.push(Stmt::Assign(3, Expr::local(3).add(Expr::c(1))));
+            stmts.push(Stmt::While {
+                cond: CondExpr::new(Expr::local(3), Cond::B, Expr::c(k)),
+                body,
+            });
+            Stmt::If {
+                cond: CondExpr::new(Expr::c(0), Cond::Eq, Expr::c(0)),
+                then: stmts,
+                els: vec![],
+            }
+        });
+    prop_oneof![4 => assign, 3 => store, 2 => iff, 1 => counted_loop].boxed()
+}
+
+/// The loop counter (local 3) must not be clobbered by generated bodies.
+fn touches_counter(s: &Stmt) -> bool {
+    match s {
+        Stmt::Assign(3, _) => true,
+        Stmt::If { then, els, .. } => {
+            then.iter().any(touches_counter) || els.iter().any(touches_counter)
+        }
+        Stmt::While { body, .. } => body.iter().any(touches_counter),
+        _ => false,
+    }
+}
+
+fn arb_function(fn_index: usize) -> impl Strategy<Value = Function> {
+    let ctx = GenCtx {
+        fn_index,
+        params: 2,
+    };
+    (
+        prop::collection::vec(arb_stmt(ctx.clone(), 2), 1..5),
+        arb_expr(ctx, 2),
+    )
+        .prop_map(move |(mut body, ret)| {
+            body.push(Stmt::Return(ret));
+            Function::new(format!("f{fn_index}"), 2, LOCALS).with_body(body)
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        arb_function(0),
+        arb_function(1),
+        arb_function(2),
+        prop::collection::vec(0u64..100, N_GLOBALS),
+    )
+        .prop_map(|(f0, f1, f2, ginit)| {
+            let mut p = Program::new();
+            for (i, v) in ginit.iter().enumerate() {
+                p.add_global(Global::word(format!("g{i}"), *v));
+            }
+            p.add_function(f0);
+            p.add_function(f1);
+            p.add_function(f2);
+            p
+        })
+}
+
+fn boot(p: &Program, opts: &CodegenOptions) -> Kernel {
+    let layout = MemLayout::standard();
+    let image = link(p, opts, layout.kernel_text_base, layout.kernel_data_base)
+        .expect("generated program links");
+    Kernel::boot(image, "kv-diff", layout).expect("boots")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn reference_inline_and_noinline_builds_agree(
+        program in arb_program(),
+        a in 0u64..1000,
+        b in 0u64..1000,
+    ) {
+        program.validate().expect("generated program is well-formed");
+        // Reference semantics.
+        let mut reference = RefEval::new(&program);
+        let want = reference.call("f2", &[a, b]);
+        let want_globals: Vec<u64> =
+            (0..N_GLOBALS).map(|g| reference.globals[&format!("g{g}")]).collect();
+        // Compiled with aggressive inlining.
+        let mut k_inline = boot(&program, &CodegenOptions {
+            inline_threshold: 64,
+            ..CodegenOptions::default()
+        });
+        let got_inline = k_inline
+            .call_function_with_fuel("f2", &[a, b], 5_000_000)
+            .expect("inline build executes");
+        // Compiled with no inlining.
+        let mut k_plain = boot(&program, &CodegenOptions::no_inline());
+        let got_plain = k_plain
+            .call_function_with_fuel("f2", &[a, b], 5_000_000)
+            .expect("no-inline build executes");
+        prop_assert_eq!(got_inline, want, "inline build diverged from reference");
+        prop_assert_eq!(got_plain, want, "no-inline build diverged from reference");
+        for (g, want) in want_globals.iter().enumerate() {
+            let name = format!("g{g}");
+            let gi = k_inline.read_global(&name).unwrap();
+            let gp = k_plain.read_global(&name).unwrap();
+            prop_assert_eq!(gi, *want, "global {} (inline)", &name);
+            prop_assert_eq!(gp, *want, "global {} (plain)", &name);
+        }
+    }
+}

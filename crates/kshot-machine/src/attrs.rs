@@ -1,0 +1,180 @@
+//! Per-page access attributes.
+//!
+//! KShot's reserved memory is split into three windows with distinct
+//! attributes (paper §V-B): `mem_RW` (read/write, key exchange), `mem_W`
+//! (write-only, encrypted patch staging) and `mem_X` (execute-only,
+//! decrypted patch text). This module provides the attribute lattice those
+//! windows are built from.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A small set of page permissions: read, write, execute.
+///
+/// Implemented as a transparent bit set rather than pulling in the
+/// `bitflags` crate; the set is tiny and the operations are trivial.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PageAttrs(u8);
+
+impl PageAttrs {
+    /// No access at all.
+    pub const NONE: PageAttrs = PageAttrs(0);
+    /// Read permission.
+    pub const R: PageAttrs = PageAttrs(1);
+    /// Write permission.
+    pub const W: PageAttrs = PageAttrs(2);
+    /// Execute permission.
+    pub const X: PageAttrs = PageAttrs(4);
+    /// Read + write.
+    pub const RW: PageAttrs = PageAttrs(1 | 2);
+    /// Read + execute (normal kernel text).
+    pub const RX: PageAttrs = PageAttrs(1 | 4);
+    /// Read + write + execute.
+    pub const RWX: PageAttrs = PageAttrs(1 | 2 | 4);
+
+    /// Whether every permission in `other` is present in `self`.
+    #[inline]
+    pub fn allows(self, other: PageAttrs) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether this set contains the read permission.
+    #[inline]
+    pub fn readable(self) -> bool {
+        self.allows(PageAttrs::R)
+    }
+
+    /// Whether this set contains the write permission.
+    #[inline]
+    pub fn writable(self) -> bool {
+        self.allows(PageAttrs::W)
+    }
+
+    /// Whether this set contains the execute permission.
+    #[inline]
+    pub fn executable(self) -> bool {
+        self.allows(PageAttrs::X)
+    }
+}
+
+impl BitOr for PageAttrs {
+    type Output = PageAttrs;
+
+    fn bitor(self, rhs: PageAttrs) -> PageAttrs {
+        PageAttrs(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PageAttrs {
+    fn bitor_assign(&mut self, rhs: PageAttrs) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for PageAttrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' },
+        )
+    }
+}
+
+impl fmt::Display for PageAttrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The kind of access being attempted, used for permission checks and
+/// fault reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl Access {
+    /// The permission bit this access requires.
+    pub fn required(self) -> PageAttrs {
+        match self {
+            Access::Read => PageAttrs::R,
+            Access::Write => PageAttrs::W,
+            Access::Execute => PageAttrs::X,
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Execute => "execute",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice() {
+        assert!(PageAttrs::RWX.allows(PageAttrs::R));
+        assert!(PageAttrs::RWX.allows(PageAttrs::RW));
+        assert!(PageAttrs::RX.allows(PageAttrs::X));
+        assert!(!PageAttrs::R.allows(PageAttrs::W));
+        assert!(!PageAttrs::W.allows(PageAttrs::R));
+        assert!(PageAttrs::NONE.allows(PageAttrs::NONE));
+        assert!(!PageAttrs::NONE.allows(PageAttrs::R));
+    }
+
+    #[test]
+    fn write_only_window_semantics() {
+        // mem_W: writable but neither readable nor executable.
+        let w = PageAttrs::W;
+        assert!(w.writable());
+        assert!(!w.readable());
+        assert!(!w.executable());
+    }
+
+    #[test]
+    fn execute_only_window_semantics() {
+        // mem_X: executable but neither readable nor writable.
+        let x = PageAttrs::X;
+        assert!(x.executable());
+        assert!(!x.readable());
+        assert!(!x.writable());
+    }
+
+    #[test]
+    fn or_composition() {
+        assert_eq!(PageAttrs::R | PageAttrs::W, PageAttrs::RW);
+        let mut a = PageAttrs::R;
+        a |= PageAttrs::X;
+        assert_eq!(a, PageAttrs::RX);
+    }
+
+    #[test]
+    fn access_requirements() {
+        assert_eq!(Access::Read.required(), PageAttrs::R);
+        assert_eq!(Access::Write.required(), PageAttrs::W);
+        assert_eq!(Access::Execute.required(), PageAttrs::X);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", PageAttrs::RX), "r-x");
+        assert_eq!(format!("{:?}", PageAttrs::NONE), "---");
+        assert_eq!(format!("{}", Access::Write), "write");
+    }
+}

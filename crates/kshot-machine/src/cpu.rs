@@ -1,0 +1,133 @@
+//! CPU register file, execution mode, and the SMRAM save area.
+
+use kshot_isa::Reg;
+
+/// The CPU's current execution mode.
+///
+/// The simulation models the two modes KShot cares about: normal
+/// protected-mode kernel execution, and System Management Mode entered via
+/// SMI (paper §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuMode {
+    /// Normal operation (the OS runs here).
+    Protected,
+    /// System Management Mode (the SMM handler runs here; OS is paused).
+    Smm,
+}
+
+/// Architectural CPU state: sixteen GPRs, a program counter, and the
+/// comparison flags set by `Cmp`/`CmpImm`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CpuState {
+    /// General-purpose registers `r0`–`r15`.
+    pub regs: [u64; Reg::COUNT],
+    /// Program counter (physical address of next instruction).
+    pub pc: u64,
+    /// Last comparison operands `(a, b)`; conditions evaluate against
+    /// these. `None` before any comparison.
+    pub flags: Option<(u64, u64)>,
+}
+
+impl CpuState {
+    /// Fresh zeroed state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a register.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Write a register.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Serialize into the fixed-size SMRAM save-area image.
+    ///
+    /// Layout: 16×8 bytes of registers, 8 bytes PC, 1 flag-valid byte,
+    /// 16 bytes of flags.
+    pub fn to_save_area(&self) -> [u8; SAVE_AREA_LEN] {
+        let mut out = [0u8; SAVE_AREA_LEN];
+        for (i, r) in self.regs.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&r.to_le_bytes());
+        }
+        out[128..136].copy_from_slice(&self.pc.to_le_bytes());
+        match self.flags {
+            Some((a, b)) => {
+                out[136] = 1;
+                out[137..145].copy_from_slice(&a.to_le_bytes());
+                out[145..153].copy_from_slice(&b.to_le_bytes());
+            }
+            None => out[136] = 0,
+        }
+        out
+    }
+
+    /// Deserialize from the SMRAM save-area image.
+    pub fn from_save_area(data: &[u8; SAVE_AREA_LEN]) -> Self {
+        let mut regs = [0u64; Reg::COUNT];
+        for (i, r) in regs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[i * 8..i * 8 + 8]);
+            *r = u64::from_le_bytes(b);
+        }
+        let mut pcb = [0u8; 8];
+        pcb.copy_from_slice(&data[128..136]);
+        let flags = if data[136] == 1 {
+            let mut a = [0u8; 8];
+            let mut b = [0u8; 8];
+            a.copy_from_slice(&data[137..145]);
+            b.copy_from_slice(&data[145..153]);
+            Some((u64::from_le_bytes(a), u64::from_le_bytes(b)))
+        } else {
+            None
+        };
+        Self {
+            regs,
+            pc: u64::from_le_bytes(pcb),
+            flags,
+        }
+    }
+}
+
+/// Size in bytes of the serialized CPU save area stored at the base of
+/// SMRAM on SMM entry.
+pub const SAVE_AREA_LEN: usize = 16 * 8 + 8 + 1 + 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set() {
+        let mut c = CpuState::new();
+        c.set(Reg::R3, 99);
+        assert_eq!(c.get(Reg::R3), 99);
+        assert_eq!(c.get(Reg::R4), 0);
+    }
+
+    #[test]
+    fn save_area_roundtrip() {
+        let mut c = CpuState::new();
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            c.set(*r, (i as u64) * 0x1111_1111);
+        }
+        c.pc = 0xdead_beef;
+        c.flags = Some((42, u64::MAX));
+        let img = c.to_save_area();
+        assert_eq!(CpuState::from_save_area(&img), c);
+    }
+
+    #[test]
+    fn save_area_roundtrip_without_flags() {
+        let mut c = CpuState::new();
+        c.pc = 7;
+        c.flags = None;
+        let img = c.to_save_area();
+        assert_eq!(CpuState::from_save_area(&img), c);
+    }
+}

@@ -1,0 +1,99 @@
+//! Machine fault types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::attrs::Access;
+
+/// A hardware-level fault raised by the simulated machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The access violated page attributes or SMRAM protection.
+    AccessViolation {
+        /// Physical address of the faulting access.
+        addr: u64,
+        /// What kind of access was attempted.
+        access: Access,
+        /// Human-readable privilege domain that attempted it.
+        ctx: &'static str,
+        /// Why the hardware rejected it.
+        reason: &'static str,
+    },
+    /// The physical address is outside installed memory.
+    OutOfRange {
+        /// Faulting address.
+        addr: u64,
+        /// Length of the access.
+        len: usize,
+        /// Installed memory size.
+        mem_size: u64,
+    },
+    /// Attempt to reconfigure SMRAM after the firmware locked it.
+    SmramLocked,
+    /// `RSM` executed while not in System Management Mode.
+    NotInSmm,
+    /// An SMI was raised while already in SMM (nested SMIs are dropped by
+    /// hardware; we surface the program error instead).
+    AlreadyInSmm,
+    /// SMRAM has not been configured yet.
+    SmramUnconfigured,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::AccessViolation {
+                addr,
+                access,
+                ctx,
+                reason,
+            } => write!(
+                f,
+                "access violation: {ctx} {access} at {addr:#x} denied ({reason})"
+            ),
+            MachineError::OutOfRange {
+                addr,
+                len,
+                mem_size,
+            } => write!(
+                f,
+                "physical address {addr:#x}+{len} outside installed memory ({mem_size:#x} bytes)"
+            ),
+            MachineError::SmramLocked => write!(f, "SMRAM configuration is locked"),
+            MachineError::NotInSmm => write!(f, "RSM outside of System Management Mode"),
+            MachineError::AlreadyInSmm => write!(f, "SMI raised while already in SMM"),
+            MachineError::SmramUnconfigured => write!(f, "SMRAM has not been configured"),
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            MachineError::AccessViolation {
+                addr: 0x1000,
+                access: Access::Write,
+                ctx: "kernel",
+                reason: "SMRAM",
+            },
+            MachineError::OutOfRange {
+                addr: 1,
+                len: 8,
+                mem_size: 0,
+            },
+            MachineError::SmramLocked,
+            MachineError::NotInSmm,
+            MachineError::AlreadyInSmm,
+            MachineError::SmramUnconfigured,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! The machine: privilege-checked memory access and SMM transitions.
+
+use kshot_isa::Inst;
+
+use crate::attrs::{Access, PageAttrs};
+use crate::cpu::{CpuMode, CpuState, SAVE_AREA_LEN};
+use crate::error::MachineError;
+use crate::layout::MemLayout;
+use crate::phys::PhysMemory;
+use crate::timing::{Clock, CostModel, SimTime};
+
+/// The privilege domain performing a memory access.
+///
+/// This is the pivot of the whole security simulation: the same physical
+/// address behaves differently depending on who touches it, exactly as on
+/// real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessCtx {
+    /// The OS kernel (or anything running under it, including rootkits).
+    /// Subject to page attributes; denied SMRAM.
+    Kernel,
+    /// The SMM handler. Only valid while the CPU is in SMM; bypasses page
+    /// attributes and may touch SMRAM.
+    Smm,
+    /// Trusted boot firmware / loader, used while constructing the
+    /// machine image before the OS runs. Bypasses checks; the threat
+    /// model trusts the boot process (paper §III).
+    Firmware,
+}
+
+impl AccessCtx {
+    fn name(self) -> &'static str {
+        match self {
+            AccessCtx::Kernel => "kernel",
+            AccessCtx::Smm => "smm",
+            AccessCtx::Firmware => "firmware",
+        }
+    }
+}
+
+/// An observable machine event, kept in a bounded in-machine log so tests
+/// and examples can assert on hardware-level behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// SMI received; CPU entered SMM at the given simulated time.
+    SmiEnter(SimTime),
+    /// `RSM` executed; CPU resumed Protected Mode.
+    Rsm(SimTime),
+    /// A faulting access was rejected.
+    Fault(MachineError),
+}
+
+const MAX_EVENTS: usize = 4096;
+
+/// The simulated target machine.
+///
+/// # Examples
+///
+/// ```
+/// use kshot_machine::{Machine, MemLayout, AccessCtx};
+///
+/// let mut m = Machine::new(MemLayout::standard()).unwrap();
+/// // The kernel cannot write SMRAM...
+/// let smram = m.layout().smram_base;
+/// assert!(m.write_bytes(AccessCtx::Kernel, smram, &[0]).is_err());
+/// // ...but the SMM handler can, once an SMI is raised.
+/// m.raise_smi().unwrap();
+/// m.write_bytes(AccessCtx::Smm, smram + 0x1000, &[0xAA]).unwrap();
+/// m.rsm().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    mem: PhysMemory,
+    cpu: CpuState,
+    mode: CpuMode,
+    layout: MemLayout,
+    clock: Clock,
+    cost: CostModel,
+    events: Vec<Event>,
+    smi_count: u64,
+}
+
+impl Machine {
+    /// Build a machine with the given memory layout; configures and locks
+    /// SMRAM as the firmware would during trusted boot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] if the layout is internally inconsistent.
+    pub fn new(layout: MemLayout) -> Result<Self, MachineError> {
+        layout.validate().map_err(|_| MachineError::OutOfRange {
+            addr: layout.total,
+            len: 0,
+            mem_size: layout.total,
+        })?;
+        let mut mem = PhysMemory::new(layout.total);
+        mem.configure_smram(layout.smram_base, layout.smram_size)?;
+        mem.lock_smram()?;
+        // Kernel text defaults to RX; everything else stays RW until the
+        // loader/kshot-core sets specific windows.
+        mem.set_attrs(
+            layout.kernel_text_base,
+            layout.kernel_text_size,
+            PageAttrs::RX,
+        )?;
+        Ok(Self {
+            mem,
+            cpu: CpuState::new(),
+            mode: CpuMode::Protected,
+            layout,
+            clock: Clock::new(),
+            cost: CostModel::paper_calibrated(),
+            events: Vec::new(),
+            smi_count: 0,
+        })
+    }
+
+    /// The memory layout this machine was built with.
+    pub fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+
+    /// Current CPU mode.
+    pub fn mode(&self) -> CpuMode {
+        self.mode
+    }
+
+    /// Borrow the CPU state.
+    pub fn cpu(&self) -> &CpuState {
+        &self.cpu
+    }
+
+    /// Mutably borrow the CPU state (the interpreter drives this).
+    pub fn cpu_mut(&mut self) -> &mut CpuState {
+        &mut self.cpu
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advance the simulated clock.
+    pub fn charge(&mut self, span: SimTime) {
+        self.clock.charge(span);
+    }
+
+    /// The calibrated cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Replace the cost model (ablation benchmarks use this).
+    pub fn set_cost(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Number of SMIs serviced so far.
+    pub fn smi_count(&self) -> u64 {
+        self.smi_count
+    }
+
+    /// The event log (bounded; oldest entries are dropped).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    fn log(&mut self, ev: Event) {
+        if self.events.len() == MAX_EVENTS {
+            self.events.remove(0);
+        }
+        self.events.push(ev);
+    }
+
+    fn check(&mut self, ctx: AccessCtx, addr: u64, len: usize, access: Access) -> Result<(), MachineError> {
+        let result = self.check_inner(ctx, addr, len, access);
+        if let Err(e) = &result {
+            self.log(Event::Fault(e.clone()));
+        }
+        result
+    }
+
+    fn check_inner(
+        &self,
+        ctx: AccessCtx,
+        addr: u64,
+        len: usize,
+        access: Access,
+    ) -> Result<(), MachineError> {
+        match ctx {
+            AccessCtx::Firmware => Ok(()),
+            AccessCtx::Smm => {
+                // SMM context is only meaningful while the CPU is in SMM.
+                if self.mode != CpuMode::Smm {
+                    return Err(MachineError::AccessViolation {
+                        addr,
+                        access,
+                        ctx: ctx.name(),
+                        reason: "SMM access outside System Management Mode",
+                    });
+                }
+                Ok(())
+            }
+            AccessCtx::Kernel => {
+                if let Some(w) = self.mem.smram() {
+                    if w.overlaps(addr, len) {
+                        return Err(MachineError::AccessViolation {
+                            addr,
+                            access,
+                            ctx: ctx.name(),
+                            reason: "SMRAM is inaccessible outside SMM",
+                        });
+                    }
+                }
+                self.mem.check_attrs(addr, len, access)
+            }
+        }
+    }
+
+    /// Read `out.len()` bytes at `addr` under privilege `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on permission violations or out-of-range addresses.
+    pub fn read_bytes(&mut self, ctx: AccessCtx, addr: u64, out: &mut [u8]) -> Result<(), MachineError> {
+        self.check(ctx, addr, out.len(), Access::Read)?;
+        self.mem.read_raw(addr, out)
+    }
+
+    /// Write `data` at `addr` under privilege `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on permission violations or out-of-range addresses.
+    pub fn write_bytes(&mut self, ctx: AccessCtx, addr: u64, data: &[u8]) -> Result<(), MachineError> {
+        self.check(ctx, addr, data.len(), Access::Write)?;
+        self.mem.write_raw(addr, data)
+    }
+
+    /// Read a little-endian `u64` under privilege `ctx`.
+    pub fn read_u64(&mut self, ctx: AccessCtx, addr: u64) -> Result<u64, MachineError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(ctx, addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian `u64` under privilege `ctx`.
+    pub fn write_u64(&mut self, ctx: AccessCtx, addr: u64, v: u64) -> Result<(), MachineError> {
+        self.write_bytes(ctx, addr, &v.to_le_bytes())
+    }
+
+    /// Fetch and decode the instruction at `addr` under privilege `ctx`,
+    /// enforcing execute permission.
+    ///
+    /// # Errors
+    ///
+    /// Faults on permission violations; propagates decode errors as an
+    /// access violation (executing non-code is a fault on this machine).
+    pub fn fetch(&mut self, ctx: AccessCtx, addr: u64) -> Result<(Inst, usize), MachineError> {
+        // Fetch up to MAX_INST_LEN bytes but tolerate a shorter tail.
+        let avail = (self.mem.size().saturating_sub(addr)) as usize;
+        let len = avail.min(kshot_isa::MAX_INST_LEN);
+        if len == 0 {
+            return Err(MachineError::OutOfRange {
+                addr,
+                len: 1,
+                mem_size: self.mem.size(),
+            });
+        }
+        let mut buf = [0u8; kshot_isa::MAX_INST_LEN];
+        self.check(ctx, addr, 1, Access::Execute)?;
+        self.mem.read_raw(addr, &mut buf[..len])?;
+        let (inst, inst_len) = Inst::decode(&buf[..len], 0).map_err(|_| {
+            MachineError::AccessViolation {
+                addr,
+                access: Access::Execute,
+                ctx: ctx.name(),
+                reason: "undecodable instruction",
+            }
+        })?;
+        // The whole encoding must be executable (a jmp spanning into a
+        // non-X page faults on real hardware too).
+        self.check(ctx, addr, inst_len, Access::Execute)?;
+        Ok((inst, inst_len))
+    }
+
+    /// Raw, check-free view of memory. Only the trusted introspection and
+    /// loader paths use this; guest-reachable code must go through the
+    /// checked accessors.
+    pub fn phys(&self) -> &PhysMemory {
+        &self.mem
+    }
+
+    /// Raw, check-free mutable view of memory (loader/firmware only).
+    pub fn phys_mut(&mut self) -> &mut PhysMemory {
+        &mut self.mem
+    }
+
+    /// Set page attributes on a range (performed by the kernel's
+    /// `paging_init` analogue or by firmware).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range errors from the attribute table.
+    pub fn set_page_attrs(&mut self, base: u64, size: u64, attrs: PageAttrs) -> Result<(), MachineError> {
+        self.mem.set_attrs(base, size, attrs)
+    }
+
+    // ---- SMM transitions -------------------------------------------------
+
+    /// Deliver a System Management Interrupt: the hardware saves the CPU
+    /// state into the SMRAM save area and switches to SMM.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::AlreadyInSmm`] if nested.
+    pub fn raise_smi(&mut self) -> Result<(), MachineError> {
+        if self.mode == CpuMode::Smm {
+            return Err(MachineError::AlreadyInSmm);
+        }
+        let save = self.cpu.to_save_area();
+        // The save area lives at the base of SMRAM.
+        let base = self.layout.smram_base;
+        self.mem.write_raw(base, &save)?;
+        self.mode = CpuMode::Smm;
+        self.smi_count += 1;
+        let entry_cost = self.cost.smm_entry;
+        self.charge(entry_cost);
+        let now = self.now();
+        self.log(Event::SmiEnter(now));
+        Ok(())
+    }
+
+    /// Execute `RSM`: restore the saved CPU state from SMRAM and resume
+    /// Protected Mode.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NotInSmm`] if the CPU is not in SMM.
+    pub fn rsm(&mut self) -> Result<(), MachineError> {
+        if self.mode != CpuMode::Smm {
+            return Err(MachineError::NotInSmm);
+        }
+        let mut save = [0u8; SAVE_AREA_LEN];
+        self.mem.read_raw(self.layout.smram_base, &mut save)?;
+        self.cpu = CpuState::from_save_area(&save);
+        self.mode = CpuMode::Protected;
+        let exit_cost = self.cost.smm_exit;
+        self.charge(exit_cost);
+        let now = self.now();
+        self.log(Event::Rsm(now));
+        Ok(())
+    }
+
+    /// Address of the SMM handler's private scratch area inside SMRAM
+    /// (immediately after the CPU save area).
+    pub fn smram_scratch_base(&self) -> u64 {
+        self.layout.smram_base + SAVE_AREA_LEN as u64
+    }
+
+    /// Size of the SMM handler's private scratch area.
+    pub fn smram_scratch_size(&self) -> u64 {
+        self.layout.smram_size - SAVE_AREA_LEN as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_isa::Reg;
+
+    fn machine() -> Machine {
+        Machine::new(MemLayout::standard()).unwrap()
+    }
+
+    #[test]
+    fn kernel_cannot_touch_smram() {
+        let mut m = machine();
+        let base = m.layout().smram_base;
+        let mut buf = [0u8; 1];
+        assert!(matches!(
+            m.read_bytes(AccessCtx::Kernel, base, &mut buf),
+            Err(MachineError::AccessViolation { .. })
+        ));
+        assert!(m.write_bytes(AccessCtx::Kernel, base + 5, &[1]).is_err());
+        // Straddling writes that end inside SMRAM also fault.
+        assert!(m
+            .write_bytes(AccessCtx::Kernel, base - 4, &[0u8; 8])
+            .is_err());
+        // Faults are logged.
+        assert!(m.events().iter().any(|e| matches!(e, Event::Fault(_))));
+    }
+
+    #[test]
+    fn smm_ctx_requires_smm_mode() {
+        let mut m = machine();
+        let base = m.layout().smram_base;
+        assert!(m.write_bytes(AccessCtx::Smm, base, &[1]).is_err());
+        m.raise_smi().unwrap();
+        m.write_bytes(AccessCtx::Smm, base + 0x800, &[1]).unwrap();
+        let mut buf = [0u8; 1];
+        m.read_bytes(AccessCtx::Smm, base + 0x800, &mut buf).unwrap();
+        assert_eq!(buf, [1]);
+    }
+
+    #[test]
+    fn smm_bypasses_page_attrs() {
+        let mut m = machine();
+        let text = m.layout().kernel_text_base;
+        // Kernel cannot write its own (RX) text…
+        assert!(m.write_bytes(AccessCtx::Kernel, text, &[0x90]).is_err());
+        // …but SMM can (this is how patching works).
+        m.raise_smi().unwrap();
+        m.write_bytes(AccessCtx::Smm, text, &[0x90]).unwrap();
+    }
+
+    #[test]
+    fn smi_saves_and_rsm_restores_cpu_state() {
+        let mut m = machine();
+        m.cpu_mut().set(Reg::R7, 0x1234);
+        m.cpu_mut().pc = 0xABCD;
+        m.cpu_mut().flags = Some((5, 9));
+        m.raise_smi().unwrap();
+        // The SMM handler may clobber registers freely…
+        m.cpu_mut().set(Reg::R7, 0);
+        m.cpu_mut().pc = 0;
+        m.cpu_mut().flags = None;
+        m.rsm().unwrap();
+        // …hardware restore brings back the pre-SMI state.
+        assert_eq!(m.cpu().get(Reg::R7), 0x1234);
+        assert_eq!(m.cpu().pc, 0xABCD);
+        assert_eq!(m.cpu().flags, Some((5, 9)));
+        assert_eq!(m.mode(), CpuMode::Protected);
+        assert_eq!(m.smi_count(), 1);
+    }
+
+    #[test]
+    fn nested_smi_and_spurious_rsm_fault() {
+        let mut m = machine();
+        m.raise_smi().unwrap();
+        assert_eq!(m.raise_smi(), Err(MachineError::AlreadyInSmm));
+        m.rsm().unwrap();
+        assert_eq!(m.rsm(), Err(MachineError::NotInSmm));
+    }
+
+    #[test]
+    fn smm_transitions_charge_calibrated_time() {
+        let mut m = machine();
+        let before = m.now();
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        let elapsed = m.now() - before;
+        // Paper: 12.9µs entry + 21.7µs exit = 34.6µs.
+        assert_eq!(elapsed.as_ns(), 12_900 + 21_700);
+    }
+
+    #[test]
+    fn fetch_requires_execute_permission() {
+        let mut m = machine();
+        let text = m.layout().kernel_text_base;
+        // Load a ret via firmware, fetch as kernel: OK.
+        m.write_bytes(AccessCtx::Firmware, text, &[0xC3]).unwrap();
+        let (inst, len) = m.fetch(AccessCtx::Kernel, text).unwrap();
+        assert_eq!(len, 1);
+        assert_eq!(inst, kshot_isa::Inst::Ret);
+        // Data pages are not executable.
+        let data = m.layout().kernel_data_base;
+        m.write_bytes(AccessCtx::Firmware, data, &[0xC3]).unwrap();
+        assert!(m.fetch(AccessCtx::Kernel, data).is_err());
+    }
+
+    #[test]
+    fn fetch_rejects_garbage() {
+        let mut m = machine();
+        let text = m.layout().kernel_text_base;
+        m.write_bytes(AccessCtx::Firmware, text, &[0xAB]).unwrap();
+        let err = m.fetch(AccessCtx::Kernel, text).unwrap_err();
+        assert!(matches!(err, MachineError::AccessViolation { reason, .. }
+            if reason == "undecodable instruction"));
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = machine();
+        let data = m.layout().kernel_data_base;
+        m.write_u64(AccessCtx::Kernel, data, 0xfeed_f00d).unwrap();
+        assert_eq!(m.read_u64(AccessCtx::Kernel, data).unwrap(), 0xfeed_f00d);
+    }
+
+    #[test]
+    fn event_log_is_bounded() {
+        let mut m = machine();
+        let smram = m.layout().smram_base;
+        for _ in 0..(super::MAX_EVENTS + 10) {
+            let _ = m.write_bytes(AccessCtx::Kernel, smram, &[0]);
+        }
+        assert_eq!(m.events().len(), super::MAX_EVENTS);
+    }
+}

@@ -1,0 +1,278 @@
+//! Flat physical memory with a per-page attribute table.
+
+use crate::attrs::{Access, PageAttrs};
+use crate::error::MachineError;
+
+/// Page size in bytes (matches x86 4 KiB pages).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Installed physical memory plus its page attribute table and the SMRAM
+/// window descriptor.
+///
+/// `PhysMemory` itself performs *raw* bounds-checked access; permission
+/// checks live in [`crate::Machine`], which knows the privilege context.
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+    attrs: Vec<PageAttrs>,
+    smram: Option<SmramWindow>,
+}
+
+/// The SMRAM range and its lock bit (D_LCK analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmramWindow {
+    /// Base physical address (page-aligned).
+    pub base: u64,
+    /// Size in bytes (page-aligned).
+    pub size: u64,
+    /// Whether the firmware has locked the configuration.
+    pub locked: bool,
+}
+
+impl SmramWindow {
+    /// Whether `addr..addr+len` overlaps this window.
+    pub fn overlaps(&self, addr: u64, len: usize) -> bool {
+        let end = addr.saturating_add(len as u64);
+        addr < self.base + self.size && end > self.base
+    }
+}
+
+impl PhysMemory {
+    /// Install `size` bytes of zeroed RAM with default kernel-owned
+    /// `RW` attributes on every page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not page-aligned (a configuration error).
+    pub fn new(size: u64) -> Self {
+        assert_eq!(size % PAGE_SIZE, 0, "memory size must be page aligned");
+        let pages = (size / PAGE_SIZE) as usize;
+        Self {
+            bytes: vec![0; size as usize],
+            attrs: vec![PageAttrs::RW; pages],
+            smram: None,
+        }
+    }
+
+    /// Installed memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// The SMRAM window, if configured.
+    pub fn smram(&self) -> Option<SmramWindow> {
+        self.smram
+    }
+
+    /// Configure the SMRAM window. May only happen while unlocked.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::SmramLocked`] if already locked;
+    /// [`MachineError::OutOfRange`] if the window exceeds installed memory.
+    pub fn configure_smram(&mut self, base: u64, size: u64) -> Result<(), MachineError> {
+        if let Some(w) = self.smram {
+            if w.locked {
+                return Err(MachineError::SmramLocked);
+            }
+        }
+        self.check_range(base, size as usize)?;
+        self.smram = Some(SmramWindow {
+            base: base - base % PAGE_SIZE,
+            size: size.div_ceil(PAGE_SIZE) * PAGE_SIZE,
+            locked: false,
+        });
+        Ok(())
+    }
+
+    /// Lock the SMRAM configuration (firmware D_LCK). Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::SmramUnconfigured`] if SMRAM was never configured.
+    pub fn lock_smram(&mut self) -> Result<(), MachineError> {
+        match &mut self.smram {
+            Some(w) => {
+                w.locked = true;
+                Ok(())
+            }
+            None => Err(MachineError::SmramUnconfigured),
+        }
+    }
+
+    /// Set page attributes for the page-aligned range `base..base+size`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfRange`] for ranges beyond installed memory.
+    pub fn set_attrs(&mut self, base: u64, size: u64, attrs: PageAttrs) -> Result<(), MachineError> {
+        self.check_range(base, size as usize)?;
+        let first = (base / PAGE_SIZE) as usize;
+        let last = (base + size).div_ceil(PAGE_SIZE) as usize;
+        for page in &mut self.attrs[first..last] {
+            *page = attrs;
+        }
+        Ok(())
+    }
+
+    /// Attributes of the page containing `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::OutOfRange`] if `addr` is beyond installed memory.
+    pub fn attrs_at(&self, addr: u64) -> Result<PageAttrs, MachineError> {
+        self.check_range(addr, 1)?;
+        Ok(self.attrs[(addr / PAGE_SIZE) as usize])
+    }
+
+    /// Verify that every page overlapped by `addr..addr+len` permits
+    /// `access`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::AccessViolation`] naming the first offending page.
+    pub fn check_attrs(&self, addr: u64, len: usize, access: Access) -> Result<(), MachineError> {
+        self.check_range(addr, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let first = addr / PAGE_SIZE;
+        let last = (addr + len as u64 - 1) / PAGE_SIZE;
+        for page in first..=last {
+            if !self.attrs[page as usize].allows(access.required()) {
+                return Err(MachineError::AccessViolation {
+                    addr: page * PAGE_SIZE,
+                    access,
+                    ctx: "kernel",
+                    reason: "page attributes",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), MachineError> {
+        let end = addr.checked_add(len as u64);
+        match end {
+            Some(end) if end <= self.size() => Ok(()),
+            _ => Err(MachineError::OutOfRange {
+                addr,
+                len,
+                mem_size: self.size(),
+            }),
+        }
+    }
+
+    /// Raw read with bounds check only (no permission check).
+    pub fn read_raw(&self, addr: u64, out: &mut [u8]) -> Result<(), MachineError> {
+        self.check_range(addr, out.len())?;
+        out.copy_from_slice(&self.bytes[addr as usize..addr as usize + out.len()]);
+        Ok(())
+    }
+
+    /// Raw write with bounds check only (no permission check).
+    pub fn write_raw(&mut self, addr: u64, data: &[u8]) -> Result<(), MachineError> {
+        self.check_range(addr, data.len())?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Raw borrow of a memory slice (used by the disassembler-based
+    /// introspection paths; bounds-checked).
+    pub fn slice(&self, addr: u64, len: usize) -> Result<&[u8], MachineError> {
+        self.check_range(addr, len)?;
+        Ok(&self.bytes[addr as usize..addr as usize + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_read_write_roundtrip() {
+        let mut m = PhysMemory::new(2 * PAGE_SIZE);
+        m.write_raw(100, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        m.read_raw(100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = PhysMemory::new(PAGE_SIZE);
+        assert!(matches!(
+            m.write_raw(PAGE_SIZE - 1, &[0, 0]),
+            Err(MachineError::OutOfRange { .. })
+        ));
+        let mut buf = [0u8; 1];
+        assert!(m.read_raw(PAGE_SIZE, &mut buf).is_err());
+        // Address wrap-around must not panic or pass.
+        assert!(m.read_raw(u64::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn attrs_apply_per_page() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE);
+        m.set_attrs(PAGE_SIZE, PAGE_SIZE, PageAttrs::X).unwrap();
+        assert_eq!(m.attrs_at(0).unwrap(), PageAttrs::RW);
+        assert_eq!(m.attrs_at(PAGE_SIZE).unwrap(), PageAttrs::X);
+        assert_eq!(m.attrs_at(2 * PAGE_SIZE).unwrap(), PageAttrs::RW);
+    }
+
+    #[test]
+    fn check_attrs_spanning_pages() {
+        let mut m = PhysMemory::new(4 * PAGE_SIZE);
+        m.set_attrs(PAGE_SIZE, PAGE_SIZE, PageAttrs::R).unwrap();
+        // A write crossing from RW page 0 into R page 1 faults.
+        let err = m
+            .check_attrs(PAGE_SIZE - 8, 16, Access::Write)
+            .unwrap_err();
+        assert!(matches!(err, MachineError::AccessViolation { addr, .. } if addr == PAGE_SIZE));
+        // A read over the same range is fine.
+        m.check_attrs(PAGE_SIZE - 8, 16, Access::Read).unwrap();
+        // Zero-length access never faults on attributes.
+        m.check_attrs(PAGE_SIZE, 0, Access::Write).unwrap();
+    }
+
+    #[test]
+    fn smram_configure_and_lock() {
+        let mut m = PhysMemory::new(16 * PAGE_SIZE);
+        m.configure_smram(8 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        assert!(!m.smram().unwrap().locked);
+        // Reconfiguration allowed before lock.
+        m.configure_smram(4 * PAGE_SIZE, 4 * PAGE_SIZE).unwrap();
+        m.lock_smram().unwrap();
+        assert!(m.smram().unwrap().locked);
+        assert_eq!(
+            m.configure_smram(0, PAGE_SIZE),
+            Err(MachineError::SmramLocked)
+        );
+    }
+
+    #[test]
+    fn lock_unconfigured_smram_fails() {
+        let mut m = PhysMemory::new(PAGE_SIZE);
+        assert_eq!(m.lock_smram(), Err(MachineError::SmramUnconfigured));
+    }
+
+    #[test]
+    fn smram_overlap_detection() {
+        let w = SmramWindow {
+            base: 0x1000,
+            size: 0x1000,
+            locked: true,
+        };
+        assert!(w.overlaps(0x1000, 1));
+        assert!(w.overlaps(0x1fff, 1));
+        assert!(w.overlaps(0x0fff, 2));
+        assert!(!w.overlaps(0x0fff, 1));
+        assert!(!w.overlaps(0x2000, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_size_panics() {
+        let _ = PhysMemory::new(100);
+    }
+}

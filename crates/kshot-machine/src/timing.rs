@@ -1,0 +1,280 @@
+//! Simulated time and the paper-calibrated cost model.
+//!
+//! The paper reports timings from a specific Core i7 testbed (Tables II
+//! and III). We cannot reproduce those absolute numbers on different
+//! hardware — and our substrate is a simulator — so the machine carries a
+//! [`Clock`] of *simulated* nanoseconds advanced by a [`CostModel`] whose
+//! per-operation fixed and per-byte rates were fitted to the paper's
+//! tables (least-squares over the reported sizes; see EXPERIMENTS.md for
+//! the fit residuals). Benchmarks then report the simulated series next
+//! to the paper's, and Criterion separately measures the *real* wall-clock
+//! cost of our Rust implementations to validate the shape.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time, stored in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (floating point, for report tables).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1_000_000.0)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2}µs", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The machine's monotonic simulated clock.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock by `span`.
+    pub fn charge(&mut self, span: SimTime) {
+        self.now += span;
+    }
+}
+
+/// A linear cost: fixed setup time plus a per-byte rate.
+///
+/// Rates are stored in picoseconds-per-byte so sub-nanosecond rates (the
+/// SMM decrypt path runs at ~0.28 ns/B on the paper's testbed) stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearCost {
+    /// Fixed cost charged once per operation.
+    pub fixed: SimTime,
+    /// Additional cost per byte processed, in picoseconds.
+    pub per_byte_ps: u64,
+}
+
+impl LinearCost {
+    /// Cost of processing `bytes` bytes.
+    pub fn for_bytes(&self, bytes: usize) -> SimTime {
+        SimTime::from_ns(self.fixed.as_ns() + (bytes as u64 * self.per_byte_ps) / 1_000)
+    }
+}
+
+/// Per-operation costs for every stage the paper times.
+///
+/// See Tables II/III of the paper; the constants here are a fixed+linear
+/// fit to the reported series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Switching into SMM (paper: 12.9 µs average).
+    pub smm_entry: SimTime,
+    /// Resuming from SMM via `RSM` (paper: 21.7 µs average).
+    pub smm_exit: SimTime,
+    /// Diffie–Hellman key generation inside SMM (paper: 5.2 µs).
+    pub smm_keygen: SimTime,
+    /// SMM-side read+decrypt of the staged patch (Table III "Data
+    /// Decryption").
+    pub smm_decrypt: LinearCost,
+    /// SMM-side SHA-256 verification (Table III "Patch Verification").
+    pub smm_verify: LinearCost,
+    /// SMM-side verification when the operator opts into SDBM instead of
+    /// SHA-2 (paper §VI-C2 suggests this as an optimisation).
+    pub smm_verify_sdbm: LinearCost,
+    /// SMM-side write of patch bytes + trampolines (Table III "Patch
+    /// Application").
+    pub smm_apply: LinearCost,
+    /// SGX fetch from the remote patch server (Table II "Fetching").
+    pub sgx_fetch: LinearCost,
+    /// SGX patch preprocessing (Table II "Pre-processing").
+    pub sgx_preprocess: LinearCost,
+    /// SGX encrypt+write into shared memory (Table II "Passing").
+    pub sgx_pass: LinearCost,
+    /// Cost per interpreted guest instruction.
+    pub insn: SimTime,
+}
+
+impl CostModel {
+    /// The model calibrated against the paper's Tables II and III.
+    pub fn paper_calibrated() -> Self {
+        Self {
+            smm_entry: SimTime::from_ns(12_900),
+            smm_exit: SimTime::from_ns(21_700),
+            smm_keygen: SimTime::from_ns(5_200),
+            // Table III fits (ns fixed, ps/B):
+            // decrypt: 40B→40ns … 10MB→2.83ms  ⇒ ~270 ps/B.
+            smm_decrypt: LinearCost {
+                fixed: SimTime::from_ns(30),
+                per_byte_ps: 270,
+            },
+            // verify: 40B→2.93µs … 10MB→5.97ms ⇒ ~570 ps/B + 2.9µs fixed.
+            smm_verify: LinearCost {
+                fixed: SimTime::from_ns(2_900),
+                per_byte_ps: 570,
+            },
+            // SDBM ablation: a single multiply-add per byte; we model it
+            // at ~1/8 the SHA-256 rate with negligible setup.
+            smm_verify_sdbm: LinearCost {
+                fixed: SimTime::from_ns(80),
+                per_byte_ps: 70,
+            },
+            // apply: 40B→60ns … 10MB→2.62ms ⇒ ~250 ps/B.
+            smm_apply: LinearCost {
+                fixed: SimTime::from_ns(40),
+                per_byte_ps: 250,
+            },
+            // Table II fits (µs-scale):
+            // fetch: ~50µs fixed + ~40 ns/B.
+            sgx_fetch: LinearCost {
+                fixed: SimTime::from_ns(52_000),
+                per_byte_ps: 40_000,
+            },
+            // preprocess: ~70µs fixed + ~1.9 µs/B.
+            sgx_preprocess: LinearCost {
+                fixed: SimTime::from_ns(70_000),
+                per_byte_ps: 1_900_000,
+            },
+            // pass: ~8µs fixed + ~12 ns/B.
+            sgx_pass: LinearCost {
+                fixed: SimTime::from_ns(8_000),
+                per_byte_ps: 12_000,
+            },
+            // One interpreted instruction ≈ 1 ns of guest time (a 1 GHz
+            // single-issue guest; only relative magnitudes matter).
+            insn: SimTime::from_ns(1),
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_arithmetic_and_display() {
+        let a = SimTime::from_us(3);
+        let b = SimTime::from_ns(500);
+        assert_eq!((a + b).as_ns(), 3_500);
+        assert_eq!((a - b).as_ns(), 2_500);
+        assert_eq!((b - a), SimTime::ZERO); // saturating
+        assert_eq!(SimTime::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_ns(10).to_string(), "10ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5.00µs");
+        assert_eq!(SimTime::from_ms(2).to_string(), "2.00ms");
+    }
+
+    #[test]
+    fn clock_accumulates() {
+        let mut c = Clock::new();
+        c.charge(SimTime::from_ns(10));
+        c.charge(SimTime::from_ns(5));
+        assert_eq!(c.now().as_ns(), 15);
+    }
+
+    #[test]
+    fn linear_cost_scales() {
+        let lc = LinearCost {
+            fixed: SimTime::from_ns(100),
+            per_byte_ps: 500,
+        };
+        assert_eq!(lc.for_bytes(0).as_ns(), 100);
+        assert_eq!(lc.for_bytes(2000).as_ns(), 100 + 1000);
+    }
+
+    #[test]
+    fn calibration_matches_paper_magnitudes() {
+        let m = CostModel::paper_calibrated();
+        // Table III, 4KB row: decrypt 1.27µs, verify 8.52µs, apply 6.92µs.
+        // Shape check: within ~3× of the paper (the series are noisy).
+        let d = m.smm_decrypt.for_bytes(4096).as_us_f64();
+        assert!(d > 0.4 && d < 4.0, "decrypt 4KB = {d}µs");
+        let v = m.smm_verify.for_bytes(4096).as_us_f64();
+        assert!(v > 2.0 && v < 26.0, "verify 4KB = {v}µs");
+        // Table II, 4KB row: total ≈ 8.3ms dominated by preprocessing.
+        let p = m.sgx_preprocess.for_bytes(4096).as_us_f64();
+        assert!(p > 2_000.0 && p < 25_000.0, "preprocess 4KB = {p}µs");
+        // Verification dominates decrypt+apply at small sizes — the
+        // paper's stated observation.
+        assert!(
+            m.smm_verify.for_bytes(1024) > m.smm_decrypt.for_bytes(1024),
+            "verify should dominate decrypt"
+        );
+        // SDBM is meaningfully cheaper than SHA-2.
+        assert!(
+            m.smm_verify_sdbm.for_bytes(4096).as_ns() * 4 < m.smm_verify.for_bytes(4096).as_ns()
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! The binary patch bundle: what the server ships to the SGX enclave.
+
+use kshot_crypto::sha256::{sha256, DIGEST_LEN};
+
+use crate::wire::{Reader, WireError, Writer};
+
+/// Where a relocated call should land.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelocTarget {
+    /// An address in the running (pre-patch) kernel — calls to existing
+    /// functions always go through the original entry, so trampolines
+    /// chain naturally when the callee is itself patched.
+    Absolute(u64),
+    /// A function newly added by this patch, placed in `mem_X`; the SGX
+    /// preprocessor resolves the address once placements are assigned.
+    NewFunction(String),
+}
+
+/// One call-site fixup in a patch body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleReloc {
+    /// Offset of the `call` instruction within the body.
+    pub offset: u32,
+    /// Target.
+    pub target: RelocTarget,
+}
+
+/// One patched function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchEntry {
+    /// Function name.
+    pub name: String,
+    /// Entry address of the vulnerable function in the running kernel
+    /// (the paper's `taddr`).
+    pub taddr: u64,
+    /// Size of the running function's body.
+    pub tsize: u64,
+    /// Offset of the running function's ftrace pad, if any — the
+    /// trampoline must be installed after it (paper §V-A).
+    pub ftrace_offset: Option<u64>,
+    /// SHA-256 of the running function's expected bytes; the SMM handler
+    /// verifies the target before redirecting it.
+    pub expected_pre_hash: [u8; DIGEST_LEN],
+    /// The patched body (ftrace pad stripped, call rel32s zeroed).
+    pub body: Vec<u8>,
+    /// Call fixups.
+    pub relocs: Vec<BundleReloc>,
+}
+
+/// A global-data operation (Type 3 support, paper §V-C step 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalOp {
+    /// Overwrite bytes of an existing global (value/type change).
+    SetBytes {
+        /// Symbol name (for logs).
+        name: String,
+        /// Physical address in the kernel data segment.
+        addr: u64,
+        /// Replacement bytes.
+        bytes: Vec<u8>,
+    },
+    /// Initialize storage for a global added by the patch (fresh,
+    /// append-only space in the data segment).
+    InitBytes {
+        /// Symbol name.
+        name: String,
+        /// Physical address.
+        addr: u64,
+        /// Initial bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl GlobalOp {
+    /// The affected address.
+    pub fn addr(&self) -> u64 {
+        match self {
+            GlobalOp::SetBytes { addr, .. } | GlobalOp::InitBytes { addr, .. } => *addr,
+        }
+    }
+
+    /// The bytes written.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            GlobalOp::SetBytes { bytes, .. } | GlobalOp::InitBytes { bytes, .. } => bytes,
+        }
+    }
+}
+
+/// Patch types, mirrored from `kshot-analysis` for wire transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BundleTypes {
+    /// Type 1 present.
+    pub t1: bool,
+    /// Type 2 present.
+    pub t2: bool,
+    /// Type 3 present.
+    pub t3: bool,
+}
+
+/// The complete patch artefact for one CVE.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatchBundle {
+    /// Patch identifier (CVE number).
+    pub id: String,
+    /// Kernel version the bundle was built for.
+    pub kernel_version: String,
+    /// Patched existing functions (sorted by name; applied in order).
+    pub entries: Vec<PatchEntry>,
+    /// Functions newly added by the patch (placed in `mem_X` but with no
+    /// trampoline target of their own).
+    pub new_functions: Vec<PatchEntry>,
+    /// Global data operations.
+    pub global_ops: Vec<GlobalOp>,
+    /// Classification.
+    pub types: BundleTypes,
+}
+
+impl PatchBundle {
+    /// Total payload bytes across all bodies (the "patch size" of the
+    /// paper's performance tables).
+    pub fn payload_size(&self) -> usize {
+        self.entries
+            .iter()
+            .chain(&self.new_functions)
+            .map(|e| e.body.len())
+            .sum::<usize>()
+            + self.global_ops.iter().map(|g| g.bytes().len()).sum::<usize>()
+    }
+
+    /// Serialize to wire bytes (integrity hash appended).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.id).put_str(&self.kernel_version);
+        w.put_u8(self.types.t1 as u8)
+            .put_u8(self.types.t2 as u8)
+            .put_u8(self.types.t3 as u8);
+        for list in [&self.entries, &self.new_functions] {
+            w.put_u32(list.len() as u32);
+            for e in list {
+                encode_entry(&mut w, e);
+            }
+        }
+        w.put_u32(self.global_ops.len() as u32);
+        for g in &self.global_ops {
+            match g {
+                GlobalOp::SetBytes { name, addr, bytes } => {
+                    w.put_u8(0).put_str(name).put_u64(*addr).put_bytes(bytes);
+                }
+                GlobalOp::InitBytes { name, addr, bytes } => {
+                    w.put_u8(1).put_str(name).put_u64(*addr).put_bytes(bytes);
+                }
+            }
+        }
+        // Trailing integrity hash over everything prior (paper: "we
+        // verify the integrity of the received patch to guard against
+        // network transmission errors").
+        let mut out = w.into_bytes();
+        let digest = sha256(&out);
+        out.extend_from_slice(&digest);
+        out
+    }
+
+    /// Deserialize from wire bytes, verifying the integrity hash.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input, including a special
+    /// `BadTag { what: "integrity" }` when the trailing hash mismatches.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < DIGEST_LEN {
+            return Err(WireError::Truncated { what: "bundle" });
+        }
+        let (payload, hash) = bytes.split_at(bytes.len() - DIGEST_LEN);
+        if sha256(payload) != *hash {
+            return Err(WireError::BadTag {
+                what: "integrity",
+                tag: 0,
+            });
+        }
+        let mut r = Reader::new(payload);
+        let id = r.get_str("id")?;
+        let kernel_version = r.get_str("kernel_version")?;
+        let types = BundleTypes {
+            t1: r.get_u8("t1")? != 0,
+            t2: r.get_u8("t2")? != 0,
+            t3: r.get_u8("t3")? != 0,
+        };
+        let mut lists: [Vec<PatchEntry>; 2] = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = r.get_u32("entry count")?;
+            for _ in 0..n {
+                list.push(decode_entry(&mut r)?);
+            }
+        }
+        let [entries, new_functions] = lists;
+        let n = r.get_u32("global op count")?;
+        let mut global_ops = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let tag = r.get_u8("global op tag")?;
+            let name = r.get_str("global name")?;
+            let addr = r.get_u64("global addr")?;
+            let bytes = r.get_bytes("global bytes")?;
+            global_ops.push(match tag {
+                0 => GlobalOp::SetBytes { name, addr, bytes },
+                1 => GlobalOp::InitBytes { name, addr, bytes },
+                tag => {
+                    return Err(WireError::BadTag {
+                        what: "global op",
+                        tag,
+                    })
+                }
+            });
+        }
+        r.finish()?;
+        Ok(Self {
+            id,
+            kernel_version,
+            entries,
+            new_functions,
+            global_ops,
+            types,
+        })
+    }
+}
+
+fn encode_entry(w: &mut Writer, e: &PatchEntry) {
+    w.put_str(&e.name)
+        .put_u64(e.taddr)
+        .put_u64(e.tsize)
+        .put_u8(e.ftrace_offset.is_some() as u8)
+        .put_u64(e.ftrace_offset.unwrap_or(0))
+        .put_raw(&e.expected_pre_hash)
+        .put_bytes(&e.body)
+        .put_u32(e.relocs.len() as u32);
+    for r in &e.relocs {
+        w.put_u32(r.offset);
+        match &r.target {
+            RelocTarget::Absolute(a) => {
+                w.put_u8(0).put_u64(*a);
+            }
+            RelocTarget::NewFunction(n) => {
+                w.put_u8(1).put_str(n);
+            }
+        }
+    }
+}
+
+fn decode_entry(r: &mut Reader<'_>) -> Result<PatchEntry, WireError> {
+    let name = r.get_str("entry name")?;
+    let taddr = r.get_u64("taddr")?;
+    let tsize = r.get_u64("tsize")?;
+    let has_ftrace = r.get_u8("ftrace flag")? != 0;
+    let ftrace_raw = r.get_u64("ftrace offset")?;
+    let mut expected_pre_hash = [0u8; DIGEST_LEN];
+    expected_pre_hash.copy_from_slice(r.get_raw(DIGEST_LEN, "pre hash")?);
+    let body = r.get_bytes("body")?;
+    let n = r.get_u32("reloc count")?;
+    let mut relocs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let offset = r.get_u32("reloc offset")?;
+        let tag = r.get_u8("reloc tag")?;
+        let target = match tag {
+            0 => RelocTarget::Absolute(r.get_u64("reloc addr")?),
+            1 => RelocTarget::NewFunction(r.get_str("reloc name")?),
+            tag => return Err(WireError::BadTag { what: "reloc", tag }),
+        };
+        relocs.push(BundleReloc { offset, target });
+    }
+    Ok(PatchEntry {
+        name,
+        taddr,
+        tsize,
+        ftrace_offset: has_ftrace.then_some(ftrace_raw),
+        expected_pre_hash,
+        body,
+        relocs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bundle() -> PatchBundle {
+        PatchBundle {
+            id: "CVE-2017-17806".into(),
+            kernel_version: "kv-4.4".into(),
+            entries: vec![PatchEntry {
+                name: "hmac_create".into(),
+                taddr: 0x10_0040,
+                tsize: 120,
+                ftrace_offset: Some(0),
+                expected_pre_hash: sha256(b"pre body"),
+                body: vec![0x90, 0xC3],
+                relocs: vec![
+                    BundleReloc {
+                        offset: 0,
+                        target: RelocTarget::Absolute(0x10_2000),
+                    },
+                    BundleReloc {
+                        offset: 9,
+                        target: RelocTarget::NewFunction("helper_new".into()),
+                    },
+                ],
+            }],
+            new_functions: vec![PatchEntry {
+                name: "helper_new".into(),
+                taddr: 0,
+                tsize: 0,
+                ftrace_offset: None,
+                expected_pre_hash: [0; 32],
+                body: vec![0xC3],
+                relocs: vec![],
+            }],
+            global_ops: vec![
+                GlobalOp::SetBytes {
+                    name: "limit".into(),
+                    addr: 0x90_0010,
+                    bytes: vec![1, 2, 3, 4, 5, 6, 7, 8],
+                },
+                GlobalOp::InitBytes {
+                    name: "fresh".into(),
+                    addr: 0x90_0100,
+                    bytes: vec![0; 16],
+                },
+            ],
+            types: BundleTypes {
+                t1: true,
+                t2: true,
+                t3: true,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let b = sample_bundle();
+        let bytes = b.encode();
+        let back = PatchBundle::decode(&bytes).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn empty_bundle_roundtrip() {
+        let b = PatchBundle {
+            id: "x".into(),
+            kernel_version: "v".into(),
+            ..Default::default()
+        };
+        assert_eq!(PatchBundle::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn corruption_detected_by_integrity_hash() {
+        let mut bytes = sample_bundle().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            PatchBundle::decode(&bytes),
+            Err(WireError::BadTag {
+                what: "integrity",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample_bundle().encode();
+        assert!(PatchBundle::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(PatchBundle::decode(&bytes[..10]).is_err());
+        assert!(PatchBundle::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn payload_size_counts_everything() {
+        let b = sample_bundle();
+        assert_eq!(b.payload_size(), 2 + 1 + 8 + 16);
+    }
+
+    #[test]
+    fn global_op_accessors() {
+        let b = sample_bundle();
+        assert_eq!(b.global_ops[0].addr(), 0x90_0010);
+        assert_eq!(b.global_ops[1].bytes().len(), 16);
+    }
+}

@@ -1,0 +1,236 @@
+//! Source-level patch description and application.
+//!
+//! A CVE fix is expressed the way kernel developers express it: edits to
+//! the source tree. The patch server applies the edit to its registered
+//! tree and rebuilds (paper §V-A: "The remote server then builds
+//! pre-patch and post-patch versions of the kernel binary using that same
+//! compilation information").
+
+use std::fmt;
+
+use kshot_kcc::ir::{Function, Global, Program};
+
+/// A source-level patch: the edit set a CVE fix applies to the tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourcePatch {
+    /// Identifier (CVE number in the benchmark).
+    pub id: String,
+    /// Functions whose definitions are replaced.
+    pub replace_functions: Vec<Function>,
+    /// Brand-new functions added by the patch.
+    pub add_functions: Vec<Function>,
+    /// Brand-new globals added by the patch (append-only).
+    pub add_globals: Vec<Global>,
+    /// Existing single-word globals whose value changes.
+    pub set_globals: Vec<(String, u64)>,
+    /// Existing globals resized to a new word count — a layout-changing
+    /// edit the server will reject as hazardous (paper §VIII), present so
+    /// the rejection path is testable.
+    pub resize_globals: Vec<(String, usize)>,
+}
+
+/// Errors applying a source patch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchApplyError {
+    /// A replacement names a function absent from the tree.
+    NoSuchFunction(String),
+    /// An added function already exists.
+    FunctionExists(String),
+    /// A set-value names a global absent from the tree.
+    NoSuchGlobal(String),
+    /// An added global already exists.
+    GlobalExists(String),
+}
+
+impl fmt::Display for PatchApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchApplyError::NoSuchFunction(n) => {
+                write!(f, "patch replaces nonexistent function `{n}`")
+            }
+            PatchApplyError::FunctionExists(n) => {
+                write!(f, "patch adds function `{n}` which already exists")
+            }
+            PatchApplyError::NoSuchGlobal(n) => {
+                write!(f, "patch sets nonexistent global `{n}`")
+            }
+            PatchApplyError::GlobalExists(n) => {
+                write!(f, "patch adds global `{n}` which already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchApplyError {}
+
+impl SourcePatch {
+    /// A patch with the given id and no edits yet.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: replace a function definition.
+    pub fn replacing(mut self, f: Function) -> Self {
+        self.replace_functions.push(f);
+        self
+    }
+
+    /// Builder: add a new function.
+    pub fn adding_function(mut self, f: Function) -> Self {
+        self.add_functions.push(f);
+        self
+    }
+
+    /// Builder: add a new global (appended after existing globals).
+    pub fn adding_global(mut self, g: Global) -> Self {
+        self.add_globals.push(g);
+        self
+    }
+
+    /// Builder: change an existing global's (first-word) value.
+    pub fn setting_global(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.set_globals.push((name.into(), value));
+        self
+    }
+
+    /// Builder: resize an existing global (layout hazard; the server
+    /// refuses such patches).
+    pub fn resizing_global(mut self, name: impl Into<String>, words: usize) -> Self {
+        self.resize_globals.push((name.into(), words));
+        self
+    }
+
+    /// Apply to a source tree, producing the post-patch tree.
+    ///
+    /// Globals are strictly appended so every pre-existing symbol keeps
+    /// its address in the rebuilt image — the compatibility invariant the
+    /// whole binary-patching scheme rests on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatchApplyError`] if the edit references missing or
+    /// duplicate symbols.
+    pub fn apply(&self, pre: &Program) -> Result<Program, PatchApplyError> {
+        let mut post = pre.clone();
+        for f in &self.replace_functions {
+            if post.replace_function(f.clone()).is_none() {
+                return Err(PatchApplyError::NoSuchFunction(f.name.clone()));
+            }
+        }
+        for f in &self.add_functions {
+            if post.function(&f.name).is_some() {
+                return Err(PatchApplyError::FunctionExists(f.name.clone()));
+            }
+            post.add_function(f.clone());
+        }
+        for g in &self.add_globals {
+            if post.global(&g.name).is_some() {
+                return Err(PatchApplyError::GlobalExists(g.name.clone()));
+            }
+            post.add_global(g.clone());
+        }
+        for (name, value) in &self.set_globals {
+            let g = post
+                .globals
+                .iter_mut()
+                .find(|g| &g.name == name)
+                .ok_or_else(|| PatchApplyError::NoSuchGlobal(name.clone()))?;
+            g.words[0] = *value;
+        }
+        for (name, words) in &self.resize_globals {
+            let g = post
+                .globals
+                .iter_mut()
+                .find(|g| &g.name == name)
+                .ok_or_else(|| PatchApplyError::NoSuchGlobal(name.clone()))?;
+            g.words.resize(*words, 0);
+        }
+        Ok(post)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::Expr;
+
+    fn tree() -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::word("limit", 10));
+        p.add_function(Function::new("f", 0, 0).returning(Expr::c(1)));
+        p
+    }
+
+    #[test]
+    fn replace_and_add() {
+        let patch = SourcePatch::new("CVE-TEST-1")
+            .replacing(Function::new("f", 0, 0).returning(Expr::c(2)))
+            .adding_function(Function::new("g", 0, 0).returning(Expr::c(3)))
+            .adding_global(Global::word("extra", 0))
+            .setting_global("limit", 20);
+        let post = patch.apply(&tree()).unwrap();
+        post.validate().unwrap();
+        assert_eq!(
+            post.function("f").unwrap().body,
+            vec![kshot_kcc::ir::Stmt::Return(Expr::c(2))]
+        );
+        assert!(post.function("g").is_some());
+        assert_eq!(post.global("limit").unwrap().words[0], 20);
+        // Append-only: `limit` stays first.
+        assert_eq!(post.globals[0].name, "limit");
+        assert_eq!(post.globals[1].name, "extra");
+    }
+
+    #[test]
+    fn replace_missing_rejected() {
+        let patch =
+            SourcePatch::new("x").replacing(Function::new("ghost", 0, 0).returning(Expr::c(0)));
+        assert_eq!(
+            patch.apply(&tree()),
+            Err(PatchApplyError::NoSuchFunction("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn add_duplicate_function_rejected() {
+        let patch =
+            SourcePatch::new("x").adding_function(Function::new("f", 0, 0).returning(Expr::c(0)));
+        assert_eq!(
+            patch.apply(&tree()),
+            Err(PatchApplyError::FunctionExists("f".into()))
+        );
+    }
+
+    #[test]
+    fn add_duplicate_global_rejected() {
+        let patch = SourcePatch::new("x").adding_global(Global::word("limit", 0));
+        assert_eq!(
+            patch.apply(&tree()),
+            Err(PatchApplyError::GlobalExists("limit".into()))
+        );
+    }
+
+    #[test]
+    fn set_missing_global_rejected() {
+        let patch = SourcePatch::new("x").setting_global("nope", 1);
+        assert_eq!(
+            patch.apply(&tree()),
+            Err(PatchApplyError::NoSuchGlobal("nope".into()))
+        );
+    }
+
+    #[test]
+    fn pre_tree_is_untouched() {
+        let pre = tree();
+        let patch =
+            SourcePatch::new("x").replacing(Function::new("f", 0, 0).returning(Expr::c(9)));
+        let _ = patch.apply(&pre).unwrap();
+        assert_eq!(
+            pre.function("f").unwrap().body,
+            vec![kshot_kcc::ir::Stmt::Return(Expr::c(1))]
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! The patch server build pipeline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use kshot_analysis::diff::GlobalChange;
+use kshot_analysis::extract::extract_function;
+use kshot_analysis::{analyze, AnalysisError};
+use kshot_crypto::sha256::sha256;
+use kshot_kcc::image::{KernelImage, LinkError};
+use kshot_kcc::ir::{IrError, Program};
+use kshot_kernel::KernelInfo;
+
+use crate::bundle::{BundleReloc, BundleTypes, GlobalOp, PatchBundle, PatchEntry, RelocTarget};
+use crate::patch::{PatchApplyError, SourcePatch};
+
+/// Errors from the build pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The target's kernel version is not registered.
+    UnknownVersion(String),
+    /// The patch did not apply to the tree.
+    Apply(PatchApplyError),
+    /// The patched tree is ill-formed.
+    Ir(IrError),
+    /// A build failed.
+    Link(String),
+    /// Analysis failed.
+    Analysis(AnalysisError),
+    /// The patch resizes or removes shared data — the layout-hazard case
+    /// the paper excludes (§VIII "complex data structure changes").
+    LayoutHazard(Vec<String>),
+    /// A call inside a patched body targets a function that is neither in
+    /// the running kernel nor added by the patch.
+    UnresolvableCall {
+        /// The patched function.
+        function: String,
+        /// The missing callee.
+        callee: String,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownVersion(v) => write!(f, "unknown kernel version `{v}`"),
+            ServerError::Apply(e) => write!(f, "patch application failed: {e}"),
+            ServerError::Ir(e) => write!(f, "patched tree invalid: {e}"),
+            ServerError::Link(e) => write!(f, "build failed: {e}"),
+            ServerError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            ServerError::LayoutHazard(gs) => {
+                write!(f, "patch changes data layout of: {}", gs.join(", "))
+            }
+            ServerError::UnresolvableCall { function, callee } => {
+                write!(f, "`{function}` calls `{callee}` which cannot be resolved")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<LinkError> for ServerError {
+    fn from(e: LinkError) -> Self {
+        ServerError::Link(e.to_string())
+    }
+}
+
+/// The remote, trusted patch server.
+///
+/// Holds the source trees of the kernel versions it supports, keyed by
+/// version string; builds binary patch bundles on request.
+#[derive(Debug, Default)]
+pub struct PatchServer {
+    trees: BTreeMap<String, Program>,
+}
+
+/// The artefacts of one build, exposed for inspection and testing.
+#[derive(Debug)]
+pub struct BuildOutput {
+    /// The shippable bundle.
+    pub bundle: PatchBundle,
+    /// The pre-patch image (matches the running kernel).
+    pub pre_image: KernelImage,
+    /// The post-patch image.
+    pub post_image: KernelImage,
+    /// Names of implicated functions, in bundle order.
+    pub implicated: Vec<String>,
+}
+
+impl PatchServer {
+    /// A server with no registered trees.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the source tree for a kernel version.
+    pub fn register_tree(&mut self, version: impl Into<String>, tree: Program) {
+        self.trees.insert(version.into(), tree);
+    }
+
+    /// Registered version strings.
+    pub fn versions(&self) -> Vec<&str> {
+        self.trees.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Build a binary patch bundle for the target described by `info`.
+    ///
+    /// Pipeline (paper §V-A): rebuild pre+post with the target's exact
+    /// flags → diff → call-graph/inline analysis → worklist → extract
+    /// implicated bodies → resolve call relocations → package.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServerError`]; notably [`ServerError::LayoutHazard`] for
+    /// data-layout-changing patches.
+    pub fn build_patch(
+        &self,
+        info: &KernelInfo,
+        patch: &SourcePatch,
+    ) -> Result<BuildOutput, ServerError> {
+        let pre_tree = self
+            .trees
+            .get(&info.version)
+            .ok_or_else(|| ServerError::UnknownVersion(info.version.clone()))?;
+        let post_tree = patch.apply(pre_tree).map_err(ServerError::Apply)?;
+        post_tree.validate().map_err(ServerError::Ir)?;
+        let pre_image = kshot_kcc::link(pre_tree, &info.options, info.text_base, info.data_base)?;
+        let post_image =
+            kshot_kcc::link(&post_tree, &info.options, info.text_base, info.data_base)?;
+        let analysis = analyze(pre_tree, &post_tree, &pre_image, &post_image)
+            .map_err(ServerError::Analysis)?;
+        if kshot_analysis::classify::has_layout_hazard(&analysis.source_diff) {
+            let names = analysis
+                .source_diff
+                .global_changes
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c,
+                        GlobalChange::Resized { .. } | GlobalChange::Removed { .. }
+                    )
+                })
+                .map(|c| c.name().to_string())
+                .collect();
+            return Err(ServerError::LayoutHazard(names));
+        }
+        // Extract implicated function bodies from the post image.
+        let implicated: Vec<String> = analysis.implicated.iter().cloned().collect();
+        let new_names: Vec<&String> = patch.add_functions.iter().map(|f| &f.name).collect();
+        let mut entries = Vec::with_capacity(implicated.len());
+        for name in &implicated {
+            entries.push(self.make_entry(
+                name, &pre_image, &post_image, &new_names, /* is_new = */ false,
+            )?);
+        }
+        let mut new_functions = Vec::with_capacity(new_names.len());
+        for name in &new_names {
+            new_functions.push(self.make_entry(
+                name, &pre_image, &post_image, &new_names, /* is_new = */ true,
+            )?);
+        }
+        // Global operations.
+        let mut global_ops = Vec::new();
+        for change in &analysis.source_diff.global_changes {
+            match change {
+                GlobalChange::ValueChanged { name } => {
+                    let sym = post_image
+                        .symbols
+                        .lookup_global(name)
+                        .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.clone())))?;
+                    let bytes = global_bytes(&post_image, name);
+                    global_ops.push(GlobalOp::SetBytes {
+                        name: name.clone(),
+                        addr: sym.addr,
+                        bytes,
+                    });
+                }
+                GlobalChange::Added { name, .. } => {
+                    let sym = post_image
+                        .symbols
+                        .lookup_global(name)
+                        .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.clone())))?;
+                    let bytes = global_bytes(&post_image, name);
+                    global_ops.push(GlobalOp::InitBytes {
+                        name: name.clone(),
+                        addr: sym.addr,
+                        bytes,
+                    });
+                }
+                GlobalChange::Resized { .. } | GlobalChange::Removed { .. } => {
+                    unreachable!("layout hazards rejected above")
+                }
+            }
+        }
+        let bundle = PatchBundle {
+            id: patch.id.clone(),
+            kernel_version: info.version.clone(),
+            entries,
+            new_functions,
+            global_ops,
+            types: BundleTypes {
+                t1: analysis.types.t1,
+                t2: analysis.types.t2,
+                t3: analysis.types.t3,
+            },
+        };
+        Ok(BuildOutput {
+            bundle,
+            pre_image,
+            post_image,
+            implicated,
+        })
+    }
+
+    /// Build just the pre/post image pair for a patch, with **no**
+    /// layout-hazard gate or analysis. Whole-kernel replacement systems
+    /// (KUP) use this: they can swap layouts wholesale, which is exactly
+    /// the capability Table V credits them with.
+    ///
+    /// # Errors
+    ///
+    /// Version/apply/link failures as in [`PatchServer::build_patch`].
+    pub fn build_images(
+        &self,
+        info: &KernelInfo,
+        patch: &SourcePatch,
+    ) -> Result<(KernelImage, KernelImage), ServerError> {
+        let pre_tree = self
+            .trees
+            .get(&info.version)
+            .ok_or_else(|| ServerError::UnknownVersion(info.version.clone()))?;
+        let post_tree = patch.apply(pre_tree).map_err(ServerError::Apply)?;
+        post_tree.validate().map_err(ServerError::Ir)?;
+        let pre = kshot_kcc::link(pre_tree, &info.options, info.text_base, info.data_base)?;
+        let post = kshot_kcc::link(&post_tree, &info.options, info.text_base, info.data_base)?;
+        Ok((pre, post))
+    }
+
+    fn make_entry(
+        &self,
+        name: &str,
+        pre_image: &KernelImage,
+        post_image: &KernelImage,
+        new_names: &[&String],
+        is_new: bool,
+    ) -> Result<PatchEntry, ServerError> {
+        let extracted = extract_function(post_image, name).map_err(ServerError::Analysis)?;
+        let mut relocs = Vec::with_capacity(extracted.relocs.len());
+        for r in &extracted.relocs {
+            let target = if let Some(sym) = pre_image.symbols.lookup(&r.callee) {
+                RelocTarget::Absolute(sym.addr)
+            } else if new_names.iter().any(|n| **n == r.callee) {
+                RelocTarget::NewFunction(r.callee.clone())
+            } else {
+                return Err(ServerError::UnresolvableCall {
+                    function: name.to_string(),
+                    callee: r.callee.clone(),
+                });
+            };
+            relocs.push(BundleReloc {
+                offset: r.offset,
+                target,
+            });
+        }
+        let (taddr, tsize, ftrace_offset, expected_pre_hash) = if is_new {
+            (0, 0, None, [0u8; 32])
+        } else {
+            let sym = pre_image
+                .symbols
+                .lookup(name)
+                .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.to_string())))?;
+            let pre_body = pre_image
+                .function_bytes(name)
+                .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.to_string())))?;
+            (sym.addr, sym.size, sym.ftrace_offset, sha256(pre_body))
+        };
+        Ok(PatchEntry {
+            name: name.to_string(),
+            taddr,
+            tsize,
+            ftrace_offset,
+            expected_pre_hash,
+            body: extracted.body,
+            relocs,
+        })
+    }
+}
+
+fn global_bytes(image: &KernelImage, name: &str) -> Vec<u8> {
+    let sym = image.symbols.lookup_global(name).expect("checked by caller");
+    let start = (sym.addr - image.data_base) as usize;
+    image.data[start..start + sym.size as usize].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kshot_kcc::ir::{Expr, Function, Global, InlineHint};
+    use kshot_kcc::CodegenOptions;
+
+    fn tree() -> Program {
+        let mut p = Program::new();
+        p.add_global(Global::word("limit", 2));
+        p.add_function(
+            Function::new("helper", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::param(0).add(Expr::c(1))),
+        );
+        p.add_function(Function::new("tiny", 0, 0).returning(Expr::c(1)));
+        p.add_function(
+            Function::new("vuln", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(
+                    Expr::call("helper", vec![Expr::param(0)])
+                        .add(Expr::call("tiny", vec![])),
+                ),
+        );
+        p
+    }
+
+    fn info() -> KernelInfo {
+        KernelInfo {
+            version: "kv-4.4".into(),
+            text_base: 0x10_0000,
+            data_base: 0x90_0000,
+            options: CodegenOptions::default(),
+        }
+    }
+
+    fn server() -> PatchServer {
+        let mut s = PatchServer::new();
+        s.register_tree("kv-4.4", tree());
+        s
+    }
+
+    #[test]
+    fn build_simple_function_patch() {
+        let patch = SourcePatch::new("CVE-TEST-1").replacing(
+            Function::new("vuln", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(
+                    Expr::call("helper", vec![Expr::param(0)])
+                        .add(Expr::call("tiny", vec![]))
+                        .add(Expr::c(100)),
+                ),
+        );
+        let out = server().build_patch(&info(), &patch).unwrap();
+        assert_eq!(out.bundle.id, "CVE-TEST-1");
+        assert_eq!(out.implicated, vec!["vuln".to_string()]);
+        let e = &out.bundle.entries[0];
+        assert_eq!(e.name, "vuln");
+        assert_eq!(
+            e.taddr,
+            out.pre_image.symbols.lookup("vuln").unwrap().addr
+        );
+        // The body calls helper (Never-inline) via an absolute reloc to
+        // the running kernel's helper.
+        let helper_addr = out.pre_image.symbols.lookup("helper").unwrap().addr;
+        assert!(e
+            .relocs
+            .iter()
+            .any(|r| r.target == RelocTarget::Absolute(helper_addr)));
+        // The expected pre-hash matches the pre image's bytes.
+        assert_eq!(
+            e.expected_pre_hash,
+            sha256(out.pre_image.function_bytes("vuln").unwrap())
+        );
+        assert!(out.bundle.types.t1);
+    }
+
+    #[test]
+    fn inlined_change_implicates_host() {
+        // Patch `tiny` (auto-inlined into vuln): both must be in the
+        // bundle.
+        let patch = SourcePatch::new("CVE-TEST-2")
+            .replacing(Function::new("tiny", 0, 0).returning(Expr::c(2)));
+        let out = server().build_patch(&info(), &patch).unwrap();
+        let names: Vec<&str> = out.bundle.entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"tiny"));
+        assert!(names.contains(&"vuln"), "{names:?}");
+        assert!(out.bundle.types.t2);
+    }
+
+    #[test]
+    fn new_function_and_global() {
+        let patch = SourcePatch::new("CVE-TEST-3")
+            .replacing(
+                Function::new("vuln", 1, 0)
+                    .with_inline(InlineHint::Never)
+                    .returning(Expr::call("check_new", vec![Expr::param(0)])),
+            )
+            .adding_function(
+                Function::new("check_new", 1, 0)
+                    .with_inline(InlineHint::Never)
+                    .returning(Expr::param(0).and(Expr::global("mask_new"))),
+            )
+            .adding_global(Global::word("mask_new", 0xFF));
+        let out = server().build_patch(&info(), &patch).unwrap();
+        assert_eq!(out.bundle.new_functions.len(), 1);
+        assert_eq!(out.bundle.new_functions[0].name, "check_new");
+        // vuln's reloc to check_new is symbolic.
+        assert!(out.bundle.entries.iter().any(|e| e
+            .relocs
+            .iter()
+            .any(|r| r.target == RelocTarget::NewFunction("check_new".into()))));
+        // The new global becomes an InitBytes op at a fresh address.
+        assert!(out
+            .bundle
+            .global_ops
+            .iter()
+            .any(|g| matches!(g, GlobalOp::InitBytes { name, .. } if name == "mask_new")));
+        assert!(out.bundle.types.t3);
+    }
+
+    #[test]
+    fn value_change_becomes_setbytes() {
+        let patch = SourcePatch::new("CVE-TEST-4").setting_global("limit", 99);
+        let out = server().build_patch(&info(), &patch).unwrap();
+        let op = &out.bundle.global_ops[0];
+        assert!(matches!(op, GlobalOp::SetBytes { name, .. } if name == "limit"));
+        assert_eq!(op.bytes(), &99u64.to_le_bytes());
+    }
+
+    #[test]
+    fn layout_hazard_rejected() {
+        // Resizing a shared global: the case the paper cannot handle
+        // (§VIII); the server must refuse to build it.
+        let mut s = PatchServer::new();
+        let mut t = tree();
+        t.add_global(Global::buffer("shared", 2));
+        s.register_tree("kv-4.4", t);
+        let hazard = SourcePatch::new("CVE-HAZARD").resizing_global("shared", 4);
+        match s.build_patch(&info(), &hazard) {
+            Err(ServerError::LayoutHazard(names)) => {
+                assert_eq!(names, vec!["shared".to_string()]);
+            }
+            other => panic!("expected LayoutHazard, got {other:?}"),
+        }
+        // Duplicate-global additions fail at apply time.
+        let dup = SourcePatch::new("x").adding_global(Global::word("shared", 0));
+        assert!(matches!(
+            s.build_patch(&info(), &dup),
+            Err(ServerError::Apply(PatchApplyError::GlobalExists(_)))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let patch = SourcePatch::new("x");
+        let mut bad = info();
+        bad.version = "kv-9.9".into();
+        assert!(matches!(
+            server().build_patch(&bad, &patch),
+            Err(ServerError::UnknownVersion(_))
+        ));
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_wire() {
+        let patch = SourcePatch::new("CVE-TEST-5")
+            .replacing(Function::new("tiny", 0, 0).returning(Expr::c(7)));
+        let out = server().build_patch(&info(), &patch).unwrap();
+        let bytes = out.bundle.encode();
+        let back = PatchBundle::decode(&bytes).unwrap();
+        assert_eq!(back, out.bundle);
+    }
+
+    #[test]
+    fn different_flags_produce_different_binaries_same_pipeline() {
+        // A target compiled without inlining yields a bundle whose
+        // implicated set is exactly the changed function.
+        let patch = SourcePatch::new("CVE-TEST-6")
+            .replacing(Function::new("tiny", 0, 0).returning(Expr::c(2)));
+        let mut no_inline_info = info();
+        no_inline_info.options = CodegenOptions::no_inline();
+        let out = server().build_patch(&no_inline_info, &patch).unwrap();
+        assert_eq!(out.implicated, vec!["tiny".to_string()]);
+        assert!(!out.bundle.types.t2);
+    }
+}

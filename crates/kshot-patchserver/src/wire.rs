@@ -1,0 +1,284 @@
+//! Minimal binary serialization helpers shared by the patch bundle and
+//! the SGX→SMM patch package (paper Fig. 3).
+
+use std::fmt;
+
+/// Serialization writer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Append raw bytes with no length prefix (fixed-size fields).
+    pub fn put_raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the field.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded the remaining buffer (corruption guard).
+    BadLength {
+        /// What was being read.
+        what: &'static str,
+        /// The claimed length.
+        claimed: usize,
+        /// Remaining bytes.
+        remaining: usize,
+    },
+    /// An enum tag was out of range.
+    BadTag {
+        /// What was being read.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Trailing bytes after a complete decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what } => write!(f, "truncated while reading {what}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::BadLength {
+                what,
+                claimed,
+                remaining,
+            } => write!(
+                f,
+                "length {claimed} for {what} exceeds remaining {remaining} bytes"
+            ),
+            WireError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Deserialization reader.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { what });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let len = self.get_u32(what)? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(WireError::BadLength {
+                what,
+                claimed: len,
+                remaining: self.buf.len() - self.pos,
+            });
+        }
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let b = self.get_bytes(what)?;
+        String::from_utf8(b).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read `n` raw bytes (fixed-size fields).
+    pub fn get_raw(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        self.take(n, what)
+    }
+
+    /// Remaining unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the buffer is fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut w = Writer::new();
+        w.put_u8(7)
+            .put_u32(0xAABB_CCDD)
+            .put_u64(u64::MAX)
+            .put_bytes(&[1, 2, 3])
+            .put_str("kshot")
+            .put_raw(&[9, 9]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u32("b").unwrap(), 0xAABB_CCDD);
+        assert_eq!(r.get_u64("c").unwrap(), u64::MAX);
+        assert_eq!(r.get_bytes("d").unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_str("e").unwrap(), "kshot");
+        assert_eq!(r.get_raw(2, "f").unwrap(), &[9, 9]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..4]);
+        assert!(matches!(
+            r.get_u64("x"),
+            Err(WireError::Truncated { what: "x" })
+        ));
+    }
+
+    #[test]
+    fn bad_length_detected() {
+        let mut w = Writer::new();
+        w.put_u32(1000); // claims 1000 bytes follow
+        w.put_raw(&[1, 2]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_bytes("payload"),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_str("s"), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1).put_u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.get_u8("a").unwrap();
+        assert_eq!(r.clone().finish(), Err(WireError::TrailingBytes(1)));
+        r.get_u8("b").unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            WireError::Truncated { what: "x" },
+            WireError::BadUtf8,
+            WireError::BadLength {
+                what: "y",
+                claimed: 9,
+                remaining: 1,
+            },
+            WireError::BadTag { what: "z", tag: 9 },
+            WireError::TrailingBytes(3),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

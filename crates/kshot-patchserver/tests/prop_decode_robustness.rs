@@ -1,0 +1,99 @@
+//! Decoder robustness: every wire-format parser in the system consumes
+//! arbitrary attacker-controlled bytes (a compromised kernel writes
+//! `mem_W`; the network writes frames). None of them may panic, loop, or
+//! over-allocate on garbage — only return clean errors.
+
+use kshot_patchserver::bundle::PatchBundle;
+use kshot_patchserver::channel::Frame;
+use kshot_patchserver::wire::Reader;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn bundle_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = PatchBundle::decode(&bytes);
+    }
+
+    #[test]
+    fn frame_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::decode(&bytes);
+    }
+
+    #[test]
+    fn reader_primitives_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = Reader::new(&bytes);
+        let _ = r.get_u8("a");
+        let _ = r.get_u32("b");
+        let _ = r.get_u64("c");
+        let _ = r.get_bytes("d");
+        let _ = r.get_str("e");
+        let _ = r.finish();
+    }
+
+    /// Length prefixes claiming enormous payloads must be rejected
+    /// without allocating (the classic length-bomb).
+    #[test]
+    fn length_bombs_are_rejected(claim in 1024u32..u32::MAX) {
+        let mut bytes = claim.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut r = Reader::new(&bytes);
+        prop_assert!(r.get_bytes("payload").is_err());
+    }
+
+    /// Mutating any single byte of a valid encoded bundle must never
+    /// produce a *different* successfully decoded bundle (the trailing
+    /// hash covers every byte).
+    #[test]
+    fn bundle_bytes_are_tamper_evident(
+        flip in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let bundle = PatchBundle {
+            id: "CVE-2016-5195".into(),
+            kernel_version: "kv-4.4".into(),
+            ..Default::default()
+        };
+        let mut bytes = bundle.encode();
+        let i = flip.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        if let Ok(decoded) = PatchBundle::decode(&bytes) {
+            prop_assert_eq!(decoded, bundle, "silent mutation accepted");
+        }
+    }
+}
+
+mod isa_robustness {
+    use kshot_isa::Inst;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 1024, ..ProptestConfig::default() })]
+
+        /// The instruction decoder over arbitrary bytes: no panics, and
+        /// any successful decode must re-encode to the exact consumed
+        /// bytes (round-trip fidelity even on hostile input).
+        #[test]
+        fn inst_decode_total_and_faithful(bytes in prop::collection::vec(any::<u8>(), 1..16)) {
+            if let Ok((inst, len)) = Inst::decode(&bytes, 0) {
+                prop_assert!(len <= bytes.len());
+                prop_assert_eq!(inst.encode(), &bytes[..len]);
+            }
+        }
+    }
+}
+
+mod package_robustness {
+    use kshot_core::package::PatchPackage;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        #[test]
+        fn package_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = PatchPackage::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+#![warn(missing_docs)]
+
+//! # kshot — facade crate for the KShot reproduction
+//!
+//! Re-exports every subsystem of the reproduction of *KShot: Live Kernel
+//! Patching with SMM and SGX* (DSN 2020) and provides the
+//! [`bench_setup`] helpers the repository-level examples, integration
+//! tests and Criterion benchmarks share.
+//!
+//! ```
+//! use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+//! use kshot_cve::{exploit_for, patch_for, find};
+//!
+//! let spec = find("CVE-2017-17806").unwrap();
+//! let (kernel, server) = boot_benchmark_kernel(spec.version);
+//! let mut system = install_kshot(kernel, 7);
+//! let exploit = exploit_for(spec);
+//! assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
+//! system.live_patch(&server, &patch_for(spec)).unwrap();
+//! assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+//! ```
+
+pub use kshot_analysis as analysis;
+pub use kshot_baselines as baselines;
+pub use kshot_core as core;
+pub use kshot_crypto as crypto;
+pub use kshot_cve as cve;
+pub use kshot_enclave as enclave;
+pub use kshot_isa as isa;
+pub use kshot_kcc as kcc;
+pub use kshot_kernel as kernel;
+pub use kshot_machine as machine;
+pub use kshot_patchserver as patchserver;
+
+/// Shared setup used by examples, integration tests and benchmarks.
+pub mod bench_setup {
+    use kshot_core::KShot;
+    use kshot_cve::{benchmark_options, benchmark_tree, KernelVersion};
+    use kshot_kernel::Kernel;
+    use kshot_machine::MemLayout;
+    use kshot_patchserver::PatchServer;
+
+    /// Boot the benchmark kernel for one version and a patch server that
+    /// knows its source tree.
+    pub fn boot_benchmark_kernel(version: KernelVersion) -> (Kernel, PatchServer) {
+        boot_benchmark_kernel_on(version, MemLayout::standard())
+    }
+
+    /// [`boot_benchmark_kernel`] on an explicit memory layout (the
+    /// large-patch benchmark rows need more reserved memory).
+    pub fn boot_benchmark_kernel_on(
+        version: KernelVersion,
+        layout: MemLayout,
+    ) -> (Kernel, PatchServer) {
+        let tree = benchmark_tree(version);
+        let image = kshot_kcc::link(
+            &tree,
+            &benchmark_options(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .expect("benchmark tree links");
+        let kernel = Kernel::boot(image, version.as_str(), layout).expect("kernel boots");
+        let mut server = PatchServer::new();
+        server.register_tree(version.as_str(), tree);
+        (kernel, server)
+    }
+
+    /// Install KShot with a deterministic seed.
+    pub fn install_kshot(kernel: Kernel, seed: u64) -> KShot {
+        KShot::install(kernel, seed).expect("KShot installs")
+    }
+
+    /// A synthetic patch bundle whose payload is exactly `size` bytes of
+    /// placeable code — used by the Table II/III sweeps, which vary the
+    /// patch size from 40 B to 10 MB.
+    pub fn synthetic_bundle(id: &str, version: KernelVersion, size: usize) ->
+        kshot_patchserver::PatchBundle
+    {
+        use kshot_patchserver::bundle::{PatchBundle, PatchEntry};
+        let mut body = vec![kshot_isa::opcodes::NOP; size.max(1)];
+        *body.last_mut().expect("nonempty") = kshot_isa::opcodes::RET;
+        PatchBundle {
+            id: id.to_string(),
+            kernel_version: version.as_str().to_string(),
+            new_functions: vec![PatchEntry {
+                name: format!("{id}_blob"),
+                taddr: 0,
+                tsize: 0,
+                ftrace_offset: None,
+                expected_pre_hash: [0; 32],
+                body,
+                relocs: vec![],
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// The patch sizes the paper's Tables II and III sweep.
+    pub const TABLE_SIZES: &[(&str, usize)] = &[
+        ("40B", 40),
+        ("400B", 400),
+        ("4KB", 4 * 1024),
+        ("40KB", 40 * 1024),
+        ("400KB", 400 * 1024),
+        ("10MB", 10 * 1024 * 1024),
+    ];
+}

@@ -1,0 +1,91 @@
+//! Binary-level inspection of a live patch: what the bytes actually look
+//! like before and after the SMM handler runs.
+//!
+//! Shows the vulnerable function's entry (ftrace pad + prologue), the
+//! 5-byte `jmp rel32` trampoline KShot installs after the pad, and the
+//! relocated patched body sitting in execute-only `mem_X` (readable here
+//! only through the SMM-privileged introspection view).
+//!
+//! ```text
+//! cargo run --example inspect_patch
+//! ```
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_cve::{find, patch_for};
+use kshot_isa::disasm::listing;
+use kshot_machine::AccessCtx;
+
+fn main() {
+    let spec = find("CVE-2016-2543").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 99);
+    let fname = "snd_seq_ioctl_remove_events";
+    let sym = system
+        .kernel()
+        .image()
+        .symbols
+        .lookup(fname)
+        .unwrap()
+        .clone();
+
+    println!("== {} @ {:#x} ({} bytes) ==", fname, sym.addr, sym.size);
+    let head = 32usize.min(sym.size as usize);
+    let mut pre = vec![0u8; head];
+    system
+        .kernel_mut()
+        .machine_mut()
+        .read_bytes(AccessCtx::Kernel, sym.addr, &mut pre)
+        .unwrap();
+    println!("-- entry before patching --");
+    print!("{}", listing(&pre, sym.addr));
+
+    let report = system.live_patch(&server, &patch_for(spec)).unwrap();
+    println!(
+        "\n-- live patch applied: {} ({} trampoline, paused {}) --",
+        report.id,
+        report.trampolines,
+        report.smm.total()
+    );
+
+    let mut post = vec![0u8; head];
+    system
+        .kernel_mut()
+        .machine_mut()
+        .read_bytes(AccessCtx::Kernel, sym.addr, &mut post)
+        .unwrap();
+    println!("\n-- entry after patching (pad intact, jmp at +5) --");
+    print!("{}", listing(&post, sym.addr));
+    assert_eq!(&pre[..5], &post[..5], "ftrace pad untouched");
+    assert_eq!(post[5], kshot_isa::opcodes::JMP, "trampoline installed");
+    let target = kshot_isa::read_jmp_target(&post[5..10], sym.addr + 5).unwrap();
+    println!("\ntrampoline target: {target:#x} (inside mem_X)");
+    let reserved = *system.reserved();
+    assert!(target >= reserved.x_base && target < reserved.x_base + reserved.x_size);
+
+    // The kernel cannot read the patched body (execute-only)…
+    let mut probe = [0u8; 8];
+    let kernel_read = system
+        .kernel_mut()
+        .machine_mut()
+        .read_bytes(AccessCtx::Kernel, target, &mut probe);
+    println!(
+        "kernel read of mem_X: {}",
+        match kernel_read {
+            Err(ref e) => format!("DENIED ({e})"),
+            Ok(_) => "allowed?!".into(),
+        }
+    );
+    assert!(kernel_read.is_err());
+
+    // …but SMM introspection can show it to us.
+    let m = system.kernel_mut().machine_mut();
+    m.raise_smi().unwrap();
+    let body_head = 48usize;
+    let mut body = vec![0u8; body_head];
+    m.read_bytes(AccessCtx::Smm, target, &mut body).unwrap();
+    m.rsm().unwrap();
+    println!("\n-- first {body_head} bytes of the patched body in mem_X (SMM view) --");
+    print!("{}", listing(&body, target));
+
+    println!("\ninspection OK");
+}

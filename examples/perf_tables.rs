@@ -1,0 +1,126 @@
+//! Regenerate the paper's Table II (SGX operation breakdown) and
+//! Table III (SMM operation breakdown) across the same patch-size sweep
+//! (40 B … 10 MB), printing measured (simulated-time) values next to the
+//! paper's, plus the §VI-C3 per-CVE drill-down behind Figures 4 and 5.
+//!
+//! ```text
+//! cargo run --release --example perf_tables
+//! ```
+
+use kshot::bench_setup::{
+    boot_benchmark_kernel_on, install_kshot, synthetic_bundle, TABLE_SIZES,
+};
+use kshot_core::PatchReport;
+use kshot_cve::{find, patch_for, KernelVersion, FIGURE_CVES};
+use kshot_machine::MemLayout;
+
+/// Paper Table II values in µs: (fetch, preprocess, pass, total).
+const PAPER_TABLE2: &[(&str, [f64; 4])] = &[
+    ("40B", [54.0, 150.0, 9.0, 213.0]),
+    ("400B", [68.0, 850.0, 29.0, 947.0]),
+    ("4KB", [200.0, 8_034.0, 51.0, 8_285.0]),
+    ("40KB", [2_266.0, 82_611.0, 498.0, 85_375.0]),
+    ("400KB", [16_707.0, 785_616.0, 4_985.0, 807_308.0]),
+    ("10MB", [415_944.0, 19_991_979.0, 124_565.0, 20_532_488.0]),
+];
+
+/// Paper Table III values in µs: (decrypt, verify, apply, total).
+const PAPER_TABLE3: &[(&str, [f64; 4])] = &[
+    ("40B", [0.04, 2.93, 0.06, 42.83]),
+    ("400B", [0.31, 6.32, 0.72, 47.15]),
+    ("4KB", [1.27, 8.52, 6.92, 56.51]),
+    ("40KB", [13.84, 33.85, 17.22, 104.71]),
+    ("400KB", [133.30, 311.15, 396.45, 880.70]),
+    ("10MB", [2_832.00, 5_973.00, 2_619.00, 11_464.00]),
+];
+
+fn sweep() -> Vec<(&'static str, PatchReport)> {
+    let version = KernelVersion::V4_4;
+    let (kernel, _server) = boot_benchmark_kernel_on(version, MemLayout::benchmark());
+    let mut system = install_kshot(kernel, 555);
+    TABLE_SIZES
+        .iter()
+        .map(|&(label, size)| {
+            let bundle = synthetic_bundle(&format!("SWEEP-{label}"), version, size);
+            let report = system
+                .live_patch_bundle(bundle)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            (label, report)
+        })
+        .collect()
+}
+
+fn main() {
+    let reports = sweep();
+
+    println!("== Table II: breakdown of SGX operations (µs) ==");
+    println!(
+        "{:<7} {:>12} {:>14} {:>10} {:>14}   paper(total)",
+        "Size", "Fetching", "Pre-process", "Passing", "Total"
+    );
+    for ((label, r), (plabel, paper)) in reports.iter().zip(PAPER_TABLE2) {
+        assert_eq!(label, plabel);
+        println!(
+            "{:<7} {:>12.1} {:>14.1} {:>10.1} {:>14.1}   {:>12.0}",
+            label,
+            r.sgx.fetch.as_us_f64(),
+            r.sgx.preprocess.as_us_f64(),
+            r.sgx.pass.as_us_f64(),
+            r.sgx.total().as_us_f64(),
+            paper[3],
+        );
+    }
+
+    println!("\n== Table III: breakdown of SMM operations (µs) ==");
+    println!(
+        "{:<7} {:>10} {:>10} {:>10} {:>12}   paper(total)",
+        "Size", "Decrypt", "Verify", "Apply", "Total*"
+    );
+    for ((label, r), (plabel, paper)) in reports.iter().zip(PAPER_TABLE3) {
+        assert_eq!(label, plabel);
+        println!(
+            "{:<7} {:>10.2} {:>10.2} {:>10.2} {:>12.2}   {:>10.2}",
+            label,
+            r.smm.decrypt.as_us_f64(),
+            r.smm.verify.as_us_f64(),
+            r.smm.apply.as_us_f64(),
+            r.smm.total().as_us_f64(),
+            paper[3],
+        );
+    }
+    println!("(* total includes key generation and SMM switching, as in the paper)");
+
+    // Shape assertions: growth is monotone, SGX prep dominates, and the
+    // small-patch SMM pause sits in the paper's ~50µs class.
+    for w in reports.windows(2) {
+        assert!(w[1].1.sgx.total() >= w[0].1.sgx.total());
+        assert!(w[1].1.smm.total() >= w[0].1.smm.total());
+    }
+    let small = &reports[0].1;
+    assert!(small.sgx.total() > small.smm.total());
+    assert!((30.0..80.0).contains(&small.smm.total().as_us_f64()));
+
+    println!("\n== Figures 4 & 5: per-CVE whole-system drill-down (§VI-C3) ==");
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "CVE", "Payload", "SGX prep", "SGX total", "SMM work", "SMM pause", "Target total"
+    );
+    for id in FIGURE_CVES {
+        let spec = find(id).unwrap();
+        let (kernel, server) = boot_benchmark_kernel_on(spec.version, MemLayout::benchmark());
+        let mut system = install_kshot(kernel, 556);
+        let r = system.live_patch(&server, &patch_for(spec)).unwrap();
+        let smm_work = r.smm.decrypt + r.smm.verify + r.smm.apply;
+        println!(
+            "{:<16} {:>8}B {:>12} {:>12} {:>10} {:>12} {:>12}",
+            id,
+            r.payload_size,
+            r.sgx.preprocess.to_string(),
+            r.sgx.total().to_string(),
+            smm_work.to_string(),
+            r.smm.total().to_string(),
+            r.total().to_string()
+        );
+    }
+    println!("\nperf tables OK");
+}

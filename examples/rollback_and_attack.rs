@@ -1,0 +1,76 @@
+//! Security walk-through (paper §V-C/§V-D): rollback, malicious patch
+//! reversion with SMM-introspection repair, and DOS detection.
+//!
+//! ```text
+//! cargo run --example rollback_and_attack
+//! ```
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_core::reserved::rw_offsets;
+use kshot_cve::{exploit_for, find, patch_for};
+use kshot_machine::AccessCtx;
+
+fn main() {
+    let spec = find("CVE-2016-5195").expect("dirty-cow-class benchmark CVE");
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 77);
+    let exploit = exploit_for(spec);
+
+    println!("== scenario 1: patch, then roll back ==");
+    assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    let report = system.live_patch(&server, &patch_for(spec)).unwrap();
+    println!(
+        "patched {} ({} trampolines, {} global writes)",
+        report.id, report.trampolines, report.global_writes
+    );
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    let restored = system.rollback_last().unwrap();
+    println!("rolled back; {} sites restored from SMRAM", restored.len());
+    assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    println!("vulnerable again (original bytes restored exactly)\n");
+
+    println!("== scenario 2: rootkit reverts the patch; SMM repairs ==");
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    let taddr = system.kernel().function_addr("follow_page_pte").unwrap();
+    let site = taddr + 5; // after the ftrace pad
+    {
+        // The rootkit: remap text writable (kernel controls page tables)
+        // and stamp NOPs over the trampoline.
+        let m = system.kernel_mut().machine_mut();
+        m.set_page_attrs(site & !0xFFF, 0x2000, kshot_machine::PageAttrs::RWX)
+            .unwrap();
+        m.write_bytes(AccessCtx::Kernel, site, &[0x90; 5]).unwrap();
+    }
+    println!("rootkit reverted the trampoline at {site:#x}");
+    let violations = system.introspect().unwrap();
+    println!("SMM introspection found {} violation(s):", violations.len());
+    for v in &violations {
+        println!("  {v:?}");
+    }
+    let repaired = system.repair().unwrap();
+    println!("repaired {repaired} trampoline(s) from SMRAM ground truth");
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    println!("patch active again\n");
+
+    println!("== scenario 3: DOS detection ==");
+    let probe = system.dos_probe().unwrap();
+    println!(
+        "probe after a real patch: staged={}, epoch={}",
+        probe.staged, probe.epoch
+    );
+    // Attacker suppresses the SMI after a staging: marker set, no epoch
+    // bump on the *next* probe delta.
+    let reserved = *system.reserved();
+    system
+        .kernel_mut()
+        .machine_mut()
+        .write_u64(AccessCtx::Kernel, reserved.rw_base + rw_offsets::PROGRESS, 1)
+        .unwrap();
+    let probe2 = system.dos_probe().unwrap();
+    println!(
+        "probe after suppressed SMI: staged={}, epoch={} (unchanged ⇒ DOS detected)",
+        probe2.staged, probe2.epoch
+    );
+    assert_eq!(probe.epoch, probe2.epoch);
+    println!("\nall scenarios OK");
+}

@@ -1,0 +1,140 @@
+//! Validate the §V-A identification pipeline against the compiler's
+//! ground truth, at benchmark scale.
+//!
+//! The compiler records exactly which functions it folded into which
+//! bodies (`KernelImage::inline_log`) — information the real KShot never
+//! has. The analysis must recover a superset of it from call-graph
+//! divergence alone, for both benchmark kernels, and the implicated set
+//! of every CVE patch must cover every binary function whose bytes
+//! actually changed.
+
+use std::collections::BTreeSet;
+
+use kshot_analysis::callgraph::{binary_call_graph, source_call_graph};
+use kshot_analysis::diff::binary_diff;
+use kshot_analysis::worklist::infer_inlines;
+use kshot_cve::{benchmark_options, benchmark_tree, patch_for, KernelVersion, ALL_CVES};
+use kshot_machine::MemLayout;
+
+fn build(version: KernelVersion) -> (kshot_kcc::ir::Program, kshot_kcc::KernelImage) {
+    let tree = benchmark_tree(version);
+    let layout = MemLayout::standard();
+    let image = kshot_kcc::link(
+        &tree,
+        &benchmark_options(),
+        layout.kernel_text_base,
+        layout.kernel_data_base,
+    )
+    .unwrap();
+    (tree, image)
+}
+
+#[test]
+fn inferred_inlines_match_compiler_ground_truth() {
+    for version in [KernelVersion::V3_14, KernelVersion::V4_4] {
+        let (tree, image) = build(version);
+        let src = source_call_graph(&tree);
+        let bin = binary_call_graph(&image).unwrap();
+        let inferred = infer_inlines(&src, &bin);
+        // Every direct ground-truth inline the source graph can witness
+        // (host calls guest in source) must be inferred.
+        for (host, guests) in &image.inline_log {
+            let source_callees = src.callees(host);
+            for guest in guests {
+                if source_callees.contains(guest) {
+                    assert!(
+                        inferred.guests_of(host).contains(guest),
+                        "{version:?}: missed inline {guest} → {host}"
+                    );
+                }
+            }
+        }
+        // And nothing is inferred that did not happen: an inferred
+        // (host, guest) pair must appear in the ground-truth log.
+        for host in src.nodes() {
+            for guest in inferred.guests_of(host) {
+                let truth = image.inline_log.get(host).cloned().unwrap_or_default();
+                assert!(
+                    truth.contains(&guest),
+                    "{version:?}: false inline {guest} → {host}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn implicated_sets_cover_binary_reality_for_every_cve() {
+    for spec in ALL_CVES {
+        let (tree, pre_image) = build(spec.version);
+        let patch = patch_for(spec);
+        let post_tree = patch.apply(&tree).unwrap();
+        let layout = MemLayout::standard();
+        let post_image = kshot_kcc::link(
+            &post_tree,
+            &benchmark_options(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .unwrap();
+        let analysis =
+            kshot_analysis::analyze(&tree, &post_tree, &pre_image, &post_image).unwrap();
+        // Ground truth: which binary bodies actually changed. (Bodies
+        // can shift with data-segment growth; restrict to signature-level
+        // changes to exclude pure address-materialization differences.)
+        let byte_changed = binary_diff(&pre_image, &post_image);
+        let really_changed: BTreeSet<String> = byte_changed
+            .into_iter()
+            .filter(|name| {
+                let a = kshot_analysis::signature::signature(
+                    pre_image.function_bytes(name).unwrap(),
+                );
+                let b = kshot_analysis::signature::signature(
+                    post_image.function_bytes(name).unwrap(),
+                );
+                a != b
+            })
+            .collect();
+        for name in &really_changed {
+            assert!(
+                analysis.implicated.contains(name),
+                "{}: function `{name}` changed in the binary but was not implicated ({:?})",
+                spec.id,
+                analysis.implicated
+            );
+        }
+    }
+}
+
+#[test]
+fn signature_matching_aligns_benchmark_functions_across_relayouts() {
+    // The iBinHunt/FIBER role: the same tree compiled at different bases
+    // must self-match by signature for the vast majority of functions
+    // (identical small helpers may tie).
+    let tree = benchmark_tree(KernelVersion::V4_4);
+    let a = kshot_kcc::link(&tree, &benchmark_options(), 0x10_0000, 0x90_0000).unwrap();
+    let b = kshot_kcc::link(&tree, &benchmark_options(), 0x20_0000, 0xA0_0000).unwrap();
+    let matches = kshot_analysis::signature::match_functions(&a, &b);
+    let total = matches.len();
+    // Every function's true counterpart must be a *maximal* match
+    // (score 1.0). Ties among structurally identical template functions
+    // are inherent to signature matching (the paper's tools share this
+    // ambiguity), so exact-name resolution is only required for the
+    // majority.
+    for (pre, _, _) in &matches {
+        let sa = kshot_analysis::signature::signature(a.function_bytes(pre).unwrap());
+        let sb = kshot_analysis::signature::signature(b.function_bytes(pre).unwrap());
+        assert!(
+            (sa.similarity(&sb) - 1.0).abs() < 1e-12,
+            "{pre}: true counterpart not maximal"
+        );
+    }
+    let exact = matches
+        .iter()
+        .filter(|(pre, post, score)| post.as_deref() == Some(pre.as_str()) && *score > 0.999)
+        .count();
+    assert!(
+        exact * 10 >= total * 7,
+        "only {exact}/{total} functions resolved by name"
+    );
+}

@@ -1,0 +1,80 @@
+//! End-to-end coverage of KShot's optional modes: SDBM verification
+//! (the §VI-C2 speed/collision-resistance trade) and the full-strength
+//! RFC 3526 2048-bit DH group.
+
+use kshot::bench_setup::boot_benchmark_kernel;
+use kshot_core::smm::DhGroup;
+use kshot_core::{KShot, VerificationAlgorithm};
+use kshot_cve::{exploit_for, find, patch_for};
+
+#[test]
+fn sdbm_verification_mode_patches_correctly_and_faster_in_smm() {
+    let spec = find("CVE-2016-5829").unwrap();
+    // SHA-256 run.
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut sha_system =
+        KShot::with_options(kernel, 61, DhGroup::Default, VerificationAlgorithm::Sha256).unwrap();
+    let sha_report = sha_system.live_patch(&server, &patch_for(spec)).unwrap();
+    // SDBM run.
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut sdbm_system =
+        KShot::with_options(kernel, 61, DhGroup::Default, VerificationAlgorithm::Sdbm).unwrap();
+    let sdbm_report = sdbm_system.live_patch(&server, &patch_for(spec)).unwrap();
+    // Both fix the bug.
+    let exploit = exploit_for(spec);
+    assert!(!exploit.is_vulnerable(sha_system.kernel_mut()).unwrap());
+    assert!(!exploit.is_vulnerable(sdbm_system.kernel_mut()).unwrap());
+    // SDBM verification is meaningfully cheaper (the paper's suggested
+    // optimisation), and the total pause shrinks accordingly.
+    assert!(
+        sdbm_report.smm.verify.as_ns() * 3 < sha_report.smm.verify.as_ns(),
+        "SDBM verify {} vs SHA-256 verify {}",
+        sdbm_report.smm.verify,
+        sha_report.smm.verify
+    );
+    assert!(sdbm_report.smm.total() < sha_report.smm.total());
+}
+
+#[test]
+fn sdbm_mode_still_rejects_corrupted_payloads() {
+    // Cheap hashing must not mean no verification: a corrupted payload
+    // hash is still caught in SMM.
+    let spec = find("CVE-2016-2543").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system =
+        KShot::with_options(kernel, 62, DhGroup::Default, VerificationAlgorithm::Sdbm).unwrap();
+    let mut bundle = server
+        .build_patch(&system.kernel().info(), &patch_for(spec))
+        .unwrap()
+        .bundle;
+    bundle.entries[0].expected_pre_hash[0] ^= 0x55;
+    assert!(system.live_patch_bundle(bundle).is_err());
+    // Clean patch succeeds afterwards.
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+}
+
+#[test]
+fn modp_2048_group_works_end_to_end() {
+    // Full-strength 2048-bit DH between enclave and SMM: slower key
+    // agreement, same security pipeline. One complete patch round plus
+    // rollback, to exercise key rotation at this size too.
+    let spec = find("CVE-2017-8251").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = KShot::with_options(
+        kernel,
+        63,
+        DhGroup::Modp2048,
+        VerificationAlgorithm::Sha256,
+    )
+    .unwrap();
+    let exploit = exploit_for(spec);
+    assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    let report = system.live_patch(&server, &patch_for(spec)).unwrap();
+    assert!(report.trampolines >= 1);
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    system.rollback_last().unwrap();
+    assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    // And a second patch under the rotated 2048-bit key.
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+}

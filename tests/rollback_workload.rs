@@ -1,0 +1,191 @@
+//! Rollback semantics and live-patching interplay with the running
+//! system: tracer pads, task workloads, and repeated patch/rollback
+//! cycles (paper §V-C "Patch Rollback/Update", §V-A tracing support).
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_cve::{exploit_for, patch_for};
+use kshot_kernel::Workload;
+
+#[test]
+fn patch_rollback_patch_cycles_are_stable() {
+    let spec = kshot_cve::find("CVE-2016-5829").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 31);
+    let exploit = exploit_for(spec);
+    for cycle in 0..4 {
+        assert!(
+            exploit.is_vulnerable(system.kernel_mut()).unwrap(),
+            "cycle {cycle}: vulnerable before patch"
+        );
+        system.live_patch(&server, &patch_for(spec)).unwrap();
+        assert!(
+            !exploit.is_vulnerable(system.kernel_mut()).unwrap(),
+            "cycle {cycle}: fixed after patch"
+        );
+        let restored = system.rollback_last().unwrap();
+        assert_eq!(restored.len(), 1, "cycle {cycle}");
+    }
+}
+
+#[test]
+fn rollback_of_multi_function_patch_restores_all_sites() {
+    // CVE-2017-18270 patches two functions (host + inlined helper,
+    // which also implicates the host) — rollback must restore every
+    // trampoline the package installed.
+    let spec = kshot_cve::find("CVE-2017-18270").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 32);
+    let report = system.live_patch(&server, &patch_for(spec)).unwrap();
+    assert!(report.trampolines >= 2, "multi-function patch");
+    let restored = system.rollback_last().unwrap();
+    assert_eq!(restored.len(), report.trampolines);
+    let exploit = exploit_for(spec);
+    assert!(
+        exploit.is_vulnerable(system.kernel_mut()).unwrap(),
+        "fully vulnerable again"
+    );
+}
+
+#[test]
+fn rollback_only_reverts_the_most_recent_patch() {
+    let spec_a = kshot_cve::find("CVE-2016-2543").unwrap();
+    let spec_b = kshot_cve::find("CVE-2016-7916").unwrap();
+    assert_eq!(spec_a.version, spec_b.version);
+    let (kernel, server) = boot_benchmark_kernel(spec_a.version);
+    let mut system = install_kshot(kernel, 33);
+    system.live_patch(&server, &patch_for(spec_a)).unwrap();
+    system.live_patch(&server, &patch_for(spec_b)).unwrap();
+    // Roll back B only.
+    system.rollback_last().unwrap();
+    let check_a = exploit_for(spec_a);
+    let check_b = exploit_for(spec_b);
+    assert!(
+        !check_a.is_vulnerable(system.kernel_mut()).unwrap(),
+        "A stays patched"
+    );
+    assert!(
+        check_b.is_vulnerable(system.kernel_mut()).unwrap(),
+        "B is reverted"
+    );
+    // Then A.
+    system.rollback_last().unwrap();
+    assert!(check_a.is_vulnerable(system.kernel_mut()).unwrap());
+}
+
+#[test]
+fn tracing_survives_patching_and_patching_survives_retagging() {
+    // §V-A: the 5-byte pad belongs to the kernel tracer; KShot must
+    // leave it intact, and a later tracer rewrite must not disturb the
+    // trampoline that follows it.
+    let spec = kshot_cve::find("CVE-2014-0196").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 34);
+    let taddr = system.kernel().function_addr("n_tty_write").unwrap();
+    let site_id = {
+        // Read the pad's site id before patching.
+        let m = system.kernel_mut().machine_mut();
+        let mut b = [0u8; 5];
+        m.read_bytes(kshot_machine::AccessCtx::Kernel, taddr, &mut b)
+            .unwrap();
+        assert_eq!(b[0], kshot_isa::opcodes::FTRACE);
+        u32::from_le_bytes([b[1], b[2], b[3], b[4]])
+    };
+    system.kernel_mut().tracer_mut().enable();
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    // The pad still fires on every call of the *patched* function.
+    let before = system.kernel().tracer().hits(site_id);
+    system
+        .kernel_mut()
+        .call_function("n_tty_write", &[0, 1])
+        .unwrap();
+    assert_eq!(system.kernel().tracer().hits(site_id), before + 1);
+    // The tracer retags its pad at runtime…
+    kshot_kernel::ftrace::retag_pad(system.kernel_mut().machine_mut(), taddr, 0xBEEF).unwrap();
+    // …and the patch still protects.
+    let exploit = exploit_for(spec);
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    // Introspection still passes: the trampoline after the pad is intact.
+    assert!(system.introspect().unwrap().is_empty());
+}
+
+#[test]
+fn batch_patching_pays_the_pause_once() {
+    // Patch several CVEs in one SMI: the fixed pause costs (switch +
+    // keygen ≈ 40µs) are paid once instead of once per CVE.
+    let ids = ["CVE-2016-2543", "CVE-2016-7916", "CVE-2017-8251"];
+    let specs: Vec<_> = ids.iter().map(|id| kshot_cve::find(id).unwrap()).collect();
+    let version = specs[0].version;
+    // Individually.
+    let (kernel, server) = boot_benchmark_kernel(version);
+    let mut indiv = install_kshot(kernel, 36);
+    let mut indiv_pause = kshot_machine::SimTime::ZERO;
+    for spec in &specs {
+        let r = indiv.live_patch(&server, &patch_for(spec)).unwrap();
+        indiv_pause += r.smm.total();
+    }
+    // Batched.
+    let (kernel, server) = boot_benchmark_kernel(version);
+    let mut batched = install_kshot(kernel, 36);
+    let patches: Vec<_> = specs.iter().map(|s| patch_for(s)).collect();
+    let report = batched.live_patch_batch(&server, &patches).unwrap();
+    assert!(report.id.starts_with("BATCH("));
+    assert!(report.trampolines >= 3);
+    // All three exploits dead.
+    for spec in &specs {
+        let check = exploit_for(spec);
+        assert!(!check.is_vulnerable(batched.kernel_mut()).unwrap(), "{}", spec.id);
+    }
+    // Pause amortization: the batch saves at least two SMI round trips.
+    let saved = indiv_pause - report.smm.total();
+    assert!(
+        saved.as_ns() > 2 * 34_000,
+        "batch saved only {saved} vs individual {indiv_pause}"
+    );
+    // One rollback reverts the whole batch.
+    let restored = batched.rollback_last().unwrap();
+    assert!(restored.len() >= 3);
+    for spec in &specs {
+        let check = exploit_for(spec);
+        assert!(check.is_vulnerable(batched.kernel_mut()).unwrap(), "{}", spec.id);
+    }
+}
+
+#[test]
+fn batch_with_overlapping_targets_is_refused() {
+    let spec = kshot_cve::find("CVE-2016-2543").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 37);
+    let twice = vec![patch_for(spec), patch_for(spec)];
+    assert!(matches!(
+        system.live_patch_batch(&server, &twice),
+        Err(kshot_core::kshot::KShotError::BatchOverlap { .. })
+    ));
+    // Nothing was applied.
+    assert!(system.history().is_empty());
+    assert!(exploit_for(spec).is_vulnerable(system.kernel_mut()).unwrap());
+}
+
+#[test]
+fn heavy_workload_before_during_after_patching() {
+    let spec = kshot_cve::find("CVE-2016-5195").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 35);
+    let menu: &[(&str, u64)] = &[("sysbench_cpu", 60), ("sysbench_mem", 50), ("vfs_noop", 9)];
+    let w = Workload::uniform_mix(menu, 60, 99);
+    // Patch in the middle of the op stream.
+    let patch = patch_for(spec);
+    let mut patched_at = None;
+    let report = w.run_with_hook(system.kernel_mut(), |_, i| {
+        if i == 30 {
+            patched_at = Some(i);
+        }
+    });
+    assert_eq!(report.faults, 0);
+    // (the hook cannot borrow `system` while the kernel is borrowed, so
+    // apply the patch between workload halves instead)
+    system.live_patch(&server, &patch).unwrap();
+    let report2 = w.run(system.kernel_mut());
+    assert_eq!(report2.faults, 0, "workload healthy after patch");
+    let exploit = exploit_for(spec);
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+}

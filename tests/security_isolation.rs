@@ -1,0 +1,199 @@
+//! Hardware-isolation security experiments (paper §III, §V-D, §VI-D2):
+//! a fully compromised kernel cannot read or forge KShot's protected
+//! state, and the protections behave as the paper claims.
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot_core::kshot::KShotError;
+use kshot_core::reserved::rw_offsets;
+use kshot_cve::{exploit_for, patch_for};
+use kshot_enclave::{Accessor, Epc, EpcError};
+use kshot_machine::{AccessCtx, MachineError};
+
+#[test]
+fn compromised_kernel_cannot_touch_smram() {
+    let spec = kshot_cve::find("CVE-2016-5829").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 21);
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    // The rollback store with the original (vulnerable) bytes lives in
+    // SMRAM. A kernel-privileged attacker can neither read it (to learn
+    // layout) nor overwrite it (to sabotage rollback).
+    let smram_base = system.kernel().machine().layout().smram_base;
+    let m = system.kernel_mut().machine_mut();
+    let mut buf = [0u8; 64];
+    for offset in [0u64, 0x100, 0x1000, 0x8000] {
+        assert!(matches!(
+            m.read_bytes(AccessCtx::Kernel, smram_base + offset, &mut buf),
+            Err(MachineError::AccessViolation { .. })
+        ));
+        assert!(m
+            .write_bytes(AccessCtx::Kernel, smram_base + offset, &buf)
+            .is_err());
+    }
+    // SMRAM remapping is locked by firmware.
+    assert_eq!(
+        m.phys_mut().configure_smram(0, 4096),
+        Err(MachineError::SmramLocked)
+    );
+}
+
+#[test]
+fn kernel_cannot_read_staged_patch_or_patched_code() {
+    let spec = kshot_cve::find("CVE-2014-0196").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 22);
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    let reserved = *system.reserved();
+    let m = system.kernel_mut().machine_mut();
+    let mut buf = [0u8; 16];
+    // mem_W: the kernel may write (it stages ciphertext) but never read.
+    m.write_bytes(AccessCtx::Kernel, reserved.w_base, &[0u8; 16])
+        .unwrap();
+    assert!(m
+        .read_bytes(AccessCtx::Kernel, reserved.w_base, &mut buf)
+        .is_err());
+    // mem_X: executable but neither readable nor writable from the
+    // kernel — patched instructions cannot be disclosed or modified.
+    assert!(m
+        .read_bytes(AccessCtx::Kernel, reserved.x_base, &mut buf)
+        .is_err());
+    assert!(m
+        .write_bytes(AccessCtx::Kernel, reserved.x_base, &[0x90])
+        .is_err());
+}
+
+#[test]
+fn epc_rejects_os_access() {
+    // The enclave-memory counterpart: the OS bounces off EPC pages.
+    let mut epc = Epc::new(8);
+    let page = epc.alloc(1).unwrap();
+    epc.write(page, 0, b"session key material", Accessor::Enclave(1))
+        .unwrap();
+    let mut out = [0u8; 8];
+    assert_eq!(
+        epc.read(page, 0, &mut out, Accessor::Os),
+        Err(EpcError::AccessDenied {
+            page,
+            accessor: Accessor::Os
+        })
+    );
+    assert!(epc.write(page, 0, b"overwrit", Accessor::Os).is_err());
+}
+
+#[test]
+fn malicious_reversion_is_detected_and_repaired_under_attack_loop() {
+    // The §V-D experiment: a rootkit keeps reverting the patch; SMM
+    // introspection keeps detecting and repairing it, and the patched
+    // behaviour holds after every repair.
+    let spec = kshot_cve::find("CVE-2016-7914").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 23);
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    let exploit = exploit_for(spec);
+    let taddr = system
+        .kernel()
+        .function_addr("assoc_array_insert_into_terminal_node")
+        .unwrap();
+    for round in 0..3 {
+        // Rootkit: remap the text page RW and restore NOPs over the
+        // trampoline (which sits after the 5-byte ftrace pad).
+        let site = taddr + 5;
+        let m = system.kernel_mut().machine_mut();
+        m.set_page_attrs(site & !0xFFF, 0x2000, kshot_machine::PageAttrs::RWX)
+            .unwrap();
+        m.write_bytes(AccessCtx::Kernel, site, &[0x90; 5]).unwrap();
+        // Reversion detected…
+        let violations = system.introspect().unwrap();
+        assert_eq!(violations.len(), 1, "round {round}");
+        // …and repaired.
+        assert_eq!(system.repair().unwrap(), 1);
+        assert!(
+            !exploit.is_vulnerable(system.kernel_mut()).unwrap(),
+            "round {round}: patch must hold after repair"
+        );
+    }
+}
+
+#[test]
+fn forged_staged_data_from_kernel_is_rejected_by_smm() {
+    // A compromised kernel tries to get the SMM handler to apply a fake
+    // "patch" it staged itself (it can write mem_W and mem_RW). Without
+    // the enclave's session key the MAC check fails and nothing is
+    // applied; the legitimate pipeline still works afterwards.
+    let spec = kshot_cve::find("CVE-2015-1333").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 24);
+    let reserved = *system.reserved();
+    {
+        let params = kshot_crypto::dh::DhParams::default_group();
+        let kp = kshot_crypto::dh::DhKeyPair::from_entropy(&params, &[3u8; 32]).unwrap();
+        let pb = kp.public().to_bytes_be();
+        let m = system.kernel_mut().machine_mut();
+        m.write_u64(
+            AccessCtx::Kernel,
+            reserved.rw_base + rw_offsets::HELPER_PUB,
+            pb.len() as u64,
+        )
+        .unwrap();
+        m.write_bytes(
+            AccessCtx::Kernel,
+            reserved.rw_base + rw_offsets::HELPER_PUB + 8,
+            &pb,
+        )
+        .unwrap();
+        let fake = vec![0x41u8; 256];
+        m.write_bytes(AccessCtx::Kernel, reserved.w_base, &fake)
+            .unwrap();
+        m.write_u64(
+            AccessCtx::Kernel,
+            reserved.rw_base + rw_offsets::STAGED_LEN,
+            fake.len() as u64,
+        )
+        .unwrap();
+    }
+    let report = system.live_patch(&server, &patch_for(spec)).unwrap();
+    assert_eq!(report.trampolines, 1);
+    let exploit = exploit_for(spec);
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+}
+
+#[test]
+fn dos_suppression_is_detected_by_probe() {
+    // DOS attack: the patch is staged but the attacker suppresses the
+    // SMI. The remote server's probe sees staged=true with no epoch
+    // bump — detection, as §V-D promises.
+    let spec = kshot_cve::find("CVE-2017-8251").unwrap();
+    let (kernel, _server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 25);
+    let reserved = *system.reserved();
+    system
+        .kernel_mut()
+        .machine_mut()
+        .write_u64(AccessCtx::Kernel, reserved.rw_base + rw_offsets::PROGRESS, 1)
+        .unwrap();
+    let probe = system.dos_probe().unwrap();
+    assert!(probe.staged, "staging observed");
+    assert_eq!(probe.epoch, 0, "but no patch was ever applied → DOS");
+}
+
+#[test]
+fn errors_always_resume_the_os() {
+    // Any SMM-side rejection must leave the OS running (RSM always
+    // executes) and the exploit state unchanged until a clean patch.
+    let spec = kshot_cve::find("CVE-2016-2543").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 26);
+    let exploit = exploit_for(spec);
+    assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
+    system.rollback_last().unwrap();
+    assert!(matches!(
+        system.rollback_last(),
+        Err(KShotError::Smm(kshot_core::smm::SmmError::RollbackEmpty))
+    ));
+    assert_eq!(
+        system.kernel().machine().mode(),
+        kshot_machine::CpuMode::Protected
+    );
+}
