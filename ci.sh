@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate, fully offline: formatting, lints, build, tests.
+#
+# `cargo test -q` covers the default members (everything except the
+# Criterion benches in crates/bench and the dependency shims in shims/;
+# run those explicitly with `cargo test -p bench` / `-p proptest` etc.).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --exclude bench --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test =="
+cargo test -q
+
+echo "CI OK"

@@ -20,7 +20,10 @@ fn workload(seed: u64, count: usize) -> Workload {
 fn print_simulated_overhead() {
     let spec0 = find(FIGURE_CVES[0]).unwrap();
     println!("\n§VI-C3 simulated overhead (ops = 4×patches, 450µs/op):");
-    println!("{:>8} {:>14} {:>14} {:>10}", "Patches", "Baseline", "Pauses", "Overhead");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "Patches", "Baseline", "Pauses", "Overhead"
+    );
     for patches in [100usize, 400, 1000] {
         let ops = patches * 4;
         let (mut bk, _s) = boot_benchmark_kernel(spec0.version);

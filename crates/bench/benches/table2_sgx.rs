@@ -11,9 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use kshot::bench_setup::{
-    boot_benchmark_kernel_on, install_kshot, synthetic_bundle, TABLE_SIZES,
-};
+use kshot::bench_setup::{boot_benchmark_kernel_on, install_kshot, synthetic_bundle, TABLE_SIZES};
 use kshot_crypto::dh::DhParams;
 use kshot_cve::KernelVersion;
 use kshot_machine::MemLayout;

@@ -14,13 +14,9 @@ use kshot_machine::MemLayout;
 fn print_simulated_table(alg: VerificationAlgorithm, label: &str) {
     let version = KernelVersion::V4_4;
     let (kernel, _server) = boot_benchmark_kernel_on(version, MemLayout::benchmark());
-    let mut system = kshot_core::KShot::with_options(
-        kernel,
-        13,
-        kshot_core::smm::DhGroup::Default,
-        alg,
-    )
-    .expect("install");
+    let mut system =
+        kshot_core::KShot::with_options(kernel, 13, kshot_core::smm::DhGroup::Default, alg)
+            .expect("install");
     println!("\nTable III (simulated µs, verification = {label}):");
     println!(
         "{:<7} {:>10} {:>10} {:>10} {:>12}",
@@ -58,9 +54,11 @@ fn bench_smm_stages(c: &mut Criterion) {
             })
         });
         // Verify stage: SHA-256 (the paper's dominant cost)…
-        group.bench_with_input(BenchmarkId::new("verify_sha256", label), &payload, |b, p| {
-            b.iter(|| kshot_crypto::sha256(p))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("verify_sha256", label),
+            &payload,
+            |b, p| b.iter(|| kshot_crypto::sha256(p)),
+        );
         // …and the SDBM alternative.
         group.bench_with_input(BenchmarkId::new("verify_sdbm", label), &payload, |b, p| {
             b.iter(|| kshot_crypto::sdbm::sdbm(p))

@@ -44,9 +44,7 @@ impl CallGraph {
 
     /// Whether the edge `caller → callee` exists.
     pub fn has_edge(&self, caller: &str, callee: &str) -> bool {
-        self.edges
-            .get(caller)
-            .is_some_and(|s| s.contains(callee))
+        self.edges.get(caller).is_some_and(|s| s.contains(callee))
     }
 
     /// All node names.

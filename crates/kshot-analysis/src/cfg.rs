@@ -253,13 +253,11 @@ mod tests {
 
     #[test]
     fn if_else_forms_a_diamond() {
-        let cfg = cfg_of(Function::new("f", 1, 0).with_body(vec![
-            Stmt::If {
-                cond: CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0)),
-                then: vec![Stmt::Return(Expr::c(1))],
-                els: vec![Stmt::Return(Expr::c(2))],
-            },
-        ]));
+        let cfg = cfg_of(Function::new("f", 1, 0).with_body(vec![Stmt::If {
+            cond: CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0)),
+            then: vec![Stmt::Return(Expr::c(1))],
+            els: vec![Stmt::Return(Expr::c(2))],
+        }]));
         // Some block has two successors (the conditional branch).
         assert!(cfg.blocks().any(|b| b.successors.len() == 2));
         assert!(cfg.back_edges().is_empty());

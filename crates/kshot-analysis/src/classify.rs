@@ -84,9 +84,12 @@ pub fn classify(diff: &SourceDiff, inlines: &InlineMap, _post: &KernelImage) -> 
 /// paper warns may fail (§V-A, §VIII); `kshot-core` refuses such patches
 /// unless the operator forces them.
 pub fn has_layout_hazard(diff: &SourceDiff) -> bool {
-    diff.global_changes
-        .iter()
-        .any(|c| matches!(c, GlobalChange::Resized { .. } | GlobalChange::Removed { .. }))
+    diff.global_changes.iter().any(|c| {
+        matches!(
+            c,
+            GlobalChange::Resized { .. } | GlobalChange::Removed { .. }
+        )
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +99,9 @@ mod tests {
 
     fn image() -> KernelImage {
         let mut p = kshot_kcc::ir::Program::new();
-        p.add_function(kshot_kcc::ir::Function::new("f", 0, 0).returning(kshot_kcc::ir::Expr::c(0)));
+        p.add_function(
+            kshot_kcc::ir::Function::new("f", 0, 0).returning(kshot_kcc::ir::Expr::c(0)),
+        );
         kshot_kcc::link(
             &p,
             &kshot_kcc::CodegenOptions::default(),
@@ -152,9 +157,8 @@ mod tests {
     #[test]
     fn global_changes_are_type3() {
         let mut d = diff_changing(&["f"]);
-        d.global_changes.push(GlobalChange::ValueChanged {
-            name: "v".into(),
-        });
+        d.global_changes
+            .push(GlobalChange::ValueChanged { name: "v".into() });
         let t = classify(&d, &InlineMap::default(), &image());
         assert!(t.t1 && t.t3);
         assert_eq!(t.to_string(), "1,3");
@@ -171,7 +175,8 @@ mod tests {
         });
         assert!(has_layout_hazard(&d));
         let mut d2 = SourceDiff::default();
-        d2.global_changes.push(GlobalChange::Removed { name: "x".into() });
+        d2.global_changes
+            .push(GlobalChange::Removed { name: "x".into() });
         assert!(has_layout_hazard(&d2));
         let mut d3 = SourceDiff::default();
         d3.global_changes.push(GlobalChange::Added {

@@ -220,10 +220,7 @@ mod tests {
 
     #[test]
     fn global_change_name_accessor() {
-        assert_eq!(
-            GlobalChange::Removed { name: "x".into() }.name(),
-            "x"
-        );
+        assert_eq!(GlobalChange::Removed { name: "x".into() }.name(), "x");
         assert_eq!(
             GlobalChange::Resized {
                 name: "y".into(),

@@ -47,7 +47,10 @@ pub struct ExtractedFunction {
 /// [`AnalysisError::MissingSymbol`] if the function is absent;
 /// [`AnalysisError::Disassembly`] if its body fails to decode (required
 /// to find the call sites).
-pub fn extract_function(image: &KernelImage, name: &str) -> Result<ExtractedFunction, AnalysisError> {
+pub fn extract_function(
+    image: &KernelImage,
+    name: &str,
+) -> Result<ExtractedFunction, AnalysisError> {
     let sym = image
         .symbols
         .lookup(name)
@@ -69,12 +72,13 @@ pub fn extract_function(image: &KernelImage, name: &str) -> Result<ExtractedFunc
     for (addr, inst) in &mut sweep {
         if let Inst::Call { .. } = inst {
             let target = inst.branch_target(addr).expect("call has target");
-            let callee = image
-                .symbols
-                .function_at(target)
-                .ok_or_else(|| AnalysisError::Disassembly {
-                    function: name.to_string(),
-                })?;
+            let callee =
+                image
+                    .symbols
+                    .function_at(target)
+                    .ok_or_else(|| AnalysisError::Disassembly {
+                        function: name.to_string(),
+                    })?;
             sites.push(((addr - body_base) as u32, callee.name.clone()));
         }
     }
@@ -183,9 +187,7 @@ mod tests {
         let paddr = 0x0200_0000u64;
         let helper_addr = img.symbols.lookup("helper").unwrap().addr;
         let placed = e
-            .relocate(paddr, |name| {
-                (name == "helper").then_some(helper_addr)
-            })
+            .relocate(paddr, |name| (name == "helper").then_some(helper_addr))
             .unwrap();
         // The placed body decodes, and its call targets helper.
         let insts = disassemble(&placed, paddr).unwrap();

@@ -103,7 +103,9 @@ fn normalize(inst: Inst) -> Token {
                 Token::OpRegImm(op::MOV_IMM, dst.index() as u8, imm as i64)
             }
         }
-        Inst::MovReg { dst, src } => Token::OpRegReg(op::MOV_REG, dst.index() as u8, src.index() as u8),
+        Inst::MovReg { dst, src } => {
+            Token::OpRegReg(op::MOV_REG, dst.index() as u8, src.index() as u8)
+        }
         Inst::Add { dst, src } => Token::OpRegReg(op::ADD, dst.index() as u8, src.index() as u8),
         Inst::Sub { dst, src } => Token::OpRegReg(op::SUB, dst.index() as u8, src.index() as u8),
         Inst::And { dst, src } => Token::OpRegReg(op::AND, dst.index() as u8, src.index() as u8),
@@ -158,7 +160,10 @@ pub fn match_functions(
         .symbols
         .functions()
         .iter()
-        .filter_map(|s| post.function_bytes(&s.name).map(|b| (s.name.clone(), signature(b))))
+        .filter_map(|s| {
+            post.function_bytes(&s.name)
+                .map(|b| (s.name.clone(), signature(b)))
+        })
         .collect();
     pre.symbols
         .functions()
@@ -189,12 +194,10 @@ mod tests {
     fn program() -> Program {
         let mut p = Program::new();
         p.add_global(Global::word("g", 3));
-        p.add_function(
-            Function::new("target", 1, 1).with_body(vec![
-                Stmt::Assign(0, Expr::param(0).add(Expr::global("g"))),
-                Stmt::Return(Expr::local(0)),
-            ]),
-        );
+        p.add_function(Function::new("target", 1, 1).with_body(vec![
+            Stmt::Assign(0, Expr::param(0).add(Expr::global("g"))),
+            Stmt::Return(Expr::local(0)),
+        ]));
         p.add_function(
             Function::new("other", 0, 0)
                 .with_inline(InlineHint::Never)

@@ -68,10 +68,7 @@ pub fn infer_inlines(source: &CallGraph, binary: &CallGraph) -> InlineMap {
 /// Close the set of changed source functions over the inline relation:
 /// any host that inlined an implicated function becomes implicated, until
 /// fixpoint.
-pub fn implicated_functions(
-    changed: &BTreeSet<String>,
-    inlines: &InlineMap,
-) -> BTreeSet<String> {
+pub fn implicated_functions(changed: &BTreeSet<String>, inlines: &InlineMap) -> BTreeSet<String> {
     let mut implicated: BTreeSet<String> = changed.clone();
     let mut work: Vec<String> = changed.iter().cloned().collect();
     while let Some(f) = work.pop() {

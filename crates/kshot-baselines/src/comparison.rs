@@ -138,7 +138,11 @@ pub fn render_general_matrix() -> String {
             "{:<10} {:<15} {:<8} {:<10} {:<12} {}",
             r.name,
             r.target.to_string(),
-            if r.handles_runtime_memory { "yes" } else { "no" },
+            if r.handles_runtime_memory {
+                "yes"
+            } else {
+                "no"
+            },
             if r.requires_os_trust { "yes" } else { "no" },
             if r.requires_annotations { "yes" } else { "no" },
             r.state_handling,
@@ -175,8 +179,7 @@ mod tests {
     fn render_contains_all_rows() {
         let text = render_general_matrix();
         for name in [
-            "Dyninst", "EEL", "Libcare", "Kitsune", "PROTEOS", "kpatch", "Ksplice", "KUP",
-            "KShot",
+            "Dyninst", "EEL", "Libcare", "Kitsune", "PROTEOS", "kpatch", "Ksplice", "KUP", "KShot",
         ] {
             assert!(text.contains(name), "{name} missing");
         }

@@ -10,8 +10,7 @@ use kshot_patchserver::{PatchServer, SourcePatch};
 use crate::kpatch::{apply_function_patches, apply_global_ops};
 use crate::ksplice::instruction_diff;
 use crate::{
-    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi,
-    TrustedBase,
+    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi, TrustedBase,
 };
 
 /// Fixed module-entry cost.

@@ -9,8 +9,7 @@ use kshot_patchserver::{PatchServer, SourcePatch};
 
 use crate::kpatch::{apply_function_patches, apply_global_ops};
 use crate::{
-    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi,
-    TrustedBase,
+    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi, TrustedBase,
 };
 
 /// Fixed per-site cost of a lockless trampoline install.
@@ -80,8 +79,12 @@ impl LivePatcher for Kgraft {
         }
         let t0 = kernel.machine().now();
         // No stop_machine, no quiescence check: install immediately.
-        let (written, sites) =
-            apply_function_patches(api, kernel, &build.bundle.entries, &build.bundle.new_functions)?;
+        let (written, sites) = apply_function_patches(
+            api,
+            kernel,
+            &build.bundle.entries,
+            &build.bundle.new_functions,
+        )?;
         let written = written + apply_global_ops(kernel, &build.bundle.global_ops)?;
         for _ in 0..sites {
             kernel.machine_mut().charge(SITE_COST);
@@ -173,10 +176,10 @@ mod tests {
         kernel.run_task_slice(id, 40).unwrap();
         let mut api = OsPatchApi::new();
         let mut kgraft = Kgraft::default();
-        kgraft.apply(&mut api, &mut kernel, &server, &patch).unwrap();
-        while kernel.run_task_slice(id, 10_000).unwrap()
-            == kshot_kernel::SliceOutcome::Preempted
-        {}
+        kgraft
+            .apply(&mut api, &mut kernel, &server, &patch)
+            .unwrap();
+        while kernel.run_task_slice(id, 10_000).unwrap() == kshot_kernel::SliceOutcome::Preempted {}
         match kernel.task(id).unwrap().state {
             kshot_kernel::TaskState::Exited(v) => {
                 // Mixed result: some iterations contributed 1 (old), the
@@ -200,13 +203,13 @@ mod tests {
         kernel.run_task_slice(id, 2).unwrap(); // parked mid-`step`
         let mut kgraft = Kgraft::default();
         let mut api = OsPatchApi::new();
-        kgraft.apply(&mut api, &mut kernel, &server, &patch).unwrap();
+        kgraft
+            .apply(&mut api, &mut kernel, &server, &patch)
+            .unwrap();
         assert_eq!(kgraft.unmigrated_tasks(&kernel), vec![id]);
         assert!(!kgraft.migration_complete(&kernel));
         // Drain the task: transition completes.
-        while kernel.run_task_slice(id, 10_000).unwrap()
-            == kshot_kernel::SliceOutcome::Preempted
-        {}
+        while kernel.run_task_slice(id, 10_000).unwrap() == kshot_kernel::SliceOutcome::Preempted {}
         assert!(kgraft.migration_complete(&kernel));
     }
 }

@@ -7,8 +7,7 @@ use kshot_patchserver::bundle::{PatchEntry, RelocTarget};
 use kshot_patchserver::{PatchServer, SourcePatch};
 
 use crate::{
-    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi,
-    TrustedBase,
+    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi, TrustedBase,
 };
 
 /// Cost of a `stop_machine` round-trip (all CPUs parked), calibrated to
@@ -74,9 +73,9 @@ pub(crate) fn resolve_body(
     for r in &e.relocs {
         let target = match &r.target {
             RelocTarget::Absolute(a) => *a,
-            RelocTarget::NewFunction(n) => *new_addrs.get(n).ok_or_else(|| {
-                BaselineError::Unsupported(format!("dangling reloc to `{n}`"))
-            })?,
+            RelocTarget::NewFunction(n) => *new_addrs
+                .get(n)
+                .ok_or_else(|| BaselineError::Unsupported(format!("dangling reloc to `{n}`")))?,
         };
         let at = addr + r.offset as u64;
         let rel = kshot_isa::rel32_for(at, target)
@@ -136,8 +135,12 @@ impl LivePatcher for Kpatch {
         let t0 = kernel.machine().now();
         kernel.machine_mut().charge(STOP_MACHINE_COST);
         api.quiescent_check(kernel, &ranges)?;
-        let (written, sites) =
-            apply_function_patches(api, kernel, &build.bundle.entries, &build.bundle.new_functions)?;
+        let (written, sites) = apply_function_patches(
+            api,
+            kernel,
+            &build.bundle.entries,
+            &build.bundle.new_functions,
+        )?;
         let written = written + apply_global_ops(kernel, &build.bundle.global_ops)?;
         kernel
             .machine_mut()

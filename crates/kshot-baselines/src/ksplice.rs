@@ -9,8 +9,7 @@ use kshot_machine::SimTime;
 use kshot_patchserver::{PatchServer, SourcePatch};
 
 use crate::{
-    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi,
-    TrustedBase,
+    build_bundle, BaselineError, BaselineReport, Granularity, LivePatcher, OsPatchApi, TrustedBase,
 };
 
 /// Fixed setup cost (safety checks, stacks walked).

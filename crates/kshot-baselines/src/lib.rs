@@ -206,11 +206,7 @@ impl OsPatchApi {
     /// # Errors
     ///
     /// Machine faults / exhaustion.
-    pub fn module_alloc(
-        &mut self,
-        kernel: &mut Kernel,
-        code: &[u8],
-    ) -> Result<u64, BaselineError> {
+    pub fn module_alloc(&mut self, kernel: &mut Kernel, code: &[u8]) -> Result<u64, BaselineError> {
         let base = self.module_base(kernel);
         let addr = (base + self.module_cursor + 15) & !15;
         let end = addr + code.len() as u64;
@@ -221,7 +217,11 @@ impl OsPatchApi {
         }
         self.module_cursor = end - base;
         let m = kernel.machine_mut();
-        m.set_page_attrs(addr & !0xFFF, (end | 0xFFF) + 1 - (addr & !0xFFF), PageAttrs::RWX)?;
+        m.set_page_attrs(
+            addr & !0xFFF,
+            (end | 0xFFF) + 1 - (addr & !0xFFF),
+            PageAttrs::RWX,
+        )?;
         m.write_bytes(AccessCtx::Kernel, addr, code)?;
         Ok(addr)
     }
@@ -314,7 +314,9 @@ mod tests {
     fn module_alloc_produces_executable_memory() {
         let mut k = kernel();
         let mut api = OsPatchApi::new();
-        let addr = api.module_alloc(&mut k, &[kshot_isa::opcodes::RET]).unwrap();
+        let addr = api
+            .module_alloc(&mut k, &[kshot_isa::opcodes::RET])
+            .unwrap();
         let (inst, _) = k
             .machine_mut()
             .fetch(AccessCtx::Kernel, addr)
@@ -342,7 +344,8 @@ mod tests {
         let mut k = kernel();
         let mut api = OsPatchApi::new();
         let addr = k.function_addr("f").unwrap();
-        api.text_poke(&mut k, addr, &[kshot_isa::opcodes::NOP]).unwrap();
+        api.text_poke(&mut k, addr, &[kshot_isa::opcodes::NOP])
+            .unwrap();
         let mut b = [0u8; 1];
         k.machine_mut()
             .read_bytes(AccessCtx::Kernel, addr, &mut b)
@@ -362,7 +365,8 @@ mod tests {
         api.install_rootkit();
         let addr = k.function_addr("f").unwrap();
         // The call "succeeds"…
-        api.text_poke(&mut k, addr, &[kshot_isa::opcodes::NOP]).unwrap();
+        api.text_poke(&mut k, addr, &[kshot_isa::opcodes::NOP])
+            .unwrap();
         // …but memory is unchanged.
         let mut b = [0u8; 1];
         k.machine_mut()
@@ -382,7 +386,10 @@ mod tests {
                     kshot_isa::Cond::B,
                     Expr::param(0),
                 ),
-                body: vec![kshot_kcc::ir::Stmt::Assign(0, Expr::local(0).add(Expr::c(1)))],
+                body: vec![kshot_kcc::ir::Stmt::Assign(
+                    0,
+                    Expr::local(0).add(Expr::c(1)),
+                )],
             },
             kshot_kcc::ir::Stmt::Return(Expr::local(0)),
         ]));

@@ -56,10 +56,8 @@ pub struct DosProbe {
 fn expected_jmp(taddr: u64, skip: u8, paddr: u64) -> Result<[u8; 5], SmmError> {
     let site = taddr + skip as u64;
     let mut jmp = [0u8; 5];
-    kshot_isa::write_jmp_rel32(&mut jmp, site, paddr).map_err(|_| SmmError::BadPlacement {
-        sequence: 0,
-        paddr,
-    })?;
+    kshot_isa::write_jmp_rel32(&mut jmp, site, paddr)
+        .map_err(|_| SmmError::BadPlacement { sequence: 0, paddr })?;
     Ok(jmp)
 }
 
@@ -84,6 +82,11 @@ pub fn check(machine: &mut Machine, handler: &SmmHandler) -> Result<Vec<Violatio
         machine.read_bytes(AccessCtx::Smm, site, &mut found)?;
         let expected = expected_jmp(rec.taddr, rec.skip, rec.paddr)?;
         if found != expected {
+            kshot_telemetry::counter("introspect.violations", 1);
+            kshot_telemetry::event_with("introspect.violation", Some(machine.now().as_ns()), |f| {
+                f.push(("kind", "trampoline_reverted".into()));
+                f.push(("taddr", rec.taddr.into()));
+            });
             violations.push(Violation::TrampolineReverted {
                 taddr: rec.taddr,
                 found,
@@ -93,6 +96,12 @@ pub fn check(machine: &mut Machine, handler: &SmmHandler) -> Result<Vec<Violatio
         let mut body = vec![0u8; rec.size as usize];
         machine.read_bytes(AccessCtx::Smm, rec.paddr, &mut body)?;
         if kshot_crypto::sha256(&body) != rec.memx_hash {
+            kshot_telemetry::counter("introspect.violations", 1);
+            kshot_telemetry::event_with("introspect.violation", Some(machine.now().as_ns()), |f| {
+                f.push(("kind", "memx_corrupted".into()));
+                f.push(("paddr", rec.paddr.into()));
+                f.push(("size", rec.size.into()));
+            });
             violations.push(Violation::MemXCorrupted {
                 paddr: rec.paddr,
                 size: rec.size,
@@ -139,15 +148,11 @@ pub fn repair(machine: &mut Machine, handler: &SmmHandler) -> Result<usize, SmmE
 /// # Errors
 ///
 /// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise.
-pub fn dos_probe(
-    machine: &mut Machine,
-    reserved: &ReservedLayout,
-) -> Result<DosProbe, SmmError> {
+pub fn dos_probe(machine: &mut Machine, reserved: &ReservedLayout) -> Result<DosProbe, SmmError> {
     if machine.mode() != CpuMode::Smm {
         return Err(SmmError::NotInSmm);
     }
-    let staged =
-        machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::PROGRESS)? != 0;
+    let staged = machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::PROGRESS)? != 0;
     let epoch = machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::EPOCH)?;
     Ok(DosProbe { staged, epoch })
 }

@@ -243,9 +243,14 @@ impl KShot {
         patch: &SourcePatch,
     ) -> Result<PatchReport, KShotError> {
         // 1. OS info → server build (runs on the server's hardware).
+        let mut span =
+            kshot_telemetry::span_at("kshot.live_patch", self.kernel.machine().now().as_ns());
+        span.field("patch", patch.id.as_str());
         let info = self.kernel.info();
         let build = server.build_patch(&info, patch)?;
-        self.live_patch_bundle(build.bundle)
+        let report = self.live_patch_bundle(build.bundle)?;
+        span.end_at(self.kernel.machine().now().as_ns());
+        Ok(report)
     }
 
     /// Lower-level entry: apply a pre-built bundle (benchmarks drive
@@ -255,16 +260,22 @@ impl KShot {
     ///
     /// As [`KShot::live_patch`].
     pub fn live_patch_bundle(&mut self, bundle: PatchBundle) -> Result<PatchReport, KShotError> {
+        let mut span = kshot_telemetry::span_at(
+            "kshot.live_patch_bundle",
+            self.kernel.machine().now().as_ns(),
+        );
+        span.field("patch", bundle.id.as_str());
         let id = bundle.id.clone();
         let types = (bundle.types.t1, bundle.types.t2, bundle.types.t3);
         let patched_functions: Vec<String> =
             bundle.entries.iter().map(|e| e.name.clone()).collect();
-        // 2. Secure session: enclave ↔ server, with attestation.
+        // 2. Secure session: enclave ↔ server, with attestation. Runs on
+        // server/enclave hardware, so the simulated machine clock does
+        // not advance — the session span is wall-clock only.
+        let session_span = kshot_telemetry::span("sgx.session");
         let e_entropy: [u8; 32] = self.rng.gen();
         let s_entropy: [u8; 32] = self.rng.gen();
-        let enclave_pub = self
-            .helper
-            .begin_server_session(&self.params, &e_entropy)?;
+        let enclave_pub = self.helper.begin_server_session(&self.params, &e_entropy)?;
         // Server side: verify the enclave before answering (MITM gate).
         let report = self
             .helper
@@ -274,6 +285,7 @@ impl KShot {
             || report.measurement != expected
             || report.report_data != enclave_pub.to_bytes_be()
         {
+            kshot_telemetry::event("sgx.attestation_failed");
             return Err(KShotError::AttestationFailed);
         }
         let server_kp = DhKeyPair::from_entropy(&self.params, &s_entropy)
@@ -284,6 +296,7 @@ impl KShot {
         let mut server_channel = SecureChannel::new(server_key);
         self.helper
             .finish_server_session(&self.params, server_kp.public())?;
+        session_span.end();
         // 3. Server seals the bundle; enclave fetches it.
         let frame = server_channel.seal(&bundle.encode());
         let machine = self.kernel.machine_mut();
@@ -297,12 +310,20 @@ impl KShot {
             self.algorithm,
             &smm_entropy,
         )?;
-        // 5. SMI → SMM handler → RSM. Always resume the OS.
+        // 5. SMI → SMM handler → RSM. Always resume the OS. The window
+        // span covers the full OS pause: SMM entry through RSM.
         let fresh: [u8; 32] = self.rng.gen();
+        let smm_window = kshot_telemetry::span_at("smm.window", machine.now().as_ns());
         machine.raise_smi()?;
         let outcome = self.smm.handle_patch(machine, &self.reserved, &fresh);
         machine.rsm()?;
+        smm_window.end_at(machine.now().as_ns());
+        let end_sim_ns = machine.now().as_ns();
         let outcome = outcome?;
+        kshot_telemetry::counter("kshot.patches_applied", 1);
+        span.field("trampolines", outcome.trampolines as u64);
+        span.field("global_writes", outcome.global_writes as u64);
+        span.end_at(end_sim_ns);
         let report = PatchReport {
             id,
             sgx: SgxTimings {
@@ -447,10 +468,15 @@ impl KShot {
     /// [`SmmError::RollbackEmpty`] when no patch is active.
     pub fn rollback_last(&mut self) -> Result<Vec<u64>, KShotError> {
         let machine = self.kernel.machine_mut();
+        let mut span = kshot_telemetry::span_at("kshot.rollback", machine.now().as_ns());
         machine.raise_smi()?;
         let result = self.smm.handle_rollback(machine);
         machine.rsm()?;
-        Ok(result?)
+        span.set_sim_end(machine.now().as_ns());
+        let restored = result?;
+        kshot_telemetry::counter("kshot.rollbacks", 1);
+        span.field("restored", restored.len());
+        Ok(restored)
     }
 
     /// SMM-based introspection sweep (paper §V-D): detect reverted
@@ -461,10 +487,14 @@ impl KShot {
     /// Machine faults during the sweep.
     pub fn introspect(&mut self) -> Result<Vec<Violation>, KShotError> {
         let machine = self.kernel.machine_mut();
+        let mut span = kshot_telemetry::span_at("kshot.introspect", machine.now().as_ns());
         machine.raise_smi()?;
         let result = introspect::check(machine, &self.smm);
         machine.rsm()?;
-        Ok(result?)
+        span.set_sim_end(machine.now().as_ns());
+        let violations = result?;
+        span.field("violations", violations.len());
+        Ok(violations)
     }
 
     /// Repair reverted trampolines; returns how many were re-installed.
@@ -474,10 +504,14 @@ impl KShot {
     /// Machine faults during the sweep.
     pub fn repair(&mut self) -> Result<usize, KShotError> {
         let machine = self.kernel.machine_mut();
+        let mut span = kshot_telemetry::span_at("kshot.repair", machine.now().as_ns());
         machine.raise_smi()?;
         let result = introspect::repair(machine, &self.smm);
         machine.rsm()?;
-        Ok(result?)
+        span.set_sim_end(machine.now().as_ns());
+        let repaired = result?;
+        span.field("repaired", repaired);
+        Ok(repaired)
     }
 
     /// DOS-detection probe on behalf of the remote server.
@@ -696,7 +730,7 @@ mod tests {
             .spawn("inflight", "lookup_store", &[0, 1])
             .unwrap();
         kshot.kernel_mut().run_task_slice(id, 2).unwrap(); // parked inside
-        // Zero slice budget: refused.
+                                                           // Zero slice budget: refused.
         match kshot.live_patch_consistent(&server, &fixed_tree(), 0, 0) {
             Err(KShotError::TargetBusy { function }) => {
                 assert_eq!(function, "lookup_store");
@@ -756,9 +790,6 @@ mod tests {
         let pause_us = report.smm.total().as_us_f64();
         // Paper: ~50µs for small patches (34.6µs switching + keygen +
         // work). Accept a generous band.
-        assert!(
-            (30.0..200.0).contains(&pause_us),
-            "pause was {pause_us}µs"
-        );
+        assert!((30.0..200.0).contains(&pause_us), "pause was {pause_us}µs");
     }
 }

@@ -163,12 +163,11 @@ impl PatchPackage {
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut r = Reader::new(bytes);
         let id = r.get_str("package id")?;
-        let algorithm = VerificationAlgorithm::from_u8(r.get_u8("algorithm")?).ok_or(
-            WireError::BadTag {
+        let algorithm =
+            VerificationAlgorithm::from_u8(r.get_u8("algorithm")?).ok_or(WireError::BadTag {
                 what: "algorithm",
                 tag: 255,
-            },
-        )?;
+            })?;
         let count = r.get_u32("record count")?;
         let mut records = Vec::with_capacity(count as usize);
         for _ in 0..count {

@@ -129,9 +129,11 @@ mod tests {
     #[test]
     fn mem_rw_is_read_write() {
         let (mut m, r) = installed();
-        m.write_bytes(AccessCtx::Kernel, r.rw_base, &[1, 2]).unwrap();
+        m.write_bytes(AccessCtx::Kernel, r.rw_base, &[1, 2])
+            .unwrap();
         let mut out = [0u8; 2];
-        m.read_bytes(AccessCtx::Kernel, r.rw_base, &mut out).unwrap();
+        m.read_bytes(AccessCtx::Kernel, r.rw_base, &mut out)
+            .unwrap();
         assert_eq!(out, [1, 2]);
         assert!(m.fetch(AccessCtx::Kernel, r.rw_base).is_err());
     }
@@ -150,7 +152,8 @@ mod tests {
     fn mem_x_is_execute_only() {
         let (mut m, r) = installed();
         // Firmware plants a ret; the kernel can execute it…
-        m.write_bytes(AccessCtx::Firmware, r.x_base, &[0xC3]).unwrap();
+        m.write_bytes(AccessCtx::Firmware, r.x_base, &[0xC3])
+            .unwrap();
         let (inst, _) = m.fetch(AccessCtx::Kernel, r.x_base).unwrap();
         assert_eq!(inst, kshot_isa::Inst::Ret);
         // …but can neither read nor write it.

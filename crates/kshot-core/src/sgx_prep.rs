@@ -229,6 +229,7 @@ impl Helper {
         frame: &Frame,
     ) -> Result<(usize, SimTime), SgxError> {
         let t0 = machine.now();
+        let mut span = kshot_telemetry::span_at("sgx.fetch", t0.as_ns());
         let cost = machine.cost().sgx_fetch.for_bytes(frame.ciphertext.len());
         machine.charge(cost);
         let result = self.enclave.ecall(|s| {
@@ -239,6 +240,8 @@ impl Helper {
             s.bundle = Some(bundle);
             Ok::<usize, SgxError>(size)
         })?;
+        span.field("bytes", frame.ciphertext.len());
+        span.end_at(machine.now().as_ns());
         Ok((result, machine.now() - t0))
     }
 
@@ -256,6 +259,8 @@ impl Helper {
         algorithm: VerificationAlgorithm,
         entropy: &[u8],
     ) -> Result<StageOutcome, SgxError> {
+        let mut stage_span =
+            kshot_telemetry::span_at("sgx.prepare_and_stage", machine.now().as_ns());
         // The untrusted application reads the public inputs from mem_RW.
         let next_paddr =
             machine.read_u64(AccessCtx::Kernel, reserved.rw_base + rw_offsets::NEXT_PADDR)?;
@@ -273,6 +278,7 @@ impl Helper {
         let smm_public = BigUint::from_bytes_be(&smm_pub_bytes);
         // Stage 2: preprocess inside the enclave.
         let t_pre = machine.now();
+        let mut pre_span = kshot_telemetry::span_at("sgx.preprocess", t_pre.as_ns());
         let x_end = reserved.x_base + reserved.x_size;
         let (package, payload_size) = self.enclave.ecall(|s| {
             let bundle = s.bundle.as_ref().ok_or(SgxError::NoBundle)?;
@@ -281,8 +287,11 @@ impl Helper {
         let pre_cost = machine.cost().sgx_preprocess.for_bytes(payload_size);
         machine.charge(pre_cost);
         let preprocess = machine.now() - t_pre;
+        pre_span.field("payload_size", payload_size);
+        pre_span.end_at(machine.now().as_ns());
         // Stage 3: derive the SMM session key and stage ciphertext.
         let t_pass = machine.now();
+        let mut pass_span = kshot_telemetry::span_at("sgx.pass", t_pass.as_ns());
         let kp = DhKeyPair::from_entropy(params, entropy).map_err(SgxError::BadSmmPublic)?;
         let helper_public = kp.public().to_bytes_be();
         let (frame_bytes, records) = self.enclave.ecall(|_| {
@@ -312,10 +321,18 @@ impl Helper {
             frame_bytes.len() as u64,
         )?;
         // Progress marker for DOS detection (paper §V-D).
-        machine.write_u64(AccessCtx::Kernel, reserved.rw_base + rw_offsets::PROGRESS, 1)?;
+        machine.write_u64(
+            AccessCtx::Kernel,
+            reserved.rw_base + rw_offsets::PROGRESS,
+            1,
+        )?;
         let pass_cost = machine.cost().sgx_pass.for_bytes(frame_bytes.len());
         machine.charge(pass_cost);
         let pass = machine.now() - t_pass;
+        pass_span.field("staged_size", frame_bytes.len());
+        pass_span.end_at(machine.now().as_ns());
+        stage_span.field("records", records);
+        stage_span.end_at(machine.now().as_ns());
         Ok(StageOutcome {
             preprocess,
             pass,
@@ -459,9 +476,13 @@ mod tests {
             entries: vec![entry("a", 30, 0x10_0000), entry("b", 50, 0x10_0100)],
             ..Default::default()
         };
-        let (pkg, size) =
-            build_package(&bundle, VerificationAlgorithm::Sha256, 0x200_0000, 0x300_0000)
-                .unwrap();
+        let (pkg, size) = build_package(
+            &bundle,
+            VerificationAlgorithm::Sha256,
+            0x200_0000,
+            0x300_0000,
+        )
+        .unwrap();
         assert_eq!(size, 80);
         assert_eq!(pkg.records[0].paddr, 0x200_0000);
         // 30 bytes → next aligned slot is +32.
@@ -486,9 +507,13 @@ mod tests {
             new_functions: vec![entry("fresh", 10, 0)],
             ..Default::default()
         };
-        let (pkg, _) =
-            build_package(&bundle, VerificationAlgorithm::Sha256, 0x200_0000, 0x300_0000)
-                .unwrap();
+        let (pkg, _) = build_package(
+            &bundle,
+            VerificationAlgorithm::Sha256,
+            0x200_0000,
+            0x300_0000,
+        )
+        .unwrap();
         // fresh placed after caller (20 → aligned 32).
         let fresh_paddr = pkg.records[1].paddr;
         assert_eq!(pkg.records[1].op, PackageOp::PlaceOnly);
@@ -505,8 +530,13 @@ mod tests {
             entries: vec![entry("big", 100, 0x10_0000)],
             ..Default::default()
         };
-        let err = build_package(&bundle, VerificationAlgorithm::Sha256, 0x200_0000, 0x200_0040)
-            .unwrap_err();
+        let err = build_package(
+            &bundle,
+            VerificationAlgorithm::Sha256,
+            0x200_0000,
+            0x200_0040,
+        )
+        .unwrap_err();
         assert!(matches!(err, SgxError::NoSpace { .. }));
     }
 
@@ -525,7 +555,12 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            build_package(&bundle, VerificationAlgorithm::Sha256, 0x200_0000, 0x300_0000),
+            build_package(
+                &bundle,
+                VerificationAlgorithm::Sha256,
+                0x200_0000,
+                0x300_0000
+            ),
             Err(SgxError::DanglingReloc(_))
         ));
     }
@@ -542,9 +577,13 @@ mod tests {
             }],
             ..Default::default()
         };
-        let (pkg, size) =
-            build_package(&bundle, VerificationAlgorithm::Sha256, 0x200_0000, 0x300_0000)
-                .unwrap();
+        let (pkg, size) = build_package(
+            &bundle,
+            VerificationAlgorithm::Sha256,
+            0x200_0000,
+            0x300_0000,
+        )
+        .unwrap();
         assert_eq!(size, 3);
         assert_eq!(pkg.records[0].op, PackageOp::GlobalWrite);
         assert_eq!(pkg.records[0].taddr, 0x90_0008);

@@ -464,8 +464,10 @@ impl SmmHandler {
             switch_out: machine.cost().smm_exit,
             ..Default::default()
         };
+        let mut hp_span = kshot_telemetry::span_at("smm.handle_patch", machine.now().as_ns());
         // 1. Key generation.
         let t0 = machine.now();
+        let keygen_span = kshot_telemetry::span_at("smm.keygen", t0.as_ns());
         let kp = self.current_keypair(machine)?;
         let helper_pub = read_public(machine, reserved.rw_base + rw_offsets::HELPER_PUB)?;
         let key = kp
@@ -474,8 +476,10 @@ impl SmmHandler {
         let keygen_cost = machine.cost().smm_keygen;
         machine.charge(keygen_cost);
         timings.keygen = machine.now() - t0;
+        keygen_span.end_at(machine.now().as_ns());
         // 2. Fetch + decrypt.
         let t1 = machine.now();
+        let mut decrypt_span = kshot_telemetry::span_at("smm.decrypt", t1.as_ns());
         let staged_len =
             machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::STAGED_LEN)?;
         if staged_len == 0 || staged_len > reserved.w_size {
@@ -490,8 +494,11 @@ impl SmmHandler {
         let plaintext = channel.open(&frame).map_err(SmmError::Channel)?;
         let package = PatchPackage::decode(&plaintext).map_err(SmmError::Package)?;
         timings.decrypt = machine.now() - t1;
+        decrypt_span.field("bytes", staged_len);
+        decrypt_span.end_at(machine.now().as_ns());
         // 3. Verify everything before touching kernel state.
         let t2 = machine.now();
+        let mut verify_span = kshot_telemetry::span_at("smm.verify", t2.as_ns());
         let mut verify_bytes = 0usize;
         // Placement validation walks a virtual cursor so records within
         // one package cannot overlap each other either — the enclave's
@@ -520,11 +527,12 @@ impl SmmHandler {
                     return Err(SmmError::TargetTooSmall { taddr: rec.taddr });
                 }
             }
-            // Placement validation.
+            // Placement validation against the virtual cursor, so later
+            // records in the same package cannot claim bytes an earlier
+            // record already placed.
             if matches!(rec.op, PackageOp::Patch | PackageOp::PlaceOnly) {
-                let next = self.read_u64(machine, OFF_NEXT_PADDR)?;
                 let end = rec.paddr.checked_add(rec.payload.len() as u64);
-                let in_range = rec.paddr >= next
+                let in_range = rec.paddr >= virtual_next
                     && end.is_some_and(|e| e <= reserved.x_base + reserved.x_size);
                 if !in_range {
                     return Err(SmmError::BadPlacement {
@@ -532,6 +540,7 @@ impl SmmHandler {
                         paddr: rec.paddr,
                     });
                 }
+                virtual_next = end.expect("checked above");
             }
         }
         let verify_cost = machine.cost().smm_verify.for_bytes(verify_bytes);
@@ -541,8 +550,11 @@ impl SmmHandler {
         };
         machine.charge(verify_cost);
         timings.verify = machine.now() - t2;
+        verify_span.field("bytes", verify_bytes);
+        verify_span.end_at(machine.now().as_ns());
         // 4. Apply.
         let t3 = machine.now();
+        let mut apply_span = kshot_telemetry::span_at("smm.apply", t3.as_ns());
         let mut trampolines = 0usize;
         let mut global_writes = 0usize;
         let mut applied_bytes = 0usize;
@@ -603,6 +615,14 @@ impl SmmHandler {
                         machine.write_bytes(AccessCtx::Smm, site, &jmp)?;
                         applied_bytes += jmp.len();
                         trampolines += 1;
+                        kshot_telemetry::event_with(
+                            "smm.trampoline",
+                            Some(machine.now().as_ns()),
+                            |f| {
+                                f.push(("site", site.into()));
+                                f.push(("target", rec.paddr.into()));
+                            },
+                        );
                         // Record for rollback + introspection.
                         let mut orig16 = [0u8; MAX_ORIG];
                         orig16[..5].copy_from_slice(&orig);
@@ -628,11 +648,16 @@ impl SmmHandler {
         let apply_cost = machine.cost().smm_apply.for_bytes(applied_bytes);
         machine.charge(apply_cost);
         timings.apply = machine.now() - t3;
+        apply_span.field("bytes", applied_bytes);
+        apply_span.end_at(machine.now().as_ns());
         // 5. Rotate the key for the next patch and publish the cursor.
         self.rotate_key(machine, reserved, fresh_entropy)?;
         self.publish_cursor(machine, reserved)?;
         // Clear the staged length so a re-trigger cannot re-apply.
         machine.write_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::STAGED_LEN, 0)?;
+        hp_span.field("trampolines", trampolines);
+        hp_span.field("global_writes", global_writes);
+        hp_span.end_at(machine.now().as_ns());
         Ok(SmmPatchOutcome {
             timings,
             payload_size: package.payload_size(),
@@ -926,8 +951,12 @@ mod tests {
             pb.len() as u64,
         )
         .unwrap();
-        m.write_bytes(AccessCtx::Kernel, r.rw_base + rw_offsets::HELPER_PUB + 8, &pb)
-            .unwrap();
+        m.write_bytes(
+            AccessCtx::Kernel,
+            r.rw_base + rw_offsets::HELPER_PUB + 8,
+            &pb,
+        )
+        .unwrap();
         m.raise_smi().unwrap();
         let err = h.handle_patch(&mut m, &r, &[2u8; 32]).unwrap_err();
         assert!(

@@ -282,9 +282,7 @@ impl BigUint {
             let top = (un[j + n] as u128) << 64 | un[j + n - 1] as u128;
             let mut qhat = top / vn[n - 1] as u128;
             let mut rhat = top % vn[n - 1] as u128;
-            while qhat >= b
-                || qhat * vn[n - 2] as u128 > (rhat << 64 | un[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * vn[n - 2] as u128 > (rhat << 64 | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += vn[n - 1] as u128;
                 if rhat >= b {

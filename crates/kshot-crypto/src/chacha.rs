@@ -47,12 +47,8 @@ impl ChaCha20 {
     pub fn with_counter(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
         let mut k = [0u32; 8];
         for (i, item) in k.iter_mut().enumerate() {
-            *item = u32::from_le_bytes([
-                key[i * 4],
-                key[i * 4 + 1],
-                key[i * 4 + 2],
-                key[i * 4 + 3],
-            ]);
+            *item =
+                u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
         }
         let mut n = [0u32; 3];
         for (i, item) in n.iter_mut().enumerate() {
@@ -163,8 +159,8 @@ mod tests {
         assert_eq!(
             &data[..16],
             &[
-                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd,
-                0x0d, 0x69, 0x81
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
             ]
         );
         assert_eq!(

@@ -212,7 +212,9 @@ mod tests {
     use super::*;
 
     fn entropy(tag: u8) -> Vec<u8> {
-        (0..32u8).map(|i| i.wrapping_mul(31).wrapping_add(tag)).collect()
+        (0..32u8)
+            .map(|i| i.wrapping_mul(31).wrapping_add(tag))
+            .collect()
     }
 
     #[test]

@@ -97,12 +97,7 @@ pub enum Archetype {
 /// Benign padding: `pad_local += i` repeated, on a dedicated local.
 fn pad(n: usize, pad_local: usize) -> Vec<Stmt> {
     (0..n)
-        .map(|i| {
-            Stmt::Assign(
-                pad_local,
-                Expr::local(pad_local).add(Expr::c(i as u64 + 1)),
-            )
-        })
+        .map(|i| Stmt::Assign(pad_local, Expr::local(pad_local).add(Expr::c(i as u64 + 1))))
         .collect()
 }
 
@@ -149,13 +144,11 @@ impl Archetype {
             Archetype::MissingCheckPair { host, helper } => {
                 p.add_global(Global::word(format!("{prefix}_flag"), 1));
                 p.add_global(Global::word(format!("{prefix}_state"), RESET));
-                p.add_function(
-                    Function::new(helper.0, 0, 1).with_body(with_pad(
-                        helper.1,
-                        0,
-                        vec![Stmt::Return(Expr::global(format!("{prefix}_flag")))],
-                    )),
-                );
+                p.add_function(Function::new(helper.0, 0, 1).with_body(with_pad(
+                    helper.1,
+                    0,
+                    vec![Stmt::Return(Expr::global(format!("{prefix}_flag")))],
+                )));
                 p.add_function(
                     Function::new(host.0, 1, 2)
                         .with_inline(InlineHint::Never)

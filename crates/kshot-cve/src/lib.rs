@@ -57,8 +57,8 @@ pub fn benchmark_options() -> CodegenOptions {
 /// Base kernel functions present in every benchmark tree (the workload
 /// operations and a couple of innocuous helpers).
 fn base_tree(p: &mut Program) {
-    use kshot_kcc::ir::{CondExpr, Expr, Stmt};
     use kshot_isa::Cond;
+    use kshot_kcc::ir::{CondExpr, Expr, Stmt};
     // A sysbench-style CPU op: sum of squares below n.
     p.add_function(
         Function::new("sysbench_cpu", 1, 2)

@@ -88,7 +88,11 @@ pub static ALL_CVES: &[CveSpec] = &[
     },
     CveSpec {
         id: "CVE-2014-3690",
-        functions: &["vmx_vcpu_run", "vmcs_host_cr4", "vmx_set_constant_host_state"],
+        functions: &[
+            "vmx_vcpu_run",
+            "vmcs_host_cr4",
+            "vmx_set_constant_host_state",
+        ],
         patch_lines: 247,
         types: "3",
         version: V3_14,

@@ -7,7 +7,9 @@
 //! the same flip through KShot's binary pipeline, the flip is
 //! attributable to the pipeline and not to an artefact of the model.
 
-use kshot_cve::{benchmark_options, benchmark_tree, exploit_for, patch_for, KernelVersion, ALL_CVES};
+use kshot_cve::{
+    benchmark_options, benchmark_tree, exploit_for, patch_for, KernelVersion, ALL_CVES,
+};
 use kshot_kernel::Kernel;
 use kshot_machine::MemLayout;
 

@@ -140,10 +140,7 @@ impl Epc {
     }
 
     fn check(&self, page: usize, accessor: Accessor) -> Result<(), EpcError> {
-        let p = self
-            .pages
-            .get(page)
-            .ok_or(EpcError::OutOfRange { page })?;
+        let p = self.pages.get(page).ok_or(EpcError::OutOfRange { page })?;
         let owner = p.owner.ok_or(EpcError::NotAllocated { page })?;
         match accessor {
             Accessor::Enclave(id) if id == owner => Ok(()),
@@ -241,7 +238,8 @@ mod tests {
     fn free_scrubs_contents() {
         let mut epc = Epc::new(2);
         let page = epc.alloc(1).unwrap();
-        epc.write(page, 0, &[0xAA; 16], Accessor::Enclave(1)).unwrap();
+        epc.write(page, 0, &[0xAA; 16], Accessor::Enclave(1))
+            .unwrap();
         epc.free(page, Accessor::Enclave(1)).unwrap();
         // Reallocate to another enclave; the old contents must be gone.
         let page2 = epc.alloc(2).unwrap();

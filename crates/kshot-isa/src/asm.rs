@@ -18,7 +18,10 @@ enum Item {
     Inst(Inst),
     /// Branch to a label; resolved in pass two. The `make` function turns
     /// a resolved displacement into the final instruction.
-    Branch { kind: BranchKind, label: String },
+    Branch {
+        kind: BranchKind,
+        label: String,
+    },
     Label(String),
 }
 

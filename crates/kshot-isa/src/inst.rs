@@ -179,8 +179,17 @@ impl Inst {
         match self {
             Nop | Ret | Halt | Trap => 1,
             Push { .. } | Pop { .. } | Sys { .. } => 2,
-            MovReg { .. } | Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. }
-            | Mul { .. } | Div { .. } | ShlImm { .. } | ShrImm { .. } | Cmp { .. } => 3,
+            MovReg { .. }
+            | Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Mul { .. }
+            | Div { .. }
+            | ShlImm { .. }
+            | ShrImm { .. }
+            | Cmp { .. } => 3,
             Ftrace { .. } | Jmp { .. } | Call { .. } => 5,
             Jcc { .. } | AddImm { .. } | CmpImm { .. } => 6,
             Load { .. } | Store { .. } | LoadByte { .. } | StoreByte { .. } => 7,

@@ -100,7 +100,10 @@ pub fn read_jmp_target(buf: &[u8], at: u64) -> Option<u64> {
         return None;
     }
     let rel = i32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]);
-    Some(at.wrapping_add(JMP_LEN as u64).wrapping_add(rel as i64 as u64))
+    Some(
+        at.wrapping_add(JMP_LEN as u64)
+            .wrapping_add(rel as i64 as u64),
+    )
 }
 
 #[cfg(test)]

@@ -32,14 +32,26 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (arb_reg(), arb_reg()).prop_map(|(dst, src)| Inst::Div { dst, src }),
         (arb_reg(), any::<u8>()).prop_map(|(dst, amount)| Inst::ShlImm { dst, amount }),
         (arb_reg(), any::<i32>()).prop_map(|(dst, imm)| Inst::AddImm { dst, imm }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, base, disp)| Inst::Load { dst, base, disp }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(base, src, disp)| Inst::Store { base, disp, src }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(dst, base, disp)| Inst::LoadByte { dst, base, disp }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(base, src, disp)| Inst::StoreByte { base, disp, src }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, disp)| Inst::Load {
+            dst,
+            base,
+            disp
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(base, src, disp)| Inst::Store {
+            base,
+            disp,
+            src
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(dst, base, disp)| Inst::LoadByte {
+            dst,
+            base,
+            disp
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(base, src, disp)| Inst::StoreByte {
+            base,
+            disp,
+            src
+        }),
         (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Cmp { a, b }),
         (arb_reg(), any::<i32>()).prop_map(|(reg, imm)| Inst::CmpImm { reg, imm }),
         arb_reg().prop_map(|src| Inst::Push { src }),

@@ -681,9 +681,7 @@ mod tests {
                 .with_inline(crate::ir::InlineHint::Always)
                 .with_body(body),
         );
-        p.add_function(
-            Function::new("caller", 0, 0).returning(Expr::call("large", vec![])),
-        );
+        p.add_function(Function::new("caller", 0, 0).returning(Expr::call("large", vec![])));
         let out = compile_one(&p, "caller", &CodegenOptions::default());
         assert!(out.relocs.is_empty());
         assert_eq!(out.inlined, vec!["large".to_string()]);

@@ -215,11 +215,10 @@ pub fn link(
                     callee: reloc.callee.clone(),
                 })?;
             let at = sym.addr + reloc.offset as u64;
-            let rel =
-                kshot_isa::rel32_for(at, target).map_err(|_| LinkError::RelocOutOfRange {
-                    caller: c.name.clone(),
-                    callee: reloc.callee.clone(),
-                })?;
+            let rel = kshot_isa::rel32_for(at, target).map_err(|_| LinkError::RelocOutOfRange {
+                caller: c.name.clone(),
+                callee: reloc.callee.clone(),
+            })?;
             let off = (at - text_base) as usize;
             debug_assert_eq!(text[off], kshot_isa::opcodes::CALL);
             text[off + 1..off + 5].copy_from_slice(&rel.to_le_bytes());
@@ -319,9 +318,7 @@ mod tests {
     fn inline_log_is_ground_truth() {
         let mut p = program();
         p.add_function(Function::new("tiny", 0, 0).returning(Expr::c(2)));
-        p.add_function(
-            Function::new("wrapper", 0, 0).returning(Expr::call("tiny", vec![])),
-        );
+        p.add_function(Function::new("wrapper", 0, 0).returning(Expr::call("tiny", vec![])));
         let img = link(&p, &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
         assert_eq!(img.inline_log["wrapper"], vec!["tiny".to_string()]);
         assert!(img.inline_log["main_fn"].is_empty());
@@ -340,10 +337,7 @@ mod tests {
     #[test]
     fn ftrace_offsets_recorded() {
         let img = link(&program(), &CodegenOptions::default(), 0x10_0000, 0x90_0000).unwrap();
-        assert_eq!(
-            img.symbols.lookup("callee").unwrap().ftrace_offset,
-            Some(0)
-        );
+        assert_eq!(img.symbols.lookup("callee").unwrap().ftrace_offset, Some(0));
         let no_trace = CodegenOptions {
             tracing: false,
             ..CodegenOptions::default()

@@ -633,10 +633,12 @@ impl Program {
     }
 
     fn validate_call(&self, f: &Function, name: &str, args: &[Expr]) -> Result<(), IrError> {
-        let callee = self.function(name).ok_or_else(|| IrError::UnknownFunction {
-            caller: f.name.clone(),
-            callee: name.to_string(),
-        })?;
+        let callee = self
+            .function(name)
+            .ok_or_else(|| IrError::UnknownFunction {
+                caller: f.name.clone(),
+                callee: name.to_string(),
+            })?;
         if callee.params != args.len() {
             return Err(IrError::ArityMismatch {
                 caller: f.name.clone(),
@@ -669,9 +671,7 @@ mod tests {
     fn two_fn_program() -> Program {
         let mut p = Program::new();
         p.add_global(Global::word("counter", 0));
-        p.add_function(
-            Function::new("leaf", 1, 0).returning(Expr::param(0).add(Expr::c(1))),
-        );
+        p.add_function(Function::new("leaf", 1, 0).returning(Expr::param(0).add(Expr::c(1))));
         p.add_function(Function::new("root", 0, 1).with_body(vec![
             Stmt::Assign(0, Expr::call("leaf", vec![Expr::c(41)])),
             Stmt::StoreGlobal("counter".into(), Expr::local(0)),
@@ -688,14 +688,10 @@ mod tests {
     #[test]
     fn validate_rejects_unknown_function() {
         let mut p = two_fn_program();
-        p.add_function(Function::new("bad", 0, 0).with_body(vec![Stmt::Call(
-            "missing".into(),
-            vec![],
-        )]));
-        assert!(matches!(
-            p.validate(),
-            Err(IrError::UnknownFunction { .. })
-        ));
+        p.add_function(
+            Function::new("bad", 0, 0).with_body(vec![Stmt::Call("missing".into(), vec![])]),
+        );
+        assert!(matches!(p.validate(), Err(IrError::UnknownFunction { .. })));
     }
 
     #[test]
@@ -721,10 +717,7 @@ mod tests {
         assert!(matches!(p.validate(), Err(IrError::SlotOutOfRange { .. })));
         let mut p2 = Program::new();
         p2.add_function(Function::new("g", 0, 1).with_body(vec![Stmt::Assign(5, Expr::c(0))]));
-        assert!(matches!(
-            p2.validate(),
-            Err(IrError::SlotOutOfRange { .. })
-        ));
+        assert!(matches!(p2.validate(), Err(IrError::SlotOutOfRange { .. })));
     }
 
     #[test]
@@ -743,11 +736,7 @@ mod tests {
     fn call_graph_collects_nested_calls() {
         let mut p = two_fn_program();
         p.add_function(Function::new("complex", 0, 0).with_body(vec![Stmt::If {
-            cond: CondExpr::new(
-                Expr::call("leaf", vec![Expr::c(0)]),
-                Cond::Ne,
-                Expr::c(0),
-            ),
+            cond: CondExpr::new(Expr::call("leaf", vec![Expr::c(0)]), Cond::Ne, Expr::c(0)),
             then: vec![Stmt::Call("root".into(), vec![])],
             els: vec![Stmt::Return(Expr::call("leaf", vec![Expr::c(1)]))],
         }]));

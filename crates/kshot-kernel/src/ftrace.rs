@@ -47,6 +47,7 @@ impl TraceState {
     pub(crate) fn record(&mut self, site: u32) {
         if self.enabled {
             *self.hits.entry(site).or_insert(0) += 1;
+            kshot_telemetry::counter("ftrace.hits", 1);
         }
     }
 

@@ -411,9 +411,10 @@ mod tests {
     #[test]
     fn arithmetic_function() {
         let mut p = Program::new();
-        p.add_function(Function::new("axpy", 3, 0).returning(
-            Expr::param(0).mul(Expr::param(1)).add(Expr::param(2)),
-        ));
+        p.add_function(
+            Function::new("axpy", 3, 0)
+                .returning(Expr::param(0).mul(Expr::param(1)).add(Expr::param(2))),
+        );
         let mut k = boot(&p);
         assert_eq!(k.call_function("axpy", &[3, 7, 11]).unwrap(), 32);
     }
@@ -443,11 +444,9 @@ mod tests {
     fn nested_calls_and_inlining_agree() {
         let mut p = Program::new();
         p.add_function(Function::new("sq", 1, 0).returning(Expr::param(0).mul(Expr::param(0))));
-        p.add_function(
-            Function::new("sumsq", 2, 0).returning(
-                Expr::call("sq", vec![Expr::param(0)]).add(Expr::call("sq", vec![Expr::param(1)])),
-            ),
-        );
+        p.add_function(Function::new("sumsq", 2, 0).returning(
+            Expr::call("sq", vec![Expr::param(0)]).add(Expr::call("sq", vec![Expr::param(1)])),
+        ));
         // Inlined build and non-inlined build must agree.
         let mut k_inline = boot(&p);
         let mut k_call = boot_opts(&p, &CodegenOptions::no_inline());
@@ -468,10 +467,8 @@ mod tests {
                     cond: CondExpr::new(Expr::param(0), Cond::Eq, Expr::c(0)),
                     then: vec![Stmt::Return(Expr::c(1))],
                     els: vec![Stmt::Return(
-                        Expr::param(0).mul(Expr::call(
-                            "fact",
-                            vec![Expr::param(0).sub(Expr::c(1))],
-                        )),
+                        Expr::param(0)
+                            .mul(Expr::call("fact", vec![Expr::param(0).sub(Expr::c(1))])),
                     )],
                 }]),
         );
@@ -485,7 +482,10 @@ mod tests {
         p.add_global(Global::word("counter", 100));
         p.add_global(Global::buffer("buf", 4));
         p.add_function(Function::new("bump", 1, 0).with_body(vec![
-            Stmt::StoreGlobal("counter".into(), Expr::global("counter").add(Expr::param(0))),
+            Stmt::StoreGlobal(
+                "counter".into(),
+                Expr::global("counter").add(Expr::param(0)),
+            ),
             Stmt::Store {
                 addr: Expr::global_addr("buf").add(Expr::c(8)),
                 value: Expr::global("counter"),
@@ -594,7 +594,10 @@ mod tests {
         // Patch f's body via firmware to: sys 1; ret (no frame needed).
         let addr = k.function_addr("f").unwrap();
         let mut code = Vec::new();
-        Inst::Sys { num: syscalls::CLOCK }.encode_into(&mut code);
+        Inst::Sys {
+            num: syscalls::CLOCK,
+        }
+        .encode_into(&mut code);
         Inst::Ret.encode_into(&mut code);
         k.machine_mut()
             .write_bytes(kshot_machine::AccessCtx::Firmware, addr, &code)

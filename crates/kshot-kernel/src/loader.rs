@@ -352,7 +352,13 @@ mod tests {
         let mut p = Program::new();
         p.add_function(Function::new("f", 0, 0).returning(Expr::c(9)));
         let layout = MemLayout::standard();
-        let image = link(&p, &CodegenOptions::default(), 0x4000, layout.kernel_data_base).unwrap();
+        let image = link(
+            &p,
+            &CodegenOptions::default(),
+            0x4000,
+            layout.kernel_data_base,
+        )
+        .unwrap();
         assert!(matches!(
             Kernel::boot(image, "kv", layout),
             Err(BootError::BaseMismatch { .. })

@@ -76,13 +76,11 @@ impl Kernel {
         let layout = *self.machine.layout();
         let stack_top = layout.kernel_stack_base + TASK_STACK_SIZE * (id + 1);
         if stack_top > layout.kernel_stack_base + layout.kernel_stack_size {
-            return Err(ExecFault::Memory(
-                kshot_machine::MachineError::OutOfRange {
-                    addr: stack_top,
-                    len: 0,
-                    mem_size: layout.total,
-                },
-            ));
+            return Err(ExecFault::Memory(kshot_machine::MachineError::OutOfRange {
+                addr: stack_top,
+                len: 0,
+                mem_size: layout.total,
+            }));
         }
         let mut cpu = CpuState::new();
         for (i, &a) in args.iter().enumerate() {
@@ -307,10 +305,7 @@ mod tests {
         let mut sched = Scheduler::new(vec![good, bad]);
         sched.run_to_completion(&mut k, 50).unwrap();
         assert!(matches!(k.task(bad).unwrap().state, TaskState::Killed(_)));
-        assert!(matches!(
-            k.task(good).unwrap().state,
-            TaskState::Exited(5)
-        ));
+        assert!(matches!(k.task(good).unwrap().state, TaskState::Exited(5)));
     }
 
     #[test]
@@ -327,10 +322,7 @@ mod tests {
         let mut k = boot(&counting_program());
         let id = k.spawn("t", "work", &[1]).unwrap();
         while k.run_task_slice(id, 1000).unwrap() == SliceOutcome::Preempted {}
-        assert_eq!(
-            k.run_task_slice(id, 10).unwrap(),
-            SliceOutcome::AlreadyDone
-        );
+        assert_eq!(k.run_task_slice(id, 10).unwrap(), SliceOutcome::AlreadyDone);
     }
 
     #[test]

@@ -137,6 +137,7 @@ impl Workload {
         mut hook: impl FnMut(&mut Kernel, usize),
     ) -> WorkloadReport {
         let start = kernel.machine().now();
+        let mut span = kshot_telemetry::span_at("workload.run", start.as_ns());
         let mut ops = 0u64;
         let mut faults = 0u64;
         for (i, op) in self.ops.iter().enumerate() {
@@ -148,10 +149,16 @@ impl Workload {
                 Err(_) => faults += 1,
             }
         }
+        let end = kernel.machine().now();
+        kshot_telemetry::counter("workload.ops", ops);
+        kshot_telemetry::counter("workload.faults", faults);
+        span.field("ops", ops);
+        span.field("faults", faults);
+        span.end_at(end.as_ns());
         WorkloadReport {
             ops,
             faults,
-            elapsed: kernel.machine().now() - start,
+            elapsed: end - start,
         }
     }
 }
@@ -243,8 +250,8 @@ mod tests {
         let mut k1 = boot();
         let mut k2 = boot();
         let w_fast = Workload::uniform_mix(&[("fast_op", 5)], 10, 3);
-        let w_slow = Workload::uniform_mix(&[("fast_op", 5)], 10, 3)
-            .with_op_latency(SimTime::from_us(100));
+        let w_slow =
+            Workload::uniform_mix(&[("fast_op", 5)], 10, 3).with_op_latency(SimTime::from_us(100));
         let fast = w_fast.run(&mut k1);
         let slow = w_slow.run(&mut k2);
         assert_eq!(

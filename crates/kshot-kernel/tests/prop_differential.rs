@@ -77,8 +77,10 @@ impl<'p> RefEval<'p> {
                 }
                 Stmt::Return(e) => return Some(self.eval(e, args, locals)),
                 Stmt::Call(name, call_args) => {
-                    let vals: Vec<u64> =
-                        call_args.iter().map(|a| self.eval(a, args, locals)).collect();
+                    let vals: Vec<u64> = call_args
+                        .iter()
+                        .map(|a| self.eval(a, args, locals))
+                        .collect();
                     self.call(name, &vals);
                 }
                 other => unreachable!("generator does not emit {other:?}"),
@@ -113,8 +115,10 @@ impl<'p> RefEval<'p> {
                 }
             }
             Expr::Call(name, call_args) => {
-                let vals: Vec<u64> =
-                    call_args.iter().map(|a| self.eval(a, args, locals)).collect();
+                let vals: Vec<u64> = call_args
+                    .iter()
+                    .map(|a| self.eval(a, args, locals))
+                    .collect();
                 self.call(name, &vals)
             }
             other => unreachable!("generator does not emit {other:?}"),
@@ -194,11 +198,7 @@ fn arb_expr(ctx: GenCtx, depth: u32) -> BoxedStrategy<Expr> {
 }
 
 fn arb_cond(ctx: GenCtx) -> impl Strategy<Value = CondExpr> {
-    (
-        arb_expr(ctx.clone(), 1),
-        arb_cond_code(),
-        arb_expr(ctx, 1),
-    )
+    (arb_expr(ctx.clone(), 1), arb_cond_code(), arb_expr(ctx, 1))
         .prop_map(|(l, op, r)| CondExpr::new(l, op, r))
 }
 

@@ -38,17 +38,17 @@ impl MemLayout {
     /// The standard 48 MB machine used throughout tests and benchmarks.
     pub fn standard() -> Self {
         Self {
-            total: 0x0300_0000,             // 48 MB
-            kernel_text_base: 0x0010_0000,  // 1 MB
-            kernel_text_size: 0x0080_0000,  // 8 MB
-            kernel_data_base: 0x0090_0000,  // 9 MB
-            kernel_data_size: 0x0080_0000,  // 8 MB
-            kernel_stack_base: 0x0110_0000, // 17 MB
-            kernel_stack_size: 0x0080_0000, // 8 MB
-            reserved_base: 0x0190_0000,     // 25 MB
+            total: 0x0300_0000,              // 48 MB
+            kernel_text_base: 0x0010_0000,   // 1 MB
+            kernel_text_size: 0x0080_0000,   // 8 MB
+            kernel_data_base: 0x0090_0000,   // 9 MB
+            kernel_data_size: 0x0080_0000,   // 8 MB
+            kernel_stack_base: 0x0110_0000,  // 17 MB
+            kernel_stack_size: 0x0080_0000,  // 8 MB
+            reserved_base: 0x0190_0000,      // 25 MB
             reserved_size: 18 * 1024 * 1024, // the paper's 18 MB
-            smram_base: 0x02B0_0000,        // 43 MB
-            smram_size: 0x0010_0000,        // 1 MB
+            smram_base: 0x02B0_0000,         // 43 MB
+            smram_size: 0x0010_0000,         // 1 MB
         }
     }
 

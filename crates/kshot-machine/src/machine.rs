@@ -166,13 +166,68 @@ impl Machine {
     }
 
     fn log(&mut self, ev: Event) {
+        self.emit_telemetry(&ev);
         if self.events.len() == MAX_EVENTS {
             self.events.remove(0);
         }
         self.events.push(ev);
     }
 
-    fn check(&mut self, ctx: AccessCtx, addr: u64, len: usize, access: Access) -> Result<(), MachineError> {
+    /// Mirror a machine event into the global telemetry recorder as a
+    /// structured event (no-op when telemetry is disabled).
+    fn emit_telemetry(&self, ev: &Event) {
+        if !kshot_telemetry::is_enabled() {
+            return;
+        }
+        match ev {
+            Event::SmiEnter(t) => {
+                kshot_telemetry::counter("machine.smi", 1);
+                kshot_telemetry::event_at("machine.smi_enter", t.as_ns());
+            }
+            Event::Rsm(t) => kshot_telemetry::event_at("machine.rsm", t.as_ns()),
+            Event::Fault(err) => {
+                let sim = self.now().as_ns();
+                match err {
+                    MachineError::AccessViolation {
+                        addr,
+                        access,
+                        ctx,
+                        reason,
+                    } => {
+                        // The SMRAM lock is the security boundary the
+                        // paper's threat model leans on; break it out
+                        // from garden-variety attribute violations.
+                        let name = if *reason == "SMRAM is inaccessible outside SMM" {
+                            "machine.smram_lock_fault"
+                        } else {
+                            "machine.attr_violation"
+                        };
+                        kshot_telemetry::counter(name, 1);
+                        kshot_telemetry::event_with(name, Some(sim), |f| {
+                            f.push(("addr", (*addr).into()));
+                            f.push(("access", format!("{access:?}").into()));
+                            f.push(("ctx", (*ctx).into()));
+                            f.push(("reason", (*reason).into()));
+                        });
+                    }
+                    other => {
+                        kshot_telemetry::counter("machine.fault", 1);
+                        kshot_telemetry::event_with("machine.fault", Some(sim), |f| {
+                            f.push(("error", format!("{other}").into()));
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn check(
+        &mut self,
+        ctx: AccessCtx,
+        addr: u64,
+        len: usize,
+        access: Access,
+    ) -> Result<(), MachineError> {
         let result = self.check_inner(ctx, addr, len, access);
         if let Err(e) = &result {
             self.log(Event::Fault(e.clone()));
@@ -222,7 +277,12 @@ impl Machine {
     /// # Errors
     ///
     /// Faults on permission violations or out-of-range addresses.
-    pub fn read_bytes(&mut self, ctx: AccessCtx, addr: u64, out: &mut [u8]) -> Result<(), MachineError> {
+    pub fn read_bytes(
+        &mut self,
+        ctx: AccessCtx,
+        addr: u64,
+        out: &mut [u8],
+    ) -> Result<(), MachineError> {
         self.check(ctx, addr, out.len(), Access::Read)?;
         self.mem.read_raw(addr, out)
     }
@@ -232,7 +292,12 @@ impl Machine {
     /// # Errors
     ///
     /// Faults on permission violations or out-of-range addresses.
-    pub fn write_bytes(&mut self, ctx: AccessCtx, addr: u64, data: &[u8]) -> Result<(), MachineError> {
+    pub fn write_bytes(
+        &mut self,
+        ctx: AccessCtx,
+        addr: u64,
+        data: &[u8],
+    ) -> Result<(), MachineError> {
         self.check(ctx, addr, data.len(), Access::Write)?;
         self.mem.write_raw(addr, data)
     }
@@ -270,14 +335,13 @@ impl Machine {
         let mut buf = [0u8; kshot_isa::MAX_INST_LEN];
         self.check(ctx, addr, 1, Access::Execute)?;
         self.mem.read_raw(addr, &mut buf[..len])?;
-        let (inst, inst_len) = Inst::decode(&buf[..len], 0).map_err(|_| {
-            MachineError::AccessViolation {
+        let (inst, inst_len) =
+            Inst::decode(&buf[..len], 0).map_err(|_| MachineError::AccessViolation {
                 addr,
                 access: Access::Execute,
                 ctx: ctx.name(),
                 reason: "undecodable instruction",
-            }
-        })?;
+            })?;
         // The whole encoding must be executable (a jmp spanning into a
         // non-X page faults on real hardware too).
         self.check(ctx, addr, inst_len, Access::Execute)?;
@@ -302,7 +366,12 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates range errors from the attribute table.
-    pub fn set_page_attrs(&mut self, base: u64, size: u64, attrs: PageAttrs) -> Result<(), MachineError> {
+    pub fn set_page_attrs(
+        &mut self,
+        base: u64,
+        size: u64,
+        attrs: PageAttrs,
+    ) -> Result<(), MachineError> {
         self.mem.set_attrs(base, size, attrs)
     }
 
@@ -399,7 +468,8 @@ mod tests {
         m.raise_smi().unwrap();
         m.write_bytes(AccessCtx::Smm, base + 0x800, &[1]).unwrap();
         let mut buf = [0u8; 1];
-        m.read_bytes(AccessCtx::Smm, base + 0x800, &mut buf).unwrap();
+        m.read_bytes(AccessCtx::Smm, base + 0x800, &mut buf)
+            .unwrap();
         assert_eq!(buf, [1]);
     }
 

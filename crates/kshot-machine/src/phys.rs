@@ -105,7 +105,12 @@ impl PhysMemory {
     /// # Errors
     ///
     /// [`MachineError::OutOfRange`] for ranges beyond installed memory.
-    pub fn set_attrs(&mut self, base: u64, size: u64, attrs: PageAttrs) -> Result<(), MachineError> {
+    pub fn set_attrs(
+        &mut self,
+        base: u64,
+        size: u64,
+        attrs: PageAttrs,
+    ) -> Result<(), MachineError> {
         self.check_range(base, size as usize)?;
         let first = (base / PAGE_SIZE) as usize;
         let last = (base + size).div_ceil(PAGE_SIZE) as usize;
@@ -225,9 +230,7 @@ mod tests {
         let mut m = PhysMemory::new(4 * PAGE_SIZE);
         m.set_attrs(PAGE_SIZE, PAGE_SIZE, PageAttrs::R).unwrap();
         // A write crossing from RW page 0 into R page 1 faults.
-        let err = m
-            .check_attrs(PAGE_SIZE - 8, 16, Access::Write)
-            .unwrap_err();
+        let err = m.check_attrs(PAGE_SIZE - 8, 16, Access::Write).unwrap_err();
         assert!(matches!(err, MachineError::AccessViolation { addr, .. } if addr == PAGE_SIZE));
         // A read over the same range is fine.
         m.check_attrs(PAGE_SIZE - 8, 16, Access::Read).unwrap();

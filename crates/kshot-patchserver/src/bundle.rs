@@ -125,7 +125,11 @@ impl PatchBundle {
             .chain(&self.new_functions)
             .map(|e| e.body.len())
             .sum::<usize>()
-            + self.global_ops.iter().map(|g| g.bytes().len()).sum::<usize>()
+            + self
+                .global_ops
+                .iter()
+                .map(|g| g.bytes().len())
+                .sum::<usize>()
     }
 
     /// Serialize to wire bytes (integrity hash appended).

@@ -32,7 +32,9 @@ impl Frame {
     /// Serialize.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u64(self.seq).put_bytes(&self.ciphertext).put_raw(&self.mac);
+        w.put_u64(self.seq)
+            .put_bytes(&self.ciphertext)
+            .put_raw(&self.mac);
         w.into_bytes()
     }
 
@@ -126,11 +128,13 @@ impl SecureChannel {
         let b = DhKeyPair::from_entropy(params, entropy_b).map_err(ChannelError::Dh)?;
         let ka = a.agree(params, b.public()).map_err(ChannelError::Dh)?;
         let kb = b.agree(params, a.public()).map_err(ChannelError::Dh)?;
+        kshot_telemetry::counter("channel.handshakes", 1);
         Ok((SecureChannel::new(ka), SecureChannel::new(kb)))
     }
 
     /// Encrypt and authenticate `plaintext` into the next frame.
     pub fn seal(&mut self, plaintext: &[u8]) -> Frame {
+        kshot_telemetry::counter("channel.frames_sealed", 1);
         let seq = self.send_seq;
         self.send_seq += 1;
         let nonce = self.key.nonce_for(seq);
@@ -153,14 +157,24 @@ impl SecureChannel {
     pub fn open(&mut self, frame: &Frame) -> Result<Vec<u8>, ChannelError> {
         let expected_mac = mac_for(&self.key, frame.seq, &frame.ciphertext);
         if !verify(&expected_mac, &frame.mac) {
+            kshot_telemetry::counter("channel.bad_mac", 1);
+            kshot_telemetry::event_with("channel.bad_mac", None, |f| {
+                f.push(("seq", frame.seq.into()));
+            });
             return Err(ChannelError::BadMac);
         }
         if frame.seq != self.recv_seq {
+            kshot_telemetry::counter("channel.replay", 1);
+            kshot_telemetry::event_with("channel.replay", None, |f| {
+                f.push(("expected", self.recv_seq.into()));
+                f.push(("got", frame.seq.into()));
+            });
             return Err(ChannelError::Replay {
                 expected: self.recv_seq,
                 got: frame.seq,
             });
         }
+        kshot_telemetry::counter("channel.frames_opened", 1);
         self.recv_seq += 1;
         let nonce = self.key.nonce_for(frame.seq);
         let mut plaintext = frame.ciphertext.clone();
@@ -282,7 +296,13 @@ mod tests {
         // Replaying a valid old frame (MAC intact) trips the sequence
         // check.
         let err = rx.open(&f0).unwrap_err();
-        assert!(matches!(err, ChannelError::Replay { expected: 2, got: 0 }));
+        assert!(matches!(
+            err,
+            ChannelError::Replay {
+                expected: 2,
+                got: 0
+            }
+        ));
     }
 
     #[test]
@@ -292,8 +312,7 @@ mod tests {
         let (mut tx1, _) = pair();
         let old_frame = tx1.seal(b"old patch");
         let params = DhParams::default_group();
-        let (_, mut rx2) =
-            SecureChannel::pair_via_dh(&params, &[1u8; 32], &[2u8; 32]).unwrap();
+        let (_, mut rx2) = SecureChannel::pair_via_dh(&params, &[1u8; 32], &[2u8; 32]).unwrap();
         assert_eq!(rx2.open(&old_frame).unwrap_err(), ChannelError::BadMac);
     }
 

@@ -225,8 +225,7 @@ mod tests {
     #[test]
     fn pre_tree_is_untouched() {
         let pre = tree();
-        let patch =
-            SourcePatch::new("x").replacing(Function::new("f", 0, 0).returning(Expr::c(9)));
+        let patch = SourcePatch::new("x").replacing(Function::new("f", 0, 0).returning(Expr::c(9)));
         let _ = patch.apply(&pre).unwrap();
         assert_eq!(
             pre.function("f").unwrap().body,

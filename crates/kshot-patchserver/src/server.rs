@@ -119,6 +119,8 @@ impl PatchServer {
         info: &KernelInfo,
         patch: &SourcePatch,
     ) -> Result<BuildOutput, ServerError> {
+        let mut span = kshot_telemetry::span("server.build_patch");
+        span.field("patch", patch.id.as_str());
         let pre_tree = self
             .trees
             .get(&info.version)
@@ -151,13 +153,21 @@ impl PatchServer {
         let mut entries = Vec::with_capacity(implicated.len());
         for name in &implicated {
             entries.push(self.make_entry(
-                name, &pre_image, &post_image, &new_names, /* is_new = */ false,
+                name,
+                &pre_image,
+                &post_image,
+                &new_names,
+                /* is_new = */ false,
             )?);
         }
         let mut new_functions = Vec::with_capacity(new_names.len());
         for name in &new_names {
             new_functions.push(self.make_entry(
-                name, &pre_image, &post_image, &new_names, /* is_new = */ true,
+                name,
+                &pre_image,
+                &post_image,
+                &new_names,
+                /* is_new = */ true,
             )?);
         }
         // Global operations.
@@ -165,10 +175,9 @@ impl PatchServer {
         for change in &analysis.source_diff.global_changes {
             match change {
                 GlobalChange::ValueChanged { name } => {
-                    let sym = post_image
-                        .symbols
-                        .lookup_global(name)
-                        .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.clone())))?;
+                    let sym = post_image.symbols.lookup_global(name).ok_or_else(|| {
+                        ServerError::Analysis(AnalysisError::MissingSymbol(name.clone()))
+                    })?;
                     let bytes = global_bytes(&post_image, name);
                     global_ops.push(GlobalOp::SetBytes {
                         name: name.clone(),
@@ -177,10 +186,9 @@ impl PatchServer {
                     });
                 }
                 GlobalChange::Added { name, .. } => {
-                    let sym = post_image
-                        .symbols
-                        .lookup_global(name)
-                        .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.clone())))?;
+                    let sym = post_image.symbols.lookup_global(name).ok_or_else(|| {
+                        ServerError::Analysis(AnalysisError::MissingSymbol(name.clone()))
+                    })?;
                     let bytes = global_bytes(&post_image, name);
                     global_ops.push(GlobalOp::InitBytes {
                         name: name.clone(),
@@ -205,6 +213,10 @@ impl PatchServer {
                 t3: analysis.types.t3,
             },
         };
+        kshot_telemetry::counter("server.patches_built", 1);
+        span.field("implicated", implicated.len());
+        span.field("new_functions", bundle.new_functions.len());
+        span.field("global_ops", bundle.global_ops.len());
         Ok(BuildOutput {
             bundle,
             pre_image,
@@ -266,13 +278,12 @@ impl PatchServer {
         let (taddr, tsize, ftrace_offset, expected_pre_hash) = if is_new {
             (0, 0, None, [0u8; 32])
         } else {
-            let sym = pre_image
-                .symbols
-                .lookup(name)
-                .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.to_string())))?;
-            let pre_body = pre_image
-                .function_bytes(name)
-                .ok_or_else(|| ServerError::Analysis(AnalysisError::MissingSymbol(name.to_string())))?;
+            let sym = pre_image.symbols.lookup(name).ok_or_else(|| {
+                ServerError::Analysis(AnalysisError::MissingSymbol(name.to_string()))
+            })?;
+            let pre_body = pre_image.function_bytes(name).ok_or_else(|| {
+                ServerError::Analysis(AnalysisError::MissingSymbol(name.to_string()))
+            })?;
             (sym.addr, sym.size, sym.ftrace_offset, sha256(pre_body))
         };
         Ok(PatchEntry {
@@ -288,7 +299,10 @@ impl PatchServer {
 }
 
 fn global_bytes(image: &KernelImage, name: &str) -> Vec<u8> {
-    let sym = image.symbols.lookup_global(name).expect("checked by caller");
+    let sym = image
+        .symbols
+        .lookup_global(name)
+        .expect("checked by caller");
     let start = (sym.addr - image.data_base) as usize;
     image.data[start..start + sym.size as usize].to_vec()
 }
@@ -312,8 +326,7 @@ mod tests {
             Function::new("vuln", 1, 0)
                 .with_inline(InlineHint::Never)
                 .returning(
-                    Expr::call("helper", vec![Expr::param(0)])
-                        .add(Expr::call("tiny", vec![])),
+                    Expr::call("helper", vec![Expr::param(0)]).add(Expr::call("tiny", vec![])),
                 ),
         );
         p
@@ -350,10 +363,7 @@ mod tests {
         assert_eq!(out.implicated, vec!["vuln".to_string()]);
         let e = &out.bundle.entries[0];
         assert_eq!(e.name, "vuln");
-        assert_eq!(
-            e.taddr,
-            out.pre_image.symbols.lookup("vuln").unwrap().addr
-        );
+        assert_eq!(e.taddr, out.pre_image.symbols.lookup("vuln").unwrap().addr);
         // The body calls helper (Never-inline) via an absolute reloc to
         // the running kernel's helper.
         let helper_addr = out.pre_image.symbols.lookup("helper").unwrap().addr;

@@ -1,0 +1,343 @@
+//! Exporters: JSON lines, Chrome `trace_event` (Perfetto-loadable), and
+//! a plain-text summary table.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::record::{json_escape, Field, Record};
+
+fn fields_json(fields: &[Field]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_escape(k), v.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// One JSON object per line: spans, events, then counters, gauges, and
+/// histograms from the metrics snapshot. Every line is independently
+/// parseable, so partial files (e.g. from a truncated run) still load.
+pub fn json_lines(records: &[Record], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for rec in records {
+        match rec {
+            Record::Span(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"thread\":{},\
+                     \"wall_start_ns\":{},\"wall_dur_ns\":{}",
+                    s.id,
+                    s.parent.map_or("null".to_string(), |p| p.to_string()),
+                    json_escape(s.name),
+                    s.thread,
+                    s.wall_start_ns,
+                    s.wall_dur_ns,
+                );
+                if let Some(sim) = s.sim_start_ns {
+                    let _ = write!(out, ",\"sim_start_ns\":{sim}");
+                }
+                if let Some(sim) = s.sim_end_ns {
+                    let _ = write!(out, ",\"sim_end_ns\":{sim}");
+                }
+                if !s.fields.is_empty() {
+                    let _ = write!(out, ",\"fields\":{}", fields_json(&s.fields));
+                }
+                out.push_str("}\n");
+            }
+            Record::Event(e) => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"event\",\"parent\":{},\"name\":{},\"thread\":{},\"wall_ns\":{}",
+                    e.parent.map_or("null".to_string(), |p| p.to_string()),
+                    json_escape(e.name),
+                    e.thread,
+                    e.wall_ns,
+                );
+                if let Some(sim) = e.sim_ns {
+                    let _ = write!(out, ",\"sim_ns\":{sim}");
+                }
+                if !e.fields.is_empty() {
+                    let _ = write!(out, ",\"fields\":{}", fields_json(&e.fields));
+                }
+                out.push_str("}\n");
+            }
+        }
+    }
+    for (name, value) in &metrics.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+            json_escape(name),
+            value
+        );
+    }
+    for (name, value) in &metrics.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            json_escape(name),
+            value
+        );
+    }
+    for (name, h) in &metrics.histograms {
+        let bounds: Vec<String> = h.bounds.iter().map(|b| b.to_string()).collect();
+        let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"bounds\":[{}],\"counts\":[{}]}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            bounds.join(","),
+            counts.join(","),
+        );
+    }
+    out
+}
+
+/// Timestamp selection for the Chrome exporter: simulated time when a
+/// record carries it, wall time otherwise. Mixed traces are legal but
+/// the two clocks share one axis, so instrument consistently.
+fn span_ts_dur(s: &crate::record::SpanRecord) -> (u64, u64) {
+    match (s.sim_start_ns, s.sim_dur_ns()) {
+        (Some(start), Some(dur)) => (start, dur),
+        _ => (s.wall_start_ns, s.wall_dur_ns),
+    }
+}
+
+/// Chrome `trace_event` JSON: an object with a `traceEvents` array of
+/// `"X"` (complete) events for spans and `"i"` (instant) events for
+/// events. Loadable in Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+/// Timestamps are microseconds with nanosecond precision kept in the
+/// fractional digits.
+pub fn chrome_trace(records: &[Record]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for rec in records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        match rec {
+            Record::Span(s) => {
+                let (ts_ns, dur_ns) = span_ts_dur(s);
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":\"kshot\",\"ph\":\"X\",\"ts\":{}.{:03},\
+                     \"dur\":{}.{:03},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{}",
+                    json_escape(s.name),
+                    ts_ns / 1_000,
+                    ts_ns % 1_000,
+                    dur_ns / 1_000,
+                    dur_ns % 1_000,
+                    s.thread,
+                    s.id,
+                );
+                if let Some(p) = s.parent {
+                    let _ = write!(out, ",\"parent\":{p}");
+                }
+                for (k, v) in &s.fields {
+                    let _ = write!(out, ",{}:{}", json_escape(k), v.to_json());
+                }
+                out.push_str("}}");
+            }
+            Record::Event(e) => {
+                let ts_ns = e.sim_ns.unwrap_or(e.wall_ns);
+                let _ = write!(
+                    out,
+                    "{{\"name\":{},\"cat\":\"kshot\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{}.{:03},\"pid\":1,\"tid\":{},\"args\":{{",
+                    json_escape(e.name),
+                    ts_ns / 1_000,
+                    ts_ns % 1_000,
+                    e.thread,
+                );
+                for (i, (k, v)) in e.fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{}", json_escape(k), v.to_json());
+                }
+                out.push_str("}}");
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    wall_total: u64,
+    wall_max: u64,
+    sim_total: u64,
+    sim_count: u64,
+}
+
+/// Plain-text table: per-span-name aggregates (count, wall mean/max,
+/// sim mean where instrumented), then events, counters, gauges, and
+/// histogram lines.
+pub fn summary(records: &[Record], metrics: &MetricsSnapshot) -> String {
+    let mut spans: BTreeMap<&'static str, SpanAgg> = BTreeMap::new();
+    let mut events: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for rec in records {
+        match rec {
+            Record::Span(s) => {
+                let agg = spans.entry(s.name).or_default();
+                agg.count += 1;
+                agg.wall_total += s.wall_dur_ns;
+                agg.wall_max = agg.wall_max.max(s.wall_dur_ns);
+                if let Some(d) = s.sim_dur_ns() {
+                    agg.sim_total += d;
+                    agg.sim_count += 1;
+                }
+            }
+            Record::Event(e) => *events.entry(e.name).or_default() += 1,
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>12} {:>12} {:>12}",
+        "span", "count", "wall mean", "wall max", "sim mean"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(76));
+    for (name, agg) in &spans {
+        let wall_mean = agg.wall_total / agg.count;
+        let sim_mean = match agg.sim_total.checked_div(agg.sim_count) {
+            Some(mean) => fmt_ns(mean),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>7} {:>12} {:>12} {:>12}",
+            name,
+            agg.count,
+            fmt_ns(wall_mean),
+            fmt_ns(agg.wall_max),
+            sim_mean
+        );
+    }
+    if !events.is_empty() {
+        let _ = writeln!(out, "\n{:<28} {:>7}", "event", "count");
+        let _ = writeln!(out, "{}", "-".repeat(36));
+        for (name, count) in &events {
+            let _ = writeln!(out, "{name:<28} {count:>7}");
+        }
+    }
+    if !metrics.counters.is_empty() {
+        let _ = writeln!(out, "\n{:<28} {:>12}", "counter", "value");
+        let _ = writeln!(out, "{}", "-".repeat(41));
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "{name:<28} {value:>12}");
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        let _ = writeln!(out, "\n{:<28} {:>12}", "gauge", "value");
+        let _ = writeln!(out, "{}", "-".repeat(41));
+        for (name, value) in &metrics.gauges {
+            let _ = writeln!(out, "{name:<28} {value:>12}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<28} {:>7} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "min", "max"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(76));
+        for (name, h) in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>12} {:>12}",
+                name,
+                h.count,
+                fmt_ns(h.mean()),
+                fmt_ns(h.min),
+                fmt_ns(h.max)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventRecord, SpanRecord, Value};
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Span(SpanRecord {
+                id: 1,
+                parent: None,
+                name: "kshot.live_patch",
+                thread: 0,
+                wall_start_ns: 500,
+                wall_dur_ns: 9_500,
+                sim_start_ns: Some(1_000),
+                sim_end_ns: Some(51_000),
+                fields: vec![("cve", Value::Str("CVE-2017-7184".into()))],
+            }),
+            Record::Event(EventRecord {
+                parent: Some(1),
+                name: "smm.trampoline",
+                thread: 0,
+                wall_ns: 700,
+                sim_ns: Some(2_500),
+                fields: vec![("addr", Value::U64(0xffff)), ("len", Value::U64(5))],
+            }),
+        ]
+    }
+
+    #[test]
+    fn json_lines_roundtrippable_shapes() {
+        let out = json_lines(&sample_records(), &MetricsSnapshot::default());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"span\""));
+        assert!(lines[0].contains("\"sim_start_ns\":1000"));
+        assert!(lines[1].contains("\"name\":\"smm.trampoline\""));
+        assert!(lines[1].contains("\"addr\":65535"));
+    }
+
+    #[test]
+    fn chrome_trace_prefers_sim_time() {
+        let out = chrome_trace(&sample_records());
+        // 1000ns sim start -> 1.000µs; 50000ns sim duration -> 50.000µs.
+        assert!(out.contains("\"ts\":1.000"), "{out}");
+        assert!(out.contains("\"dur\":50.000"), "{out}");
+        assert!(out.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(out.ends_with("]}"));
+    }
+
+    #[test]
+    fn summary_lists_each_name_once() {
+        let out = summary(&sample_records(), &MetricsSnapshot::default());
+        assert_eq!(out.matches("kshot.live_patch").count(), 1);
+        assert!(out.contains("smm.trampoline"));
+        assert!(out.contains("50.00us"), "{out}");
+    }
+}

@@ -1,0 +1,319 @@
+//! # kshot-telemetry
+//!
+//! Zero-dependency tracing, metrics, and trace export for the KShot
+//! patch pipeline. Pure safe Rust over `std` only — like
+//! `kshot-crypto`, everything is hand-rolled because the build
+//! environment resolves no external crates.
+//!
+//! ## Model
+//!
+//! - **Spans** measure intervals (`sgx.prepare_and_stage`,
+//!   `smm.decrypt`, ...) with *dual timestamps*: wall-clock nanoseconds
+//!   from a monotonic [`std::time::Instant`], and optionally the
+//!   machine's simulated clock (plain `u64` ns supplied by the caller,
+//!   since this crate sits below `kshot-machine` in the dependency
+//!   graph and cannot name `SimTime`).
+//! - **Events** mark instants (SMRAM lock faults, trampoline writes,
+//!   introspection violations) with structured fields.
+//! - **Metrics** are counters, gauges, and fixed-bucket histograms on a
+//!   registry attached to the recorder.
+//! - The **recorder** is a bounded ring buffer with pluggable streaming
+//!   [`Sink`]s and three exporters: JSON lines, Chrome `trace_event`
+//!   (Perfetto-loadable), and a plain-text summary table.
+//!
+//! ## Cost when disabled
+//!
+//! Instrumentation is compiled in unconditionally but gated on a global
+//! `AtomicBool`. With no recorder installed, every emit function
+//! early-returns after one relaxed atomic load, and [`span`] hands back
+//! an inert guard — no heap allocation anywhere on the hot path. This
+//! is load-bearing for the overhead experiments: the instrumented
+//! binary must behave like the uninstrumented one when tracing is off.
+//!
+//! ## Usage
+//!
+//! ```
+//! let recorder = kshot_telemetry::Recorder::with_capacity(1024);
+//! kshot_telemetry::install(recorder.clone());
+//!
+//! {
+//!     let mut span = kshot_telemetry::span_at("smm.decrypt", 1_000);
+//!     span.field("bytes", 4096u64);
+//!     kshot_telemetry::counter("machine.smi", 1);
+//!     span.end_at(21_000);
+//! }
+//!
+//! kshot_telemetry::uninstall();
+//! let trace = recorder.export_chrome_trace();
+//! assert!(trace.contains("smm.decrypt"));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+mod metrics;
+mod record;
+mod recorder;
+mod span;
+
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS_NS};
+pub use record::{EventRecord, Field, Record, SpanRecord, Value};
+pub use recorder::{Recorder, Sink, DEFAULT_CAPACITY};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Fast gate checked by every emit path before anything else.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+
+/// Install `recorder` as the process-global collector and enable all
+/// instrumentation. Replaces any previous recorder.
+pub fn install(recorder: Arc<Recorder>) {
+    *RECORDER.write().unwrap() = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable instrumentation and detach the recorder, returning it so the
+/// caller can export what was collected.
+pub fn uninstall() -> Option<Arc<Recorder>> {
+    ENABLED.store(false, Ordering::Release);
+    RECORDER.write().unwrap().take()
+}
+
+/// True when a recorder is installed.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed recorder, if any. Cheap-ish (read lock + Arc clone);
+/// emit paths use it only after the atomic gate passes.
+pub fn recorder() -> Option<Arc<Recorder>> {
+    if !is_enabled() {
+        return None;
+    }
+    RECORDER.read().unwrap().clone()
+}
+
+/// Open a wall-clock-only span. Inert (allocation-free) when disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::disabled();
+    }
+    match recorder() {
+        Some(rec) => SpanGuard::open(rec, name, None),
+        None => SpanGuard::disabled(),
+    }
+}
+
+/// Open a span carrying a simulated-clock start timestamp. Close with
+/// [`SpanGuard::end_at`] to record the simulated end as well.
+pub fn span_at(name: &'static str, sim_start_ns: u64) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::disabled();
+    }
+    match recorder() {
+        Some(rec) => SpanGuard::open(rec, name, Some(sim_start_ns)),
+        None => SpanGuard::disabled(),
+    }
+}
+
+/// Emit a field-less instant event.
+pub fn event(name: &'static str) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        span::emit_event(&rec, name, None, Vec::new());
+    }
+}
+
+/// Emit an instant event stamped with simulated time.
+pub fn event_at(name: &'static str, sim_ns: u64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        span::emit_event(&rec, name, Some(sim_ns), Vec::new());
+    }
+}
+
+/// Emit an event with structured fields. The closure builds the field
+/// list and runs only when telemetry is enabled, so call sites pay no
+/// allocation when disabled:
+///
+/// ```
+/// kshot_telemetry::event_with("introspect.violation", Some(42), |f| {
+///     f.push(("kind", "trampoline_reverted".into()));
+///     f.push(("site", 0xdead_beefu64.into()));
+/// });
+/// ```
+pub fn event_with<F>(name: &'static str, sim_ns: Option<u64>, build: F)
+where
+    F: FnOnce(&mut Vec<Field>),
+{
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        let mut fields = Vec::new();
+        build(&mut fields);
+        span::emit_event(&rec, name, sim_ns, fields);
+    }
+}
+
+/// Add `delta` to a counter on the installed recorder's registry.
+pub fn counter(name: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        rec.metrics().counter_add(name, delta);
+    }
+}
+
+/// Set a gauge on the installed recorder's registry.
+pub fn gauge(name: &'static str, value: i64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        rec.metrics().gauge_set(name, value);
+    }
+}
+
+/// Record one histogram observation (default ns buckets).
+pub fn observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        rec.metrics().observe(name, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder is process-wide state; tests touching it are
+    // serialized through this lock so `cargo test`'s parallel runner
+    // cannot interleave install/uninstall.
+    static GLOBAL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_global<R>(f: impl FnOnce(&Arc<Recorder>) -> R) -> R {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = Recorder::with_capacity(4096);
+        install(rec.clone());
+        let out = f(&rec);
+        uninstall();
+        out
+    }
+
+    #[test]
+    fn disabled_paths_are_inert() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!is_enabled());
+        let mut s = span("noop");
+        assert!(!s.is_recording());
+        s.field("k", 1u64);
+        drop(s);
+        event("noop");
+        counter("noop", 1);
+        observe("noop", 1);
+    }
+
+    #[test]
+    fn span_records_parentage_and_sim_time() {
+        with_global(|rec| {
+            {
+                let outer = span_at("outer", 100);
+                {
+                    let inner = span_at("inner", 150);
+                    inner.end_at(300);
+                }
+                outer.end_at(400);
+            }
+            let records = rec.records();
+            assert_eq!(records.len(), 2);
+            // Inner closes (and records) first.
+            let (inner, outer) = match (&records[0], &records[1]) {
+                (Record::Span(a), Record::Span(b)) => (a, b),
+                other => panic!("unexpected records: {other:?}"),
+            };
+            assert_eq!(inner.name, "inner");
+            assert_eq!(outer.name, "outer");
+            assert_eq!(inner.parent, Some(outer.id));
+            assert_eq!(outer.parent, None);
+            assert_eq!(inner.sim_dur_ns(), Some(150));
+            assert_eq!(outer.sim_dur_ns(), Some(300));
+        });
+    }
+
+    #[test]
+    fn events_inherit_current_span_as_parent() {
+        with_global(|rec| {
+            let s = span("holder");
+            let holder_id = s.id().unwrap();
+            event_with("marker", Some(7), |f| f.push(("x", 1u64.into())));
+            drop(s);
+            let records = rec.records();
+            match &records[0] {
+                Record::Event(e) => {
+                    assert_eq!(e.parent, Some(holder_id));
+                    assert_eq!(e.sim_ns, Some(7));
+                    assert_eq!(e.fields, vec![("x", Value::U64(1))]);
+                }
+                other => panic!("expected event, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn metrics_flow_through_global_helpers() {
+        with_global(|rec| {
+            counter("c", 2);
+            counter("c", 1);
+            gauge("g", -5);
+            observe("h", 1_500);
+            let snap = rec.metrics_snapshot();
+            assert_eq!(snap.counter("c"), 3);
+            assert_eq!(snap.gauge("g"), Some(-5));
+            assert_eq!(snap.histogram("h").unwrap().count, 1);
+        });
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = Recorder::with_capacity(3);
+        install(rec.clone());
+        for _ in 0..5 {
+            event("tick");
+        }
+        uninstall();
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    struct CountingSink(std::sync::mpsc::Sender<&'static str>);
+    impl Sink for CountingSink {
+        fn on_record(&mut self, record: &Record) {
+            let _ = self.0.send(record.name());
+        }
+    }
+
+    #[test]
+    fn sinks_see_records_before_eviction() {
+        with_global(|rec| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            rec.add_sink(Box::new(CountingSink(tx)));
+            event("a");
+            event("b");
+            let seen: Vec<_> = rx.try_iter().collect();
+            assert_eq!(seen, vec!["a", "b"]);
+        });
+    }
+}

@@ -1,0 +1,256 @@
+//! Counters, gauges, and fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default histogram bucket upper bounds in nanoseconds: 1µs to ~1s in
+/// roughly decade steps with a 1-2-5 pattern, plus a +Inf overflow
+/// bucket implied at the end. Chosen to resolve both SMM stage times
+/// (tens of µs) and whole live-patch runs (ms to s).
+pub const DEFAULT_BOUNDS_NS: [u64; 16] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+/// One histogram: fixed bounds, counts per bucket (+ overflow), and the
+/// usual scalar aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (inclusive), ascending.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, zero when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Debug)]
+struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Self {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        // partition_point returns the count of bounds strictly below the
+        // value, i.e. the index of the first bucket whose (inclusive)
+        // upper bound admits it; past the last bound it lands on the
+        // overflow slot.
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A point-in-time copy of every metric, name-sorted for deterministic
+/// export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub gauges: Vec<(&'static str, i64)>,
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, zero when never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram by name, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The metrics store attached to a [`Recorder`](crate::Recorder).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named counter (created at zero on first use).
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = inner.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Set the named gauge.
+    pub fn gauge_set(&self, name: &'static str, value: i64) {
+        self.inner.lock().unwrap().gauges.insert(name, value);
+    }
+
+    /// Record one observation in the named histogram (default bounds).
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.observe_with_bounds(name, value, &DEFAULT_BOUNDS_NS);
+    }
+
+    /// Record one observation using explicit bucket bounds. The bounds
+    /// are fixed on first use; later calls with different bounds keep
+    /// the original buckets.
+    pub fn observe_with_bounds(&self, name: &'static str, value: u64, bounds: &'static [u64]) {
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Copy out every metric, name-sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (*k, *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (*k, h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 2);
+        reg.counter_add("c", 3);
+        reg.counter_add("lim", u64::MAX);
+        reg.counter_add("lim", 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("lim"), u64::MAX);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.snapshot().gauge("g"), None);
+        reg.gauge_set("g", 7);
+        reg.gauge_set("g", -3);
+        assert_eq!(reg.snapshot().gauge("g"), Some(-3));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive() {
+        static BOUNDS: [u64; 3] = [10, 100, 1000];
+        let reg = MetricsRegistry::new();
+        // One per region: <=10, ==10 (same bucket), 11 (next), ==1000,
+        // 1001 (overflow).
+        for v in [3, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            reg.observe_with_bounds("h", v, &BOUNDS);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.bounds, vec![10, 100, 1000]);
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_mean_and_empty_defaults() {
+        let reg = MetricsRegistry::new();
+        reg.observe("lat", 100);
+        reg.observe("lat", 300);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("lat").unwrap().mean(), 200);
+        let empty = HistogramSnapshot {
+            bounds: vec![],
+            counts: vec![0],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        assert_eq!(empty.mean(), 0);
+    }
+}

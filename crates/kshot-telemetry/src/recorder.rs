@@ -1,0 +1,145 @@
+//! The bounded ring-buffer recorder and its pluggable sinks.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::record::Record;
+
+/// Default ring capacity: enough for several thousand live-patch runs'
+/// worth of spans without unbounded growth in long soak tests.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Receives every record as it is appended, before ring eviction.
+/// Implementations must be cheap — they run inline on the emitting
+/// thread while the ring lock is held.
+pub trait Sink: Send {
+    fn on_record(&mut self, record: &Record);
+}
+
+struct Ring {
+    records: VecDeque<Record>,
+    dropped: u64,
+}
+
+/// Collects spans, events, and metrics for one observation session.
+///
+/// Records land in a bounded ring (oldest evicted first, with a drop
+/// counter) and are simultaneously fanned out to any attached [`Sink`]s.
+/// Install one globally with [`crate::install`] to switch the
+/// instrumentation on.
+pub struct Recorder {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    sinks: Mutex<Vec<Box<dyn Sink>>>,
+    metrics: MetricsRegistry,
+}
+
+impl Recorder {
+    /// A recorder with the default ring capacity.
+    pub fn new() -> Arc<Recorder> {
+        Recorder::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A recorder holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Arc<Recorder> {
+        assert!(capacity > 0, "recorder capacity must be non-zero");
+        Arc::new(Recorder {
+            epoch: Instant::now(),
+            capacity,
+            ring: Mutex::new(Ring {
+                records: VecDeque::with_capacity(capacity.min(1024)),
+                dropped: 0,
+            }),
+            sinks: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// Nanoseconds of wall clock since this recorder was created.
+    pub fn wall_ns_now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Attach a streaming sink.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        self.sinks.lock().unwrap().push(sink);
+    }
+
+    /// Append one record: fan out to sinks, then retain in the ring,
+    /// evicting the oldest when full.
+    pub fn append(&self, record: Record) {
+        {
+            let mut sinks = self.sinks.lock().unwrap();
+            for sink in sinks.iter_mut() {
+                sink.on_record(&record);
+            }
+        }
+        let mut ring = self.ring.lock().unwrap();
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+
+    /// Snapshot the retained records, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        self.ring.lock().unwrap().records.iter().cloned().collect()
+    }
+
+    /// How many records the ring has evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().records.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The metrics store.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Snapshot of all metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Export retained records as JSON lines (see
+    /// [`crate::export::json_lines`]).
+    pub fn export_json_lines(&self) -> String {
+        crate::export::json_lines(&self.records(), &self.metrics_snapshot())
+    }
+
+    /// Export retained records in Chrome `trace_event` format (see
+    /// [`crate::export::chrome_trace`]).
+    pub fn export_chrome_trace(&self) -> String {
+        crate::export::chrome_trace(&self.records())
+    }
+
+    /// Export a plain-text summary table (see
+    /// [`crate::export::summary`]).
+    pub fn export_summary(&self) -> String {
+        crate::export::summary(&self.records(), &self.metrics_snapshot())
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}

@@ -1,0 +1,171 @@
+//! Span guards and the per-thread parent stack.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::record::{EventRecord, Field, Record, SpanRecord, Value};
+use crate::recorder::Recorder;
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the parent for
+    /// new spans and events.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small stable ordinal for this thread, used instead of the OS tid
+    /// so exports are deterministic-ish across runs.
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The current thread's small ordinal.
+pub(crate) fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+/// The innermost open span id on this thread, if any.
+pub(crate) fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Emit a point event into `recorder` under the current span.
+pub(crate) fn emit_event(
+    recorder: &Arc<Recorder>,
+    name: &'static str,
+    sim_ns: Option<u64>,
+    fields: Vec<Field>,
+) {
+    let rec = EventRecord {
+        parent: current_parent(),
+        name,
+        thread: thread_ordinal(),
+        wall_ns: recorder.wall_ns_now(),
+        sim_ns,
+        fields,
+    };
+    recorder.append(Record::Event(rec));
+}
+
+struct SpanInner {
+    recorder: Arc<Recorder>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    wall_start: Instant,
+    wall_start_ns: u64,
+    sim_start_ns: Option<u64>,
+    sim_end_ns: Option<u64>,
+    fields: Vec<Field>,
+}
+
+/// An open span. Dropping it (or calling [`SpanGuard::end_at`]) records
+/// the interval. When telemetry is disabled the guard is inert and the
+/// entire lifecycle performs no heap allocation.
+#[must_use = "a span measures the interval until it is dropped"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// An inert guard — what every instrumentation site gets when no
+    /// recorder is installed.
+    pub(crate) fn disabled() -> Self {
+        SpanGuard { inner: None }
+    }
+
+    pub(crate) fn open(
+        recorder: Arc<Recorder>,
+        name: &'static str,
+        sim_start_ns: Option<u64>,
+    ) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = current_parent();
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        let wall_start_ns = recorder.wall_ns_now();
+        SpanGuard {
+            inner: Some(SpanInner {
+                recorder,
+                id,
+                parent,
+                name,
+                wall_start: Instant::now(),
+                wall_start_ns,
+                sim_start_ns,
+                sim_end_ns: None,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// True when this guard will record on close (telemetry enabled at
+    /// the time it was opened).
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's id, when recording (for cross-referencing records).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+
+    /// Attach a structured field. No-op on an inert guard.
+    pub fn field(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// Record the simulated-clock end timestamp to be emitted on close.
+    pub fn set_sim_end(&mut self, sim_ns: u64) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.sim_end_ns = Some(sim_ns);
+        }
+    }
+
+    /// Close the span with a simulated end timestamp.
+    pub fn end_at(mut self, sim_ns: u64) {
+        self.set_sim_end(sim_ns);
+    }
+
+    /// Close the span now (same as dropping it, but explicit at call
+    /// sites where the scope would otherwise be unclear).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        // Pop this span off the thread's stack. Guards are expected to
+        // close in LIFO order (they are scope-bound); tolerate misuse by
+        // removing the id wherever it sits.
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            match stack.last() {
+                Some(&top) if top == inner.id => {
+                    stack.pop();
+                }
+                _ => {
+                    if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                        stack.remove(pos);
+                    }
+                }
+            }
+        });
+        let rec = SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            thread: thread_ordinal(),
+            wall_start_ns: inner.wall_start_ns,
+            wall_dur_ns: inner.wall_start.elapsed().as_nanos() as u64,
+            sim_start_ns: inner.sim_start_ns,
+            sim_end_ns: inner.sim_end_ns,
+            fields: inner.fields,
+        };
+        inner.recorder.append(Record::Span(rec));
+    }
+}

@@ -1,0 +1,343 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! Builds a fixed set of records (deterministic ids, threads and
+//! timestamps), renders them with [`kshot_telemetry::export::chrome_trace`]
+//! and compares byte-for-byte against `tests/golden/chrome_trace.json`.
+//! A minimal recursive-descent JSON parser (no external crates) then
+//! checks the output is well-formed JSON with the envelope Perfetto and
+//! `chrome://tracing` expect.
+//!
+//! Regenerate the golden after an intentional format change with
+//! `KSHOT_UPDATE_GOLDEN=1 cargo test -p kshot-telemetry --test chrome_golden`.
+
+use kshot_telemetry::export::chrome_trace;
+use kshot_telemetry::{EventRecord, Record, SpanRecord, Value};
+
+fn fixture() -> Vec<Record> {
+    vec![
+        Record::Span(SpanRecord {
+            id: 1,
+            parent: None,
+            name: "kshot.live_patch",
+            thread: 0,
+            wall_start_ns: 10_000,
+            wall_dur_ns: 900_000,
+            sim_start_ns: Some(1_000),
+            sim_end_ns: Some(61_000),
+            fields: vec![("patch", Value::Str("CVE-2017-7184".to_string()))],
+        }),
+        Record::Span(SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "smm.window",
+            thread: 0,
+            wall_start_ns: 200_000,
+            wall_dur_ns: 80_000,
+            sim_start_ns: Some(5_500),
+            sim_end_ns: Some(48_750),
+            fields: vec![],
+        }),
+        Record::Span(SpanRecord {
+            id: 3,
+            parent: Some(2),
+            name: "smm.decrypt",
+            thread: 0,
+            wall_start_ns: 220_000,
+            wall_dur_ns: 10_000,
+            sim_start_ns: Some(6_000),
+            sim_end_ns: Some(18_123),
+            fields: vec![("bytes", Value::U64(4096))],
+        }),
+        // Wall-only span (e.g. sgx.session): exporter falls back to wall
+        // timestamps when sim endpoints are absent.
+        Record::Span(SpanRecord {
+            id: 4,
+            parent: Some(1),
+            name: "sgx.session",
+            thread: 1,
+            wall_start_ns: 50_000,
+            wall_dur_ns: 120_000,
+            sim_start_ns: None,
+            sim_end_ns: None,
+            fields: vec![("escaped", Value::Str("a\"b\\c\nd".to_string()))],
+        }),
+        Record::Event(EventRecord {
+            parent: Some(3),
+            name: "smm.trampoline",
+            thread: 0,
+            wall_ns: 225_000,
+            sim_ns: Some(17_000),
+            fields: vec![
+                ("site", Value::U64(0x40_0100)),
+                ("target", Value::U64(0x7300_0040)),
+            ],
+        }),
+    ]
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let rendered = chrome_trace(&fixture());
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace.json"
+    );
+    if std::env::var_os("KSHOT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run with KSHOT_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "chrome_trace output drifted from tests/golden/chrome_trace.json \
+         (KSHOT_UPDATE_GOLDEN=1 regenerates after an intentional change)"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_expected_envelope() {
+    let rendered = chrome_trace(&fixture());
+    let value = json::parse(&rendered).expect("exporter must emit valid JSON");
+
+    let obj = match &value {
+        json::Value::Object(o) => o,
+        other => panic!("top level must be an object, got {other:?}"),
+    };
+    assert_eq!(
+        obj.iter()
+            .find(|(k, _)| k == "displayTimeUnit")
+            .map(|(_, v)| v),
+        Some(&json::Value::String("ns".to_string()))
+    );
+    let events = match obj.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v) {
+        Some(json::Value::Array(a)) => a,
+        other => panic!("traceEvents must be an array, got {other:?}"),
+    };
+    assert_eq!(events.len(), fixture().len());
+
+    // Every entry has the mandatory trace_event keys; spans are "X"
+    // (complete) with a duration, instants are "i".
+    for ev in events {
+        let e = match ev {
+            json::Value::Object(o) => o,
+            other => panic!("event must be an object, got {other:?}"),
+        };
+        let get = |k: &str| e.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let ph = match get("ph") {
+            Some(json::Value::String(s)) => s.as_str(),
+            other => panic!("ph must be a string, got {other:?}"),
+        };
+        assert!(matches!(get("name"), Some(json::Value::String(_))));
+        assert!(matches!(get("ts"), Some(json::Value::Number(_))));
+        assert!(matches!(get("pid"), Some(json::Value::Number(_))));
+        assert!(matches!(get("tid"), Some(json::Value::Number(_))));
+        match ph {
+            "X" => assert!(matches!(get("dur"), Some(json::Value::Number(_)))),
+            "i" => assert!(get("dur").is_none()),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+}
+
+/// Minimal JSON parser — just enough to validate exporter output without
+/// pulling in serde. Numbers are parsed as f64; no unicode-escape
+/// decoding beyond pass-through (the validator only needs structure).
+mod json {
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+            {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|e| e.to_string())?
+                .parse::<f64>()
+                .map(Value::Number)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                if self.pos + 4 > self.bytes.len() {
+                                    return Err("truncated \\u escape".to_string());
+                                }
+                                let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                    .map_err(|e| e.to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                self.pos += 4;
+                            }
+                            other => return Err(format!("bad escape {:?}", other as char)),
+                        }
+                    }
+                    Some(c) if c < 0x20 => {
+                        return Err(format!("raw control byte {c:#04x} in string"))
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so
+                        // boundaries are valid).
+                        let s = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|e| e.to_string())?;
+                        let ch = s.chars().next().ok_or("empty")?;
+                        out.push(ch);
+                        self.pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => return Err(format!("expected , or ] got {other:?}")),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(items));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                items.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(items));
+                    }
+                    other => return Err(format!("expected , or }} got {other:?}")),
+                }
+            }
+        }
+    }
+}

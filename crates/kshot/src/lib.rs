@@ -31,6 +31,7 @@ pub use kshot_kcc as kcc;
 pub use kshot_kernel as kernel;
 pub use kshot_machine as machine;
 pub use kshot_patchserver as patchserver;
+pub use kshot_telemetry as telemetry;
 
 /// Shared setup used by examples, integration tests and benchmarks.
 pub mod bench_setup {
@@ -74,9 +75,11 @@ pub mod bench_setup {
     /// A synthetic patch bundle whose payload is exactly `size` bytes of
     /// placeable code — used by the Table II/III sweeps, which vary the
     /// patch size from 40 B to 10 MB.
-    pub fn synthetic_bundle(id: &str, version: KernelVersion, size: usize) ->
-        kshot_patchserver::PatchBundle
-    {
+    pub fn synthetic_bundle(
+        id: &str,
+        version: KernelVersion,
+        size: usize,
+    ) -> kshot_patchserver::PatchBundle {
         use kshot_patchserver::bundle::{PatchBundle, PatchEntry};
         let mut body = vec![kshot_isa::opcodes::NOP; size.max(1)];
         *body.last_mut().expect("nonempty") = kshot_isa::opcodes::RET;

@@ -118,8 +118,6 @@ fn main() {
             }
         );
     }
-    println!(
-        "\npaper's Table V shape: KARMA <5µs; KShot ≈50µs pause, 18MB, TCB = SMM+SGX;"
-    );
+    println!("\npaper's Table V shape: KARMA <5µs; KShot ≈50µs pause, 18MB, TCB = SMM+SGX;");
     println!("kpatch = ms-class (stop_machine); KUP = seconds + checkpoint storage.");
 }

@@ -64,10 +64,11 @@ fn main() {
 
     // The kernel cannot read the patched body (execute-only)…
     let mut probe = [0u8; 8];
-    let kernel_read = system
-        .kernel_mut()
-        .machine_mut()
-        .read_bytes(AccessCtx::Kernel, target, &mut probe);
+    let kernel_read =
+        system
+            .kernel_mut()
+            .machine_mut()
+            .read_bytes(AccessCtx::Kernel, target, &mut probe);
     println!(
         "kernel read of mem_X: {}",
         match kernel_read {

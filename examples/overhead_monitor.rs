@@ -13,6 +13,7 @@
 //! ```
 
 use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot::telemetry;
 use kshot_cve::{find, patch_for, FIGURE_CVES};
 use kshot_kernel::Workload;
 use kshot_machine::SimTime;
@@ -42,6 +43,11 @@ fn main() {
 
     // Patched run: the same workload with 1,000 live patch events
     // (patch + rollback cycles over the §VI-C3 CVE set) interleaved.
+    // A bounded telemetry ring rides along: the counters see all 1,000
+    // patches while the ring keeps only the most recent spans — the
+    // exported trace is the tail of the run, sized for Perfetto.
+    let recorder = telemetry::Recorder::with_capacity(16 * 1024);
+    telemetry::install(recorder.clone());
     let (kernel, server) = boot_benchmark_kernel(spec0.version);
     let mut system = install_kshot(kernel, 4242);
     let cves: Vec<&str> = FIGURE_CVES
@@ -61,6 +67,21 @@ fn main() {
         done_ops += r.ops;
     }
     let patched_elapsed = system.kernel().machine().now() - start;
+    telemetry::uninstall();
+
+    let metrics = recorder.metrics_snapshot();
+    let trace = recorder.export_chrome_trace();
+    std::fs::create_dir_all("target").expect("create target dir");
+    std::fs::write("target/overhead_trace.json", &trace).expect("write trace");
+    println!(
+        "telemetry: {} patches / {} rollbacks / {} SMIs counted; trace tail \
+         ({} records, {} dropped by the ring) -> target/overhead_trace.json",
+        metrics.counter("kshot.patches_applied"),
+        metrics.counter("kshot.rollbacks"),
+        metrics.counter("machine.smi"),
+        recorder.len(),
+        recorder.dropped()
+    );
     let pause: SimTime = system
         .history()
         .iter()
@@ -78,8 +99,8 @@ fn main() {
     // cores in the paper's setup and is excluded, as in §VI-C3 — here we
     // compare pure workload+pause time against the baseline.)
     let visible = baseline.elapsed + pause;
-    let overhead =
-        (visible.as_ns() as f64 - baseline.elapsed.as_ns() as f64) / baseline.elapsed.as_ns() as f64;
+    let overhead = (visible.as_ns() as f64 - baseline.elapsed.as_ns() as f64)
+        / baseline.elapsed.as_ns() as f64;
     println!(
         "overhead:  {:.2}% over {} live patches   [paper: <3%]",
         overhead * 100.0,

@@ -7,9 +7,7 @@
 //! cargo run --release --example perf_tables
 //! ```
 
-use kshot::bench_setup::{
-    boot_benchmark_kernel_on, install_kshot, synthetic_bundle, TABLE_SIZES,
-};
+use kshot::bench_setup::{boot_benchmark_kernel_on, install_kshot, synthetic_bundle, TABLE_SIZES};
 use kshot_core::PatchReport;
 use kshot_cve::{find, patch_for, KernelVersion, FIGURE_CVES};
 use kshot_machine::MemLayout;

@@ -34,7 +34,14 @@ fn main() {
     // 2. Prove the vulnerability is real.
     let exploit = exploit_for(spec);
     let vulnerable = exploit.is_vulnerable(system.kernel_mut()).unwrap();
-    println!("exploit:    {}", if vulnerable { "SUCCEEDS (vulnerable)" } else { "fails" });
+    println!(
+        "exploit:    {}",
+        if vulnerable {
+            "SUCCEEDS (vulnerable)"
+        } else {
+            "fails"
+        }
+    );
     assert!(vulnerable);
 
     // 3. Live patch.
@@ -53,21 +60,31 @@ fn main() {
     println!("SMM  verify:       {}", report.smm.verify);
     println!("SMM  apply:        {}", report.smm.apply);
     println!("SMM  switch out:   {}", report.smm.switch_out);
-    println!("OS paused for:     {}  (the paper's ~50µs claim)", report.smm.total());
+    println!(
+        "OS paused for:     {}  (the paper's ~50µs claim)",
+        report.smm.total()
+    );
     println!("total target time: {}", report.total());
 
     // 4. Prove the fix.
     let still_vulnerable = exploit.is_vulnerable(system.kernel_mut()).unwrap();
     println!(
         "\nexploit after patch: {}",
-        if still_vulnerable { "still succeeds (!!)" } else { "DEFEATED" }
+        if still_vulnerable {
+            "still succeeds (!!)"
+        } else {
+            "DEFEATED"
+        }
     );
     assert!(!still_vulnerable);
 
     // 5. The kernel still works.
     let ops = kshot_kernel::Workload::uniform_mix(&[("sysbench_cpu", 50)], 25, 1)
         .run(system.kernel_mut());
-    println!("post-patch workload: {} ops, {} faults", ops.ops, ops.faults);
+    println!(
+        "post-patch workload: {} ops, {} faults",
+        ops.ops, ops.faults
+    );
     assert_eq!(ops.faults, 0);
     println!("\nquickstart OK");
 }

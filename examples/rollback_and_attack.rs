@@ -64,7 +64,11 @@ fn main() {
     system
         .kernel_mut()
         .machine_mut()
-        .write_u64(AccessCtx::Kernel, reserved.rw_base + rw_offsets::PROGRESS, 1)
+        .write_u64(
+            AccessCtx::Kernel,
+            reserved.rw_base + rw_offsets::PROGRESS,
+            1,
+        )
         .unwrap();
     let probe2 = system.dos_probe().unwrap();
     println!(

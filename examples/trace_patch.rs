@@ -1,0 +1,76 @@
+//! Trace one live patch end to end and export the timeline.
+//!
+//! Installs a telemetry recorder, live-patches one CVE, then:
+//! - writes `target/trace.json` in Chrome `trace_event` format — load
+//!   it at <https://ui.perfetto.dev> or `chrome://tracing` to see the
+//!   span tree (server build → SGX stages → SMM window → sub-stages),
+//! - prints the top-5 slowest spans by simulated time,
+//! - prints the recorder's summary table and counters.
+//!
+//! ```text
+//! cargo run --example trace_patch
+//! ```
+
+use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
+use kshot::telemetry;
+use kshot_cve::{find, patch_for, FIGURE_CVES};
+
+fn main() {
+    let spec = find(FIGURE_CVES[0]).expect("benchmark CVE");
+    println!("== trace_patch: {} ==", spec.id);
+
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 2024);
+
+    // Attach the recorder before driving the pipeline.
+    let recorder = telemetry::Recorder::with_capacity(8192);
+    telemetry::install(recorder.clone());
+
+    let report = system
+        .live_patch(&server, &patch_for(spec))
+        .expect("live patch");
+
+    // A short post-patch workload so the trace shows the OS running again.
+    let workload = kshot_kernel::Workload::uniform_mix(&[("sysbench_cpu", 40)], 50, 7);
+    workload.run(system.kernel_mut());
+
+    telemetry::uninstall();
+
+    // Chrome trace to target/trace.json.
+    let trace = recorder.export_chrome_trace();
+    let out_dir = std::path::Path::new("target");
+    std::fs::create_dir_all(out_dir).expect("create target dir");
+    let path = out_dir.join("trace.json");
+    std::fs::write(&path, &trace).expect("write trace");
+    println!(
+        "wrote {} ({} bytes, {} records, {} dropped) — load in ui.perfetto.dev",
+        path.display(),
+        trace.len(),
+        recorder.len(),
+        recorder.dropped()
+    );
+
+    // Top-5 slowest spans by simulated duration (wall as fallback).
+    let mut spans: Vec<telemetry::SpanRecord> = recorder
+        .records()
+        .into_iter()
+        .filter_map(|r| match r {
+            telemetry::Record::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.sim_dur_ns().unwrap_or(s.wall_dur_ns)));
+    println!("\ntop-5 slowest spans (simulated time; wall time where no sim clock):");
+    for s in spans.iter().take(5) {
+        let dur_ns = s.sim_dur_ns().unwrap_or(s.wall_dur_ns);
+        println!("  {:<28} {:>10.2} us", s.name, dur_ns as f64 / 1e3);
+    }
+
+    println!("\n{}", recorder.export_summary());
+    println!(
+        "patch {} applied: {} trampolines, OS paused {}",
+        report.id,
+        report.trampolines,
+        report.smm.total()
+    );
+}

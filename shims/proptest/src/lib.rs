@@ -1,0 +1,173 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the subset of the `proptest 1.x` API its property
+//! tests use, hand-rolled over a deterministic xoshiro256\*\* stream:
+//!
+//! - [`strategy::Strategy`] with `prop_map` / `boxed`, tuple and range
+//!   strategies, [`strategy::Just`], [`strategy::Union`] (weighted),
+//! - [`arbitrary::any`] for primitives, byte arrays and
+//!   [`sample::Index`],
+//! - [`collection::vec`], [`option::of`],
+//! - the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`].
+//!
+//! **No shrinking**: a failing case reports the generated inputs (via
+//! `Debug`) and the deterministic case seed instead of minimizing. Case
+//! streams are fixed per (test name, case index), so failures reproduce
+//! exactly on re-run. `PROPTEST_CASES` overrides the default case count.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace (`use proptest::prelude::*` makes `prop::...`
+/// paths available, mirroring the real crate's layout).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// Deterministic test RNG (xoshiro256\*\* seeded via SplitMix64). Public
+/// so strategies can draw from it; not part of the real crate's API
+/// surface but namespaced out of the way.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed deterministically from a single word.
+    pub fn seed_from_u64(state: u64) -> Self {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut sm = state;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Fill a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let s = (0u8..16).prop_map(|x| x as u32 + 1);
+        for _ in 0..200 {
+            let v = crate::strategy::Strategy::gen_value(&s, &mut rng);
+            assert!((1..=16).contains(&v));
+        }
+        let u = prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..50 {
+            let v = crate::strategy::Strategy::gen_value(&u, &mut rng);
+            assert!(v == 1 || v == 2);
+        }
+        let vecs = prop::collection::vec(any::<u8>(), 0..5);
+        for _ in 0..100 {
+            assert!(crate::strategy::Strategy::gen_value(&vecs, &mut rng).len() < 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_runs_and_binds(x in 0u64..100, (a, b) in (0u8..4, 0u8..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < 4 && b < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_is_honoured(x in any::<u32>()) {
+            // Would run forever if `cases` were unbounded; reaching here
+            // 7 times is the assertion.
+            let _ = x;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0u8..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

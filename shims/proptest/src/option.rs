@@ -1,0 +1,28 @@
+//! `Option` strategies (`prop::option::of`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// The strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // ~25% None, mirroring the real crate's default bias toward Some.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}
+
+/// A strategy producing `None` or `Some` of the inner strategy's values.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

@@ -1,0 +1,28 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::TestRng;
+
+/// An index into a collection of not-yet-known size: generated as raw
+/// entropy, resolved against a length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Resolve against a collection of `size` elements. Panics when
+    /// `size` is zero, matching the real crate.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.raw % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64(),
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! The [`Strategy`] trait and combinators.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real crate there is no value *tree* (no shrinking): a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a cheaply clonable [`BoxedStrategy`].
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        self.0.gen_value(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Chooses uniformly (or by weight) among several strategies of the same
+/// value type.
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<(u32, S)>,
+    total_weight: u64,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Equal-weight union over the given options. Panics when empty.
+    pub fn new(options: impl IntoIterator<Item = S>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted union. Panics when empty or all-zero-weight.
+    pub fn new_weighted(options: Vec<(u32, S)>) -> Self {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        let total_weight: u64 = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "Union weights sum to zero");
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! impl_range_strategy_wide {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_wide!(u64, usize, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Choose one strategy from a bracketed list, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// A strategy computed by a plain function over the RNG; the expansion
+/// target of [`prop_compose!`](crate::prop_compose).
+#[derive(Debug, Clone)]
+pub struct FnStrategy<F>(F);
+
+impl<T: std::fmt::Debug, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Wrap a generation function as a [`Strategy`].
+pub fn fn_strategy<T: std::fmt::Debug, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+/// Compose named strategies into a value-producing function, mirroring
+/// `proptest::prop_compose!`. No shrinking: the composed strategy draws
+/// each input and evaluates the body.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident $args:tt
+        ( $($pat:pat in $strat:expr),+ $(,)? ) -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name $args -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::fn_strategy(move |__rng: &mut $crate::TestRng| {
+                let ( $($pat,)+ ) =
+                    ( $($crate::strategy::Strategy::gen_value(&($strat), __rng),)+ );
+                $body
+            })
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Regex-pattern string strategies (`"[A-Za-z0-9-]{1,40}"` in a
+// strategy position). Supports the subset the workspace's tests use:
+// literals, `[...]` classes with ranges, `\d`/`\w`/escapes, and the
+// repeats `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded capped at 8).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => return out,
+            '-' => {
+                // A range if squeezed between two literals; else literal.
+                match (prev, chars.peek()) {
+                    (Some(lo), Some(&hi)) if hi != ']' => {
+                        chars.next();
+                        for code in (lo as u32 + 1)..=(hi as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                out.push(ch);
+                            }
+                        }
+                        prev = None;
+                    }
+                    _ => {
+                        out.push('-');
+                        prev = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    out.push(esc);
+                    prev = Some(esc);
+                }
+            }
+            c => {
+                out.push(c);
+                prev = Some(c);
+            }
+        }
+    }
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo = lo.trim().parse().unwrap_or(0);
+                    let hi = hi.trim().parse().unwrap_or(lo + 8);
+                    (lo, hi.max(lo))
+                }
+                None => {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => match chars.next() {
+                Some('d') => ('0'..='9').collect(),
+                Some('w') => ('a'..='z')
+                    .chain('A'..='Z')
+                    .chain('0'..='9')
+                    .chain(std::iter::once('_'))
+                    .collect(),
+                Some(esc) => vec![esc],
+                None => vec!['\\'],
+            },
+            '.' => (' '..='~').collect(),
+            c => vec![c],
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let span = (atom.max - atom.min) as u64;
+            let count = atom.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span + 1) as usize
+                };
+            for _ in 0..count {
+                if atom.choices.is_empty() {
+                    continue;
+                }
+                let idx = rng.below(atom.choices.len() as u64) as usize;
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        self.as_str().gen_value(rng)
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    #[test]
+    fn class_with_trailing_dash_and_counted_repeat() {
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = "[A-Za-z0-9-]{1,40}".gen_value(&mut rng);
+            assert!((1..=40).contains(&s.chars().count()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn literals_escapes_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let s = r"v\d+\.\d{2}z?".gen_value(&mut rng);
+            assert!(s.starts_with('v'), "{s}");
+            let rest = &s[1..];
+            let dot = rest.find('.').expect("dot present");
+            assert!((1..=8).contains(&dot), "{s}");
+            assert!(rest[..dot].chars().all(|c| c.is_ascii_digit()), "{s}");
+            let frac = rest[dot + 1..].trim_end_matches('z');
+            assert_eq!(frac.len(), 2, "{s}");
+            assert!(frac.chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+}

@@ -77,8 +77,7 @@ fn implicated_sets_cover_binary_reality_for_every_cve() {
             layout.kernel_data_base,
         )
         .unwrap();
-        let analysis =
-            kshot_analysis::analyze(&tree, &post_tree, &pre_image, &post_image).unwrap();
+        let analysis = kshot_analysis::analyze(&tree, &post_tree, &pre_image, &post_image).unwrap();
         // Ground truth: which binary bodies actually changed. (Bodies
         // can shift with data-segment growth; restrict to signature-level
         // changes to exclude pure address-materialization differences.)
@@ -86,12 +85,10 @@ fn implicated_sets_cover_binary_reality_for_every_cve() {
         let really_changed: BTreeSet<String> = byte_changed
             .into_iter()
             .filter(|name| {
-                let a = kshot_analysis::signature::signature(
-                    pre_image.function_bytes(name).unwrap(),
-                );
-                let b = kshot_analysis::signature::signature(
-                    post_image.function_bytes(name).unwrap(),
-                );
+                let a =
+                    kshot_analysis::signature::signature(pre_image.function_bytes(name).unwrap());
+                let b =
+                    kshot_analysis::signature::signature(post_image.function_bytes(name).unwrap());
                 a != b
             })
             .collect();

@@ -36,10 +36,7 @@ fn table5_time_ordering_holds() {
         "KShot pause {kshot_pause} < kpatch {}",
         kpatch_report.downtime
     );
-    assert!(
-        kpatch_report.downtime < kup_report.downtime,
-        "kpatch < KUP"
-    );
+    assert!(kpatch_report.downtime < kup_report.downtime, "kpatch < KUP");
     assert!(
         kup_report.downtime >= kshot_baselines::kup::KEXEC_COST,
         "KUP pays seconds"
@@ -63,9 +60,7 @@ fn table5_memory_ordering_holds() {
     let (mut kernel, server) = boot_benchmark_kernel(spec.version);
     for i in 0..4 {
         let id = kernel.spawn(format!("app{i}"), "vfs_noop", &[1]).unwrap();
-        while kernel.run_task_slice(id, 10_000).unwrap()
-            == kshot_kernel::SliceOutcome::Preempted
-        {}
+        while kernel.run_task_slice(id, 10_000).unwrap() == kshot_kernel::SliceOutcome::Preempted {}
     }
     let mut api = OsPatchApi::new();
     let kup_report = Kup

@@ -25,7 +25,9 @@ fn layout_hazard_patches_are_refused_end_to_end() {
     }
     // Kernel untouched and healthy.
     assert!(system.history().is_empty());
-    assert!(exploit_for(spec).is_vulnerable(system.kernel_mut()).unwrap());
+    assert!(exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
 }
 
 #[test]
@@ -45,14 +47,13 @@ fn target_mismatch_is_caught_in_smm() {
     bundle.entries[0].expected_pre_hash[0] ^= 0xFF;
     let err = system.live_patch_bundle(bundle).unwrap_err();
     assert!(
-        matches!(
-            err,
-            KShotError::Smm(SmmError::TargetMismatch { .. })
-        ),
+        matches!(err, KShotError::Smm(SmmError::TargetMismatch { .. })),
         "{err:?}"
     );
     // Exploit state unchanged; a clean patch then works.
-    assert!(exploit_for(spec).is_vulnerable(system.kernel_mut()).unwrap());
+    assert!(exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
     system.live_patch(&server, &patch_for(spec)).unwrap();
     assert!(!exploit_for(spec)
         .is_vulnerable(system.kernel_mut())
@@ -82,7 +83,9 @@ fn corrupted_payload_hash_is_caught_in_smm() {
     }
     let err = system.live_patch_bundle(bundle).unwrap_err();
     assert!(matches!(err, KShotError::Sgx(_)), "{err:?}");
-    assert!(exploit_for(spec).is_vulnerable(system.kernel_mut()).unwrap());
+    assert!(exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
 }
 
 #[test]
@@ -108,7 +111,10 @@ fn oversized_patch_is_refused_by_space_checks() {
     };
     let err = system.live_patch_bundle(bundle).unwrap_err();
     assert!(
-        matches!(err, KShotError::Sgx(kshot_core::sgx_prep::SgxError::NoSpace { .. })),
+        matches!(
+            err,
+            KShotError::Sgx(kshot_core::sgx_prep::SgxError::NoSpace { .. })
+        ),
         "{err:?}"
     );
 }
@@ -135,7 +141,11 @@ fn package_exceeding_mem_w_is_refused_at_staging() {
         system.kernel().machine().mode(),
         kshot_machine::CpuMode::Protected
     );
-    assert_eq!(system.kernel().machine().smi_count(), 1, "only the install SMI");
+    assert_eq!(
+        system.kernel().machine().smi_count(),
+        1,
+        "only the install SMI"
+    );
 }
 
 #[test]
@@ -185,8 +195,7 @@ fn patch_for_nonexistent_function_fails_at_server() {
     let (kernel, server) = boot_benchmark_kernel(spec.version);
     let mut system = install_kshot(kernel, 57);
     let bogus = SourcePatch::new("CVE-GHOST").replacing(
-        kshot_kcc::ir::Function::new("no_such_function", 0, 0)
-            .returning(kshot_kcc::ir::Expr::c(0)),
+        kshot_kcc::ir::Function::new("no_such_function", 0, 0).returning(kshot_kcc::ir::Expr::c(0)),
     );
     assert!(matches!(
         system.live_patch(&server, &bogus),

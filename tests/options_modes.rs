@@ -60,13 +60,8 @@ fn modp_2048_group_works_end_to_end() {
     // rollback, to exercise key rotation at this size too.
     let spec = find("CVE-2017-8251").unwrap();
     let (kernel, server) = boot_benchmark_kernel(spec.version);
-    let mut system = KShot::with_options(
-        kernel,
-        63,
-        DhGroup::Modp2048,
-        VerificationAlgorithm::Sha256,
-    )
-    .unwrap();
+    let mut system =
+        KShot::with_options(kernel, 63, DhGroup::Modp2048, VerificationAlgorithm::Sha256).unwrap();
     let exploit = exploit_for(spec);
     assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
     let report = system.live_patch(&server, &patch_for(spec)).unwrap();

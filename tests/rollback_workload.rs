@@ -133,7 +133,11 @@ fn batch_patching_pays_the_pause_once() {
     // All three exploits dead.
     for spec in &specs {
         let check = exploit_for(spec);
-        assert!(!check.is_vulnerable(batched.kernel_mut()).unwrap(), "{}", spec.id);
+        assert!(
+            !check.is_vulnerable(batched.kernel_mut()).unwrap(),
+            "{}",
+            spec.id
+        );
     }
     // Pause amortization: the batch saves at least two SMI round trips.
     let saved = indiv_pause - report.smm.total();
@@ -146,7 +150,11 @@ fn batch_patching_pays_the_pause_once() {
     assert!(restored.len() >= 3);
     for spec in &specs {
         let check = exploit_for(spec);
-        assert!(check.is_vulnerable(batched.kernel_mut()).unwrap(), "{}", spec.id);
+        assert!(
+            check.is_vulnerable(batched.kernel_mut()).unwrap(),
+            "{}",
+            spec.id
+        );
     }
 }
 
@@ -162,7 +170,9 @@ fn batch_with_overlapping_targets_is_refused() {
     ));
     // Nothing was applied.
     assert!(system.history().is_empty());
-    assert!(exploit_for(spec).is_vulnerable(system.kernel_mut()).unwrap());
+    assert!(exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
 }
 
 #[test]

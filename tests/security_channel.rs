@@ -3,8 +3,8 @@
 
 use kshot_crypto::dh::DhParams;
 use kshot_enclave::SgxPlatform;
-use kshot_patchserver::channel::{ChannelError, SecureChannel, Tamper};
 use kshot_patchserver::bundle::PatchBundle;
+use kshot_patchserver::channel::{ChannelError, SecureChannel, Tamper};
 
 fn channels() -> (SecureChannel, SecureChannel) {
     let params = DhParams::default_group();

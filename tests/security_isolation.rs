@@ -169,7 +169,11 @@ fn dos_suppression_is_detected_by_probe() {
     system
         .kernel_mut()
         .machine_mut()
-        .write_u64(AccessCtx::Kernel, reserved.rw_base + rw_offsets::PROGRESS, 1)
+        .write_u64(
+            AccessCtx::Kernel,
+            reserved.rw_base + rw_offsets::PROGRESS,
+            1,
+        )
         .unwrap();
     let probe = system.dos_probe().unwrap();
     assert!(probe.staged, "staging observed");
