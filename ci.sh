@@ -19,4 +19,14 @@ cargo build --release
 echo "== cargo test =="
 cargo test -q
 
+# Crash-consistency gates (also part of `cargo test -q`, but named here
+# so a failure reads as what it is): the exhaustive patch/rollback fault
+# sweep, and the deterministic fuzz of Channel::open frame orderings
+# (drop/reorder/duplicate/tamper/resync).
+echo "== fault sweep =="
+cargo test -q -p kshot --test fault_sweep
+
+echo "== channel ordering fuzz =="
+cargo test -q -p kshot-patchserver --test prop_channel_orderings
+
 echo "CI OK"

@@ -111,6 +111,53 @@ pub fn check(machine: &mut Machine, handler: &SmmHandler) -> Result<Vec<Violatio
     Ok(violations)
 }
 
+/// One active trampoline site, as recorded in SMRAM ground truth. The
+/// crash-consistency tests use this inventory to assert the record table
+/// agrees with the kernel text after a fault + recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveSite {
+    /// Patched function entry address.
+    pub taddr: u64,
+    /// Bytes skipped before the trampoline (ftrace pad).
+    pub skip: u8,
+    /// `mem_X` placement address of the patched body.
+    pub paddr: u64,
+    /// Body size in bytes.
+    pub size: u32,
+    /// Package id that installed the site.
+    pub id: String,
+}
+
+/// List every active trampoline record. Must run in SMM.
+///
+/// # Errors
+///
+/// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise.
+pub fn active_trampolines(
+    machine: &mut Machine,
+    handler: &SmmHandler,
+) -> Result<Vec<ActiveSite>, SmmError> {
+    if machine.mode() != CpuMode::Smm {
+        return Err(SmmError::NotInSmm);
+    }
+    let mut sites = Vec::new();
+    let count = handler.record_count(machine)?;
+    for i in 0..count {
+        let rec = handler.read_record(machine, i)?;
+        if !rec.active || rec.kind != crate::smm::RecordKind::Trampoline {
+            continue;
+        }
+        sites.push(ActiveSite {
+            taddr: rec.taddr,
+            skip: rec.skip,
+            paddr: rec.paddr,
+            size: rec.size,
+            id: rec.id,
+        });
+    }
+    Ok(sites)
+}
+
 /// Re-install every reverted trampoline; returns how many were repaired.
 /// `mem_X` corruption is *reported* by [`check`] but cannot be repaired
 /// from SMRAM alone (the body is not retained there) — the orchestrator

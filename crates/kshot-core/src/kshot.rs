@@ -13,11 +13,11 @@ use kshot_patchserver::bundle::PatchBundle;
 use kshot_patchserver::channel::SecureChannel;
 use kshot_patchserver::{PatchServer, ServerError, SourcePatch};
 
-use crate::introspect::{self, DosProbe, Violation};
+use crate::introspect::{self, ActiveSite, DosProbe, Violation};
 use crate::package::VerificationAlgorithm;
 use crate::reserved::ReservedLayout;
 use crate::sgx_prep::{Helper, SgxError};
-use crate::smm::{DhGroup, SmmError, SmmHandler};
+use crate::smm::{DhGroup, Recovery, RollbackOutcome, SmmError, SmmHandler};
 
 pub use crate::sgx_prep::SgxTimings;
 pub use crate::smm::SmmTimings;
@@ -77,6 +77,15 @@ pub enum KShotError {
         /// The doubly-patched function.
         function: String,
     },
+    /// A rollback stopped partway. `restored` lists the sites already
+    /// reverted (their records are deactivated); the remainder is rolled
+    /// forward by [`KShot::recover`] on the next SMI.
+    RollbackIncomplete {
+        /// The underlying SMM failure.
+        error: SmmError,
+        /// Sites restored before the failure.
+        restored: Vec<u64>,
+    },
 }
 
 impl fmt::Display for KShotError {
@@ -92,6 +101,13 @@ impl fmt::Display for KShotError {
             }
             KShotError::BatchOverlap { function } => {
                 write!(f, "batch patches `{function}` twice; split the batch")
+            }
+            KShotError::RollbackIncomplete { error, restored } => {
+                write!(
+                    f,
+                    "rollback incomplete after {} site(s): {error}; run recover()",
+                    restored.len()
+                )
             }
         }
     }
@@ -463,20 +479,75 @@ impl KShot {
     /// Rollback/Update"): restores the original entry bytes of every
     /// function the last package trampolined.
     ///
+    /// # Contract
+    ///
+    /// The returned [`RollbackOutcome`] distinguishes sites whose
+    /// original bytes were restored ([`RollbackOutcome::restored`]) from
+    /// `NOT_REVERTIBLE` data writes that could only be *deactivated*
+    /// ([`RollbackOutcome::skipped`]). A non-empty `skipped` means the
+    /// kernel still carries those data edits — the rollback of the
+    /// code paths succeeded, but reaching a fully consistent
+    /// configuration requires re-patching. Each skipped site bumps the
+    /// `kshot.rollback_skipped` telemetry counter.
+    ///
     /// # Errors
     ///
-    /// [`SmmError::RollbackEmpty`] when no patch is active.
-    pub fn rollback_last(&mut self) -> Result<Vec<u64>, KShotError> {
+    /// * [`KShotError::Smm`] with [`SmmError::RollbackEmpty`] when no
+    ///   patch is active (nothing was touched).
+    /// * [`KShotError::RollbackIncomplete`] when the rollback stopped
+    ///   after restoring some sites; [`KShot::recover`] rolls the
+    ///   remainder forward.
+    pub fn rollback_last(&mut self) -> Result<RollbackOutcome, KShotError> {
         let machine = self.kernel.machine_mut();
         let mut span = kshot_telemetry::span_at("kshot.rollback", machine.now().as_ns());
         machine.raise_smi()?;
         let result = self.smm.handle_rollback(machine);
         machine.rsm()?;
         span.set_sim_end(machine.now().as_ns());
-        let restored = result?;
+        let outcome = result.map_err(|f| {
+            if f.restored.is_empty() {
+                // Nothing was reverted: surface the plain error.
+                KShotError::Smm(f.error)
+            } else {
+                KShotError::RollbackIncomplete {
+                    error: f.error,
+                    restored: f.restored,
+                }
+            }
+        })?;
         kshot_telemetry::counter("kshot.rollbacks", 1);
-        span.field("restored", restored.len());
-        Ok(restored)
+        if !outcome.skipped.is_empty() {
+            kshot_telemetry::counter("kshot.rollback_skipped", outcome.skipped.len() as u64);
+        }
+        span.field("restored", outcome.restored.len());
+        span.field("skipped", outcome.skipped.len());
+        Ok(outcome)
+    }
+
+    /// Recover from a patch or rollback interrupted mid-SMM-window
+    /// (power loss, machine fault): raises an SMI and lets the handler
+    /// replay or unwind the SMRAM journal. Safe to call any time —
+    /// returns [`Recovery::Clean`] when nothing was interrupted.
+    ///
+    /// Until this runs, a pending journal makes `live_patch` /
+    /// `rollback_last` refuse with [`SmmError::RecoveryPending`].
+    ///
+    /// # Errors
+    ///
+    /// Machine faults during recovery (the journal stays open; call
+    /// again).
+    pub fn recover(&mut self) -> Result<Recovery, KShotError> {
+        let machine = self.kernel.machine_mut();
+        let mut span = kshot_telemetry::span_at("kshot.recover", machine.now().as_ns());
+        machine.raise_smi()?;
+        let result = self.smm.recover(machine, &self.reserved);
+        machine.rsm()?;
+        span.set_sim_end(machine.now().as_ns());
+        let recovery = result?;
+        if !matches!(recovery, Recovery::Clean) {
+            kshot_telemetry::counter("kshot.recoveries", 1);
+        }
+        Ok(recovery)
     }
 
     /// SMM-based introspection sweep (paper §V-D): detect reverted
@@ -495,6 +566,21 @@ impl KShot {
         let violations = result?;
         span.field("violations", violations.len());
         Ok(violations)
+    }
+
+    /// Inventory of active trampoline sites from SMRAM ground truth
+    /// (the crash-consistency tests compare this against the kernel
+    /// text).
+    ///
+    /// # Errors
+    ///
+    /// Machine faults during the sweep.
+    pub fn active_sites(&mut self) -> Result<Vec<ActiveSite>, KShotError> {
+        let machine = self.kernel.machine_mut();
+        machine.raise_smi()?;
+        let result = introspect::active_trampolines(machine, &self.smm);
+        machine.rsm()?;
+        Ok(result?)
     }
 
     /// Repair reverted trampolines; returns how many were re-installed.
@@ -636,7 +722,8 @@ mod tests {
             u64::MAX
         );
         let restored = kshot.rollback_last().unwrap();
-        assert_eq!(restored.len(), 1);
+        assert_eq!(restored.restored.len(), 1);
+        assert!(restored.skipped.is_empty());
         // Vulnerable again (proving the original bytes came back).
         assert_eq!(
             kshot

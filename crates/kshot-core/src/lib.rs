@@ -46,6 +46,8 @@ pub mod reserved;
 pub mod sgx_prep;
 pub mod smm;
 
+pub use introspect::ActiveSite;
 pub use kshot::{KShot, KShotError, PatchReport, SgxTimings, SmmTimings};
 pub use package::{PatchPackage, VerificationAlgorithm};
 pub use reserved::ReservedLayout;
+pub use smm::{JournalState, Recovery, RollbackFailure, RollbackOutcome};

@@ -14,6 +14,34 @@
 //! 4. apply global edits, place bodies in `mem_X`, install trampolines
 //!    honouring the 5-byte ftrace pads,
 //! 5. publish a fresh DH public for the next patch and `RSM`.
+//!
+//! # Crash consistency
+//!
+//! The paper's dependability claim (§V-C "Patch Rollback/Update") is
+//! that a patch either takes effect completely or the original kernel
+//! is restored. A fault mid-window — machine check, NMI-in-SMM, power
+//! loss — must not leave kernel text half-patched. Both mutating entry
+//! points are therefore journaled two-phase operations over a reserved
+//! SMRAM journal region:
+//!
+//! * [`SmmHandler::handle_patch`] writes an **undo record** (original
+//!   bytes) into the journal *before* every kernel-visible write, and
+//!   commits (journal → idle) only after the last write. An interrupted
+//!   apply is **unwound** by [`SmmHandler::recover`]: journaled
+//!   originals are restored in reverse, and the record table and
+//!   `mem_X` cursor snap back to their pre-op values.
+//! * [`SmmHandler::handle_rollback`] journals the **intent** (the
+//!   package id being rolled back); the per-site originals already live
+//!   in the SMRAM record table, and each record is deactivated only
+//!   *after* its restore write succeeds. An interrupted rollback is
+//!   **rolled forward** by [`SmmHandler::recover`]: every still-active
+//!   record of the journaled id is restored and deactivated.
+//!
+//! While a journal entry is pending, both entry points refuse with
+//! [`SmmError::RecoveryPending`] — the orchestrator must run
+//! [`SmmHandler::recover`] (on the next SMI) first. The fault-injection
+//! sweep in `tests/fault_sweep.rs` drives every interruption point of
+//! both operations and asserts the all-or-nothing invariant.
 
 use std::fmt;
 
@@ -107,6 +135,18 @@ pub enum SmmError {
     Machine(MachineError),
     /// The staged ciphertext length in `mem_RW` is implausible.
     BadStagedLength(u64),
+    /// The package needs more undo-journal slots than the SMRAM journal
+    /// region holds (raised during verification, before any write).
+    JournalFull {
+        /// Slots the package would need.
+        needed: u64,
+        /// Slots available.
+        capacity: u64,
+    },
+    /// A previous patch or rollback was interrupted mid-window and its
+    /// journal entry is still pending; run [`SmmHandler::recover`]
+    /// before any new operation.
+    RecoveryPending,
 }
 
 impl fmt::Display for SmmError {
@@ -133,6 +173,18 @@ impl fmt::Display for SmmError {
             SmmError::RollbackEmpty => write!(f, "no patch to roll back"),
             SmmError::Machine(e) => write!(f, "machine fault: {e}"),
             SmmError::BadStagedLength(n) => write!(f, "implausible staged length {n}"),
+            SmmError::JournalFull { needed, capacity } => {
+                write!(
+                    f,
+                    "SMRAM journal too small: {needed} slots needed, {capacity} available"
+                )
+            }
+            SmmError::RecoveryPending => {
+                write!(
+                    f,
+                    "interrupted operation pending in SMRAM journal; recover first"
+                )
+            }
         }
     }
 }
@@ -157,6 +209,128 @@ const OFF_RECORDS: u64 = 0x100;
 pub(crate) const RECORD_LEN: u64 = 128;
 /// Maximum records the scratch area holds.
 pub(crate) const RECORD_CAP: u32 = 512;
+
+// ---- SMRAM journal layout -------------------------------------------------
+//
+// The journal sits above the record store (records end at
+// OFF_RECORDS + 8 + RECORD_CAP * RECORD_LEN = 0x10108) in the same
+// SMM-only scratch area, so it inherits the SMRAM isolation argument:
+// a compromised kernel can neither forge nor erase recovery state.
+//
+// Header (offsets relative to scratch + OFF_JOURNAL):
+//   +0   STATE        u64   0 = idle, 1 = apply in progress,
+//                            2 = rollback in progress
+//   +8   ENTRY_COUNT  u64   undo entries valid so far
+//   +16  INIT_RECORDS u64   record count when the op began
+//   +24  INIT_PADDR   u64   mem_X cursor when the op began
+//   +32  ID           len u8 + up to 55 bytes (package id)
+//   +0x80 entries, JENTRY_LEN bytes each:
+//        addr u64 | len u32 | orig bytes (JENTRY_ORIG max) | pad
+//
+// Write ordering is the consistency argument: an entry's bytes are
+// written before ENTRY_COUNT acknowledges it, and ENTRY_COUNT is
+// bumped before the kernel write the entry protects — so at every
+// interruption point the counted prefix of the journal is exactly the
+// set of kernel writes that may have landed. STATE is written last on
+// begin and first on commit for the same reason.
+
+const OFF_JOURNAL: u64 = 0x11000;
+const JOFF_STATE: u64 = OFF_JOURNAL;
+const JOFF_ENTRY_COUNT: u64 = OFF_JOURNAL + 8;
+const JOFF_INIT_RECORDS: u64 = OFF_JOURNAL + 16;
+const JOFF_INIT_PADDR: u64 = OFF_JOURNAL + 24;
+const JOFF_ID: u64 = OFF_JOURNAL + 32;
+const JOFF_ENTRIES: u64 = OFF_JOURNAL + 0x80;
+/// Fixed size of one undo-journal entry.
+const JENTRY_LEN: u64 = 80;
+/// Original bytes captured per undo entry; longer writes chain entries.
+pub(crate) const JENTRY_ORIG: usize = 64;
+/// Undo entries the journal region holds.
+pub(crate) const JENTRY_CAP: u64 = 256;
+
+/// Journal state tags (`STATE` field values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalState {
+    /// No operation in flight; nothing to recover.
+    Idle,
+    /// A `handle_patch` was interrupted; recovery unwinds it.
+    ApplyInProgress,
+    /// A `handle_rollback` was interrupted; recovery completes it.
+    RollbackInProgress,
+}
+
+const JSTATE_IDLE: u64 = 0;
+const JSTATE_APPLY: u64 = 1;
+const JSTATE_ROLLBACK: u64 = 2;
+
+/// What [`SmmHandler::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recovery {
+    /// The journal was idle; nothing was interrupted.
+    Clean,
+    /// An interrupted patch apply was unwound: every journaled original
+    /// byte range was restored and the record table / `mem_X` cursor
+    /// reset, so the kernel is byte-identical to its pre-patch state.
+    UnwoundApply {
+        /// Package id of the unwound patch.
+        id: String,
+        /// Undo entries replayed (in reverse).
+        writes_undone: usize,
+    },
+    /// An interrupted rollback was rolled forward to completion: every
+    /// still-active record of the journaled package id was restored and
+    /// deactivated.
+    CompletedRollback {
+        /// Package id of the completed rollback.
+        id: String,
+        /// Target addresses restored during recovery.
+        restored: Vec<u64>,
+        /// Non-revertible data-write targets skipped (operator must
+        /// re-patch; see [`SmmHandler::handle_rollback`]).
+        skipped: Vec<u64>,
+    },
+}
+
+/// Result of a completed rollback.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RollbackOutcome {
+    /// Target addresses whose original bytes were restored.
+    pub restored: Vec<u64>,
+    /// Targets of `NOT_REVERTIBLE` data writes: deactivated but *not*
+    /// restored. A non-empty list means the kernel still carries those
+    /// data edits and the operator must re-patch to reach a consistent
+    /// configuration.
+    pub skipped: Vec<u64>,
+}
+
+/// A rollback that stopped partway: `error` says why, `restored` lists
+/// the sites already reverted (their records are already deactivated,
+/// so a later retry or [`SmmHandler::recover`] continues from here —
+/// nothing is double-restored and nothing is forgotten).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollbackFailure {
+    /// The underlying failure.
+    pub error: SmmError,
+    /// Sites restored before the failure.
+    pub restored: Vec<u64>,
+}
+
+impl fmt::Display for RollbackFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rollback interrupted after {} site(s): {}",
+            self.restored.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for RollbackFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// What a record undoes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,6 +472,8 @@ impl SmmHandler {
         h.write_u64(machine, OFF_NEXT_PADDR, reserved.x_base)?;
         machine.write_bytes(AccessCtx::Smm, h.scratch + OFF_DH_SEED, entropy)?;
         h.set_record_count(machine, 0)?;
+        h.write_u64(machine, JOFF_STATE, JSTATE_IDLE)?;
+        h.write_u64(machine, JOFF_ENTRY_COUNT, 0)?;
         h.publish_public(machine, reserved)?;
         h.publish_cursor(machine, reserved)?;
         Ok(h)
@@ -389,6 +565,131 @@ impl SmmHandler {
         self.set_record_count(machine, count + 1)
     }
 
+    /// Make room for `needed` more records *before* the journaled window
+    /// opens, compacting inactive records if required. Compaction moves
+    /// records and is therefore not crash-atomic — running it outside
+    /// the journal window keeps the window itself append-only (undone by
+    /// resetting the count). A crash mid-compaction can at worst leave a
+    /// duplicated *active* record below the old count, which is benign:
+    /// both copies restore the same original bytes.
+    fn ensure_record_capacity(&self, machine: &mut Machine, needed: u32) -> Result<(), SmmError> {
+        let count = self.record_count(machine)?;
+        if count.saturating_add(needed) <= RECORD_CAP {
+            return Ok(());
+        }
+        let mut keep = Vec::new();
+        for i in 0..count {
+            let r = self.read_record(machine, i)?;
+            if r.active {
+                keep.push(r);
+            }
+        }
+        if keep.len() as u32 + needed > RECORD_CAP {
+            return Err(SmmError::StoreFull);
+        }
+        for (i, r) in keep.iter().enumerate() {
+            self.write_record(machine, i as u32, r)?;
+        }
+        self.set_record_count(machine, keep.len() as u32)
+    }
+
+    // ---- journal primitives ------------------------------------------
+
+    /// Read the journal state tag. Unknown tags (corrupted SMRAM would
+    /// require an SMM-level compromise, but be defensive) map to the
+    /// in-progress state that forces recovery.
+    pub(crate) fn journal_state(&self, machine: &mut Machine) -> Result<JournalState, SmmError> {
+        Ok(match self.read_u64(machine, JOFF_STATE)? {
+            JSTATE_IDLE => JournalState::Idle,
+            JSTATE_ROLLBACK => JournalState::RollbackInProgress,
+            _ => JournalState::ApplyInProgress,
+        })
+    }
+
+    /// Open the journal window: init the header fields, then write STATE
+    /// *last* so a crash mid-begin leaves the journal idle (nothing has
+    /// been applied yet at that point).
+    fn journal_begin(&self, machine: &mut Machine, state: u64, id: &str) -> Result<(), SmmError> {
+        self.write_u64(machine, JOFF_ENTRY_COUNT, 0)?;
+        let records = self.record_count(machine)? as u64;
+        self.write_u64(machine, JOFF_INIT_RECORDS, records)?;
+        let paddr = self.read_u64(machine, OFF_NEXT_PADDR)?;
+        self.write_u64(machine, JOFF_INIT_PADDR, paddr)?;
+        let id_bytes = id.as_bytes();
+        let n = id_bytes.len().min(55);
+        let mut idbuf = [0u8; 56];
+        idbuf[0] = n as u8;
+        idbuf[1..1 + n].copy_from_slice(&id_bytes[..n]);
+        machine.write_bytes(AccessCtx::Smm, self.scratch + JOFF_ID, &idbuf)?;
+        self.write_u64(machine, JOFF_STATE, state)
+    }
+
+    /// Close the journal window: STATE goes back to idle *first*; the
+    /// stale header/entries behind it are ignored once idle.
+    fn journal_commit(&self, machine: &mut Machine) -> Result<(), SmmError> {
+        self.write_u64(machine, JOFF_STATE, JSTATE_IDLE)?;
+        self.write_u64(machine, JOFF_ENTRY_COUNT, 0)?;
+        kshot_telemetry::counter("smm.journal_commit", 1);
+        Ok(())
+    }
+
+    fn journal_read_id(&self, machine: &mut Machine) -> Result<String, SmmError> {
+        let mut idbuf = [0u8; 56];
+        machine.read_bytes(AccessCtx::Smm, self.scratch + JOFF_ID, &mut idbuf)?;
+        let n = (idbuf[0] as usize).min(55);
+        Ok(String::from_utf8_lossy(&idbuf[1..1 + n]).into_owned())
+    }
+
+    /// Capture the current bytes at `addr..addr + len` into fresh undo
+    /// entries (chained in [`JENTRY_ORIG`]-byte chunks). Each entry's
+    /// bytes land *before* `ENTRY_COUNT` acknowledges it, and the caller
+    /// performs the protected kernel write only after this returns — so
+    /// the counted journal prefix always covers every write that may
+    /// have landed.
+    fn journal_log_orig(
+        &self,
+        machine: &mut Machine,
+        addr: u64,
+        len: usize,
+    ) -> Result<(), SmmError> {
+        let mut count = self.read_u64(machine, JOFF_ENTRY_COUNT)?;
+        let mut off = 0usize;
+        while off < len {
+            let chunk = (len - off).min(JENTRY_ORIG);
+            if count >= JENTRY_CAP {
+                return Err(SmmError::JournalFull {
+                    needed: count + 1,
+                    capacity: JENTRY_CAP,
+                });
+            }
+            let mut buf = [0u8; JENTRY_LEN as usize];
+            buf[..8].copy_from_slice(&(addr + off as u64).to_le_bytes());
+            buf[8..12].copy_from_slice(&(chunk as u32).to_le_bytes());
+            machine.read_bytes(AccessCtx::Smm, addr + off as u64, &mut buf[12..12 + chunk])?;
+            let slot = self.scratch + JOFF_ENTRIES + count * JENTRY_LEN;
+            machine.write_bytes(AccessCtx::Smm, slot, &buf)?;
+            count += 1;
+            self.write_u64(machine, JOFF_ENTRY_COUNT, count)?;
+            off += chunk;
+        }
+        Ok(())
+    }
+
+    fn journal_entry(
+        &self,
+        machine: &mut Machine,
+        idx: u64,
+    ) -> Result<(u64, usize, [u8; JENTRY_ORIG]), SmmError> {
+        let mut buf = [0u8; JENTRY_LEN as usize];
+        let slot = self.scratch + JOFF_ENTRIES + idx * JENTRY_LEN;
+        machine.read_bytes(AccessCtx::Smm, slot, &mut buf)?;
+        let addr = u64::from_le_bytes(buf[..8].try_into().expect("8"));
+        let len = (u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize).min(JENTRY_ORIG);
+        let mut orig = [0u8; JENTRY_ORIG];
+        orig.copy_from_slice(&buf[12..12 + JENTRY_ORIG]);
+        Ok((addr, len, orig))
+    }
+
     fn current_keypair(&self, machine: &mut Machine) -> Result<DhKeyPair, SmmError> {
         let mut seed = [0u8; 32];
         machine.read_bytes(AccessCtx::Smm, self.scratch + OFF_DH_SEED, &mut seed)?;
@@ -459,6 +760,9 @@ impl SmmHandler {
         if machine.mode() != CpuMode::Smm {
             return Err(SmmError::NotInSmm);
         }
+        if self.journal_state(machine)? != JournalState::Idle {
+            return Err(SmmError::RecoveryPending);
+        }
         let mut timings = SmmTimings {
             switch_in: machine.cost().smm_entry,
             switch_out: machine.cost().smm_exit,
@@ -504,8 +808,25 @@ impl SmmHandler {
         // one package cannot overlap each other either — the enclave's
         // assignment is re-checked, not trusted.
         let mut virtual_next = self.read_u64(machine, OFF_NEXT_PADDR)?;
+        // Undo-journal slots this package will need: one per trampoline
+        // site, ceil(len / JENTRY_ORIG) per global write. Checked here,
+        // before any byte of kernel state changes, so JournalFull can
+        // never strike mid-apply.
+        let mut journal_slots = 0u64;
+        let mut new_records = 0u32;
         for rec in &package.records {
             verify_bytes += rec.payload.len();
+            match rec.op {
+                PackageOp::GlobalWrite => {
+                    journal_slots += (rec.payload.len() as u64).div_ceil(JENTRY_ORIG as u64);
+                    new_records += 1;
+                }
+                PackageOp::Patch => {
+                    journal_slots += 1;
+                    new_records += 1;
+                }
+                PackageOp::PlaceOnly => {}
+            }
             if !rec.verify_payload(package.algorithm) {
                 return Err(SmmError::PayloadHashMismatch {
                     sequence: rec.sequence,
@@ -543,6 +864,12 @@ impl SmmHandler {
                 virtual_next = end.expect("checked above");
             }
         }
+        if journal_slots > JENTRY_CAP {
+            return Err(SmmError::JournalFull {
+                needed: journal_slots,
+                capacity: JENTRY_CAP,
+            });
+        }
         let verify_cost = machine.cost().smm_verify.for_bytes(verify_bytes);
         let verify_cost = match package.algorithm {
             VerificationAlgorithm::Sha256 => verify_cost,
@@ -552,9 +879,14 @@ impl SmmHandler {
         timings.verify = machine.now() - t2;
         verify_span.field("bytes", verify_bytes);
         verify_span.end_at(machine.now().as_ns());
-        // 4. Apply.
+        // 4. Apply, under an open undo-journal window. Record-store
+        // compaction (if due) happens first so the journaled window
+        // itself only ever *appends* records — undone by resetting the
+        // count to INIT_RECORDS.
         let t3 = machine.now();
         let mut apply_span = kshot_telemetry::span_at("smm.apply", t3.as_ns());
+        self.ensure_record_capacity(machine, new_records)?;
+        self.journal_begin(machine, JSTATE_APPLY, &package.id)?;
         let mut trampolines = 0usize;
         let mut global_writes = 0usize;
         let mut applied_bytes = 0usize;
@@ -574,6 +906,10 @@ impl SmmHandler {
                     } else {
                         NOT_REVERTIBLE
                     };
+                    // The undo journal captures the *full* original
+                    // (chunked), so even writes too long for the record
+                    // store are unwound if this apply is interrupted.
+                    self.journal_log_orig(machine, rec.taddr, rec.payload.len())?;
                     machine.write_bytes(AccessCtx::Smm, rec.taddr, &rec.payload)?;
                     self.append_record(
                         machine,
@@ -612,6 +948,7 @@ impl SmmHandler {
                                 paddr: rec.paddr,
                             }
                         })?;
+                        self.journal_log_orig(machine, site, jmp.len())?;
                         machine.write_bytes(AccessCtx::Smm, site, &jmp)?;
                         applied_bytes += jmp.len();
                         trampolines += 1;
@@ -650,7 +987,12 @@ impl SmmHandler {
         timings.apply = machine.now() - t3;
         apply_span.field("bytes", applied_bytes);
         apply_span.end_at(machine.now().as_ns());
-        // 5. Rotate the key for the next patch and publish the cursor.
+        // 5. Commit: every protected write has landed, so close the
+        // journal window. A fault from here on leaves a *fully applied*
+        // patch (the all-or-nothing invariant holds); only key rotation
+        // and cursor publication may need to be repeated.
+        self.journal_commit(machine)?;
+        // 6. Rotate the key for the next patch and publish the cursor.
         self.rotate_key(machine, reserved, fresh_entropy)?;
         self.publish_cursor(machine, reserved)?;
         // Clear the staged length so a re-trigger cannot re-apply.
@@ -670,16 +1012,83 @@ impl SmmHandler {
     /// its package id), restoring the original entry bytes (paper §V-C,
     /// "Patch Rollback/Update").
     ///
+    /// Each record is deactivated only *after* its restore write
+    /// succeeds, so the set of active records is always exactly the set
+    /// of sites still carrying patched bytes. `NOT_REVERTIBLE` data
+    /// writes cannot be restored; they are deactivated and surfaced in
+    /// [`RollbackOutcome::skipped`] — the kernel still carries those
+    /// edits and the operator must re-patch.
+    ///
     /// # Errors
     ///
-    /// [`SmmError::RollbackEmpty`] when nothing is active.
-    pub fn handle_rollback(&self, machine: &mut Machine) -> Result<Vec<u64>, SmmError> {
-        if machine.mode() != CpuMode::Smm {
-            return Err(SmmError::NotInSmm);
+    /// [`RollbackFailure`] carrying the underlying [`SmmError`]
+    /// ([`SmmError::RollbackEmpty`] when nothing is active) plus the
+    /// sites already restored before the failure. A mid-loop failure
+    /// leaves the journal open; [`SmmHandler::recover`] rolls the
+    /// remainder forward.
+    pub fn handle_rollback(
+        &self,
+        machine: &mut Machine,
+    ) -> Result<RollbackOutcome, RollbackFailure> {
+        fn fail(error: SmmError) -> RollbackFailure {
+            RollbackFailure {
+                error,
+                restored: Vec::new(),
+            }
         }
+        if machine.mode() != CpuMode::Smm {
+            return Err(fail(SmmError::NotInSmm));
+        }
+        match self.journal_state(machine).map_err(fail)? {
+            JournalState::Idle => {}
+            _ => return Err(fail(SmmError::RecoveryPending)),
+        }
+        let count = self.record_count(machine).map_err(fail)?;
+        // Find the last active record; its package id is the rollback
+        // target.
+        let mut target = None;
+        for i in (0..count).rev() {
+            let r = self.read_record(machine, i).map_err(fail)?;
+            if r.active {
+                target = Some(r.id);
+                break;
+            }
+        }
+        let Some(id) = target else {
+            return Err(fail(SmmError::RollbackEmpty));
+        };
+        // Journal the intent (package id) before the first restore; the
+        // per-site originals already live in the record table, so the
+        // journal needs no undo entries — recovery rolls *forward*.
+        self.journal_begin(machine, JSTATE_ROLLBACK, &id)
+            .map_err(fail)?;
+        let mut restored = Vec::new();
+        let mut skipped = Vec::new();
+        if let Err(error) = self.restore_run(machine, &id, &mut restored, &mut skipped) {
+            return Err(RollbackFailure { error, restored });
+        }
+        if let Err(error) = self.journal_commit(machine) {
+            return Err(RollbackFailure { error, restored });
+        }
+        Ok(RollbackOutcome { restored, skipped })
+    }
+
+    /// Restore and deactivate the topmost contiguous run of active
+    /// records carrying package `id`, newest first. Shared by
+    /// [`SmmHandler::handle_rollback`] and the roll-forward path of
+    /// [`SmmHandler::recover`]; because deactivation follows each
+    /// restore, re-running after an interruption resumes exactly where
+    /// the previous attempt stopped (re-restoring an already-restored
+    /// site is idempotent).
+    fn restore_run(
+        &self,
+        machine: &mut Machine,
+        id: &str,
+        restored: &mut Vec<u64>,
+        skipped: &mut Vec<u64>,
+    ) -> Result<(), SmmError> {
         let count = self.record_count(machine)?;
-        // Find the last active record and its package id.
-        let mut last_active: Option<(u32, String)> = None;
+        let mut last_active = None;
         for i in (0..count).rev() {
             let r = self.read_record(machine, i)?;
             if r.active {
@@ -687,8 +1096,14 @@ impl SmmHandler {
                 break;
             }
         }
-        let (last, id) = last_active.ok_or(SmmError::RollbackEmpty)?;
-        let mut restored = Vec::new();
+        // Nothing active, or a different package on top: the run for
+        // `id` is already fully restored.
+        let Some((last, lid)) = last_active else {
+            return Ok(());
+        };
+        if lid != id {
+            return Ok(());
+        }
         for i in (0..=last).rev() {
             let mut r = self.read_record(machine, i)?;
             if !r.active || r.id != id {
@@ -708,15 +1123,102 @@ impl SmmHandler {
                             &r.orig[..r.orig_len as usize],
                         )?;
                         restored.push(r.taddr);
+                    } else {
+                        // Non-revertible data writes are deactivated but
+                        // not restored; surfaced so the operator knows
+                        // the kernel still carries them.
+                        skipped.push(r.taddr);
                     }
-                    // Non-revertible data writes are deactivated but not
-                    // restored; the operator re-patches instead.
                 }
             }
+            // Deactivate only after the restore landed: active records
+            // remain an exact inventory of still-patched sites.
             r.active = false;
             self.write_record(machine, i, &r)?;
         }
-        Ok(restored)
+        Ok(())
+    }
+
+    /// Recover from an operation interrupted mid-SMM-window (power loss,
+    /// injected fault): called from the next SMI before any new patch or
+    /// rollback is accepted.
+    ///
+    /// * An interrupted **apply** is unwound — the journaled original
+    ///   bytes are replayed newest-first, the record count and `mem_X`
+    ///   cursor are reset to their pre-patch values, and the staged
+    ///   ciphertext is discarded.
+    /// * An interrupted **rollback** is rolled forward — every
+    ///   still-active record of the journaled package id is restored and
+    ///   deactivated.
+    ///
+    /// Recovery is idempotent: if it is itself interrupted the journal
+    /// stays open and a later call resumes (replayed undo writes and
+    /// re-restored sites write the same bytes again).
+    ///
+    /// In every case — including a clean (already-committed) journal —
+    /// recovery re-derives the published `mem_RW` view from SMRAM: the
+    /// DH public value, the key epoch, and the `mem_X` cursor. A fault
+    /// *after* the commit point (during key rotation or cursor
+    /// publication) leaves the kernel fully patched but the published
+    /// key material stale, which would wedge the next session; the
+    /// republish heals it.
+    ///
+    /// # Errors
+    ///
+    /// [`SmmError::NotInSmm`] outside SMM; machine faults otherwise (the
+    /// journal window stays open so recovery can be retried).
+    pub fn recover(
+        &self,
+        machine: &mut Machine,
+        reserved: &ReservedLayout,
+    ) -> Result<Recovery, SmmError> {
+        if machine.mode() != CpuMode::Smm {
+            return Err(SmmError::NotInSmm);
+        }
+        let outcome: Recovery = match self.journal_state(machine)? {
+            JournalState::Idle => Recovery::Clean,
+            JournalState::ApplyInProgress => {
+                let id = self.journal_read_id(machine)?;
+                let n = self.read_u64(machine, JOFF_ENTRY_COUNT)?;
+                for i in (0..n).rev() {
+                    let (addr, len, orig) = self.journal_entry(machine, i)?;
+                    machine.write_bytes(AccessCtx::Smm, addr, &orig[..len])?;
+                }
+                let init_records = self.read_u64(machine, JOFF_INIT_RECORDS)?;
+                self.set_record_count(machine, init_records as u32)?;
+                let init_paddr = self.read_u64(machine, JOFF_INIT_PADDR)?;
+                self.write_u64(machine, OFF_NEXT_PADDR, init_paddr)?;
+                self.publish_cursor(machine, reserved)?;
+                // Discard the staged ciphertext: the interrupted package
+                // must be re-staged (and re-examined) to be retried.
+                machine.write_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::STAGED_LEN, 0)?;
+                self.journal_commit(machine)?;
+                kshot_telemetry::counter("smm.recover_unwound_apply", 1);
+                Recovery::UnwoundApply {
+                    id,
+                    writes_undone: n as usize,
+                }
+            }
+            JournalState::RollbackInProgress => {
+                let id = self.journal_read_id(machine)?;
+                let mut restored = Vec::new();
+                let mut skipped = Vec::new();
+                self.restore_run(machine, &id, &mut restored, &mut skipped)?;
+                self.journal_commit(machine)?;
+                kshot_telemetry::counter("smm.recover_completed_rollback", 1);
+                Recovery::CompletedRollback {
+                    id,
+                    restored,
+                    skipped,
+                }
+            }
+        };
+        // Heal the published view unconditionally (idempotent): a fault
+        // after the journal commit can leave mem_RW stale even though
+        // the journal reads Idle.
+        self.publish_public(machine, reserved)?;
+        self.publish_cursor(machine, reserved)?;
+        Ok(outcome)
     }
 }
 
@@ -919,9 +1421,80 @@ mod tests {
         m.raise_smi().unwrap();
         assert!(matches!(
             h.handle_rollback(&mut m),
-            Err(SmmError::RollbackEmpty)
+            Err(RollbackFailure {
+                error: SmmError::RollbackEmpty,
+                ..
+            })
         ));
         m.rsm().unwrap();
+    }
+
+    #[test]
+    fn journal_begin_then_recover_on_clean_state_is_a_noop() {
+        let (mut m, r, h) = setup();
+        m.raise_smi().unwrap();
+        assert_eq!(h.journal_state(&mut m).unwrap(), JournalState::Idle);
+        assert_eq!(h.recover(&mut m, &r).unwrap(), Recovery::Clean);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn open_apply_journal_blocks_new_operations() {
+        let (mut m, r, h) = setup();
+        m.raise_smi().unwrap();
+        h.journal_begin(&mut m, JSTATE_APPLY, "stuck").unwrap();
+        assert!(matches!(
+            h.handle_patch(&mut m, &r, &[7u8; 32]),
+            Err(SmmError::RecoveryPending)
+        ));
+        assert!(matches!(
+            h.handle_rollback(&mut m),
+            Err(RollbackFailure {
+                error: SmmError::RecoveryPending,
+                ..
+            })
+        ));
+        // Recovery (here: unwinding zero journaled writes) clears it.
+        assert_eq!(
+            h.recover(&mut m, &r).unwrap(),
+            Recovery::UnwoundApply {
+                id: "stuck".into(),
+                writes_undone: 0
+            }
+        );
+        assert_eq!(h.journal_state(&mut m).unwrap(), JournalState::Idle);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn journal_log_orig_chunks_and_unwinds_long_writes() {
+        let (mut m, r, h) = setup();
+        let data = m.layout().kernel_data_base;
+        let original: Vec<u8> = (0..150u8).collect();
+        m.write_bytes(AccessCtx::Kernel, data, &original).unwrap();
+        m.raise_smi().unwrap();
+        h.journal_begin(&mut m, JSTATE_APPLY, "long").unwrap();
+        // 150 bytes chain ceil(150/64) = 3 entries.
+        h.journal_log_orig(&mut m, data, 150).unwrap();
+        assert_eq!(h.read_u64(&mut m, JOFF_ENTRY_COUNT).unwrap(), 3);
+        machine_scribble(&mut m, data, 150);
+        let rec = h.recover(&mut m, &r).unwrap();
+        assert_eq!(
+            rec,
+            Recovery::UnwoundApply {
+                id: "long".into(),
+                writes_undone: 3
+            }
+        );
+        let mut back = vec![0u8; 150];
+        m.read_bytes(AccessCtx::Smm, data, &mut back).unwrap();
+        assert_eq!(back, original);
+        m.rsm().unwrap();
+    }
+
+    fn machine_scribble(m: &mut Machine, addr: u64, len: usize) {
+        m.write_bytes(AccessCtx::Smm, addr, &vec![0xEE; len])
+            .unwrap();
     }
 
     #[test]

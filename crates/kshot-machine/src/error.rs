@@ -37,6 +37,17 @@ pub enum MachineError {
     AlreadyInSmm,
     /// SMRAM has not been configured yet.
     SmramUnconfigured,
+    /// A deterministic fault-injection plan fired on this write (see
+    /// `kshot_machine::inject`). The write did not happen.
+    InjectedFault {
+        /// Address of the write that was failed.
+        addr: u64,
+        /// Index of this write among SMM-context writes since arming.
+        write_index: u64,
+        /// Whether the plan simulated a power loss (a resumable
+        /// snapshot was captured before the write).
+        power_loss: bool,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -63,6 +74,15 @@ impl fmt::Display for MachineError {
             MachineError::NotInSmm => write!(f, "RSM outside of System Management Mode"),
             MachineError::AlreadyInSmm => write!(f, "SMI raised while already in SMM"),
             MachineError::SmramUnconfigured => write!(f, "SMRAM has not been configured"),
+            MachineError::InjectedFault {
+                addr,
+                write_index,
+                power_loss,
+            } => write!(
+                f,
+                "injected {} at {addr:#x} (smm write #{write_index})",
+                if *power_loss { "power loss" } else { "fault" }
+            ),
         }
     }
 }
@@ -91,6 +111,11 @@ mod tests {
             MachineError::NotInSmm,
             MachineError::AlreadyInSmm,
             MachineError::SmramUnconfigured,
+            MachineError::InjectedFault {
+                addr: 0x2000,
+                write_index: 3,
+                power_loss: true,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -30,6 +30,7 @@
 pub mod attrs;
 pub mod cpu;
 pub mod error;
+pub mod inject;
 pub mod layout;
 pub mod machine;
 pub mod phys;
@@ -38,6 +39,9 @@ pub mod timing;
 pub use attrs::PageAttrs;
 pub use cpu::{CpuMode, CpuState};
 pub use error::MachineError;
+pub use inject::{
+    InjectionAction, InjectionPlan, InjectionStats, InjectionTrigger, MachineSnapshot,
+};
 pub use layout::MemLayout;
 pub use machine::{AccessCtx, Machine};
 pub use phys::{PhysMemory, PAGE_SIZE};

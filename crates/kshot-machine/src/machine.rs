@@ -5,6 +5,9 @@ use kshot_isa::Inst;
 use crate::attrs::{Access, PageAttrs};
 use crate::cpu::{CpuMode, CpuState, SAVE_AREA_LEN};
 use crate::error::MachineError;
+use crate::inject::{
+    InjectionAction, InjectionPlan, InjectionState, InjectionStats, MachineSnapshot,
+};
 use crate::layout::MemLayout;
 use crate::phys::PhysMemory;
 use crate::timing::{Clock, CostModel, SimTime};
@@ -78,6 +81,7 @@ pub struct Machine {
     cost: CostModel,
     events: Vec<Event>,
     smi_count: u64,
+    inject: Option<InjectionState>,
 }
 
 impl Machine {
@@ -112,6 +116,7 @@ impl Machine {
             cost: CostModel::paper_calibrated(),
             events: Vec::new(),
             smi_count: 0,
+            inject: None,
         })
     }
 
@@ -299,7 +304,93 @@ impl Machine {
         data: &[u8],
     ) -> Result<(), MachineError> {
         self.check(ctx, addr, data.len(), Access::Write)?;
+        self.consult_injector(ctx, addr, data.len())?;
         self.mem.write_raw(addr, data)
+    }
+
+    /// Ask the armed injection plan (if any) whether this write faults.
+    fn consult_injector(
+        &mut self,
+        ctx: AccessCtx,
+        addr: u64,
+        len: usize,
+    ) -> Result<(), MachineError> {
+        let Some(state) = self.inject.as_mut() else {
+            return Ok(());
+        };
+        let is_smm = ctx == AccessCtx::Smm;
+        let write_index = state.stats().smm_writes_seen;
+        let Some(action) = state.on_write(is_smm, addr, len) else {
+            return Ok(());
+        };
+        let power_loss = action == InjectionAction::PowerLoss;
+        if power_loss {
+            // Snapshot the machine *before* the write lands — the state
+            // a warm reboot would find.
+            let snap = self.snapshot();
+            // `snapshot` only borrows immutably, so the plan is still
+            // armed here.
+            self.inject
+                .as_mut()
+                .expect("armed above")
+                .store_snapshot(snap);
+            kshot_telemetry::counter("machine.power_loss", 1);
+        }
+        kshot_telemetry::counter("machine.injected_fault", 1);
+        let err = MachineError::InjectedFault {
+            addr,
+            write_index,
+            power_loss,
+        };
+        self.log(Event::Fault(err.clone()));
+        Err(err)
+    }
+
+    // ---- fault injection --------------------------------------------------
+
+    /// Arm a deterministic fault-injection plan, replacing any armed one
+    /// (its counters restart from zero).
+    pub fn arm_injection(&mut self, plan: InjectionPlan) {
+        self.inject = Some(InjectionState::new(plan));
+    }
+
+    /// Disarm the current plan, returning its observation counters.
+    pub fn disarm_injection(&mut self) -> Option<InjectionStats> {
+        self.inject.take().map(|s| s.stats())
+    }
+
+    /// Counters of the armed plan, if any.
+    pub fn injection_stats(&self) -> Option<InjectionStats> {
+        self.inject.as_ref().map(|s| s.stats())
+    }
+
+    /// The snapshot captured by a fired power-loss injection, if any
+    /// (taking it leaves the plan armed but snapshot-less).
+    pub fn take_power_loss_snapshot(&mut self) -> Option<MachineSnapshot> {
+        self.inject.as_mut().and_then(|s| s.take_snapshot())
+    }
+
+    /// Capture a resumable copy of the full machine state. The copy
+    /// carries no armed injection plan.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut copy = self.clone();
+        copy.inject = None;
+        MachineSnapshot {
+            inner: Box::new(copy),
+        }
+    }
+
+    /// Resume from a snapshot as after a warm reset: RAM (including
+    /// SMRAM and its lock) is the snapshot's, the CPU restarts in
+    /// Protected Mode with a cleared register file, and any armed
+    /// injection plan is forgotten. The simulated clock continues from
+    /// the snapshot instant.
+    pub fn restore_from_snapshot(&mut self, snap: MachineSnapshot) {
+        *self = *snap.inner;
+        self.mode = CpuMode::Protected;
+        self.cpu = CpuState::new();
+        self.inject = None;
+        kshot_telemetry::counter("machine.snapshot_resume", 1);
     }
 
     /// Read a little-endian `u64` under privilege `ctx`.

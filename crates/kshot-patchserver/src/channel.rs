@@ -58,14 +58,31 @@ impl Frame {
     }
 }
 
-/// Channel failures — every one of these is an *attack detected* signal
-/// in the security experiments.
+/// Channel failures. [`ChannelError::BadMac`] and
+/// [`ChannelError::Replay`] are *attack detected* signals in the
+/// security experiments; [`ChannelError::Desync`] is a *loss* signal —
+/// an authenticated frame from the future means earlier frames were
+/// dropped in the untrusted transport, which a resend fixes (see
+/// [`SecureChannel::resync_ack`]). Conflating the two (the old
+/// behaviour) made operators treat routine packet loss as replay
+/// attacks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChannelError {
     /// MAC verification failed (tampering or wrong key).
     BadMac,
-    /// Sequence number regressed or repeated (replay).
+    /// Sequence number regressed or repeated (`got < expected`): a
+    /// genuinely old frame was presented again.
     Replay {
+        /// Expected next sequence.
+        expected: u64,
+        /// Received sequence.
+        got: u64,
+    },
+    /// Sequence number from the future (`got > expected`): frames in
+    /// between were lost. The receiver's state is untouched; recover by
+    /// resending from `expected` (cheaply, via
+    /// [`SecureChannel::resync_ack`]) — no rekey needed.
+    Desync {
         /// Expected next sequence.
         expected: u64,
         /// Received sequence.
@@ -84,6 +101,12 @@ impl fmt::Display for ChannelError {
             ChannelError::Replay { expected, got } => {
                 write!(f, "replay detected: expected seq {expected}, got {got}")
             }
+            ChannelError::Desync { expected, got } => {
+                write!(
+                    f,
+                    "sequence gap: expected seq {expected}, got {got}; resend from {expected}"
+                )
+            }
             ChannelError::Malformed(e) => write!(f, "malformed frame: {e}"),
             ChannelError::Dh(e) => write!(f, "key agreement failed: {e}"),
         }
@@ -98,6 +121,9 @@ pub struct SecureChannel {
     key: SessionKey,
     send_seq: u64,
     recv_seq: u64,
+    /// Highest sequence ever sealed (the resync high-water mark;
+    /// survives rewinds).
+    sent_high: u64,
 }
 
 impl SecureChannel {
@@ -107,6 +133,7 @@ impl SecureChannel {
             key,
             send_seq: 0,
             recv_seq: 0,
+            sent_high: 0,
         }
     }
 
@@ -137,6 +164,7 @@ impl SecureChannel {
         kshot_telemetry::counter("channel.frames_sealed", 1);
         let seq = self.send_seq;
         self.send_seq += 1;
+        self.sent_high = self.sent_high.max(self.send_seq);
         let nonce = self.key.nonce_for(seq);
         let mut ciphertext = plaintext.to_vec();
         ChaCha20::new(self.key.as_bytes(), &nonce).apply(&mut ciphertext);
@@ -153,7 +181,9 @@ impl SecureChannel {
     /// # Errors
     ///
     /// [`ChannelError::BadMac`] on tampering, [`ChannelError::Replay`]
-    /// on out-of-order or repeated sequence numbers.
+    /// on repeated/regressed sequence numbers,
+    /// [`ChannelError::Desync`] on a sequence gap (dropped frames; the
+    /// channel state is untouched and a resend recovers).
     pub fn open(&mut self, frame: &Frame) -> Result<Vec<u8>, ChannelError> {
         let expected_mac = mac_for(&self.key, frame.seq, &frame.ciphertext);
         if !verify(&expected_mac, &frame.mac) {
@@ -163,16 +193,34 @@ impl SecureChannel {
             });
             return Err(ChannelError::BadMac);
         }
-        if frame.seq != self.recv_seq {
-            kshot_telemetry::counter("channel.replay", 1);
-            kshot_telemetry::event_with("channel.replay", None, |f| {
-                f.push(("expected", self.recv_seq.into()));
-                f.push(("got", frame.seq.into()));
-            });
-            return Err(ChannelError::Replay {
-                expected: self.recv_seq,
-                got: frame.seq,
-            });
+        match frame.seq.cmp(&self.recv_seq) {
+            std::cmp::Ordering::Less => {
+                // A frame we already consumed: replay.
+                kshot_telemetry::counter("channel.replay", 1);
+                kshot_telemetry::event_with("channel.replay", None, |f| {
+                    f.push(("expected", self.recv_seq.into()));
+                    f.push(("got", frame.seq.into()));
+                });
+                return Err(ChannelError::Replay {
+                    expected: self.recv_seq,
+                    got: frame.seq,
+                });
+            }
+            std::cmp::Ordering::Greater => {
+                // A frame from the future: the ones in between were
+                // dropped. Not an attack signal — do not bump the
+                // replay counter.
+                kshot_telemetry::counter("channel.desync", 1);
+                kshot_telemetry::event_with("channel.desync", None, |f| {
+                    f.push(("expected", self.recv_seq.into()));
+                    f.push(("got", frame.seq.into()));
+                });
+                return Err(ChannelError::Desync {
+                    expected: self.recv_seq,
+                    got: frame.seq,
+                });
+            }
+            std::cmp::Ordering::Equal => {}
         }
         kshot_telemetry::counter("channel.frames_opened", 1);
         self.recv_seq += 1;
@@ -182,10 +230,75 @@ impl SecureChannel {
         Ok(plaintext)
     }
 
+    /// Produce an authenticated acknowledgement of the next sequence
+    /// this endpoint expects. After a [`ChannelError::Desync`], the
+    /// receiver hands this to the sender, whose
+    /// [`SecureChannel::resync`] rewinds and resends — recovering from
+    /// dropped frames without a re-handshake or rekey.
+    pub fn resync_ack(&self) -> ResyncAck {
+        ResyncAck {
+            expected: self.recv_seq,
+            mac: resync_mac(&self.key, self.recv_seq),
+        }
+    }
+
+    /// Rewind this endpoint's send sequence to `ack.expected` so the
+    /// lost frames are resent.
+    ///
+    /// Sequence numbers double as nonces, so rewinding re-uses them —
+    /// sound only because [`SecureChannel::seal`] is deterministic: the
+    /// resend of the *same plaintext* at the same seq is byte-identical
+    /// to the lost frame, revealing nothing new. Callers must replay
+    /// the original plaintext stream from `ack.expected`, not new data.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::BadMac`] if the ack was forged or belongs to a
+    /// different session; [`ChannelError::Desync`] if the ack claims a
+    /// sequence this sender has never sealed (`expected` beyond the
+    /// high-water mark) — rewinds only go backwards.
+    pub fn resync(&mut self, ack: &ResyncAck) -> Result<(), ChannelError> {
+        if !verify(&resync_mac(&self.key, ack.expected), &ack.mac) {
+            kshot_telemetry::counter("channel.bad_mac", 1);
+            return Err(ChannelError::BadMac);
+        }
+        if ack.expected > self.sent_high {
+            return Err(ChannelError::Desync {
+                expected: ack.expected,
+                got: self.sent_high,
+            });
+        }
+        kshot_telemetry::counter("channel.resyncs", 1);
+        self.send_seq = ack.expected;
+        Ok(())
+    }
+
     /// The session key (the SMM side derives its own copy from DH).
     pub fn session_key(&self) -> &SessionKey {
         &self.key
     }
+}
+
+/// An authenticated "next sequence I expect" message (see
+/// [`SecureChannel::resync_ack`]). Travels over the same untrusted
+/// transport as frames; the MAC stops a man-in-the-middle from
+/// rewinding a sender arbitrarily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncAck {
+    /// The receiver's next expected sequence.
+    pub expected: u64,
+    /// HMAC-SHA256 over a domain-separation tag and `expected`.
+    pub mac: [u8; 32],
+}
+
+fn resync_mac(key: &SessionKey, expected: u64) -> [u8; 32] {
+    // Domain-separated from frame MACs (those cover seq || ciphertext;
+    // this covers a tag || seq) so an ack can never be confused with an
+    // empty frame.
+    let mut msg = Vec::with_capacity(6 + 8);
+    msg.extend_from_slice(b"RESYNC");
+    msg.extend_from_slice(&expected.to_le_bytes());
+    hmac_sha256(key.as_bytes(), &msg)
 }
 
 fn mac_for(key: &SessionKey, seq: u64, ciphertext: &[u8]) -> [u8; 32] {
@@ -303,6 +416,98 @@ mod tests {
                 got: 0
             }
         ));
+    }
+
+    #[test]
+    fn gap_is_desync_not_replay() {
+        let (mut tx, mut rx) = pair();
+        let _f0 = tx.seal(b"dropped");
+        let f1 = tx.seal(b"arrives early");
+        // f0 lost in transit; the future frame must NOT be classified
+        // as a replay.
+        let err = rx.open(&f1).unwrap_err();
+        assert_eq!(
+            err,
+            ChannelError::Desync {
+                expected: 0,
+                got: 1
+            }
+        );
+        // Receiver state untouched: the in-order frame still opens.
+        assert_eq!(rx.open(&_f0).unwrap(), b"dropped");
+    }
+
+    #[test]
+    fn drop_then_resend_recovers_without_rekey() {
+        let (mut tx, mut rx) = pair();
+        let key_before = tx.session_key().clone();
+        let plaintexts: [&[u8]; 3] = [b"one", b"two", b"three"];
+        let frames: Vec<Frame> = plaintexts.iter().map(|p| tx.seal(p)).collect();
+        // Frame 1 is dropped; 0 and 2 arrive.
+        assert_eq!(rx.open(&frames[0]).unwrap(), b"one");
+        assert_eq!(
+            rx.open(&frames[2]).unwrap_err(),
+            ChannelError::Desync {
+                expected: 1,
+                got: 2
+            }
+        );
+        // Receiver acks its expected seq; sender rewinds and resends
+        // the original plaintext stream from there.
+        let ack = rx.resync_ack();
+        tx.resync(&ack).unwrap();
+        let resent1 = tx.seal(plaintexts[1]);
+        // Deterministic seal: the resend is byte-identical to the lost
+        // frame (same seq → same nonce → same ciphertext and MAC).
+        assert_eq!(resent1, frames[1]);
+        assert_eq!(rx.open(&resent1).unwrap(), b"two");
+        let resent2 = tx.seal(plaintexts[2]);
+        assert_eq!(resent2, frames[2]);
+        assert_eq!(rx.open(&resent2).unwrap(), b"three");
+        // No re-handshake happened: same session key throughout.
+        assert_eq!(*tx.session_key(), key_before);
+        // And the channel keeps working normally afterwards.
+        let f3 = tx.seal(b"four");
+        assert_eq!(rx.open(&f3).unwrap(), b"four");
+    }
+
+    #[test]
+    fn forged_resync_ack_rejected() {
+        let (mut tx, rx) = pair();
+        tx.seal(b"advance");
+        // Tampered expected value: the MAC no longer covers it.
+        let forged = ResyncAck {
+            expected: 99,
+            ..rx.resync_ack()
+        };
+        assert_eq!(tx.resync(&forged).unwrap_err(), ChannelError::BadMac);
+        // An ack from a different session fails too.
+        let (_, other_rx) = pair_with(&[3u8; 32], &[4u8; 32]);
+        assert_eq!(
+            tx.resync(&other_rx.resync_ack()).unwrap_err(),
+            ChannelError::BadMac
+        );
+    }
+
+    #[test]
+    fn resync_cannot_fast_forward_the_sender() {
+        let (mut tx, mut rx) = pair();
+        // Receiver somehow claims to expect seq 5 while the sender has
+        // sent nothing: refused (rewinds only go backwards).
+        rx.recv_seq = 5;
+        let ack = rx.resync_ack();
+        assert_eq!(
+            tx.resync(&ack).unwrap_err(),
+            ChannelError::Desync {
+                expected: 5,
+                got: 0
+            }
+        );
+    }
+
+    fn pair_with(a: &[u8], b: &[u8]) -> (SecureChannel, SecureChannel) {
+        let params = DhParams::default_group();
+        SecureChannel::pair_via_dh(&params, a, b).unwrap()
     }
 
     #[test]

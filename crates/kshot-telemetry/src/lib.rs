@@ -173,6 +173,19 @@ pub fn counter(name: &'static str, delta: u64) {
     }
 }
 
+/// Current value of a counter on the installed recorder, or 0 when no
+/// recorder is installed (or the counter has never been bumped).
+///
+/// Convenience for tests and probes asserting on pipeline counters
+/// (e.g. `kshot.rollback_skipped`, `smm.recover_unwound_apply`)
+/// without threading the `Recorder` handle around.
+pub fn counter_value(name: &str) -> u64 {
+    match recorder() {
+        Some(rec) => rec.metrics_snapshot().counter(name),
+        None => 0,
+    }
+}
+
 /// Set a gauge on the installed recorder's registry.
 pub fn gauge(name: &'static str, value: i64) {
     if !is_enabled() {
@@ -223,6 +236,17 @@ mod tests {
         event("noop");
         counter("noop", 1);
         observe("noop", 1);
+        assert_eq!(counter_value("noop"), 0);
+    }
+
+    #[test]
+    fn counter_value_reads_the_installed_registry() {
+        with_global(|_| {
+            assert_eq!(counter_value("cv.test"), 0);
+            counter("cv.test", 3);
+            counter("cv.test", 4);
+            assert_eq!(counter_value("cv.test"), 7);
+        });
     }
 
     #[test]

@@ -25,7 +25,10 @@ fn main() {
     );
     assert!(!exploit.is_vulnerable(system.kernel_mut()).unwrap());
     let restored = system.rollback_last().unwrap();
-    println!("rolled back; {} sites restored from SMRAM", restored.len());
+    println!(
+        "rolled back; {} sites restored from SMRAM",
+        restored.restored.len()
+    );
     assert!(exploit.is_vulnerable(system.kernel_mut()).unwrap());
     println!("vulnerable again (original bytes restored exactly)\n");
 

@@ -202,3 +202,178 @@ fn patch_for_nonexistent_function_fails_at_server() {
         Err(KShotError::Server(ServerError::Apply(_)))
     ));
 }
+
+// ---- mid-window faults: crash consistency inside the SMM window -----
+//
+// The sweep in tests/fault_sweep.rs walks *every* step index; the two
+// cases below pin the most interesting windows by name so a regression
+// reads as what it is.
+
+/// Read a function's full text from live memory.
+fn read_text(system: &mut kshot_core::KShot, name: &str) -> Vec<u8> {
+    let sym = system
+        .kernel()
+        .image()
+        .symbols
+        .lookup(name)
+        .unwrap()
+        .clone();
+    let mut buf = vec![0u8; sym.size as usize];
+    system
+        .kernel_mut()
+        .machine_mut()
+        .read_bytes(kshot_machine::AccessCtx::Kernel, sym.addr, &mut buf)
+        .unwrap();
+    buf
+}
+
+/// Function name for a text address (for assertion messages).
+fn func_at(system: &kshot_core::KShot, taddr: u64) -> String {
+    system
+        .kernel()
+        .image()
+        .symbols
+        .function_at(taddr)
+        .map(|s| s.name.clone())
+        .unwrap_or_else(|| format!("{taddr:#x}"))
+}
+
+#[test]
+fn fault_between_trampoline_installs_unwinds_the_first() {
+    // CVE-2016-5195 patches two functions. Fault the write that installs
+    // the trampoline applied *last*: the other is already live at that
+    // point, so recovery must unwind it (plus the journal entry of the
+    // faulted site) and leave both functions byte-identical to boot.
+    let spec = kshot_cve::find("CVE-2016-5195").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 58);
+    let (f1, f2) = (spec.functions[0], spec.functions[1]);
+    let pre1 = read_text(&mut system, f1);
+    let pre2 = read_text(&mut system, f2);
+    // Learn the trampoline sites — in record (apply) order — from a
+    // clean patch, then return to the pre-patch state.
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    let sites = system.active_sites().unwrap();
+    assert_eq!(sites.len(), 2);
+    let applied_first = &sites[0].clone();
+    let applied_last = &sites[1].clone();
+    let site_last = applied_last.taddr + applied_last.skip as u64;
+    let first_name = func_at(&system, applied_first.taddr);
+    system.rollback_last().unwrap();
+    assert_eq!(read_text(&mut system, f1), pre1);
+    // Fault any write touching the last-applied trampoline site.
+    system
+        .kernel_mut()
+        .machine_mut()
+        .arm_injection(kshot_machine::InjectionPlan::fault_range(site_last, 5));
+    let err = system.live_patch(&server, &patch_for(spec)).unwrap_err();
+    assert!(
+        matches!(err, KShotError::Smm(SmmError::Machine(_))),
+        "{err:?}"
+    );
+    let stats = system
+        .kernel_mut()
+        .machine_mut()
+        .disarm_injection()
+        .unwrap();
+    assert_eq!(stats.faults_injected, 1);
+    // Mid-crash the first-applied trampoline is live — exactly the torn
+    // state the journal exists for.
+    assert_ne!(
+        read_text(&mut system, &first_name),
+        if first_name == f1 {
+            pre1.clone()
+        } else {
+            pre2.clone()
+        },
+        "the first-applied trampoline should be live at the fault point"
+    );
+    match system.recover().unwrap() {
+        kshot_core::Recovery::UnwoundApply { id, writes_undone } => {
+            assert_eq!(id, spec.id);
+            assert!(writes_undone >= 1, "first trampoline must be unwound");
+        }
+        other => panic!("expected UnwoundApply, got {other:?}"),
+    }
+    // All-or-nothing: both functions back to boot text, no active
+    // records, exploit state unchanged, and the pipeline still works.
+    assert_eq!(read_text(&mut system, f1), pre1);
+    assert_eq!(read_text(&mut system, f2), pre2);
+    assert!(system.active_sites().unwrap().is_empty());
+    assert!(exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    assert!(!exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
+}
+
+#[test]
+fn fault_between_rollback_restores_is_rolled_forward() {
+    // Rollback restores records newest-first: the Type 3 global first,
+    // then the trampolines in reverse apply order. Fault the restore of
+    // the *first-applied* trampoline — the last restore — so the failure
+    // lands with the other two records already restored. The error must
+    // report exactly what was restored, and recovery finishes the job.
+    let spec = kshot_cve::find("CVE-2016-5195").unwrap();
+    let (kernel, server) = boot_benchmark_kernel(spec.version);
+    let mut system = install_kshot(kernel, 59);
+    let (f1, f2) = (spec.functions[0], spec.functions[1]);
+    let pre1 = read_text(&mut system, f1);
+    let pre2 = read_text(&mut system, f2);
+    system.live_patch(&server, &patch_for(spec)).unwrap();
+    let sites = system.active_sites().unwrap();
+    assert_eq!(sites.len(), 2);
+    let restored_last = sites[0].clone(); // applied first → restored last
+    let restored_first = sites[1].clone();
+    let site = restored_last.taddr + restored_last.skip as u64;
+    system
+        .kernel_mut()
+        .machine_mut()
+        .arm_injection(kshot_machine::InjectionPlan::fault_range(site, 5));
+    let err = system.rollback_last().unwrap_err();
+    match &err {
+        KShotError::RollbackIncomplete { restored, .. } => {
+            // The global and the other trampoline were already restored
+            // when the fault hit.
+            assert_eq!(restored.len(), 2, "{restored:x?}");
+            assert!(restored.contains(&restored_first.taddr));
+        }
+        other => panic!("expected RollbackIncomplete, got {other:?}"),
+    }
+    system
+        .kernel_mut()
+        .machine_mut()
+        .disarm_injection()
+        .unwrap();
+    // Torn: one function restored, the other still patched.
+    let last_name = func_at(&system, restored_last.taddr);
+    let first_name = func_at(&system, restored_first.taddr);
+    let pre_of = |n: &str| if n == f1 { pre1.clone() } else { pre2.clone() };
+    assert_eq!(read_text(&mut system, &first_name), pre_of(&first_name));
+    assert_ne!(read_text(&mut system, &last_name), pre_of(&last_name));
+    match system.recover().unwrap() {
+        kshot_core::Recovery::CompletedRollback {
+            id,
+            restored,
+            skipped,
+        } => {
+            assert_eq!(id, spec.id);
+            assert_eq!(
+                restored,
+                vec![restored_last.taddr],
+                "only the faulted site was left to restore"
+            );
+            assert!(skipped.is_empty());
+        }
+        other => panic!("expected CompletedRollback, got {other:?}"),
+    }
+    assert_eq!(read_text(&mut system, f1), pre1);
+    assert_eq!(read_text(&mut system, f2), pre2);
+    assert!(system.active_sites().unwrap().is_empty());
+    // Back to the vulnerable pre-patch kernel — rollback means rollback.
+    assert!(exploit_for(spec)
+        .is_vulnerable(system.kernel_mut())
+        .unwrap());
+}

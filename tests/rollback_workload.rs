@@ -23,7 +23,7 @@ fn patch_rollback_patch_cycles_are_stable() {
             "cycle {cycle}: fixed after patch"
         );
         let restored = system.rollback_last().unwrap();
-        assert_eq!(restored.len(), 1, "cycle {cycle}");
+        assert_eq!(restored.restored.len(), 1, "cycle {cycle}");
     }
 }
 
@@ -38,7 +38,7 @@ fn rollback_of_multi_function_patch_restores_all_sites() {
     let report = system.live_patch(&server, &patch_for(spec)).unwrap();
     assert!(report.trampolines >= 2, "multi-function patch");
     let restored = system.rollback_last().unwrap();
-    assert_eq!(restored.len(), report.trampolines);
+    assert_eq!(restored.restored.len(), report.trampolines);
     let exploit = exploit_for(spec);
     assert!(
         exploit.is_vulnerable(system.kernel_mut()).unwrap(),
@@ -147,7 +147,7 @@ fn batch_patching_pays_the_pause_once() {
     );
     // One rollback reverts the whole batch.
     let restored = batched.rollback_last().unwrap();
-    assert!(restored.len() >= 3);
+    assert!(restored.restored.len() >= 3);
     for spec in &specs {
         let check = exploit_for(spec);
         assert!(

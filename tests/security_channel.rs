@@ -103,14 +103,32 @@ fn key_rotation_isolates_patch_sessions() {
 #[test]
 fn out_of_order_delivery_is_rejected() {
     let (mut tx, mut rx) = channels();
-    let _f0 = tx.seal(b"first");
+    let f0 = tx.seal(b"first");
     let f1 = tx.seal(b"second");
-    // Deliver the second frame first.
+    // Deliver the second frame first: a sequence *gap*, not a replay —
+    // the receiver has never consumed seq 1. It is rejected without
+    // advancing state, and the sender can recover through the
+    // authenticated resync path instead of a rekey.
     assert!(matches!(
         rx.open(&f1).unwrap_err(),
-        ChannelError::Replay {
+        ChannelError::Desync {
             expected: 0,
             got: 1
         }
     ));
+    // A frame the receiver *did* consume is a replay.
+    assert_eq!(rx.open(&f0).unwrap(), b"first");
+    assert!(matches!(
+        rx.open(&f0).unwrap_err(),
+        ChannelError::Replay {
+            expected: 1,
+            got: 0
+        }
+    ));
+    // Deterministic sealing: after a resync rewind the resent frame is
+    // byte-identical, so the dropped-then-resent stream still opens.
+    let ack = rx.resync_ack();
+    tx.resync(&ack).unwrap();
+    assert_eq!(tx.seal(b"second"), f1);
+    assert_eq!(rx.open(&f1).unwrap(), b"second");
 }
