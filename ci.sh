@@ -29,4 +29,17 @@ cargo test -q -p kshot --test fault_sweep
 echo "== channel ordering fuzz =="
 cargo test -q -p kshot-patchserver --test prop_channel_orderings
 
+# Fleet gates: the byte-identical-applied-state property (including
+# under an injected fault + retry), and the campaign smoke run, which
+# itself asserts zero failures and >=4x wall-clock scaling from 8
+# workers, then writes the benchmark artefact this gate checks for.
+echo "== fleet identical-state property =="
+cargo test -q -p kshot-fleet --test prop_fleet_identical
+
+echo "== fleet campaign smoke =="
+rm -f BENCH_fleet.json
+cargo run --release --example fleet_campaign
+test -f BENCH_fleet.json
+grep -q '"failed":0' BENCH_fleet.json
+
 echo "CI OK"

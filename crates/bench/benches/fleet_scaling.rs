@@ -1,0 +1,48 @@
+//! Fleet scaling bench: one campaign per worker count, fixed fleet size.
+//!
+//! Wall time here is dominated by the modelled per-session link RTT, so
+//! the interesting output is how throughput scales as sessions overlap
+//! across workers (the per-machine simulated cost is identical in every
+//! row — determinism is per machine, concurrency is only in the shard).
+//! On a single-core host expect a knee once the fleet's total CPU time
+//! exceeds the sleep time left to overlap — more workers past that
+//! point only add contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig};
+use kshot_cve::{find, patch_for};
+use std::time::Duration;
+
+fn fleet_scaling(c: &mut Criterion) {
+    let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
+    let (target, server) = CampaignTarget::benchmark(spec.version);
+    let info = target.boot_one().info();
+    let bytes = server
+        .build_patch(&info, &patch_for(spec))
+        .expect("server builds the CVE patch")
+        .bundle
+        .encode();
+
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("32_machines", workers),
+            &workers,
+            |b, &workers| {
+                let config = FleetConfig::new(32, workers)
+                    .with_seed(0xF1EE7)
+                    .with_link_rtt(Duration::from_millis(20));
+                b.iter(|| {
+                    let report = run_campaign(&target, &bytes, &config);
+                    assert_eq!(report.failed, 0);
+                    report.succeeded
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_scaling);
+criterion_main!(benches);

@@ -314,7 +314,10 @@ impl KShot {
             .finish_server_session(&self.params, server_kp.public())?;
         session_span.end();
         // 3. Server seals the bundle; enclave fetches it.
-        let frame = server_channel.seal(&bundle.encode());
+        let encoded = bundle
+            .try_encode()
+            .map_err(|e| KShotError::Sgx(SgxError::Wire(e)))?;
+        let frame = server_channel.seal(&encoded);
         let machine = self.kernel.machine_mut();
         let (_, fetch_time) = self.helper.fetch_bundle(machine, &frame)?;
         // 4. Preprocess + stage.

@@ -130,7 +130,19 @@ impl PatchPackage {
     }
 
     /// Serialize.
+    ///
+    /// # Panics
+    ///
+    /// If a field exceeds the `u32` length-prefix range — see
+    /// [`PatchPackage::try_encode`] for the fallible form.
     pub fn encode(&self) -> Vec<u8> {
+        self.try_encode()
+            .expect("package fields fit the wire format")
+    }
+
+    /// Serialize, rejecting fields too large for the wire format
+    /// instead of truncating their length prefixes.
+    pub fn try_encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer::new();
         w.put_str(&self.id);
         w.put_u8(self.algorithm as u8);
@@ -143,7 +155,13 @@ impl PatchPackage {
             header[5] = r.ptype;
             header[6..14].copy_from_slice(&r.taddr.to_le_bytes());
             header[14..22].copy_from_slice(&r.paddr.to_le_bytes());
-            header[22..26].copy_from_slice(&(r.payload.len() as u32).to_le_bytes());
+            // The payload length lives in a fixed u32 header slot, not a
+            // writer-managed prefix, so the same oversize check applies
+            // here by hand.
+            let payload_len = u32::try_from(r.payload.len()).map_err(|_| WireError::Oversize {
+                len: r.payload.len(),
+            })?;
+            header[22..26].copy_from_slice(&payload_len.to_le_bytes());
             header[26] = r.ftrace_skip;
             header[27..31].copy_from_slice(&r.tsize.to_le_bytes());
             // header[31..42] reserved.
@@ -168,8 +186,9 @@ impl PatchPackage {
                 what: "algorithm",
                 tag: 255,
             })?;
-        let count = r.get_u32("record count")?;
-        let mut records = Vec::with_capacity(count as usize);
+        // Minimum record footprint: fixed header plus the two digests.
+        let count = r.get_count("record count", HEADER_LEN + 2 * DIGEST_LEN)?;
+        let mut records = Vec::with_capacity(count);
         for _ in 0..count {
             let header = r.get_raw(HEADER_LEN, "record header")?;
             let sequence = u32::from_le_bytes(header[0..4].try_into().expect("4"));

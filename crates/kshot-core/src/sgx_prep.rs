@@ -299,7 +299,7 @@ impl Helper {
                 .agree(params, &smm_public)
                 .map_err(SgxError::BadSmmPublic)?;
             let mut channel = SecureChannel::new(key);
-            let frame = channel.seal(&package.encode());
+            let frame = channel.seal(&package.try_encode().map_err(SgxError::Wire)?);
             Ok::<_, SgxError>((frame.encode(), package.records.len()))
         })?;
         if frame_bytes.len() as u64 > reserved.w_size {

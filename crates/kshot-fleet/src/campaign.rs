@@ -1,0 +1,376 @@
+//! The campaign driver: shard machines across workers, run every
+//! machine's full KShot session with retry/recovery, and fold the
+//! results into one [`CampaignReport`].
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use kshot_core::reserved::rw_offsets;
+use kshot_core::KShot;
+use kshot_crypto::sha256::sha256;
+use kshot_cve::{benchmark_options, benchmark_tree, KernelVersion};
+use kshot_kcc::KernelImage;
+use kshot_kernel::Kernel;
+use kshot_machine::{InjectionPlan, MemLayout, SimTime};
+use kshot_patchserver::{BundleCache, PatchServer};
+use kshot_telemetry::with_recorder;
+use kshot_telemetry::Recorder;
+
+use crate::config::{splitmix64, FleetConfig};
+use crate::report::CampaignReport;
+
+/// What every machine in the fleet patches: one pre-linked kernel image
+/// (shared immutably — booting a machine clones segments, not relinks
+/// the tree) plus the version string and memory layout it boots under.
+#[derive(Debug, Clone)]
+pub struct CampaignTarget {
+    /// The kernel image every machine boots. Linked once, shared by all.
+    pub image: Arc<KernelImage>,
+    /// Kernel version string the image corresponds to.
+    pub version: String,
+    /// Memory layout each machine is built with.
+    pub layout: MemLayout,
+}
+
+impl CampaignTarget {
+    /// Build the benchmark target for `version`: link the benchmark tree
+    /// once against [`MemLayout::fleet`] (whose text/data bases match the
+    /// standard layout, so the image is the same either way) and return
+    /// it together with a patch server that knows the source tree.
+    pub fn benchmark(version: KernelVersion) -> (CampaignTarget, PatchServer) {
+        let layout = MemLayout::fleet();
+        let tree = benchmark_tree(version);
+        let image = kshot_kcc::link(
+            &tree,
+            &benchmark_options(),
+            layout.kernel_text_base,
+            layout.kernel_data_base,
+        )
+        .expect("benchmark tree links");
+        let mut server = PatchServer::new();
+        server.register_tree(version.as_str(), tree);
+        let target = CampaignTarget {
+            image: Arc::new(image),
+            version: version.as_str().to_string(),
+            layout,
+        };
+        (target, server)
+    }
+
+    /// Boot one machine of the fleet (outside any campaign) — used to
+    /// obtain a [`kshot_kernel::KernelInfo`] for the patch server, and by
+    /// tests that want a reference machine.
+    pub fn boot_one(&self) -> Kernel {
+        Kernel::boot((*self.image).clone(), self.version.as_str(), self.layout)
+            .expect("fleet image boots on the fleet layout")
+    }
+}
+
+/// The result of one machine's patch session(s).
+#[derive(Debug, Clone)]
+pub struct MachineOutcome {
+    /// Machine index within the campaign (0-based).
+    pub machine: usize,
+    /// Worker thread that ran this machine.
+    pub worker: usize,
+    /// Session attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// Whether the patch was ultimately applied.
+    pub ok: bool,
+    /// Error string of the last failed attempt, if the machine failed
+    /// for good (always `None` when `ok`).
+    pub error: Option<String>,
+    /// Simulated latency of the *successful* session (SGX + SMM total).
+    pub latency: Option<SimTime>,
+    /// The machine's simulated clock when the campaign left it (includes
+    /// boot, failed attempts, and backoff).
+    pub sim_clock: SimTime,
+    /// Digest over the machine's final kernel text and `mem_X` windows.
+    /// Identical digests across the fleet mean identical applied state.
+    pub state_digest: [u8; 32],
+    /// Faults the injection engine actually fired on this machine.
+    pub faults_injected: u64,
+}
+
+/// Run one campaign: patch `config.machines` machines, sharded
+/// round-robin over `config.workers` OS threads, all applying the
+/// bundle serialized in `bundle_bytes` (decoded once through a shared
+/// [`BundleCache`]).
+///
+/// Machine `i` runs on worker `i % workers`; each worker drives its
+/// machines sequentially, so per-machine execution stays deterministic
+/// and only the interleaving across workers is concurrent.
+pub fn run_campaign(
+    target: &CampaignTarget,
+    bundle_bytes: &[u8],
+    config: &FleetConfig,
+) -> CampaignReport {
+    let cache = BundleCache::new();
+    let workers = config.workers.max(1);
+    let started = Instant::now();
+
+    let mut per_machine: Vec<(MachineOutcome, Arc<Recorder>)> = Vec::with_capacity(config.machines);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let cache = &cache;
+            handles.push(scope.spawn(move || {
+                // Stagger worker starts across one link RTT. Without
+                // this the fleet convoys: every worker sleeps its RTT in
+                // lockstep (host core idle), then all wake and contend
+                // for it at once. Offsetting by rtt/workers keeps some
+                // worker computing while the others are in-flight.
+                if !config.link_rtt.is_zero() && worker > 0 {
+                    thread::sleep(config.link_rtt * worker as u32 / workers as u32);
+                }
+                let mut results = Vec::new();
+                let mut machine = worker;
+                while machine < config.machines {
+                    let recorder = Recorder::new();
+                    let outcome = with_recorder(Arc::clone(&recorder), || {
+                        run_machine(target, cache, bundle_bytes, config, machine, worker)
+                    });
+                    results.push((outcome, recorder));
+                    machine += workers;
+                }
+                results
+            }));
+        }
+        for handle in handles {
+            per_machine.extend(handle.join().expect("fleet worker panicked"));
+        }
+    });
+    per_machine.sort_by_key(|(o, _)| o.machine);
+
+    let wall = started.elapsed();
+    let recorder = Recorder::new();
+    let mut outcomes = Vec::with_capacity(per_machine.len());
+    for (outcome, machine_recorder) in per_machine {
+        recorder.merge_from(&machine_recorder);
+        outcomes.push(outcome);
+    }
+    CampaignReport::assemble(
+        config,
+        outcomes,
+        recorder,
+        wall,
+        cache.hits(),
+        cache.misses(),
+    )
+}
+
+/// Drive one machine through boot → install → (attempted) patch
+/// session(s) and summarize what happened.
+fn run_machine(
+    target: &CampaignTarget,
+    cache: &BundleCache,
+    bundle_bytes: &[u8],
+    config: &FleetConfig,
+    machine: usize,
+    worker: usize,
+) -> MachineOutcome {
+    let seed = splitmix64(config.seed.wrapping_add(machine as u64));
+    let mut outcome = MachineOutcome {
+        machine,
+        worker,
+        attempts: 0,
+        retries: 0,
+        ok: false,
+        error: None,
+        latency: None,
+        sim_clock: SimTime::ZERO,
+        state_digest: [0; 32],
+        faults_injected: 0,
+    };
+
+    let kernel = match Kernel::boot(
+        (*target.image).clone(),
+        target.version.as_str(),
+        target.layout,
+    ) {
+        Ok(k) => k,
+        Err(e) => {
+            outcome.error = Some(format!("boot: {e}"));
+            return outcome;
+        }
+    };
+    let mut system = match KShot::install(kernel, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            outcome.error = Some(format!("install: {e}"));
+            return outcome;
+        }
+    };
+
+    if let Some(fault) = config.faults.iter().find(|f| f.machine == machine) {
+        system
+            .kernel_mut()
+            .machine_mut()
+            .arm_injection(InjectionPlan::fail_nth_smm_write(fault.smm_write_index));
+    }
+
+    for attempt in 0..config.max_attempts.max(1) {
+        outcome.attempts += 1;
+        // The orchestrator↔machine link: a real sleep so that campaign
+        // wall time is dominated by (overlappable) network latency, as
+        // it is for a real fleet push.
+        if !config.link_rtt.is_zero() {
+            thread::sleep(config.link_rtt);
+        }
+        let bundle = match cache.get_or_decode(bundle_bytes) {
+            Ok(b) => b,
+            Err(e) => {
+                outcome.error = Some(format!("bundle: {e}"));
+                break;
+            }
+        };
+        match system.live_patch_bundle((*bundle).clone()) {
+            Ok(report) => {
+                outcome.ok = true;
+                outcome.error = None;
+                outcome.latency = Some(report.total());
+                break;
+            }
+            Err(e) => {
+                outcome.error = Some(e.to_string());
+                if let Some(stats) = system.kernel_mut().machine_mut().disarm_injection() {
+                    outcome.faults_injected += stats.faults_injected;
+                }
+                // Roll the machine back to its pre-session state; a
+                // failed recovery leaves `error` describing the session
+                // failure and the next attempt (if any) reports its own.
+                let _ = system.recover();
+                if attempt + 1 < config.max_attempts {
+                    outcome.retries += 1;
+                    let shift = attempt.min(20);
+                    let backoff =
+                        SimTime::from_ns(config.backoff_base.as_ns().saturating_mul(1u64 << shift));
+                    system.kernel_mut().machine_mut().charge(backoff);
+                }
+            }
+        }
+    }
+
+    outcome.sim_clock = system.kernel().machine().now();
+    outcome.state_digest = applied_state_digest(&system, target);
+    outcome
+}
+
+/// Digest the regions that define "the applied patch": the kernel text
+/// segment (where trampolines are written) and the *occupied* prefix of
+/// `mem_X` (where bodies are placed — the extent comes from the
+/// placement cursor the SMM handler publishes in `mem_RW`). Hashing
+/// occupied extents instead of full windows keeps the digest cheap
+/// (kilobytes, not the 12 MB of window space) without weakening the
+/// byte-identical-fleet property: any divergence in trampolines, placed
+/// bodies, or placement extent changes the digest. Each region is
+/// hashed separately, then the concatenation, so the digest is
+/// independent of region adjacency.
+fn applied_state_digest(system: &KShot, target: &CampaignTarget) -> [u8; 32] {
+    let phys = system.kernel().machine().phys();
+    let text = phys
+        .slice(target.layout.kernel_text_base, target.image.text.len())
+        .expect("text segment in bounds");
+    let reserved = system.reserved();
+    let cursor_bytes = phys
+        .slice(reserved.rw_base + rw_offsets::NEXT_PADDR, 8)
+        .expect("published cursor in bounds");
+    let cursor = u64::from_le_bytes(cursor_bytes.try_into().expect("eight bytes"));
+    let used_x = cursor.saturating_sub(reserved.x_base).min(reserved.x_size);
+    let placed = phys
+        .slice(reserved.x_base, used_x as usize)
+        .expect("occupied mem_X prefix in bounds");
+    let mut acc = [0u8; 64];
+    acc[..32].copy_from_slice(&sha256(text));
+    acc[32..].copy_from_slice(&sha256(placed));
+    sha256(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlannedFault;
+    use kshot_cve::{find, patch_for};
+
+    fn campaign_fixture() -> (CampaignTarget, Vec<u8>) {
+        let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
+        let (target, server) = CampaignTarget::benchmark(spec.version);
+        let info = target.boot_one().info();
+        let bundle = server
+            .build_patch(&info, &patch_for(spec))
+            .expect("server builds the CVE patch");
+        (target, bundle.bundle.encode())
+    }
+
+    #[test]
+    fn small_campaign_converges_identically() {
+        let (target, bytes) = campaign_fixture();
+        let config = FleetConfig::new(4, 2).with_seed(11);
+        let report = run_campaign(&target, &bytes, &config);
+        assert_eq!(report.succeeded, 4);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.retries, 0);
+        assert!(report.all_identical_digests());
+        // The bundle is decoded once and shared; with two concurrent
+        // workers both may miss the empty cache, but every lookup is
+        // accounted for.
+        assert!(report.cache_misses >= 1);
+        assert_eq!(report.cache_hits + report.cache_misses, 4);
+        assert!(report.latency_max.as_ns() > 0);
+    }
+
+    #[test]
+    fn faulted_machine_retries_and_matches_the_fleet() {
+        let (target, bytes) = campaign_fixture();
+        let config = FleetConfig::new(3, 3)
+            .with_seed(7)
+            .with_fault(PlannedFault {
+                machine: 1,
+                smm_write_index: 2,
+            });
+        let report = run_campaign(&target, &bytes, &config);
+        assert_eq!(report.succeeded, 3, "outcomes: {:?}", report.outcomes);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.faults_injected, 1);
+        let faulted = &report.outcomes[1];
+        assert_eq!(faulted.attempts, 2);
+        assert!(faulted.ok);
+        // The retried machine converges to the same applied state, but
+        // its clock carries the failed attempt and the backoff.
+        assert!(report.all_identical_digests());
+        assert!(faulted.sim_clock > report.outcomes[0].sim_clock);
+    }
+
+    #[test]
+    fn exhausted_attempts_report_failure_not_panic() {
+        let (target, bytes) = campaign_fixture();
+        let mut config = FleetConfig::new(1, 1).with_fault(PlannedFault {
+            machine: 0,
+            smm_write_index: 2,
+        });
+        config.max_attempts = 1; // fault fires, no retry budget
+        let report = run_campaign(&target, &bytes, &config);
+        assert_eq!(report.succeeded, 0);
+        assert_eq!(report.failed, 1);
+        let o = &report.outcomes[0];
+        assert!(!o.ok);
+        assert!(o.error.is_some());
+        assert_eq!(o.attempts, 1);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible_in_the_simulated_domain() {
+        let (target, bytes) = campaign_fixture();
+        let config = FleetConfig::new(3, 2).with_seed(42);
+        let a = run_campaign(&target, &bytes, &config);
+        let b = run_campaign(&target, &bytes, &config);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.state_digest, y.state_digest);
+            assert_eq!(x.sim_clock, y.sim_clock);
+            assert_eq!(x.latency.map(|t| t.as_ns()), y.latency.map(|t| t.as_ns()));
+        }
+    }
+}

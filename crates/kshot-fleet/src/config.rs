@@ -1,0 +1,118 @@
+//! Campaign configuration: fleet size, worker pool, retry policy,
+//! planned faults.
+
+use std::time::Duration;
+
+use kshot_machine::SimTime;
+
+/// A fault the campaign arms on one machine before its first attempt.
+///
+/// The underlying mechanism is `kshot-machine`'s one-shot injection plan
+/// ([`kshot_machine::InjectionPlan::fail_nth_smm_write`]): the machine's
+/// n-th SMM-context write faults, the session fails mid-apply, and the
+/// campaign's retry loop must recover and re-patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Index of the machine (0-based) the fault is armed on.
+    pub machine: usize,
+    /// Which SMM-context write of that machine's first attempt faults.
+    pub smm_write_index: u64,
+}
+
+/// Configuration of one fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of simulated machines to patch.
+    pub machines: usize,
+    /// Number of OS worker threads to shard machines across.
+    pub workers: usize,
+    /// Campaign-level seed; machine `i` derives its own seed as
+    /// `splitmix64(seed + i)`, so campaigns are reproducible while
+    /// machines stay distinguishable.
+    pub seed: u64,
+    /// Maximum session attempts per machine (first try + retries).
+    pub max_attempts: u32,
+    /// Simulated backoff charged to a machine's clock after a failed
+    /// attempt; doubles per retry (`base << attempt`).
+    pub backoff_base: SimTime,
+    /// Real (wall-clock) network round-trip charged per session attempt,
+    /// modelling the orchestrator↔machine link. This is what makes fleet
+    /// campaigns latency-bound and worker parallelism observable even on
+    /// a single-core host: sleeps overlap across workers.
+    pub link_rtt: Duration,
+    /// Faults to arm, at most one per machine (later entries for the
+    /// same machine are ignored).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FleetConfig {
+    /// A campaign over `machines` machines on `workers` threads with
+    /// default retry policy (3 attempts, 50 ms simulated base backoff),
+    /// no planned faults and no modelled link latency.
+    pub fn new(machines: usize, workers: usize) -> Self {
+        Self {
+            machines,
+            workers: workers.max(1),
+            seed: 0x5EED,
+            max_attempts: 3,
+            backoff_base: SimTime::from_ms(50),
+            link_rtt: Duration::ZERO,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Builder-style: set the campaign seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the per-attempt wall-clock link RTT.
+    pub fn with_link_rtt(mut self, rtt: Duration) -> Self {
+        self.link_rtt = rtt;
+        self
+    }
+
+    /// Builder-style: arm `fault` on its machine.
+    pub fn with_fault(mut self, fault: PlannedFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// splitmix64: the standard 64-bit mix used to expand one campaign seed
+/// into per-machine seeds with good avalanche behaviour.
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FleetConfig::new(64, 8);
+        assert_eq!(c.machines, 64);
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.max_attempts, 3);
+        assert!(c.faults.is_empty());
+        assert!(c.link_rtt.is_zero());
+        // Zero workers is clamped rather than deadlocking the shard loop.
+        assert_eq!(FleetConfig::new(1, 0).workers, 1);
+    }
+
+    #[test]
+    fn splitmix_separates_adjacent_seeds() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        // Deterministic across calls.
+        assert_eq!(a, splitmix64(1));
+        // Avalanche: adjacent inputs differ in many output bits.
+        assert!((a ^ b).count_ones() > 16);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # kshot-fleet — parallel multi-machine patch campaigns
+//!
+//! The paper evaluates KShot on a single prototype machine; a realistic
+//! deployment pushes one security fix to a *fleet*. This crate is the
+//! campaign orchestrator for that scenario: it drives N independent
+//! simulated machines through the full KShot session (attest → deliver →
+//! SMI → verify → apply) concurrently across a worker thread pool.
+//!
+//! Design points:
+//!
+//! * **One bundle, many machines.** The patch server builds and encodes
+//!   the bundle once; workers share it through
+//!   [`kshot_patchserver::BundleCache`], which verifies/decodes the bytes
+//!   exactly once and hands out `Arc<PatchBundle>` clones.
+//! * **Deterministic machines, concurrent fleet.** Each machine stays
+//!   deterministic and single-threaded (its own clock, its own
+//!   splitmix64-derived seed); only the *sharding* across workers is
+//!   concurrent. Round-robin sharding makes the machine→worker mapping
+//!   deterministic too.
+//! * **Failure is expected.** A campaign can plan per-machine faults
+//!   (via `kshot-machine`'s injection engine); a failed session is
+//!   recovered with [`kshot_core::KShot::recover`] and retried under
+//!   simulated exponential backoff, up to a configurable attempt cap.
+//! * **One merged report.** Every machine records into its own
+//!   thread-local `kshot-telemetry` recorder; the campaign merges them
+//!   and summarizes latency percentiles, throughput (simulated and
+//!   wall-clock), retry/failure counts, and cache effectiveness in a
+//!   [`CampaignReport`].
+
+pub mod campaign;
+pub mod config;
+pub mod report;
+
+pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
+pub use config::{FleetConfig, PlannedFault};
+pub use report::CampaignReport;

@@ -1,0 +1,243 @@
+//! The merged campaign report: latency percentiles, throughput in both
+//! time domains, failure accounting, and a hand-rolled JSON emitter for
+//! the benchmark artefacts.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kshot_machine::SimTime;
+use kshot_telemetry::Recorder;
+
+use crate::campaign::MachineOutcome;
+use crate::config::FleetConfig;
+
+/// Everything a campaign produced, merged across machines and workers.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Machines the campaign drove.
+    pub machines: usize,
+    /// Worker threads they were sharded across.
+    pub workers: usize,
+    /// Machines whose patch ultimately applied.
+    pub succeeded: usize,
+    /// Machines that exhausted their attempts.
+    pub failed: usize,
+    /// Total failed-then-retried attempts across the fleet.
+    pub retries: u64,
+    /// Faults the injection engine actually fired across the fleet.
+    pub faults_injected: u64,
+    /// Median successful-session latency (simulated).
+    pub latency_p50: SimTime,
+    /// 95th-percentile successful-session latency (simulated).
+    pub latency_p95: SimTime,
+    /// Worst successful-session latency (simulated).
+    pub latency_max: SimTime,
+    /// Wall-clock duration of the whole campaign.
+    pub wall: Duration,
+    /// Applied patches per wall-clock second.
+    pub throughput_wall: f64,
+    /// Applied patches per simulated second, where campaign simulated
+    /// time is the *slowest machine's* clock (machines run in parallel
+    /// in the modelled world, so the fleet finishes when the laggard
+    /// does).
+    pub throughput_sim: f64,
+    /// Bundle-cache hits across the fleet.
+    pub cache_hits: u64,
+    /// Bundle-cache misses (decodes) across the fleet.
+    pub cache_misses: u64,
+    /// Per-machine outcomes, ordered by machine index.
+    pub outcomes: Vec<MachineOutcome>,
+    /// Every machine's telemetry, merged into one recorder.
+    pub recorder: Arc<Recorder>,
+}
+
+impl CampaignReport {
+    /// Fold per-machine outcomes into the campaign summary.
+    pub(crate) fn assemble(
+        config: &FleetConfig,
+        outcomes: Vec<MachineOutcome>,
+        recorder: Arc<Recorder>,
+        wall: Duration,
+        cache_hits: u64,
+        cache_misses: u64,
+    ) -> CampaignReport {
+        let succeeded = outcomes.iter().filter(|o| o.ok).count();
+        let failed = outcomes.len() - succeeded;
+        let retries = outcomes.iter().map(|o| o.retries).sum();
+        let faults_injected = outcomes.iter().map(|o| o.faults_injected).sum();
+
+        let mut latencies: Vec<u64> = outcomes
+            .iter()
+            .filter_map(|o| o.latency.map(|t| t.as_ns()))
+            .collect();
+        latencies.sort_unstable();
+        let latency_p50 = SimTime::from_ns(percentile(&latencies, 50));
+        let latency_p95 = SimTime::from_ns(percentile(&latencies, 95));
+        let latency_max = SimTime::from_ns(latencies.last().copied().unwrap_or(0));
+
+        let wall_secs = wall.as_secs_f64();
+        let throughput_wall = if wall_secs > 0.0 {
+            succeeded as f64 / wall_secs
+        } else {
+            0.0
+        };
+        let slowest_ns = outcomes
+            .iter()
+            .map(|o| o.sim_clock.as_ns())
+            .max()
+            .unwrap_or(0);
+        let throughput_sim = if slowest_ns > 0 {
+            succeeded as f64 / (slowest_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+
+        CampaignReport {
+            machines: config.machines,
+            workers: config.workers,
+            succeeded,
+            failed,
+            retries,
+            faults_injected,
+            latency_p50,
+            latency_p95,
+            latency_max,
+            wall,
+            throughput_wall,
+            throughput_sim,
+            cache_hits,
+            cache_misses,
+            outcomes,
+            recorder,
+        }
+    }
+
+    /// Whether every machine ended with the same text/`mem_X` digest —
+    /// the fleet-wide "byte-identical applied state" property. Vacuously
+    /// true for an empty campaign.
+    pub fn all_identical_digests(&self) -> bool {
+        match self.outcomes.first() {
+            None => true,
+            Some(first) => self
+                .outcomes
+                .iter()
+                .all(|o| o.state_digest == first.state_digest),
+        }
+    }
+
+    /// Serialize the summary (not per-machine outcomes) as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"machines\":{},\"workers\":{},\"succeeded\":{},\"failed\":{},",
+                "\"retries\":{},\"faults_injected\":{},",
+                "\"latency_ns\":{{\"p50\":{},\"p95\":{},\"max\":{}}},",
+                "\"wall_ms\":{:.3},",
+                "\"throughput_wall_patches_per_sec\":{:.3},",
+                "\"throughput_sim_patches_per_sec\":{:.3},",
+                "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+                "\"identical_digests\":{}}}"
+            ),
+            self.machines,
+            self.workers,
+            self.succeeded,
+            self.failed,
+            self.retries,
+            self.faults_injected,
+            self.latency_p50.as_ns(),
+            self.latency_p95.as_ns(),
+            self.latency_max.as_ns(),
+            self.wall.as_secs_f64() * 1e3,
+            self.throughput_wall,
+            self.throughput_sim,
+            self.cache_hits,
+            self.cache_misses,
+            self.all_identical_digests(),
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 if empty.
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() - 1) * pct / 100;
+    sorted[rank]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(machine: usize, ok: bool, latency_ns: u64, digest: u8) -> MachineOutcome {
+        MachineOutcome {
+            machine,
+            worker: 0,
+            attempts: 1,
+            retries: 0,
+            ok,
+            error: (!ok).then(|| "boom".to_string()),
+            latency: ok.then(|| SimTime::from_ns(latency_ns)),
+            sim_clock: SimTime::from_ns(latency_ns * 2),
+            state_digest: [digest; 32],
+            faults_injected: 0,
+        }
+    }
+
+    #[test]
+    fn assemble_summarizes_percentiles_and_throughput() {
+        let config = FleetConfig::new(3, 2);
+        let outcomes = vec![
+            outcome(0, true, 1_000, 7),
+            outcome(1, true, 3_000, 7),
+            outcome(2, false, 9_000, 8),
+        ];
+        let report = CampaignReport::assemble(
+            &config,
+            outcomes,
+            Recorder::new(),
+            Duration::from_millis(10),
+            2,
+            1,
+        );
+        assert_eq!(report.succeeded, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.latency_p50.as_ns(), 1_000);
+        assert_eq!(report.latency_max.as_ns(), 3_000);
+        // 2 successes in 10 ms of wall time.
+        assert!((report.throughput_wall - 200.0).abs() < 1.0);
+        // Simulated campaign time is the slowest clock (18 µs).
+        assert!((report.throughput_sim - 2.0 / 18e-6).abs() < 1.0);
+        assert!(!report.all_identical_digests());
+        let json = report.to_json();
+        assert!(json.contains("\"succeeded\":2"));
+        assert!(json.contains("\"identical_digests\":false"));
+        assert!(json.contains("\"p50\":1000"));
+    }
+
+    #[test]
+    fn empty_campaign_is_vacuously_consistent() {
+        let report = CampaignReport::assemble(
+            &FleetConfig::new(0, 1),
+            Vec::new(),
+            Recorder::new(),
+            Duration::ZERO,
+            0,
+            0,
+        );
+        assert!(report.all_identical_digests());
+        assert_eq!(report.latency_p50.as_ns(), 0);
+        assert_eq!(report.throughput_wall, 0.0);
+        assert_eq!(report.throughput_sim, 0.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(percentile(&v, 50), 20);
+        assert_eq!(percentile(&v, 95), 30);
+        assert_eq!(percentile(&v, 100), 40);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property: a campaign distributing one cached bundle to N machines
+//! leaves *byte-identical* applied state (kernel text + `mem_X`) on
+//! every machine — including when one machine suffers an injected SMM
+//! write fault and has to recover and retry.
+//!
+//! This is the fleet-level analogue of the paper's §VI integrity claim:
+//! the patch a machine ends up running is exactly the patch the server
+//! built, regardless of scheduling, sharding, or transient failures.
+
+use std::sync::OnceLock;
+
+use kshot_cve::{find, patch_for};
+use kshot_fleet::{run_campaign, CampaignTarget, FleetConfig, PlannedFault};
+use proptest::prelude::*;
+
+/// The target and encoded bundle are expensive (tree link + server
+/// build); share one across all cases. The campaign never mutates
+/// either, so sharing is sound.
+fn fixture() -> &'static (CampaignTarget, Vec<u8>) {
+    static FIXTURE: OnceLock<(CampaignTarget, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
+        let (target, server) = CampaignTarget::benchmark(spec.version);
+        let info = target.boot_one().info();
+        let build = server
+            .build_patch(&info, &patch_for(spec))
+            .expect("server builds the CVE patch");
+        (target, build.bundle.encode())
+    })
+}
+
+proptest! {
+    // Each case patches up to 6 full machines; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fleet_applies_byte_identical_state(
+        machines in 2usize..6,
+        workers in 1usize..4,
+        seed in any::<u64>(),
+        faulted in 0usize..6,
+        write_index in 1u64..6,
+    ) {
+        let (target, bytes) = fixture();
+        let mut config = FleetConfig::new(machines, workers).with_seed(seed);
+        // Arm a one-shot SMM write fault on one machine (when the drawn
+        // index lands inside the fleet); its session must fail, recover,
+        // retry, and still converge to the same bytes as everyone else.
+        let faulted_in_range = faulted < machines;
+        if faulted_in_range {
+            config = config.with_fault(PlannedFault {
+                machine: faulted,
+                smm_write_index: write_index,
+            });
+        }
+
+        let report = run_campaign(target, bytes, &config);
+
+        prop_assert_eq!(report.succeeded, machines, "outcomes: {:?}", report.outcomes);
+        prop_assert_eq!(report.failed, 0);
+        prop_assert!(report.all_identical_digests(),
+            "divergent applied state: {:?}",
+            report.outcomes.iter().map(|o| o.state_digest[0]).collect::<Vec<_>>());
+        // The bundle was decoded at most once per concurrent race, and
+        // every attempt (one per machine, plus one per retry) went
+        // through the cache.
+        prop_assert_eq!(
+            report.cache_hits + report.cache_misses,
+            machines as u64 + report.retries
+        );
+        prop_assert!(report.cache_misses <= workers as u64);
+        if faulted_in_range {
+            prop_assert_eq!(report.faults_injected, 1);
+            prop_assert_eq!(report.retries, 1);
+            prop_assert_eq!(report.outcomes[faulted].attempts, 2);
+        } else {
+            prop_assert_eq!(report.retries, 0);
+        }
+    }
+}

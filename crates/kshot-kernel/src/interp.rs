@@ -45,6 +45,12 @@ pub enum ExecFault {
     FuelExhausted,
     /// A named symbol was not found (host-side API misuse).
     UnknownSymbol,
+    /// More arguments than the calling convention's five argument
+    /// registers (`r1`–`r5`).
+    TooManyArgs {
+        /// Number of arguments supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ExecFault {
@@ -58,6 +64,9 @@ impl fmt::Display for ExecFault {
             }
             ExecFault::FuelExhausted => write!(f, "instruction budget exhausted"),
             ExecFault::UnknownSymbol => write!(f, "unknown kernel symbol"),
+            ExecFault::TooManyArgs { got } => {
+                write!(f, "{got} arguments exceed the five argument registers")
+            }
         }
     }
 }
@@ -340,7 +349,9 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns any [`ExecFault`] the guest code raises;
-    /// [`ExecFault::FuelExhausted`] after [`DEFAULT_FUEL`] instructions.
+    /// [`ExecFault::FuelExhausted`] after [`DEFAULT_FUEL`] instructions;
+    /// [`ExecFault::TooManyArgs`] when `args` exceeds the five argument
+    /// registers.
     pub fn call_function(&mut self, name: &str, args: &[u64]) -> Result<u64, ExecFault> {
         self.call_function_with_fuel(name, args, DEFAULT_FUEL)
     }
@@ -356,7 +367,9 @@ impl Kernel {
         args: &[u64],
         fuel: u64,
     ) -> Result<u64, ExecFault> {
-        assert!(args.len() <= 5, "at most five arguments");
+        if args.len() > 5 {
+            return Err(ExecFault::TooManyArgs { got: args.len() });
+        }
         let entry = self.function_addr(name).ok_or(ExecFault::UnknownSymbol)?;
         let saved = self.machine.cpu().clone();
         let result = self.run_invocation(entry, args, fuel);
@@ -368,6 +381,8 @@ impl Kernel {
         {
             let cpu = self.machine.cpu_mut();
             *cpu = Default::default();
+            // `call_function_with_fuel` rejects >5 args before reaching
+            // here, so the register index is always in range.
             for (i, &a) in args.iter().enumerate() {
                 cpu.set(Reg::from_index(1 + i as u8).expect("≤5 args"), a);
             }
@@ -417,6 +432,23 @@ mod tests {
         );
         let mut k = boot(&p);
         assert_eq!(k.call_function("axpy", &[3, 7, 11]).unwrap(), 32);
+    }
+
+    /// Regression (pre-fix: a 6-argument call panicked on the
+    /// `assert!(args.len() <= 5)` instead of faulting).
+    #[test]
+    fn six_argument_call_faults_instead_of_panicking() {
+        let mut p = Program::new();
+        p.add_function(Function::new("f", 5, 0).returning(Expr::param(0)));
+        let mut k = boot(&p);
+        assert_eq!(
+            k.call_function("f", &[1, 2, 3, 4, 5, 6]),
+            Err(ExecFault::TooManyArgs { got: 6 })
+        );
+        // Exactly five still works, and the fault did not corrupt the
+        // CPU for subsequent calls.
+        assert_eq!(k.call_function("f", &[9, 2, 3, 4, 5]).unwrap(), 9);
+        assert!(!ExecFault::TooManyArgs { got: 6 }.to_string().is_empty());
     }
 
     #[test]

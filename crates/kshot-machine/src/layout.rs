@@ -74,6 +74,30 @@ impl MemLayout {
         l
     }
 
+    /// A compact 26 MB machine for fleet campaigns: same text and data
+    /// bases (and sizes) as [`MemLayout::standard`], so an image linked
+    /// for the standard layout boots unchanged — one shared link serves
+    /// every fleet machine — but the stack is halved and the reserved
+    /// region trimmed to 6 MB. A 64-machine campaign then holds dozens
+    /// of live machines without gigabytes of backing RAM, while the
+    /// reserved split (64 KiB `mem_RW`, ~2 MB `mem_W`, ~4 MB `mem_X`)
+    /// still fits realistic CVE-sized patches with room for history.
+    pub fn fleet() -> Self {
+        Self {
+            total: 0x01A0_0000,             // 26 MB
+            kernel_text_base: 0x0010_0000,  // 1 MB (same as standard)
+            kernel_text_size: 0x0080_0000,  // 8 MB
+            kernel_data_base: 0x0090_0000,  // 9 MB (same as standard)
+            kernel_data_size: 0x0080_0000,  // 8 MB
+            kernel_stack_base: 0x0110_0000, // 17 MB
+            kernel_stack_size: 0x0020_0000, // 2 MB
+            reserved_base: 0x0130_0000,     // 19 MB
+            reserved_size: 6 * 1024 * 1024, // 6 MB
+            smram_base: 0x0190_0000,        // 25 MB
+            smram_size: 0x0010_0000,        // 1 MB
+        }
+    }
+
     /// Validate internal consistency (regions in bounds, non-overlapping,
     /// in ascending order). Returns a description of the first problem.
     pub fn validate(&self) -> Result<(), String> {
@@ -118,6 +142,20 @@ mod tests {
         MemLayout::standard().validate().unwrap();
         MemLayout::large().validate().unwrap();
         MemLayout::benchmark().validate().unwrap();
+        MemLayout::fleet().validate().unwrap();
+    }
+
+    #[test]
+    fn fleet_layout_boots_standard_images_in_half_the_ram() {
+        let f = MemLayout::fleet();
+        let s = MemLayout::standard();
+        // Image compatibility: identical link bases and segment sizes.
+        assert_eq!(f.kernel_text_base, s.kernel_text_base);
+        assert_eq!(f.kernel_text_size, s.kernel_text_size);
+        assert_eq!(f.kernel_data_base, s.kernel_data_base);
+        assert_eq!(f.kernel_data_size, s.kernel_data_size);
+        // The point of the variant: materially cheaper per machine.
+        assert!(f.total <= s.total / 3 * 2, "fleet machine not compact");
     }
 
     #[test]

@@ -14,6 +14,13 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A span of simulated time, stored in nanoseconds.
+///
+/// All arithmetic — the constructors' unit conversions and the
+/// `Add`/`AddAssign`/`Sub` impls — *saturates* at the `u64` range. A
+/// fleet campaign accumulates per-machine clocks over arbitrarily many
+/// sessions, so a wrap here would differ between debug (panic) and
+/// release (silent wrap); a clock pinned at `u64::MAX` ns is the
+/// well-defined outcome for both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
@@ -21,19 +28,23 @@ impl SimTime {
     /// Zero time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The largest representable span (`u64::MAX` nanoseconds); all
+    /// arithmetic saturates here.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Construct from nanoseconds.
     pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns)
     }
 
-    /// Construct from microseconds.
+    /// Construct from microseconds (saturating).
     pub const fn from_us(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
-    /// Construct from milliseconds.
+    /// Construct from milliseconds (saturating).
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
     /// Nanoseconds.
@@ -46,6 +57,12 @@ impl SimTime {
         self.0 as f64 / 1_000.0
     }
 
+    /// Saturating sum (what `+` also does; spelled out for symmetry
+    /// with [`SimTime::saturating_sub`]).
+    pub fn saturating_add(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(other.0))
+    }
+
     /// Saturating difference.
     pub fn saturating_sub(self, other: SimTime) -> SimTime {
         SimTime(self.0.saturating_sub(other.0))
@@ -56,13 +73,13 @@ impl Add for SimTime {
     type Output = SimTime;
 
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -122,9 +139,11 @@ pub struct LinearCost {
 }
 
 impl LinearCost {
-    /// Cost of processing `bytes` bytes.
+    /// Cost of processing `bytes` bytes (saturating, like all `SimTime`
+    /// arithmetic — the picosecond intermediate can overflow first).
     pub fn for_bytes(&self, bytes: usize) -> SimTime {
-        SimTime::from_ns(self.fixed.as_ns() + (bytes as u64 * self.per_byte_ps) / 1_000)
+        let ps = (bytes as u64).saturating_mul(self.per_byte_ps);
+        SimTime::from_ns(self.fixed.as_ns().saturating_add(ps / 1_000))
     }
 }
 
@@ -234,6 +253,61 @@ mod tests {
         assert_eq!(SimTime::from_ns(10).to_string(), "10ns");
         assert_eq!(SimTime::from_us(5).to_string(), "5.00µs");
         assert_eq!(SimTime::from_ms(2).to_string(), "2.00ms");
+    }
+
+    /// Regression (pre-fix: `Add`/`AddAssign` used unchecked `+` and the
+    /// unit constructors used unchecked `*`, so these expressions
+    /// overflow-panicked in debug builds and wrapped in release).
+    #[test]
+    fn simtime_arithmetic_saturates_at_the_u64_boundary() {
+        // Additive boundary.
+        assert_eq!(SimTime::MAX + SimTime::from_ns(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimTime::MAX, SimTime::MAX);
+        let mut t = SimTime::from_ns(u64::MAX - 1);
+        t += SimTime::from_ns(5);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_ns(1)),
+            SimTime::MAX
+        );
+        // Exactly at the boundary: no saturation yet.
+        let mut u = SimTime::from_ns(u64::MAX - 1);
+        u += SimTime::from_ns(1);
+        assert_eq!(u.as_ns(), u64::MAX);
+        // Multiplicative boundary in the constructors.
+        assert_eq!(SimTime::from_us(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_ms(u64::MAX), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_us(u64::MAX / 1_000).as_ns(),
+            u64::MAX / 1_000 * 1_000
+        );
+    }
+
+    #[test]
+    fn clock_saturates_instead_of_wrapping() {
+        let mut c = Clock::new();
+        c.charge(SimTime::MAX);
+        c.charge(SimTime::from_ms(1));
+        assert_eq!(c.now(), SimTime::MAX);
+    }
+
+    #[test]
+    fn linear_cost_saturates_on_huge_inputs() {
+        // The picosecond intermediate saturates instead of wrapping…
+        let lc = LinearCost {
+            fixed: SimTime::from_ns(100),
+            per_byte_ps: u64::MAX,
+        };
+        assert_eq!(
+            lc.for_bytes(usize::MAX),
+            SimTime::from_ns(100 + u64::MAX / 1_000)
+        );
+        // …and so does the fixed + per-byte sum.
+        let lc = LinearCost {
+            fixed: SimTime::MAX,
+            per_byte_ps: 1_000,
+        };
+        assert_eq!(lc.for_bytes(4096), SimTime::MAX);
     }
 
     #[test]

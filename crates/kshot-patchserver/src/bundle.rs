@@ -133,7 +133,21 @@ impl PatchBundle {
     }
 
     /// Serialize to wire bytes (integrity hash appended).
+    ///
+    /// # Panics
+    ///
+    /// If any field exceeds the `u32` length-prefix range — see
+    /// [`PatchBundle::try_encode`] for the fallible form used on paths
+    /// that carry attacker- or fleet-sized payloads.
     pub fn encode(&self) -> Vec<u8> {
+        self.try_encode()
+            .expect("bundle fields fit the wire format")
+    }
+
+    /// Serialize to wire bytes (integrity hash appended), rejecting
+    /// fields too large for their `u32` length prefix instead of
+    /// truncating them.
+    pub fn try_encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer::new();
         w.put_str(&self.id).put_str(&self.kernel_version);
         w.put_u8(self.types.t1 as u8)
@@ -159,10 +173,10 @@ impl PatchBundle {
         // Trailing integrity hash over everything prior (paper: "we
         // verify the integrity of the received patch to guard against
         // network transmission errors").
-        let mut out = w.into_bytes();
+        let mut out = w.into_bytes()?;
         let digest = sha256(&out);
         out.extend_from_slice(&digest);
-        out
+        Ok(out)
     }
 
     /// Deserialize from wire bytes, verifying the integrity hash.
@@ -192,14 +206,18 @@ impl PatchBundle {
         };
         let mut lists: [Vec<PatchEntry>; 2] = [Vec::new(), Vec::new()];
         for list in &mut lists {
-            let n = r.get_u32("entry count")?;
+            // Minimum entry footprint: four length prefixes, three u64
+            // fields, the ftrace flag, and the 32-byte pre-hash.
+            let n = r.get_count("entry count", 4 + 8 + 8 + 1 + 8 + 32 + 4 + 4)?;
+            list.reserve(n);
             for _ in 0..n {
                 list.push(decode_entry(&mut r)?);
             }
         }
         let [entries, new_functions] = lists;
-        let n = r.get_u32("global op count")?;
-        let mut global_ops = Vec::with_capacity(n as usize);
+        // Minimum op footprint: tag, name prefix, addr, bytes prefix.
+        let n = r.get_count("global op count", 1 + 4 + 8 + 4)?;
+        let mut global_ops = Vec::with_capacity(n);
         for _ in 0..n {
             let tag = r.get_u8("global op tag")?;
             let name = r.get_str("global name")?;
@@ -259,8 +277,9 @@ fn decode_entry(r: &mut Reader<'_>) -> Result<PatchEntry, WireError> {
     let mut expected_pre_hash = [0u8; DIGEST_LEN];
     expected_pre_hash.copy_from_slice(r.get_raw(DIGEST_LEN, "pre hash")?);
     let body = r.get_bytes("body")?;
-    let n = r.get_u32("reloc count")?;
-    let mut relocs = Vec::with_capacity(n as usize);
+    // Minimum reloc footprint: offset, tag, and a name-prefix target.
+    let n = r.get_count("reloc count", 4 + 1 + 4)?;
+    let mut relocs = Vec::with_capacity(n);
     for _ in 0..n {
         let offset = r.get_u32("reloc offset")?;
         let tag = r.get_u8("reloc tag")?;

@@ -1,0 +1,183 @@
+//! Shared immutable bundle cache for fleet campaigns.
+//!
+//! A datacenter pushing one patch to N machines ships the *same*
+//! encoded bundle N times. Decoding (and integrity-hashing) it once per
+//! machine is pure waste: the bundle is immutable after verification,
+//! so one decode can serve every session. [`BundleCache`] keys decoded
+//! bundles by the SHA-256 of their encoded bytes — the same digest the
+//! bundle's trailing integrity hash covers — and hands out `Arc`s, so
+//! concurrent fleet workers share one allocation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use kshot_crypto::sha256::{sha256, DIGEST_LEN};
+
+use crate::bundle::PatchBundle;
+use crate::wire::WireError;
+
+/// A concurrent decode-once cache of verified patch bundles.
+///
+/// Cheap to clone conceptually — wrap it in an `Arc` and share it
+/// across workers; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct BundleCache {
+    entries: Mutex<BTreeMap<[u8; DIGEST_LEN], Arc<PatchBundle>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BundleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The decoded bundle for `bytes`, decoding (with full integrity
+    /// verification) only on first sight of this exact byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] from [`PatchBundle::decode`] on a malformed or
+    /// corrupted payload; failures are never cached, so a corrupt
+    /// transfer followed by a clean resend succeeds.
+    pub fn get_or_decode(&self, bytes: &[u8]) -> Result<Arc<PatchBundle>, WireError> {
+        let key = sha256(bytes);
+        if let Some(found) = self.entries.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            kshot_telemetry::counter("cache.bundle_hit", 1);
+            return Ok(Arc::clone(found));
+        }
+        // Decode outside the lock: it hashes and parses the whole
+        // payload, and other workers should not stall behind it. Two
+        // workers racing the same first decode both succeed; one
+        // insertion wins and the duplicate Arc is dropped.
+        let decoded = Arc::new(PatchBundle::decode(bytes)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        kshot_telemetry::counter("cache.bundle_miss", 1);
+        let mut entries = self.entries.lock().unwrap();
+        let winner = entries.entry(key).or_insert_with(|| Arc::clone(&decoded));
+        Ok(Arc::clone(winner))
+    }
+
+    /// Pre-seed the cache with an already-decoded bundle, keyed by its
+    /// canonical encoding. Lets an orchestrator that *built* the bundle
+    /// skip even the first decode.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] if the bundle cannot be encoded.
+    pub fn insert(&self, bundle: Arc<PatchBundle>) -> Result<(), WireError> {
+        let key = sha256(&bundle.try_encode()?);
+        self.entries.lock().unwrap().insert(key, bundle);
+        Ok(())
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. actual decodes) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct bundles cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{BundleTypes, PatchEntry};
+
+    fn bundle(id: &str) -> PatchBundle {
+        PatchBundle {
+            id: id.into(),
+            kernel_version: "kv-test".into(),
+            entries: vec![PatchEntry {
+                name: "f".into(),
+                taddr: 0x10_0000,
+                tsize: 16,
+                ftrace_offset: None,
+                expected_pre_hash: [7; 32],
+                body: vec![0xC3],
+                relocs: vec![],
+            }],
+            new_functions: vec![],
+            global_ops: vec![],
+            types: BundleTypes::default(),
+        }
+    }
+
+    #[test]
+    fn decodes_once_then_hits() {
+        let cache = BundleCache::new();
+        let bytes = bundle("CVE-A").encode();
+        let a = cache.get_or_decode(&bytes).unwrap();
+        let b = cache.get_or_decode(&bytes).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_bundles_get_distinct_entries() {
+        let cache = BundleCache::new();
+        let a = cache.get_or_decode(&bundle("CVE-A").encode()).unwrap();
+        let b = cache.get_or_decode(&bundle("CVE-B").encode()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_and_not_cached() {
+        let cache = BundleCache::new();
+        let mut bytes = bundle("CVE-A").encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        assert!(cache.get_or_decode(&bytes).is_err());
+        assert!(cache.is_empty());
+        // The clean resend succeeds.
+        bytes[mid] ^= 1;
+        assert!(cache.get_or_decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn insert_preseeds_the_canonical_encoding() {
+        let cache = BundleCache::new();
+        let b = Arc::new(bundle("CVE-A"));
+        cache.insert(Arc::clone(&b)).unwrap();
+        let got = cache.get_or_decode(&b.encode()).unwrap();
+        assert!(Arc::ptr_eq(&got, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(BundleCache::new());
+        let bytes = Arc::new(bundle("CVE-A").encode());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let bytes = Arc::clone(&bytes);
+                std::thread::spawn(move || cache.get_or_decode(&bytes).unwrap().id.clone())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "CVE-A");
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 4);
+    }
+}

@@ -29,13 +29,15 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Serialize.
+    /// Serialize. Ciphertext length is bounded by the plaintext the
+    /// sealer accepted, which itself passed the writer's `u32` length
+    /// check — so the encode cannot be poisoned in practice.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u64(self.seq)
             .put_bytes(&self.ciphertext)
             .put_raw(&self.mac);
-        w.into_bytes()
+        w.into_bytes().expect("ciphertext fits the wire format")
     }
 
     /// Deserialize.

@@ -23,14 +23,18 @@
 //!   the security experiments.
 //! * [`wire`] — the little binary reader/writer the bundle and the Fig. 3
 //!   patch package share.
+//! * [`cache`] — [`cache::BundleCache`], the decode-once shared bundle
+//!   cache fleet campaigns distribute one verified bundle through.
 
 pub mod bundle;
+pub mod cache;
 pub mod channel;
 pub mod patch;
 pub mod server;
 pub mod wire;
 
 pub use bundle::{GlobalOp, PatchBundle, PatchEntry, RelocTarget};
+pub use cache::BundleCache;
 pub use channel::{ChannelError, Frame, SecureChannel, Tamper};
 pub use patch::SourcePatch;
 pub use server::{PatchServer, ServerError};

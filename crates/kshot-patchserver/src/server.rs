@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use kshot_analysis::diff::GlobalChange;
 use kshot_analysis::extract::extract_function;
@@ -69,10 +70,15 @@ impl From<LinkError> for ServerError {
 /// The remote, trusted patch server.
 ///
 /// Holds the source trees of the kernel versions it supports, keyed by
-/// version string; builds binary patch bundles on request.
+/// version string; builds binary patch bundles on request. One server
+/// instance can serve many concurrent sessions: building takes `&self`,
+/// and [`PatchServer::build_patch_cached`] memoizes bundles per
+/// `(kernel version, patch id)` so a fleet campaign compiles each patch
+/// once, not once per machine.
 #[derive(Debug, Default)]
 pub struct PatchServer {
     trees: BTreeMap<String, Program>,
+    built: Mutex<BTreeMap<(String, String), Arc<PatchBundle>>>,
 }
 
 /// The artefacts of one build, exposed for inspection and testing.
@@ -102,6 +108,37 @@ impl PatchServer {
     /// Registered version strings.
     pub fn versions(&self) -> Vec<&str> {
         self.trees.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// [`PatchServer::build_patch`], memoized per `(kernel version,
+    /// patch id)`. The full build pipeline runs at most once per key;
+    /// every later request — from any thread — receives the same
+    /// shared, immutable bundle. This is what lets a fleet campaign
+    /// reuse one server across N sessions without rebuilding.
+    ///
+    /// The memo assumes a patch id names one immutable source edit (as
+    /// CVE ids do). Registering a *different* patch under a previously
+    /// built id returns the stale bundle.
+    ///
+    /// # Errors
+    ///
+    /// As [`PatchServer::build_patch`]; build failures are not cached.
+    pub fn build_patch_cached(
+        &self,
+        info: &KernelInfo,
+        patch: &SourcePatch,
+    ) -> Result<Arc<PatchBundle>, ServerError> {
+        let key = (info.version.clone(), patch.id.clone());
+        if let Some(found) = self.built.lock().unwrap().get(&key) {
+            kshot_telemetry::counter("server.build_memo_hit", 1);
+            return Ok(Arc::clone(found));
+        }
+        // Build outside the lock so a slow compile does not serialize
+        // unrelated requests; concurrent first-builds race benignly.
+        let bundle = Arc::new(self.build_patch(info, patch)?.bundle);
+        let mut built = self.built.lock().unwrap();
+        let winner = built.entry(key).or_insert_with(|| Arc::clone(&bundle));
+        Ok(Arc::clone(winner))
     }
 
     /// Build a binary patch bundle for the target described by `info`.
@@ -377,6 +414,38 @@ mod tests {
             sha256(out.pre_image.function_bytes("vuln").unwrap())
         );
         assert!(out.bundle.types.t1);
+    }
+
+    #[test]
+    fn cached_build_runs_the_pipeline_once_per_key() {
+        let patch = SourcePatch::new("CVE-TEST-1").replacing(
+            Function::new("vuln", 1, 0)
+                .with_inline(InlineHint::Never)
+                .returning(Expr::call("helper", vec![Expr::param(0)]).add(Expr::c(9))),
+        );
+        let s = server();
+        let a = s.build_patch_cached(&info(), &patch).unwrap();
+        let b = s.build_patch_cached(&info(), &patch).unwrap();
+        // Same Arc — the second request did not rebuild.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.id, "CVE-TEST-1");
+        // The memoized bundle matches a fresh uncached build.
+        let fresh = s.build_patch(&info(), &patch).unwrap().bundle;
+        assert_eq!(*a, fresh);
+        // A different patch id builds its own entry.
+        let other = SourcePatch::new("CVE-TEST-OTHER")
+            .replacing(Function::new("tiny", 0, 0).returning(Expr::c(3)));
+        let c = s.build_patch_cached(&info(), &other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Build failures are surfaced, not cached.
+        let bad_info = KernelInfo {
+            version: "kv-none".into(),
+            ..info()
+        };
+        assert!(matches!(
+            s.build_patch_cached(&bad_info, &patch),
+            Err(ServerError::UnknownVersion(_))
+        ));
     }
 
     #[test]

@@ -4,9 +4,19 @@
 use std::fmt;
 
 /// Serialization writer.
+///
+/// Length-prefixed fields carry a `u32` prefix, so a payload longer
+/// than `u32::MAX` bytes cannot be represented. Rather than silently
+/// truncating the prefix (the pre-fix behaviour: `len as u32`), an
+/// oversize [`Writer::put_bytes`]/[`Writer::put_str`] *poisons* the
+/// writer: the field is not appended, subsequent puts become no-ops,
+/// and [`Writer::into_bytes`] returns the error. Poisoning keeps the
+/// chained-call style at encode sites while guaranteeing a corrupt
+/// frame can never leave the writer.
 #[derive(Debug, Default, Clone)]
 pub struct Writer {
     buf: Vec<u8>,
+    error: Option<WireError>,
 }
 
 impl Writer {
@@ -17,25 +27,40 @@ impl Writer {
 
     /// Append a `u8`.
     pub fn put_u8(&mut self, v: u8) -> &mut Self {
-        self.buf.push(v);
+        if self.error.is_none() {
+            self.buf.push(v);
+        }
         self
     }
 
     /// Append a little-endian `u32`.
     pub fn put_u32(&mut self, v: u32) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        if self.error.is_none() {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
         self
     }
 
     /// Append a little-endian `u64`.
     pub fn put_u64(&mut self, v: u64) -> &mut Self {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        if self.error.is_none() {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
         self
     }
 
-    /// Append a length-prefixed byte string.
+    /// Append a length-prefixed byte string. Payloads longer than
+    /// `u32::MAX` bytes poison the writer instead of truncating the
+    /// length prefix.
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.put_u32(v.len() as u32);
+        if self.error.is_some() {
+            return self;
+        }
+        let Ok(len) = u32::try_from(v.len()) else {
+            self.error = Some(WireError::Oversize { len: v.len() });
+            return self;
+        };
+        self.put_u32(len);
         self.buf.extend_from_slice(v);
         self
     }
@@ -47,13 +72,24 @@ impl Writer {
 
     /// Append raw bytes with no length prefix (fixed-size fields).
     pub fn put_raw(&mut self, v: &[u8]) -> &mut Self {
-        self.buf.extend_from_slice(v);
+        if self.error.is_none() {
+            self.buf.extend_from_slice(v);
+        }
         self
     }
 
-    /// Finish, returning the buffer.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+    /// The poisoning error, if an oversize put was rejected.
+    pub fn error(&self) -> Option<&WireError> {
+        self.error.as_ref()
+    }
+
+    /// Finish, returning the buffer — or the poisoning error if any
+    /// put was rejected.
+    pub fn into_bytes(self) -> Result<Vec<u8>, WireError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.buf),
+        }
     }
 
     /// Bytes written so far.
@@ -95,6 +131,11 @@ pub enum WireError {
     },
     /// Trailing bytes after a complete decode.
     TrailingBytes(usize),
+    /// A writer-side payload exceeded the `u32` length-prefix range.
+    Oversize {
+        /// Byte length of the rejected payload.
+        len: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -112,6 +153,9 @@ impl fmt::Display for WireError {
             ),
             WireError::BadTag { what, tag } => write!(f, "invalid tag {tag} for {what}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            WireError::Oversize { len } => {
+                write!(f, "payload of {len} bytes exceeds the u32 length prefix")
+            }
         }
     }
 }
@@ -132,11 +176,14 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
-            return Err(WireError::Truncated { what });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        // `checked_add` so a hostile `n` near `usize::MAX` cannot wrap
+        // the bound check into a false pass.
+        let end = match self.pos.checked_add(n) {
+            Some(end) if end <= self.buf.len() => end,
+            _ => return Err(WireError::Truncated { what }),
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -157,17 +204,40 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
-    /// Read a length-prefixed byte string.
+    /// Read a length-prefixed byte string. The declared length is
+    /// checked against the remaining buffer *before* any allocation,
+    /// so a corrupt prefix cannot drive an outsized `Vec`.
     pub fn get_bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
         let len = self.get_u32(what)? as usize;
-        if self.pos + len > self.buf.len() {
+        if len > self.remaining() {
             return Err(WireError::BadLength {
                 what,
                 claimed: len,
-                remaining: self.buf.len() - self.pos,
+                remaining: self.remaining(),
             });
         }
         Ok(self.take(len, what)?.to_vec())
+    }
+
+    /// Read a `u32` element count and validate it against the
+    /// remaining buffer: each element occupies at least
+    /// `min_elem_bytes` on the wire, so a count whose minimum footprint
+    /// exceeds the remaining bytes is rejected here — before the caller
+    /// sizes a `Vec::with_capacity` from it.
+    pub fn get_count(
+        &mut self,
+        what: &'static str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, WireError> {
+        let n = self.get_u32(what)? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::BadLength {
+                what,
+                claimed: n,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -208,7 +278,7 @@ mod tests {
             .put_bytes(&[1, 2, 3])
             .put_str("kshot")
             .put_raw(&[9, 9]);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_u8("a").unwrap(), 7);
         assert_eq!(r.get_u32("b").unwrap(), 0xAABB_CCDD);
@@ -223,7 +293,7 @@ mod tests {
     fn truncation_detected() {
         let mut w = Writer::new();
         w.put_u64(1);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes[..4]);
         assert!(matches!(
             r.get_u64("x"),
@@ -236,7 +306,7 @@ mod tests {
         let mut w = Writer::new();
         w.put_u32(1000); // claims 1000 bytes follow
         w.put_raw(&[1, 2]);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert!(matches!(
             r.get_bytes("payload"),
@@ -248,7 +318,7 @@ mod tests {
     fn bad_utf8_detected() {
         let mut w = Writer::new();
         w.put_bytes(&[0xFF, 0xFE]);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         assert_eq!(r.get_str("s"), Err(WireError::BadUtf8));
     }
@@ -257,7 +327,7 @@ mod tests {
     fn trailing_bytes_detected() {
         let mut w = Writer::new();
         w.put_u8(1).put_u8(2);
-        let bytes = w.into_bytes();
+        let bytes = w.into_bytes().unwrap();
         let mut r = Reader::new(&bytes);
         r.get_u8("a").unwrap();
         assert_eq!(r.clone().finish(), Err(WireError::TrailingBytes(1)));
@@ -277,8 +347,76 @@ mod tests {
             },
             WireError::BadTag { what: "z", tag: 9 },
             WireError::TrailingBytes(3),
+            WireError::Oversize { len: 1 << 33 },
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// Regression (pre-fix: `put_bytes` did `v.len() as u32`, silently
+    /// truncating the prefix of a >4 GiB payload). The payload is a
+    /// zeroed `Vec`, so the pages are never touched — the rejection
+    /// must happen before any copy.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversize_put_bytes_poisons_the_writer() {
+        let huge = vec![0u8; u32::MAX as usize + 1];
+        let mut w = Writer::new();
+        w.put_u8(1).put_bytes(&huge).put_u8(2);
+        assert_eq!(w.error(), Some(&WireError::Oversize { len: huge.len() }));
+        // Poison is sticky: the trailing put did not land either.
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.into_bytes(), Err(WireError::Oversize { len: huge.len() }));
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn exactly_u32_max_is_representable() {
+        // The boundary itself must still be accepted: try_from(u32::MAX)
+        // succeeds, one past it does not. Checked without materializing
+        // 4 GiB by probing the conversion the writer relies on.
+        assert!(u32::try_from(u32::MAX as usize).is_ok());
+        assert!(u32::try_from(u32::MAX as usize + 1).is_err());
+    }
+
+    /// Regression: `take` computed `pos + n` unchecked, so a hostile
+    /// `get_raw` length near `usize::MAX` would overflow-panic in debug
+    /// (or wrap in release) instead of reporting truncation.
+    #[test]
+    fn reader_length_overflow_is_truncation_not_panic() {
+        let bytes = [1u8, 2, 3];
+        let mut r = Reader::new(&bytes);
+        r.get_u8("a").unwrap();
+        assert!(matches!(
+            r.get_raw(usize::MAX - 1, "huge"),
+            Err(WireError::Truncated { what: "huge" })
+        ));
+        // Reader is still usable after the rejected read.
+        assert_eq!(r.get_u8("b").unwrap(), 2);
+    }
+
+    #[test]
+    fn get_count_rejects_counts_larger_than_the_buffer() {
+        let mut w = Writer::new();
+        w.put_u32(1_000_000); // claims a million 8-byte elements
+        w.put_u64(0);
+        let bytes = w.into_bytes().unwrap();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_count("entries", 8),
+            Err(WireError::BadLength {
+                what: "entries",
+                claimed: 1_000_000,
+                ..
+            })
+        ));
+        // A plausible count passes.
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u64(42);
+        let bytes = w.into_bytes().unwrap();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_count("entries", 8).unwrap(), 1);
+        assert_eq!(r.get_u64("e").unwrap(), 42);
     }
 }

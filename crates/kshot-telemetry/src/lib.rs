@@ -61,12 +61,24 @@ pub use record::{EventRecord, Field, Record, SpanRecord, Value};
 pub use recorder::{Recorder, Sink, DEFAULT_CAPACITY};
 pub use span::SpanGuard;
 
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Fast gate checked by every emit path before anything else.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static RECORDER: RwLock<Option<Arc<Recorder>>> = RwLock::new(None);
+
+thread_local! {
+    /// Per-thread recorder override (see [`with_recorder`]). Shadows
+    /// the global recorder on this thread only, so concurrent fleet
+    /// workers can record into disjoint recorders without contending
+    /// on — or corrupting — the process-global slot.
+    static LOCAL_RECORDER: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
+    /// Fast flag mirroring `LOCAL_RECORDER.is_some()`, so the disabled
+    /// path stays one branch + one load, allocation-free.
+    static LOCAL_ENABLED: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Install `recorder` as the process-global collector and enable all
 /// instrumentation. Replaces any previous recorder.
@@ -82,15 +94,45 @@ pub fn uninstall() -> Option<Arc<Recorder>> {
     RECORDER.write().unwrap().take()
 }
 
-/// True when a recorder is installed.
-pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+/// Run `f` with `recorder` as *this thread's* collector, restoring the
+/// previous state (including nesting) afterwards — even on unwind.
+///
+/// While active, every emit on this thread lands in `recorder`,
+/// regardless of (and without touching) the process-global recorder;
+/// other threads are unaffected. This is the fleet-campaign primitive:
+/// each worker wraps a machine's session in `with_recorder` so N
+/// concurrent sessions trace into N disjoint recorders, merged
+/// afterwards via [`Recorder::merge_from`].
+pub fn with_recorder<R>(recorder: Arc<Recorder>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Recorder>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            LOCAL_ENABLED.with(|on| on.set(prev.is_some()));
+            LOCAL_RECORDER.with(|slot| *slot.borrow_mut() = prev);
+        }
+    }
+    let prev = LOCAL_RECORDER.with(|slot| slot.borrow_mut().replace(recorder));
+    LOCAL_ENABLED.with(|on| on.set(true));
+    let _restore = Restore(prev);
+    f()
 }
 
-/// The installed recorder, if any. Cheap-ish (read lock + Arc clone);
-/// emit paths use it only after the atomic gate passes.
+/// True when a recorder is installed — a thread-local one via
+/// [`with_recorder`], or the process-global one via [`install`].
+pub fn is_enabled() -> bool {
+    LOCAL_ENABLED.with(|on| on.get()) || ENABLED.load(Ordering::Relaxed)
+}
+
+/// The active recorder, if any: the thread-local override when inside
+/// [`with_recorder`], else the installed global. Cheap-ish (read lock +
+/// Arc clone on the global path); emit paths use it only after the
+/// [`is_enabled`] gate passes.
 pub fn recorder() -> Option<Arc<Recorder>> {
-    if !is_enabled() {
+    if LOCAL_ENABLED.with(|on| on.get()) {
+        return LOCAL_RECORDER.with(|slot| slot.borrow().clone());
+    }
+    if !ENABLED.load(Ordering::Relaxed) {
         return None;
     }
     RECORDER.read().unwrap().clone()
@@ -320,6 +362,87 @@ mod tests {
         uninstall();
         assert_eq!(rec.len(), 3);
         assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn with_recorder_shadows_the_global_and_restores_it() {
+        with_global(|global| {
+            let local = Recorder::with_capacity(64);
+            counter("shadow.c", 1); // global
+            let out = with_recorder(local.clone(), || {
+                counter("shadow.c", 10); // local
+                event("shadow.e");
+                assert!(is_enabled());
+                42
+            });
+            assert_eq!(out, 42);
+            counter("shadow.c", 2); // global again
+            assert_eq!(local.metrics_snapshot().counter("shadow.c"), 10);
+            assert_eq!(global.metrics_snapshot().counter("shadow.c"), 3);
+            assert_eq!(local.len(), 1);
+            assert!(global.records().iter().all(|r| r.name() != "shadow.e"));
+        });
+    }
+
+    #[test]
+    fn with_recorder_enables_without_a_global_and_nests() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!is_enabled());
+        let outer = Recorder::with_capacity(64);
+        let inner = Recorder::with_capacity(64);
+        with_recorder(outer.clone(), || {
+            counter("nest.c", 1);
+            with_recorder(inner.clone(), || counter("nest.c", 100));
+            counter("nest.c", 2);
+        });
+        assert!(!is_enabled());
+        counter("nest.c", 1000); // dropped: nothing installed
+        assert_eq!(outer.metrics_snapshot().counter("nest.c"), 3);
+        assert_eq!(inner.metrics_snapshot().counter("nest.c"), 100);
+    }
+
+    #[test]
+    fn with_recorder_restores_on_unwind() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let rec = Recorder::with_capacity(16);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_recorder(rec.clone(), || panic!("boom"))
+        }));
+        assert!(result.is_err());
+        assert!(!is_enabled());
+        assert!(recorder().is_none());
+    }
+
+    #[test]
+    fn recorder_merge_folds_records_and_metrics() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let a = Recorder::with_capacity(64);
+        let b = Recorder::with_capacity(64);
+        with_recorder(a.clone(), || {
+            counter("m.c", 1);
+            observe("m.h", 10_000);
+            event("m.e");
+        });
+        with_recorder(b.clone(), || {
+            counter("m.c", 2);
+            observe("m.h", 20_000);
+            event("m.e");
+            event("m.e2");
+        });
+        a.merge_from(&b);
+        let snap = a.metrics_snapshot();
+        assert_eq!(snap.counter("m.c"), 3);
+        let h = snap.histogram("m.h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 30_000);
+        assert_eq!(h.min, 10_000);
+        assert_eq!(h.max, 20_000);
+        assert_eq!(a.len(), 3);
+        // `b` untouched.
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.metrics_snapshot().counter("m.c"), 2);
     }
 
     struct CountingSink(std::sync::mpsc::Sender<&'static str>);

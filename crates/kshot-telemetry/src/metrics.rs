@@ -49,7 +49,9 @@ impl HistogramSnapshot {
 
 #[derive(Debug)]
 struct Histogram {
-    bounds: &'static [u64],
+    // Owned (not `&'static`) so a registry can also adopt buckets from
+    // another registry's histograms during [`MetricsRegistry::merge_from`].
+    bounds: Vec<u64>,
     counts: Vec<u64>,
     count: u64,
     sum: u64,
@@ -58,14 +60,37 @@ struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &'static [u64]) -> Self {
+    fn new(bounds: &[u64]) -> Self {
         Histogram {
-            bounds,
+            bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
             count: 0,
             sum: 0,
             min: u64::MAX,
             max: 0,
+        }
+    }
+
+    /// Fold `other` into `self`. Identical bounds merge bucket-for-
+    /// bucket; differing bounds re-bucket each of `other`'s buckets by
+    /// its upper bound (overflow lands in overflow), preserving totals.
+    fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+                *mine = mine.saturating_add(*theirs);
+            }
+        } else {
+            for (i, &n) in other.counts.iter().enumerate() {
+                let representative = other.bounds.get(i).copied().unwrap_or(u64::MAX);
+                let idx = self.bounds.partition_point(|&b| b < representative);
+                self.counts[idx] = self.counts[idx].saturating_add(n);
+            }
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
         }
     }
 
@@ -84,7 +109,7 @@ impl Histogram {
 
     fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            bounds: self.bounds.to_vec(),
+            bounds: self.bounds.clone(),
             counts: self.counts.clone(),
             count: self.count,
             sum: self.sum,
@@ -168,13 +193,49 @@ impl MetricsRegistry {
     /// Record one observation using explicit bucket bounds. The bounds
     /// are fixed on first use; later calls with different bounds keep
     /// the original buckets.
-    pub fn observe_with_bounds(&self, name: &'static str, value: u64, bounds: &'static [u64]) {
+    pub fn observe_with_bounds(&self, name: &'static str, value: u64, bounds: &[u64]) {
         let mut inner = self.inner.lock().unwrap();
         inner
             .histograms
             .entry(name)
             .or_insert_with(|| Histogram::new(bounds))
             .observe(value);
+    }
+
+    /// Fold every metric of `other` into this registry: counters add,
+    /// gauges take `other`'s value (last writer wins, as with
+    /// [`MetricsRegistry::gauge_set`]), histograms merge bucket-wise
+    /// (re-bucketing by upper bound when the bounds differ).
+    ///
+    /// This is how a fleet campaign folds per-machine registries into
+    /// one report; `other` is left untouched.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        // Two locks are held briefly, always in (self, other) order at
+        // this single call site shape; merging a registry into itself
+        // would deadlock, so reject it.
+        assert!(
+            !std::ptr::eq(self, other),
+            "cannot merge a registry into itself"
+        );
+        let mut mine = self.inner.lock().unwrap();
+        let theirs = other.inner.lock().unwrap();
+        for (name, v) in &theirs.counters {
+            let slot = mine.counters.entry(*name).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &theirs.gauges {
+            mine.gauges.insert(*name, *v);
+        }
+        for (name, h) in &theirs.histograms {
+            match mine.histograms.entry(*name) {
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(h),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let mut fresh = Histogram::new(&h.bounds);
+                    fresh.merge(h);
+                    e.insert(fresh);
+                }
+            }
+        }
     }
 
     /// Copy out every metric, name-sorted.
@@ -234,6 +295,54 @@ mod tests {
         assert_eq!(h.count, 8);
         assert_eq!(h.min, 3);
         assert_eq!(h.max, u64::MAX);
+    }
+
+    #[test]
+    fn merge_from_folds_counters_gauges_histograms() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 7);
+        a.gauge_set("g", 1);
+        b.gauge_set("g", 9);
+        a.observe("h", 1_500);
+        b.observe("h", 3_000);
+        b.observe("h2", 50);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("c"), 3);
+        assert_eq!(snap.counter("only_b"), 7);
+        assert_eq!(snap.gauge("g"), Some(9));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4_500);
+        assert_eq!(h.min, 1_500);
+        assert_eq!(h.max, 3_000);
+        assert_eq!(snap.histogram("h2").unwrap().count, 1);
+        // Bucket counts merged element-wise (identical default bounds).
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn merge_rebuckets_when_bounds_differ() {
+        static A_BOUNDS: [u64; 2] = [10, 100];
+        static B_BOUNDS: [u64; 2] = [50, 500];
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.observe_with_bounds("h", 5, &A_BOUNDS);
+        b.observe_with_bounds("h", 40, &B_BOUNDS); // bucket ≤50
+        b.observe_with_bounds("h", 400, &B_BOUNDS); // bucket ≤500
+        b.observe_with_bounds("h", 9_000, &B_BOUNDS); // overflow
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.bounds, vec![10, 100]);
+        assert_eq!(h.count, 4);
+        // b's ≤50 bucket re-buckets under a's ≤100; ≤500 and overflow
+        // both land in a's overflow slot.
+        assert_eq!(h.counts, vec![1, 1, 2]);
+        assert_eq!(h.max, 9_000);
     }
 
     #[test]

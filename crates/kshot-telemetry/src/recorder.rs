@@ -110,6 +110,26 @@ impl Recorder {
         &self.metrics
     }
 
+    /// Fold another recorder's retained records and metrics into this
+    /// one. Records are appended in `other`'s retained order (fanned
+    /// out to this recorder's sinks and subject to this ring's
+    /// capacity); metrics merge per [`MetricsRegistry::merge_from`].
+    /// `other` is left untouched, so a fleet campaign can both keep
+    /// per-machine recorders and publish one merged report.
+    ///
+    /// Wall timestamps inside the copied records remain relative to
+    /// `other`'s epoch.
+    pub fn merge_from(&self, other: &Recorder) {
+        assert!(
+            !std::ptr::eq(self, other),
+            "cannot merge a recorder into itself"
+        );
+        for record in other.records() {
+            self.append(record);
+        }
+        self.metrics.merge_from(&other.metrics);
+    }
+
     /// Snapshot of all metrics.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()

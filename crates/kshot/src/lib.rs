@@ -26,6 +26,7 @@ pub use kshot_core as core;
 pub use kshot_crypto as crypto;
 pub use kshot_cve as cve;
 pub use kshot_enclave as enclave;
+pub use kshot_fleet as fleet;
 pub use kshot_isa as isa;
 pub use kshot_kcc as kcc;
 pub use kshot_kernel as kernel;
