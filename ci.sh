@@ -42,4 +42,18 @@ cargo run --release --example fleet_campaign
 test -f BENCH_fleet.json
 grep -q '"failed":0' BENCH_fleet.json
 
+# Streaming observability gate: the example streams a 32-machine
+# campaign to per-worker JSON-lines shards, re-aggregates them from
+# disk, and asserts (internally, exiting non-zero on failure) that the
+# shard totals and phase profile equal the in-memory merge and that the
+# dwell watchdog flags exactly the one slowed machine. The shell side
+# re-checks the artefacts exist and are non-empty.
+echo "== streaming observability gate =="
+rm -rf target/observe
+cargo run --release --example observe_report | tee target/observe_report.log
+grep -q "OBSERVE OK" target/observe_report.log
+for w in 0 1 2 3; do
+  test -s "target/observe/worker-$w.jsonl"
+done
+
 echo "CI OK"

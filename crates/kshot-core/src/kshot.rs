@@ -293,6 +293,10 @@ impl KShot {
         let s_entropy: [u8; 32] = self.rng.gen();
         let enclave_pub = self.helper.begin_server_session(&self.params, &e_entropy)?;
         // Server side: verify the enclave before answering (MITM gate).
+        // `phase.*` spans feed the phase-breakdown profiler
+        // (`kshot_telemetry::PhaseProfile`); attestation runs on
+        // server/enclave hardware, so this phase is wall-clock only.
+        let attest_phase = kshot_telemetry::span("phase.attest");
         let report = self
             .helper
             .attestation(&self.platform, &enclave_pub.to_bytes_be());
@@ -304,6 +308,7 @@ impl KShot {
             kshot_telemetry::event("sgx.attestation_failed");
             return Err(KShotError::AttestationFailed);
         }
+        attest_phase.end();
         let server_kp = DhKeyPair::from_entropy(&self.params, &s_entropy)
             .map_err(|e| KShotError::Sgx(SgxError::BadSmmPublic(e)))?;
         let server_key = server_kp
@@ -335,7 +340,9 @@ impl KShot {
         let smm_window = kshot_telemetry::span_at("smm.window", machine.now().as_ns());
         machine.raise_smi()?;
         let outcome = self.smm.handle_patch(machine, &self.reserved, &fresh);
+        let resume_phase = kshot_telemetry::span_at("phase.resume", machine.now().as_ns());
         machine.rsm()?;
+        resume_phase.end_at(machine.now().as_ns());
         smm_window.end_at(machine.now().as_ns());
         let end_sim_ns = machine.now().as_ns();
         let outcome = outcome?;

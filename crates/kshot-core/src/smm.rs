@@ -772,6 +772,10 @@ impl SmmHandler {
         // 1. Key generation.
         let t0 = machine.now();
         let keygen_span = kshot_telemetry::span_at("smm.keygen", t0.as_ns());
+        // Each SMM stage also emits a `phase.*` span for the
+        // phase-breakdown profiler (`kshot_telemetry::PhaseProfile`),
+        // nested inside the stage's own span.
+        let kx_phase = kshot_telemetry::span_at("phase.key_exchange", t0.as_ns());
         let kp = self.current_keypair(machine)?;
         let helper_pub = read_public(machine, reserved.rw_base + rw_offsets::HELPER_PUB)?;
         let key = kp
@@ -780,10 +784,12 @@ impl SmmHandler {
         let keygen_cost = machine.cost().smm_keygen;
         machine.charge(keygen_cost);
         timings.keygen = machine.now() - t0;
+        kx_phase.end_at(machine.now().as_ns());
         keygen_span.end_at(machine.now().as_ns());
         // 2. Fetch + decrypt.
         let t1 = machine.now();
         let mut decrypt_span = kshot_telemetry::span_at("smm.decrypt", t1.as_ns());
+        let decrypt_phase = kshot_telemetry::span_at("phase.decrypt", t1.as_ns());
         let staged_len =
             machine.read_u64(AccessCtx::Smm, reserved.rw_base + rw_offsets::STAGED_LEN)?;
         if staged_len == 0 || staged_len > reserved.w_size {
@@ -798,11 +804,13 @@ impl SmmHandler {
         let plaintext = channel.open(&frame).map_err(SmmError::Channel)?;
         let package = PatchPackage::decode(&plaintext).map_err(SmmError::Package)?;
         timings.decrypt = machine.now() - t1;
+        decrypt_phase.end_at(machine.now().as_ns());
         decrypt_span.field("bytes", staged_len);
         decrypt_span.end_at(machine.now().as_ns());
         // 3. Verify everything before touching kernel state.
         let t2 = machine.now();
         let mut verify_span = kshot_telemetry::span_at("smm.verify", t2.as_ns());
+        let verify_phase = kshot_telemetry::span_at("phase.verify", t2.as_ns());
         let mut verify_bytes = 0usize;
         // Placement validation walks a virtual cursor so records within
         // one package cannot overlap each other either — the enclave's
@@ -877,6 +885,7 @@ impl SmmHandler {
         };
         machine.charge(verify_cost);
         timings.verify = machine.now() - t2;
+        verify_phase.end_at(machine.now().as_ns());
         verify_span.field("bytes", verify_bytes);
         verify_span.end_at(machine.now().as_ns());
         // 4. Apply, under an open undo-journal window. Record-store
@@ -885,6 +894,7 @@ impl SmmHandler {
         // count to INIT_RECORDS.
         let t3 = machine.now();
         let mut apply_span = kshot_telemetry::span_at("smm.apply", t3.as_ns());
+        let apply_phase = kshot_telemetry::span_at("phase.apply", t3.as_ns());
         self.ensure_record_capacity(machine, new_records)?;
         self.journal_begin(machine, JSTATE_APPLY, &package.id)?;
         let mut trampolines = 0usize;
@@ -985,6 +995,7 @@ impl SmmHandler {
         let apply_cost = machine.cost().smm_apply.for_bytes(applied_bytes);
         machine.charge(apply_cost);
         timings.apply = machine.now() - t3;
+        apply_phase.end_at(machine.now().as_ns());
         apply_span.field("bytes", applied_bytes);
         apply_span.end_at(machine.now().as_ns());
         // 5. Commit: every protected write has landed, so close the

@@ -12,10 +12,10 @@ use kshot_crypto::sha256::sha256;
 use kshot_cve::{benchmark_options, benchmark_tree, KernelVersion};
 use kshot_kcc::KernelImage;
 use kshot_kernel::Kernel;
-use kshot_machine::{InjectionPlan, MemLayout, SimTime};
+use kshot_machine::{CostModel, InjectionPlan, LinearCost, MemLayout, SimTime};
 use kshot_patchserver::{BundleCache, PatchServer};
 use kshot_telemetry::with_recorder;
-use kshot_telemetry::Recorder;
+use kshot_telemetry::{Recorder, StreamSink, SCHEMA_VERSION};
 
 use crate::config::{splitmix64, FleetConfig};
 use crate::report::CampaignReport;
@@ -93,6 +93,12 @@ pub struct MachineOutcome {
     pub state_digest: [u8; 32],
     /// Faults the injection engine actually fired on this machine.
     pub faults_injected: u64,
+    /// SMIs whose SMM dwell exceeded the campaign's budget (always 0
+    /// when no [`FleetConfig::smm_dwell_budget`] is armed).
+    pub smm_overbudget: u64,
+    /// Longest single SMM dwell (SMI delivery through RSM completion)
+    /// observed on this machine, in simulated time.
+    pub max_smm_dwell: SimTime,
 }
 
 /// Run one campaign: patch `config.machines` machines, sharded
@@ -126,15 +132,38 @@ pub fn run_campaign(
                 if !config.link_rtt.is_zero() && worker > 0 {
                     thread::sleep(config.link_rtt * worker as u32 / workers as u32);
                 }
+                // One shard file per worker; every machine this worker
+                // drives streams into it, so shard files never need
+                // cross-thread coordination.
+                let sink = config.stream_dir.as_ref().map(|dir| {
+                    let path = dir.join(format!("worker-{worker}.jsonl"));
+                    StreamSink::to_path(&path)
+                        .unwrap_or_else(|e| panic!("open shard {}: {e}", path.display()))
+                });
                 let mut results = Vec::new();
                 let mut machine = worker;
                 while machine < config.machines {
                     let recorder = Recorder::new();
+                    if let Some(sink) = &sink {
+                        recorder.add_sink(Box::new(sink.clone()));
+                    }
                     let outcome = with_recorder(Arc::clone(&recorder), || {
                         run_machine(target, cache, bundle_bytes, config, machine, worker)
                     });
+                    if let Some(sink) = &sink {
+                        // Close the machine's section of the shard: its
+                        // metric totals (counters saturate, histograms
+                        // merge bucket-wise on re-aggregation) and one
+                        // outcome line carrying what the in-memory
+                        // MachineOutcome carries.
+                        sink.write_metrics(&recorder.metrics_snapshot());
+                        sink.write_raw_line(&machine_json_line(&outcome));
+                    }
                     results.push((outcome, recorder));
                     machine += workers;
+                }
+                if let Some(sink) = &sink {
+                    sink.flush();
                 }
                 results
             }));
@@ -149,7 +178,13 @@ pub fn run_campaign(
     let recorder = Recorder::new();
     let mut outcomes = Vec::with_capacity(per_machine.len());
     for (outcome, machine_recorder) in per_machine {
-        recorder.merge_from(&machine_recorder);
+        if config.retain_records {
+            recorder.merge_from(&machine_recorder);
+        } else {
+            // Summaries-only: fold metric totals but drop the record
+            // stream (it lives in the shard files when streaming).
+            recorder.metrics().merge_from(machine_recorder.metrics());
+        }
         outcomes.push(outcome);
     }
     CampaignReport::assemble(
@@ -184,6 +219,8 @@ fn run_machine(
         sim_clock: SimTime::ZERO,
         state_digest: [0; 32],
         faults_injected: 0,
+        smm_overbudget: 0,
+        max_smm_dwell: SimTime::ZERO,
     };
 
     let kernel = match Kernel::boot(
@@ -204,6 +241,15 @@ fn run_machine(
             return outcome;
         }
     };
+
+    {
+        let m = system.kernel_mut().machine_mut();
+        m.set_smm_dwell_budget(config.smm_dwell_budget);
+        if let Some(slow) = config.slowdowns.iter().find(|s| s.machine == machine) {
+            let scaled = slow_cost_model(m.cost(), slow.factor);
+            m.set_cost(scaled);
+        }
+    }
 
     if let Some(fault) = config.faults.iter().find(|f| f.machine == machine) {
         system
@@ -255,8 +301,62 @@ fn run_machine(
     }
 
     outcome.sim_clock = system.kernel().machine().now();
+    outcome.smm_overbudget = system.kernel().machine().smm_overbudget_count();
+    outcome.max_smm_dwell = system.kernel().machine().max_smm_dwell();
     outcome.state_digest = applied_state_digest(&system, target);
     outcome
+}
+
+/// Scale the SMM stages of `base` by `factor` (≥ 1): fixed entry/exit/
+/// keygen costs and the in-SMM linear stages (decrypt, verify, apply).
+/// SGX-side and generic-instruction costs are untouched — a slow
+/// machine is slow *in SMM*, which is exactly what the dwell watchdog
+/// is meant to catch.
+fn slow_cost_model(base: &CostModel, factor: u32) -> CostModel {
+    let factor = factor.max(1) as u64;
+    let scale_time = |t: SimTime| SimTime::from_ns(t.as_ns().saturating_mul(factor));
+    let scale_linear = |l: LinearCost| LinearCost {
+        fixed: scale_time(l.fixed),
+        per_byte_ps: l.per_byte_ps.saturating_mul(factor),
+    };
+    let mut cost = base.clone();
+    cost.smm_entry = scale_time(cost.smm_entry);
+    cost.smm_exit = scale_time(cost.smm_exit);
+    cost.smm_keygen = scale_time(cost.smm_keygen);
+    cost.smm_decrypt = scale_linear(cost.smm_decrypt);
+    cost.smm_verify = scale_linear(cost.smm_verify);
+    cost.smm_verify_sdbm = scale_linear(cost.smm_verify_sdbm);
+    cost.smm_apply = scale_linear(cost.smm_apply);
+    cost
+}
+
+/// The per-machine outcome line a worker appends to its shard file,
+/// mirroring [`MachineOutcome`] (minus the error string and digest,
+/// which stay in the in-memory report). `kshot_telemetry::ShardData`
+/// surfaces these via `other_of_type("machine")`.
+fn machine_json_line(o: &MachineOutcome) -> String {
+    let latency = match o.latency {
+        Some(t) => format!(",\"latency_ns\":{}", t.as_ns()),
+        None => String::new(),
+    };
+    format!(
+        concat!(
+            "{{\"type\":\"machine\",\"v\":{},\"machine\":{},\"worker\":{},",
+            "\"ok\":{},\"attempts\":{},\"retries\":{},\"faults_injected\":{},",
+            "\"sim_clock_ns\":{},\"smm_overbudget\":{},\"max_smm_dwell_ns\":{}{}}}"
+        ),
+        SCHEMA_VERSION,
+        o.machine,
+        o.worker,
+        o.ok,
+        o.attempts,
+        o.retries,
+        o.faults_injected,
+        o.sim_clock.as_ns(),
+        o.smm_overbudget,
+        o.max_smm_dwell.as_ns(),
+        latency,
+    )
 }
 
 /// Digest the regions that define "the applied patch": the kernel text

@@ -1,6 +1,7 @@
 //! Campaign configuration: fleet size, worker pool, retry policy,
-//! planned faults.
+//! planned faults, streaming export, and the SMM dwell watchdog.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use kshot_machine::SimTime;
@@ -17,6 +18,19 @@ pub struct PlannedFault {
     pub machine: usize,
     /// Which SMM-context write of that machine's first attempt faults.
     pub smm_write_index: u64,
+}
+
+/// A deliberately slow machine: its SMM-stage costs are scaled by
+/// `factor`, so every SMI dwells `factor`× longer in SMM. Campaigns use
+/// this to validate the dwell watchdog: a slowed machine should be the
+/// one (and only) machine the campaign flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSlowdown {
+    /// Index of the machine (0-based) to slow down.
+    pub machine: usize,
+    /// Multiplier applied to the machine's SMM cost-model entries
+    /// (clamped to ≥ 1).
+    pub factor: u32,
 }
 
 /// Configuration of one fleet campaign.
@@ -43,6 +57,24 @@ pub struct FleetConfig {
     /// Faults to arm, at most one per machine (later entries for the
     /// same machine are ignored).
     pub faults: Vec<PlannedFault>,
+    /// When set, each worker streams its machines' telemetry to
+    /// `<stream_dir>/worker-<N>.jsonl` as machines complete (records as
+    /// they are emitted, one metrics block plus one `machine` outcome
+    /// line per machine). See `kshot_telemetry::StreamSink`.
+    pub stream_dir: Option<PathBuf>,
+    /// SMM dwell-time budget armed on every machine; SMIs dwelling
+    /// longer are counted and reported in
+    /// `CampaignReport::dwell_anomalies`.
+    pub smm_dwell_budget: Option<SimTime>,
+    /// Machines to artificially slow down (SMM cost scaling), at most
+    /// one per machine.
+    pub slowdowns: Vec<PlannedSlowdown>,
+    /// Whether the merged campaign recorder retains every machine's
+    /// records (`true`, the default) or only the merged metric
+    /// summaries (`false`). Summaries-only is the memory-bounded mode
+    /// for large fleets: with `stream_dir` set, the full record stream
+    /// lives in the per-worker shard files instead.
+    pub retain_records: bool,
 }
 
 impl FleetConfig {
@@ -58,6 +90,10 @@ impl FleetConfig {
             backoff_base: SimTime::from_ms(50),
             link_rtt: Duration::ZERO,
             faults: Vec::new(),
+            stream_dir: None,
+            smm_dwell_budget: None,
+            slowdowns: Vec::new(),
+            retain_records: true,
         }
     }
 
@@ -76,6 +112,32 @@ impl FleetConfig {
     /// Builder-style: arm `fault` on its machine.
     pub fn with_fault(mut self, fault: PlannedFault) -> Self {
         self.faults.push(fault);
+        self
+    }
+
+    /// Builder-style: stream per-worker telemetry shards into `dir`.
+    pub fn with_stream_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.stream_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder-style: arm the SMM dwell watchdog on every machine.
+    pub fn with_smm_dwell_budget(mut self, budget: SimTime) -> Self {
+        self.smm_dwell_budget = Some(budget);
+        self
+    }
+
+    /// Builder-style: slow one machine's SMM stages down.
+    pub fn with_slowdown(mut self, slowdown: PlannedSlowdown) -> Self {
+        self.slowdowns.push(slowdown);
+        self
+    }
+
+    /// Builder-style: keep only merged metric summaries in the campaign
+    /// recorder (pair with [`FleetConfig::with_stream_dir`] so the full
+    /// record stream still lands on disk).
+    pub fn summaries_only(mut self) -> Self {
+        self.retain_records = false;
         self
     }
 }

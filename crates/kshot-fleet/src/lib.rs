@@ -28,11 +28,19 @@
 //!   and summarizes latency percentiles, throughput (simulated and
 //!   wall-clock), retry/failure counts, and cache effectiveness in a
 //!   [`CampaignReport`].
+//! * **Streaming observability.** With [`FleetConfig::with_stream_dir`]
+//!   each worker streams its machines' telemetry to a per-worker
+//!   `worker-<N>.jsonl` shard as it happens; the shards re-aggregate
+//!   (via [`kshot_telemetry::ShardData`]) to exactly the in-memory
+//!   merged totals, so `summaries_only` campaigns can drop the record
+//!   stream without losing anything. An SMM dwell-time watchdog
+//!   ([`FleetConfig::with_smm_dwell_budget`]) flags machines whose SMIs
+//!   overstay their budget in [`CampaignReport::dwell_anomalies`].
 
 pub mod campaign;
 pub mod config;
 pub mod report;
 
 pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
-pub use config::{FleetConfig, PlannedFault};
+pub use config::{FleetConfig, PlannedFault, PlannedSlowdown};
 pub use report::CampaignReport;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use kshot_machine::SimTime;
-use kshot_telemetry::Recorder;
+use kshot_telemetry::{PhaseProfile, Recorder};
 
 use crate::campaign::MachineOutcome;
 use crate::config::FleetConfig;
@@ -47,7 +47,12 @@ pub struct CampaignReport {
     pub cache_misses: u64,
     /// Per-machine outcomes, ordered by machine index.
     pub outcomes: Vec<MachineOutcome>,
-    /// Every machine's telemetry, merged into one recorder.
+    /// Machines (by index) the SMM dwell watchdog flagged — at least
+    /// one SMI exceeded [`crate::FleetConfig::smm_dwell_budget`].
+    /// Always empty when no budget was armed.
+    pub dwell_anomalies: Vec<usize>,
+    /// Every machine's telemetry, merged into one recorder (metric
+    /// summaries only when the campaign ran `summaries_only`).
     pub recorder: Arc<Recorder>,
 }
 
@@ -65,6 +70,11 @@ impl CampaignReport {
         let failed = outcomes.len() - succeeded;
         let retries = outcomes.iter().map(|o| o.retries).sum();
         let faults_injected = outcomes.iter().map(|o| o.faults_injected).sum();
+        let dwell_anomalies = outcomes
+            .iter()
+            .filter(|o| o.smm_overbudget > 0)
+            .map(|o| o.machine)
+            .collect();
 
         let mut latencies: Vec<u64> = outcomes
             .iter()
@@ -108,8 +118,18 @@ impl CampaignReport {
             cache_hits,
             cache_misses,
             outcomes,
+            dwell_anomalies,
             recorder,
         }
+    }
+
+    /// Per-phase timing breakdown reconstructed from the merged
+    /// recorder's `phase.*` spans. Empty when the campaign ran
+    /// `summaries_only` (records were dropped); re-aggregate from the
+    /// streamed shard files instead
+    /// ([`kshot_telemetry::PhaseProfile::from_json_lines`]).
+    pub fn phase_profile(&self) -> PhaseProfile {
+        PhaseProfile::from_recorder(&self.recorder)
     }
 
     /// Whether every machine ended with the same text/`mem_X` digest —
@@ -125,19 +145,29 @@ impl CampaignReport {
         }
     }
 
-    /// Serialize the summary (not per-machine outcomes) as a JSON object.
+    /// Serialize the summary (not per-machine outcomes) as a JSON
+    /// object, stamped with the telemetry schema version so downstream
+    /// readers can reject drift the same way shard parsers do.
     pub fn to_json(&self) -> String {
+        let dwell_anomalies = self
+            .dwell_anomalies
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
-                "{{\"machines\":{},\"workers\":{},\"succeeded\":{},\"failed\":{},",
+                "{{\"v\":{},\"machines\":{},\"workers\":{},\"succeeded\":{},\"failed\":{},",
                 "\"retries\":{},\"faults_injected\":{},",
                 "\"latency_ns\":{{\"p50\":{},\"p95\":{},\"max\":{}}},",
                 "\"wall_ms\":{:.3},",
                 "\"throughput_wall_patches_per_sec\":{:.3},",
                 "\"throughput_sim_patches_per_sec\":{:.3},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+                "\"dwell_anomalies\":[{}],",
                 "\"identical_digests\":{}}}"
             ),
+            kshot_telemetry::SCHEMA_VERSION,
             self.machines,
             self.workers,
             self.succeeded,
@@ -152,6 +182,7 @@ impl CampaignReport {
             self.throughput_sim,
             self.cache_hits,
             self.cache_misses,
+            dwell_anomalies,
             self.all_identical_digests(),
         )
     }
@@ -182,15 +213,20 @@ mod tests {
             sim_clock: SimTime::from_ns(latency_ns * 2),
             state_digest: [digest; 32],
             faults_injected: 0,
+            smm_overbudget: 0,
+            max_smm_dwell: SimTime::ZERO,
         }
     }
 
     #[test]
     fn assemble_summarizes_percentiles_and_throughput() {
         let config = FleetConfig::new(3, 2);
+        let mut flagged = outcome(1, true, 3_000, 7);
+        flagged.smm_overbudget = 2;
+        flagged.max_smm_dwell = SimTime::from_us(120);
         let outcomes = vec![
             outcome(0, true, 1_000, 7),
-            outcome(1, true, 3_000, 7),
+            flagged,
             outcome(2, false, 9_000, 8),
         ];
         let report = CampaignReport::assemble(
@@ -210,10 +246,13 @@ mod tests {
         // Simulated campaign time is the slowest clock (18 µs).
         assert!((report.throughput_sim - 2.0 / 18e-6).abs() < 1.0);
         assert!(!report.all_identical_digests());
+        assert_eq!(report.dwell_anomalies, vec![1]);
         let json = report.to_json();
+        assert!(json.starts_with(&format!("{{\"v\":{}", kshot_telemetry::SCHEMA_VERSION)));
         assert!(json.contains("\"succeeded\":2"));
         assert!(json.contains("\"identical_digests\":false"));
         assert!(json.contains("\"p50\":1000"));
+        assert!(json.contains("\"dwell_anomalies\":[1]"));
     }
 
     #[test]

@@ -45,4 +45,4 @@ pub use inject::{
 pub use layout::MemLayout;
 pub use machine::{AccessCtx, Machine};
 pub use phys::{PhysMemory, PAGE_SIZE};
-pub use timing::{Clock, CostModel, SimTime};
+pub use timing::{Clock, CostModel, LinearCost, SimTime};

@@ -82,6 +82,15 @@ pub struct Machine {
     events: Vec<Event>,
     smi_count: u64,
     inject: Option<InjectionState>,
+    /// Dwell-time watchdog: SMM residency budget per SMI, if armed.
+    smm_dwell_budget: Option<SimTime>,
+    /// Simulated instant the current SMI was delivered (before the
+    /// entry cost was charged), while in SMM.
+    smm_entered_at: Option<SimTime>,
+    /// SMIs whose dwell exceeded the armed budget.
+    smm_overbudget: u64,
+    /// Longest SMM dwell observed on this machine.
+    max_smm_dwell: SimTime,
 }
 
 impl Machine {
@@ -117,6 +126,10 @@ impl Machine {
             events: Vec::new(),
             smi_count: 0,
             inject: None,
+            smm_dwell_budget: None,
+            smm_entered_at: None,
+            smm_overbudget: 0,
+            max_smm_dwell: SimTime::ZERO,
         })
     }
 
@@ -163,6 +176,36 @@ impl Machine {
     /// Number of SMIs serviced so far.
     pub fn smi_count(&self) -> u64 {
         self.smi_count
+    }
+
+    // ---- SMM dwell-time watchdog ----------------------------------------
+
+    /// Arm (or disarm, with `None`) the SMM dwell-time watchdog. Dwell
+    /// is measured on the simulated clock from SMI delivery — *before*
+    /// the entry cost is charged — to the completion of `RSM`, so it
+    /// covers the mode switches as well as the handler body: the full
+    /// interval the OS is paused, which is the quantity the paper's
+    /// SMM-cost argument bounds. An SMI whose dwell exceeds the budget
+    /// bumps [`Machine::smm_overbudget_count`] and emits a
+    /// `machine.smm_overbudget` event.
+    pub fn set_smm_dwell_budget(&mut self, budget: Option<SimTime>) {
+        self.smm_dwell_budget = budget;
+    }
+
+    /// The armed dwell budget, if any.
+    pub fn smm_dwell_budget(&self) -> Option<SimTime> {
+        self.smm_dwell_budget
+    }
+
+    /// How many SMIs exceeded the armed dwell budget.
+    pub fn smm_overbudget_count(&self) -> u64 {
+        self.smm_overbudget
+    }
+
+    /// The longest SMM dwell observed so far ([`SimTime::ZERO`] before
+    /// the first completed SMI).
+    pub fn max_smm_dwell(&self) -> SimTime {
+        self.max_smm_dwell
     }
 
     /// The event log (bounded; oldest entries are dropped).
@@ -390,6 +433,10 @@ impl Machine {
         self.mode = CpuMode::Protected;
         self.cpu = CpuState::new();
         self.inject = None;
+        // A warm reset never completes the interrupted SMI, so the
+        // half-open dwell interval is discarded rather than attributed
+        // to the next RSM.
+        self.smm_entered_at = None;
         kshot_telemetry::counter("machine.snapshot_resume", 1);
     }
 
@@ -484,6 +531,10 @@ impl Machine {
         self.mem.write_raw(base, &save)?;
         self.mode = CpuMode::Smm;
         self.smi_count += 1;
+        // Dwell measurement starts at delivery, before the entry cost,
+        // so the switch-in/switch-out overheads count against the
+        // budget too.
+        self.smm_entered_at = Some(self.now());
         let entry_cost = self.cost.smm_entry;
         self.charge(entry_cost);
         let now = self.now();
@@ -508,6 +559,21 @@ impl Machine {
         let exit_cost = self.cost.smm_exit;
         self.charge(exit_cost);
         let now = self.now();
+        if let Some(entered) = self.smm_entered_at.take() {
+            let dwell = now.saturating_sub(entered);
+            self.max_smm_dwell = self.max_smm_dwell.max(dwell);
+            kshot_telemetry::observe("machine.smm_dwell_ns", dwell.as_ns());
+            if let Some(budget) = self.smm_dwell_budget {
+                if dwell > budget {
+                    self.smm_overbudget += 1;
+                    kshot_telemetry::counter("machine.smm_overbudget", 1);
+                    kshot_telemetry::event_with("machine.smm_overbudget", Some(now.as_ns()), |f| {
+                        f.push(("dwell_ns", dwell.as_ns().into()));
+                        f.push(("budget_ns", budget.as_ns().into()));
+                    });
+                }
+            }
+        }
         self.log(Event::Rsm(now));
         Ok(())
     }
@@ -656,5 +722,58 @@ mod tests {
             let _ = m.write_bytes(AccessCtx::Kernel, smram, &[0]);
         }
         assert_eq!(m.events().len(), super::MAX_EVENTS);
+    }
+
+    #[test]
+    fn dwell_watchdog_measures_entry_to_rsm() {
+        let mut m = machine();
+        // A bare SMI → RSM dwell is exactly the two mode-switch costs.
+        let expected = m.cost().smm_entry + m.cost().smm_exit;
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        assert_eq!(m.max_smm_dwell(), expected);
+        // No budget armed: nothing flagged.
+        assert_eq!(m.smm_overbudget_count(), 0);
+    }
+
+    #[test]
+    fn dwell_watchdog_flags_only_overbudget_smis() {
+        let mut m = machine();
+        let switch = m.cost().smm_entry + m.cost().smm_exit;
+        // Budget admits the bare switches plus 1µs of handler work.
+        m.set_smm_dwell_budget(Some(switch + SimTime::from_us(1)));
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        assert_eq!(m.smm_overbudget_count(), 0);
+        // A slow handler blows the budget.
+        m.raise_smi().unwrap();
+        m.charge(SimTime::from_us(2));
+        m.rsm().unwrap();
+        assert_eq!(m.smm_overbudget_count(), 1);
+        assert_eq!(m.max_smm_dwell(), switch + SimTime::from_us(2));
+        // Disarming stops flagging but keeps measuring.
+        m.set_smm_dwell_budget(None);
+        m.raise_smi().unwrap();
+        m.charge(SimTime::from_ms(1));
+        m.rsm().unwrap();
+        assert_eq!(m.smm_overbudget_count(), 1);
+        assert!(m.max_smm_dwell() > SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn dwell_watchdog_discards_interval_across_warm_reset() {
+        let mut m = machine();
+        m.set_smm_dwell_budget(Some(SimTime::from_ns(1)));
+        m.raise_smi().unwrap();
+        let snap = m.snapshot();
+        // The snapshot was taken mid-SMI; restoring must not attribute
+        // the half-open interval to a later RSM.
+        m.restore_from_snapshot(snap);
+        assert_eq!(m.mode(), CpuMode::Protected);
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        // Only the post-restore SMI is measured (and flagged, with the
+        // 1ns budget).
+        assert_eq!(m.smm_overbudget_count(), 1);
     }
 }

@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 
 use crate::metrics::MetricsSnapshot;
 use crate::record::{json_escape, Field, Record};
+use crate::SCHEMA_VERSION;
 
 fn fields_json(fields: &[Field]) -> String {
     let mut out = String::from("{");
@@ -19,59 +20,69 @@ fn fields_json(fields: &[Field]) -> String {
     out
 }
 
-/// One JSON object per line: spans, events, then counters, gauges, and
-/// histograms from the metrics snapshot. Every line is independently
-/// parseable, so partial files (e.g. from a truncated run) still load.
-pub fn json_lines(records: &[Record], metrics: &MetricsSnapshot) -> String {
+/// Render one record as a single JSON-lines object (no trailing
+/// newline). Every line carries the [`SCHEMA_VERSION`] as `"v"` so
+/// downstream parsers can detect format drift. This is the unit of the
+/// streaming pipeline: [`crate::StreamSink`] writes exactly these lines
+/// as records arrive.
+pub fn record_json_line(rec: &Record) -> String {
     let mut out = String::new();
-    for rec in records {
-        match rec {
-            Record::Span(s) => {
-                let _ = write!(
-                    out,
-                    "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"thread\":{},\
-                     \"wall_start_ns\":{},\"wall_dur_ns\":{}",
-                    s.id,
-                    s.parent.map_or("null".to_string(), |p| p.to_string()),
-                    json_escape(s.name),
-                    s.thread,
-                    s.wall_start_ns,
-                    s.wall_dur_ns,
-                );
-                if let Some(sim) = s.sim_start_ns {
-                    let _ = write!(out, ",\"sim_start_ns\":{sim}");
-                }
-                if let Some(sim) = s.sim_end_ns {
-                    let _ = write!(out, ",\"sim_end_ns\":{sim}");
-                }
-                if !s.fields.is_empty() {
-                    let _ = write!(out, ",\"fields\":{}", fields_json(&s.fields));
-                }
-                out.push_str("}\n");
+    match rec {
+        Record::Span(s) => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"span\",\"v\":{SCHEMA_VERSION},\"id\":{},\"parent\":{},\"name\":{},\
+                 \"thread\":{},\"wall_start_ns\":{},\"wall_dur_ns\":{}",
+                s.id,
+                s.parent.map_or("null".to_string(), |p| p.to_string()),
+                json_escape(s.name),
+                s.thread,
+                s.wall_start_ns,
+                s.wall_dur_ns,
+            );
+            if let Some(sim) = s.sim_start_ns {
+                let _ = write!(out, ",\"sim_start_ns\":{sim}");
             }
-            Record::Event(e) => {
-                let _ = write!(
-                    out,
-                    "{{\"type\":\"event\",\"parent\":{},\"name\":{},\"thread\":{},\"wall_ns\":{}",
-                    e.parent.map_or("null".to_string(), |p| p.to_string()),
-                    json_escape(e.name),
-                    e.thread,
-                    e.wall_ns,
-                );
-                if let Some(sim) = e.sim_ns {
-                    let _ = write!(out, ",\"sim_ns\":{sim}");
-                }
-                if !e.fields.is_empty() {
-                    let _ = write!(out, ",\"fields\":{}", fields_json(&e.fields));
-                }
-                out.push_str("}\n");
+            if let Some(sim) = s.sim_end_ns {
+                let _ = write!(out, ",\"sim_end_ns\":{sim}");
             }
+            if !s.fields.is_empty() {
+                let _ = write!(out, ",\"fields\":{}", fields_json(&s.fields));
+            }
+            out.push('}');
+        }
+        Record::Event(e) => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"event\",\"v\":{SCHEMA_VERSION},\"parent\":{},\"name\":{},\
+                 \"thread\":{},\"wall_ns\":{}",
+                e.parent.map_or("null".to_string(), |p| p.to_string()),
+                json_escape(e.name),
+                e.thread,
+                e.wall_ns,
+            );
+            if let Some(sim) = e.sim_ns {
+                let _ = write!(out, ",\"sim_ns\":{sim}");
+            }
+            if !e.fields.is_empty() {
+                let _ = write!(out, ",\"fields\":{}", fields_json(&e.fields));
+            }
+            out.push('}');
         }
     }
+    out
+}
+
+/// Render a metrics snapshot as JSON lines: one `counter`, `gauge`, or
+/// `histogram` object per line, each stamped with `"v"`. Counters and
+/// histogram lines are *mergeable* across shards (add counters,
+/// bucket-merge histograms); gauges are last-writer-wins.
+pub fn metrics_json_lines(metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
     for (name, value) in &metrics.counters {
         let _ = writeln!(
             out,
-            "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+            "{{\"type\":\"counter\",\"v\":{SCHEMA_VERSION},\"name\":{},\"value\":{}}}",
             json_escape(name),
             value
         );
@@ -79,7 +90,7 @@ pub fn json_lines(records: &[Record], metrics: &MetricsSnapshot) -> String {
     for (name, value) in &metrics.gauges {
         let _ = writeln!(
             out,
-            "{{\"type\":\"gauge\",\"name\":{},\"value\":{}}}",
+            "{{\"type\":\"gauge\",\"v\":{SCHEMA_VERSION},\"name\":{},\"value\":{}}}",
             json_escape(name),
             value
         );
@@ -89,8 +100,8 @@ pub fn json_lines(records: &[Record], metrics: &MetricsSnapshot) -> String {
         let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
         let _ = writeln!(
             out,
-            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
-             \"bounds\":[{}],\"counts\":[{}]}}",
+            "{{\"type\":\"histogram\",\"v\":{SCHEMA_VERSION},\"name\":{},\"count\":{},\
+             \"sum\":{},\"min\":{},\"max\":{},\"bounds\":[{}],\"counts\":[{}]}}",
             json_escape(name),
             h.count,
             h.sum,
@@ -100,6 +111,19 @@ pub fn json_lines(records: &[Record], metrics: &MetricsSnapshot) -> String {
             counts.join(","),
         );
     }
+    out
+}
+
+/// One JSON object per line: spans, events, then counters, gauges, and
+/// histograms from the metrics snapshot. Every line is independently
+/// parseable, so partial files (e.g. from a truncated run) still load.
+pub fn json_lines(records: &[Record], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_json_line(rec));
+        out.push('\n');
+    }
+    out.push_str(&metrics_json_lines(metrics));
     out
 }
 
@@ -174,7 +198,7 @@ pub fn chrome_trace(records: &[Record]) -> String {
     out
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -264,17 +288,19 @@ pub fn summary(records: &[Record], metrics: &MetricsSnapshot) -> String {
     if !metrics.histograms.is_empty() {
         let _ = writeln!(
             out,
-            "\n{:<28} {:>7} {:>12} {:>12} {:>12}",
-            "histogram", "count", "mean", "min", "max"
+            "\n{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "p50", "p95", "min", "max"
         );
-        let _ = writeln!(out, "{}", "-".repeat(76));
+        let _ = writeln!(out, "{}", "-".repeat(102));
         for (name, h) in &metrics.histograms {
             let _ = writeln!(
                 out,
-                "{:<28} {:>7} {:>12} {:>12} {:>12}",
+                "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
                 name,
                 h.count,
                 fmt_ns(h.mean()),
+                fmt_ns(h.percentile(50)),
+                fmt_ns(h.percentile(95)),
                 fmt_ns(h.min),
                 fmt_ns(h.max)
             );
@@ -339,5 +365,69 @@ mod tests {
         assert_eq!(out.matches("kshot.live_patch").count(), 1);
         assert!(out.contains("smm.trampoline"));
         assert!(out.contains("50.00us"), "{out}");
+    }
+
+    fn span_named(name: &'static str) -> Record {
+        Record::Span(SpanRecord {
+            id: 9,
+            parent: None,
+            name,
+            thread: 0,
+            wall_start_ns: 0,
+            wall_dur_ns: 1,
+            sim_start_ns: None,
+            sim_end_ns: None,
+            fields: vec![("note", Value::Str("tab\there".into()))],
+        })
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_span_names() {
+        // Quotes, backslashes, and raw control characters in names and
+        // string fields must come out as valid JSON escapes, never raw.
+        let hostile = "bad\"name\\with\nctrl\u{1}";
+        let out = chrome_trace(&[span_named(hostile)]);
+        assert!(out.contains(r#"bad\"name\\with\nctrl\u0001"#), "{out}");
+        assert!(out.contains(r#""note":"tab\there""#), "{out}");
+        // No raw control bytes survive into the output.
+        assert!(out.chars().all(|c| c >= ' ' || c == '\n'), "{out}");
+    }
+
+    #[test]
+    fn json_lines_escape_hostile_names_and_stamp_schema_version() {
+        let hostile = "a\"b\\c";
+        let out = json_lines(&[span_named(hostile)], &MetricsSnapshot::default());
+        assert!(out.contains(r#""name":"a\"b\\c""#), "{out}");
+        assert!(
+            out.contains(&format!("\"v\":{}", crate::SCHEMA_VERSION)),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn summary_percentile_edge_cases() {
+        use crate::metrics::MetricsRegistry;
+        // Empty histograms cannot exist through the registry (first
+        // observation creates them), so empty-percentile behaviour is
+        // covered on the snapshot type directly in metrics.rs. Here:
+        // single-sample and all-equal histograms through the exporter.
+        let reg = MetricsRegistry::new();
+        reg.observe("single", 1_500);
+        for _ in 0..10 {
+            reg.observe("equal", 7_000);
+        }
+        let snap = reg.snapshot();
+        let out = summary(&[], &snap);
+        // A single sample is every percentile.
+        let single = snap.histogram("single").unwrap();
+        assert_eq!(single.percentile(50), 1_500);
+        assert_eq!(single.percentile(95), 1_500);
+        // All-equal samples collapse to that value at every percentile.
+        let equal = snap.histogram("equal").unwrap();
+        assert_eq!(equal.percentile(1), 7_000);
+        assert_eq!(equal.percentile(50), 7_000);
+        assert_eq!(equal.percentile(100), 7_000);
+        assert!(out.contains("1.50us"), "{out}");
+        assert!(out.contains("7.00us"), "{out}");
     }
 }

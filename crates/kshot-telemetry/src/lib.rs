@@ -50,16 +50,30 @@
 
 #![forbid(unsafe_code)]
 
+/// Version stamped as `"v"` on every JSON-lines object this crate
+/// emits (records and metric lines alike). Bumped on any change that
+/// would make old parsers misread new lines; [`shard::ShardData`] and
+/// [`PhaseProfile::from_json_lines`] reject mismatched versions so
+/// format drift fails loudly instead of producing empty aggregates.
+pub const SCHEMA_VERSION: u32 = 1;
+
 pub mod export;
+pub mod json;
 mod metrics;
+mod phase;
 mod record;
 mod recorder;
+pub mod shard;
 mod span;
+mod stream;
 
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS_NS};
+pub use phase::{PhaseProfile, PhaseStats, PHASES, PHASE_PREFIX};
 pub use record::{EventRecord, Field, Record, SpanRecord, Value};
 pub use recorder::{Recorder, Sink, DEFAULT_CAPACITY};
+pub use shard::ShardData;
 pub use span::SpanGuard;
+pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -443,6 +457,39 @@ mod tests {
         // `b` untouched.
         assert_eq!(b.len(), 2);
         assert_eq!(b.metrics_snapshot().counter("m.c"), 2);
+    }
+
+    /// Regression: merging a shard recorder that had already overflowed
+    /// its ring must carry the shard's drop count into the target, or a
+    /// fleet merge silently reports zero loss while records are gone.
+    #[test]
+    fn recorder_merge_accumulates_dropped_counts() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let big = Recorder::with_capacity(64);
+        let tiny = Recorder::with_capacity(2);
+        with_recorder(tiny.clone(), || {
+            for _ in 0..5 {
+                event("overflow");
+            }
+        });
+        assert_eq!(tiny.dropped(), 3);
+        big.merge_from(&tiny);
+        assert_eq!(big.len(), 2);
+        assert_eq!(big.dropped(), 3, "shard loss must survive the merge");
+        // A second shard's drops accumulate on top.
+        let tiny2 = Recorder::with_capacity(2);
+        with_recorder(tiny2.clone(), || {
+            for _ in 0..4 {
+                event("overflow2");
+            }
+        });
+        big.merge_from(&tiny2);
+        assert_eq!(big.dropped(), 5);
+        // And merging into a near-full target adds its own ring drops on
+        // top of the carried ones rather than conflating the two.
+        let cramped = Recorder::with_capacity(1);
+        cramped.merge_from(&tiny); // 2 records into capacity 1 -> 1 evicted
+        assert_eq!(cramped.dropped(), 3 + 1);
     }
 
     struct CountingSink(std::sync::mpsc::Sender<&'static str>);

@@ -45,6 +45,70 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Nearest-rank percentile estimated from the buckets: the upper
+    /// bound of the bucket holding the `pct`-th ranked observation,
+    /// clamped into `[min, max]` so degenerate histograms behave
+    /// exactly — an all-equal (or single-sample) histogram returns the
+    /// observed value at every percentile, and an empty one returns 0.
+    pub fn percentile(&self, pct: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let pct = u64::from(pct.min(100));
+        // ceil(count * pct / 100), computed without overflow for counts
+        // near u64::MAX by splitting the product.
+        let rank = (self.count / 100).saturating_mul(pct)
+            + ((self.count % 100).saturating_mul(pct)).div_ceil(100);
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                let bound = self.bounds.get(i).copied().unwrap_or(self.max);
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another snapshot into this one, exactly as the live
+    /// registry merge does: identical bounds merge bucket-for-bucket,
+    /// differing bounds re-bucket by upper bound, and every aggregate
+    /// saturates at the `u64` range. This is how streamed shard files
+    /// are re-aggregated into campaign totals.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        // A merged-in empty snapshot must not drag `min` to 0 (the
+        // snapshot encoding of "no samples").
+        merge_counts(&self.bounds, &mut self.counts, &other.bounds, &other.counts);
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count = self.count.saturating_add(other.count);
+    }
+}
+
+/// Bucket-merge `other` into `(bounds, counts)`: identical bounds add
+/// element-wise; differing bounds re-bucket each of `other`'s buckets by
+/// its upper bound (overflow lands in overflow). All additions saturate.
+fn merge_counts(bounds: &[u64], counts: &mut [u64], other_bounds: &[u64], other_counts: &[u64]) {
+    if bounds == other_bounds {
+        for (mine, theirs) in counts.iter_mut().zip(other_counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+    } else {
+        for (i, &n) in other_counts.iter().enumerate() {
+            let representative = other_bounds.get(i).copied().unwrap_or(u64::MAX);
+            let idx = bounds.partition_point(|&b| b < representative);
+            counts[idx] = counts[idx].saturating_add(n);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -75,17 +139,7 @@ impl Histogram {
     /// bucket; differing bounds re-bucket each of `other`'s buckets by
     /// its upper bound (overflow lands in overflow), preserving totals.
     fn merge(&mut self, other: &Histogram) {
-        if self.bounds == other.bounds {
-            for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-                *mine = mine.saturating_add(*theirs);
-            }
-        } else {
-            for (i, &n) in other.counts.iter().enumerate() {
-                let representative = other.bounds.get(i).copied().unwrap_or(u64::MAX);
-                let idx = self.bounds.partition_point(|&b| b < representative);
-                self.counts[idx] = self.counts[idx].saturating_add(n);
-            }
-        }
+        merge_counts(&self.bounds, &mut self.counts, &other.bounds, &other.counts);
         self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         if other.count > 0 {
@@ -343,6 +397,88 @@ mod tests {
         // both land in a's overflow slot.
         assert_eq!(h.counts, vec![1, 1, 2]);
         assert_eq!(h.max, 9_000);
+    }
+
+    /// Companion to the PR-3 `SimTime` saturating-arithmetic fixes: a
+    /// fleet merge tree can fold arbitrarily many shards, so every
+    /// histogram aggregate must pin at `u64::MAX` instead of wrapping
+    /// (release) or panicking (debug).
+    #[test]
+    fn histogram_merge_saturates_at_u64_boundaries() {
+        // `sum` saturation: two near-MAX observations merged together.
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.observe("h", u64::MAX - 10);
+        b.observe("h", u64::MAX);
+        a.merge_from(&b);
+        let h = a.snapshot().histogram("h").cloned().unwrap();
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, u64::MAX - 10);
+        assert_eq!(h.max, u64::MAX);
+
+        // `count` and bucket-count saturation: ping-pong merging doubles
+        // the counts each round, crossing the u64 boundary in < 130
+        // rounds. Exercised on snapshots (the same merge arithmetic the
+        // shard re-aggregation path uses).
+        let mut x = h.clone();
+        let mut y = h;
+        for _ in 0..130 {
+            x.merge_from(&y);
+            y.merge_from(&x);
+        }
+        assert_eq!(x.count, u64::MAX);
+        assert_eq!(y.count, u64::MAX);
+        assert_eq!(x.sum, u64::MAX);
+        // Every observation sat in the overflow bucket (values near
+        // u64::MAX), so that bucket count saturated too.
+        assert_eq!(*x.counts.last().unwrap(), u64::MAX);
+        // Percentiles on a saturated histogram stay well-defined.
+        assert_eq!(x.percentile(50), u64::MAX);
+        // And the registry-level merge agrees: merging the saturated
+        // registry into a fresh one keeps the pinned values.
+        let c = MetricsRegistry::new();
+        c.observe("h", 1);
+        for _ in 0..130 {
+            a.merge_from(&b);
+            b.merge_from(&a);
+        }
+        c.merge_from(&a);
+        let merged = c.snapshot().histogram("h").cloned().unwrap();
+        assert_eq!(merged.count, u64::MAX);
+        assert_eq!(merged.min, 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_over_buckets() {
+        static BOUNDS: [u64; 4] = [10, 20, 30, 40];
+        let reg = MetricsRegistry::new();
+        for v in [5, 15, 25, 35] {
+            reg.observe_with_bounds("h", v, &BOUNDS);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("h").unwrap();
+        // Ranks: p25→1st bucket, p50→2nd, p75→3rd, p100→4th; the
+        // estimate is the bucket upper bound, clamped into [min, max].
+        assert_eq!(h.percentile(25), 10);
+        assert_eq!(h.percentile(50), 20);
+        assert_eq!(h.percentile(75), 30);
+        assert_eq!(h.percentile(100), 35); // clamped to max
+        assert_eq!(h.percentile(1), 10);
+        // Empty snapshot: every percentile is 0.
+        let empty = HistogramSnapshot {
+            bounds: vec![10],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        };
+        assert_eq!(empty.percentile(50), 0);
+        // Merging an empty snapshot is a no-op (min not dragged to 0).
+        let mut h2 = h.clone();
+        h2.merge_from(&empty);
+        assert_eq!(&h2, h);
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Phase-breakdown profiler: reconstructs per-phase timing for the
+//! live-patch pipeline from span records.
+//!
+//! The patch path emits one span per pipeline phase, named
+//! `phase.<name>` with `<name>` drawn from [`PHASES`]:
+//!
+//! | phase          | where it runs       | clocks    |
+//! |----------------|---------------------|-----------|
+//! | `attest`       | SGX session driver  | wall only |
+//! | `key_exchange` | SMM handler         | sim+wall  |
+//! | `decrypt`      | SMM handler         | sim+wall  |
+//! | `verify`       | SMM handler         | sim+wall  |
+//! | `apply`        | SMM handler         | sim+wall  |
+//! | `resume`       | session driver (RSM)| sim+wall  |
+//!
+//! A [`PhaseProfile`] aggregates those spans from any source — a live
+//! [`Recorder`](crate::Recorder), a record slice, or a streamed
+//! JSON-lines shard file — into per-phase sample sets with nearest-rank
+//! percentiles over the *raw* samples (not histogram buckets), so two
+//! profiles built from the same spans via different paths compare equal.
+//! That equality is the streaming pipeline's lossless-export proof: the
+//! profile parsed back from per-worker shard files must `==` the profile
+//! taken from the in-memory merged recorder.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::export::fmt_ns;
+use crate::json::{self, Value};
+use crate::record::Record;
+use crate::recorder::Recorder;
+
+/// The canonical pipeline phase names, in execution order.
+pub const PHASES: [&str; 6] = [
+    "attest",
+    "key_exchange",
+    "decrypt",
+    "verify",
+    "apply",
+    "resume",
+];
+
+/// Span-name prefix marking a phase span.
+pub const PHASE_PREFIX: &str = "phase.";
+
+/// Timing samples for one phase. Sample vectors are kept sorted, so the
+/// derived equality is order-independent: profiles built from the same
+/// spans observed in different orders (e.g. different worker
+/// interleavings) compare equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    wall_ns: Vec<u64>,
+    sim_ns: Vec<u64>,
+}
+
+fn sorted_insert(v: &mut Vec<u64>, x: u64) {
+    let idx = v.partition_point(|&y| y <= x);
+    v.insert(idx, x);
+}
+
+/// Nearest-rank percentile over a sorted sample vector.
+fn percentile_sorted(sorted: &[u64], pct: u8) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pct = u64::from(pct.min(100));
+    let n = sorted.len() as u64;
+    let rank = ((n * pct).div_ceil(100)).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+impl PhaseStats {
+    /// Number of samples (spans seen for this phase).
+    pub fn count(&self) -> u64 {
+        self.wall_ns.len() as u64
+    }
+
+    /// Number of samples carrying simulated time.
+    pub fn sim_count(&self) -> u64 {
+        self.sim_ns.len() as u64
+    }
+
+    /// Total wall-clock ns across samples (saturating).
+    pub fn wall_total_ns(&self) -> u64 {
+        self.wall_ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Total simulated ns across samples (saturating).
+    pub fn sim_total_ns(&self) -> u64 {
+        self.sim_ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Nearest-rank wall-clock percentile (0 when no samples).
+    pub fn wall_percentile(&self, pct: u8) -> u64 {
+        percentile_sorted(&self.wall_ns, pct)
+    }
+
+    /// Nearest-rank simulated-clock percentile (0 when no samples).
+    pub fn sim_percentile(&self, pct: u8) -> u64 {
+        percentile_sorted(&self.sim_ns, pct)
+    }
+
+    /// Largest wall-clock sample (0 when empty).
+    pub fn wall_max_ns(&self) -> u64 {
+        self.wall_ns.last().copied().unwrap_or(0)
+    }
+
+    /// Largest simulated-clock sample (0 when empty).
+    pub fn sim_max_ns(&self) -> u64 {
+        self.sim_ns.last().copied().unwrap_or(0)
+    }
+
+    fn add_sample(&mut self, wall_ns: u64, sim_ns: Option<u64>) {
+        sorted_insert(&mut self.wall_ns, wall_ns);
+        if let Some(sim) = sim_ns {
+            sorted_insert(&mut self.sim_ns, sim);
+        }
+    }
+
+    fn merge_from(&mut self, other: &PhaseStats) {
+        for &w in &other.wall_ns {
+            sorted_insert(&mut self.wall_ns, w);
+        }
+        for &s in &other.sim_ns {
+            sorted_insert(&mut self.sim_ns, s);
+        }
+    }
+}
+
+/// Per-phase timing reconstructed from `phase.*` spans.
+///
+/// Keys are the phase names with the `phase.` prefix stripped. Phases
+/// that never appeared have no entry. Equality is structural and
+/// order-independent (see [`PhaseStats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    phases: BTreeMap<String, PhaseStats>,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> PhaseProfile {
+        PhaseProfile::default()
+    }
+
+    /// Build from a record slice: every span named `phase.*` contributes
+    /// one sample; everything else is ignored.
+    pub fn from_records(records: &[Record]) -> PhaseProfile {
+        let mut profile = PhaseProfile::new();
+        for rec in records {
+            if let Record::Span(s) = rec {
+                if let Some(name) = s.name.strip_prefix(PHASE_PREFIX) {
+                    profile
+                        .phases
+                        .entry(name.to_string())
+                        .or_default()
+                        .add_sample(s.wall_dur_ns, s.sim_dur_ns());
+                }
+            }
+        }
+        profile
+    }
+
+    /// Build from a live recorder's retained records.
+    pub fn from_recorder(recorder: &Recorder) -> PhaseProfile {
+        PhaseProfile::from_records(&recorder.records())
+    }
+
+    /// Build from streamed JSON-lines text (e.g. a per-worker shard
+    /// file). Only `"type":"span"` lines with a `phase.`-prefixed name
+    /// contribute; other line types pass through untouched.
+    ///
+    /// # Errors
+    ///
+    /// A line that is not valid JSON, or a span line whose `"v"` does not
+    /// match [`crate::SCHEMA_VERSION`] (format drift must be loud, not a
+    /// silently empty profile).
+    pub fn from_json_lines(text: &str) -> Result<PhaseProfile, String> {
+        let mut profile = PhaseProfile::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if v.get("type").and_then(Value::as_str) != Some("span") {
+                continue;
+            }
+            let ver = v.get("v").and_then(Value::as_u64);
+            if ver != Some(u64::from(crate::SCHEMA_VERSION)) {
+                return Err(format!(
+                    "line {}: schema version {ver:?}, expected {}",
+                    lineno + 1,
+                    crate::SCHEMA_VERSION
+                ));
+            }
+            let Some(name) = v
+                .get("name")
+                .and_then(Value::as_str)
+                .and_then(|n| n.strip_prefix(PHASE_PREFIX))
+            else {
+                continue;
+            };
+            let wall = v
+                .get("wall_dur_ns")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {}: span without wall_dur_ns", lineno + 1))?;
+            let sim = match (
+                v.get("sim_start_ns").and_then(Value::as_u64),
+                v.get("sim_end_ns").and_then(Value::as_u64),
+            ) {
+                (Some(s), Some(e)) => Some(e.saturating_sub(s)),
+                _ => None,
+            };
+            profile
+                .phases
+                .entry(name.to_string())
+                .or_default()
+                .add_sample(wall, sim);
+        }
+        Ok(profile)
+    }
+
+    /// Add one sample directly (phase name without the `phase.`
+    /// prefix). This is the primitive the record/JSON constructors and
+    /// [`crate::shard`] re-aggregation build on.
+    pub fn add_sample(&mut self, phase: &str, wall_ns: u64, sim_ns: Option<u64>) {
+        self.phases
+            .entry(phase.to_string())
+            .or_default()
+            .add_sample(wall_ns, sim_ns);
+    }
+
+    /// Fold another profile's samples into this one.
+    pub fn merge_from(&mut self, other: &PhaseProfile) {
+        for (name, stats) in &other.phases {
+            self.phases
+                .entry(name.clone())
+                .or_default()
+                .merge_from(stats);
+        }
+    }
+
+    /// Stats for one phase (name without the `phase.` prefix).
+    pub fn get(&self, phase: &str) -> Option<&PhaseStats> {
+        self.phases.get(phase)
+    }
+
+    /// True when no phase spans were seen.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Total samples across all phases.
+    pub fn total_samples(&self) -> u64 {
+        self.phases.values().map(PhaseStats::count).sum()
+    }
+
+    /// Phase names present, canonical phases first (pipeline order),
+    /// then any extras alphabetically.
+    pub fn phase_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = PHASES
+            .iter()
+            .copied()
+            .filter(|p| self.phases.contains_key(*p))
+            .collect();
+        for name in self.phases.keys() {
+            if !PHASES.contains(&name.as_str()) {
+                names.push(name);
+            }
+        }
+        names
+    }
+
+    /// Render a plain-text phase table: count, sim p50/p95/max, wall
+    /// p50/p95/max per phase, in pipeline order.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "phase", "count", "sim p50", "sim p95", "sim max", "wall p50", "wall p95", "wall max"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(94));
+        for name in self.phase_names() {
+            let s = &self.phases[name];
+            let sim = |v: u64| {
+                if s.sim_count() == 0 {
+                    "-".to_string()
+                } else {
+                    fmt_ns(v)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+                name,
+                s.count(),
+                sim(s.sim_percentile(50)),
+                sim(s.sim_percentile(95)),
+                sim(s.sim_max_ns()),
+                fmt_ns(s.wall_percentile(50)),
+                fmt_ns(s.wall_percentile(95)),
+                fmt_ns(s.wall_max_ns()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SpanRecord;
+
+    fn phase_span(name: &'static str, wall: u64, sim: Option<(u64, u64)>) -> Record {
+        Record::Span(SpanRecord {
+            id: 1,
+            parent: None,
+            name,
+            thread: 0,
+            wall_start_ns: 0,
+            wall_dur_ns: wall,
+            sim_start_ns: sim.map(|(s, _)| s),
+            sim_end_ns: sim.map(|(_, e)| e),
+            fields: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn builds_from_records_and_ignores_non_phase_spans() {
+        let records = vec![
+            phase_span("phase.decrypt", 100, Some((0, 1_000))),
+            phase_span("phase.decrypt", 300, Some((0, 3_000))),
+            phase_span("phase.attest", 50, None),
+            phase_span("smm.window", 999, Some((0, 9_999))),
+        ];
+        let p = PhaseProfile::from_records(&records);
+        assert_eq!(p.total_samples(), 3);
+        let d = p.get("decrypt").unwrap();
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sim_percentile(50), 1_000);
+        assert_eq!(d.sim_max_ns(), 3_000);
+        assert_eq!(d.wall_total_ns(), 400);
+        let a = p.get("attest").unwrap();
+        assert_eq!(a.sim_count(), 0);
+        assert_eq!(a.wall_percentile(95), 50);
+        assert!(p.get("window").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_equals_in_memory_profile() {
+        let records = vec![
+            phase_span("phase.verify", 10, Some((100, 600))),
+            phase_span("phase.verify", 30, Some((700, 2_200))),
+            phase_span("phase.apply", 5, Some((0, 50))),
+        ];
+        let direct = PhaseProfile::from_records(&records);
+        let mut text = String::new();
+        // Reverse order: equality must not depend on stream order.
+        for rec in records.iter().rev() {
+            text.push_str(&crate::export::record_json_line(rec));
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"counter\",\"v\":1,\"name\":\"x\",\"value\":3}\n");
+        let parsed = PhaseProfile::from_json_lines(&text).unwrap();
+        assert_eq!(parsed, direct);
+    }
+
+    #[test]
+    fn json_lines_reject_drifted_schema_and_garbage() {
+        let bad_version =
+            "{\"type\":\"span\",\"v\":999,\"name\":\"phase.apply\",\"wall_dur_ns\":1}";
+        assert!(PhaseProfile::from_json_lines(bad_version)
+            .unwrap_err()
+            .contains("schema version"));
+        assert!(PhaseProfile::from_json_lines("not json").is_err());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let a = PhaseProfile::from_records(&[
+            phase_span("phase.decrypt", 10, Some((0, 10))),
+            phase_span("phase.resume", 7, None),
+        ]);
+        let b = PhaseProfile::from_records(&[phase_span("phase.decrypt", 20, Some((0, 20)))]);
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get("decrypt").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn table_lists_phases_in_pipeline_order() {
+        let p = PhaseProfile::from_records(&[
+            phase_span("phase.resume", 5, None),
+            phase_span("phase.attest", 5, None),
+            phase_span("phase.custom_extra", 5, None),
+        ]);
+        assert_eq!(p.phase_names(), vec!["attest", "resume", "custom_extra"]);
+        let table = p.render_table();
+        let attest_at = table.find("attest").unwrap();
+        let resume_at = table.find("resume").unwrap();
+        assert!(attest_at < resume_at, "{table}");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank_over_raw_samples() {
+        let mut s = PhaseStats::default();
+        for v in [40, 10, 30, 20] {
+            s.add_sample(v, None);
+        }
+        assert_eq!(s.wall_percentile(25), 10);
+        assert_eq!(s.wall_percentile(50), 20);
+        assert_eq!(s.wall_percentile(75), 30);
+        assert_eq!(s.wall_percentile(100), 40);
+        assert_eq!(s.wall_percentile(1), 10);
+        assert_eq!(PhaseStats::default().wall_percentile(50), 0);
+    }
+}

@@ -16,6 +16,11 @@ pub const DEFAULT_CAPACITY: usize = 65_536;
 /// thread while the ring lock is held.
 pub trait Sink: Send {
     fn on_record(&mut self, record: &Record);
+
+    /// Push any buffered output to its destination. Called by
+    /// [`Recorder::flush_sinks`]; the default is a no-op for sinks with
+    /// no buffer.
+    fn flush(&mut self) {}
 }
 
 struct Ring {
@@ -113,9 +118,12 @@ impl Recorder {
     /// Fold another recorder's retained records and metrics into this
     /// one. Records are appended in `other`'s retained order (fanned
     /// out to this recorder's sinks and subject to this ring's
-    /// capacity); metrics merge per [`MetricsRegistry::merge_from`].
-    /// `other` is left untouched, so a fleet campaign can both keep
-    /// per-machine recorders and publish one merged report.
+    /// capacity); metrics merge per [`MetricsRegistry::merge_from`],
+    /// and `other`'s ring-overflow drop count accumulates into this
+    /// recorder's, so loss that already happened on a shard is never
+    /// silently erased by the merge. `other` is left untouched, so a
+    /// fleet campaign can both keep per-machine recorders and publish
+    /// one merged report.
     ///
     /// Wall timestamps inside the copied records remain relative to
     /// `other`'s epoch.
@@ -124,10 +132,23 @@ impl Recorder {
             !std::ptr::eq(self, other),
             "cannot merge a recorder into itself"
         );
+        let other_dropped = other.dropped();
         for record in other.records() {
             self.append(record);
         }
+        let mut ring = self.ring.lock().unwrap();
+        ring.dropped = ring.dropped.saturating_add(other_dropped);
+        drop(ring);
         self.metrics.merge_from(&other.metrics);
+    }
+
+    /// Flush every attached sink (buffered stream sinks push their
+    /// pending lines to disk).
+    pub fn flush_sinks(&self) {
+        let mut sinks = self.sinks.lock().unwrap();
+        for sink in sinks.iter_mut() {
+            sink.flush();
+        }
     }
 
     /// Snapshot of all metrics.

@@ -1,0 +1,391 @@
+//! Shard re-aggregation: read streamed JSON-lines files back into
+//! mergeable aggregates.
+//!
+//! A fleet campaign streams each worker's telemetry to its own
+//! `worker-<N>.jsonl` (see [`crate::StreamSink`]). A [`ShardData`]
+//! parses one such file — validating the per-line schema version — and
+//! accumulates:
+//!
+//! - a [`PhaseProfile`] from `phase.*` spans,
+//! - counter totals (adding across repeated lines, e.g. one metrics
+//!   block per machine),
+//! - gauges (last writer wins, matching the registry semantics),
+//! - histogram totals (bucket-merged via
+//!   [`HistogramSnapshot::merge_from`], the same arithmetic the live
+//!   registry merge uses),
+//! - every other typed object (e.g. a fleet's `"type":"machine"`
+//!   outcome lines) verbatim in [`ShardData::other`], so higher layers
+//!   can extend the shard format without this crate knowing about it.
+//!
+//! Because the per-line arithmetic is identical to the in-memory merge
+//! path, parsing all shards and [`merging`](ShardData::merge_from) them
+//! yields totals equal to the single merged recorder's — the lossless
+//! round-trip the observe report asserts.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::{self, Value};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::phase::{PhaseProfile, PHASE_PREFIX};
+
+/// Aggregates parsed back from one or more JSON-lines shards.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardData {
+    /// Counter totals, summed across all parsed lines (saturating).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values, last writer wins.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram totals, bucket-merged across all parsed lines.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Phase profile from `phase.*` span lines.
+    pub phases: PhaseProfile,
+    /// Span lines seen (phase or otherwise).
+    pub spans: u64,
+    /// Event lines seen.
+    pub events: u64,
+    /// Objects of any other `"type"` (e.g. fleet `machine` outcome
+    /// lines), in stream order.
+    pub other: Vec<Value>,
+}
+
+fn field_u64(v: &Value, key: &str, lineno: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {lineno}: missing/invalid {key:?}"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str, lineno: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {lineno}: missing/invalid {key:?}"))
+}
+
+fn u64_array(v: &Value, key: &str, lineno: usize) -> Result<Vec<u64>, String> {
+    match v.get(key) {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .ok_or_else(|| format!("line {lineno}: non-integer in {key:?}"))
+            })
+            .collect(),
+        _ => Err(format!("line {lineno}: missing/invalid {key:?}")),
+    }
+}
+
+impl ShardData {
+    /// An empty aggregate.
+    pub fn new() -> ShardData {
+        ShardData::default()
+    }
+
+    /// Parse one shard's JSON-lines text, folding every line into this
+    /// aggregate. Call repeatedly to fold several shards into one, or
+    /// parse each shard separately and [`merge_from`](Self::merge_from).
+    ///
+    /// # Errors
+    ///
+    /// Any line that is not a JSON object, lacks a `"type"`, or carries
+    /// a `"v"` different from [`crate::SCHEMA_VERSION`]. Format drift
+    /// must fail loudly — a silently-empty aggregate would make the
+    /// equivalence gate vacuous.
+    pub fn parse_into(&mut self, text: &str) -> Result<(), String> {
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let ver = v.get("v").and_then(Value::as_u64);
+            if ver != Some(u64::from(crate::SCHEMA_VERSION)) {
+                return Err(format!(
+                    "line {lineno}: schema version {ver:?}, expected {}",
+                    crate::SCHEMA_VERSION
+                ));
+            }
+            match field_str(&v, "type", lineno)? {
+                "span" => {
+                    self.spans += 1;
+                    let name = field_str(&v, "name", lineno)?;
+                    if let Some(phase) = name.strip_prefix(PHASE_PREFIX) {
+                        let wall = field_u64(&v, "wall_dur_ns", lineno)?;
+                        let sim = match (
+                            v.get("sim_start_ns").and_then(Value::as_u64),
+                            v.get("sim_end_ns").and_then(Value::as_u64),
+                        ) {
+                            (Some(s), Some(e)) => Some(e.saturating_sub(s)),
+                            _ => None,
+                        };
+                        self.phases.add_sample(phase, wall, sim);
+                    }
+                }
+                "event" => self.events += 1,
+                "counter" => {
+                    let name = field_str(&v, "name", lineno)?;
+                    let value = field_u64(&v, "value", lineno)?;
+                    let slot = self.counters.entry(name.to_string()).or_insert(0);
+                    *slot = slot.saturating_add(value);
+                }
+                "gauge" => {
+                    let name = field_str(&v, "name", lineno)?;
+                    let value = v
+                        .get("value")
+                        .and_then(Value::as_i64)
+                        .ok_or_else(|| format!("line {lineno}: missing/invalid \"value\""))?;
+                    self.gauges.insert(name.to_string(), value);
+                }
+                "histogram" => {
+                    let name = field_str(&v, "name", lineno)?;
+                    let snap = HistogramSnapshot {
+                        bounds: u64_array(&v, "bounds", lineno)?,
+                        counts: u64_array(&v, "counts", lineno)?,
+                        count: field_u64(&v, "count", lineno)?,
+                        sum: field_u64(&v, "sum", lineno)?,
+                        min: field_u64(&v, "min", lineno)?,
+                        max: field_u64(&v, "max", lineno)?,
+                    };
+                    if snap.counts.len() != snap.bounds.len() + 1 {
+                        return Err(format!("line {lineno}: histogram bucket shape mismatch"));
+                    }
+                    match self.histograms.get_mut(name) {
+                        Some(existing) => existing.merge_from(&snap),
+                        None => {
+                            self.histograms.insert(name.to_string(), snap);
+                        }
+                    }
+                }
+                _ => self.other.push(v),
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a shard from text into a fresh aggregate.
+    pub fn parse(text: &str) -> Result<ShardData, String> {
+        let mut shard = ShardData::new();
+        shard.parse_into(text)?;
+        Ok(shard)
+    }
+
+    /// Read and parse one shard file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file, or any parse error (prefixed with
+    /// the path).
+    pub fn parse_file(path: impl AsRef<Path>) -> Result<ShardData, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        ShardData::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Fold another aggregate into this one with the registry-merge
+    /// semantics: counters add, gauges last-writer-wins, histograms
+    /// bucket-merge, phases merge sample-wise, `other` lines append.
+    pub fn merge_from(&mut self, other: &ShardData) {
+        for (name, v) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(existing) => existing.merge_from(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        self.phases.merge_from(&other.phases);
+        self.spans += other.spans;
+        self.events += other.events;
+        self.other.extend(other.other.iter().cloned());
+    }
+
+    /// Counter total by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram total by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Objects of the given non-telemetry `"type"` (e.g. `"machine"`).
+    pub fn other_of_type<'a>(&'a self, ty: &'a str) -> impl Iterator<Item = &'a Value> {
+        self.other
+            .iter()
+            .filter(move |v| v.get("type").and_then(Value::as_str) == Some(ty))
+    }
+
+    /// Check this aggregate's metric totals against an in-memory
+    /// snapshot, field by field. `Ok(())` means every counter, gauge,
+    /// and histogram matches exactly in both directions — the lossless
+    /// streaming proof for metrics.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first mismatch found.
+    pub fn assert_metrics_match(&self, snap: &MetricsSnapshot) -> Result<(), String> {
+        for (name, v) in &snap.counters {
+            if self.counter(name) != *v {
+                return Err(format!(
+                    "counter {name:?}: shards={} in-memory={v}",
+                    self.counter(name)
+                ));
+            }
+        }
+        if self.counters.len() != snap.counters.len() {
+            let extra: Vec<&String> = self
+                .counters
+                .keys()
+                .filter(|k| !snap.counters.iter().any(|(n, _)| *n == k.as_str()))
+                .collect();
+            return Err(format!("counters only in shards: {extra:?}"));
+        }
+        for (name, v) in &snap.gauges {
+            if self.gauges.get(*name) != Some(v) {
+                return Err(format!(
+                    "gauge {name:?}: shards={:?} in-memory={v}",
+                    self.gauges.get(*name)
+                ));
+            }
+        }
+        if self.gauges.len() != snap.gauges.len() {
+            return Err("gauge present only in shards".to_string());
+        }
+        for (name, h) in &snap.histograms {
+            match self.histogram(name) {
+                Some(mine) if mine == h => {}
+                Some(mine) => {
+                    return Err(format!(
+                        "histogram {name:?}: shards={mine:?} in-memory={h:?}"
+                    ))
+                }
+                None => return Err(format!("histogram {name:?} missing from shards")),
+            }
+        }
+        if self.histograms.len() != snap.histograms.len() {
+            return Err("histogram present only in shards".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::metrics_json_lines;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn parses_metric_lines_and_sums_across_blocks() {
+        // Two machines' metrics blocks into one shard: counters add,
+        // histograms bucket-merge, exactly like a registry merge.
+        let m1 = MetricsRegistry::new();
+        m1.counter_add("fleet.machines_patched", 1);
+        m1.observe("smm.dwell", 45_000);
+        let m2 = MetricsRegistry::new();
+        m2.counter_add("fleet.machines_patched", 1);
+        m2.observe("smm.dwell", 47_000);
+        let text = format!(
+            "{}{}",
+            metrics_json_lines(&m1.snapshot()),
+            metrics_json_lines(&m2.snapshot())
+        );
+        let shard = ShardData::parse(&text).unwrap();
+        assert_eq!(shard.counter("fleet.machines_patched"), 2);
+        let h = shard.histogram("smm.dwell").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 92_000);
+
+        // And the merged in-memory registry agrees.
+        let merged = MetricsRegistry::new();
+        merged.merge_from(&m1);
+        merged.merge_from(&m2);
+        shard.assert_metrics_match(&merged.snapshot()).unwrap();
+    }
+
+    #[test]
+    fn full_recorder_roundtrip_matches_in_memory() {
+        let rec = crate::Recorder::new();
+        crate::with_recorder(rec.clone(), || {
+            let span = crate::span_at("phase.decrypt", 1_000);
+            span.end_at(23_000);
+            crate::event("machine.smi");
+            crate::counter("kshot.patches", 1);
+            crate::observe("kshot.latency", 5_000);
+        });
+        let text = rec.export_json_lines();
+        let shard = ShardData::parse(&text).unwrap();
+        assert_eq!(shard.spans, 1);
+        assert_eq!(shard.events, 1);
+        assert_eq!(shard.counter("kshot.patches"), 1);
+        shard.assert_metrics_match(&rec.metrics_snapshot()).unwrap();
+        let profile = crate::PhaseProfile::from_recorder(&rec);
+        assert_eq!(shard.phases, profile);
+        assert_eq!(shard.phases.get("decrypt").unwrap().sim_max_ns(), 22_000);
+    }
+
+    #[test]
+    fn preserves_unknown_typed_lines_for_higher_layers() {
+        let text = "{\"type\":\"machine\",\"v\":1,\"machine\":3,\"patched\":true}\n\
+                    {\"type\":\"counter\",\"v\":1,\"name\":\"c\",\"value\":1}\n";
+        let shard = ShardData::parse(text).unwrap();
+        assert_eq!(shard.other.len(), 1);
+        let m: Vec<_> = shard.other_of_type("machine").collect();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].get("machine").and_then(Value::as_u64), Some(3));
+        assert_eq!(shard.other_of_type("nothing").count(), 0);
+    }
+
+    #[test]
+    fn rejects_version_drift_and_malformed_lines() {
+        let drift = "{\"type\":\"counter\",\"v\":2,\"name\":\"c\",\"value\":1}";
+        assert!(ShardData::parse(drift)
+            .unwrap_err()
+            .contains("schema version"));
+        assert!(ShardData::parse("{\"no\":\"type\"}").is_err());
+        assert!(ShardData::parse("garbage").is_err());
+        let bad_hist = "{\"type\":\"histogram\",\"v\":1,\"name\":\"h\",\"count\":1,\
+                        \"sum\":1,\"min\":1,\"max\":1,\"bounds\":[10],\"counts\":[1]}";
+        assert!(ShardData::parse(bad_hist)
+            .unwrap_err()
+            .contains("bucket shape"));
+    }
+
+    #[test]
+    fn merge_from_equals_parse_into_same_aggregate() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 5);
+        reg.observe("h", 100);
+        let block = metrics_json_lines(&reg.snapshot());
+
+        let mut folded = ShardData::new();
+        folded.parse_into(&block).unwrap();
+        folded.parse_into(&block).unwrap();
+
+        let one = ShardData::parse(&block).unwrap();
+        let mut merged = one.clone();
+        merged.merge_from(&one);
+
+        assert_eq!(folded, merged);
+        assert_eq!(merged.counter("c"), 10);
+    }
+
+    #[test]
+    fn mismatch_reports_are_specific() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 5);
+        let shard = ShardData::parse(&metrics_json_lines(&reg.snapshot())).unwrap();
+        let other = MetricsRegistry::new();
+        other.counter_add("c", 6);
+        let err = shard.assert_metrics_match(&other.snapshot()).unwrap_err();
+        assert!(err.contains("counter \"c\""), "{err}");
+    }
+}

@@ -1,0 +1,348 @@
+//! Streaming JSON-lines sink: writes records to a file (or any writer)
+//! incrementally as they are emitted, instead of holding them in the
+//! ring until export.
+//!
+//! This is the fleet-scale answer to the "one merged in-memory blob"
+//! problem: each campaign worker owns one [`StreamSink`] on its own
+//! `worker-<N>.jsonl` file, attaches a cheap clone of it to every
+//! per-machine recorder it drives, and the shard file accumulates the
+//! full trace while the merged campaign report keeps only summaries.
+//! [`crate::shard`] reads the files back and re-aggregates them
+//! losslessly.
+//!
+//! Properties:
+//!
+//! - **Incremental.** Every record becomes one line (see
+//!   [`crate::export::record_json_line`]) the moment it is emitted;
+//!   partial files from a crashed run are still line-by-line parseable.
+//! - **Buffered with a flush policy.** Lines land in an internal
+//!   `BufWriter`; the sink flushes every `flush_every` lines (default
+//!   [`DEFAULT_FLUSH_EVERY`]) and on [`StreamSink::flush`]/drop.
+//! - **Backpressure drops are counted, never blocking.** A write or
+//!   flush error (disk full, closed pipe) increments a drop counter and
+//!   the line is discarded; the emitting thread is never stalled and
+//!   never panicked. [`StreamSink::dropped`] exposes the loss, exactly
+//!   like the ring's drop counter.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::export::{metrics_json_lines, record_json_line};
+use crate::metrics::MetricsSnapshot;
+use crate::record::Record;
+use crate::recorder::Sink;
+
+/// Default flush policy: push buffered lines to the OS every this many
+/// lines. Small enough that a watching process sees progress promptly,
+/// large enough to amortize the syscall.
+pub const DEFAULT_FLUSH_EVERY: u64 = 64;
+
+struct StreamShared {
+    writer: Mutex<Box<dyn Write + Send>>,
+    flush_every: u64,
+    /// Lines successfully handed to the writer.
+    lines: AtomicU64,
+    /// Lines discarded because the writer errored (backpressure /
+    /// broken destination).
+    dropped: AtomicU64,
+    /// Lines written since the last flush.
+    unflushed: AtomicU64,
+}
+
+/// A cloneable handle to one streaming destination. Clones share the
+/// writer, counters, and flush policy, so one file can receive records
+/// from a sequence of recorders (the per-worker fleet wiring) while the
+/// creator keeps a handle for [`flush`](StreamSink::flush) and the
+/// counters.
+#[derive(Clone)]
+pub struct StreamSink {
+    shared: Arc<StreamShared>,
+}
+
+impl StreamSink {
+    /// A sink over any writer with the default flush policy.
+    pub fn new(writer: Box<dyn Write + Send>) -> StreamSink {
+        StreamSink::with_flush_every(writer, DEFAULT_FLUSH_EVERY)
+    }
+
+    /// A sink over any writer, flushing every `flush_every` lines
+    /// (`0` means flush only explicitly / on drop).
+    pub fn with_flush_every(writer: Box<dyn Write + Send>, flush_every: u64) -> StreamSink {
+        StreamSink {
+            shared: Arc::new(StreamShared {
+                writer: Mutex::new(writer),
+                flush_every,
+                lines: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                unflushed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Create (truncate) `path` — parent directories included — and
+    /// stream to it through a `BufWriter`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directories or the file.
+    pub fn to_path(path: impl AsRef<Path>) -> std::io::Result<StreamSink> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(StreamSink::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Lines successfully written so far (records + metric/raw lines).
+    pub fn lines_written(&self) -> u64 {
+        self.shared.lines.load(Ordering::Relaxed)
+    }
+
+    /// Lines discarded because the destination errored.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Write one pre-formatted JSON object as a line. The caller is
+    /// responsible for it being a single well-formed JSON object with no
+    /// embedded newline — this is how higher layers (e.g. a fleet
+    /// campaign's per-machine summary lines) extend the shard format.
+    pub fn write_raw_line(&self, line: &str) {
+        debug_assert!(!line.contains('\n'), "raw shard lines must be single-line");
+        self.write_all_lines(line);
+    }
+
+    /// Serialize a metrics snapshot as mergeable JSON lines (see
+    /// [`crate::export::metrics_json_lines`]) into the stream. The fleet
+    /// campaign calls this once per machine so shard files carry metric
+    /// totals as well as records.
+    pub fn write_metrics(&self, metrics: &MetricsSnapshot) {
+        let block = metrics_json_lines(metrics);
+        for line in block.lines() {
+            self.write_all_lines(line);
+        }
+    }
+
+    /// Push buffered lines to the destination. An error counts one drop
+    /// (the buffer content's fate is the writer's; we only promise the
+    /// loss is observable).
+    pub fn flush(&self) {
+        let mut writer = self.shared.writer.lock().unwrap();
+        self.shared.unflushed.store(0, Ordering::Relaxed);
+        if writer.flush().is_err() {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn write_all_lines(&self, line: &str) {
+        let mut writer = self.shared.writer.lock().unwrap();
+        let ok = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .is_ok();
+        if !ok {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.shared.lines.fetch_add(1, Ordering::Relaxed);
+        if self.shared.flush_every > 0 {
+            let pending = self.shared.unflushed.fetch_add(1, Ordering::Relaxed) + 1;
+            if pending >= self.shared.flush_every {
+                self.shared.unflushed.store(0, Ordering::Relaxed);
+                if writer.flush().is_err() {
+                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+impl Sink for StreamSink {
+    fn on_record(&mut self, record: &Record) {
+        self.write_all_lines(&record_json_line(record));
+    }
+
+    fn flush(&mut self) {
+        StreamSink::flush(self);
+    }
+}
+
+impl Drop for StreamShared {
+    fn drop(&mut self) {
+        // Last handle gone: push whatever is still buffered. Errors are
+        // unobservable here; the explicit flush path counts them.
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("lines", &self.lines_written())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EventRecord;
+
+    /// A writer that shares its bytes and can be told to start failing.
+    #[derive(Clone)]
+    struct SharedBuf {
+        data: Arc<Mutex<Vec<u8>>>,
+        fail: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl SharedBuf {
+        fn new() -> SharedBuf {
+            SharedBuf {
+                data: Arc::new(Mutex::new(Vec::new())),
+                fail: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            }
+        }
+
+        fn contents(&self) -> String {
+            String::from_utf8(self.data.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.fail.load(Ordering::Relaxed) {
+                return Err(std::io::Error::other("backpressure"));
+            }
+            self.data.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn event(name: &'static str) -> Record {
+        Record::Event(EventRecord {
+            parent: None,
+            name,
+            thread: 0,
+            wall_ns: 5,
+            sim_ns: Some(10),
+            fields: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn streams_records_as_parseable_lines() {
+        let buf = SharedBuf::new();
+        let mut sink = StreamSink::new(Box::new(buf.clone()));
+        sink.on_record(&event("a"));
+        sink.on_record(&event("b"));
+        sink.write_raw_line(r#"{"type":"machine","v":1,"machine":0}"#);
+        assert_eq!(sink.lines_written(), 3);
+        assert_eq!(sink.dropped(), 0);
+        let text = buf.contents();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            let v = crate::json::parse(line).expect("every streamed line parses");
+            assert_eq!(
+                v.get("v").and_then(crate::json::Value::as_u64),
+                Some(u64::from(crate::SCHEMA_VERSION))
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure_counts_drops_without_blocking() {
+        let buf = SharedBuf::new();
+        let mut sink = StreamSink::new(Box::new(buf.clone()));
+        sink.on_record(&event("ok"));
+        buf.fail.store(true, Ordering::Relaxed);
+        sink.on_record(&event("lost1"));
+        sink.on_record(&event("lost2"));
+        buf.fail.store(false, Ordering::Relaxed);
+        sink.on_record(&event("ok2"));
+        assert_eq!(sink.lines_written(), 2);
+        assert_eq!(sink.dropped(), 2);
+        let text = buf.contents();
+        assert!(text.contains("\"ok\""));
+        assert!(text.contains("\"ok2\""));
+        assert!(!text.contains("lost1"));
+    }
+
+    #[test]
+    fn flush_policy_pushes_buffered_lines() {
+        // Through a BufWriter the bytes only become visible on flush;
+        // flush_every=2 makes the second record force them out.
+        let buf = SharedBuf::new();
+        let mut sink = StreamSink::with_flush_every(
+            Box::new(BufWriter::with_capacity(1 << 20, buf.clone())),
+            2,
+        );
+        sink.on_record(&event("a"));
+        assert_eq!(buf.contents(), "", "first line still buffered");
+        sink.on_record(&event("b"));
+        assert_eq!(buf.contents().lines().count(), 2, "policy flushed");
+        sink.on_record(&event("c"));
+        assert_eq!(buf.contents().lines().count(), 2, "third line buffered");
+        sink.flush();
+        assert_eq!(buf.contents().lines().count(), 3, "explicit flush");
+    }
+
+    #[test]
+    fn clones_share_one_destination_and_counters() {
+        let buf = SharedBuf::new();
+        let sink = StreamSink::new(Box::new(buf.clone()));
+        let mut h1 = sink.clone();
+        let mut h2 = sink.clone();
+        h1.on_record(&event("one"));
+        h2.on_record(&event("two"));
+        assert_eq!(sink.lines_written(), 2);
+        assert_eq!(buf.contents().lines().count(), 2);
+    }
+
+    #[test]
+    fn to_path_creates_parents_and_writes() {
+        let dir = std::env::temp_dir().join(format!("kshot-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/worker-0.jsonl");
+        {
+            let mut sink = StreamSink::to_path(&path).expect("create stream file");
+            sink.on_record(&event("x"));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recorder_fans_out_to_attached_stream_sink() {
+        let buf = SharedBuf::new();
+        let sink = StreamSink::new(Box::new(buf.clone()));
+        let rec = crate::Recorder::with_capacity(2);
+        rec.add_sink(Box::new(sink.clone()));
+        crate::with_recorder(rec.clone(), || {
+            for _ in 0..5 {
+                crate::event("tick");
+            }
+        });
+        rec.flush_sinks();
+        // The ring kept 2 and dropped 3; the stream saw all 5 before
+        // eviction.
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(sink.lines_written(), 5);
+        assert_eq!(buf.contents().lines().count(), 5);
+    }
+}

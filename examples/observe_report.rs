@@ -1,0 +1,155 @@
+//! Streaming observability report: push one CVE fix to 32 simulated
+//! machines while every worker streams its telemetry to a per-worker
+//! JSON-lines shard, then rebuild the campaign picture *purely from the
+//! shard files* and prove it equals the in-memory aggregate.
+//!
+//! ```text
+//! cargo run --release --example observe_report
+//! ```
+//!
+//! Shards land in `target/observe/worker-<N>.jsonl` (override the
+//! directory with the `OBSERVE_OUT` environment variable). The run
+//! prints three artefacts a fleet operator would read:
+//!
+//! 1. the per-phase timing table (attest → key_exchange → decrypt →
+//!    verify → apply → resume) reconstructed from the shards,
+//! 2. the SMM dwell-time anomaly list — one machine is deliberately
+//!    slowed 10× in SMM and must be the only machine flagged,
+//! 3. the campaign health summary.
+//!
+//! It exits non-zero unless the shard re-aggregation matches the
+//! in-memory merge exactly — the lossless-streaming property the CI
+//! gate relies on.
+
+use std::fs;
+use std::path::PathBuf;
+
+use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig, PlannedSlowdown};
+use kshot::telemetry::json::Value;
+use kshot::telemetry::ShardData;
+use kshot_cve::{find, patch_for};
+use kshot_machine::SimTime;
+
+const MACHINES: usize = 32;
+const WORKERS: usize = 4;
+const SLOW_MACHINE: usize = 13;
+const SLOW_FACTOR: u32 = 10;
+const DWELL_BUDGET: SimTime = SimTime::from_us(100);
+
+fn main() {
+    let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
+    let out_dir = PathBuf::from(
+        std::env::var("OBSERVE_OUT").unwrap_or_else(|_| "target/observe".to_string()),
+    );
+    // Start clean: stale shards from an earlier run would corrupt the
+    // equivalence check below.
+    let _ = fs::remove_dir_all(&out_dir);
+
+    println!(
+        "== observe: {} on {MACHINES} machines, {WORKERS} workers, \
+         streaming to {} ==\n",
+        spec.id,
+        out_dir.display()
+    );
+
+    let (target, server) = CampaignTarget::benchmark(spec.version);
+    let info = target.boot_one().info();
+    let build = server
+        .build_patch(&info, &patch_for(spec))
+        .expect("server builds the CVE patch");
+    let bytes = build.bundle.encode();
+
+    let config = FleetConfig::new(MACHINES, WORKERS)
+        .with_seed(0x0B5E)
+        .with_stream_dir(&out_dir)
+        .with_smm_dwell_budget(DWELL_BUDGET)
+        .with_slowdown(PlannedSlowdown {
+            machine: SLOW_MACHINE,
+            factor: SLOW_FACTOR,
+        });
+    let report = run_campaign(&target, &bytes, &config);
+    assert_eq!(report.succeeded, MACHINES, "fleet machines failed");
+    assert!(report.all_identical_digests(), "applied state diverged");
+
+    // Rebuild everything from disk.
+    let mut shards = ShardData::new();
+    let mut shard_lines = 0usize;
+    for worker in 0..WORKERS {
+        let path = out_dir.join(format!("worker-{worker}.jsonl"));
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("shard {} unreadable: {e}", path.display()));
+        let lines = text.lines().filter(|l| !l.trim().is_empty()).count();
+        assert!(lines > 0, "shard {} is empty", path.display());
+        shard_lines += lines;
+        let shard =
+            ShardData::parse(&text).unwrap_or_else(|e| panic!("shard {}: {e}", path.display()));
+        shards.merge_from(&shard);
+        println!("read {:>40}  {lines:>5} lines", path.display().to_string());
+    }
+
+    // The lossless-streaming proof: disk == memory, field by field.
+    shards
+        .assert_metrics_match(&report.recorder.metrics_snapshot())
+        .expect("streamed metric totals equal the in-memory merge");
+    assert_eq!(
+        shards.phases,
+        report.phase_profile(),
+        "streamed phase samples diverge from the in-memory merge"
+    );
+    assert_eq!(shards.other_of_type("machine").count(), MACHINES);
+    println!(
+        "\nshards are lossless: {} lines re-aggregate to the in-memory \
+         totals ({} spans, {} events, {} phase samples)\n",
+        shard_lines,
+        shards.spans,
+        shards.events,
+        shards.phases.total_samples()
+    );
+
+    // 1. Phase breakdown, reconstructed from the shard files alone.
+    println!("{}", shards.phases.render_table());
+
+    // 2. Dwell anomalies: machines whose SMIs overstayed the budget.
+    println!("SMM dwell watchdog (budget {}):", DWELL_BUDGET);
+    for m in shards.other_of_type("machine") {
+        let over = m.get("smm_overbudget").and_then(Value::as_u64).unwrap_or(0);
+        if over == 0 {
+            continue;
+        }
+        let id = m.get("machine").and_then(Value::as_u64).unwrap_or(u64::MAX);
+        let max_dwell = m
+            .get("max_smm_dwell_ns")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+        println!(
+            "  machine {id:>3}: {over} over-budget SMI(s), max dwell {} \
+             ({:.1}x budget)",
+            SimTime::from_ns(max_dwell),
+            max_dwell as f64 / DWELL_BUDGET.as_ns() as f64
+        );
+    }
+    assert_eq!(
+        report.dwell_anomalies,
+        vec![SLOW_MACHINE],
+        "watchdog must flag exactly the slowed machine"
+    );
+
+    // 3. Campaign health.
+    println!(
+        "\nhealth: ok={}/{} retries={} faults={} anomalies={:?}  \
+         latency p50={} p95={} max={}  cache {}h/{}m  wall={:?}",
+        report.succeeded,
+        report.machines,
+        report.retries,
+        report.faults_injected,
+        report.dwell_anomalies,
+        report.latency_p50,
+        report.latency_p95,
+        report.latency_max,
+        report.cache_hits,
+        report.cache_misses,
+        report.wall,
+    );
+    println!("\n{}", report.to_json());
+    println!("\nOBSERVE OK");
+}

@@ -100,8 +100,34 @@ fn live_patch_emits_expected_span_tree() {
         "smm.window must cover exactly the OS pause"
     );
 
-    // Trampoline installation shows up as events under smm.apply.
-    let apply = one(&spans, "smm.apply");
+    // Phase taxonomy: each logical phase span nests inside its
+    // mechanism span and covers the same simulated interval.
+    let session = one(&spans, "sgx.session");
+    assert_eq!(one(&spans, "phase.attest").parent, Some(session.id));
+    for (phase, mechanism) in [
+        ("phase.key_exchange", "smm.keygen"),
+        ("phase.decrypt", "smm.decrypt"),
+        ("phase.verify", "smm.verify"),
+        ("phase.apply", "smm.apply"),
+    ] {
+        let p = one(&spans, phase);
+        let m = one(&spans, mechanism);
+        assert_eq!(p.parent, Some(m.id), "{phase} parent");
+        assert_eq!(p.sim_dur_ns(), m.sim_dur_ns(), "{phase} sim duration");
+    }
+    assert_eq!(one(&spans, "phase.resume").parent, Some(window.id));
+    // ...so the profiler reconstructs a one-sample profile per phase.
+    let profile = telemetry::PhaseProfile::from_recorder(&recorder);
+    for phase in telemetry::PHASES {
+        let stats = profile
+            .get(phase)
+            .unwrap_or_else(|| panic!("phase {phase} missing from profile"));
+        assert_eq!(stats.count(), 1, "{phase} sample count");
+    }
+
+    // Trampoline installation shows up as events inside the apply
+    // phase (which itself nests in smm.apply, asserted above).
+    let apply = one(&spans, "phase.apply");
     let trampolines: Vec<_> = records
         .iter()
         .filter_map(|r| match r {
