@@ -30,17 +30,27 @@ echo "== channel ordering fuzz =="
 cargo test -q -p kshot-patchserver --test prop_channel_orderings
 
 # Fleet gates: the byte-identical-applied-state property (including
-# under an injected fault + retry), and the campaign smoke run, which
-# itself asserts zero failures and >=4x wall-clock scaling from 8
-# workers, then writes the benchmark artefact this gate checks for.
+# under an injected fault + retry, across pipeline depths and worker
+# counts), the incremental shard-tail and injection-accounting
+# regression tests, and the campaign smoke run, which itself asserts
+# zero failures, >=4x wall-clock scaling from 8 workers, and >=4x from
+# pipeline depth 16 on a single worker with digests identical to the
+# sequential run, then writes the benchmark artefact this gate checks.
 echo "== fleet identical-state property =="
 cargo test -q -p kshot-fleet --test prop_fleet_identical
 
-echo "== fleet campaign smoke =="
+echo "== shard tail + injection accounting regressions =="
+cargo test -q -p kshot-telemetry tail_
+cargo test -q -p kshot-fleet unfired_injection_plan_is_disarmed_and_accounted_on_success
+cargo test -q -p kshot-fleet pipelined_worker_matches_sequential_results
+
+echo "== fleet campaign smoke (incl. pipelined gate) =="
 rm -f BENCH_fleet.json
 cargo run --release --example fleet_campaign
 test -f BENCH_fleet.json
 grep -q '"failed":0' BENCH_fleet.json
+grep -q '"pipelined":{' BENCH_fleet.json
+grep -q '"identical_digests":true' BENCH_fleet.json
 
 # Streaming observability gate: the example streams a 32-machine
 # campaign to per-worker JSON-lines shards, re-aggregates them from

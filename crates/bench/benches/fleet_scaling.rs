@@ -1,12 +1,14 @@
-//! Fleet scaling bench: one campaign per worker count, fixed fleet size.
+//! Fleet scaling bench: one campaign per worker count and per pipeline
+//! depth, fixed fleet size.
 //!
 //! Wall time here is dominated by the modelled per-session link RTT, so
-//! the interesting output is how throughput scales as sessions overlap
-//! across workers (the per-machine simulated cost is identical in every
-//! row — determinism is per machine, concurrency is only in the shard).
-//! On a single-core host expect a knee once the fleet's total CPU time
-//! exceeds the sleep time left to overlap — more workers past that
-//! point only add contention.
+//! the interesting output is how throughput scales as sessions overlap —
+//! either across worker threads or across pipelined sessions on a
+//! *single* worker (the per-machine simulated cost is identical in
+//! every row — determinism is per machine, concurrency is only in the
+//! schedule). On a single-core host expect a knee once the fleet's
+//! total CPU time exceeds the sleep time left to overlap — more
+//! workers or depth past that point only add contention.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig};
@@ -33,6 +35,30 @@ fn fleet_scaling(c: &mut Criterion) {
                 let config = FleetConfig::new(32, workers)
                     .with_seed(0xF1EE7)
                     .with_link_rtt(Duration::from_millis(20));
+                b.iter(|| {
+                    let report = run_campaign(&target, &bytes, &config);
+                    assert_eq!(report.failed, 0);
+                    report.succeeded
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Same fleet, one worker, varying pipeline depth: measures how much
+    // link latency the event-driven scheduler hides without any extra
+    // threads. Depth 1 is the sequential baseline.
+    let mut group = c.benchmark_group("fleet_pipelining");
+    group.sample_size(10);
+    for depth in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("32_machines_1_worker", depth),
+            &depth,
+            |b, &depth| {
+                let config = FleetConfig::new(32, 1)
+                    .with_seed(0xF1EE7)
+                    .with_link_rtt(Duration::from_millis(20))
+                    .with_pipeline_depth(depth);
                 b.iter(|| {
                     let report = run_campaign(&target, &bytes, &config);
                     assert_eq!(report.failed, 0);

@@ -1,24 +1,34 @@
 //! The campaign driver: shard machines across workers, run every
 //! machine's full KShot session with retry/recovery, and fold the
 //! results into one [`CampaignReport`].
+//!
+//! Each worker is an event-driven scheduler over resumable
+//! [`MachineSession`](crate::session) state machines: CPU phases run
+//! from a ready queue, wall-clock waits (link RTT, retry backoff) park
+//! on a deadline min-heap, and the worker only sleeps when *no* session
+//! has CPU work ready. With [`FleetConfig::pipeline_depth`] > 1 that
+//! overlaps one machine's in-flight delivery with other machines'
+//! attest/decrypt/verify/apply phases on the same worker thread — the
+//! single-worker throughput unlock for latency-bound campaigns. Depth 1
+//! reproduces the old one-machine-at-a-time behaviour exactly.
 
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use kshot_core::reserved::rw_offsets;
-use kshot_core::KShot;
-use kshot_crypto::sha256::sha256;
 use kshot_cve::{benchmark_options, benchmark_tree, KernelVersion};
 use kshot_kcc::KernelImage;
 use kshot_kernel::Kernel;
-use kshot_machine::{CostModel, InjectionPlan, LinearCost, MemLayout, SimTime};
+use kshot_machine::{MemLayout, SimTime};
 use kshot_patchserver::{BundleCache, PatchServer};
-use kshot_telemetry::with_recorder;
-use kshot_telemetry::{Recorder, StreamSink, SCHEMA_VERSION};
+use kshot_telemetry::export::record_json_line;
+use kshot_telemetry::{Record, Recorder, RecorderScope, Sink, StreamSink, SCHEMA_VERSION};
 
-use crate::config::{splitmix64, FleetConfig};
-use crate::report::CampaignReport;
+use crate::config::FleetConfig;
+use crate::report::{CampaignReport, WorkerOccupancy};
+use crate::session::{MachineSession, StepStatus};
 
 /// What every machine in the fleet patches: one pre-linked kernel image
 /// (shared immutably — booting a machine clones segments, not relinks
@@ -93,6 +103,12 @@ pub struct MachineOutcome {
     pub state_digest: [u8; 32],
     /// Faults the injection engine actually fired on this machine.
     pub faults_injected: u64,
+    /// SMM-context writes the injection engine observed while a plan
+    /// was armed (0 when the campaign planned no fault here). Non-zero
+    /// with `faults_injected == 0` means the plan was armed but its
+    /// trigger never matched — accounting that used to be silently
+    /// dropped when the session succeeded.
+    pub injection_writes_seen: u64,
     /// SMIs whose SMM dwell exceeded the campaign's budget (always 0
     /// when no [`FleetConfig::smm_dwell_budget`] is armed).
     pub smm_overbudget: u64,
@@ -106,9 +122,12 @@ pub struct MachineOutcome {
 /// bundle serialized in `bundle_bytes` (decoded once through a shared
 /// [`BundleCache`]).
 ///
-/// Machine `i` runs on worker `i % workers`; each worker drives its
-/// machines sequentially, so per-machine execution stays deterministic
-/// and only the interleaving across workers is concurrent.
+/// Machine `i` runs on worker `i % workers`. Each worker keeps up to
+/// [`FleetConfig::pipeline_depth`] sessions live at once, stepping
+/// whichever has CPU work while the others wait out their link RTT or
+/// backoff deadlines; per-machine execution stays deterministic because
+/// scheduling only decides *when* a machine's next step runs, never
+/// what it computes.
 pub fn run_campaign(
     target: &CampaignTarget,
     bundle_bytes: &[u8],
@@ -119,60 +138,22 @@ pub fn run_campaign(
     let started = Instant::now();
 
     let mut per_machine: Vec<(MachineOutcome, Arc<Recorder>)> = Vec::with_capacity(config.machines);
+    let mut occupancy: Vec<WorkerOccupancy> = Vec::with_capacity(workers);
     thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
             let cache = &cache;
-            handles.push(scope.spawn(move || {
-                // Stagger worker starts across one link RTT. Without
-                // this the fleet convoys: every worker sleeps its RTT in
-                // lockstep (host core idle), then all wake and contend
-                // for it at once. Offsetting by rtt/workers keeps some
-                // worker computing while the others are in-flight.
-                if !config.link_rtt.is_zero() && worker > 0 {
-                    thread::sleep(config.link_rtt * worker as u32 / workers as u32);
-                }
-                // One shard file per worker; every machine this worker
-                // drives streams into it, so shard files never need
-                // cross-thread coordination.
-                let sink = config.stream_dir.as_ref().map(|dir| {
-                    let path = dir.join(format!("worker-{worker}.jsonl"));
-                    StreamSink::to_path(&path)
-                        .unwrap_or_else(|e| panic!("open shard {}: {e}", path.display()))
-                });
-                let mut results = Vec::new();
-                let mut machine = worker;
-                while machine < config.machines {
-                    let recorder = Recorder::new();
-                    if let Some(sink) = &sink {
-                        recorder.add_sink(Box::new(sink.clone()));
-                    }
-                    let outcome = with_recorder(Arc::clone(&recorder), || {
-                        run_machine(target, cache, bundle_bytes, config, machine, worker)
-                    });
-                    if let Some(sink) = &sink {
-                        // Close the machine's section of the shard: its
-                        // metric totals (counters saturate, histograms
-                        // merge bucket-wise on re-aggregation) and one
-                        // outcome line carrying what the in-memory
-                        // MachineOutcome carries.
-                        sink.write_metrics(&recorder.metrics_snapshot());
-                        sink.write_raw_line(&machine_json_line(&outcome));
-                    }
-                    results.push((outcome, recorder));
-                    machine += workers;
-                }
-                if let Some(sink) = &sink {
-                    sink.flush();
-                }
-                results
-            }));
+            handles
+                .push(scope.spawn(move || run_worker(target, cache, bundle_bytes, config, worker)));
         }
         for handle in handles {
-            per_machine.extend(handle.join().expect("fleet worker panicked"));
+            let (results, worker_occupancy) = handle.join().expect("fleet worker panicked");
+            per_machine.extend(results);
+            occupancy.push(worker_occupancy);
         }
     });
     per_machine.sort_by_key(|(o, _)| o.machine);
+    occupancy.sort_by_key(|o| o.worker);
 
     let wall = started.elapsed();
     let recorder = Recorder::new();
@@ -191,149 +172,246 @@ pub fn run_campaign(
         config,
         outcomes,
         recorder,
+        occupancy,
         wall,
         cache.hits(),
         cache.misses(),
     )
 }
 
-/// Drive one machine through boot → install → (attempted) patch
-/// session(s) and summarize what happened.
-fn run_machine(
+/// A session parked until its wall-clock deadline. Heap order is
+/// earliest-deadline-first, ties broken by parking order so release
+/// order is deterministic even when deadlines collide.
+struct Parked {
+    key: Reverse<(Instant, u64)>,
+    session: MachineSession,
+}
+
+impl PartialEq for Parked {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Parked {}
+impl PartialOrd for Parked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Parked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Captures a session's records as pre-rendered shard lines, in emit
+/// order. Interleaved sessions can't share the worker's file sink live
+/// (their records would interleave mid-machine); instead each session
+/// buffers its lines and the worker replays them contiguously, in
+/// machine order, once the machine completes — so shard files carry
+/// exactly the per-machine blocks the sequential path wrote.
+struct BufferSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl Sink for BufferSink {
+    fn on_record(&mut self, record: &Record) {
+        self.lines.lock().unwrap().push(record_json_line(record));
+    }
+}
+
+/// One live session plus its buffered shard lines (when streaming).
+struct Active {
+    session: MachineSession,
+    lines: Option<Arc<Mutex<Vec<String>>>>,
+}
+
+/// A completed machine held back until its turn in the shard file:
+/// outcome, recorder, and the buffered shard lines (when streaming).
+type Completed = (MachineOutcome, Arc<Recorder>, Option<Vec<String>>);
+
+/// Drive one worker's share of the fleet (machines `worker`, `worker +
+/// workers`, ...) with up to `config.pipeline_depth` sessions in
+/// flight, and return their outcomes plus the worker's busy/in-flight
+/// occupancy split.
+fn run_worker(
     target: &CampaignTarget,
     cache: &BundleCache,
     bundle_bytes: &[u8],
     config: &FleetConfig,
-    machine: usize,
     worker: usize,
-) -> MachineOutcome {
-    let seed = splitmix64(config.seed.wrapping_add(machine as u64));
-    let mut outcome = MachineOutcome {
-        machine,
-        worker,
-        attempts: 0,
-        retries: 0,
-        ok: false,
-        error: None,
-        latency: None,
-        sim_clock: SimTime::ZERO,
-        state_digest: [0; 32],
-        faults_injected: 0,
-        smm_overbudget: 0,
-        max_smm_dwell: SimTime::ZERO,
-    };
-
-    let kernel = match Kernel::boot(
-        (*target.image).clone(),
-        target.version.as_str(),
-        target.layout,
-    ) {
-        Ok(k) => k,
-        Err(e) => {
-            outcome.error = Some(format!("boot: {e}"));
-            return outcome;
-        }
-    };
-    let mut system = match KShot::install(kernel, seed) {
-        Ok(s) => s,
-        Err(e) => {
-            outcome.error = Some(format!("install: {e}"));
-            return outcome;
-        }
-    };
-
-    {
-        let m = system.kernel_mut().machine_mut();
-        m.set_smm_dwell_budget(config.smm_dwell_budget);
-        if let Some(slow) = config.slowdowns.iter().find(|s| s.machine == machine) {
-            let scaled = slow_cost_model(m.cost(), slow.factor);
-            m.set_cost(scaled);
-        }
+) -> (Vec<(MachineOutcome, Arc<Recorder>)>, WorkerOccupancy) {
+    let workers = config.workers.max(1);
+    let depth = config.pipeline_depth.max(1);
+    // Stagger worker starts across one link RTT. Without this the
+    // fleet convoys: every worker sleeps its RTT in lockstep (host
+    // core idle), then all wake and contend for it at once. Offsetting
+    // by rtt/workers keeps some worker computing while the others are
+    // in-flight.
+    let stagger = stagger_delay(config.link_rtt, worker, workers);
+    if !stagger.is_zero() {
+        thread::sleep(stagger);
     }
+    // One shard file per worker; every machine this worker drives
+    // lands in it, machine blocks in machine order.
+    let sink = config.stream_dir.as_ref().map(|dir| {
+        let path = dir.join(format!("worker-{worker}.jsonl"));
+        StreamSink::to_path(&path).unwrap_or_else(|e| panic!("open shard {}: {e}", path.display()))
+    });
 
-    if let Some(fault) = config.faults.iter().find(|f| f.machine == machine) {
-        system
-            .kernel_mut()
-            .machine_mut()
-            .arm_injection(InjectionPlan::fail_nth_smm_write(fault.smm_write_index));
-    }
+    let my_machines: Vec<usize> = (worker..config.machines).step_by(workers).collect();
+    let mut next_admit = 0usize;
+    let mut live = 0usize;
+    let mut park_seq = 0u64;
+    let mut ready: VecDeque<Active> = VecDeque::new();
+    let mut parked: BinaryHeap<Parked> = BinaryHeap::new();
+    // Parked sessions' buffers, keyed by machine (sessions in the heap
+    // can't carry the Active wrapper through the ordering impls).
+    let mut parked_lines: BTreeMap<usize, Arc<Mutex<Vec<String>>>> = BTreeMap::new();
+    // Completed machines waiting for their turn in the shard file.
+    let mut completed: BTreeMap<usize, Completed> = BTreeMap::new();
+    let mut next_flush = 0usize;
+    let mut results = Vec::with_capacity(my_machines.len());
+    let mut busy = Duration::ZERO;
+    let mut in_flight = Duration::ZERO;
 
-    for attempt in 0..config.max_attempts.max(1) {
-        outcome.attempts += 1;
-        // The orchestrator↔machine link: a real sleep so that campaign
-        // wall time is dominated by (overlappable) network latency, as
-        // it is for a real fleet push.
-        if !config.link_rtt.is_zero() {
-            thread::sleep(config.link_rtt);
+    loop {
+        // Admit new machines while the pipeline has room.
+        while live < depth && next_admit < my_machines.len() {
+            let machine = my_machines[next_admit];
+            let recorder = Recorder::new();
+            let lines = sink.as_ref().map(|_| {
+                let lines = Arc::new(Mutex::new(Vec::new()));
+                recorder.add_sink(Box::new(BufferSink {
+                    lines: Arc::clone(&lines),
+                }));
+                lines
+            });
+            ready.push_back(Active {
+                session: MachineSession::new(machine, worker, recorder),
+                lines,
+            });
+            next_admit += 1;
+            live += 1;
         }
-        let bundle = match cache.get_or_decode(bundle_bytes) {
-            Ok(b) => b,
-            Err(e) => {
-                outcome.error = Some(format!("bundle: {e}"));
-                break;
-            }
-        };
-        match system.live_patch_bundle((*bundle).clone()) {
-            Ok(report) => {
-                outcome.ok = true;
-                outcome.error = None;
-                outcome.latency = Some(report.total());
-                break;
-            }
-            Err(e) => {
-                outcome.error = Some(e.to_string());
-                if let Some(stats) = system.kernel_mut().machine_mut().disarm_injection() {
-                    outcome.faults_injected += stats.faults_injected;
+        // Release every parked session whose deadline has passed, in
+        // deadline order.
+        let now = Instant::now();
+        while parked.peek().is_some_and(|p| p.key.0 .0 <= now) {
+            let p = parked.pop().expect("peeked");
+            let machine = p.session.outcome.machine;
+            ready.push_back(Active {
+                session: p.session,
+                lines: parked_lines.remove(&machine),
+            });
+        }
+
+        if let Some(mut active) = ready.pop_front() {
+            let step_started = Instant::now();
+            let status = {
+                let _scope = RecorderScope::enter(Arc::clone(&active.session.recorder));
+                active.session.step(target, cache, bundle_bytes, config)
+            };
+            busy += step_started.elapsed();
+            match status {
+                StepStatus::Ready => ready.push_back(active),
+                StepStatus::Wait => {
+                    let deadline = active
+                        .session
+                        .deadline()
+                        .expect("a waiting session carries its deadline");
+                    if let Some(lines) = active.lines {
+                        parked_lines.insert(active.session.outcome.machine, lines);
+                    }
+                    parked.push(Parked {
+                        key: Reverse((deadline, park_seq)),
+                        session: active.session,
+                    });
+                    park_seq += 1;
                 }
-                // Roll the machine back to its pre-session state; a
-                // failed recovery leaves `error` describing the session
-                // failure and the next attempt (if any) reports its own.
-                let _ = system.recover();
-                if attempt + 1 < config.max_attempts {
-                    outcome.retries += 1;
-                    let shift = attempt.min(20);
-                    let backoff =
-                        SimTime::from_ns(config.backoff_base.as_ns().saturating_mul(1u64 << shift));
-                    system.kernel_mut().machine_mut().charge(backoff);
+                StepStatus::Done => {
+                    live -= 1;
+                    let Active { session, lines } = active;
+                    let buffered = lines.map(|l| std::mem::take(&mut *l.lock().unwrap()));
+                    completed.insert(
+                        session.outcome.machine,
+                        (session.outcome, session.recorder, buffered),
+                    );
+                    // Flush every completed machine that is next in
+                    // this worker's canonical order, keeping shard
+                    // files identical to the sequential layout.
+                    while next_flush < my_machines.len() {
+                        let Some((outcome, recorder, buffered)) =
+                            completed.remove(&my_machines[next_flush])
+                        else {
+                            break;
+                        };
+                        if let Some(sink) = &sink {
+                            for line in buffered.iter().flatten() {
+                                sink.write_raw_line(line);
+                            }
+                            // Close the machine's section of the shard:
+                            // its metric totals (counters saturate,
+                            // histograms merge bucket-wise on
+                            // re-aggregation) and one outcome line
+                            // carrying what the in-memory
+                            // MachineOutcome carries.
+                            sink.write_metrics(&recorder.metrics_snapshot());
+                            sink.write_raw_line(&machine_json_line(&outcome));
+                        }
+                        results.push((outcome, recorder));
+                        next_flush += 1;
+                    }
                 }
             }
+        } else if let Some(p) = parked.peek() {
+            // No CPU work anywhere: this is genuine in-flight time.
+            let deadline = p.key.0 .0;
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                thread::sleep(wait);
+                in_flight += wait;
+            }
+        } else {
+            debug_assert_eq!(next_admit, my_machines.len());
+            break;
         }
     }
-
-    outcome.sim_clock = system.kernel().machine().now();
-    outcome.smm_overbudget = system.kernel().machine().smm_overbudget_count();
-    outcome.max_smm_dwell = system.kernel().machine().max_smm_dwell();
-    outcome.state_digest = applied_state_digest(&system, target);
-    outcome
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    (
+        results,
+        WorkerOccupancy {
+            worker,
+            busy,
+            in_flight,
+        },
+    )
 }
 
-/// Scale the SMM stages of `base` by `factor` (≥ 1): fixed entry/exit/
-/// keygen costs and the in-SMM linear stages (decrypt, verify, apply).
-/// SGX-side and generic-instruction costs are untouched — a slow
-/// machine is slow *in SMM*, which is exactly what the dwell watchdog
-/// is meant to catch.
-fn slow_cost_model(base: &CostModel, factor: u32) -> CostModel {
-    let factor = factor.max(1) as u64;
-    let scale_time = |t: SimTime| SimTime::from_ns(t.as_ns().saturating_mul(factor));
-    let scale_linear = |l: LinearCost| LinearCost {
-        fixed: scale_time(l.fixed),
-        per_byte_ps: l.per_byte_ps.saturating_mul(factor),
-    };
-    let mut cost = base.clone();
-    cost.smm_entry = scale_time(cost.smm_entry);
-    cost.smm_exit = scale_time(cost.smm_exit);
-    cost.smm_keygen = scale_time(cost.smm_keygen);
-    cost.smm_decrypt = scale_linear(cost.smm_decrypt);
-    cost.smm_verify = scale_linear(cost.smm_verify);
-    cost.smm_verify_sdbm = scale_linear(cost.smm_verify_sdbm);
-    cost.smm_apply = scale_linear(cost.smm_apply);
-    cost
+/// The start offset for `worker`'s first delivery: `link_rtt * worker /
+/// workers`, computed in 128-bit nanoseconds so huge worker counts or
+/// RTTs saturate instead of panicking in `Duration`'s `Mul` overflow
+/// check. Always ≤ `link_rtt`.
+fn stagger_delay(link_rtt: Duration, worker: usize, workers: usize) -> Duration {
+    if worker == 0 || workers == 0 || link_rtt.is_zero() {
+        return Duration::ZERO;
+    }
+    let rtt = link_rtt.as_nanos();
+    let nanos = rtt
+        .saturating_mul(worker as u128)
+        .checked_div(workers as u128)
+        .unwrap_or(0)
+        .min(rtt);
+    Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
 }
 
 /// The per-machine outcome line a worker appends to its shard file,
-/// mirroring [`MachineOutcome`] (minus the error string and digest,
-/// which stay in the in-memory report). `kshot_telemetry::ShardData`
-/// surfaces these via `other_of_type("machine")`.
+/// mirroring [`MachineOutcome`] (minus the error string, digest, and
+/// injection write count, which stay in the in-memory report).
+/// `kshot_telemetry::ShardData` surfaces these via
+/// `other_of_type("machine")`.
 fn machine_json_line(o: &MachineOutcome) -> String {
     let latency = match o.latency {
         Some(t) => format!(",\"latency_ns\":{}", t.as_ns()),
@@ -357,36 +435,6 @@ fn machine_json_line(o: &MachineOutcome) -> String {
         o.max_smm_dwell.as_ns(),
         latency,
     )
-}
-
-/// Digest the regions that define "the applied patch": the kernel text
-/// segment (where trampolines are written) and the *occupied* prefix of
-/// `mem_X` (where bodies are placed — the extent comes from the
-/// placement cursor the SMM handler publishes in `mem_RW`). Hashing
-/// occupied extents instead of full windows keeps the digest cheap
-/// (kilobytes, not the 12 MB of window space) without weakening the
-/// byte-identical-fleet property: any divergence in trampolines, placed
-/// bodies, or placement extent changes the digest. Each region is
-/// hashed separately, then the concatenation, so the digest is
-/// independent of region adjacency.
-fn applied_state_digest(system: &KShot, target: &CampaignTarget) -> [u8; 32] {
-    let phys = system.kernel().machine().phys();
-    let text = phys
-        .slice(target.layout.kernel_text_base, target.image.text.len())
-        .expect("text segment in bounds");
-    let reserved = system.reserved();
-    let cursor_bytes = phys
-        .slice(reserved.rw_base + rw_offsets::NEXT_PADDR, 8)
-        .expect("published cursor in bounds");
-    let cursor = u64::from_le_bytes(cursor_bytes.try_into().expect("eight bytes"));
-    let used_x = cursor.saturating_sub(reserved.x_base).min(reserved.x_size);
-    let placed = phys
-        .slice(reserved.x_base, used_x as usize)
-        .expect("occupied mem_X prefix in bounds");
-    let mut acc = [0u8; 64];
-    acc[..32].copy_from_slice(&sha256(text));
-    acc[32..].copy_from_slice(&sha256(placed));
-    sha256(&acc)
 }
 
 #[cfg(test)]
@@ -420,6 +468,10 @@ mod tests {
         assert!(report.cache_misses >= 1);
         assert_eq!(report.cache_hits + report.cache_misses, 4);
         assert!(report.latency_max.as_ns() > 0);
+        // Occupancy is reported per worker, in worker order.
+        assert_eq!(report.worker_occupancy.len(), 2);
+        assert_eq!(report.worker_occupancy[1].worker, 1);
+        assert!(report.worker_occupancy.iter().all(|o| !o.busy.is_zero()));
     }
 
     #[test]
@@ -442,6 +494,31 @@ mod tests {
         // its clock carries the failed attempt and the backoff.
         assert!(report.all_identical_digests());
         assert!(faulted.sim_clock > report.outcomes[0].sim_clock);
+    }
+
+    /// Regression for the injection-stats leak: a plan armed at a write
+    /// index the session never reaches fires nothing, the session
+    /// succeeds on the first try — and the stats must still be folded
+    /// into the outcome instead of vanishing with the armed plan.
+    #[test]
+    fn unfired_injection_plan_is_disarmed_and_accounted_on_success() {
+        let (target, bytes) = campaign_fixture();
+        let config = FleetConfig::new(1, 1)
+            .with_seed(5)
+            .with_fault(PlannedFault {
+                machine: 0,
+                smm_write_index: u64::MAX,
+            });
+        let report = run_campaign(&target, &bytes, &config);
+        let o = &report.outcomes[0];
+        assert!(o.ok);
+        assert_eq!(o.attempts, 1);
+        assert_eq!(o.faults_injected, 0, "the plan never fired");
+        assert!(
+            o.injection_writes_seen > 0,
+            "armed plan's observed writes must survive the success path"
+        );
+        assert_eq!(report.faults_injected, 0);
     }
 
     #[test]
@@ -472,5 +549,50 @@ mod tests {
             assert_eq!(x.sim_clock, y.sim_clock);
             assert_eq!(x.latency.map(|t| t.as_ns()), y.latency.map(|t| t.as_ns()));
         }
+    }
+
+    /// A pipelined single worker must produce the same simulated-domain
+    /// results as the sequential path — only wall time may differ.
+    #[test]
+    fn pipelined_worker_matches_sequential_results() {
+        let (target, bytes) = campaign_fixture();
+        let sequential = FleetConfig::new(5, 1)
+            .with_seed(99)
+            .with_fault(PlannedFault {
+                machine: 2,
+                smm_write_index: 3,
+            });
+        let pipelined = sequential.clone().with_pipeline_depth(5);
+        let a = run_campaign(&target, &bytes, &sequential);
+        let b = run_campaign(&target, &bytes, &pipelined);
+        assert_eq!(a.succeeded, 5);
+        assert_eq!(b.succeeded, 5);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.machine, y.machine);
+            assert_eq!(x.state_digest, y.state_digest);
+            assert_eq!(x.sim_clock, y.sim_clock);
+            assert_eq!(x.attempts, y.attempts);
+        }
+    }
+
+    #[test]
+    fn stagger_delay_never_panics_and_stays_under_one_rtt() {
+        let rtt = Duration::from_millis(60);
+        assert_eq!(stagger_delay(rtt, 0, 8), Duration::ZERO);
+        assert_eq!(stagger_delay(rtt, 4, 8), rtt / 2);
+        assert!(stagger_delay(rtt, 7, 8) < rtt);
+        // The old `rtt * worker as u32` panicked here (u32 overflow in
+        // Duration::mul); the 128-bit path saturates instead.
+        let huge = stagger_delay(
+            Duration::from_secs(u64::MAX / 2),
+            usize::MAX - 1,
+            usize::MAX,
+        );
+        assert!(huge <= Duration::from_secs(u64::MAX / 2));
+        let max = stagger_delay(Duration::MAX, usize::MAX - 1, usize::MAX);
+        assert!(max <= Duration::MAX);
+        assert_eq!(stagger_delay(rtt, 3, 0), Duration::ZERO);
     }
 }

@@ -69,6 +69,17 @@ pub struct FleetConfig {
     /// Machines to artificially slow down (SMM cost scaling), at most
     /// one per machine.
     pub slowdowns: Vec<PlannedSlowdown>,
+    /// How many of one worker's machines may be in flight at once.
+    ///
+    /// `1` (the default) reproduces the classic behaviour: a worker
+    /// drives one machine end-to-end before starting the next, blocking
+    /// through every link RTT. Larger depths let the worker overlap one
+    /// machine's in-flight delivery (or retry backoff) with other
+    /// machines' CPU phases — attempt-level interleaving that lifts
+    /// single-worker wall throughput on latency-bound campaigns without
+    /// spawning threads. Simulated-domain results (state digests, sim
+    /// clocks, metrics, shard contents) are identical at every depth.
+    pub pipeline_depth: usize,
     /// Whether the merged campaign recorder retains every machine's
     /// records (`true`, the default) or only the merged metric
     /// summaries (`false`). Summaries-only is the memory-bounded mode
@@ -93,8 +104,16 @@ impl FleetConfig {
             stream_dir: None,
             smm_dwell_budget: None,
             slowdowns: Vec::new(),
+            pipeline_depth: 1,
             retain_records: true,
         }
+    }
+
+    /// Builder-style: keep up to `depth` machines in flight per worker
+    /// (clamped to ≥ 1). Depth 1 is the classic sequential drive.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth.max(1);
+        self
     }
 
     /// Builder-style: set the campaign seed.
@@ -163,6 +182,9 @@ mod tests {
         assert_eq!(c.max_attempts, 3);
         assert!(c.faults.is_empty());
         assert!(c.link_rtt.is_zero());
+        // Depth 1 — the classic sequential drive — is the default.
+        assert_eq!(c.pipeline_depth, 1);
+        assert_eq!(c.with_pipeline_depth(0).pipeline_depth, 1);
         // Zero workers is clamped rather than deadlocking the shard loop.
         assert_eq!(FleetConfig::new(1, 0).workers, 1);
     }

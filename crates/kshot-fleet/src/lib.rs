@@ -19,6 +19,18 @@
 //!   splitmix64-derived seed); only the *sharding* across workers is
 //!   concurrent. Round-robin sharding makes the machine→worker mapping
 //!   deterministic too.
+//! * **Pipelined sessions hide the link.** Campaign wall time is
+//!   dominated by the orchestrator↔machine RTT, not compute. Each
+//!   worker is an event-driven scheduler over resumable
+//!   `MachineSession` state machines (Boot → Install → InFlight →
+//!   Patch → Backoff → Done): with
+//!   [`FleetConfig::with_pipeline_depth`] > 1 it steps other machines'
+//!   CPU phases while one machine's delivery is in flight, parking
+//!   waits on a deadline min-heap instead of blocking in
+//!   `thread::sleep`. Every resumed step re-enters the machine's own
+//!   recorder scope, so simulated-domain results are byte-identical at
+//!   every depth; [`CampaignReport::worker_occupancy`] shows the
+//!   busy/in-flight split the pipelining buys.
 //! * **Failure is expected.** A campaign can plan per-machine faults
 //!   (via `kshot-machine`'s injection engine); a failed session is
 //!   recovered with [`kshot_core::KShot::recover`] and retried under
@@ -40,7 +52,8 @@
 pub mod campaign;
 pub mod config;
 pub mod report;
+mod session;
 
 pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
 pub use config::{FleetConfig, PlannedFault, PlannedSlowdown};
-pub use report::CampaignReport;
+pub use report::{CampaignReport, WorkerOccupancy};

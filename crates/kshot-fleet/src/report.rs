@@ -11,6 +11,34 @@ use kshot_telemetry::{PhaseProfile, Recorder};
 use crate::campaign::MachineOutcome;
 use crate::config::FleetConfig;
 
+/// How one worker spent its scheduling loop: stepping sessions (busy)
+/// versus sleeping on delivery/backoff deadlines (in flight). The ratio
+/// is the pipelining win made observable — at depth 1 a latency-bound
+/// worker is almost entirely in flight; with a deep enough pipeline the
+/// same worker approaches fully busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerOccupancy {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Wall-clock time spent executing session steps (CPU phases).
+    pub busy: Duration,
+    /// Wall-clock time slept waiting for the earliest deadline because
+    /// no session had CPU work ready.
+    pub in_flight: Duration,
+}
+
+impl WorkerOccupancy {
+    /// Fraction of the worker's scheduling loop spent busy, in `0..=1`
+    /// (1.0 when the worker never waited).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.busy + self.in_flight;
+        if total.is_zero() {
+            return 1.0;
+        }
+        self.busy.as_secs_f64() / total.as_secs_f64()
+    }
+}
+
 /// Everything a campaign produced, merged across machines and workers.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
@@ -18,6 +46,8 @@ pub struct CampaignReport {
     pub machines: usize,
     /// Worker threads they were sharded across.
     pub workers: usize,
+    /// Per-worker pipeline depth the campaign ran with (1 = sequential).
+    pub pipeline_depth: usize,
     /// Machines whose patch ultimately applied.
     pub succeeded: usize,
     /// Machines that exhausted their attempts.
@@ -51,6 +81,8 @@ pub struct CampaignReport {
     /// one SMI exceeded [`crate::FleetConfig::smm_dwell_budget`].
     /// Always empty when no budget was armed.
     pub dwell_anomalies: Vec<usize>,
+    /// Each worker's busy/in-flight wall-time split, in worker order.
+    pub worker_occupancy: Vec<WorkerOccupancy>,
     /// Every machine's telemetry, merged into one recorder (metric
     /// summaries only when the campaign ran `summaries_only`).
     pub recorder: Arc<Recorder>,
@@ -62,6 +94,7 @@ impl CampaignReport {
         config: &FleetConfig,
         outcomes: Vec<MachineOutcome>,
         recorder: Arc<Recorder>,
+        worker_occupancy: Vec<WorkerOccupancy>,
         wall: Duration,
         cache_hits: u64,
         cache_misses: u64,
@@ -105,6 +138,7 @@ impl CampaignReport {
         CampaignReport {
             machines: config.machines,
             workers: config.workers,
+            pipeline_depth: config.pipeline_depth.max(1),
             succeeded,
             failed,
             retries,
@@ -119,6 +153,7 @@ impl CampaignReport {
             cache_misses,
             outcomes,
             dwell_anomalies,
+            worker_occupancy,
             recorder,
         }
     }
@@ -155,9 +190,24 @@ impl CampaignReport {
             .map(|m| m.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let occupancy = self
+            .worker_occupancy
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"worker\":{},\"busy_ms\":{:.3},\"in_flight_ms\":{:.3},\"busy_fraction\":{:.4}}}",
+                    o.worker,
+                    o.busy.as_secs_f64() * 1e3,
+                    o.in_flight.as_secs_f64() * 1e3,
+                    o.busy_fraction(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
-                "{{\"v\":{},\"machines\":{},\"workers\":{},\"succeeded\":{},\"failed\":{},",
+                "{{\"v\":{},\"machines\":{},\"workers\":{},\"pipeline_depth\":{},",
+                "\"succeeded\":{},\"failed\":{},",
                 "\"retries\":{},\"faults_injected\":{},",
                 "\"latency_ns\":{{\"p50\":{},\"p95\":{},\"max\":{}}},",
                 "\"wall_ms\":{:.3},",
@@ -165,11 +215,13 @@ impl CampaignReport {
                 "\"throughput_sim_patches_per_sec\":{:.3},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"dwell_anomalies\":[{}],",
+                "\"occupancy\":[{}],",
                 "\"identical_digests\":{}}}"
             ),
             kshot_telemetry::SCHEMA_VERSION,
             self.machines,
             self.workers,
+            self.pipeline_depth,
             self.succeeded,
             self.failed,
             self.retries,
@@ -183,6 +235,7 @@ impl CampaignReport {
             self.cache_hits,
             self.cache_misses,
             dwell_anomalies,
+            occupancy,
             self.all_identical_digests(),
         )
     }
@@ -213,6 +266,7 @@ mod tests {
             sim_clock: SimTime::from_ns(latency_ns * 2),
             state_digest: [digest; 32],
             faults_injected: 0,
+            injection_writes_seen: 0,
             smm_overbudget: 0,
             max_smm_dwell: SimTime::ZERO,
         }
@@ -233,6 +287,18 @@ mod tests {
             &config,
             outcomes,
             Recorder::new(),
+            vec![
+                WorkerOccupancy {
+                    worker: 0,
+                    busy: Duration::from_millis(4),
+                    in_flight: Duration::from_millis(4),
+                },
+                WorkerOccupancy {
+                    worker: 1,
+                    busy: Duration::from_millis(9),
+                    in_flight: Duration::ZERO,
+                },
+            ],
             Duration::from_millis(10),
             2,
             1,
@@ -253,6 +319,12 @@ mod tests {
         assert!(json.contains("\"identical_digests\":false"));
         assert!(json.contains("\"p50\":1000"));
         assert!(json.contains("\"dwell_anomalies\":[1]"));
+        assert!(json.contains("\"pipeline_depth\":1"));
+        // Occupancy serializes per worker; a half-busy worker reads as
+        // a 0.5 busy fraction.
+        assert!(json.contains("\"occupancy\":[{\"worker\":0"), "{json}");
+        assert!(json.contains("\"busy_fraction\":0.5000"));
+        assert!((report.worker_occupancy[1].busy_fraction() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -261,6 +333,7 @@ mod tests {
             &FleetConfig::new(0, 1),
             Vec::new(),
             Recorder::new(),
+            Vec::new(),
             Duration::ZERO,
             0,
             0,

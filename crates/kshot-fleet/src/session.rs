@@ -1,0 +1,363 @@
+//! The resumable per-machine session state machine.
+//!
+//! `run_machine` used to drive a machine end-to-end inside one function
+//! call, which forced the worker to *block* in `thread::sleep` for every
+//! link round trip — >95% of its wall time at realistic RTTs. This
+//! module splits that drive into a [`MachineSession`]: a state machine
+//! whose CPU phases ([`SessionState::Boot`], [`SessionState::Install`],
+//! [`SessionState::Patch`], the backoff bookkeeping) run when the
+//! scheduler calls [`MachineSession::step`], and whose waiting phases
+//! ([`SessionState::InFlight`], [`SessionState::Backoff`]) are plain
+//! wall-clock deadlines the scheduler parks on a min-heap. While one
+//! machine's delivery is in flight, the same worker steps other
+//! machines' CPU phases — the latency-hiding that lifts single-worker
+//! throughput.
+//!
+//! Determinism is untouched by the refactor: everything a machine
+//! computes (seed, simulated clock, telemetry, applied bytes) depends
+//! only on its own state, and every resumed step runs under the
+//! machine's own recorder scope. Wall-clock deadlines decide *when* a
+//! step runs, never *what* it computes, so state digests, sim-time
+//! metrics, and per-machine shard contents are identical at every
+//! pipeline depth — depth 1 reproduces the old sequential behaviour
+//! exactly.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kshot_core::reserved::rw_offsets;
+use kshot_core::KShot;
+use kshot_crypto::sha256::sha256;
+use kshot_kernel::Kernel;
+use kshot_machine::{CostModel, InjectionPlan, LinearCost, SimTime};
+use kshot_patchserver::BundleCache;
+use kshot_telemetry::Recorder;
+
+use crate::campaign::{CampaignTarget, MachineOutcome};
+use crate::config::{splitmix64, FleetConfig};
+
+/// Where a session is in its Boot → Install → InFlight → Patch →
+/// Backoff → Done lifecycle.
+#[derive(Debug)]
+pub(crate) enum SessionState {
+    /// CPU: boot the kernel from the shared image.
+    Boot,
+    /// CPU: install KShot, configure the machine, arm any planned fault.
+    Install,
+    /// Waiting: this attempt's patch delivery is on the wire until
+    /// `deadline` (one link RTT).
+    InFlight {
+        /// Wall-clock instant the delivery completes.
+        deadline: Instant,
+    },
+    /// CPU: decode the bundle (shared cache) and run the patch session.
+    Patch,
+    /// Waiting-then-CPU: a failed attempt's retry backoff. The backoff
+    /// itself is charged to the machine's *simulated* clock (identical
+    /// to the sequential path — no extra wall time at depth 1); the
+    /// wall deadline exists so a scheduler could model wall-visible
+    /// backoff without touching the state machine.
+    Backoff {
+        /// Wall-clock instant the retry may start.
+        deadline: Instant,
+    },
+    /// Terminal: `outcome` is final.
+    Done,
+}
+
+/// What the scheduler should do with a session after a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepStatus {
+    /// More CPU work is ready right now — requeue.
+    Ready,
+    /// Nothing to do until the session's [`MachineSession::deadline`]
+    /// passes — park on the deadline heap.
+    Wait,
+    /// The session is finished; collect its outcome.
+    Done,
+}
+
+/// One machine's resumable patch session: the machine itself (once
+/// booted), its attempt accounting, and its private recorder.
+pub(crate) struct MachineSession {
+    /// Running outcome; final once the session reports [`StepStatus::Done`].
+    pub(crate) outcome: MachineOutcome,
+    /// The machine's private telemetry recorder. The scheduler enters
+    /// it (via `RecorderScope`) around every step.
+    pub(crate) recorder: Arc<Recorder>,
+    state: SessionState,
+    /// Booted kernel, held between Boot and Install.
+    kernel: Option<Kernel>,
+    /// Installed system, held from Install until the session finishes
+    /// (dropped at finalization to release the machine's memory while
+    /// other sessions are still live).
+    system: Option<KShot>,
+}
+
+impl MachineSession {
+    /// The wall-clock instant this session is waiting for, if it is in
+    /// a waiting state ([`SessionState::InFlight`] or
+    /// [`SessionState::Backoff`]).
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        match self.state {
+            SessionState::InFlight { deadline } | SessionState::Backoff { deadline } => {
+                Some(deadline)
+            }
+            _ => None,
+        }
+    }
+
+    /// A fresh session for `machine`, about to boot.
+    pub(crate) fn new(machine: usize, worker: usize, recorder: Arc<Recorder>) -> MachineSession {
+        MachineSession {
+            outcome: MachineOutcome {
+                machine,
+                worker,
+                attempts: 0,
+                retries: 0,
+                ok: false,
+                error: None,
+                latency: None,
+                sim_clock: SimTime::ZERO,
+                state_digest: [0; 32],
+                faults_injected: 0,
+                injection_writes_seen: 0,
+                smm_overbudget: 0,
+                max_smm_dwell: SimTime::ZERO,
+            },
+            recorder,
+            state: SessionState::Boot,
+            kernel: None,
+            system: None,
+        }
+    }
+
+    /// Advance the session by one phase. The scheduler must only call
+    /// this once any pending deadline has passed, and must run it under
+    /// this session's recorder scope.
+    pub(crate) fn step(
+        &mut self,
+        target: &CampaignTarget,
+        cache: &BundleCache,
+        bundle_bytes: &[u8],
+        config: &FleetConfig,
+    ) -> StepStatus {
+        match self.state {
+            SessionState::Boot => self.step_boot(target),
+            SessionState::Install => self.step_install(config),
+            // A released InFlight deadline means the delivery landed:
+            // the patch attempt is the next CPU work.
+            SessionState::InFlight { .. } | SessionState::Patch => {
+                self.step_patch(cache, bundle_bytes, target, config)
+            }
+            SessionState::Backoff { .. } => self.step_backoff(config),
+            SessionState::Done => StepStatus::Done,
+        }
+    }
+
+    fn step_boot(&mut self, target: &CampaignTarget) -> StepStatus {
+        match Kernel::boot(
+            (*target.image).clone(),
+            target.version.as_str(),
+            target.layout,
+        ) {
+            Ok(kernel) => {
+                self.kernel = Some(kernel);
+                self.state = SessionState::Install;
+                StepStatus::Ready
+            }
+            Err(e) => self.fail_early(format!("boot: {e}")),
+        }
+    }
+
+    fn step_install(&mut self, config: &FleetConfig) -> StepStatus {
+        let machine = self.outcome.machine;
+        let seed = splitmix64(config.seed.wrapping_add(machine as u64));
+        let kernel = self.kernel.take().expect("Install follows Boot");
+        let mut system = match KShot::install(kernel, seed) {
+            Ok(s) => s,
+            Err(e) => return self.fail_early(format!("install: {e}")),
+        };
+        {
+            let m = system.kernel_mut().machine_mut();
+            m.set_smm_dwell_budget(config.smm_dwell_budget);
+            if let Some(slow) = config.slowdowns.iter().find(|s| s.machine == machine) {
+                let scaled = slow_cost_model(m.cost(), slow.factor);
+                m.set_cost(scaled);
+            }
+        }
+        if let Some(fault) = config.faults.iter().find(|f| f.machine == machine) {
+            system
+                .kernel_mut()
+                .machine_mut()
+                .arm_injection(InjectionPlan::fail_nth_smm_write(fault.smm_write_index));
+        }
+        self.system = Some(system);
+        self.begin_attempt(config)
+    }
+
+    /// Start the next session attempt: count it and put its delivery on
+    /// the wire. Mirrors the head of the old retry loop (attempt count,
+    /// then one link RTT of waiting).
+    fn begin_attempt(&mut self, config: &FleetConfig) -> StepStatus {
+        self.outcome.attempts += 1;
+        if config.link_rtt.is_zero() {
+            self.state = SessionState::Patch;
+            return StepStatus::Ready;
+        }
+        let deadline = Instant::now() + config.link_rtt;
+        self.state = SessionState::InFlight { deadline };
+        StepStatus::Wait
+    }
+
+    fn step_patch(
+        &mut self,
+        cache: &BundleCache,
+        bundle_bytes: &[u8],
+        target: &CampaignTarget,
+        config: &FleetConfig,
+    ) -> StepStatus {
+        let bundle = match cache.get_or_decode(bundle_bytes) {
+            Ok(b) => b,
+            Err(e) => {
+                self.outcome.error = Some(format!("bundle: {e}"));
+                return self.finalize(target);
+            }
+        };
+        let system = self.system.as_mut().expect("Patch follows Install");
+        match system.live_patch_bundle((*bundle).clone()) {
+            Ok(report) => {
+                self.outcome.ok = true;
+                self.outcome.error = None;
+                self.outcome.latency = Some(report.total());
+                // Fold injection stats on the success path too: an
+                // armed-but-unfired plan (write index never reached)
+                // would otherwise vanish without a trace.
+                self.fold_injection_stats();
+                self.finalize(target)
+            }
+            Err(e) => {
+                self.outcome.error = Some(e.to_string());
+                self.fold_injection_stats();
+                // Roll the machine back to its pre-session state; a
+                // failed recovery leaves `error` describing the session
+                // failure and the next attempt (if any) reports its own.
+                let system = self.system.as_mut().expect("Patch follows Install");
+                let _ = system.recover();
+                if self.outcome.attempts < config.max_attempts.max(1) {
+                    // Ready immediately: the backoff is simulated-clock
+                    // only, exactly as in the sequential path.
+                    let deadline = Instant::now();
+                    self.state = SessionState::Backoff { deadline };
+                    StepStatus::Wait
+                } else {
+                    self.finalize(target)
+                }
+            }
+        }
+    }
+
+    fn step_backoff(&mut self, config: &FleetConfig) -> StepStatus {
+        self.outcome.retries += 1;
+        // The just-failed attempt's 0-based index decides the doubling.
+        let shift = (self.outcome.attempts - 1).min(20);
+        let backoff = SimTime::from_ns(config.backoff_base.as_ns().saturating_mul(1u64 << shift));
+        self.system
+            .as_mut()
+            .expect("Backoff follows Patch")
+            .kernel_mut()
+            .machine_mut()
+            .charge(backoff);
+        self.begin_attempt(config)
+    }
+
+    /// Record what the installed machine ended as and release it.
+    fn finalize(&mut self, target: &CampaignTarget) -> StepStatus {
+        let system = self.system.as_ref().expect("finalize with a live system");
+        self.outcome.sim_clock = system.kernel().machine().now();
+        self.outcome.smm_overbudget = system.kernel().machine().smm_overbudget_count();
+        self.outcome.max_smm_dwell = system.kernel().machine().max_smm_dwell();
+        self.outcome.state_digest = applied_state_digest(system, target);
+        // Drop the machine now: at pipeline depth k a worker holds k
+        // live machines, so releasing each one's memory at completion
+        // (not at collection) bounds the high-water mark.
+        self.system = None;
+        self.state = SessionState::Done;
+        StepStatus::Done
+    }
+
+    /// Terminal failure before a machine existed (boot/install error):
+    /// there is no clock, dwell, or digest to read.
+    fn fail_early(&mut self, error: String) -> StepStatus {
+        self.outcome.error = Some(error);
+        self.state = SessionState::Done;
+        StepStatus::Done
+    }
+
+    fn fold_injection_stats(&mut self) {
+        if let Some(stats) = self
+            .system
+            .as_mut()
+            .expect("injection stats read with a live system")
+            .kernel_mut()
+            .machine_mut()
+            .disarm_injection()
+        {
+            self.outcome.faults_injected += stats.faults_injected;
+            self.outcome.injection_writes_seen += stats.smm_writes_seen;
+        }
+    }
+}
+
+/// Scale the SMM stages of `base` by `factor` (≥ 1): fixed entry/exit/
+/// keygen costs and the in-SMM linear stages (decrypt, verify, apply).
+/// SGX-side and generic-instruction costs are untouched — a slow
+/// machine is slow *in SMM*, which is exactly what the dwell watchdog
+/// is meant to catch.
+fn slow_cost_model(base: &CostModel, factor: u32) -> CostModel {
+    let factor = factor.max(1) as u64;
+    let scale_time = |t: SimTime| SimTime::from_ns(t.as_ns().saturating_mul(factor));
+    let scale_linear = |l: LinearCost| LinearCost {
+        fixed: scale_time(l.fixed),
+        per_byte_ps: l.per_byte_ps.saturating_mul(factor),
+    };
+    let mut cost = base.clone();
+    cost.smm_entry = scale_time(cost.smm_entry);
+    cost.smm_exit = scale_time(cost.smm_exit);
+    cost.smm_keygen = scale_time(cost.smm_keygen);
+    cost.smm_decrypt = scale_linear(cost.smm_decrypt);
+    cost.smm_verify = scale_linear(cost.smm_verify);
+    cost.smm_verify_sdbm = scale_linear(cost.smm_verify_sdbm);
+    cost.smm_apply = scale_linear(cost.smm_apply);
+    cost
+}
+
+/// Digest the regions that define "the applied patch": the kernel text
+/// segment (where trampolines are written) and the *occupied* prefix of
+/// `mem_X` (where bodies are placed — the extent comes from the
+/// placement cursor the SMM handler publishes in `mem_RW`). Hashing
+/// occupied extents instead of full windows keeps the digest cheap
+/// (kilobytes, not the 12 MB of window space) without weakening the
+/// byte-identical-fleet property: any divergence in trampolines, placed
+/// bodies, or placement extent changes the digest. Each region is
+/// hashed separately, then the concatenation, so the digest is
+/// independent of region adjacency.
+fn applied_state_digest(system: &KShot, target: &CampaignTarget) -> [u8; 32] {
+    let phys = system.kernel().machine().phys();
+    let text = phys
+        .slice(target.layout.kernel_text_base, target.image.text.len())
+        .expect("text segment in bounds");
+    let reserved = system.reserved();
+    let cursor_bytes = phys
+        .slice(reserved.rw_base + rw_offsets::NEXT_PADDR, 8)
+        .expect("published cursor in bounds");
+    let cursor = u64::from_le_bytes(cursor_bytes.try_into().expect("eight bytes"));
+    let used_x = cursor.saturating_sub(reserved.x_base).min(reserved.x_size);
+    let placed = phys
+        .slice(reserved.x_base, used_x as usize)
+        .expect("occupied mem_X prefix in bounds");
+    let mut acc = [0u8; 64];
+    acc[..32].copy_from_slice(&sha256(text));
+    acc[32..].copy_from_slice(&sha256(placed));
+    sha256(&acc)
+}

@@ -7,10 +7,14 @@
 //! the patch a machine ends up running is exactly the patch the server
 //! built, regardless of scheduling, sharding, or transient failures.
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::OnceLock;
 
 use kshot_cve::{find, patch_for};
-use kshot_fleet::{run_campaign, CampaignTarget, FleetConfig, PlannedFault};
+use kshot_fleet::{run_campaign, CampaignReport, CampaignTarget, FleetConfig, PlannedFault};
+use kshot_telemetry::json::Value;
+use kshot_telemetry::ShardData;
 use proptest::prelude::*;
 
 /// The target and encoded bundle are expensive (tree link + server
@@ -37,12 +41,15 @@ proptest! {
     fn fleet_applies_byte_identical_state(
         machines in 2usize..6,
         workers in 1usize..4,
+        depth in 1usize..5,
         seed in any::<u64>(),
         faulted in 0usize..6,
         write_index in 1u64..6,
     ) {
         let (target, bytes) = fixture();
-        let mut config = FleetConfig::new(machines, workers).with_seed(seed);
+        let mut config = FleetConfig::new(machines, workers)
+            .with_seed(seed)
+            .with_pipeline_depth(depth);
         // Arm a one-shot SMM write fault on one machine (when the drawn
         // index lands inside the fleet); its session must fail, recover,
         // retry, and still converge to the same bytes as everyone else.
@@ -77,4 +84,165 @@ proptest! {
             prop_assert_eq!(report.retries, 0);
         }
     }
+}
+
+/// Everything a depth/worker sweep must hold constant about one run:
+/// the simulated-domain results and the re-aggregated shard metrics.
+/// Wall time and interleaving are the *only* things pipelining may
+/// change, so every other observable is comparable field-by-field.
+#[derive(Debug, PartialEq)]
+struct SimDomainFingerprint {
+    /// Per-machine sim-domain results, in machine order.
+    outcomes: Vec<OutcomeRow>,
+    /// Counter totals re-aggregated from the streamed shard files. The
+    /// `cache.bundle_hit`/`cache.bundle_miss` split depends on which
+    /// workers race the first decode (the existing property only bounds
+    /// misses by the worker count), so those two fold into one
+    /// `cache.bundle_lookups` total here; every other counter must
+    /// match exactly.
+    counters: BTreeMap<String, u64>,
+    /// Histogram (count, sum, min, max) totals from the shard files.
+    histograms: BTreeMap<String, (u64, u64, u64, u64)>,
+    /// Span/event record counts across all shards.
+    spans: u64,
+    events: u64,
+    /// The per-machine outcome lines from the shards, keyed by machine:
+    /// (worker, ok, attempts, sim_clock_ns).
+    machine_lines: BTreeMap<u64, (u64, bool, u64, u64)>,
+}
+
+/// (machine, ok, attempts, retries, sim_clock_ns, latency_ns, digest).
+type OutcomeRow = (usize, bool, u32, u64, u64, Option<u64>, [u8; 32]);
+
+fn fingerprint(report: &CampaignReport, stream_dir: &Path, workers: usize) -> SimDomainFingerprint {
+    let mut shards = ShardData::new();
+    for worker in 0..workers {
+        let path = stream_dir.join(format!("worker-{worker}.jsonl"));
+        shards
+            .parse_into(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+    let machine_lines = shards
+        .other_of_type("machine")
+        .map(|v| {
+            let field = |k: &str| {
+                v.get(k)
+                    .and_then(Value::as_u64)
+                    .unwrap_or_else(|| panic!("{k}?"))
+            };
+            (
+                field("machine"),
+                (
+                    field("worker"),
+                    matches!(v.get("ok"), Some(Value::Bool(true))),
+                    field("attempts"),
+                    field("sim_clock_ns"),
+                ),
+            )
+        })
+        .collect();
+    SimDomainFingerprint {
+        outcomes: report
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.machine,
+                    o.ok,
+                    o.attempts,
+                    o.retries,
+                    o.sim_clock.as_ns(),
+                    o.latency.map(|t| t.as_ns()),
+                    o.state_digest,
+                )
+            })
+            .collect(),
+        counters: {
+            let mut counters = shards.counters.clone();
+            let lookups = counters.remove("cache.bundle_hit").unwrap_or(0)
+                + counters.remove("cache.bundle_miss").unwrap_or(0);
+            counters.insert("cache.bundle_lookups".to_string(), lookups);
+            counters
+        },
+        histograms: shards
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), (h.count, h.sum, h.min, h.max)))
+            .collect(),
+        spans: shards.spans,
+        events: shards.events,
+        machine_lines,
+    }
+}
+
+/// The pipelining determinism gate: across pipeline depths {1, 4,
+/// machines} and worker counts {1, 8} — with one injected fault and
+/// retry in the fleet — state digests are byte-identical, per-machine
+/// sim clocks and attempt counts agree, and the re-aggregated shard
+/// metrics equal the sequential reference's exactly. Only wall time may
+/// differ.
+#[test]
+fn pipelining_and_sharding_preserve_the_simulated_domain() {
+    const MACHINES: usize = 6;
+    let (target, bytes) = fixture();
+    let base = |workers: usize, depth: usize| {
+        FleetConfig::new(MACHINES, workers)
+            .with_seed(0xD137)
+            .with_pipeline_depth(depth)
+            .with_fault(PlannedFault {
+                machine: 2,
+                smm_write_index: 3,
+            })
+    };
+    let scratch = std::env::temp_dir().join(format!("kshot-pipeline-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let run = |label: &str, workers: usize, depth: usize| {
+        let dir = scratch.join(label);
+        let report = run_campaign(target, bytes, &base(workers, depth).with_stream_dir(&dir));
+        assert_eq!(report.succeeded, MACHINES, "{label}: {:?}", report.outcomes);
+        assert_eq!(report.retries, 1, "{label}");
+        assert_eq!(report.faults_injected, 1, "{label}");
+        assert!(report.all_identical_digests(), "{label}");
+        fingerprint(&report, &dir, workers)
+    };
+
+    let reference = run("seq", 1, 1);
+    for (label, workers, depth) in [
+        ("w1-d4", 1, 4),
+        ("w1-dmax", 1, MACHINES),
+        ("w8-d1", 8, 1),
+        ("w8-d4", 8, 4),
+        ("w8-dmax", 8, MACHINES),
+    ] {
+        let fp = run(label, workers, depth);
+        // Worker assignment moves with the worker count; everything
+        // else must match the sequential reference bit-for-bit.
+        assert_eq!(
+            fp.outcomes, reference.outcomes,
+            "{label}: outcomes diverged"
+        );
+        assert_eq!(
+            fp.counters, reference.counters,
+            "{label}: shard counters diverged"
+        );
+        assert_eq!(
+            fp.histograms, reference.histograms,
+            "{label}: shard histograms diverged"
+        );
+        assert_eq!(fp.spans, reference.spans, "{label}: span counts diverged");
+        assert_eq!(
+            fp.events, reference.events,
+            "{label}: event counts diverged"
+        );
+        let strip = |m: &BTreeMap<u64, (u64, bool, u64, u64)>| -> BTreeMap<u64, (bool, u64, u64)> {
+            m.iter().map(|(k, v)| (*k, (v.1, v.2, v.3))).collect()
+        };
+        assert_eq!(
+            strip(&fp.machine_lines),
+            strip(&reference.machine_lines),
+            "{label}: shard machine lines diverged"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
 }

@@ -118,18 +118,68 @@ pub fn uninstall() -> Option<Arc<Recorder>> {
 /// concurrent sessions trace into N disjoint recorders, merged
 /// afterwards via [`Recorder::merge_from`].
 pub fn with_recorder<R>(recorder: Arc<Recorder>, f: impl FnOnce() -> R) -> R {
-    struct Restore(Option<Arc<Recorder>>);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            let prev = self.0.take();
-            LOCAL_ENABLED.with(|on| on.set(prev.is_some()));
-            LOCAL_RECORDER.with(|slot| *slot.borrow_mut() = prev);
+    let _scope = RecorderScope::enter(recorder);
+    f()
+}
+
+/// RAII form of [`with_recorder`]: entering makes `recorder` this
+/// thread's collector, dropping restores whatever was active before
+/// (including a shadowed outer scope) — even on unwind.
+///
+/// This is the re-entry primitive for *interleaved* sessions: a
+/// pipelined fleet worker suspends machine A mid-session (say, while
+/// its patch delivery is in flight), runs a step of machine B under B's
+/// recorder, then re-enters A's recorder for A's next step. Each
+/// enter/exit pair brackets exactly one resumed step, so records from
+/// concurrent-in-time sessions never mix recorders:
+///
+/// ```
+/// use kshot_telemetry::{Recorder, RecorderScope};
+/// let a = Recorder::new();
+/// let b = Recorder::new();
+/// {
+///     let _s = RecorderScope::enter(a.clone());
+///     kshot_telemetry::counter("step", 1); // lands in `a`
+/// }
+/// {
+///     let _s = RecorderScope::enter(b.clone());
+///     kshot_telemetry::counter("step", 1); // lands in `b`
+/// }
+/// {
+///     let _s = RecorderScope::enter(a.clone()); // re-entry
+///     kshot_telemetry::counter("step", 1); // lands in `a` again
+/// }
+/// assert_eq!(a.metrics_snapshot().counter("step"), 2);
+/// assert_eq!(b.metrics_snapshot().counter("step"), 1);
+/// ```
+///
+/// The guard is `!Send`: it manipulates thread-local state and must be
+/// dropped on the thread that entered it.
+pub struct RecorderScope {
+    prev: Option<Arc<Recorder>>,
+    /// Pins the guard to the entering thread (thread-local state).
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl RecorderScope {
+    /// Make `recorder` the active collector for this thread until the
+    /// returned guard drops.
+    pub fn enter(recorder: Arc<Recorder>) -> RecorderScope {
+        let prev = LOCAL_RECORDER.with(|slot| slot.borrow_mut().replace(recorder));
+        LOCAL_ENABLED.with(|on| on.set(true));
+        RecorderScope {
+            prev,
+            _not_send: std::marker::PhantomData,
         }
     }
-    let prev = LOCAL_RECORDER.with(|slot| slot.borrow_mut().replace(recorder));
-    LOCAL_ENABLED.with(|on| on.set(true));
-    let _restore = Restore(prev);
-    f()
+}
+
+impl Drop for RecorderScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        LOCAL_ENABLED.with(|on| on.set(prev.is_some()));
+        LOCAL_RECORDER.with(|slot| *slot.borrow_mut() = prev);
+    }
 }
 
 /// True when a recorder is installed — a thread-local one via
@@ -426,6 +476,68 @@ mod tests {
         }));
         assert!(result.is_err());
         assert!(!is_enabled());
+        assert!(recorder().is_none());
+    }
+
+    /// The pipelined-fleet pattern: two sessions' steps interleave on
+    /// one thread, each step re-entering its own recorder. Records and
+    /// metrics must stay disjoint per session, and the thread must end
+    /// up clean (no recorder active) once all scopes have dropped.
+    #[test]
+    fn recorder_scope_reenters_interleaved_sessions() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let a = Recorder::with_capacity(64);
+        let b = Recorder::with_capacity(64);
+        // step A.1, step B.1, step A.2, step B.2 — as a depth-2
+        // scheduler would run them.
+        {
+            let _s = RecorderScope::enter(a.clone());
+            counter("scope.step", 1);
+            event("scope.a");
+        }
+        {
+            let _s = RecorderScope::enter(b.clone());
+            counter("scope.step", 10);
+        }
+        {
+            let _s = RecorderScope::enter(a.clone());
+            counter("scope.step", 2);
+        }
+        {
+            let _s = RecorderScope::enter(b.clone());
+            counter("scope.step", 20);
+            event("scope.b");
+        }
+        assert!(!is_enabled());
+        assert_eq!(a.metrics_snapshot().counter("scope.step"), 3);
+        assert_eq!(b.metrics_snapshot().counter("scope.step"), 30);
+        assert!(a.records().iter().all(|r| r.name() != "scope.b"));
+        assert!(b.records().iter().all(|r| r.name() != "scope.a"));
+    }
+
+    /// Dropping scopes out of LIFO discipline is a bug waiting to
+    /// happen in hand-rolled schedulers; the guard restores *its own*
+    /// predecessor, so nesting still unwinds correctly when scopes are
+    /// dropped in order.
+    #[test]
+    fn recorder_scope_nests_and_restores_shadowed_outer() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let outer = Recorder::with_capacity(16);
+        let inner = Recorder::with_capacity(16);
+        {
+            let _o = RecorderScope::enter(outer.clone());
+            counter("scope.nest", 1);
+            {
+                let _i = RecorderScope::enter(inner.clone());
+                counter("scope.nest", 100);
+            }
+            // Outer scope active again after inner drops.
+            counter("scope.nest", 2);
+        }
+        assert_eq!(outer.metrics_snapshot().counter("scope.nest"), 3);
+        assert_eq!(inner.metrics_snapshot().counter("scope.nest"), 100);
         assert!(recorder().is_none());
     }
 

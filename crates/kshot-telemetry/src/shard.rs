@@ -181,6 +181,69 @@ impl ShardData {
         ShardData::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
+    /// Incrementally fold the *complete* lines of `text` into this
+    /// aggregate, returning how many bytes were consumed.
+    ///
+    /// Only lines terminated by `\n` are parsed; a torn final line (a
+    /// record the writer is still appending) is left unconsumed, so the
+    /// caller re-reads it — whole — on the next call. This is the
+    /// building block for [`tail_file`](Self::tail_file).
+    ///
+    /// # Errors
+    ///
+    /// Any *complete* line that fails to parse (malformed JSON, missing
+    /// `"type"`, schema drift) — torn-line tolerance never excuses a
+    /// corrupt committed line.
+    pub fn tail_text(&mut self, text: &str) -> Result<usize, String> {
+        let complete = match text.rfind('\n') {
+            Some(i) => i + 1,
+            None => 0,
+        };
+        self.parse_into(&text[..complete])?;
+        Ok(complete)
+    }
+
+    /// Resume parsing a shard file from byte `offset`, tolerating a
+    /// torn final line, and return the new offset to resume from next
+    /// time.
+    ///
+    /// This is the live-tailing primitive: an operator dashboard calls
+    /// it in a loop while a campaign is still streaming, folding each
+    /// new batch of complete lines into a running aggregate. The final
+    /// line is only consumed once its `\n` lands, so a record caught
+    /// mid-write (even mid-UTF-8-sequence) is skipped this round and
+    /// parsed whole on the next. When nothing new and complete has
+    /// appeared, the returned offset equals the one passed in.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, an `offset` beyond the current file length (the file
+    /// was truncated or rotated under the tailer — resuming would
+    /// misparse, so it fails loudly), invalid UTF-8 in *committed*
+    /// lines, or any parse error from the committed lines.
+    pub fn tail_file(&mut self, path: impl AsRef<Path>, offset: u64) -> Result<u64, String> {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = path.as_ref();
+        let err = |e: String| format!("{}: {e}", path.display());
+        let mut file = std::fs::File::open(path).map_err(|e| err(e.to_string()))?;
+        let len = file.metadata().map_err(|e| err(e.to_string()))?.len();
+        if offset > len {
+            return Err(err(format!(
+                "tail offset {offset} beyond file length {len} (truncated or rotated?)"
+            )));
+        }
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| err(e.to_string()))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| err(e.to_string()))?;
+        let complete = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let text = std::str::from_utf8(&bytes[..complete])
+            .map_err(|e| err(format!("invalid UTF-8 in committed lines: {e}")))?;
+        self.parse_into(text).map_err(err)?;
+        Ok(offset + complete as u64)
+    }
+
     /// Fold another aggregate into this one with the registry-merge
     /// semantics: counters add, gauges last-writer-wins, histograms
     /// bucket-merge, phases merge sample-wise, `other` lines append.
@@ -376,6 +439,82 @@ mod tests {
 
         assert_eq!(folded, merged);
         assert_eq!(merged.counter("c"), 10);
+    }
+
+    #[test]
+    fn tail_text_leaves_torn_final_line_unconsumed() {
+        let mut shard = ShardData::new();
+        let text = "{\"type\":\"counter\",\"v\":1,\"name\":\"c\",\"value\":1}\n\
+                    {\"type\":\"counter\",\"v\":1,\"name\":\"c\",\"va";
+        let consumed = shard.tail_text(text).unwrap();
+        assert_eq!(consumed, text.rfind('\n').unwrap() + 1);
+        assert_eq!(shard.counter("c"), 1, "only the complete line parsed");
+        // No newline at all: nothing consumed, nothing parsed.
+        let mut empty = ShardData::new();
+        assert_eq!(empty.tail_text("{\"type\":\"coun").unwrap(), 0);
+        assert_eq!(empty, ShardData::new());
+        // A *committed* bad line still fails loudly.
+        assert!(ShardData::new().tail_text("garbage\n").is_err());
+    }
+
+    /// The live-tailing scenario: a writer appends a block, is caught
+    /// mid-record, then finishes the record and appends more. Tailing
+    /// across those snapshots must converge to exactly the full-file
+    /// parse, with the torn record parsed once (whole), never twice.
+    #[test]
+    fn tail_file_resumes_mid_record_and_matches_full_parse() {
+        use std::io::Write;
+        let reg1 = MetricsRegistry::new();
+        reg1.counter_add("tail.machines", 1);
+        reg1.observe("tail.latency", 40_000);
+        let block1 = metrics_json_lines(&reg1.snapshot());
+        let reg2 = MetricsRegistry::new();
+        reg2.counter_add("tail.machines", 1);
+        reg2.observe("tail.latency", 44_000);
+        let block2 = metrics_json_lines(&reg2.snapshot());
+
+        let dir = std::env::temp_dir().join(format!("kshot-tail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("worker-0.jsonl");
+
+        // First snapshot: all of block1 plus a torn prefix of block2's
+        // first record (cut mid-line, no newline).
+        let torn = &block2[..block2.find('\n').unwrap() / 2];
+        std::fs::write(&path, format!("{block1}{torn}")).unwrap();
+
+        let mut tail = ShardData::new();
+        let off1 = tail.tail_file(&path, 0).unwrap();
+        assert_eq!(off1, block1.len() as u64, "torn record not consumed");
+        assert_eq!(tail.counter("tail.machines"), 1);
+
+        // Re-tailing with no new complete data is a no-op.
+        let again = tail.clone();
+        assert_eq!(tail.tail_file(&path, off1).unwrap(), off1);
+        assert_eq!(tail, again);
+
+        // Writer finishes the record and appends the rest of block2.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(&block2.as_bytes()[torn.len()..]).unwrap();
+        drop(f);
+
+        let off2 = tail.tail_file(&path, off1).unwrap();
+        assert_eq!(off2, (block1.len() + block2.len()) as u64);
+        assert_eq!(tail.counter("tail.machines"), 2);
+        let h = tail.histogram("tail.latency").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 84_000);
+
+        // The incremental aggregate equals the one-shot full parse.
+        assert_eq!(tail, ShardData::parse_file(&path).unwrap());
+
+        // An offset past EOF (rotation/truncation) fails loudly.
+        let err = ShardData::new().tail_file(&path, off2 + 1).unwrap_err();
+        assert!(err.contains("beyond file length"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,18 +1,22 @@
-//! Fleet campaign benchmark: push one CVE fix to 64 simulated machines,
-//! first on a single worker, then on eight, and record the scaling in
-//! `BENCH_fleet.json` (override the path with the `BENCH_OUT`
-//! environment variable).
+//! Fleet campaign benchmark: push one CVE fix to 64 simulated machines —
+//! on a single sequential worker, on eight workers, and on a single
+//! *pipelined* worker — and record the scaling in `BENCH_fleet.json`
+//! (override the path with the `BENCH_OUT` environment variable).
 //!
 //! ```text
 //! cargo run --release --example fleet_campaign
 //! ```
 //!
 //! Fleet orchestration is latency-bound, not compute-bound: each session
-//! attempt pays a real orchestrator↔machine round trip (`link_rtt`),
-//! and those sleeps overlap across workers. The example asserts the
-//! properties the campaign is designed for — every machine patched, all
-//! applied state byte-identical, the bundle decoded once per campaign,
-//! and ≥4× wall-clock throughput from 8 workers over 1.
+//! attempt pays a real orchestrator↔machine round trip (`link_rtt`).
+//! Two independent ways to hide that latency are measured here: *more
+//! workers* (sleeps overlap across threads) and *pipelining* (one
+//! worker's event-driven scheduler steps other machines' CPU phases
+//! while a delivery is in flight). The example asserts the properties
+//! the campaign is designed for — every machine patched, all applied
+//! state byte-identical, ≥4× wall-clock throughput from 8 workers over
+//! 1, and ≥4× from pipeline depth 16 over depth 1 on a *single* worker
+//! with digests identical to the sequential run.
 
 use std::time::Duration;
 
@@ -21,6 +25,10 @@ use kshot_cve::{find, patch_for};
 
 const MACHINES: usize = 64;
 const LINK_RTT: Duration = Duration::from_millis(60);
+/// Depth for the single-worker pipelined run. 16 in-flight sessions
+/// hide ~16 RTTs behind each other while keeping peak memory (one live
+/// simulated machine per slot) modest.
+const PIPELINE_DEPTH: usize = 16;
 
 fn main() {
     let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
@@ -38,22 +46,27 @@ fn main() {
     );
 
     let mut reports = Vec::new();
-    for workers in [1usize, 8] {
+    for (label, workers, depth) in [
+        ("serial", 1usize, 1usize),
+        ("parallel", 8, 1),
+        ("pipelined", 1, PIPELINE_DEPTH),
+    ] {
         let config = FleetConfig::new(MACHINES, workers)
             .with_seed(0xF1EE7)
-            .with_link_rtt(LINK_RTT);
+            .with_link_rtt(LINK_RTT)
+            .with_pipeline_depth(depth);
         // The serial run is wall-stable (one thread, mostly sleeping);
-        // the parallel run shares one oversubscribed host core with the
-        // rest of the system, so take the best of three runs, as
-        // benchmarks conventionally do to shed scheduler noise.
-        let runs = if workers == 1 { 1 } else { 3 };
+        // the parallel and pipelined runs share one oversubscribed host
+        // core with the rest of the system, so take the best of three
+        // runs, as benchmarks conventionally do to shed scheduler noise.
+        let runs = if workers == 1 && depth == 1 { 1 } else { 3 };
         let report = (0..runs)
             .map(|_| run_campaign(&target, &bytes, &config))
             .min_by_key(|r| r.wall)
             .expect("at least one run");
         println!(
-            "workers={workers:>2}  wall={:>8.1?}  ok={}/{}  retries={}  \
-             p50={}ns p95={}ns max={}ns  {:.1} patches/s (wall)  cache {}h/{}m",
+            "{label:<9} workers={workers}  depth={depth:>2}  wall={:>8.1?}  ok={}/{}  \
+             retries={}  p50={}ns p95={}ns max={}ns  {:.1} patches/s (wall)  cache {}h/{}m",
             report.wall,
             report.succeeded,
             report.machines,
@@ -68,26 +81,46 @@ fn main() {
         assert_eq!(report.succeeded, MACHINES, "fleet machines failed");
         assert_eq!(report.failed, 0);
         assert!(report.all_identical_digests(), "applied state diverged");
-        reports.push((workers, report));
+        reports.push(report);
     }
 
-    let serial = &reports[0].1;
-    let parallel = &reports[1].1;
+    let [serial, parallel, pipelined] = &reports[..] else {
+        unreachable!("three runs configured above");
+    };
     let speedup = parallel.throughput_wall / serial.throughput_wall;
-    println!("\nwall-clock speedup 8 workers vs 1: {speedup:.2}x");
+    let pipeline_speedup = pipelined.throughput_wall / serial.throughput_wall;
+    // Scheduling may only change *when* sessions run, never what they
+    // compute: the pipelined single worker must land machine-for-machine
+    // on the sequential run's digests and simulated clocks.
+    let identical = serial
+        .outcomes
+        .iter()
+        .zip(&pipelined.outcomes)
+        .all(|(a, b)| a.state_digest == b.state_digest && a.sim_clock == b.sim_clock);
+    println!("\nwall-clock speedup 8 workers vs 1:               {speedup:.2}x");
+    println!("wall-clock speedup depth {PIPELINE_DEPTH} vs 1 (1 worker):   {pipeline_speedup:.2}x");
+    println!("pipelined digests identical to sequential run:   {identical}");
     assert!(
         speedup >= 4.0,
         "expected >=4x wall speedup from 8 workers, got {speedup:.2}x"
     );
+    assert!(
+        pipeline_speedup >= 4.0,
+        "expected >=4x wall speedup from pipelining, got {pipeline_speedup:.2}x"
+    );
+    assert!(identical, "pipelined run diverged from the sequential run");
 
     let json = format!(
         "{{\"bench\":\"fleet_campaign\",\"cve\":\"{}\",\"machines\":{MACHINES},\
          \"link_rtt_ms\":{},\"speedup_wall_8v1\":{speedup:.3},\
-         \"serial\":{},\"parallel\":{}}}\n",
+         \"speedup_wall_pipelined_v_serial\":{pipeline_speedup:.3},\
+         \"identical_digests\":{identical},\
+         \"serial\":{},\"parallel\":{},\"pipelined\":{}}}\n",
         spec.id,
         LINK_RTT.as_millis(),
         serial.to_json(),
         parallel.to_json(),
+        pipelined.to_json(),
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
     std::fs::write(&out, json).expect("write benchmark artefact");
