@@ -44,6 +44,17 @@ cargo test -q -p kshot-telemetry tail_
 cargo test -q -p kshot-fleet unfired_injection_plan_is_disarmed_and_accounted_on_success
 cargo test -q -p kshot-fleet pipelined_worker_matches_sequential_results
 
+# Health-plane gates: the quantile sketch's documented error bound and
+# merge-order independence over randomized distributions, and the
+# byte-identical health.jsonl stream across worker counts and pipeline
+# depths (with deterministic Degraded/Halt verdicts under an injected
+# fault).
+echo "== sketch error-bound property =="
+cargo test -q -p kshot-telemetry --test prop_sketch
+
+echo "== health stream determinism =="
+cargo test -q -p kshot-fleet --test health_stream
+
 echo "== fleet campaign smoke (incl. pipelined gate) =="
 rm -f BENCH_fleet.json
 cargo run --release --example fleet_campaign
@@ -53,17 +64,29 @@ grep -q '"pipelined":{' BENCH_fleet.json
 grep -q '"identical_digests":true' BENCH_fleet.json
 
 # Streaming observability gate: the example streams a 32-machine
-# campaign to per-worker JSON-lines shards, re-aggregates them from
-# disk, and asserts (internally, exiting non-zero on failure) that the
-# shard totals and phase profile equal the in-memory merge and that the
-# dwell watchdog flags exactly the one slowed machine. The shell side
-# re-checks the artefacts exist and are non-empty.
-echo "== streaming observability gate =="
+# campaign to per-worker JSON-lines shards, tails them *live* with a
+# windowed HealthMonitor, re-aggregates them from disk, and asserts
+# (internally, exiting non-zero on failure) that the shard totals and
+# phase profile equal the in-memory merge, that the dwell watchdog
+# flags exactly the one slowed machine, and that the health plane
+# flagged that machine's window in a Degraded snapshot BEFORE the
+# campaign completed. The shell side re-checks the artefacts exist and
+# carry the mid-campaign-detection markers.
+echo "== streaming observability + live health gate =="
 rm -rf target/observe
+rm -f BENCH_observe.json
 cargo run --release --example observe_report | tee target/observe_report.log
 grep -q "OBSERVE OK" target/observe_report.log
+grep -q "HEALTH OK" target/observe_report.log
+grep -q "degraded mid-campaign" target/observe_report.log
 for w in 0 1 2 3; do
   test -s "target/observe/worker-$w.jsonl"
 done
+test -s target/observe/health.jsonl
+test -s BENCH_observe.json
+grep -q '"degraded_live":true' BENCH_observe.json
+grep -q '"final_verdict":"degraded"' BENCH_observe.json
+grep -q '"resident_sketch_bytes":' BENCH_observe.json
+grep -q '"agg_lines_per_sec":' BENCH_observe.json
 
 echo "CI OK"

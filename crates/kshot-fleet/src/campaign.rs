@@ -14,6 +14,8 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -24,10 +26,12 @@ use kshot_kernel::Kernel;
 use kshot_machine::{MemLayout, SimTime};
 use kshot_patchserver::{BundleCache, PatchServer};
 use kshot_telemetry::export::record_json_line;
-use kshot_telemetry::{Record, Recorder, RecorderScope, Sink, StreamSink, SCHEMA_VERSION};
+use kshot_telemetry::{
+    HealthMonitor, Record, Recorder, RecorderScope, Sink, StreamSink, SCHEMA_VERSION,
+};
 
 use crate::config::FleetConfig;
-use crate::report::{CampaignReport, WorkerOccupancy};
+use crate::report::{CampaignHealth, CampaignReport, WorkerOccupancy};
 use crate::session::{MachineSession, StepStatus};
 
 /// What every machine in the fleet patches: one pre-linked kernel image
@@ -137,9 +141,28 @@ pub fn run_campaign(
     let workers = config.workers.max(1);
     let started = Instant::now();
 
+    // The health monitor tails the worker shard files; arming it
+    // without streaming would silently watch nothing, so fail loudly.
+    let health_cfg = config.health_policy.as_ref().map(|policy| {
+        let dir = config.stream_dir.clone().unwrap_or_else(|| {
+            panic!("FleetConfig::with_health requires with_stream_dir (the monitor tails shards)")
+        });
+        (policy.clone(), dir)
+    });
+    let campaign_done = AtomicBool::new(false);
+
     let mut per_machine: Vec<(MachineOutcome, Arc<Recorder>)> = Vec::with_capacity(config.machines);
     let mut occupancy: Vec<WorkerOccupancy> = Vec::with_capacity(workers);
+    let mut health: Option<CampaignHealth> = None;
     thread::scope(|scope| {
+        // Spawn the monitor before the workers so the earliest windows
+        // can be judged while later machines are still in flight.
+        let monitor_handle = health_cfg.map(|(policy, dir)| {
+            let done = &campaign_done;
+            let machines = config.machines;
+            let window = config.health_window;
+            scope.spawn(move || run_health_monitor(policy, window, machines, workers, dir, done))
+        });
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
             let cache = &cache;
@@ -151,6 +174,10 @@ pub fn run_campaign(
             per_machine.extend(results);
             occupancy.push(worker_occupancy);
         }
+        // Every worker has flushed its shard; release the monitor for
+        // its final catch-up poll and collect the health report.
+        campaign_done.store(true, Ordering::Release);
+        health = monitor_handle.map(|h| h.join().expect("health monitor panicked"));
     });
     per_machine.sort_by_key(|(o, _)| o.machine);
     occupancy.sort_by_key(|o| o.worker);
@@ -176,7 +203,61 @@ pub fn run_campaign(
         wall,
         cache.hits(),
         cache.misses(),
+        health,
     )
+}
+
+/// The campaign's live health thread: poll the worker shards every
+/// millisecond until the campaign signals completion, tracking how many
+/// snapshots were emitted *while workers were still running* (the
+/// mid-campaign detection the health plane exists for), then run one
+/// final catch-up poll and fold everything into a [`CampaignHealth`].
+fn run_health_monitor(
+    policy: kshot_telemetry::HealthPolicy,
+    window: usize,
+    machines: usize,
+    workers: usize,
+    dir: PathBuf,
+    done: &AtomicBool,
+) -> CampaignHealth {
+    let shards: Vec<PathBuf> = (0..workers)
+        .map(|w| dir.join(format!("worker-{w}.jsonl")))
+        .collect();
+    let mut monitor = HealthMonitor::new(policy, window, machines, shards)
+        .with_snapshot_path(dir.join("health.jsonl"))
+        .unwrap_or_else(|e| panic!("open health snapshot sink: {e}"));
+    let mut live_snapshots = 0u64;
+    let mut degraded_live = false;
+    loop {
+        // Read the flag *before* polling: if workers finished mid-poll,
+        // snapshots from this round may or may not have been live, so
+        // only rounds that started before completion count as live.
+        let finished = done.load(Ordering::Acquire);
+        let emitted = monitor
+            .poll()
+            .unwrap_or_else(|e| panic!("health monitor poll: {e}"));
+        if !finished && emitted > 0 {
+            let snaps = monitor.snapshots();
+            for snap in &snaps[snaps.len() - emitted..] {
+                live_snapshots += 1;
+                if snap.verdict.severity() >= 1 {
+                    degraded_live = true;
+                }
+            }
+        }
+        if finished {
+            break;
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+    let report = monitor
+        .finish()
+        .unwrap_or_else(|e| panic!("health monitor finish: {e}"));
+    CampaignHealth {
+        report,
+        live_snapshots,
+        degraded_live,
+    }
 }
 
 /// A session parked until its wall-clock deadline. Heap order is
@@ -332,6 +413,18 @@ fn run_worker(
                 StepStatus::Done => {
                     live -= 1;
                     let Active { session, lines } = active;
+                    // Fold ring-eviction losses into a counter *before*
+                    // the metrics block is streamed, so the health
+                    // monitor (and any shard re-aggregation) sees the
+                    // drop accounting a summaries-only campaign would
+                    // otherwise lose with the record stream.
+                    let dropped = session.recorder.dropped();
+                    if dropped > 0 {
+                        session
+                            .recorder
+                            .metrics()
+                            .counter_add("fleet.records_dropped", dropped);
+                    }
                     let buffered = lines.map(|l| std::mem::take(&mut *l.lock().unwrap()));
                     completed.insert(
                         session.outcome.machine,
@@ -358,6 +451,10 @@ fn run_worker(
                             // MachineOutcome carries.
                             sink.write_metrics(&recorder.metrics_snapshot());
                             sink.write_raw_line(&machine_json_line(&outcome));
+                            // Commit the parcel now: a live tailer (the
+                            // health monitor) only sees flushed bytes,
+                            // and mid-campaign visibility is the point.
+                            sink.flush();
                         }
                         results.push((outcome, recorder));
                         next_flush += 1;

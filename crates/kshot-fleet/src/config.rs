@@ -1,10 +1,12 @@
 //! Campaign configuration: fleet size, worker pool, retry policy,
-//! planned faults, streaming export, and the SMM dwell watchdog.
+//! planned faults, streaming export, the SMM dwell watchdog, and the
+//! live health monitor.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use kshot_machine::SimTime;
+use kshot_telemetry::HealthPolicy;
 
 /// A fault the campaign arms on one machine before its first attempt.
 ///
@@ -86,6 +88,16 @@ pub struct FleetConfig {
     /// for large fleets: with `stream_dir` set, the full record stream
     /// lives in the per-worker shard files instead.
     pub retain_records: bool,
+    /// When set, `run_campaign` spawns a live
+    /// [`kshot_telemetry::HealthMonitor`] thread tailing the worker
+    /// shards while the campaign runs (requires `stream_dir`); the
+    /// final [`kshot_telemetry::HealthReport`] lands in
+    /// `CampaignReport::health` and snapshots stream to
+    /// `<stream_dir>/health.jsonl`.
+    pub health_policy: Option<HealthPolicy>,
+    /// Machines per health window (cohort); clamped to ≥ 1 when the
+    /// monitor runs.
+    pub health_window: usize,
 }
 
 impl FleetConfig {
@@ -106,6 +118,8 @@ impl FleetConfig {
             slowdowns: Vec::new(),
             pipeline_depth: 1,
             retain_records: true,
+            health_policy: None,
+            health_window: 8,
         }
     }
 
@@ -157,6 +171,17 @@ impl FleetConfig {
     /// record stream still lands on disk).
     pub fn summaries_only(mut self) -> Self {
         self.retain_records = false;
+        self
+    }
+
+    /// Builder-style: run a live health monitor over the worker shards
+    /// during the campaign, windowing machines into cohorts of `window`
+    /// and judging each against `policy`. Requires
+    /// [`FleetConfig::with_stream_dir`]; `run_campaign` panics loudly
+    /// otherwise (a silent no-op monitor would be worse).
+    pub fn with_health(mut self, policy: HealthPolicy, window: usize) -> Self {
+        self.health_policy = Some(policy);
+        self.health_window = window;
         self
     }
 }

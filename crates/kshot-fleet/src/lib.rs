@@ -48,6 +48,15 @@
 //!   stream without losing anything. An SMM dwell-time watchdog
 //!   ([`FleetConfig::with_smm_dwell_budget`]) flags machines whose SMIs
 //!   overstay their budget in [`CampaignReport::dwell_anomalies`].
+//! * **Live health plane.** [`FleetConfig::with_health`] arms a
+//!   [`kshot_telemetry::HealthMonitor`] thread that tails the worker
+//!   shards *while the campaign runs*, folds machines into fixed
+//!   windows, judges each against a declarative
+//!   [`kshot_telemetry::HealthPolicy`], and streams schema-versioned
+//!   snapshots to `<stream_dir>/health.jsonl`. The snapshot sequence is
+//!   byte-identical across worker counts and pipeline depths; the final
+//!   [`CampaignHealth`] (with how much was detected mid-campaign) lands
+//!   in [`CampaignReport::health`].
 
 pub mod campaign;
 pub mod config;
@@ -56,4 +65,5 @@ mod session;
 
 pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
 pub use config::{FleetConfig, PlannedFault, PlannedSlowdown};
-pub use report::{CampaignReport, WorkerOccupancy};
+pub use kshot_telemetry::{HealthPolicy, HealthReport, HealthVerdict};
+pub use report::{CampaignHealth, CampaignReport, WorkerOccupancy};

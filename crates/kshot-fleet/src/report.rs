@@ -6,10 +6,24 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use kshot_machine::SimTime;
-use kshot_telemetry::{PhaseProfile, Recorder};
+use kshot_telemetry::{HealthReport, PhaseProfile, Recorder};
 
 use crate::campaign::MachineOutcome;
 use crate::config::FleetConfig;
+
+/// What the live health monitor produced for one campaign: the full
+/// [`HealthReport`] plus how much of it was *live* — snapshots emitted
+/// (and degradations flagged) while workers were still running, i.e.
+/// the mid-campaign detection a completion-barrier aggregator can't do.
+#[derive(Debug, Clone)]
+pub struct CampaignHealth {
+    /// The monitor's snapshots, totals, and aggregation accounting.
+    pub report: HealthReport,
+    /// Snapshots emitted before the last worker finished.
+    pub live_snapshots: u64,
+    /// Whether any *live* snapshot carried a degraded-or-worse verdict.
+    pub degraded_live: bool,
+}
 
 /// How one worker spent its scheduling loop: stepping sessions (busy)
 /// versus sleeping on delivery/backoff deadlines (in flight). The ratio
@@ -83,6 +97,9 @@ pub struct CampaignReport {
     pub dwell_anomalies: Vec<usize>,
     /// Each worker's busy/in-flight wall-time split, in worker order.
     pub worker_occupancy: Vec<WorkerOccupancy>,
+    /// The live health monitor's output, when the campaign armed one
+    /// via [`FleetConfig::with_health`](crate::FleetConfig::with_health).
+    pub health: Option<CampaignHealth>,
     /// Every machine's telemetry, merged into one recorder (metric
     /// summaries only when the campaign ran `summaries_only`).
     pub recorder: Arc<Recorder>,
@@ -90,6 +107,7 @@ pub struct CampaignReport {
 
 impl CampaignReport {
     /// Fold per-machine outcomes into the campaign summary.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         config: &FleetConfig,
         outcomes: Vec<MachineOutcome>,
@@ -98,6 +116,7 @@ impl CampaignReport {
         wall: Duration,
         cache_hits: u64,
         cache_misses: u64,
+        health: Option<CampaignHealth>,
     ) -> CampaignReport {
         let succeeded = outcomes.iter().filter(|o| o.ok).count();
         let failed = outcomes.len() - succeeded;
@@ -154,6 +173,7 @@ impl CampaignReport {
             outcomes,
             dwell_anomalies,
             worker_occupancy,
+            health,
             recorder,
         }
     }
@@ -204,6 +224,30 @@ impl CampaignReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        // The health section is additive: campaigns without a monitor
+        // emit exactly the shape they always did.
+        let health = match &self.health {
+            None => String::new(),
+            Some(h) => format!(
+                concat!(
+                    "\"health\":{{\"final_verdict\":\"{}\",\"snapshots\":{},",
+                    "\"live_snapshots\":{},\"degraded_live\":{},",
+                    "\"machines_seen\":{},\"lines_consumed\":{},",
+                    "\"max_failure_per_mille\":{},\"max_retry_per_mille\":{},",
+                    "\"max_dwell_p99_ns\":{},\"resident_sketch_bytes\":{}}},"
+                ),
+                h.report.final_verdict().label(),
+                h.report.snapshots.len(),
+                h.live_snapshots,
+                h.degraded_live,
+                h.report.machines_seen,
+                h.report.lines_consumed,
+                h.report.max_failure_per_mille(),
+                h.report.max_retry_per_mille(),
+                h.report.max_dwell_p99_ns(),
+                h.report.resident_sketch_bytes,
+            ),
+        };
         format!(
             concat!(
                 "{{\"v\":{},\"machines\":{},\"workers\":{},\"pipeline_depth\":{},",
@@ -216,7 +260,7 @@ impl CampaignReport {
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"dwell_anomalies\":[{}],",
                 "\"occupancy\":[{}],",
-                "\"identical_digests\":{}}}"
+                "{}\"identical_digests\":{}}}"
             ),
             kshot_telemetry::SCHEMA_VERSION,
             self.machines,
@@ -236,6 +280,7 @@ impl CampaignReport {
             self.cache_misses,
             dwell_anomalies,
             occupancy,
+            health,
             self.all_identical_digests(),
         )
     }
@@ -302,6 +347,7 @@ mod tests {
             Duration::from_millis(10),
             2,
             1,
+            None,
         );
         assert_eq!(report.succeeded, 2);
         assert_eq!(report.failed, 1);
@@ -337,6 +383,7 @@ mod tests {
             Duration::ZERO,
             0,
             0,
+            None,
         );
         assert!(report.all_identical_digests());
         assert_eq!(report.latency_p50.as_ns(), 0);

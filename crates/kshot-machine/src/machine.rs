@@ -562,7 +562,7 @@ impl Machine {
         if let Some(entered) = self.smm_entered_at.take() {
             let dwell = now.saturating_sub(entered);
             self.max_smm_dwell = self.max_smm_dwell.max(dwell);
-            kshot_telemetry::observe("machine.smm_dwell_ns", dwell.as_ns());
+            kshot_telemetry::sketch_observe("machine.smm_dwell_ns", dwell.as_ns());
             if let Some(budget) = self.smm_dwell_budget {
                 if dwell > budget {
                     self.smm_overbudget += 1;

@@ -111,6 +111,9 @@ pub fn metrics_json_lines(metrics: &MetricsSnapshot) -> String {
             counts.join(","),
         );
     }
+    for (name, s) in &metrics.sketches {
+        let _ = writeln!(out, "{}", s.to_json_line(name));
+    }
     out
 }
 
@@ -306,6 +309,27 @@ pub fn summary(records: &[Record], metrics: &MetricsSnapshot) -> String {
             );
         }
     }
+    if !metrics.sketches.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "sketch", "count", "p50", "p95", "p99", "min", "max"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(102));
+        for (name, s) in &metrics.sketches {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+                name,
+                s.count(),
+                fmt_ns(s.quantile_per_mille(500)),
+                fmt_ns(s.quantile_per_mille(950)),
+                fmt_ns(s.quantile_per_mille(990)),
+                fmt_ns(s.min()),
+                fmt_ns(s.max())
+            );
+        }
+    }
     out
 }
 
@@ -402,6 +426,30 @@ mod tests {
             out.contains(&format!("\"v\":{}", crate::SCHEMA_VERSION)),
             "{out}"
         );
+    }
+
+    #[test]
+    fn sketch_metrics_export_as_schema_stamped_lines() {
+        use crate::metrics::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        reg.sketch_observe("machine.smm_dwell_ns", 45_000);
+        reg.sketch_observe("machine.smm_dwell_ns", 52_000);
+        let snap = reg.snapshot();
+        let out = metrics_json_lines(&snap);
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("{\"type\":\"sketch\""))
+            .expect("sketch line emitted");
+        assert!(line.contains("\"name\":\"machine.smm_dwell_ns\""), "{line}");
+        assert!(
+            line.contains(&format!("\"v\":{}", crate::SCHEMA_VERSION)),
+            "{line}"
+        );
+        assert!(line.contains("\"count\":2"), "{line}");
+        // And the summary table renders a sketch section.
+        let table = summary(&[], &snap);
+        assert!(table.contains("sketch"), "{table}");
+        assert!(table.contains("machine.smm_dwell_ns"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,960 @@
+//! Live campaign health plane: windowed signals, declarative verdicts,
+//! and an incremental shard tailer.
+//!
+//! A [`HealthMonitor`] follows the per-worker `worker-<N>.jsonl` shards
+//! *while a campaign is still running* — no completion barrier — via
+//! [`ShardData::tail_file`]. Lines are grouped into per-machine
+//! **parcels** (each worker flushes one machine's records, metrics
+//! block, and `"type":"machine"` outcome line contiguously), and
+//! parcels are folded into fixed-size **windows of machine indices**:
+//! window `k` covers machines `[k·W, min((k+1)·W, machines))`. A window
+//! is emitted as soon as every machine in its range has reported,
+//! regardless of which worker ran it or when — which is what makes the
+//! emitted [`HealthSnapshot`] sequence *byte-identical* across worker
+//! counts and pipeline depths for a fixed seed, even though arrival
+//! order is wildly different.
+//!
+//! Each snapshot carries a monotonically increasing `seq`, the window's
+//! [`SignalStats`] (success/failure/retry rates in per-mille, faults,
+//! SMM over-budget counts, record-drop counters, and dwell/latency
+//! percentiles from the mergeable [`QuantileSketch`]), the running
+//! campaign totals, and a [`HealthVerdict`] computed from a declarative
+//! [`HealthPolicy`]. Verdicts are the interface the future staged-
+//! rollout orchestrator consumes: `Healthy` keeps going, `Degraded`
+//! names its reasons (canary warning), `Halt` demands a stop.
+//!
+//! Everything in a snapshot is integer-valued and derived purely from
+//! shard contents — wall-clock never leaks into the emitted JSON, so
+//! `health.jsonl` is as deterministic as the shards themselves.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+use crate::shard::{ShardData, ShardError};
+use crate::sketch::QuantileSketch;
+use crate::stream::StreamSink;
+
+/// The sketch-backed SMM dwell signal consumed by the monitor; emitted
+/// by `kshot-machine` on every SMM exit via
+/// [`crate::sketch_observe`].
+pub const SMM_DWELL_METRIC: &str = "machine.smm_dwell_ns";
+
+/// Declarative health thresholds. All rates are per-mille (so 50 means
+/// 5%); the dwell check compares the window's sketch p99 against
+/// `budget × margin / 1000`. A threshold of `u64::MAX` (or a `None`
+/// budget) disables that check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Window failure rate above this degrades the campaign.
+    pub degrade_failure_per_mille: u64,
+    /// Window failure rate above this demands a halt.
+    pub halt_failure_per_mille: u64,
+    /// Window retry rate (retries per attempt-machine) above this
+    /// degrades — the early-warning signal a fault storm trips first.
+    pub degrade_retry_per_mille: u64,
+    /// SMM dwell budget in ns; `None` disables the dwell check.
+    pub dwell_budget_ns: Option<u64>,
+    /// Allowed dwell p99 as per-mille of the budget (1000 = exactly the
+    /// budget, 1500 = 1.5× headroom).
+    pub dwell_margin_per_mille: u64,
+    /// Windows smaller than this many machines never degrade or halt —
+    /// rate estimates over one or two machines are too noisy to act on.
+    pub min_window_machines: u64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degrade_failure_per_mille: 50,
+            halt_failure_per_mille: 300,
+            degrade_retry_per_mille: 250,
+            dwell_budget_ns: None,
+            dwell_margin_per_mille: 1000,
+            min_window_machines: 1,
+        }
+    }
+}
+
+impl HealthPolicy {
+    pub fn new() -> HealthPolicy {
+        HealthPolicy::default()
+    }
+
+    /// Degrade above `degrade`‰ window failures, halt above `halt`‰.
+    pub fn with_failure_per_mille(mut self, degrade: u64, halt: u64) -> Self {
+        self.degrade_failure_per_mille = degrade;
+        self.halt_failure_per_mille = halt;
+        self
+    }
+
+    /// Degrade above `ceiling`‰ window retries.
+    pub fn with_retry_ceiling_per_mille(mut self, ceiling: u64) -> Self {
+        self.degrade_retry_per_mille = ceiling;
+        self
+    }
+
+    /// Degrade when the window's dwell p99 exceeds
+    /// `budget_ns × margin_per_mille / 1000`.
+    pub fn with_dwell_budget(mut self, budget_ns: u64, margin_per_mille: u64) -> Self {
+        self.dwell_budget_ns = Some(budget_ns);
+        self.dwell_margin_per_mille = margin_per_mille;
+        self
+    }
+
+    /// Suppress verdict escalation for windows smaller than `machines`.
+    pub fn with_min_window_machines(mut self, machines: u64) -> Self {
+        self.min_window_machines = machines;
+        self
+    }
+
+    /// Evaluate one window's signals against the policy.
+    fn evaluate(&self, w: &SignalStats) -> HealthVerdict {
+        let mut halt = Vec::new();
+        let mut degraded = Vec::new();
+        if w.machines >= self.min_window_machines {
+            if w.failure_per_mille > self.halt_failure_per_mille {
+                halt.push(format!(
+                    "failure rate {} per-mille exceeds halt ceiling {}",
+                    w.failure_per_mille, self.halt_failure_per_mille
+                ));
+            } else if w.failure_per_mille > self.degrade_failure_per_mille {
+                degraded.push(format!(
+                    "failure rate {} per-mille exceeds degrade ceiling {}",
+                    w.failure_per_mille, self.degrade_failure_per_mille
+                ));
+            }
+            if w.retry_per_mille > self.degrade_retry_per_mille {
+                degraded.push(format!(
+                    "retry rate {} per-mille exceeds ceiling {}",
+                    w.retry_per_mille, self.degrade_retry_per_mille
+                ));
+            }
+        }
+        if let (Some(budget), true) = (self.dwell_budget_ns, w.dwell_samples > 0) {
+            let allowed = (u128::from(budget) * u128::from(self.dwell_margin_per_mille)) / 1000;
+            if u128::from(w.dwell_p99_ns) > allowed {
+                degraded.push(format!(
+                    "dwell p99 {}ns exceeds budget {}ns x {} per-mille margin",
+                    w.dwell_p99_ns, budget, self.dwell_margin_per_mille
+                ));
+            }
+        }
+        if !halt.is_empty() {
+            HealthVerdict::Halt { reasons: halt }
+        } else if !degraded.is_empty() {
+            HealthVerdict::Degraded { reasons: degraded }
+        } else {
+            HealthVerdict::Healthy
+        }
+    }
+}
+
+/// The tri-state outcome a rollout orchestrator consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HealthVerdict {
+    Healthy,
+    /// Something crossed a warning threshold; reasons are
+    /// human-readable and policy-derived.
+    Degraded {
+        reasons: Vec<String>,
+    },
+    /// A stop-the-campaign threshold was crossed.
+    Halt {
+        reasons: Vec<String>,
+    },
+}
+
+impl HealthVerdict {
+    /// 0 = healthy, 1 = degraded, 2 = halt — for "worst verdict" folds.
+    pub fn severity(&self) -> u8 {
+        match self {
+            HealthVerdict::Healthy => 0,
+            HealthVerdict::Degraded { .. } => 1,
+            HealthVerdict::Halt { .. } => 2,
+        }
+    }
+
+    /// Stable lowercase label used in JSON and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthVerdict::Healthy => "healthy",
+            HealthVerdict::Degraded { .. } => "degraded",
+            HealthVerdict::Halt { .. } => "halt",
+        }
+    }
+
+    /// The policy-derived reason strings (empty when healthy).
+    pub fn reasons(&self) -> &[String] {
+        match self {
+            HealthVerdict::Healthy => &[],
+            HealthVerdict::Degraded { reasons } | HealthVerdict::Halt { reasons } => reasons,
+        }
+    }
+}
+
+/// One cohort's (or the running total's) integer-valued signals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignalStats {
+    /// Machines that have reported an outcome.
+    pub machines: u64,
+    pub ok: u64,
+    pub failed: u64,
+    pub retries: u64,
+    pub faults_injected: u64,
+    /// Over-budget SMIs flagged by the dwell watchdog.
+    pub smm_overbudget: u64,
+    /// Telemetry records lost to ring eviction or sink backpressure.
+    pub records_dropped: u64,
+    /// `failed / machines` in per-mille.
+    pub failure_per_mille: u64,
+    /// `retries / machines` in per-mille.
+    pub retry_per_mille: u64,
+    /// Dwell-sketch observations backing the percentiles below.
+    pub dwell_samples: u64,
+    pub dwell_p50_ns: u64,
+    pub dwell_p95_ns: u64,
+    pub dwell_p99_ns: u64,
+    pub dwell_max_ns: u64,
+    /// End-to-end per-machine patch latency (simulated clock).
+    pub latency_p50_ns: u64,
+    pub latency_p95_ns: u64,
+}
+
+impl SignalStats {
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"machines\":{},\"ok\":{},\"failed\":{},\"retries\":{},",
+                "\"faults_injected\":{},\"smm_overbudget\":{},\"records_dropped\":{},",
+                "\"failure_per_mille\":{},\"retry_per_mille\":{},\"dwell_samples\":{},",
+                "\"dwell_p50_ns\":{},\"dwell_p95_ns\":{},\"dwell_p99_ns\":{},",
+                "\"dwell_max_ns\":{},\"latency_p50_ns\":{},\"latency_p95_ns\":{}}}"
+            ),
+            self.machines,
+            self.ok,
+            self.failed,
+            self.retries,
+            self.faults_injected,
+            self.smm_overbudget,
+            self.records_dropped,
+            self.failure_per_mille,
+            self.retry_per_mille,
+            self.dwell_samples,
+            self.dwell_p50_ns,
+            self.dwell_p95_ns,
+            self.dwell_p99_ns,
+            self.dwell_max_ns,
+            self.latency_p50_ns,
+            self.latency_p95_ns,
+        )
+    }
+}
+
+/// One emitted window: schema-versioned, sequence-numbered, fully
+/// integer-valued, and derived only from shard contents — identical
+/// across schedulers for a fixed seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Monotonic window sequence, starting at 0.
+    pub seq: u64,
+    /// First machine index in the window (inclusive).
+    pub window_start: u64,
+    /// Last machine index in the window (exclusive).
+    pub window_end: u64,
+    /// This window's signals.
+    pub window: SignalStats,
+    /// Running totals over all windows emitted so far (this one
+    /// included).
+    pub total: SignalStats,
+    /// Policy verdict for this window.
+    pub verdict: HealthVerdict,
+}
+
+impl HealthSnapshot {
+    /// One `{"type":"health",...}` JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut reasons = String::new();
+        for (i, r) in self.verdict.reasons().iter().enumerate() {
+            if i > 0 {
+                reasons.push(',');
+            }
+            reasons.push_str(&crate::record::json_escape(r));
+        }
+        format!(
+            concat!(
+                "{{\"type\":\"health\",\"v\":{},\"seq\":{},",
+                "\"window_start\":{},\"window_end\":{},",
+                "\"window\":{},\"total\":{},\"verdict\":\"{}\",\"reasons\":[{}]}}"
+            ),
+            crate::SCHEMA_VERSION,
+            self.seq,
+            self.window_start,
+            self.window_end,
+            self.window.json(),
+            self.total.json(),
+            self.verdict.label(),
+            reasons,
+        )
+    }
+}
+
+/// Everything accumulated for one machine-range (a parcel, a window, or
+/// the campaign totals): outcome tallies plus the mergeable sketches.
+#[derive(Debug, Clone, Default)]
+struct Agg {
+    machines: u64,
+    ok: u64,
+    failed: u64,
+    retries: u64,
+    faults_injected: u64,
+    smm_overbudget: u64,
+    records_dropped: u64,
+    dwell: QuantileSketch,
+    latency: QuantileSketch,
+}
+
+impl Agg {
+    fn merge_from(&mut self, other: &Agg) {
+        self.machines = self.machines.saturating_add(other.machines);
+        self.ok = self.ok.saturating_add(other.ok);
+        self.failed = self.failed.saturating_add(other.failed);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.faults_injected = self.faults_injected.saturating_add(other.faults_injected);
+        self.smm_overbudget = self.smm_overbudget.saturating_add(other.smm_overbudget);
+        self.records_dropped = self.records_dropped.saturating_add(other.records_dropped);
+        self.dwell.merge_from(&other.dwell);
+        self.latency.merge_from(&other.latency);
+    }
+
+    fn stats(&self) -> SignalStats {
+        let per_mille = |n: u64| {
+            if self.machines == 0 {
+                0
+            } else {
+                // n ≤ machines·small, machines ≥ 1: u128 avoids overflow.
+                u64::try_from(u128::from(n) * 1000 / u128::from(self.machines)).unwrap_or(u64::MAX)
+            }
+        };
+        SignalStats {
+            machines: self.machines,
+            ok: self.ok,
+            failed: self.failed,
+            retries: self.retries,
+            faults_injected: self.faults_injected,
+            smm_overbudget: self.smm_overbudget,
+            records_dropped: self.records_dropped,
+            failure_per_mille: per_mille(self.failed),
+            retry_per_mille: per_mille(self.retries),
+            dwell_samples: self.dwell.count(),
+            dwell_p50_ns: self.dwell.quantile_per_mille(500),
+            dwell_p95_ns: self.dwell.quantile_per_mille(950),
+            dwell_p99_ns: self.dwell.quantile_per_mille(990),
+            dwell_max_ns: self.dwell.max(),
+            latency_p50_ns: self.latency.quantile_per_mille(500),
+            latency_p95_ns: self.latency.quantile_per_mille(950),
+        }
+    }
+}
+
+/// Per-worker tail state: resume offset plus the lines of the machine
+/// parcel currently being assembled.
+struct WorkerTail {
+    path: PathBuf,
+    offset: u64,
+    pending: String,
+}
+
+/// Final monitor output, consumed by `CampaignReport`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Every emitted snapshot, in sequence order.
+    pub snapshots: Vec<HealthSnapshot>,
+    /// Campaign-total signals (equal to the last snapshot's `total`
+    /// when every window was emitted).
+    pub total: SignalStats,
+    /// Machines whose parcels the monitor consumed (windowed or not).
+    pub machines_seen: u64,
+    /// Shard lines folded by the tailer.
+    pub lines_consumed: u64,
+    /// Resident bytes of the campaign-total dwell + latency sketches —
+    /// the O(1)-per-signal memory the aggregation path holds.
+    pub resident_sketch_bytes: u64,
+    /// Wall time spent inside `poll` (aggregation only, not sleeps).
+    pub agg_wall: Duration,
+}
+
+impl HealthReport {
+    /// Worst verdict across all snapshots; `Healthy` when none emitted.
+    pub fn final_verdict(&self) -> HealthVerdict {
+        self.snapshots
+            .iter()
+            .map(|s| &s.verdict)
+            .max_by_key(|v| v.severity())
+            .cloned()
+            .unwrap_or(HealthVerdict::Healthy)
+    }
+
+    /// Largest window failure rate seen (per-mille).
+    pub fn max_failure_per_mille(&self) -> u64 {
+        self.snapshots
+            .iter()
+            .map(|s| s.window.failure_per_mille)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest window retry rate seen (per-mille).
+    pub fn max_retry_per_mille(&self) -> u64 {
+        self.snapshots
+            .iter()
+            .map(|s| s.window.retry_per_mille)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Largest window dwell p99 seen (ns).
+    pub fn max_dwell_p99_ns(&self) -> u64 {
+        self.snapshots
+            .iter()
+            .map(|s| s.window.dwell_p99_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Incremental health monitor over a campaign's worker shards.
+///
+/// Drive it with [`poll`](Self::poll) while the campaign runs (each
+/// call tails every shard and emits any windows that completed), then
+/// [`finish`](Self::finish) after the final flush to collect the
+/// [`HealthReport`].
+pub struct HealthMonitor {
+    policy: HealthPolicy,
+    window: u64,
+    machines: u64,
+    tails: Vec<WorkerTail>,
+    /// Completed parcels not yet absorbed into a window, by machine.
+    parcels: std::collections::BTreeMap<u64, Agg>,
+    /// First machine index of the next window to emit.
+    next_window_start: u64,
+    total: Agg,
+    snapshots: Vec<HealthSnapshot>,
+    sink: Option<StreamSink>,
+    lines_consumed: u64,
+    agg_wall: Duration,
+}
+
+impl HealthMonitor {
+    /// A monitor over `machines` total machines whose shards live at
+    /// `shard_paths`, windowing by `window` machine indices (clamped to
+    /// ≥ 1). Shard files need not exist yet — workers create them
+    /// lazily; missing files are simply "no data yet".
+    pub fn new(
+        policy: HealthPolicy,
+        window: usize,
+        machines: usize,
+        shard_paths: Vec<PathBuf>,
+    ) -> HealthMonitor {
+        HealthMonitor {
+            policy,
+            window: (window.max(1)) as u64,
+            machines: machines as u64,
+            tails: shard_paths
+                .into_iter()
+                .map(|path| WorkerTail {
+                    path,
+                    offset: 0,
+                    pending: String::new(),
+                })
+                .collect(),
+            parcels: std::collections::BTreeMap::new(),
+            next_window_start: 0,
+            total: Agg::default(),
+            snapshots: Vec::new(),
+            sink: None,
+            lines_consumed: 0,
+            agg_wall: Duration::ZERO,
+        }
+    }
+
+    /// Also stream every emitted snapshot to `path` as JSON lines
+    /// (`health.jsonl`), flushed per snapshot so an external process
+    /// can tail the monitor itself.
+    ///
+    /// # Errors
+    ///
+    /// Opening the sink file.
+    pub fn with_snapshot_path(mut self, path: impl AsRef<Path>) -> Result<HealthMonitor, String> {
+        let path = path.as_ref();
+        let sink = StreamSink::to_path(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.sink = Some(sink);
+        Ok(self)
+    }
+
+    /// Tail every shard once, absorb completed machine parcels, emit
+    /// any windows that completed, and return how many new snapshots
+    /// were emitted.
+    ///
+    /// # Errors
+    ///
+    /// A [`ShardError`] from any shard (truncation fails loudly), or a
+    /// snapshot-sink write failure (as `Io`).
+    pub fn poll(&mut self) -> Result<usize, ShardError> {
+        let t0 = Instant::now();
+        let before = self.snapshots.len();
+        for i in 0..self.tails.len() {
+            // A worker that hasn't started yet has no file — no data.
+            if !self.tails[i].path.exists() {
+                continue;
+            }
+            let mut fresh = ShardData::new();
+            let path = self.tails[i].path.clone();
+            let offset = self.tails[i].offset;
+            // Probe tail only for offset advance; the real parse happens
+            // per-parcel below, on line-accurate boundaries.
+            let new_offset = fresh.tail_file(&path, offset)?;
+            if new_offset == offset {
+                continue;
+            }
+            let chunk = read_span(&path, offset, new_offset)?;
+            self.tails[i].offset = new_offset;
+            let pending = std::mem::take(&mut self.tails[i].pending);
+            let mut buf = pending;
+            buf.push_str(&chunk);
+            self.absorb_worker_lines(i, buf)?;
+        }
+        self.emit_ready_windows();
+        self.agg_wall += t0.elapsed();
+        Ok(self.snapshots.len() - before)
+    }
+
+    /// Split a worker's committed lines into machine parcels: every
+    /// `"type":"machine"` line closes the parcel containing it. Lines
+    /// after the last machine line stay pending for the next poll.
+    fn absorb_worker_lines(&mut self, worker: usize, text: String) -> Result<(), ShardError> {
+        let path = self.tails[worker].path.clone();
+        let parse_err = |e: String| ShardError::Parse {
+            path: path.clone(),
+            error: e,
+        };
+        let mut parcel_lines = String::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            parcel_lines.push_str(line);
+            parcel_lines.push('\n');
+            if line.contains("\"type\":\"machine\"") {
+                let shard = ShardData::parse(&parcel_lines).map_err(&parse_err)?;
+                self.lines_consumed += parcel_lines.lines().count() as u64;
+                let (machine, agg) = parcel_from_shard(&shard).map_err(&parse_err)?;
+                self.parcels.insert(machine, agg);
+                parcel_lines.clear();
+            }
+        }
+        self.tails[worker].pending = parcel_lines;
+        Ok(())
+    }
+
+    /// Emit every window whose full machine range has parcels.
+    fn emit_ready_windows(&mut self) {
+        loop {
+            let start = self.next_window_start;
+            if start >= self.machines {
+                return;
+            }
+            let end = (start + self.window).min(self.machines);
+            if !(start..end).all(|m| self.parcels.contains_key(&m)) {
+                return;
+            }
+            let mut wagg = Agg::default();
+            for m in start..end {
+                let parcel = self.parcels.remove(&m).expect("checked above");
+                wagg.merge_from(&parcel);
+            }
+            self.total.merge_from(&wagg);
+            let window = wagg.stats();
+            let verdict = self.policy.evaluate(&window);
+            let snap = HealthSnapshot {
+                seq: self.snapshots.len() as u64,
+                window_start: start,
+                window_end: end,
+                window,
+                total: self.total.stats(),
+                verdict,
+            };
+            if let Some(sink) = &self.sink {
+                sink.write_raw_line(&snap.to_json_line());
+                sink.flush();
+            }
+            self.snapshots.push(snap);
+            self.next_window_start = end;
+        }
+    }
+
+    /// Snapshots emitted so far, in sequence order.
+    pub fn snapshots(&self) -> &[HealthSnapshot] {
+        &self.snapshots
+    }
+
+    /// Shard lines folded so far.
+    pub fn lines_consumed(&self) -> u64 {
+        self.lines_consumed
+    }
+
+    /// Machines whose parcels have been consumed (windowed or pending).
+    pub fn machines_seen(&self) -> u64 {
+        self.next_window_start.min(self.machines) + self.parcels.len() as u64
+    }
+
+    /// Plain-text dashboard: one row per emitted window plus a totals
+    /// row — what the live example prints while the campaign runs.
+    pub fn render_table(&self) -> String {
+        use crate::export::fmt_ns;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4} {:>11} {:>4} {:>5} {:>6} {:>6} {:>5} {:>10} {:>10} {:>10}  verdict",
+            "seq",
+            "window",
+            "ok",
+            "fail",
+            "retry",
+            "fault",
+            "drop",
+            "dwell p50",
+            "dwell p99",
+            "lat p50"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(100));
+        for s in &self.snapshots {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>11} {:>4} {:>5} {:>6} {:>6} {:>5} {:>10} {:>10} {:>10}  {}",
+                s.seq,
+                format!("{}..{}", s.window_start, s.window_end),
+                s.window.ok,
+                s.window.failed,
+                s.window.retries,
+                s.window.faults_injected,
+                s.window.records_dropped,
+                fmt_ns(s.window.dwell_p50_ns),
+                fmt_ns(s.window.dwell_p99_ns),
+                fmt_ns(s.window.latency_p50_ns),
+                s.verdict.label(),
+            );
+        }
+        let t = self.total.stats();
+        let _ = writeln!(out, "{}", "-".repeat(100));
+        let _ = writeln!(
+            out,
+            "{:>4} {:>11} {:>4} {:>5} {:>6} {:>6} {:>5} {:>10} {:>10} {:>10}  {}",
+            "all",
+            format!("0..{}", self.next_window_start),
+            t.ok,
+            t.failed,
+            t.retries,
+            t.faults_injected,
+            t.records_dropped,
+            fmt_ns(t.dwell_p50_ns),
+            fmt_ns(t.dwell_p99_ns),
+            fmt_ns(t.latency_p50_ns),
+            self.snapshots
+                .iter()
+                .map(|s| &s.verdict)
+                .max_by_key(|v| v.severity())
+                .map_or("healthy", |v| v.label()),
+        );
+        out
+    }
+
+    /// Final poll plus report assembly. Consumes the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`poll`](Self::poll).
+    pub fn finish(mut self) -> Result<HealthReport, ShardError> {
+        self.poll()?;
+        let total = self.total.stats();
+        Ok(HealthReport {
+            machines_seen: self.machines_seen(),
+            lines_consumed: self.lines_consumed,
+            resident_sketch_bytes: self.total.dwell.resident_bytes()
+                + self.total.latency.resident_bytes(),
+            agg_wall: self.agg_wall,
+            snapshots: self.snapshots,
+            total,
+        })
+    }
+}
+
+/// Read bytes `[from, to)` of `path` as UTF-8 (both offsets are known
+/// committed-line boundaries from a prior tail).
+fn read_span(path: &Path, from: u64, to: u64) -> Result<String, ShardError> {
+    use std::io::{Read, Seek, SeekFrom};
+    let io = |e: String| ShardError::Io {
+        path: path.to_path_buf(),
+        error: e,
+    };
+    let mut file = std::fs::File::open(path).map_err(|e| io(e.to_string()))?;
+    file.seek(SeekFrom::Start(from))
+        .map_err(|e| io(e.to_string()))?;
+    let mut bytes = vec![0u8; (to - from) as usize];
+    file.read_exact(&mut bytes).map_err(|e| io(e.to_string()))?;
+    String::from_utf8(bytes).map_err(|e| ShardError::Parse {
+        path: path.to_path_buf(),
+        error: format!("invalid UTF-8 in committed lines: {e}"),
+    })
+}
+
+/// Convert one machine parcel (records + metrics block + outcome line)
+/// into its aggregate. The outcome line carries the authoritative
+/// tallies; the metrics block carries the sketches and drop counter.
+fn parcel_from_shard(shard: &ShardData) -> Result<(u64, Agg), String> {
+    let outcome = shard
+        .other_of_type("machine")
+        .last()
+        .ok_or("machine parcel without outcome line")?;
+    let field = |key: &str| {
+        outcome
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("machine line missing {key:?}"))
+    };
+    let machine = field("machine")?;
+    let ok = outcome.get("ok").and_then(Value::as_bool).unwrap_or(false);
+    let mut agg = Agg {
+        machines: 1,
+        ok: u64::from(ok),
+        failed: u64::from(!ok),
+        retries: field("retries")?,
+        faults_injected: field("faults_injected")?,
+        smm_overbudget: field("smm_overbudget")?,
+        records_dropped: shard.counter("fleet.records_dropped"),
+        dwell: shard.sketch(SMM_DWELL_METRIC).cloned().unwrap_or_default(),
+        latency: QuantileSketch::default(),
+    };
+    if let Some(lat) = outcome.get("latency_ns").and_then(Value::as_u64) {
+        agg.latency.observe(lat);
+    }
+    Ok((machine, agg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::metrics_json_lines;
+    use crate::metrics::MetricsRegistry;
+    use std::fs::OpenOptions;
+    use std::io::Write as _;
+
+    fn machine_parcel(machine: u64, ok: bool, retries: u64, dwell_ns: &[u64]) -> String {
+        let reg = MetricsRegistry::new();
+        for &d in dwell_ns {
+            reg.sketch_observe(SMM_DWELL_METRIC, d);
+        }
+        reg.counter_add("machine.smi", dwell_ns.len() as u64);
+        let mut out = metrics_json_lines(&reg.snapshot());
+        out.push_str(&format!(
+            "{{\"type\":\"machine\",\"v\":1,\"machine\":{machine},\"ok\":{ok},\
+             \"attempts\":{},\"retries\":{retries},\"faults_injected\":{retries},\
+             \"sim_clock_ns\":1000,\"smm_overbudget\":0,\"max_smm_dwell_ns\":{},\
+             \"latency_ns\":{}}}\n",
+            retries + 1,
+            dwell_ns.iter().copied().max().unwrap_or(0),
+            50_000 + machine * 1_000,
+        ));
+        out
+    }
+
+    fn scratch(case: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kshot-health-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn windows_emit_in_machine_order_despite_arrival_order() {
+        let dir = scratch("order");
+        let shard = dir.join("worker-0.jsonl");
+        // Machines arrive out of order: 2, 0, 3, 1. Window size 2 must
+        // still emit [0,2) then [2,4), each only once complete.
+        std::fs::write(&shard, machine_parcel(2, true, 0, &[40_000])).unwrap();
+        let mut mon = HealthMonitor::new(HealthPolicy::new(), 2, 4, vec![shard.clone()]);
+        assert_eq!(mon.poll().unwrap(), 0, "window 0 incomplete");
+
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(machine_parcel(0, true, 0, &[41_000]).as_bytes())
+            .unwrap();
+        f.write_all(machine_parcel(3, true, 0, &[42_000]).as_bytes())
+            .unwrap();
+        drop(f);
+        assert_eq!(mon.poll().unwrap(), 0, "machine 1 still missing");
+        assert_eq!(mon.machines_seen(), 3);
+
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(machine_parcel(1, true, 0, &[43_000]).as_bytes())
+            .unwrap();
+        drop(f);
+        assert_eq!(mon.poll().unwrap(), 2, "both windows complete at once");
+
+        let snaps = mon.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!((snaps[0].window_start, snaps[0].window_end), (0, 2));
+        assert_eq!((snaps[1].window_start, snaps[1].window_end), (2, 4));
+        assert_eq!(snaps[0].seq, 0);
+        assert_eq!(snaps[1].seq, 1);
+        assert_eq!(snaps[0].window.ok, 2);
+        assert_eq!(snaps[1].total.machines, 4);
+        assert_eq!(snaps[1].total.dwell_samples, 4);
+        assert_eq!(snaps[1].verdict, HealthVerdict::Healthy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_degrades_and_halts_on_thresholds() {
+        let policy = HealthPolicy::new()
+            .with_failure_per_mille(50, 300)
+            .with_retry_ceiling_per_mille(250)
+            .with_dwell_budget(100_000, 1000);
+        // Healthy window.
+        let healthy = Agg {
+            machines: 8,
+            ok: 8,
+            ..Agg::default()
+        };
+        assert_eq!(policy.evaluate(&healthy.stats()), HealthVerdict::Healthy);
+        // One failure in 8 machines = 125 per-mille -> degraded.
+        let one_fail = Agg {
+            machines: 8,
+            ok: 7,
+            failed: 1,
+            ..Agg::default()
+        };
+        let v = policy.evaluate(&one_fail.stats());
+        assert_eq!(v.label(), "degraded");
+        assert!(v.reasons()[0].contains("failure rate 125"), "{v:?}");
+        // 3 of 8 failed = 375 per-mille -> halt.
+        let many_fail = Agg {
+            machines: 8,
+            ok: 5,
+            failed: 3,
+            ..Agg::default()
+        };
+        let v = policy.evaluate(&many_fail.stats());
+        assert_eq!(v.label(), "halt");
+        assert_eq!(v.severity(), 2);
+        // Retry storm without failures -> degraded.
+        let retries = Agg {
+            machines: 8,
+            ok: 8,
+            retries: 3,
+            ..Agg::default()
+        };
+        assert_eq!(policy.evaluate(&retries.stats()).label(), "degraded");
+        // Dwell p99 over budget -> degraded, even with perfect outcomes.
+        let mut slow = Agg {
+            machines: 8,
+            ok: 8,
+            ..Agg::default()
+        };
+        for _ in 0..8 {
+            slow.dwell.observe(450_000);
+        }
+        let v = policy.evaluate(&slow.stats());
+        assert_eq!(v.label(), "degraded");
+        assert!(v.reasons()[0].contains("dwell p99"), "{v:?}");
+        // Tiny windows never escalate when the policy demands mass.
+        let gated = HealthPolicy::new()
+            .with_failure_per_mille(50, 300)
+            .with_min_window_machines(4);
+        let tiny = Agg {
+            machines: 1,
+            failed: 1,
+            ..Agg::default()
+        };
+        assert_eq!(gated.evaluate(&tiny.stats()), HealthVerdict::Healthy);
+    }
+
+    #[test]
+    fn snapshot_json_lines_stream_and_reload() {
+        let dir = scratch("jsonl");
+        let shard = dir.join("worker-0.jsonl");
+        let mut text = String::new();
+        for m in 0..4 {
+            text.push_str(&machine_parcel(m, m != 1, u64::from(m == 1), &[45_000]));
+        }
+        std::fs::write(&shard, text).unwrap();
+        let policy = HealthPolicy::new().with_failure_per_mille(50, 900);
+        let health_path = dir.join("health.jsonl");
+        let mut mon = HealthMonitor::new(policy, 2, 4, vec![shard])
+            .with_snapshot_path(&health_path)
+            .unwrap();
+        mon.poll().unwrap();
+        let report = mon.finish().unwrap();
+        assert_eq!(report.snapshots.len(), 2);
+        assert_eq!(report.final_verdict().label(), "degraded");
+        assert_eq!(report.max_failure_per_mille(), 500);
+        assert_eq!(report.total.machines, 4);
+        assert!(report.resident_sketch_bytes > 0);
+
+        // The streamed file carries exactly the emitted snapshots, and
+        // every line parses under the schema (as an `other` type).
+        let streamed = std::fs::read_to_string(&health_path).unwrap();
+        let lines: Vec<&str> = streamed.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (line, snap) in lines.iter().zip(&report.snapshots) {
+            assert_eq!(*line, snap.to_json_line());
+        }
+        let parsed = ShardData::parse(&streamed).unwrap();
+        assert_eq!(parsed.other_of_type("health").count(), 2);
+        let first = parsed.other_of_type("health").next().unwrap();
+        assert_eq!(first.get("seq").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            first
+                .get("window")
+                .and_then(|w| w.get("machines"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn render_table_lists_every_window_and_totals() {
+        let dir = scratch("table");
+        let shard = dir.join("worker-0.jsonl");
+        let mut text = String::new();
+        for m in 0..4 {
+            text.push_str(&machine_parcel(m, true, 0, &[45_000, 47_000]));
+        }
+        std::fs::write(&shard, text).unwrap();
+        let mut mon = HealthMonitor::new(HealthPolicy::new(), 2, 4, vec![shard]);
+        mon.poll().unwrap();
+        let table = mon.render_table();
+        assert!(table.contains("0..2"), "{table}");
+        assert!(table.contains("2..4"), "{table}");
+        assert!(table.contains("healthy"), "{table}");
+        assert!(table.lines().count() >= 5, "{table}");
+    }
+
+    #[test]
+    fn missing_shard_files_mean_no_data_not_errors() {
+        let dir = scratch("missing");
+        let mut mon = HealthMonitor::new(
+            HealthPolicy::new(),
+            2,
+            4,
+            vec![dir.join("worker-0.jsonl"), dir.join("worker-1.jsonl")],
+        );
+        assert_eq!(mon.poll().unwrap(), 0);
+        assert_eq!(mon.machines_seen(), 0);
+        let report = mon.finish().unwrap();
+        assert!(report.snapshots.is_empty());
+        assert_eq!(report.final_verdict(), HealthVerdict::Healthy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

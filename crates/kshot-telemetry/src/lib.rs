@@ -58,20 +58,27 @@
 pub const SCHEMA_VERSION: u32 = 1;
 
 pub mod export;
+pub mod health;
 pub mod json;
 mod metrics;
 mod phase;
 mod record;
 mod recorder;
 pub mod shard;
+mod sketch;
 mod span;
 mod stream;
 
+pub use health::{
+    HealthMonitor, HealthPolicy, HealthReport, HealthSnapshot, HealthVerdict, SignalStats,
+    SMM_DWELL_METRIC,
+};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS_NS};
 pub use phase::{PhaseProfile, PhaseStats, PHASES, PHASE_PREFIX};
 pub use record::{EventRecord, Field, Record, SpanRecord, Value};
 pub use recorder::{Recorder, Sink, DEFAULT_CAPACITY};
-pub use shard::ShardData;
+pub use shard::{ShardData, ShardError};
+pub use sketch::QuantileSketch;
 pub use span::SpanGuard;
 pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};
 
@@ -309,6 +316,19 @@ pub fn observe(name: &'static str, value: u64) {
     }
     if let Some(rec) = recorder() {
         rec.metrics().observe(name, value);
+    }
+}
+
+/// Record one observation in a mergeable [`QuantileSketch`] — the
+/// aggregation-path alternative to [`observe`] for signals whose fleet
+/// percentiles must merge deterministically across workers (e.g. SMM
+/// dwell time feeding the live [`HealthMonitor`]).
+pub fn sketch_observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    if let Some(rec) = recorder() {
+        rec.metrics().sketch_observe(name, value);
     }
 }
 

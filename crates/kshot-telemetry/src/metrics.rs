@@ -1,7 +1,10 @@
-//! Counters, gauges, and fixed-bucket histograms.
+//! Counters, gauges, fixed-bucket histograms, and mergeable quantile
+//! sketches.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+use crate::sketch::QuantileSketch;
 
 /// Default histogram bucket upper bounds in nanoseconds: 1µs to ~1s in
 /// roughly decade steps with a 1-2-5 pattern, plus a +Inf overflow
@@ -178,6 +181,7 @@ struct RegistryInner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, i64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    sketches: BTreeMap<&'static str, QuantileSketch>,
 }
 
 /// A point-in-time copy of every metric, name-sorted for deterministic
@@ -187,6 +191,7 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     pub gauges: Vec<(&'static str, i64)>,
     pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    pub sketches: Vec<(&'static str, QuantileSketch)>,
 }
 
 impl MetricsSnapshot {
@@ -213,6 +218,14 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|(_, h)| h)
+    }
+
+    /// Quantile sketch by name, if any observations were recorded.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
     }
 }
 
@@ -256,6 +269,21 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Record one observation in the named quantile sketch. Unlike
+    /// [`MetricsRegistry::observe`], the aggregate is a log-bucket
+    /// [`QuantileSketch`] — mergeable in any order with byte-identical
+    /// results, and queryable at arbitrary per-mille quantiles. This is
+    /// the aggregation-path signal for fleet latency percentiles.
+    pub fn sketch_observe(&self, name: &'static str, value: u64) {
+        self.inner
+            .lock()
+            .unwrap()
+            .sketches
+            .entry(name)
+            .or_default()
+            .observe(value);
+    }
+
     /// Fold every metric of `other` into this registry: counters add,
     /// gauges take `other`'s value (last writer wins, as with
     /// [`MetricsRegistry::gauge_set`]), histograms merge bucket-wise
@@ -290,6 +318,9 @@ impl MetricsRegistry {
                 }
             }
         }
+        for (name, s) in &theirs.sketches {
+            mine.sketches.entry(*name).or_default().merge_from(s);
+        }
     }
 
     /// Copy out every metric, name-sorted.
@@ -302,6 +333,11 @@ impl MetricsRegistry {
                 .histograms
                 .iter()
                 .map(|(k, h)| (*k, h.snapshot()))
+                .collect(),
+            sketches: inner
+                .sketches
+                .iter()
+                .map(|(k, s)| (*k, s.clone()))
                 .collect(),
         }
     }
@@ -447,6 +483,32 @@ mod tests {
         let merged = c.snapshot().histogram("h").cloned().unwrap();
         assert_eq!(merged.count, u64::MAX);
         assert_eq!(merged.min, 1);
+    }
+
+    #[test]
+    fn sketches_observe_merge_and_snapshot() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.sketch_observe("s", 1_000);
+        a.sketch_observe("s", 3_000);
+        b.sketch_observe("s", 2_000);
+        b.sketch_observe("only_b", 7);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        let s = snap.sketch("s").unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 6_000);
+        assert_eq!(s.min(), 1_000);
+        assert_eq!(s.max(), 3_000);
+        assert_eq!(snap.sketch("only_b").unwrap().count(), 1);
+        assert!(snap.sketch("missing").is_none());
+        // Merge equals direct observation of the union, regardless of
+        // which registry each sample passed through.
+        let direct = MetricsRegistry::new();
+        for v in [1_000, 3_000, 2_000] {
+            direct.sketch_observe("s", v);
+        }
+        assert_eq!(direct.snapshot().sketch("s"), Some(s));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! - histogram totals (bucket-merged via
 //!   [`HistogramSnapshot::merge_from`], the same arithmetic the live
 //!   registry merge uses),
+//! - quantile-sketch totals ([`QuantileSketch::merge_from`] —
+//!   merge-order-independent by construction),
 //! - every other typed object (e.g. a fleet's `"type":"machine"`
 //!   outcome lines) verbatim in [`ShardData::other`], so higher layers
 //!   can extend the shard format without this crate knowing about it.
@@ -20,14 +22,56 @@
 //! Because the per-line arithmetic is identical to the in-memory merge
 //! path, parsing all shards and [`merging`](ShardData::merge_from) them
 //! yields totals equal to the single merged recorder's — the lossless
-//! round-trip the observe report asserts.
+//! round-trip the observe report asserts. For fleet-scale aggregation,
+//! [`ShardData::merge_tree`] folds per-worker partial aggregates
+//! hierarchically (pairwise reduction) with results identical to a
+//! sequential left fold.
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::fmt;
+use std::path::{Path, PathBuf};
 
 use crate::json::{self, Value};
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 use crate::phase::{PhaseProfile, PHASE_PREFIX};
+use crate::sketch::QuantileSketch;
+
+/// Why a shard read failed. [`ShardData::tail_file`] distinguishes
+/// truncation/rotation from plain I/O and parse failures so a live
+/// monitor can halt loudly on the one case where resuming would
+/// misparse: the file shrank below the resume offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Opening, reading, or seeking the shard file failed.
+    Io { path: PathBuf, error: String },
+    /// The file is shorter than the resume offset — it was truncated or
+    /// rotated under the tailer, so the saved offset no longer names a
+    /// record boundary and resuming would read garbage.
+    Truncated {
+        path: PathBuf,
+        offset: u64,
+        len: u64,
+    },
+    /// A committed line failed to parse (malformed JSON, schema drift,
+    /// or invalid UTF-8).
+    Parse { path: PathBuf, error: String },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            ShardError::Truncated { path, offset, len } => write!(
+                f,
+                "{}: tail offset {offset} beyond file length {len} (truncated or rotated?)",
+                path.display()
+            ),
+            ShardError::Parse { path, error } => write!(f, "{}: {error}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// Aggregates parsed back from one or more JSON-lines shards.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -38,6 +82,8 @@ pub struct ShardData {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram totals, bucket-merged across all parsed lines.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch totals, merged across all parsed lines.
+    pub sketches: BTreeMap<String, QuantileSketch>,
     /// Phase profile from `phase.*` span lines.
     pub phases: PhaseProfile,
     /// Span lines seen (phase or otherwise).
@@ -156,6 +202,14 @@ impl ShardData {
                         }
                     }
                 }
+                "sketch" => {
+                    let name = field_str(&v, "name", lineno)?;
+                    let sketch = QuantileSketch::from_json_value(&v, lineno)?;
+                    self.sketches
+                        .entry(name.to_string())
+                        .or_default()
+                        .merge_from(&sketch);
+                }
                 _ => self.other.push(v),
             }
         }
@@ -217,30 +271,38 @@ impl ShardData {
     ///
     /// # Errors
     ///
-    /// I/O errors, an `offset` beyond the current file length (the file
-    /// was truncated or rotated under the tailer — resuming would
-    /// misparse, so it fails loudly), invalid UTF-8 in *committed*
-    /// lines, or any parse error from the committed lines.
-    pub fn tail_file(&mut self, path: impl AsRef<Path>, offset: u64) -> Result<u64, String> {
+    /// [`ShardError::Io`] on I/O failures, [`ShardError::Truncated`]
+    /// when `offset` is beyond the current file length (the file was
+    /// truncated or rotated under the tailer — resuming would misparse,
+    /// so it fails loudly), [`ShardError::Parse`] for invalid UTF-8 in
+    /// *committed* lines or any parse error from the committed lines.
+    pub fn tail_file(&mut self, path: impl AsRef<Path>, offset: u64) -> Result<u64, ShardError> {
         use std::io::{Read, Seek, SeekFrom};
         let path = path.as_ref();
-        let err = |e: String| format!("{}: {e}", path.display());
-        let mut file = std::fs::File::open(path).map_err(|e| err(e.to_string()))?;
-        let len = file.metadata().map_err(|e| err(e.to_string()))?.len();
+        let io = |e: std::io::Error| ShardError::Io {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        };
+        let mut file = std::fs::File::open(path).map_err(io)?;
+        let len = file.metadata().map_err(io)?.len();
         if offset > len {
-            return Err(err(format!(
-                "tail offset {offset} beyond file length {len} (truncated or rotated?)"
-            )));
+            return Err(ShardError::Truncated {
+                path: path.to_path_buf(),
+                offset,
+                len,
+            });
         }
-        file.seek(SeekFrom::Start(offset))
-            .map_err(|e| err(e.to_string()))?;
+        file.seek(SeekFrom::Start(offset)).map_err(io)?;
         let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
-            .map_err(|e| err(e.to_string()))?;
+        file.read_to_end(&mut bytes).map_err(io)?;
         let complete = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let parse = |e: String| ShardError::Parse {
+            path: path.to_path_buf(),
+            error: e,
+        };
         let text = std::str::from_utf8(&bytes[..complete])
-            .map_err(|e| err(format!("invalid UTF-8 in committed lines: {e}")))?;
-        self.parse_into(text).map_err(err)?;
+            .map_err(|e| parse(format!("invalid UTF-8 in committed lines: {e}")))?;
+        self.parse_into(text).map_err(parse)?;
         Ok(offset + complete as u64)
     }
 
@@ -263,10 +325,37 @@ impl ShardData {
                 }
             }
         }
+        for (name, s) in &other.sketches {
+            self.sketches.entry(name.clone()).or_default().merge_from(s);
+        }
         self.phases.merge_from(&other.phases);
         self.spans += other.spans;
         self.events += other.events;
         self.other.extend(other.other.iter().cloned());
+    }
+
+    /// Hierarchically fold per-worker partial aggregates into one: a
+    /// pairwise tree reduction (`⌈n/2⌉` aggregates per round) instead of
+    /// a left-to-right fold over every line. Adjacent shards are merged
+    /// each round, which preserves shard order for the order-*dependent*
+    /// pieces (gauge last-writer-wins, `other` line order), so the
+    /// result equals the sequential `merge_from` fold over `shards` in
+    /// the given order — while the merge *depth* drops from O(n) to
+    /// O(log n), the shape the million-machine roll-up needs.
+    pub fn merge_tree(shards: Vec<ShardData>) -> ShardData {
+        let mut level = shards;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut iter = level.into_iter();
+            while let Some(mut left) = iter.next() {
+                if let Some(right) = iter.next() {
+                    left.merge_from(&right);
+                }
+                next.push(left);
+            }
+            level = next;
+        }
+        level.into_iter().next().unwrap_or_default()
     }
 
     /// Counter total by name (0 when absent).
@@ -277,6 +366,11 @@ impl ShardData {
     /// Histogram total by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// Quantile-sketch total by name.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.get(name)
     }
 
     /// Objects of the given non-telemetry `"type"` (e.g. `"machine"`).
@@ -335,6 +429,18 @@ impl ShardData {
         }
         if self.histograms.len() != snap.histograms.len() {
             return Err("histogram present only in shards".to_string());
+        }
+        for (name, s) in &snap.sketches {
+            match self.sketches.get(*name) {
+                Some(mine) if mine == s => {}
+                Some(mine) => {
+                    return Err(format!("sketch {name:?}: shards={mine:?} in-memory={s:?}"))
+                }
+                None => return Err(format!("sketch {name:?} missing from shards")),
+            }
+        }
+        if self.sketches.len() != snap.sketches.len() {
+            return Err("sketch present only in shards".to_string());
         }
         Ok(())
     }
@@ -513,8 +619,120 @@ mod tests {
 
         // An offset past EOF (rotation/truncation) fails loudly.
         let err = ShardData::new().tail_file(&path, off2 + 1).unwrap_err();
-        assert!(err.contains("beyond file length"), "{err}");
+        assert!(err.to_string().contains("beyond file length"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncation guard: a tailer resumes from a saved offset, but the
+    /// file was rotated (recreated shorter) in between. The tail must
+    /// return a typed [`ShardError::Truncated`] — never silently read
+    /// from a stale offset into the new file's bytes.
+    #[test]
+    fn tail_file_flags_truncation_under_a_live_tailer() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("rot.machines", 1);
+        let block = metrics_json_lines(&reg.snapshot());
+
+        let dir = std::env::temp_dir().join(format!("kshot-rotate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("worker-0.jsonl");
+        std::fs::write(&path, format!("{block}{block}{block}")).unwrap();
+
+        let mut tail = ShardData::new();
+        let off = tail.tail_file(&path, 0).unwrap();
+        assert_eq!(off, 3 * block.len() as u64);
+
+        // Rotation: the writer recreates the file with fresh content
+        // shorter than the tailer's resume offset.
+        std::fs::write(&path, &block).unwrap();
+        let before = tail.clone();
+        let err = tail.tail_file(&path, off).unwrap_err();
+        match &err {
+            ShardError::Truncated {
+                path: p,
+                offset,
+                len,
+            } => {
+                assert_eq!(p, &path);
+                assert_eq!(*offset, off);
+                assert_eq!(*len, block.len() as u64);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // The error is loud and self-describing...
+        assert!(err.to_string().contains("truncated or rotated"), "{err}");
+        // ...and the aggregate is untouched: no garbage was folded in.
+        assert_eq!(tail, before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Sketch lines round-trip through a shard and merge across blocks
+    /// exactly like the in-memory registry merge.
+    #[test]
+    fn parses_and_merges_sketch_lines() {
+        let m1 = MetricsRegistry::new();
+        m1.sketch_observe("machine.smm_dwell_ns", 45_000);
+        m1.sketch_observe("machine.smm_dwell_ns", 61_000);
+        let m2 = MetricsRegistry::new();
+        m2.sketch_observe("machine.smm_dwell_ns", 47_000);
+        let text = format!(
+            "{}{}",
+            metrics_json_lines(&m1.snapshot()),
+            metrics_json_lines(&m2.snapshot())
+        );
+        let shard = ShardData::parse(&text).unwrap();
+        let s = shard.sketch("machine.smm_dwell_ns").unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 153_000);
+
+        let merged = MetricsRegistry::new();
+        merged.merge_from(&m1);
+        merged.merge_from(&m2);
+        shard.assert_metrics_match(&merged.snapshot()).unwrap();
+
+        // A sketch mismatch (or absence) is reported specifically.
+        let drifted = MetricsRegistry::new();
+        drifted.sketch_observe("machine.smm_dwell_ns", 1);
+        let err = shard.assert_metrics_match(&drifted.snapshot()).unwrap_err();
+        assert!(err.contains("sketch"), "{err}");
+    }
+
+    /// Tree-merging per-worker aggregates equals the sequential fold —
+    /// including the order-dependent pieces (gauges, `other` order).
+    #[test]
+    fn merge_tree_equals_sequential_fold() {
+        let mut shards = Vec::new();
+        for w in 0..5u64 {
+            let reg = MetricsRegistry::new();
+            reg.counter_add("t.machines", w + 1);
+            reg.gauge_set("t.last_worker", w as i64);
+            reg.observe("t.lat", 10_000 * (w + 1));
+            reg.sketch_observe("t.dwell", 40_000 + w);
+            let mut text = metrics_json_lines(&reg.snapshot());
+            text.push_str(&format!(
+                "{{\"type\":\"machine\",\"v\":1,\"machine\":{w},\"ok\":true}}\n"
+            ));
+            shards.push(ShardData::parse(&text).unwrap());
+        }
+
+        let mut sequential = ShardData::new();
+        for s in &shards {
+            sequential.merge_from(s);
+        }
+        let tree = ShardData::merge_tree(shards);
+        assert_eq!(tree, sequential);
+        assert_eq!(tree.counter("t.machines"), 1 + 2 + 3 + 4 + 5);
+        assert_eq!(tree.gauges.get("t.last_worker"), Some(&4));
+        let order: Vec<u64> = tree
+            .other_of_type("machine")
+            .map(|m| m.get("machine").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4], "shard order preserved");
+        // Degenerate shapes.
+        assert_eq!(ShardData::merge_tree(Vec::new()), ShardData::new());
+        let one = sequential.clone();
+        assert_eq!(ShardData::merge_tree(vec![one.clone()]), one);
     }
 
     #[test]

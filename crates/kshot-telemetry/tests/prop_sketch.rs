@@ -1,0 +1,150 @@
+//! Property: over randomized u64 distributions — uniform, log-uniform
+//! across octaves, constant, two-point saturation edges, and
+//! zero-heavy — every sketch quantile stays within the documented
+//! relative-error bound of the *exact* nearest-rank quantile of the
+//! sorted samples, never undershoots it, and the sketch's merge is
+//! order-independent (tree == sequential == one-shot, byte-identical
+//! serialized state).
+
+use kshot_telemetry::QuantileSketch;
+use proptest::prelude::*;
+
+/// splitmix64 — the same deterministic expander the fleet uses for
+/// per-machine seeds.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One randomized sample set. `kind` picks the distribution family so
+/// every family gets exercised across cases, including the edges the
+/// bucket table must get right (zeros, u64::MAX saturation).
+fn samples(kind: usize, seed: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let r = splitmix64(seed.wrapping_add(i));
+            match kind {
+                // Uniform over the full u64 range.
+                0 => r,
+                // Log-uniform: uniform mantissa shifted into a random
+                // octave, covering every bucket scale.
+                1 => r >> (splitmix64(r) % 64),
+                // Constant — quantiles must be *exact* here.
+                2 => 1_000_000_007,
+                // Two-point mass on the extreme representable values.
+                3 => {
+                    if r.is_multiple_of(2) {
+                        1
+                    } else {
+                        u64::MAX
+                    }
+                }
+                // Zero-heavy small counts (ring drops, retry tallies).
+                _ => r % 5,
+            }
+        })
+        .collect()
+}
+
+/// The sketch's own nearest-rank formula, applied to the exact sorted
+/// samples — the reference the estimate is judged against.
+fn exact_quantile(sorted: &[u64], q: u64) -> u64 {
+    let count = sorted.len() as u64;
+    let rank = ((count / 1000) * q + ((count % 1000) * q).div_ceil(1000)).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn quantiles_stay_within_the_documented_error_bound(
+        kind in 0usize..5,
+        seed in any::<u64>(),
+        n in 1usize..2000,
+    ) {
+        let values = samples(kind, seed, n);
+        let mut sketch = QuantileSketch::new();
+        for &v in &values {
+            sketch.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(sketch.count(), n as u64);
+        prop_assert_eq!(sketch.min(), sorted[0]);
+        prop_assert_eq!(sketch.max(), *sorted.last().unwrap());
+
+        for q in [1u64, 10, 50, 100, 250, 500, 750, 900, 950, 990, 999, 1000] {
+            let exact = exact_quantile(&sorted, q);
+            let est = sketch.quantile_per_mille(q);
+            // Never undershoots the exact ranked sample...
+            prop_assert!(
+                est >= exact,
+                "kind {} q {}: estimate {} under exact {}",
+                kind, q, est, exact
+            );
+            // ...and overshoots by at most the documented γ−1 relative
+            // error (22‰, +1‰ and +1 absolute slack for the integer
+            // bucket-bound rounding).
+            let bound = u128::from(exact)
+                * (1000 + u128::from(QuantileSketch::MAX_RELATIVE_ERROR_PER_MILLE) + 1)
+                / 1000
+                + 1;
+            prop_assert!(
+                u128::from(est) <= bound,
+                "kind {} q {}: estimate {} over bound {} (exact {})",
+                kind, q, est, bound, exact
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_random_shard_splits(
+        kind in 0usize..5,
+        seed in any::<u64>(),
+        n in 1usize..1200,
+        shards in 2usize..9,
+    ) {
+        let values = samples(kind, seed, n);
+        // One-shot reference.
+        let mut reference = QuantileSketch::new();
+        for &v in &values {
+            reference.observe(v);
+        }
+        // Shard round-robin, then fold sequentially, reversed, and as a
+        // pairwise tree — all three must serialize byte-identically.
+        let mut parts = vec![QuantileSketch::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].observe(v);
+        }
+        let mut sequential = QuantileSketch::new();
+        for p in &parts {
+            sequential.merge_from(p);
+        }
+        let mut reversed = QuantileSketch::new();
+        for p in parts.iter().rev() {
+            reversed.merge_from(p);
+        }
+        let mut level = parts;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(mut a) = it.next() {
+                if let Some(b) = it.next() {
+                    a.merge_from(&b);
+                }
+                next.push(a);
+            }
+            level = next;
+        }
+        let tree = level.pop().unwrap();
+
+        let want = reference.to_json_line("s");
+        prop_assert_eq!(&sequential.to_json_line("s"), &want);
+        prop_assert_eq!(&reversed.to_json_line("s"), &want);
+        prop_assert_eq!(&tree.to_json_line("s"), &want);
+    }
+}

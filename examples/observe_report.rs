@@ -1,32 +1,43 @@
 //! Streaming observability report: push one CVE fix to 32 simulated
 //! machines while every worker streams its telemetry to a per-worker
-//! JSON-lines shard, then rebuild the campaign picture *purely from the
-//! shard files* and prove it equals the in-memory aggregate.
+//! JSON-lines shard, watch the campaign's health *live* from those
+//! shards, then rebuild the campaign picture purely from disk and prove
+//! it equals the in-memory aggregate.
 //!
 //! ```text
 //! cargo run --release --example observe_report
 //! ```
 //!
 //! Shards land in `target/observe/worker-<N>.jsonl` (override the
-//! directory with the `OBSERVE_OUT` environment variable). The run
-//! prints three artefacts a fleet operator would read:
+//! directory with the `OBSERVE_OUT` environment variable); emitted
+//! health snapshots in `target/observe/health.jsonl`; the benchmark
+//! artefact in `BENCH_observe.json` (override with
+//! `OBSERVE_BENCH_OUT`). The run prints four artefacts a fleet
+//! operator would read:
 //!
-//! 1. the per-phase timing table (attest → key_exchange → decrypt →
+//! 1. the live health dashboard — an *external* [`HealthMonitor`]
+//!    tails the worker shards while the campaign runs and prints each
+//!    window the moment it completes,
+//! 2. the per-phase timing table (attest → key_exchange → decrypt →
 //!    verify → apply → resume) reconstructed from the shards,
-//! 2. the SMM dwell-time anomaly list — one machine is deliberately
-//!    slowed 10× in SMM and must be the only machine flagged,
-//! 3. the campaign health summary.
+//! 3. the SMM dwell-time anomaly list — one machine is deliberately
+//!    slowed 10× in SMM and must be the only machine flagged, *and*
+//!    the only window the health policy degrades,
+//! 4. the campaign health summary.
 //!
 //! It exits non-zero unless the shard re-aggregation matches the
-//! in-memory merge exactly — the lossless-streaming property the CI
-//! gate relies on.
+//! in-memory merge exactly AND the slowed machine's window was flagged
+//! in a Degraded snapshot *before the campaign completed* — the
+//! mid-campaign detection the health plane exists for.
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig, PlannedSlowdown};
+use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig, HealthPolicy, PlannedSlowdown};
 use kshot::telemetry::json::Value;
-use kshot::telemetry::ShardData;
+use kshot::telemetry::{HealthMonitor, ShardData, SMM_DWELL_METRIC};
 use kshot_cve::{find, patch_for};
 use kshot_machine::SimTime;
 
@@ -35,6 +46,14 @@ const WORKERS: usize = 4;
 const SLOW_MACHINE: usize = 13;
 const SLOW_FACTOR: u32 = 10;
 const DWELL_BUDGET: SimTime = SimTime::from_us(100);
+/// Machines per health window: 32 machines -> 4 cohorts; the slowed
+/// machine 13 lands in window [8,16).
+const HEALTH_WINDOW: usize = 8;
+/// Wall-clock link RTT per attempt. This is what gives the campaign
+/// enough wall time for "live" to mean something: the slow window
+/// completes (and must be flagged) while later machines are still in
+/// flight.
+const LINK_RTT: Duration = Duration::from_millis(25);
 
 fn main() {
     let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
@@ -59,15 +78,60 @@ fn main() {
         .expect("server builds the CVE patch");
     let bytes = build.bundle.encode();
 
+    let policy = HealthPolicy::new().with_dwell_budget(DWELL_BUDGET.as_ns(), 1000);
     let config = FleetConfig::new(MACHINES, WORKERS)
         .with_seed(0x0B5E)
+        .with_link_rtt(LINK_RTT)
+        .with_pipeline_depth(2)
         .with_stream_dir(&out_dir)
         .with_smm_dwell_budget(DWELL_BUDGET)
         .with_slowdown(PlannedSlowdown {
             machine: SLOW_MACHINE,
             factor: SLOW_FACTOR,
+        })
+        .with_health(policy.clone(), HEALTH_WINDOW);
+
+    // The live dashboard: a second, *external* monitor — the campaign
+    // already runs its own — tailing the same shard files the way a
+    // separate operator process would, printing each window as it
+    // completes mid-campaign.
+    let campaign_over = AtomicBool::new(false);
+    let (report, external) = std::thread::scope(|scope| {
+        let watcher = scope.spawn(|| {
+            let shards = (0..WORKERS)
+                .map(|w| out_dir.join(format!("worker-{w}.jsonl")))
+                .collect();
+            let mut monitor = HealthMonitor::new(policy, HEALTH_WINDOW, MACHINES, shards);
+            let mut printed = 0usize;
+            loop {
+                let finished = campaign_over.load(Ordering::Acquire);
+                monitor.poll().expect("external tailer follows the shards");
+                for snap in &monitor.snapshots()[printed..] {
+                    println!(
+                        "live: window {:>2}..{:<2} ok={} dwell p99={} -> {}",
+                        snap.window_start,
+                        snap.window_end,
+                        snap.window.ok,
+                        SimTime::from_ns(snap.window.dwell_p99_ns),
+                        snap.verdict.label(),
+                    );
+                }
+                printed = monitor.snapshots().len();
+                if finished {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            println!(
+                "\nlive dashboard (external tailer):\n{}",
+                monitor.render_table()
+            );
+            monitor.finish().expect("external tailer final poll")
         });
-    let report = run_campaign(&target, &bytes, &config);
+        let report = run_campaign(&target, &bytes, &config);
+        campaign_over.store(true, Ordering::Release);
+        (report, watcher.join().expect("external tailer panicked"))
+    });
     assert_eq!(report.succeeded, MACHINES, "fleet machines failed");
     assert!(report.all_identical_digests(), "applied state diverged");
 
@@ -87,7 +151,8 @@ fn main() {
         println!("read {:>40}  {lines:>5} lines", path.display().to_string());
     }
 
-    // The lossless-streaming proof: disk == memory, field by field.
+    // The lossless-streaming proof: disk == memory, field by field
+    // (sketches included — `assert_metrics_match` compares them too).
     shards
         .assert_metrics_match(&report.recorder.metrics_snapshot())
         .expect("streamed metric totals equal the in-memory merge");
@@ -106,10 +171,10 @@ fn main() {
         shards.phases.total_samples()
     );
 
-    // 1. Phase breakdown, reconstructed from the shard files alone.
+    // Phase breakdown, reconstructed from the shard files alone.
     println!("{}", shards.phases.render_table());
 
-    // 2. Dwell anomalies: machines whose SMIs overstayed the budget.
+    // Dwell anomalies: machines whose SMIs overstayed the budget.
     println!("SMM dwell watchdog (budget {}):", DWELL_BUDGET);
     for m in shards.other_of_type("machine") {
         let over = m.get("smm_overbudget").and_then(Value::as_u64).unwrap_or(0);
@@ -134,7 +199,72 @@ fn main() {
         "watchdog must flag exactly the slowed machine"
     );
 
-    // 3. Campaign health.
+    // The health plane: the campaign's own monitor must have seen the
+    // whole fleet, degraded exactly the slowed machine's window — and
+    // done so BEFORE the campaign completed.
+    let health = report.health.as_ref().expect("campaign armed a monitor");
+    let snaps = &health.report.snapshots;
+    assert_eq!(snaps.len(), MACHINES / HEALTH_WINDOW, "windows emitted");
+    let degraded: Vec<u64> = snaps
+        .iter()
+        .filter(|s| s.verdict.severity() >= 1)
+        .map(|s| s.window_start)
+        .collect();
+    assert_eq!(
+        degraded,
+        vec![(SLOW_MACHINE / HEALTH_WINDOW * HEALTH_WINDOW) as u64],
+        "exactly the slowed machine's window degrades"
+    );
+    assert!(
+        health.degraded_live,
+        "the degraded window must be flagged before campaign completion"
+    );
+    assert_eq!(health.report.final_verdict().label(), "degraded");
+
+    // Streamed totals equal the in-memory report and the merged shards.
+    assert_eq!(health.report.total.ok, report.succeeded as u64);
+    assert_eq!(health.report.total.failed, report.failed as u64);
+    assert_eq!(health.report.total.retries, report.retries);
+    assert_eq!(health.report.total.smm_overbudget, {
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.smm_overbudget)
+            .sum::<u64>()
+    });
+    let merged_dwell = shards.sketch(SMM_DWELL_METRIC).expect("dwell sketch");
+    assert_eq!(health.report.total.dwell_samples, merged_dwell.count());
+    assert_eq!(
+        health.report.total.dwell_p99_ns,
+        merged_dwell.quantile_per_mille(990)
+    );
+    // The external tailer saw byte-identical snapshots, and the emitted
+    // health.jsonl is exactly that sequence.
+    assert_eq!(external.snapshots, *snaps, "external tailer diverged");
+    let streamed: String = snaps
+        .iter()
+        .map(|s| format!("{}\n", s.to_json_line()))
+        .collect();
+    assert_eq!(
+        fs::read_to_string(out_dir.join("health.jsonl")).expect("health.jsonl"),
+        streamed,
+        "health.jsonl diverged from the in-memory snapshots"
+    );
+    println!(
+        "\nHEALTH OK: {}/{} snapshots live, window {}..{} degraded \
+         mid-campaign ({})",
+        health.live_snapshots,
+        snaps.len(),
+        degraded[0],
+        degraded[0] + HEALTH_WINDOW as u64,
+        snaps
+            .iter()
+            .find(|s| s.verdict.severity() >= 1)
+            .map(|s| s.verdict.reasons().join("; "))
+            .unwrap_or_default(),
+    );
+
+    // Campaign health summary.
     println!(
         "\nhealth: ok={}/{} retries={} faults={} anomalies={:?}  \
          latency p50={} p95={} max={}  cache {}h/{}m  wall={:?}",
@@ -151,5 +281,38 @@ fn main() {
         report.wall,
     );
     println!("\n{}", report.to_json());
+
+    // The benchmark artefact the CI gate checks: aggregation throughput
+    // and the bounded memory the sketch-backed health plane holds.
+    let agg_secs = health.report.agg_wall.as_secs_f64();
+    let lines_per_sec = if agg_secs > 0.0 {
+        health.report.lines_consumed as f64 / agg_secs
+    } else {
+        0.0
+    };
+    let bench = format!(
+        concat!(
+            "{{\"v\":1,\"machines\":{},\"workers\":{},\"window\":{},",
+            "\"snapshots\":{},\"live_snapshots\":{},\"degraded_live\":{},",
+            "\"lines_consumed\":{},\"agg_wall_ms\":{:.3},",
+            "\"agg_lines_per_sec\":{:.0},\"resident_sketch_bytes\":{},",
+            "\"final_verdict\":\"{}\"}}"
+        ),
+        MACHINES,
+        WORKERS,
+        HEALTH_WINDOW,
+        snaps.len(),
+        health.live_snapshots,
+        health.degraded_live,
+        health.report.lines_consumed,
+        agg_secs * 1e3,
+        lines_per_sec,
+        health.report.resident_sketch_bytes,
+        health.report.final_verdict().label(),
+    );
+    let bench_out =
+        std::env::var("OBSERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_observe.json".to_string());
+    fs::write(&bench_out, format!("{bench}\n")).expect("write BENCH_observe.json");
+    println!("\nwrote {bench_out}: {bench}");
     println!("\nOBSERVE OK");
 }
