@@ -55,13 +55,31 @@ cargo test -q -p kshot-telemetry --test prop_sketch
 echo "== health stream determinism =="
 cargo test -q -p kshot-fleet --test health_stream
 
-echo "== fleet campaign smoke (incl. pipelined gate) =="
+# Rollout gate: canary→ramp admission order, a mid-campaign Halt that
+# stops admission, auto-rollback restoring the never-patched digest
+# (and the session error paths the orchestrator trusts: folded
+# injection stats on decode failure, terminal recovery failures), and
+# a byte-identical wave trail + health stream across worker counts and
+# pipeline depths.
+echo "== rollout: staged waves, auto-halt, rollback determinism =="
+cargo test -q -p kshot --test rollout
+cargo test -q -p kshot-fleet decode_failure_terminal_path_folds_injection_stats
+cargo test -q -p kshot-fleet failed_recovery_is_terminal_and_counted
+
+echo "== fleet campaign smoke (incl. pipelined + rollout gates) =="
 rm -f BENCH_fleet.json
 cargo run --release --example fleet_campaign
 test -f BENCH_fleet.json
 grep -q '"failed":0' BENCH_fleet.json
 grep -q '"pipelined":{' BENCH_fleet.json
 grep -q '"identical_digests":true' BENCH_fleet.json
+# The healthy rollout ran every planned wave; the faulted one halted at
+# wave 1 and rolled back exactly the wave's two patched machines.
+grep -q '"rollout_healthy":{' BENCH_fleet.json
+grep -q '"halt_wave":null' BENCH_fleet.json
+grep -q '"halt_verdict":"halt"' BENCH_fleet.json
+grep -q '"rolled_back":2' BENCH_fleet.json
+grep -q '"not_admitted":6' BENCH_fleet.json
 
 # Streaming observability gate: the example streams a 32-machine
 # campaign to per-worker JSON-lines shards, tails them *live* with a

@@ -27,11 +27,15 @@ use kshot_machine::{MemLayout, SimTime};
 use kshot_patchserver::{BundleCache, PatchServer};
 use kshot_telemetry::export::record_json_line;
 use kshot_telemetry::{
-    HealthMonitor, Record, Recorder, RecorderScope, Sink, StreamSink, SCHEMA_VERSION,
+    HealthMonitor, MetricsSnapshot, Record, Recorder, RecorderScope, Sink, StreamSink,
+    SCHEMA_VERSION,
 };
 
 use crate::config::FleetConfig;
 use crate::report::{CampaignHealth, CampaignReport, WorkerOccupancy};
+use crate::rollout::{
+    RolloutController, RolloutGate, RolloutPlan, RolloutReport, RolloutTrail, Wave, WaveAction,
+};
 use crate::session::{MachineSession, StepStatus};
 
 /// What every machine in the fleet patches: one pre-linked kernel image
@@ -119,6 +123,24 @@ pub struct MachineOutcome {
     /// Longest single SMM dwell (SMI delivery through RSM completion)
     /// observed on this machine, in simulated time.
     pub max_smm_dwell: SimTime,
+    /// Whether `recover()` itself failed after a failed attempt. The
+    /// machine is failed terminally (no retry — re-patching a possibly
+    /// mid-unwind kernel is worse than reporting it), and the campaign
+    /// counts it in the `fleet.recovery_failed` counter.
+    pub recovery_failed: bool,
+    /// Rollout only: this machine's applied patch was reverted after
+    /// its wave's Halt verdict.
+    pub rolled_back: bool,
+    /// Rollout only: non-revertible sites the rollback skipped
+    /// ([`kshot_core::RollbackOutcome::skipped`] count) — non-zero
+    /// means the machine still carries data edits.
+    pub rollback_skipped: u64,
+    /// Rollout only: the rollback failed even after journal recovery.
+    pub rollback_failed: bool,
+    /// Whether the machine was ever admitted. `false` only when a
+    /// rollout stopped before this machine's wave opened — the machine
+    /// was never booted and counts as failed.
+    pub admitted: bool,
 }
 
 /// Run one campaign: patch `config.machines` machines, sharded
@@ -149,25 +171,53 @@ pub fn run_campaign(
         });
         (policy.clone(), dir)
     });
+    // A rollout's wave verdicts come from the health monitor; arming
+    // one without health would silently never admit past the canary.
+    let rollout_cfg = config
+        .rollout
+        .as_ref()
+        .filter(|_| config.machines > 0)
+        .map(|plan| {
+            assert!(
+                config.health_policy.is_some(),
+                "FleetConfig::with_rollout requires with_health (wave verdicts come from the monitor)"
+            );
+            let waves = plan.waves(config.machines);
+            let gate = RolloutGate::new(waves[0].end);
+            (plan, waves, gate)
+        });
     let campaign_done = AtomicBool::new(false);
 
     let mut per_machine: Vec<(MachineOutcome, Arc<Recorder>)> = Vec::with_capacity(config.machines);
     let mut occupancy: Vec<WorkerOccupancy> = Vec::with_capacity(workers);
     let mut health: Option<CampaignHealth> = None;
+    let mut trail: Option<RolloutTrail> = None;
     thread::scope(|scope| {
         // Spawn the monitor before the workers so the earliest windows
         // can be judged while later machines are still in flight.
         let monitor_handle = health_cfg.map(|(policy, dir)| {
             let done = &campaign_done;
             let machines = config.machines;
-            let window = config.health_window;
-            scope.spawn(move || run_health_monitor(policy, window, machines, workers, dir, done))
+            // Rollouts size the window to the canary cohort so wave
+            // boundaries always fall on window boundaries.
+            let window = match &rollout_cfg {
+                Some((plan, _, _)) => plan.canary_size(machines),
+                None => config.health_window,
+            };
+            let rollout = rollout_cfg
+                .as_ref()
+                .map(|(plan, waves, gate)| (*plan, waves.as_slice(), gate));
+            scope.spawn(move || {
+                run_health_monitor(policy, window, machines, workers, dir, done, rollout)
+            })
         });
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
             let cache = &cache;
-            handles
-                .push(scope.spawn(move || run_worker(target, cache, bundle_bytes, config, worker)));
+            let gate = rollout_cfg.as_ref().map(|(_, _, gate)| gate);
+            handles.push(
+                scope.spawn(move || run_worker(target, cache, bundle_bytes, config, worker, gate)),
+            );
         }
         for handle in handles {
             let (results, worker_occupancy) = handle.join().expect("fleet worker panicked");
@@ -177,7 +227,11 @@ pub fn run_campaign(
         // Every worker has flushed its shard; release the monitor for
         // its final catch-up poll and collect the health report.
         campaign_done.store(true, Ordering::Release);
-        health = monitor_handle.map(|h| h.join().expect("health monitor panicked"));
+        if let Some(h) = monitor_handle {
+            let (campaign_health, rollout_trail) = h.join().expect("health monitor panicked");
+            health = Some(campaign_health);
+            trail = rollout_trail;
+        }
     });
     per_machine.sort_by_key(|(o, _)| o.machine);
     occupancy.sort_by_key(|o| o.worker);
@@ -195,6 +249,9 @@ pub fn run_campaign(
         }
         outcomes.push(outcome);
     }
+    let rollout = rollout_cfg.map(|(plan, _, _)| {
+        RolloutReport::assemble(plan, config.machines, trail.unwrap_or_default(), &outcomes)
+    });
     CampaignReport::assemble(
         config,
         outcomes,
@@ -204,6 +261,7 @@ pub fn run_campaign(
         cache.hits(),
         cache.misses(),
         health,
+        rollout,
     )
 }
 
@@ -212,6 +270,12 @@ pub fn run_campaign(
 /// snapshots were emitted *while workers were still running* (the
 /// mid-campaign detection the health plane exists for), then run one
 /// final catch-up poll and fold everything into a [`CampaignHealth`].
+///
+/// Under a rollout, this thread also hosts the [`RolloutController`]:
+/// after every poll it folds new snapshots into wave verdicts and
+/// actuates the shared gate (admission, finalization, rollback) the
+/// workers are watching. Running the controller here keeps its
+/// decisions in the monitor's deterministic snapshot order.
 fn run_health_monitor(
     policy: kshot_telemetry::HealthPolicy,
     window: usize,
@@ -219,15 +283,23 @@ fn run_health_monitor(
     workers: usize,
     dir: PathBuf,
     done: &AtomicBool,
-) -> CampaignHealth {
+    rollout: Option<(&RolloutPlan, &[Wave], &RolloutGate)>,
+) -> (CampaignHealth, Option<RolloutTrail>) {
     let shards: Vec<PathBuf> = (0..workers)
         .map(|w| dir.join(format!("worker-{w}.jsonl")))
         .collect();
-    let mut monitor = HealthMonitor::new(policy, window, machines, shards)
+    let mut monitor = HealthMonitor::new(policy, window, machines, shards);
+    if let Some((_, waves, _)) = &rollout {
+        monitor = monitor.with_wave_boundaries(waves.iter().map(|w| w.end as u64).collect());
+    }
+    let mut monitor = monitor
         .with_snapshot_path(dir.join("health.jsonl"))
         .unwrap_or_else(|e| panic!("open health snapshot sink: {e}"));
+    let mut controller =
+        rollout.map(|(plan, waves, gate)| RolloutController::new(plan, waves.to_vec(), gate));
     let mut live_snapshots = 0u64;
     let mut degraded_live = false;
+    let mut halt_live = false;
     loop {
         // Read the flag *before* polling: if workers finished mid-poll,
         // snapshots from this round may or may not have been live, so
@@ -236,12 +308,20 @@ fn run_health_monitor(
         let emitted = monitor
             .poll()
             .unwrap_or_else(|e| panic!("health monitor poll: {e}"));
+        if let Some(controller) = controller.as_mut() {
+            controller.observe(&mut monitor);
+        }
         if !finished && emitted > 0 {
             let snaps = monitor.snapshots();
             for snap in &snaps[snaps.len() - emitted..] {
                 live_snapshots += 1;
-                if snap.verdict.severity() >= 1 {
-                    degraded_live = true;
+                // Halt is its own live signal: folding it into
+                // `degraded_live` (the old `severity() >= 1`) hid
+                // exactly the verdict the rollout plane acts on.
+                match snap.verdict.severity() {
+                    2.. => halt_live = true,
+                    1 => degraded_live = true,
+                    _ => {}
                 }
             }
         }
@@ -253,11 +333,15 @@ fn run_health_monitor(
     let report = monitor
         .finish()
         .unwrap_or_else(|e| panic!("health monitor finish: {e}"));
-    CampaignHealth {
-        report,
-        live_snapshots,
-        degraded_live,
-    }
+    (
+        CampaignHealth {
+            report,
+            live_snapshots,
+            degraded_live,
+            halt_live,
+        },
+        controller.map(RolloutController::into_trail),
+    )
 }
 
 /// A session parked until its wall-clock deadline. Heap order is
@@ -301,15 +385,104 @@ impl Sink for BufferSink {
     }
 }
 
-/// One live session plus its buffered shard lines (when streaming).
+/// One live session plus its buffered shard lines (when streaming) and
+/// whether its shard parcel has already been written (the `Held` path
+/// flushes before the session finishes).
 struct Active {
     session: MachineSession,
     lines: Option<Arc<Mutex<Vec<String>>>>,
+    flushed: bool,
 }
 
-/// A completed machine held back until its turn in the shard file:
-/// outcome, recorder, and the buffered shard lines (when streaming).
-type Completed = (MachineOutcome, Arc<Recorder>, Option<Vec<String>>);
+/// One machine's shard parcel, held back until its turn in the worker's
+/// canonical machine order: buffered record lines, the metrics block,
+/// and the pre-rendered outcome line. `None` marks a machine a stopped
+/// rollout never admitted — nothing to write, but the flush cursor must
+/// still pass it so later machines' parcels are not stranded.
+type Parcel = Option<(Vec<String>, MetricsSnapshot, String)>;
+
+/// Write every parcel that is next in canonical order to the shard, and
+/// advance the cursor. Committing a parcel means a live tailer (the
+/// health monitor) can see it — under a rollout that is what lets a
+/// wave be judged while its machines are still held.
+fn flush_parcels(
+    sink: &Option<StreamSink>,
+    parcels: &mut BTreeMap<usize, Parcel>,
+    my_machines: &[usize],
+    next_flush: &mut usize,
+) {
+    while *next_flush < my_machines.len() {
+        let Some(parcel) = parcels.remove(&my_machines[*next_flush]) else {
+            break;
+        };
+        if let (Some(sink), Some((lines, metrics, outcome_line))) = (sink.as_ref(), parcel) {
+            for line in &lines {
+                sink.write_raw_line(line);
+            }
+            // Close the machine's section of the shard: its metric
+            // totals (counters saturate, histograms merge bucket-wise
+            // on re-aggregation) and one outcome line carrying what
+            // the in-memory MachineOutcome carries.
+            sink.write_metrics(&metrics);
+            sink.write_raw_line(&outcome_line);
+            sink.flush();
+        }
+        *next_flush += 1;
+    }
+}
+
+/// Build the shard parcel for a machine whose telemetry is final (for
+/// the shard's purposes): fold ring-eviction losses into a counter
+/// *before* the metrics block is rendered, so the health monitor (and
+/// any shard re-aggregation) sees the drop accounting a summaries-only
+/// campaign would otherwise lose with the record stream.
+fn seal_parcel(active: &mut Active) -> Parcel {
+    let dropped = active.session.recorder.dropped();
+    if dropped > 0 {
+        active
+            .session
+            .recorder
+            .metrics()
+            .counter_add("fleet.records_dropped", dropped);
+    }
+    let buffered = active
+        .lines
+        .as_ref()
+        .map(|l| std::mem::take(&mut *l.lock().unwrap()))
+        .unwrap_or_default();
+    active.flushed = true;
+    Some((
+        buffered,
+        active.session.recorder.metrics_snapshot(),
+        machine_json_line(&active.session.outcome),
+    ))
+}
+
+/// The outcome reported for a machine a stopped rollout never admitted:
+/// never booted, zero attempts, counted as failed with `admitted:
+/// false`.
+fn skipped_outcome(machine: usize, worker: usize) -> MachineOutcome {
+    MachineOutcome {
+        machine,
+        worker,
+        attempts: 0,
+        retries: 0,
+        ok: false,
+        error: Some("rollout halted before admission".to_string()),
+        latency: None,
+        sim_clock: SimTime::ZERO,
+        state_digest: [0; 32],
+        faults_injected: 0,
+        injection_writes_seen: 0,
+        smm_overbudget: 0,
+        max_smm_dwell: SimTime::ZERO,
+        recovery_failed: false,
+        rolled_back: false,
+        rollback_skipped: 0,
+        rollback_failed: false,
+        admitted: false,
+    }
+}
 
 /// Drive one worker's share of the fleet (machines `worker`, `worker +
 /// workers`, ...) with up to `config.pipeline_depth` sessions in
@@ -321,6 +494,7 @@ fn run_worker(
     bundle_bytes: &[u8],
     config: &FleetConfig,
     worker: usize,
+    gate: Option<&RolloutGate>,
 ) -> (Vec<(MachineOutcome, Arc<Recorder>)>, WorkerOccupancy) {
     let workers = config.workers.max(1);
     let depth = config.pipeline_depth.max(1);
@@ -349,17 +523,41 @@ fn run_worker(
     // Parked sessions' buffers, keyed by machine (sessions in the heap
     // can't carry the Active wrapper through the ordering impls).
     let mut parked_lines: BTreeMap<usize, Arc<Mutex<Vec<String>>>> = BTreeMap::new();
-    // Completed machines waiting for their turn in the shard file.
-    let mut completed: BTreeMap<usize, Completed> = BTreeMap::new();
+    // Sessions held in AwaitVerdict (rollout only): patched, parcel
+    // flushed, machine live, waiting for the gate to judge their wave.
+    let mut held: BTreeMap<usize, Active> = BTreeMap::new();
+    // Shard parcels waiting for their turn in the shard file.
+    let mut parcels: BTreeMap<usize, Parcel> = BTreeMap::new();
     let mut next_flush = 0usize;
     let mut results = Vec::with_capacity(my_machines.len());
     let mut busy = Duration::ZERO;
     let mut in_flight = Duration::ZERO;
 
     loop {
-        // Admit new machines while the pipeline has room.
+        // Held sessions whose wave has been judged re-enter the ready
+        // queue with their verdict, in machine order.
+        if let Some(gate) = gate {
+            let judged: Vec<usize> = held
+                .keys()
+                .copied()
+                .filter(|&m| gate.action_for(m).is_some())
+                .collect();
+            for machine in judged {
+                let mut active = held.remove(&machine).expect("collected from held");
+                let rollback = gate.action_for(machine) == Some(WaveAction::Rollback);
+                active.session.deliver_verdict(rollback);
+                ready.push_back(active);
+                live += 1;
+            }
+        }
+        // Admit new machines while the pipeline has room (and, under a
+        // rollout, the gate has opened their wave — machine indices
+        // ascend, so the first blocked machine blocks the rest too).
         while live < depth && next_admit < my_machines.len() {
             let machine = my_machines[next_admit];
+            if gate.is_some_and(|g| !g.may_admit(machine)) {
+                break;
+            }
             let recorder = Recorder::new();
             let lines = sink.as_ref().map(|_| {
                 let lines = Arc::new(Mutex::new(Vec::new()));
@@ -371,9 +569,23 @@ fn run_worker(
             ready.push_back(Active {
                 session: MachineSession::new(machine, worker, recorder),
                 lines,
+                flushed: false,
             });
             next_admit += 1;
             live += 1;
+        }
+        // A stopped rollout never opens the remaining waves: report
+        // their machines as never admitted and advance the flush
+        // cursor past them (they have no shard parcel).
+        if gate.is_some_and(RolloutGate::halted) {
+            let gate = gate.expect("checked above");
+            while next_admit < my_machines.len() && !gate.may_admit(my_machines[next_admit]) {
+                let machine = my_machines[next_admit];
+                results.push((skipped_outcome(machine, worker), Recorder::new()));
+                parcels.insert(machine, None);
+                next_admit += 1;
+            }
+            flush_parcels(&sink, &mut parcels, &my_machines, &mut next_flush);
         }
         // Release every parked session whose deadline has passed, in
         // deadline order.
@@ -384,6 +596,7 @@ fn run_worker(
             ready.push_back(Active {
                 session: p.session,
                 lines: parked_lines.remove(&machine),
+                flushed: false,
             });
         }
 
@@ -410,55 +623,30 @@ fn run_worker(
                     });
                     park_seq += 1;
                 }
+                StepStatus::Held => {
+                    // The patch applied; its wave's verdict decides
+                    // what happens next. Commit the machine's shard
+                    // parcel now — the health monitor judges the wave
+                    // from it — free the pipeline slot, and hold the
+                    // live session for `deliver_verdict`. Records the
+                    // session emits *after* this point (rollback
+                    // telemetry) stay in the in-memory campaign
+                    // recorder only.
+                    live -= 1;
+                    let parcel = seal_parcel(&mut active);
+                    parcels.insert(active.session.outcome.machine, parcel);
+                    flush_parcels(&sink, &mut parcels, &my_machines, &mut next_flush);
+                    held.insert(active.session.outcome.machine, active);
+                }
                 StepStatus::Done => {
                     live -= 1;
-                    let Active { session, lines } = active;
-                    // Fold ring-eviction losses into a counter *before*
-                    // the metrics block is streamed, so the health
-                    // monitor (and any shard re-aggregation) sees the
-                    // drop accounting a summaries-only campaign would
-                    // otherwise lose with the record stream.
-                    let dropped = session.recorder.dropped();
-                    if dropped > 0 {
-                        session
-                            .recorder
-                            .metrics()
-                            .counter_add("fleet.records_dropped", dropped);
+                    if !active.flushed {
+                        let parcel = seal_parcel(&mut active);
+                        parcels.insert(active.session.outcome.machine, parcel);
+                        flush_parcels(&sink, &mut parcels, &my_machines, &mut next_flush);
                     }
-                    let buffered = lines.map(|l| std::mem::take(&mut *l.lock().unwrap()));
-                    completed.insert(
-                        session.outcome.machine,
-                        (session.outcome, session.recorder, buffered),
-                    );
-                    // Flush every completed machine that is next in
-                    // this worker's canonical order, keeping shard
-                    // files identical to the sequential layout.
-                    while next_flush < my_machines.len() {
-                        let Some((outcome, recorder, buffered)) =
-                            completed.remove(&my_machines[next_flush])
-                        else {
-                            break;
-                        };
-                        if let Some(sink) = &sink {
-                            for line in buffered.iter().flatten() {
-                                sink.write_raw_line(line);
-                            }
-                            // Close the machine's section of the shard:
-                            // its metric totals (counters saturate,
-                            // histograms merge bucket-wise on
-                            // re-aggregation) and one outcome line
-                            // carrying what the in-memory
-                            // MachineOutcome carries.
-                            sink.write_metrics(&recorder.metrics_snapshot());
-                            sink.write_raw_line(&machine_json_line(&outcome));
-                            // Commit the parcel now: a live tailer (the
-                            // health monitor) only sees flushed bytes,
-                            // and mid-campaign visibility is the point.
-                            sink.flush();
-                        }
-                        results.push((outcome, recorder));
-                        next_flush += 1;
-                    }
+                    let Active { session, .. } = active;
+                    results.push((session.outcome, session.recorder));
                 }
             }
         } else if let Some(p) = parked.peek() {
@@ -469,6 +657,13 @@ fn run_worker(
                 thread::sleep(wait);
                 in_flight += wait;
             }
+        } else if !held.is_empty() || (gate.is_some() && next_admit < my_machines.len()) {
+            // Waiting on the rollout gate: held sessions need their
+            // wave's verdict, or the next wave has not been opened.
+            // Verdicts arrive on the monitor's ~1 ms poll cadence.
+            let wait = Duration::from_micros(200);
+            thread::sleep(wait);
+            in_flight += wait;
         } else {
             debug_assert_eq!(next_admit, my_machines.len());
             break;
@@ -616,6 +811,58 @@ mod tests {
             "armed plan's observed writes must survive the success path"
         );
         assert_eq!(report.faults_injected, 0);
+    }
+
+    /// Regression for the swallowed-recovery-error path: `step_patch`
+    /// used to `let _ = system.recover();` and retry on a machine whose
+    /// recovery may have stopped mid-unwind. A fault armed *inside the
+    /// recovery window* must now fail the machine terminally (no
+    /// retry), mark `recovery_failed`, and bump the campaign counter.
+    #[test]
+    fn failed_recovery_is_terminal_and_counted() {
+        let (target, bytes) = campaign_fixture();
+        let config = FleetConfig::new(2, 1)
+            .with_seed(13)
+            // Machine 0's third apply-phase SMM write faults...
+            .with_fault(PlannedFault {
+                machine: 0,
+                smm_write_index: 2,
+            })
+            // ...and the first SMM write of the recovery that follows
+            // faults too.
+            .with_recovery_fault(PlannedFault {
+                machine: 0,
+                smm_write_index: 0,
+            });
+        let report = run_campaign(&target, &bytes, &config);
+        let o = &report.outcomes[0];
+        assert!(!o.ok);
+        assert!(o.recovery_failed);
+        assert_eq!(
+            o.attempts, 1,
+            "no retry on a possibly mid-unwind machine: {:?}",
+            o.error
+        );
+        assert_eq!(o.retries, 0);
+        let err = o
+            .error
+            .as_deref()
+            .expect("terminal failure carries both errors");
+        assert!(err.contains("recovery failed"), "{err}");
+        assert_eq!(
+            report
+                .recorder
+                .metrics_snapshot()
+                .counter("fleet.recovery_failed"),
+            1
+        );
+        // The healthy neighbour is untouched, and a failed-then-
+        // unrecovered machine still reports a digest (of whatever state
+        // it was left in) rather than panicking.
+        assert!(report.outcomes[1].ok);
+        assert!(!report.outcomes[1].recovery_failed);
+        assert_eq!(report.succeeded, 1);
+        assert_eq!(report.failed, 1);
     }
 
     #[test]

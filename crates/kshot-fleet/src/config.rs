@@ -8,6 +8,8 @@ use std::time::Duration;
 use kshot_machine::SimTime;
 use kshot_telemetry::HealthPolicy;
 
+use crate::rollout::RolloutPlan;
+
 /// A fault the campaign arms on one machine before its first attempt.
 ///
 /// The underlying mechanism is `kshot-machine`'s one-shot injection plan
@@ -96,8 +98,24 @@ pub struct FleetConfig {
     /// `<stream_dir>/health.jsonl`.
     pub health_policy: Option<HealthPolicy>,
     /// Machines per health window (cohort); clamped to ≥ 1 when the
-    /// monitor runs.
+    /// monitor runs. Ignored when a rollout plan is armed — the window
+    /// is then the resolved canary size, so wave boundaries always fall
+    /// on window boundaries.
     pub health_window: usize,
+    /// When set, the campaign runs as a staged rollout: machines are
+    /// admitted wave by wave (canary → exponential ramp), each wave
+    /// gated on the previous wave's health windows all judging Healthy,
+    /// with Halt verdicts actuating auto-rollback of the halted wave's
+    /// patched machines. Requires [`FleetConfig::with_health`] (the
+    /// verdicts come from the monitor) and therefore streaming;
+    /// `run_campaign` panics loudly otherwise.
+    pub rollout: Option<RolloutPlan>,
+    /// Faults armed *inside a machine's recovery window*: after a
+    /// failed attempt's injection stats fold, the plan is armed
+    /// immediately before `recover()`, so the fault fires during
+    /// recovery itself. This is how the recovery-error terminal path is
+    /// exercised end-to-end. At most one per machine.
+    pub recovery_faults: Vec<PlannedFault>,
 }
 
 impl FleetConfig {
@@ -120,6 +138,8 @@ impl FleetConfig {
             retain_records: true,
             health_policy: None,
             health_window: 8,
+            rollout: None,
+            recovery_faults: Vec::new(),
         }
     }
 
@@ -182,6 +202,22 @@ impl FleetConfig {
     pub fn with_health(mut self, policy: HealthPolicy, window: usize) -> Self {
         self.health_policy = Some(policy);
         self.health_window = window;
+        self
+    }
+
+    /// Builder-style: run the campaign as a staged rollout under `plan`.
+    /// Requires [`FleetConfig::with_health`]; `run_campaign` panics
+    /// loudly otherwise (a rollout without verdicts cannot gate waves).
+    pub fn with_rollout(mut self, plan: RolloutPlan) -> Self {
+        self.rollout = Some(plan);
+        self
+    }
+
+    /// Builder-style: arm `fault` inside its machine's recovery window,
+    /// so `recover()` itself fails and the machine takes the terminal
+    /// recovery-error path.
+    pub fn with_recovery_fault(mut self, fault: PlannedFault) -> Self {
+        self.recovery_faults.push(fault);
         self
     }
 }

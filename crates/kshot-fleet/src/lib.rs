@@ -57,13 +57,27 @@
 //!   byte-identical across worker counts and pipeline depths; the final
 //!   [`CampaignHealth`] (with how much was detected mid-campaign) lands
 //!   in [`CampaignReport::health`].
+//! * **Staged rollouts.** [`FleetConfig::with_rollout`] layers a wave
+//!   scheduler on top: a [`RolloutPlan`] partitions the fleet into a
+//!   canary cohort plus an exponential ramp, admission into each wave
+//!   is gated on the previous wave's health windows all judging
+//!   Healthy, and a Halt verdict stops admission *and* auto-rolls-back
+//!   the halted wave's patched machines through
+//!   [`kshot_core::KShot::rollback_last`] (journal-recovered when
+//!   partial). The plan can also calibrate the ramp's SMM dwell budget
+//!   from the canary cohort's own dwell p99. The wave sequence, halt
+//!   point, and rollback set are byte-identical across worker counts
+//!   and pipeline depths; the [`RolloutReport`] lands in
+//!   [`CampaignReport::rollout`].
 
 pub mod campaign;
 pub mod config;
 pub mod report;
+pub mod rollout;
 mod session;
 
 pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
 pub use config::{FleetConfig, PlannedFault, PlannedSlowdown};
 pub use kshot_telemetry::{HealthPolicy, HealthReport, HealthVerdict};
 pub use report::{CampaignHealth, CampaignReport, WorkerOccupancy};
+pub use rollout::{RolloutPlan, RolloutReport, Wave, WaveOutcome};

@@ -10,6 +10,7 @@ use kshot_telemetry::{HealthReport, PhaseProfile, Recorder};
 
 use crate::campaign::MachineOutcome;
 use crate::config::FleetConfig;
+use crate::rollout::RolloutReport;
 
 /// What the live health monitor produced for one campaign: the full
 /// [`HealthReport`] plus how much of it was *live* — snapshots emitted
@@ -21,8 +22,14 @@ pub struct CampaignHealth {
     pub report: HealthReport,
     /// Snapshots emitted before the last worker finished.
     pub live_snapshots: u64,
-    /// Whether any *live* snapshot carried a degraded-or-worse verdict.
+    /// Whether any *live* snapshot carried a Degraded verdict (exactly
+    /// severity 1 — a live Halt sets `halt_live`, not this).
     pub degraded_live: bool,
+    /// Whether any *live* snapshot carried a Halt verdict. Tracked
+    /// separately from `degraded_live` because Halt is the verdict the
+    /// rollout plane actuates on — collapsing it into "degraded" hid
+    /// the one signal that stops a campaign.
+    pub halt_live: bool,
 }
 
 /// How one worker spent its scheduling loop: stepping sessions (busy)
@@ -100,6 +107,10 @@ pub struct CampaignReport {
     /// The live health monitor's output, when the campaign armed one
     /// via [`FleetConfig::with_health`](crate::FleetConfig::with_health).
     pub health: Option<CampaignHealth>,
+    /// The staged-rollout trail (waves run, halt point, rollback
+    /// actuation), when the campaign ran under
+    /// [`FleetConfig::with_rollout`](crate::FleetConfig::with_rollout).
+    pub rollout: Option<RolloutReport>,
     /// Every machine's telemetry, merged into one recorder (metric
     /// summaries only when the campaign ran `summaries_only`).
     pub recorder: Arc<Recorder>,
@@ -117,6 +128,7 @@ impl CampaignReport {
         cache_hits: u64,
         cache_misses: u64,
         health: Option<CampaignHealth>,
+        rollout: Option<RolloutReport>,
     ) -> CampaignReport {
         let succeeded = outcomes.iter().filter(|o| o.ok).count();
         let failed = outcomes.len() - succeeded;
@@ -174,6 +186,7 @@ impl CampaignReport {
             dwell_anomalies,
             worker_occupancy,
             health,
+            rollout,
             recorder,
         }
     }
@@ -231,7 +244,7 @@ impl CampaignReport {
             Some(h) => format!(
                 concat!(
                     "\"health\":{{\"final_verdict\":\"{}\",\"snapshots\":{},",
-                    "\"live_snapshots\":{},\"degraded_live\":{},",
+                    "\"live_snapshots\":{},\"degraded_live\":{},\"halt_live\":{},",
                     "\"machines_seen\":{},\"lines_consumed\":{},",
                     "\"max_failure_per_mille\":{},\"max_retry_per_mille\":{},",
                     "\"max_dwell_p99_ns\":{},\"resident_sketch_bytes\":{}}},"
@@ -240,6 +253,7 @@ impl CampaignReport {
                 h.report.snapshots.len(),
                 h.live_snapshots,
                 h.degraded_live,
+                h.halt_live,
                 h.report.machines_seen,
                 h.report.lines_consumed,
                 h.report.max_failure_per_mille(),
@@ -247,6 +261,11 @@ impl CampaignReport {
                 h.report.max_dwell_p99_ns(),
                 h.report.resident_sketch_bytes,
             ),
+        };
+        // Likewise additive: only rollout campaigns carry the section.
+        let rollout = match &self.rollout {
+            None => String::new(),
+            Some(r) => format!("\"rollout\":{},", r.to_json()),
         };
         format!(
             concat!(
@@ -260,7 +279,7 @@ impl CampaignReport {
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"dwell_anomalies\":[{}],",
                 "\"occupancy\":[{}],",
-                "{}\"identical_digests\":{}}}"
+                "{}{}\"identical_digests\":{}}}"
             ),
             kshot_telemetry::SCHEMA_VERSION,
             self.machines,
@@ -281,6 +300,7 @@ impl CampaignReport {
             dwell_anomalies,
             occupancy,
             health,
+            rollout,
             self.all_identical_digests(),
         )
     }
@@ -314,6 +334,11 @@ mod tests {
             injection_writes_seen: 0,
             smm_overbudget: 0,
             max_smm_dwell: SimTime::ZERO,
+            recovery_failed: false,
+            rolled_back: false,
+            rollback_skipped: 0,
+            rollback_failed: false,
+            admitted: true,
         }
     }
 
@@ -347,6 +372,7 @@ mod tests {
             Duration::from_millis(10),
             2,
             1,
+            None,
             None,
         );
         assert_eq!(report.succeeded, 2);
@@ -383,6 +409,7 @@ mod tests {
             Duration::ZERO,
             0,
             0,
+            None,
             None,
         );
         assert!(report.all_identical_digests());

@@ -21,12 +21,19 @@
 //! metrics, and per-machine shard contents are identical at every
 //! pipeline depth — depth 1 reproduces the old sequential behaviour
 //! exactly.
+//!
+//! Staged rollouts add three states on top: a successfully patched
+//! session in a rollout campaign parks in [`SessionState::AwaitVerdict`]
+//! (machine kept live, pipeline slot released) until its wave's health
+//! verdict arrives, then either finalizes patched
+//! ([`SessionState::Release`]) or reverts through
+//! [`SessionState::Rollback`] → [`KShot::rollback_last`].
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use kshot_core::reserved::rw_offsets;
-use kshot_core::KShot;
+use kshot_core::{KShot, KShotError, Recovery};
 use kshot_crypto::sha256::sha256;
 use kshot_kernel::Kernel;
 use kshot_machine::{CostModel, InjectionPlan, LinearCost, SimTime};
@@ -61,6 +68,17 @@ pub(crate) enum SessionState {
         /// Wall-clock instant the retry may start.
         deadline: Instant,
     },
+    /// Rollout mode only: the patch applied, but the machine stays live
+    /// (system held) until its wave's health verdict decides whether it
+    /// finalizes patched or rolls back. The worker parks the session
+    /// off the pipeline and polls the rollout gate.
+    AwaitVerdict,
+    /// Rollout mode only: the wave halted; revert this machine's patch
+    /// via [`KShot::rollback_last`] on the next step.
+    Rollback,
+    /// Rollout mode only: the wave was judged and this machine keeps
+    /// its patch; finalize on the next step.
+    Release,
     /// Terminal: `outcome` is final.
     Done,
 }
@@ -73,6 +91,12 @@ pub(crate) enum StepStatus {
     /// Nothing to do until the session's [`MachineSession::deadline`]
     /// passes — park on the deadline heap.
     Wait,
+    /// Rollout mode only: the patch applied and the session now awaits
+    /// its wave's verdict. The worker must flush the machine's shard
+    /// parcel (the health monitor needs it to judge the wave), free the
+    /// session's pipeline slot, and hold it until
+    /// [`MachineSession::deliver_verdict`].
+    Held,
     /// The session is finished; collect its outcome.
     Done,
 }
@@ -92,6 +116,10 @@ pub(crate) struct MachineSession {
     /// (dropped at finalization to release the machine's memory while
     /// other sessions are still live).
     system: Option<KShot>,
+    /// Whether the config's recovery-window fault (if any) has been
+    /// armed; armed exactly once, immediately before the first
+    /// `recover()` call.
+    recovery_fault_armed: bool,
 }
 
 impl MachineSession {
@@ -124,11 +152,17 @@ impl MachineSession {
                 injection_writes_seen: 0,
                 smm_overbudget: 0,
                 max_smm_dwell: SimTime::ZERO,
+                recovery_failed: false,
+                rolled_back: false,
+                rollback_skipped: 0,
+                rollback_failed: false,
+                admitted: true,
             },
             recorder,
             state: SessionState::Boot,
             kernel: None,
             system: None,
+            recovery_fault_armed: false,
         }
     }
 
@@ -151,8 +185,23 @@ impl MachineSession {
                 self.step_patch(cache, bundle_bytes, target, config)
             }
             SessionState::Backoff { .. } => self.step_backoff(config),
+            SessionState::AwaitVerdict => StepStatus::Held,
+            SessionState::Rollback => self.step_rollback(target),
+            SessionState::Release => self.finalize(target),
             SessionState::Done => StepStatus::Done,
         }
+    }
+
+    /// Deliver the wave verdict to a held session: `rollback` drives it
+    /// through [`SessionState::Rollback`]; otherwise it finalizes
+    /// patched on its next step.
+    pub(crate) fn deliver_verdict(&mut self, rollback: bool) {
+        debug_assert!(matches!(self.state, SessionState::AwaitVerdict));
+        self.state = if rollback {
+            SessionState::Rollback
+        } else {
+            SessionState::Release
+        };
     }
 
     fn step_boot(&mut self, target: &CampaignTarget) -> StepStatus {
@@ -221,6 +270,10 @@ impl MachineSession {
             Ok(b) => b,
             Err(e) => {
                 self.outcome.error = Some(format!("bundle: {e}"));
+                // This terminal path must fold too: an armed plan's
+                // observed-write count would otherwise vanish exactly
+                // like the success-path leak PR 5 fixed.
+                self.fold_injection_stats();
                 return self.finalize(target);
             }
         };
@@ -234,25 +287,123 @@ impl MachineSession {
                 // armed-but-unfired plan (write index never reached)
                 // would otherwise vanish without a trace.
                 self.fold_injection_stats();
-                self.finalize(target)
+                if config.rollout.is_some() {
+                    // Rollout campaigns keep the patched machine live
+                    // until its wave's verdict: a Halt must still be
+                    // able to drive `rollback_last` on it. The worker
+                    // flushes the machine's shard parcel *now* (the
+                    // monitor judges the wave from it), so snapshot the
+                    // observable fields at their patched-state values —
+                    // finalization re-reads them after the verdict.
+                    let m = self
+                        .system
+                        .as_ref()
+                        .expect("Patch follows Install")
+                        .kernel()
+                        .machine();
+                    self.outcome.sim_clock = m.now();
+                    self.outcome.smm_overbudget = m.smm_overbudget_count();
+                    self.outcome.max_smm_dwell = m.max_smm_dwell();
+                    self.state = SessionState::AwaitVerdict;
+                    StepStatus::Held
+                } else {
+                    self.finalize(target)
+                }
             }
             Err(e) => {
                 self.outcome.error = Some(e.to_string());
                 self.fold_injection_stats();
-                // Roll the machine back to its pre-session state; a
-                // failed recovery leaves `error` describing the session
-                // failure and the next attempt (if any) reports its own.
-                let system = self.system.as_mut().expect("Patch follows Install");
-                let _ = system.recover();
-                if self.outcome.attempts < config.max_attempts.max(1) {
-                    // Ready immediately: the backoff is simulated-clock
-                    // only, exactly as in the sequential path.
-                    let deadline = Instant::now();
-                    self.state = SessionState::Backoff { deadline };
-                    StepStatus::Wait
-                } else {
-                    self.finalize(target)
+                // Roll the machine back to its pre-session state. A
+                // recovery-window fault (if the campaign planned one)
+                // is armed here, after the attempt's stats folded, so
+                // it fires *inside* `recover()`.
+                self.arm_recovery_fault(config);
+                let recovered = self
+                    .system
+                    .as_mut()
+                    .expect("Patch follows Install")
+                    .recover();
+                match recovered {
+                    Ok(_) => {
+                        // Disarm a recovery-window plan that did not
+                        // fire, folding its observed writes, so it
+                        // cannot leak into the next attempt.
+                        self.fold_injection_stats();
+                        if self.outcome.attempts < config.max_attempts.max(1) {
+                            // Ready immediately: the backoff is
+                            // simulated-clock only, exactly as in the
+                            // sequential path.
+                            let deadline = Instant::now();
+                            self.state = SessionState::Backoff { deadline };
+                            StepStatus::Wait
+                        } else {
+                            self.finalize(target)
+                        }
+                    }
+                    Err(re) => {
+                        // Recovery itself failed: the machine may be
+                        // mid-unwind, so retrying on it would patch a
+                        // possibly-corrupt kernel. Fail terminally and
+                        // surface both errors.
+                        kshot_telemetry::counter("fleet.recovery_failed", 1);
+                        self.outcome.recovery_failed = true;
+                        self.outcome.error = Some(format!("{e}; recovery failed: {re}"));
+                        self.fold_injection_stats();
+                        self.finalize(target)
+                    }
                 }
+            }
+        }
+    }
+
+    /// Arm the campaign's planned recovery-window fault for this
+    /// machine, once, just before the first `recover()` call.
+    fn arm_recovery_fault(&mut self, config: &FleetConfig) {
+        if self.recovery_fault_armed {
+            return;
+        }
+        let machine = self.outcome.machine;
+        if let Some(fault) = config.recovery_faults.iter().find(|f| f.machine == machine) {
+            self.system
+                .as_mut()
+                .expect("recovery fault armed with a live system")
+                .kernel_mut()
+                .machine_mut()
+                .arm_injection(InjectionPlan::fail_nth_smm_write(fault.smm_write_index));
+            self.recovery_fault_armed = true;
+        }
+    }
+
+    /// Revert this machine's applied patch after its wave halted. A
+    /// partial rollback ([`KShotError::RollbackIncomplete`]) is rolled
+    /// forward through the SMRAM journal via `recover()`; only if that
+    /// also fails is the machine reported as `rollback_failed`.
+    fn step_rollback(&mut self, target: &CampaignTarget) -> StepStatus {
+        let system = self.system.as_mut().expect("Rollback follows AwaitVerdict");
+        match system.rollback_last() {
+            Ok(out) => {
+                self.outcome.rolled_back = true;
+                self.outcome.rollback_skipped = out.skipped.len() as u64;
+                kshot_telemetry::counter("fleet.rolled_back", 1);
+                self.finalize(target)
+            }
+            Err(e) => {
+                let mut recovered = false;
+                if matches!(e, KShotError::RollbackIncomplete { .. }) {
+                    if let Ok(Recovery::CompletedRollback { skipped, .. }) = system.recover() {
+                        self.outcome.rolled_back = true;
+                        self.outcome.rollback_skipped = skipped.len() as u64;
+                        kshot_telemetry::counter("fleet.rolled_back", 1);
+                        recovered = true;
+                    }
+                }
+                if !recovered {
+                    kshot_telemetry::counter("fleet.rollback_failed", 1);
+                    self.outcome.rollback_failed = true;
+                    self.outcome.ok = false;
+                    self.outcome.error = Some(format!("rollback: {e}"));
+                }
+                self.finalize(target)
             }
         }
     }
@@ -277,7 +428,20 @@ impl MachineSession {
         self.outcome.sim_clock = system.kernel().machine().now();
         self.outcome.smm_overbudget = system.kernel().machine().smm_overbudget_count();
         self.outcome.max_smm_dwell = system.kernel().machine().max_smm_dwell();
-        self.outcome.state_digest = applied_state_digest(system, target);
+        self.outcome.state_digest = if self.outcome.rolled_back {
+            // A completed rollback restored the kernel text and
+            // deactivated every record, but SMM never rewinds the
+            // `mem_X` placement cursor — the reverted bodies stay
+            // behind as dead bytes no active record points at. The
+            // machine's *applied* state is therefore empty: digest it
+            // with an empty `mem_X` component so a rolled-back machine
+            // compares equal to one that never patched (whose cursor
+            // is still at `x_base`) and to one whose failed apply was
+            // unwound (whose cursor `recover()` reset).
+            state_digest(system, target, false)
+        } else {
+            applied_state_digest(system, target)
+        };
         // Drop the machine now: at pipeline depth k a worker holds k
         // live machines, so releasing each one's memory at completion
         // (not at collection) bounds the high-water mark.
@@ -343,21 +507,92 @@ fn slow_cost_model(base: &CostModel, factor: u32) -> CostModel {
 /// hashed separately, then the concatenation, so the digest is
 /// independent of region adjacency.
 fn applied_state_digest(system: &KShot, target: &CampaignTarget) -> [u8; 32] {
+    state_digest(system, target, true)
+}
+
+/// The digest body shared by the applied and rolled-back cases. With
+/// `include_placed` the `mem_X` component covers the occupied prefix up
+/// to the published placement cursor; without it the component is empty
+/// — used after a completed rollback, where the cursor still points
+/// past the (now dead, deactivated) reverted bodies.
+fn state_digest(system: &KShot, target: &CampaignTarget, include_placed: bool) -> [u8; 32] {
     let phys = system.kernel().machine().phys();
     let text = phys
         .slice(target.layout.kernel_text_base, target.image.text.len())
         .expect("text segment in bounds");
     let reserved = system.reserved();
-    let cursor_bytes = phys
-        .slice(reserved.rw_base + rw_offsets::NEXT_PADDR, 8)
-        .expect("published cursor in bounds");
-    let cursor = u64::from_le_bytes(cursor_bytes.try_into().expect("eight bytes"));
-    let used_x = cursor.saturating_sub(reserved.x_base).min(reserved.x_size);
-    let placed = phys
-        .slice(reserved.x_base, used_x as usize)
-        .expect("occupied mem_X prefix in bounds");
+    let placed: &[u8] = if include_placed {
+        let cursor_bytes = phys
+            .slice(reserved.rw_base + rw_offsets::NEXT_PADDR, 8)
+            .expect("published cursor in bounds");
+        let cursor = u64::from_le_bytes(cursor_bytes.try_into().expect("eight bytes"));
+        let used_x = cursor.saturating_sub(reserved.x_base).min(reserved.x_size);
+        phys.slice(reserved.x_base, used_x as usize)
+            .expect("occupied mem_X prefix in bounds")
+    } else {
+        &[]
+    };
     let mut acc = [0u8; 64];
     acc[..32].copy_from_slice(&sha256(text));
     acc[32..].copy_from_slice(&sha256(placed));
     sha256(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignTarget;
+    use crate::config::PlannedFault;
+    use kshot_cve::find;
+    use kshot_machine::AccessCtx;
+
+    /// Regression for the decode-failure stats leak: an armed plan's
+    /// `smm_writes_seen` must survive the bundle-decode terminal path,
+    /// not vanish with the plan. Decode failures happen before any SMM
+    /// write of the session itself, so this test makes the armed plan
+    /// observe one SMM-context write first (an SMI with one scratch
+    /// write, the idiom `kshot-machine`'s injection tests use), then
+    /// feeds the session undecodable bundle bytes.
+    #[test]
+    fn decode_failure_terminal_path_folds_injection_stats() {
+        let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
+        let (target, _server) = CampaignTarget::benchmark(spec.version);
+        let config = FleetConfig::new(1, 1).with_fault(PlannedFault {
+            machine: 0,
+            smm_write_index: u64::MAX, // armed, never fires
+        });
+        let cache = BundleCache::new();
+        let garbage: &[u8] = b"not a bundle";
+        let mut session = MachineSession::new(0, 0, Recorder::new());
+        let boot = session.step(&target, &cache, garbage, &config);
+        assert_eq!(boot, StepStatus::Ready, "Boot");
+        let install = session.step(&target, &cache, garbage, &config);
+        assert_eq!(install, StepStatus::Ready, "Install, zero RTT");
+        {
+            let m = session
+                .system
+                .as_mut()
+                .expect("installed")
+                .kernel_mut()
+                .machine_mut();
+            m.raise_smi().unwrap();
+            let scratch = m.smram_scratch_base();
+            m.write_bytes(AccessCtx::Smm, scratch, &[0]).unwrap();
+            m.rsm().unwrap();
+        }
+        let done = session.step(&target, &cache, garbage, &config);
+        assert_eq!(done, StepStatus::Done, "decode failure is terminal");
+        let o = &session.outcome;
+        assert!(!o.ok);
+        assert!(
+            o.error.as_deref().unwrap().starts_with("bundle:"),
+            "{:?}",
+            o.error
+        );
+        assert_eq!(o.faults_injected, 0, "the plan never fired");
+        assert!(
+            o.injection_writes_seen >= 1,
+            "armed plan's observed writes must survive the decode-failure path"
+        );
+    }
 }

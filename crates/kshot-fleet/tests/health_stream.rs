@@ -176,6 +176,9 @@ fn exhausted_fault_budget_halts_the_campaign() {
     assert_eq!(snap.window.failure_per_mille, 500);
     assert_eq!(health.report.final_verdict().label(), "halt");
     assert_eq!(health.report.max_failure_per_mille(), 500);
+    // There is no Degraded window in this campaign: a live Halt must
+    // land in `halt_live`, never be collapsed into `degraded_live`.
+    assert!(!health.degraded_live);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

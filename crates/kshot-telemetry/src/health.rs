@@ -262,6 +262,11 @@ pub struct HealthSnapshot {
     pub window_start: u64,
     /// Last machine index in the window (exclusive).
     pub window_end: u64,
+    /// Rollout wave this window belongs to, when the monitor was armed
+    /// with wave boundaries ([`HealthMonitor::with_wave_boundaries`]).
+    /// `None` for plain (non-rollout) campaigns — the JSON shape is
+    /// unchanged for them.
+    pub wave: Option<u64>,
     /// This window's signals.
     pub window: SignalStats,
     /// Running totals over all windows emitted so far (this one
@@ -281,14 +286,19 @@ impl HealthSnapshot {
             }
             reasons.push_str(&crate::record::json_escape(r));
         }
+        let wave = match self.wave {
+            Some(w) => format!("\"wave\":{w},"),
+            None => String::new(),
+        };
         format!(
             concat!(
-                "{{\"type\":\"health\",\"v\":{},\"seq\":{},",
+                "{{\"type\":\"health\",\"v\":{},\"seq\":{},{}",
                 "\"window_start\":{},\"window_end\":{},",
                 "\"window\":{},\"total\":{},\"verdict\":\"{}\",\"reasons\":[{}]}}"
             ),
             crate::SCHEMA_VERSION,
             self.seq,
+            wave,
             self.window_start,
             self.window_end,
             self.window.json(),
@@ -433,6 +443,10 @@ pub struct HealthMonitor {
     policy: HealthPolicy,
     window: u64,
     machines: u64,
+    /// Exclusive machine-index end of each rollout wave, ascending.
+    /// Empty for plain campaigns; when set, every emitted snapshot is
+    /// tagged with the wave its window falls in.
+    wave_ends: Vec<u64>,
     tails: Vec<WorkerTail>,
     /// Completed parcels not yet absorbed into a window, by machine.
     parcels: std::collections::BTreeMap<u64, Agg>,
@@ -460,6 +474,7 @@ impl HealthMonitor {
             policy,
             window: (window.max(1)) as u64,
             machines: machines as u64,
+            wave_ends: Vec::new(),
             tails: shard_paths
                 .into_iter()
                 .map(|path| WorkerTail {
@@ -476,6 +491,35 @@ impl HealthMonitor {
             lines_consumed: 0,
             agg_wall: Duration::ZERO,
         }
+    }
+
+    /// Tag every emitted snapshot with the rollout wave its window
+    /// falls in. `ends` are the exclusive machine-index ends of the
+    /// waves, ascending (wave `k` covers `[ends[k-1], ends[k])`).
+    /// Windows must not straddle wave boundaries — rollout planners
+    /// guarantee this by sizing the monitor window to the canary cohort.
+    pub fn with_wave_boundaries(mut self, ends: Vec<u64>) -> HealthMonitor {
+        self.wave_ends = ends;
+        self
+    }
+
+    /// Re-arm the dwell check mid-flight: windows judged from now on
+    /// compare their dwell p99 against `budget_ns × margin / 1000`.
+    /// This is the verdict→action plumbing behind canary dwell-budget
+    /// auto-calibration — the rollout controller measures the canary
+    /// cohort's own p99 and arms it (with headroom) for the ramp waves.
+    /// Already-emitted snapshots are not re-judged.
+    pub fn arm_dwell_budget(&mut self, budget_ns: u64, margin_per_mille: u64) {
+        self.policy = self
+            .policy
+            .clone()
+            .with_dwell_budget(budget_ns, margin_per_mille);
+    }
+
+    /// The policy windows are currently judged against (reflects any
+    /// mid-flight [`arm_dwell_budget`](Self::arm_dwell_budget)).
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
     }
 
     /// Also stream every emitted snapshot to `path` as JSON lines
@@ -576,10 +620,16 @@ impl HealthMonitor {
             self.total.merge_from(&wagg);
             let window = wagg.stats();
             let verdict = self.policy.evaluate(&window);
+            let wave = self
+                .wave_ends
+                .iter()
+                .position(|&we| start < we)
+                .map(|w| w as u64);
             let snap = HealthSnapshot {
                 seq: self.snapshots.len() as u64,
                 window_start: start,
                 window_end: end,
+                wave,
                 window,
                 total: self.total.stats(),
                 verdict,
@@ -939,6 +989,63 @@ mod tests {
         assert!(table.contains("2..4"), "{table}");
         assert!(table.contains("healthy"), "{table}");
         assert!(table.lines().count() >= 5, "{table}");
+    }
+
+    #[test]
+    fn wave_boundaries_tag_snapshots_and_plain_monitors_stay_untagged() {
+        let dir = scratch("waves");
+        let shard = dir.join("worker-0.jsonl");
+        let mut text = String::new();
+        for m in 0..6 {
+            text.push_str(&machine_parcel(m, true, 0, &[45_000]));
+        }
+        std::fs::write(&shard, text).unwrap();
+        // Waves [0,2) and [2,6); window = 2 (the canary size) so no
+        // window straddles a wave boundary.
+        let mut mon = HealthMonitor::new(HealthPolicy::new(), 2, 6, vec![shard.clone()])
+            .with_wave_boundaries(vec![2, 6]);
+        mon.poll().unwrap();
+        let waves: Vec<Option<u64>> = mon.snapshots().iter().map(|s| s.wave).collect();
+        assert_eq!(waves, vec![Some(0), Some(1), Some(1)]);
+        assert!(mon.snapshots()[0].to_json_line().contains("\"wave\":0,"));
+        // A plain monitor over the same shard emits no wave field at
+        // all — the rollout tag is strictly additive.
+        let mut plain = HealthMonitor::new(HealthPolicy::new(), 2, 6, vec![shard]);
+        plain.poll().unwrap();
+        assert!(plain.snapshots().iter().all(|s| s.wave.is_none()));
+        assert!(!plain.snapshots()[0].to_json_line().contains("\"wave\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arm_dwell_budget_rejudges_only_later_windows() {
+        let dir = scratch("rearm");
+        let shard = dir.join("worker-0.jsonl");
+        // Window 0: dwell 40µs, judged before the budget lands.
+        std::fs::write(
+            &shard,
+            machine_parcel(0, true, 0, &[40_000]) + &machine_parcel(1, true, 0, &[40_000]),
+        )
+        .unwrap();
+        let mut mon = HealthMonitor::new(HealthPolicy::new(), 2, 4, vec![shard.clone()]);
+        mon.poll().unwrap();
+        assert_eq!(mon.snapshots()[0].verdict.label(), "healthy");
+        assert!(mon.policy().dwell_budget_ns.is_none());
+        // Calibrate: budget 10µs × 1000‰ margin — the same 40µs dwell
+        // now degrades the next window.
+        mon.arm_dwell_budget(10_000, 1000);
+        assert_eq!(mon.policy().dwell_budget_ns, Some(10_000));
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        f.write_all(machine_parcel(2, true, 0, &[40_000]).as_bytes())
+            .unwrap();
+        f.write_all(machine_parcel(3, true, 0, &[40_000]).as_bytes())
+            .unwrap();
+        drop(f);
+        mon.poll().unwrap();
+        assert_eq!(mon.snapshots()[0].verdict.label(), "healthy");
+        assert_eq!(mon.snapshots()[1].verdict.label(), "degraded");
+        assert!(mon.snapshots()[1].verdict.reasons()[0].contains("dwell p99"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use health::{
 };
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS_NS};
 pub use phase::{PhaseProfile, PhaseStats, PHASES, PHASE_PREFIX};
-pub use record::{EventRecord, Field, Record, SpanRecord, Value};
+pub use record::{json_escape, EventRecord, Field, Record, SpanRecord, Value};
 pub use recorder::{Recorder, Sink, DEFAULT_CAPACITY};
 pub use shard::{ShardData, ShardError};
 pub use sketch::QuantileSketch;

@@ -20,7 +20,9 @@
 
 use std::time::Duration;
 
-use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig};
+use kshot::fleet::{
+    run_campaign, CampaignTarget, FleetConfig, HealthPolicy, PlannedFault, RolloutPlan,
+};
 use kshot_cve::{find, patch_for};
 
 const MACHINES: usize = 64;
@@ -110,17 +112,76 @@ fn main() {
     );
     assert!(identical, "pipelined run diverged from the sequential run");
 
+    // Staged rollout: the same orchestration under a canary→ramp
+    // admission gate — once healthy (every wave finalizes), once with a
+    // faulted ramp wave whose Halt verdict stops admission and
+    // auto-rolls-back the wave's patched machines.
+    let scratch = std::env::temp_dir().join(format!("kshot-fleet-rollout-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let rollout_config = |dir: &str| {
+        FleetConfig::new(12, 4)
+            .with_seed(0xF1EE7)
+            .with_pipeline_depth(4)
+            .with_stream_dir(scratch.join(dir))
+            .with_health(HealthPolicy::new().with_failure_per_mille(50, 300), 2)
+            .with_rollout(RolloutPlan::canary_machines(2))
+    };
+    let healthy = run_campaign(&target, &bytes, &rollout_config("healthy"));
+    let ramp = healthy.rollout.as_ref().expect("rollout report");
+    println!(
+        "\nrollout healthy:  waves={:?}  ok={}/{}",
+        ramp.waves
+            .iter()
+            .map(|w| w.verdict.as_str())
+            .collect::<Vec<_>>(),
+        healthy.succeeded,
+        healthy.machines,
+    );
+    assert!(ramp.completed(), "healthy rollout must run every wave");
+    assert_eq!(healthy.succeeded, 12);
+    assert!(healthy.all_identical_digests());
+
+    let mut halted_config = rollout_config("halted")
+        .with_fault(PlannedFault {
+            machine: 3,
+            smm_write_index: 2,
+        })
+        .with_fault(PlannedFault {
+            machine: 4,
+            smm_write_index: 2,
+        });
+    halted_config.max_attempts = 1;
+    let halted = run_campaign(&target, &bytes, &halted_config);
+    let stop = halted.rollout.as_ref().expect("rollout report");
+    println!(
+        "rollout halted:   waves={:?}  halt_wave={:?}  rolled_back={}  not_admitted={}",
+        stop.waves
+            .iter()
+            .map(|w| w.verdict.as_str())
+            .collect::<Vec<_>>(),
+        stop.halt_wave,
+        stop.rolled_back,
+        stop.not_admitted,
+    );
+    assert_eq!(stop.halt_wave, Some(1), "faulted ramp wave must halt");
+    assert_eq!(stop.rolled_back, 2, "the wave's patched machines revert");
+    assert_eq!(stop.not_admitted, 6, "the final wave never starts");
+    let _ = std::fs::remove_dir_all(&scratch);
+
     let json = format!(
         "{{\"bench\":\"fleet_campaign\",\"cve\":\"{}\",\"machines\":{MACHINES},\
          \"link_rtt_ms\":{},\"speedup_wall_8v1\":{speedup:.3},\
          \"speedup_wall_pipelined_v_serial\":{pipeline_speedup:.3},\
          \"identical_digests\":{identical},\
-         \"serial\":{},\"parallel\":{},\"pipelined\":{}}}\n",
+         \"serial\":{},\"parallel\":{},\"pipelined\":{},\
+         \"rollout_healthy\":{},\"rollout_halted\":{}}}\n",
         spec.id,
         LINK_RTT.as_millis(),
         serial.to_json(),
         parallel.to_json(),
         pipelined.to_json(),
+        healthy.to_json(),
+        halted.to_json(),
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
     std::fs::write(&out, json).expect("write benchmark artefact");
