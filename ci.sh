@@ -66,6 +66,18 @@ cargo test -q -p kshot --test rollout
 cargo test -q -p kshot-fleet decode_failure_terminal_path_folds_injection_stats
 cargo test -q -p kshot-fleet failed_recovery_is_terminal_and_counted
 
+# Batched-SMI gates: the per-CVE journal-segmentation fault sweep
+# (fail-write and power-loss at every SMM write index of a 3-CVE batch;
+# recovery preserves exactly the committed CVE prefix and the machine
+# matches a prefix-patched reference byte-for-byte), and the fleet
+# catalogue tests (batched == sequential digests, decode-once cache
+# accounting, faulted-batch resume).
+echo "== batched-SMI fault sweep + fleet catalogue =="
+cargo test -q -p kshot --test fault_sweep batched
+cargo test -q -p kshot-fleet catalogue_campaign_batched_matches_sequential
+cargo test -q -p kshot-fleet batched_catalogue_decodes_once_per_blob
+cargo test -q -p kshot-fleet faulted_batched_machine_retries_and_matches
+
 echo "== fleet campaign smoke (incl. pipelined + rollout gates) =="
 rm -f BENCH_fleet.json
 cargo run --release --example fleet_campaign
@@ -80,6 +92,11 @@ grep -q '"halt_wave":null' BENCH_fleet.json
 grep -q '"halt_verdict":"halt"' BENCH_fleet.json
 grep -q '"rolled_back":2' BENCH_fleet.json
 grep -q '"not_admitted":6' BENCH_fleet.json
+# The batched-SMI crossover stage ran: one merged SMI beat k sequential
+# deliveries at k=4, and one rollback_last popped exactly the last CVE.
+grep -q '"batched":{' BENCH_fleet.json
+grep -q '"batched_beats_sequential":true' BENCH_fleet.json
+grep -q '"rollback_pops_last_cve":true' BENCH_fleet.json
 
 # Streaming observability gate: the example streams a 32-machine
 # campaign to per-worker JSON-lines shards, tails them *live* with a

@@ -17,7 +17,7 @@ use crate::introspect::{self, ActiveSite, DosProbe, Violation};
 use crate::package::VerificationAlgorithm;
 use crate::reserved::ReservedLayout;
 use crate::sgx_prep::{Helper, SgxError};
-use crate::smm::{DhGroup, Recovery, RollbackOutcome, SmmError, SmmHandler};
+use crate::smm::{DhGroup, Recovery, RollbackOutcome, SegmentOutcome, SmmError, SmmHandler};
 
 pub use crate::sgx_prep::SgxTimings;
 pub use crate::smm::SmmTimings;
@@ -44,6 +44,11 @@ pub struct PatchReport {
     pub patched_functions: Vec<String>,
     /// Patch type flags (t1, t2, t3).
     pub types: (bool, bool, bool),
+    /// Per-CVE sub-reports: one entry per journal segment (trampolines,
+    /// global writes, undo slots). A single-CVE patch carries exactly
+    /// one segment with its own id; a batch carries one per CVE, in
+    /// application order.
+    pub segments: Vec<SegmentOutcome>,
 }
 
 impl PatchReport {
@@ -72,11 +77,23 @@ pub enum KShotError {
         /// The busy target function.
         function: String,
     },
-    /// Batch mode: two patches in the batch modify the same function.
+    /// Batch mode: two patches in the batch modify the same function
+    /// (patched entry or added function).
     BatchOverlap {
         /// The doubly-patched function.
         function: String,
     },
+    /// Batch mode: two patches in the batch write overlapping global
+    /// data ranges — the merge would silently corrupt whichever lands
+    /// first.
+    BatchGlobalOverlap {
+        /// Symbol name of the second (overlapping) write.
+        name: String,
+        /// Its address.
+        addr: u64,
+    },
+    /// Batch mode: an empty patch set.
+    EmptyBatch,
     /// A rollback stopped partway. `restored` lists the sites already
     /// reverted (their records are deactivated); the remainder is rolled
     /// forward by [`KShot::recover`] on the next SMI.
@@ -102,6 +119,13 @@ impl fmt::Display for KShotError {
             KShotError::BatchOverlap { function } => {
                 write!(f, "batch patches `{function}` twice; split the batch")
             }
+            KShotError::BatchGlobalOverlap { name, addr } => {
+                write!(
+                    f,
+                    "batch writes global `{name}` at {addr:#x} twice; split the batch"
+                )
+            }
+            KShotError::EmptyBatch => write!(f, "empty patch batch"),
             KShotError::RollbackIncomplete { error, restored } => {
                 write!(
                     f,
@@ -364,6 +388,7 @@ impl KShot {
             global_writes: outcome.global_writes,
             patched_functions,
             types,
+            segments: outcome.segments,
         };
         self.history.push(report.clone());
         Ok(report)
@@ -376,41 +401,99 @@ impl KShot {
     /// fixed pause costs (switching + key generation, ≈40 µs) are paid
     /// once for the whole set — the natural "patch Tuesday" deployment.
     ///
+    /// Bundles are built through the server's decode-once memo
+    /// ([`PatchServer::build_patch_cached`]), so a fleet of machines
+    /// batching the same catalogue compiles each patch exactly once.
+    ///
     /// # Errors
     ///
-    /// [`KShotError::BatchOverlap`] when two patches touch the same
-    /// function (their target pre-hashes cannot both hold); any
-    /// [`KShot::live_patch`] error otherwise. Note that rollback treats
-    /// the batch as a single unit.
+    /// As [`KShot::live_patch_batch_bundles`], plus server build
+    /// failures.
     pub fn live_patch_batch(
         &mut self,
         server: &PatchServer,
         patches: &[SourcePatch],
     ) -> Result<PatchReport, KShotError> {
         let info = self.kernel.info();
+        let mut bundles = Vec::with_capacity(patches.len());
+        for patch in patches {
+            bundles.push((*server.build_patch_cached(&info, patch)?).clone());
+        }
+        self.live_patch_batch_bundles(bundles)
+    }
+
+    /// Merge pre-built bundles into one batched bundle and apply it in
+    /// a single SMI. The merged bundle carries a per-CVE segment table,
+    /// so the SMM handler journals each CVE as its own
+    /// crash-consistency unit: [`KShot::rollback_last`] pops one CVE,
+    /// [`KShot::recover`] after a mid-batch fault preserves completed
+    /// CVEs and unwinds only the interrupted one, and the returned
+    /// [`PatchReport::segments`] itemizes each CVE's contribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`KShotError::EmptyBatch`] for an empty set.
+    /// * [`KShotError::BatchOverlap`] when two patches touch the same
+    ///   function — patched entry *or* added function (their target
+    ///   pre-hashes / placements cannot both hold).
+    /// * [`KShotError::BatchGlobalOverlap`] when two patches write
+    ///   overlapping global data ranges.
+    /// * Any [`KShot::live_patch`] error otherwise.
+    pub fn live_patch_batch_bundles(
+        &mut self,
+        bundles: Vec<PatchBundle>,
+    ) -> Result<PatchReport, KShotError> {
+        if bundles.is_empty() {
+            return Err(KShotError::EmptyBatch);
+        }
+        let info = self.kernel.info();
         let mut merged = PatchBundle {
             id: String::from("BATCH"),
             kernel_version: info.version.clone(),
             ..Default::default()
         };
-        let mut seen_targets = std::collections::BTreeSet::new();
+        let mut seen_functions = std::collections::BTreeSet::new();
+        let mut global_ranges: Vec<(u64, u64)> = Vec::new();
         let mut ids = Vec::new();
-        for patch in patches {
-            let build = server.build_patch(&info, patch)?;
-            for e in &build.bundle.entries {
-                if !seen_targets.insert(e.name.clone()) {
+        for bundle in bundles {
+            // Two patches redirecting (or defining) the same function
+            // cannot both hold; catch entries AND new functions.
+            for e in bundle.entries.iter().chain(&bundle.new_functions) {
+                if !seen_functions.insert(e.name.clone()) {
                     return Err(KShotError::BatchOverlap {
                         function: e.name.clone(),
                     });
                 }
             }
-            ids.push(build.bundle.id.clone());
-            merged.entries.extend(build.bundle.entries);
-            merged.new_functions.extend(build.bundle.new_functions);
-            merged.global_ops.extend(build.bundle.global_ops);
-            merged.types.t1 |= build.bundle.types.t1;
-            merged.types.t2 |= build.bundle.types.t2;
-            merged.types.t3 |= build.bundle.types.t3;
+            for g in &bundle.global_ops {
+                let name = match g {
+                    kshot_patchserver::bundle::GlobalOp::SetBytes { name, .. }
+                    | kshot_patchserver::bundle::GlobalOp::InitBytes { name, .. } => name.clone(),
+                };
+                let (lo, hi) = (g.addr(), g.addr() + g.bytes().len() as u64);
+                if global_ranges.iter().any(|(a, b)| lo < *b && *a < hi) {
+                    return Err(KShotError::BatchGlobalOverlap {
+                        name,
+                        addr: g.addr(),
+                    });
+                }
+                global_ranges.push((lo, hi));
+            }
+            ids.push(bundle.id.clone());
+            merged
+                .segments
+                .push(kshot_patchserver::bundle::BundleSegment {
+                    id: bundle.id.clone(),
+                    entries: bundle.entries.len() as u32,
+                    new_functions: bundle.new_functions.len() as u32,
+                    global_ops: bundle.global_ops.len() as u32,
+                });
+            merged.entries.extend(bundle.entries);
+            merged.new_functions.extend(bundle.new_functions);
+            merged.global_ops.extend(bundle.global_ops);
+            merged.types.t1 |= bundle.types.t1;
+            merged.types.t2 |= bundle.types.t2;
+            merged.types.t3 |= bundle.types.t3;
         }
         merged.id = format!("BATCH({})", ids.join("+"));
         self.live_patch_bundle(merged)
@@ -488,6 +571,11 @@ impl KShot {
     /// Roll back the most recent patch (paper §V-C "Patch
     /// Rollback/Update"): restores the original entry bytes of every
     /// function the last package trampolined.
+    ///
+    /// Batched applies journal per CVE, so after
+    /// [`KShot::live_patch_batch`] this pops exactly the **last CVE**
+    /// of the batch (call repeatedly to unwind the whole batch),
+    /// not the batch as a single unit.
     ///
     /// # Contract
     ///

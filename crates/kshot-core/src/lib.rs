@@ -50,4 +50,4 @@ pub use introspect::ActiveSite;
 pub use kshot::{KShot, KShotError, PatchReport, SgxTimings, SmmTimings};
 pub use package::{PatchPackage, VerificationAlgorithm};
 pub use reserved::ReservedLayout;
-pub use smm::{JournalState, Recovery, RollbackFailure, RollbackOutcome};
+pub use smm::{JournalState, Recovery, RollbackFailure, RollbackOutcome, SegmentOutcome};

@@ -107,6 +107,21 @@ impl PackageRecord {
     }
 }
 
+/// One per-CVE segment of a (possibly batched) package: the patch id
+/// and the index of its first record. Segments partition `records` in
+/// order; segment `i` covers `first_record..next.first_record` (the
+/// last runs to the end). The SMM handler journals each segment as its
+/// own crash-consistency unit, so recovery after a mid-batch fault
+/// preserves completed segments and unwinds only the interrupted one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageSegment {
+    /// Patch identifier of this segment (the real CVE id, not the
+    /// merged `BATCH(...)` envelope id).
+    pub id: String,
+    /// Index into `records` of this segment's first record.
+    pub first_record: u32,
+}
+
 /// A complete package: records plus the verification algorithm tag.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PatchPackage {
@@ -116,12 +131,30 @@ pub struct PatchPackage {
     pub algorithm: VerificationAlgorithm,
     /// Records in application order.
     pub records: Vec<PackageRecord>,
+    /// Per-CVE segment table for batched packages. Empty means the
+    /// package is one implicit segment carrying `id` — the single-patch
+    /// wire shape every pre-batching package has.
+    pub segments: Vec<PackageSegment>,
 }
 
 impl PatchPackage {
     /// Total payload bytes (the "patch size" of Tables II/III).
     pub fn payload_size(&self) -> usize {
         self.records.iter().map(|r| r.payload.len()).sum()
+    }
+
+    /// The effective segment table: the explicit one for batched
+    /// packages, or one implicit segment covering every record for the
+    /// classic single-patch shape.
+    pub fn segment_table(&self) -> Vec<PackageSegment> {
+        if self.segments.is_empty() {
+            vec![PackageSegment {
+                id: self.id.clone(),
+                first_record: 0,
+            }]
+        } else {
+            self.segments.clone()
+        }
     }
 
     /// Total on-wire size.
@@ -169,6 +202,12 @@ impl PatchPackage {
             w.put_raw(&r.payload_hash);
             w.put_raw(&r.expected_pre_hash);
             w.put_raw(&r.payload);
+        }
+        // Segment table (count 0 for the implicit single-segment shape).
+        w.put_u32(self.segments.len() as u32);
+        for s in &self.segments {
+            w.put_str(&s.id);
+            w.put_u32(s.first_record);
         }
         w.into_bytes()
     }
@@ -220,11 +259,20 @@ impl PatchPackage {
                 payload,
             });
         }
+        // Minimum segment footprint: id prefix + first_record.
+        let n = r.get_count("segment count", 4 + 4)?;
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.get_str("segment id")?;
+            let first_record = r.get_u32("segment first record")?;
+            segments.push(PackageSegment { id, first_record });
+        }
         r.finish()?;
         Ok(Self {
             id,
             algorithm,
             records,
+            segments,
         })
     }
 }
@@ -258,6 +306,7 @@ mod tests {
                 record(1, PackageOp::GlobalWrite, vec![9; 16]),
                 record(2, PackageOp::PlaceOnly, vec![0xC3]),
             ],
+            segments: vec![],
         }
     }
 
@@ -278,10 +327,39 @@ mod tests {
         let p = package();
         assert_eq!(p.payload_size(), 4 + 16 + 1);
         // wire = id-prefix + id + alg + count + 3*(42+32+32) + payloads
+        //        + segment count
         assert_eq!(
             p.wire_size(),
-            4 + 13 + 1 + 4 + 3 * (42 + 32 + 32) + p.payload_size()
+            4 + 13 + 1 + 4 + 3 * (42 + 32 + 32) + p.payload_size() + 4
         );
+    }
+
+    #[test]
+    fn segmented_package_roundtrips() {
+        let mut p = package();
+        p.id = "BATCH(CVE-A+CVE-B)".into();
+        p.segments = vec![
+            PackageSegment {
+                id: "CVE-A".into(),
+                first_record: 0,
+            },
+            PackageSegment {
+                id: "CVE-B".into(),
+                first_record: 2,
+            },
+        ];
+        let back = PatchPackage::decode(&p.encode()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.segment_table(), p.segments);
+    }
+
+    #[test]
+    fn implicit_segment_table_covers_the_whole_package() {
+        let p = package();
+        let tab = p.segment_table();
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab[0].id, p.id);
+        assert_eq!(tab[0].first_record, 0);
     }
 
     #[test]

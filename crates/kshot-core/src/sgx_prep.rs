@@ -352,17 +352,37 @@ thread_local! {
 
 /// Pure packaging logic: assign placements, resolve relocations, build
 /// the Fig. 3 records. Runs inside the enclave.
+///
+/// A merged (batched) bundle is packaged segment by segment — each
+/// segment's entries, new functions, then global ops, sharing one
+/// `mem_X` cursor — so a batched package places the same bodies at the
+/// same addresses, in the same order, as k sequential single-CVE
+/// builds would. Relocation scope is per segment: a segment's relocs
+/// may only reference its own new functions.
 fn build_package(
     bundle: &PatchBundle,
     algorithm: VerificationAlgorithm,
     mut next_paddr: u64,
     x_end: u64,
 ) -> Result<(PatchPackage, usize), SgxError> {
-    // Assign placements: patched entries first, then new functions,
-    // 16-byte aligned, in bundle order (p_i.paddr = p_{i-1}.paddr +
-    // p_{i-1}.size, paper §V-C).
-    let mut placements = std::collections::BTreeMap::new();
-    let mut assign = |name: &str, size: usize, cursor: &mut u64| -> Result<u64, SgxError> {
+    use kshot_patchserver::bundle::PatchEntry;
+
+    struct SegSlice<'a> {
+        id: &'a str,
+        entries: &'a [PatchEntry],
+        new_functions: &'a [PatchEntry],
+        global_ops: &'a [GlobalOp],
+    }
+
+    // Assign a placement: 16-byte aligned, in order (p_i.paddr =
+    // p_{i-1}.paddr + p_{i-1}.size, paper §V-C).
+    fn assign(
+        placements: &mut std::collections::BTreeMap<String, u64>,
+        name: &str,
+        size: usize,
+        cursor: &mut u64,
+        x_end: u64,
+    ) -> Result<u64, SgxError> {
         let aligned = (*cursor + 15) & !15;
         let end = aligned + size as u64;
         if end > x_end {
@@ -374,78 +394,145 @@ fn build_package(
         *cursor = end;
         placements.insert(name.to_string(), aligned);
         Ok(aligned)
-    };
-    let mut placed = Vec::new();
-    for e in bundle.entries.iter().chain(&bundle.new_functions) {
-        let paddr = assign(&e.name, e.body.len(), &mut next_paddr)?;
-        placed.push((e, paddr));
     }
-    // Resolve relocations and build records.
+
+    let mut seg_slices = Vec::new();
+    if bundle.segments.is_empty() {
+        seg_slices.push(SegSlice {
+            id: &bundle.id,
+            entries: &bundle.entries,
+            new_functions: &bundle.new_functions,
+            global_ops: &bundle.global_ops,
+        });
+    } else {
+        let (mut eo, mut no, mut go) = (0usize, 0usize, 0usize);
+        for s in &bundle.segments {
+            let e1 = eo + s.entries as usize;
+            let n1 = no + s.new_functions as usize;
+            let g1 = go + s.global_ops as usize;
+            if e1 > bundle.entries.len()
+                || n1 > bundle.new_functions.len()
+                || g1 > bundle.global_ops.len()
+            {
+                return Err(SgxError::Wire(WireError::Truncated {
+                    what: "bundle segment table",
+                }));
+            }
+            seg_slices.push(SegSlice {
+                id: &s.id,
+                entries: &bundle.entries[eo..e1],
+                new_functions: &bundle.new_functions[no..n1],
+                global_ops: &bundle.global_ops[go..g1],
+            });
+            (eo, no, go) = (e1, n1, g1);
+        }
+        // The table must cover every record — silently dropping a
+        // bundle tail would be a corrupt merge.
+        if eo != bundle.entries.len()
+            || no != bundle.new_functions.len()
+            || go != bundle.global_ops.len()
+        {
+            return Err(SgxError::Wire(WireError::Truncated {
+                what: "bundle segment table",
+            }));
+        }
+    }
+
     let mut records = Vec::new();
     let mut payload_size = 0usize;
-    let n_entries = bundle.entries.len();
-    for (i, (e, paddr)) in placed.iter().enumerate() {
-        let mut body = e.body.clone();
-        for r in &e.relocs {
-            let target = match &r.target {
-                RelocTarget::Absolute(a) => *a,
-                RelocTarget::NewFunction(n) => *placements
-                    .get(n)
-                    .ok_or_else(|| SgxError::DanglingReloc(n.clone()))?,
-            };
-            let at = *paddr + r.offset as u64;
-            let rel = kshot_isa::rel32_for(at, target)
-                .map_err(|_| SgxError::DanglingReloc(e.name.clone()))?;
-            let o = r.offset as usize;
-            body[o + 1..o + 5].copy_from_slice(&rel.to_le_bytes());
+    let mut segments = Vec::new();
+    for seg in &seg_slices {
+        segments.push(crate::package::PackageSegment {
+            id: seg.id.to_string(),
+            first_record: records.len() as u32,
+        });
+        let mut placements = std::collections::BTreeMap::new();
+        let mut placed = Vec::new();
+        for e in seg.entries.iter().chain(seg.new_functions) {
+            let paddr = assign(
+                &mut placements,
+                &e.name,
+                e.body.len(),
+                &mut next_paddr,
+                x_end,
+            )?;
+            placed.push((e, paddr));
         }
-        payload_size += body.len();
-        let is_new = i >= n_entries;
-        let ftrace_skip = if e.ftrace_offset.is_some() {
-            kshot_isa::JMP_LEN as u8
-        } else {
-            0
-        };
-        records.push(PackageRecord {
-            sequence: records.len() as u32,
-            op: if is_new {
-                PackageOp::PlaceOnly
+        // Resolve relocations and build records.
+        let n_entries = seg.entries.len();
+        for (i, (e, paddr)) in placed.iter().enumerate() {
+            let mut body = e.body.clone();
+            for r in &e.relocs {
+                let target = match &r.target {
+                    RelocTarget::Absolute(a) => *a,
+                    RelocTarget::NewFunction(n) => *placements
+                        .get(n)
+                        .ok_or_else(|| SgxError::DanglingReloc(n.clone()))?,
+                };
+                let at = *paddr + r.offset as u64;
+                let rel = kshot_isa::rel32_for(at, target)
+                    .map_err(|_| SgxError::DanglingReloc(e.name.clone()))?;
+                let o = r.offset as usize;
+                body[o + 1..o + 5].copy_from_slice(&rel.to_le_bytes());
+            }
+            payload_size += body.len();
+            let is_new = i >= n_entries;
+            let ftrace_skip = if e.ftrace_offset.is_some() {
+                kshot_isa::JMP_LEN as u8
             } else {
-                PackageOp::Patch
-            },
-            ptype: 1,
-            taddr: e.taddr,
-            paddr: *paddr,
-            ftrace_skip,
-            payload_hash: algorithm.digest(&body),
-            expected_pre_hash: e.expected_pre_hash,
-            tsize: e.tsize as u32,
-            payload: body,
-        });
+                0
+            };
+            records.push(PackageRecord {
+                sequence: records.len() as u32,
+                op: if is_new {
+                    PackageOp::PlaceOnly
+                } else {
+                    PackageOp::Patch
+                },
+                ptype: 1,
+                taddr: e.taddr,
+                paddr: *paddr,
+                ftrace_skip,
+                payload_hash: algorithm.digest(&body),
+                expected_pre_hash: e.expected_pre_hash,
+                tsize: e.tsize as u32,
+                payload: body,
+            });
+        }
+        for g in seg.global_ops {
+            let bytes = match g {
+                GlobalOp::SetBytes { bytes, .. } | GlobalOp::InitBytes { bytes, .. } => {
+                    bytes.clone()
+                }
+            };
+            payload_size += bytes.len();
+            records.push(PackageRecord {
+                sequence: records.len() as u32,
+                op: PackageOp::GlobalWrite,
+                ptype: 3,
+                taddr: g.addr(),
+                paddr: 0,
+                ftrace_skip: 0,
+                payload_hash: algorithm.digest(&bytes),
+                expected_pre_hash: [0; 32],
+                tsize: 0,
+                payload: bytes,
+            });
+        }
     }
-    for g in &bundle.global_ops {
-        let bytes = match g {
-            GlobalOp::SetBytes { bytes, .. } | GlobalOp::InitBytes { bytes, .. } => bytes.clone(),
-        };
-        payload_size += bytes.len();
-        records.push(PackageRecord {
-            sequence: records.len() as u32,
-            op: PackageOp::GlobalWrite,
-            ptype: 3,
-            taddr: g.addr(),
-            paddr: 0,
-            ftrace_skip: 0,
-            payload_hash: algorithm.digest(&bytes),
-            expected_pre_hash: [0; 32],
-            tsize: 0,
-            payload: bytes,
-        });
-    }
+    // Only merged bundles carry an explicit table; single-CVE packages
+    // keep the classic wire shape (one implicit segment).
+    let segments = if bundle.segments.is_empty() {
+        Vec::new()
+    } else {
+        segments
+    };
     Ok((
         PatchPackage {
             id: bundle.id.clone(),
             algorithm,
             records,
+            segments,
         },
         payload_size,
     ))
@@ -562,6 +649,84 @@ mod tests {
                 0x300_0000
             ),
             Err(SgxError::DanglingReloc(_))
+        ));
+    }
+
+    #[test]
+    fn segmented_bundle_packages_per_segment() {
+        use kshot_patchserver::bundle::BundleSegment;
+        // Two segments: A = {entry a, one global}, B = {entry b}. The
+        // record order must interleave per segment (a, g, b) and the
+        // package segment table must mark each segment's first record.
+        let bundle = PatchBundle {
+            id: "BATCH(A+B)".into(),
+            kernel_version: "kv".into(),
+            entries: vec![entry("a", 30, 0x10_0000), entry("b", 50, 0x10_0100)],
+            global_ops: vec![GlobalOp::SetBytes {
+                name: "g".into(),
+                addr: 0x90_0008,
+                bytes: vec![1, 2],
+            }],
+            segments: vec![
+                BundleSegment {
+                    id: "A".into(),
+                    entries: 1,
+                    new_functions: 0,
+                    global_ops: 1,
+                },
+                BundleSegment {
+                    id: "B".into(),
+                    entries: 1,
+                    new_functions: 0,
+                    global_ops: 0,
+                },
+            ],
+            ..Default::default()
+        };
+        let (pkg, _) = build_package(
+            &bundle,
+            VerificationAlgorithm::Sha256,
+            0x200_0000,
+            0x300_0000,
+        )
+        .unwrap();
+        assert_eq!(pkg.records.len(), 3);
+        assert_eq!(pkg.records[0].op, PackageOp::Patch);
+        assert_eq!(pkg.records[1].op, PackageOp::GlobalWrite);
+        assert_eq!(pkg.records[2].op, PackageOp::Patch);
+        // Placements share one cursor across segments: a at the base,
+        // b after a's 30 bytes aligned to 32.
+        assert_eq!(pkg.records[0].paddr, 0x200_0000);
+        assert_eq!(pkg.records[2].paddr, 0x200_0020);
+        let tab = pkg.segment_table();
+        assert_eq!(tab.len(), 2);
+        assert_eq!((tab[0].id.as_str(), tab[0].first_record), ("A", 0));
+        assert_eq!((tab[1].id.as_str(), tab[1].first_record), ("B", 2));
+    }
+
+    #[test]
+    fn segment_table_must_cover_the_whole_bundle() {
+        use kshot_patchserver::bundle::BundleSegment;
+        let bundle = PatchBundle {
+            id: "BATCH(A)".into(),
+            kernel_version: "kv".into(),
+            entries: vec![entry("a", 30, 0x10_0000), entry("b", 50, 0x10_0100)],
+            segments: vec![BundleSegment {
+                id: "A".into(),
+                entries: 1,
+                new_functions: 0,
+                global_ops: 0,
+            }],
+            ..Default::default()
+        };
+        assert!(matches!(
+            build_package(
+                &bundle,
+                VerificationAlgorithm::Sha256,
+                0x200_0000,
+                0x300_0000
+            ),
+            Err(SgxError::Wire(WireError::Truncated { .. }))
         ));
     }
 

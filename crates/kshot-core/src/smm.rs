@@ -77,6 +77,21 @@ impl SmmTimings {
     }
 }
 
+/// Per-CVE sub-report of one (possibly batched) SMM apply: what each
+/// journal segment installed and how many undo slots it consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentOutcome {
+    /// The segment's own patch id (the real CVE, not the `BATCH(...)`
+    /// envelope).
+    pub id: String,
+    /// Trampolines this segment installed.
+    pub trampolines: usize,
+    /// Global data writes this segment performed.
+    pub global_writes: usize,
+    /// Undo-journal slots this segment consumed.
+    pub journal_slots: u64,
+}
+
 /// Result of applying one package in SMM.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SmmPatchOutcome {
@@ -88,6 +103,10 @@ pub struct SmmPatchOutcome {
     pub trampolines: usize,
     /// Number of global writes performed.
     pub global_writes: usize,
+    /// Per-CVE segment sub-reports, in application order. A single
+    /// (non-batched) package yields exactly one segment carrying its
+    /// own id.
+    pub segments: Vec<SegmentOutcome>,
 }
 
 /// SMM handler failures. Any `Err` leaves the target kernel unpatched
@@ -147,6 +166,24 @@ pub enum SmmError {
     /// journal entry is still pending; run [`SmmHandler::recover`]
     /// before any new operation.
     RecoveryPending,
+    /// A journal undo slot carries an implausible length (zero or larger
+    /// than [`JENTRY_ORIG`]). The journal region is SMM-only, so this
+    /// means SMRAM corruption — recovery must fail loudly rather than
+    /// silently restore a clamped prefix of the original bytes.
+    JournalCorrupt {
+        /// Journal slot index carrying the bad length.
+        slot: u64,
+        /// The implausible length as read.
+        len: u32,
+    },
+    /// The package's segment table is malformed (out-of-order or
+    /// out-of-range record indices, or more segments than the SMRAM
+    /// segment table holds). Rejected during verification, before any
+    /// kernel write.
+    BadSegmentTable {
+        /// Index of the offending segment.
+        segment: u32,
+    },
 }
 
 impl fmt::Display for SmmError {
@@ -184,6 +221,15 @@ impl fmt::Display for SmmError {
                     f,
                     "interrupted operation pending in SMRAM journal; recover first"
                 )
+            }
+            SmmError::JournalCorrupt { slot, len } => {
+                write!(
+                    f,
+                    "SMRAM journal corrupt: slot {slot} carries implausible length {len}"
+                )
+            }
+            SmmError::BadSegmentTable { segment } => {
+                write!(f, "package segment table malformed at segment {segment}")
             }
         }
     }
@@ -240,6 +286,10 @@ const JOFF_ENTRY_COUNT: u64 = OFF_JOURNAL + 8;
 const JOFF_INIT_RECORDS: u64 = OFF_JOURNAL + 16;
 const JOFF_INIT_PADDR: u64 = OFF_JOURNAL + 24;
 const JOFF_ID: u64 = OFF_JOURNAL + 32;
+/// Segments the open apply window has *started* (marker written).
+const JOFF_SEG_COUNT: u64 = OFF_JOURNAL + 88;
+/// Segments whose protected writes have all landed (committed prefix).
+const JOFF_SEG_COMMITTED: u64 = OFF_JOURNAL + 96;
 const JOFF_ENTRIES: u64 = OFF_JOURNAL + 0x80;
 /// Fixed size of one undo-journal entry.
 const JENTRY_LEN: u64 = 80;
@@ -247,6 +297,66 @@ const JENTRY_LEN: u64 = 80;
 pub(crate) const JENTRY_ORIG: usize = 64;
 /// Undo entries the journal region holds.
 pub(crate) const JENTRY_CAP: u64 = 256;
+
+// ---- SMRAM segment table --------------------------------------------------
+//
+// A batched package journals each CVE as its own *segment*: before any
+// of segment i's journal entries or kernel writes, a marker is written
+// at slot i of the segment table (where the segment starts — first
+// journal entry index, record count, mem_X cursor — plus the real CVE
+// id) and SEG_COUNT acknowledges it; after the segment's last protected
+// write lands, SEG_COMMITTED advances. At every interruption point the
+// committed prefix of segments is therefore fully applied and at most
+// one segment (the SEG_COUNT'th) is torn — recovery replays only the
+// journal suffix from that segment's marker and snaps the record count
+// and cursor back to the marker's values, preserving every completed
+// CVE. Sits above the journal entries (which end at 0x16080) in the
+// same SMM-only scratch area.
+
+const OFF_SEGTAB: u64 = 0x16100;
+/// Fixed size of one segment marker:
+/// first_entry u64 | init_records u64 | init_paddr u64 | id len u8 +
+/// up to 55 bytes.
+const SEG_LEN: u64 = 80;
+/// Segments one batched apply may carry.
+pub(crate) const SEG_CAP: u64 = 64;
+
+/// One segment marker, SMRAM-serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SegMarker {
+    /// Journal entry count when the segment opened.
+    first_entry: u64,
+    /// Record count when the segment opened.
+    init_records: u64,
+    /// `mem_X` cursor when the segment opened.
+    init_paddr: u64,
+    /// The segment's own patch id (truncated to 55 bytes).
+    id: String,
+}
+
+impl SegMarker {
+    fn encode(&self) -> [u8; SEG_LEN as usize] {
+        let mut b = [0u8; SEG_LEN as usize];
+        b[0..8].copy_from_slice(&self.first_entry.to_le_bytes());
+        b[8..16].copy_from_slice(&self.init_records.to_le_bytes());
+        b[16..24].copy_from_slice(&self.init_paddr.to_le_bytes());
+        let id = self.id.as_bytes();
+        let n = id.len().min(55);
+        b[24] = n as u8;
+        b[25..25 + n].copy_from_slice(&id[..n]);
+        b
+    }
+
+    fn decode(b: &[u8]) -> SegMarker {
+        let n = (b[24] as usize).min(55);
+        SegMarker {
+            first_entry: u64::from_le_bytes(b[0..8].try_into().expect("8")),
+            init_records: u64::from_le_bytes(b[8..16].try_into().expect("8")),
+            init_paddr: u64::from_le_bytes(b[16..24].try_into().expect("8")),
+            id: String::from_utf8_lossy(&b[25..25 + n]).into_owned(),
+        }
+    }
+}
 
 /// Journal state tags (`STATE` field values).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,10 +382,17 @@ pub enum Recovery {
     /// byte range was restored and the record table / `mem_X` cursor
     /// reset, so the kernel is byte-identical to its pre-patch state.
     UnwoundApply {
-        /// Package id of the unwound patch.
+        /// Package id of the unwound patch. For an interrupted *batched*
+        /// apply this is the interrupted segment's own CVE id, not the
+        /// `BATCH(...)` envelope.
         id: String,
         /// Undo entries replayed (in reverse).
         writes_undone: usize,
+        /// Completed per-CVE segments the unwind preserved: only the
+        /// journal suffix belonging to the interrupted segment was
+        /// replayed; the first `segments_preserved` segments remain
+        /// fully applied. Zero for non-batched applies.
+        segments_preserved: usize,
     },
     /// An interrupted rollback was rolled forward to completion: every
     /// still-active record of the journaled package id was restored and
@@ -474,6 +591,8 @@ impl SmmHandler {
         h.set_record_count(machine, 0)?;
         h.write_u64(machine, JOFF_STATE, JSTATE_IDLE)?;
         h.write_u64(machine, JOFF_ENTRY_COUNT, 0)?;
+        h.write_u64(machine, JOFF_SEG_COUNT, 0)?;
+        h.write_u64(machine, JOFF_SEG_COMMITTED, 0)?;
         h.publish_public(machine, reserved)?;
         h.publish_cursor(machine, reserved)?;
         Ok(h)
@@ -621,6 +740,10 @@ impl SmmHandler {
         idbuf[0] = n as u8;
         idbuf[1..1 + n].copy_from_slice(&id_bytes[..n]);
         machine.write_bytes(AccessCtx::Smm, self.scratch + JOFF_ID, &idbuf)?;
+        // Segment fields start zeroed (non-segmented until the first
+        // marker lands) — before STATE, like every other header field.
+        self.write_u64(machine, JOFF_SEG_COUNT, 0)?;
+        self.write_u64(machine, JOFF_SEG_COMMITTED, 0)?;
         self.write_u64(machine, JOFF_STATE, state)
     }
 
@@ -629,6 +752,8 @@ impl SmmHandler {
     fn journal_commit(&self, machine: &mut Machine) -> Result<(), SmmError> {
         self.write_u64(machine, JOFF_STATE, JSTATE_IDLE)?;
         self.write_u64(machine, JOFF_ENTRY_COUNT, 0)?;
+        self.write_u64(machine, JOFF_SEG_COUNT, 0)?;
+        self.write_u64(machine, JOFF_SEG_COMMITTED, 0)?;
         kshot_telemetry::counter("smm.journal_commit", 1);
         Ok(())
     }
@@ -684,10 +809,37 @@ impl SmmHandler {
         let slot = self.scratch + JOFF_ENTRIES + idx * JENTRY_LEN;
         machine.read_bytes(AccessCtx::Smm, slot, &mut buf)?;
         let addr = u64::from_le_bytes(buf[..8].try_into().expect("8"));
-        let len = (u32::from_le_bytes(buf[8..12].try_into().expect("4")) as usize).min(JENTRY_ORIG);
+        let len = u32::from_le_bytes(buf[8..12].try_into().expect("4"));
+        // A slot length outside (0, JENTRY_ORIG] cannot have been
+        // written by journal_log_orig — the journal is corrupt. Fail
+        // loudly instead of silently restoring a clamped prefix.
+        if len == 0 || len as usize > JENTRY_ORIG {
+            return Err(SmmError::JournalCorrupt { slot: idx, len });
+        }
+        let len = len as usize;
         let mut orig = [0u8; JENTRY_ORIG];
         orig.copy_from_slice(&buf[12..12 + JENTRY_ORIG]);
         Ok((addr, len, orig))
+    }
+
+    /// Write segment marker `idx` into the SMRAM segment table. The
+    /// caller acknowledges it by bumping SEG_COUNT *after* the marker's
+    /// bytes land (same ordering discipline as journal entries).
+    fn write_segment_marker(
+        &self,
+        machine: &mut Machine,
+        idx: u64,
+        marker: &SegMarker,
+    ) -> Result<(), SmmError> {
+        let addr = self.scratch + OFF_SEGTAB + idx * SEG_LEN;
+        Ok(machine.write_bytes(AccessCtx::Smm, addr, &marker.encode())?)
+    }
+
+    fn read_segment_marker(&self, machine: &mut Machine, idx: u64) -> Result<SegMarker, SmmError> {
+        let mut buf = [0u8; SEG_LEN as usize];
+        let addr = self.scratch + OFF_SEGTAB + idx * SEG_LEN;
+        machine.read_bytes(AccessCtx::Smm, addr, &mut buf)?;
+        Ok(SegMarker::decode(&buf))
     }
 
     fn current_keypair(&self, machine: &mut Machine) -> Result<DhKeyPair, SmmError> {
@@ -878,6 +1030,27 @@ impl SmmHandler {
                 capacity: JENTRY_CAP,
             });
         }
+        // Segment-table validation: the table partitions `records` in
+        // order (first segment starts at 0, starts strictly increase and
+        // stay in range) and fits the SMRAM segment table. The enclave's
+        // table is re-checked, not trusted.
+        let segtab = package.segment_table();
+        if segtab.len() as u64 > SEG_CAP {
+            return Err(SmmError::BadSegmentTable {
+                segment: SEG_CAP as u32,
+            });
+        }
+        for (si, seg) in segtab.iter().enumerate() {
+            let bad = if si == 0 {
+                seg.first_record != 0
+            } else {
+                seg.first_record <= segtab[si - 1].first_record
+                    || seg.first_record as usize >= package.records.len()
+            };
+            if bad {
+                return Err(SmmError::BadSegmentTable { segment: si as u32 });
+            }
+        }
         let verify_cost = machine.cost().smm_verify.for_bytes(verify_bytes);
         let verify_cost = match package.algorithm {
             VerificationAlgorithm::Sha256 => verify_cost,
@@ -900,97 +1073,132 @@ impl SmmHandler {
         let mut trampolines = 0usize;
         let mut global_writes = 0usize;
         let mut applied_bytes = 0usize;
-        for rec in &package.records {
-            match rec.op {
-                PackageOp::GlobalWrite => {
-                    // Capture the original bytes for rollback (up to
-                    // MAX_ORIG; longer writes are not revertible).
-                    let mut orig = [0u8; MAX_ORIG];
-                    let orig_len = if rec.payload.len() <= MAX_ORIG {
-                        machine.read_bytes(
-                            AccessCtx::Smm,
-                            rec.taddr,
-                            &mut orig[..rec.payload.len()],
-                        )?;
-                        rec.payload.len() as u8
-                    } else {
-                        NOT_REVERTIBLE
-                    };
-                    // The undo journal captures the *full* original
-                    // (chunked), so even writes too long for the record
-                    // store are unwound if this apply is interrupted.
-                    self.journal_log_orig(machine, rec.taddr, rec.payload.len())?;
-                    machine.write_bytes(AccessCtx::Smm, rec.taddr, &rec.payload)?;
-                    self.append_record(
-                        machine,
-                        &SmramRecord {
-                            active: true,
-                            kind: RecordKind::DataWrite,
-                            taddr: rec.taddr,
-                            skip: 0,
-                            orig_len,
-                            orig,
-                            paddr: 0,
-                            size: rec.payload.len() as u32,
-                            memx_hash: [0; 32],
-                            id: package.id.clone(),
-                        },
-                    )?;
-                    global_writes += 1;
-                    applied_bytes += rec.payload.len();
-                }
-                PackageOp::PlaceOnly | PackageOp::Patch => {
-                    machine.write_bytes(AccessCtx::Smm, rec.paddr, &rec.payload)?;
-                    applied_bytes += rec.payload.len();
-                    let end = rec.paddr + rec.payload.len() as u64;
-                    let next = self.read_u64(machine, OFF_NEXT_PADDR)?;
-                    if end > next {
-                        self.write_u64(machine, OFF_NEXT_PADDR, end)?;
-                    }
-                    if rec.op == PackageOp::Patch {
-                        let site = rec.taddr + rec.skip_u64();
-                        let mut orig = [0u8; 5];
-                        machine.read_bytes(AccessCtx::Smm, site, &mut orig)?;
-                        let mut jmp = [0u8; 5];
-                        kshot_isa::write_jmp_rel32(&mut jmp, site, rec.paddr).map_err(|_| {
-                            SmmError::BadPlacement {
-                                sequence: rec.sequence,
-                                paddr: rec.paddr,
-                            }
-                        })?;
-                        self.journal_log_orig(machine, site, jmp.len())?;
-                        machine.write_bytes(AccessCtx::Smm, site, &jmp)?;
-                        applied_bytes += jmp.len();
-                        trampolines += 1;
-                        kshot_telemetry::event_with(
-                            "smm.trampoline",
-                            Some(machine.now().as_ns()),
-                            |f| {
-                                f.push(("site", site.into()));
-                                f.push(("target", rec.paddr.into()));
-                            },
-                        );
-                        // Record for rollback + introspection.
-                        let mut orig16 = [0u8; MAX_ORIG];
-                        orig16[..5].copy_from_slice(&orig);
+        let mut segments = Vec::with_capacity(segtab.len());
+        // Each segment is its own crash-consistency unit: marker +
+        // SEG_COUNT land before any of the segment's journal entries or
+        // kernel writes, SEG_COMMITTED advances only after its last
+        // protected write — so recovery preserves the committed prefix
+        // and unwinds at most the one torn segment.
+        for (si, seg) in segtab.iter().enumerate() {
+            let rec_start = seg.first_record as usize;
+            let rec_end = segtab
+                .get(si + 1)
+                .map_or(package.records.len(), |s| s.first_record as usize);
+            let first_entry = self.read_u64(machine, JOFF_ENTRY_COUNT)?;
+            let marker = SegMarker {
+                first_entry,
+                init_records: self.record_count(machine)? as u64,
+                init_paddr: self.read_u64(machine, OFF_NEXT_PADDR)?,
+                id: seg.id.clone(),
+            };
+            self.write_segment_marker(machine, si as u64, &marker)?;
+            self.write_u64(machine, JOFF_SEG_COUNT, si as u64 + 1)?;
+            let mut seg_trampolines = 0usize;
+            let mut seg_global_writes = 0usize;
+            for rec in &package.records[rec_start..rec_end] {
+                match rec.op {
+                    PackageOp::GlobalWrite => {
+                        // Capture the original bytes for rollback (up to
+                        // MAX_ORIG; longer writes are not revertible).
+                        let mut orig = [0u8; MAX_ORIG];
+                        let orig_len = if rec.payload.len() <= MAX_ORIG {
+                            machine.read_bytes(
+                                AccessCtx::Smm,
+                                rec.taddr,
+                                &mut orig[..rec.payload.len()],
+                            )?;
+                            rec.payload.len() as u8
+                        } else {
+                            NOT_REVERTIBLE
+                        };
+                        // The undo journal captures the *full* original
+                        // (chunked), so even writes too long for the record
+                        // store are unwound if this apply is interrupted.
+                        self.journal_log_orig(machine, rec.taddr, rec.payload.len())?;
+                        machine.write_bytes(AccessCtx::Smm, rec.taddr, &rec.payload)?;
                         self.append_record(
                             machine,
                             &SmramRecord {
                                 active: true,
-                                kind: RecordKind::Trampoline,
+                                kind: RecordKind::DataWrite,
                                 taddr: rec.taddr,
-                                skip: rec.ftrace_skip,
-                                orig_len: 5,
-                                orig: orig16,
-                                paddr: rec.paddr,
+                                skip: 0,
+                                orig_len,
+                                orig,
+                                paddr: 0,
                                 size: rec.payload.len() as u32,
-                                memx_hash: kshot_crypto::sha256(&rec.payload),
-                                id: package.id.clone(),
+                                memx_hash: [0; 32],
+                                id: seg.id.clone(),
                             },
                         )?;
+                        seg_global_writes += 1;
+                        applied_bytes += rec.payload.len();
+                    }
+                    PackageOp::PlaceOnly | PackageOp::Patch => {
+                        machine.write_bytes(AccessCtx::Smm, rec.paddr, &rec.payload)?;
+                        applied_bytes += rec.payload.len();
+                        let end = rec.paddr + rec.payload.len() as u64;
+                        let next = self.read_u64(machine, OFF_NEXT_PADDR)?;
+                        if end > next {
+                            self.write_u64(machine, OFF_NEXT_PADDR, end)?;
+                        }
+                        if rec.op == PackageOp::Patch {
+                            let site = rec.taddr + rec.skip_u64();
+                            let mut orig = [0u8; 5];
+                            machine.read_bytes(AccessCtx::Smm, site, &mut orig)?;
+                            let mut jmp = [0u8; 5];
+                            kshot_isa::write_jmp_rel32(&mut jmp, site, rec.paddr).map_err(
+                                |_| SmmError::BadPlacement {
+                                    sequence: rec.sequence,
+                                    paddr: rec.paddr,
+                                },
+                            )?;
+                            self.journal_log_orig(machine, site, jmp.len())?;
+                            machine.write_bytes(AccessCtx::Smm, site, &jmp)?;
+                            applied_bytes += jmp.len();
+                            seg_trampolines += 1;
+                            kshot_telemetry::event_with(
+                                "smm.trampoline",
+                                Some(machine.now().as_ns()),
+                                |f| {
+                                    f.push(("site", site.into()));
+                                    f.push(("target", rec.paddr.into()));
+                                },
+                            );
+                            // Record for rollback + introspection. The
+                            // record carries the *segment's* id so
+                            // rollback pops one CVE, not the envelope.
+                            let mut orig16 = [0u8; MAX_ORIG];
+                            orig16[..5].copy_from_slice(&orig);
+                            self.append_record(
+                                machine,
+                                &SmramRecord {
+                                    active: true,
+                                    kind: RecordKind::Trampoline,
+                                    taddr: rec.taddr,
+                                    skip: rec.ftrace_skip,
+                                    orig_len: 5,
+                                    orig: orig16,
+                                    paddr: rec.paddr,
+                                    size: rec.payload.len() as u32,
+                                    memx_hash: kshot_crypto::sha256(&rec.payload),
+                                    id: seg.id.clone(),
+                                },
+                            )?;
+                        }
                     }
                 }
             }
+            self.write_u64(machine, JOFF_SEG_COMMITTED, si as u64 + 1)?;
+            let entries_now = self.read_u64(machine, JOFF_ENTRY_COUNT)?;
+            segments.push(SegmentOutcome {
+                id: seg.id.clone(),
+                trampolines: seg_trampolines,
+                global_writes: seg_global_writes,
+                journal_slots: entries_now - first_entry,
+            });
+            trampolines += seg_trampolines;
+            global_writes += seg_global_writes;
         }
         let apply_cost = machine.cost().smm_apply.for_bytes(applied_bytes);
         machine.charge(apply_cost);
@@ -1016,6 +1224,7 @@ impl SmmHandler {
             payload_size: package.payload_size(),
             trampolines,
             global_writes,
+            segments,
         })
     }
 
@@ -1189,15 +1398,49 @@ impl SmmHandler {
         let outcome: Recovery = match self.journal_state(machine)? {
             JournalState::Idle => Recovery::Clean,
             JournalState::ApplyInProgress => {
-                let id = self.journal_read_id(machine)?;
                 let n = self.read_u64(machine, JOFF_ENTRY_COUNT)?;
-                for i in (0..n).rev() {
+                let seg_count = self.read_u64(machine, JOFF_SEG_COUNT)?;
+                let committed = self.read_u64(machine, JOFF_SEG_COMMITTED)?;
+                // Three cases: a pre-segmentation window (no marker
+                // landed — unwind everything from the journal header's
+                // snapshot), a fully-committed window (every started
+                // segment's writes landed before the fault — preserve
+                // them all, unwind nothing), or a torn segment (unwind
+                // only the journal suffix from the interrupted
+                // segment's marker).
+                let (id, first_entry, init_records, init_paddr, preserved) = if seg_count == 0 {
+                    (
+                        self.journal_read_id(machine)?,
+                        0u64,
+                        self.read_u64(machine, JOFF_INIT_RECORDS)?,
+                        self.read_u64(machine, JOFF_INIT_PADDR)?,
+                        0usize,
+                    )
+                } else if committed >= seg_count {
+                    let records = self.record_count(machine)? as u64;
+                    let paddr = self.read_u64(machine, OFF_NEXT_PADDR)?;
+                    (
+                        self.journal_read_id(machine)?,
+                        n,
+                        records,
+                        paddr,
+                        committed as usize,
+                    )
+                } else {
+                    let m = self.read_segment_marker(machine, committed)?;
+                    (
+                        m.id,
+                        m.first_entry,
+                        m.init_records,
+                        m.init_paddr,
+                        committed as usize,
+                    )
+                };
+                for i in (first_entry..n).rev() {
                     let (addr, len, orig) = self.journal_entry(machine, i)?;
                     machine.write_bytes(AccessCtx::Smm, addr, &orig[..len])?;
                 }
-                let init_records = self.read_u64(machine, JOFF_INIT_RECORDS)?;
                 self.set_record_count(machine, init_records as u32)?;
-                let init_paddr = self.read_u64(machine, JOFF_INIT_PADDR)?;
                 self.write_u64(machine, OFF_NEXT_PADDR, init_paddr)?;
                 self.publish_cursor(machine, reserved)?;
                 // Discard the staged ciphertext: the interrupted package
@@ -1207,7 +1450,8 @@ impl SmmHandler {
                 kshot_telemetry::counter("smm.recover_unwound_apply", 1);
                 Recovery::UnwoundApply {
                     id,
-                    writes_undone: n as usize,
+                    writes_undone: (n - first_entry) as usize,
+                    segments_preserved: preserved,
                 }
             }
             JournalState::RollbackInProgress => {
@@ -1470,7 +1714,8 @@ mod tests {
             h.recover(&mut m, &r).unwrap(),
             Recovery::UnwoundApply {
                 id: "stuck".into(),
-                writes_undone: 0
+                writes_undone: 0,
+                segments_preserved: 0
             }
         );
         assert_eq!(h.journal_state(&mut m).unwrap(), JournalState::Idle);
@@ -1494,7 +1739,8 @@ mod tests {
             rec,
             Recovery::UnwoundApply {
                 id: "long".into(),
-                writes_undone: 3
+                writes_undone: 3,
+                segments_preserved: 0
             }
         );
         let mut back = vec![0u8; 150];
@@ -1506,6 +1752,136 @@ mod tests {
     fn machine_scribble(m: &mut Machine, addr: u64, len: usize) {
         m.write_bytes(AccessCtx::Smm, addr, &vec![0xEE; len])
             .unwrap();
+    }
+
+    #[test]
+    fn corrupted_journal_slot_length_fails_loudly() {
+        // A journal slot whose length field is implausible (0 or > 64)
+        // must abort recovery with JournalCorrupt, not silently restore
+        // a clamped prefix.
+        let (mut m, r, h) = setup();
+        let data = m.layout().kernel_data_base;
+        m.raise_smi().unwrap();
+        h.journal_begin(&mut m, JSTATE_APPLY, "corrupt").unwrap();
+        h.journal_log_orig(&mut m, data, 8).unwrap();
+        let len_field = m.smram_scratch_base() + JOFF_ENTRIES + 8;
+        m.write_bytes(AccessCtx::Smm, len_field, &65u32.to_le_bytes())
+            .unwrap();
+        assert_eq!(
+            h.recover(&mut m, &r).unwrap_err(),
+            SmmError::JournalCorrupt { slot: 0, len: 65 }
+        );
+        m.write_bytes(AccessCtx::Smm, len_field, &0u32.to_le_bytes())
+            .unwrap();
+        assert_eq!(
+            h.recover(&mut m, &r).unwrap_err(),
+            SmmError::JournalCorrupt { slot: 0, len: 0 }
+        );
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn segment_marker_roundtrips_in_smram() {
+        let (mut m, _, h) = setup();
+        m.raise_smi().unwrap();
+        let marker = SegMarker {
+            first_entry: 17,
+            init_records: 3,
+            init_paddr: 0x0200_0040,
+            id: "CVE-2016-5195".into(),
+        };
+        h.write_segment_marker(&mut m, 5, &marker).unwrap();
+        assert_eq!(h.read_segment_marker(&mut m, 5).unwrap(), marker);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn segmented_recovery_preserves_committed_segments() {
+        // Build an interrupted two-segment window by hand: segment 0
+        // fully committed, segment 1 torn after one journaled write.
+        // Recovery must unwind only segment 1's write and report the
+        // interrupted segment's own id.
+        let (mut m, r, h) = setup();
+        let data = m.layout().kernel_data_base;
+        let original: Vec<u8> = (0..16u8).collect();
+        m.write_bytes(AccessCtx::Kernel, data, &original).unwrap();
+        m.raise_smi().unwrap();
+        h.journal_begin(&mut m, JSTATE_APPLY, "BATCH(CVE-A+CVE-B)")
+            .unwrap();
+        // Segment 0: one journaled+applied 8-byte write, committed.
+        let marker0 = SegMarker {
+            first_entry: 0,
+            init_records: 0,
+            init_paddr: r.x_base,
+            id: "CVE-A".into(),
+        };
+        h.write_segment_marker(&mut m, 0, &marker0).unwrap();
+        h.write_u64(&mut m, JOFF_SEG_COUNT, 1).unwrap();
+        h.journal_log_orig(&mut m, data, 8).unwrap();
+        machine_scribble(&mut m, data, 8);
+        h.write_u64(&mut m, JOFF_SEG_COMMITTED, 1).unwrap();
+        // Segment 1: one journaled+applied write, then "power loss".
+        let marker1 = SegMarker {
+            first_entry: 1,
+            init_records: 0,
+            init_paddr: r.x_base,
+            id: "CVE-B".into(),
+        };
+        h.write_segment_marker(&mut m, 1, &marker1).unwrap();
+        h.write_u64(&mut m, JOFF_SEG_COUNT, 2).unwrap();
+        h.journal_log_orig(&mut m, data + 8, 8).unwrap();
+        machine_scribble(&mut m, data + 8, 8);
+        let rec = h.recover(&mut m, &r).unwrap();
+        assert_eq!(
+            rec,
+            Recovery::UnwoundApply {
+                id: "CVE-B".into(),
+                writes_undone: 1,
+                segments_preserved: 1
+            }
+        );
+        // Segment 0's scribble survives; segment 1's bytes restored.
+        let mut back = vec![0u8; 16];
+        m.read_bytes(AccessCtx::Smm, data, &mut back).unwrap();
+        assert_eq!(&back[..8], &[0xEE; 8]);
+        assert_eq!(&back[8..], &original[8..]);
+        m.rsm().unwrap();
+    }
+
+    #[test]
+    fn fully_committed_window_recovers_without_unwinding() {
+        // All started segments committed before the fault (the window
+        // just never reached journal_commit): recovery preserves every
+        // write and reports zero undone.
+        let (mut m, r, h) = setup();
+        let data = m.layout().kernel_data_base;
+        m.raise_smi().unwrap();
+        h.journal_begin(&mut m, JSTATE_APPLY, "BATCH(CVE-A)")
+            .unwrap();
+        let marker = SegMarker {
+            first_entry: 0,
+            init_records: 0,
+            init_paddr: r.x_base,
+            id: "CVE-A".into(),
+        };
+        h.write_segment_marker(&mut m, 0, &marker).unwrap();
+        h.write_u64(&mut m, JOFF_SEG_COUNT, 1).unwrap();
+        h.journal_log_orig(&mut m, data, 8).unwrap();
+        machine_scribble(&mut m, data, 8);
+        h.write_u64(&mut m, JOFF_SEG_COMMITTED, 1).unwrap();
+        let rec = h.recover(&mut m, &r).unwrap();
+        assert_eq!(
+            rec,
+            Recovery::UnwoundApply {
+                id: "BATCH(CVE-A)".into(),
+                writes_undone: 0,
+                segments_preserved: 1
+            }
+        );
+        let mut back = vec![0u8; 8];
+        m.read_bytes(AccessCtx::Smm, data, &mut back).unwrap();
+        assert_eq!(back, [0xEE; 8]);
+        m.rsm().unwrap();
     }
 
     #[test]

@@ -96,6 +96,7 @@ fn overlapping_placements_within_one_package_are_rejected() {
     let package = PatchPackage {
         id: "CVE-FORGED".into(),
         algorithm: VerificationAlgorithm::Sha256,
+        segments: vec![],
         records: vec![
             place_record(0, x, vec![0x90; 64]),
             place_record(1, x + 16, vec![0xC3; 16]), // overlaps record 0
@@ -129,6 +130,7 @@ fn placement_below_the_cursor_is_rejected() {
     let package = PatchPackage {
         id: "CVE-LOW".into(),
         algorithm: VerificationAlgorithm::Sha256,
+        segments: vec![],
         records: vec![place_record(0, x - 4096, vec![0x90; 8])],
     };
     stage(&mut rig, &package);
@@ -148,6 +150,7 @@ fn placement_past_mem_x_end_is_rejected() {
     let package = PatchPackage {
         id: "CVE-HIGH".into(),
         algorithm: VerificationAlgorithm::Sha256,
+        segments: vec![],
         records: vec![place_record(0, end - 4, vec![0x90; 8])],
     };
     stage(&mut rig, &package);
@@ -166,6 +169,7 @@ fn wrapping_placement_is_rejected() {
     let package = PatchPackage {
         id: "CVE-WRAP".into(),
         algorithm: VerificationAlgorithm::Sha256,
+        segments: vec![],
         records: vec![place_record(0, u64::MAX - 3, vec![0x90; 8])],
     };
     stage(&mut rig, &package);
@@ -185,6 +189,7 @@ fn honest_disjoint_placements_still_apply() {
     let package = PatchPackage {
         id: "CVE-OK".into(),
         algorithm: VerificationAlgorithm::Sha256,
+        segments: vec![],
         records: vec![
             place_record(0, x, vec![0x90; 32]),
             place_record(1, x + 32, vec![0xC3; 8]),

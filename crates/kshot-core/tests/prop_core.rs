@@ -55,7 +55,7 @@ proptest! {
         alg in arb_alg(),
         records in prop::collection::vec(arb_record(), 0..8),
     ) {
-        let pkg = PatchPackage { id, algorithm: alg, records };
+        let pkg = PatchPackage { id, algorithm: alg, records, segments: vec![] };
         let bytes = pkg.encode();
         let back = PatchPackage::decode(&bytes).unwrap();
         prop_assert_eq!(back, pkg);
@@ -69,6 +69,7 @@ proptest! {
         let pkg = PatchPackage {
             id: "CVE-PROP".into(),
             algorithm: VerificationAlgorithm::Sha256,
+            segments: vec![],
             records,
         };
         let bytes = pkg.encode();

@@ -921,6 +921,94 @@ mod tests {
         }
     }
 
+    /// Two benchmark CVEs of the same kernel version, encoded as a
+    /// catalogue of bundle blobs.
+    fn catalogue_fixture() -> (CampaignTarget, Vec<Vec<u8>>) {
+        let a = find("CVE-2016-2543").expect("benchmark CVE exists");
+        let b = find("CVE-2017-17806").expect("benchmark CVE exists");
+        assert_eq!(a.version, b.version, "catalogue CVEs share a kernel");
+        let (target, server) = CampaignTarget::benchmark(a.version);
+        let info = target.boot_one().info();
+        let blobs = [a, b]
+            .iter()
+            .map(|spec| {
+                server
+                    .build_patch(&info, &patch_for(spec))
+                    .expect("server builds the CVE patch")
+                    .bundle
+                    .encode()
+            })
+            .collect();
+        (target, blobs)
+    }
+
+    /// A batched catalogue campaign (one SMI for all CVEs) must land
+    /// machines in the same applied state as the sequential drive (one
+    /// SMI per CVE) — byte-identical digests — while paying the fixed
+    /// SMM pause once.
+    #[test]
+    fn catalogue_campaign_batched_matches_sequential() {
+        let (target, blobs) = catalogue_fixture();
+        let base = FleetConfig::new(6, 2).with_seed(21).with_catalogue(blobs);
+        let seq = run_campaign(&target, &[], &base);
+        let batched = run_campaign(
+            &target,
+            &[],
+            &base.clone().with_batched_smi(true).with_pipeline_depth(3),
+        );
+        assert_eq!(seq.succeeded, 6, "outcomes: {:?}", seq.outcomes);
+        assert_eq!(batched.succeeded, 6, "outcomes: {:?}", batched.outcomes);
+        assert!(seq.all_identical_digests());
+        assert!(batched.all_identical_digests());
+        for (x, y) in seq.outcomes.iter().zip(&batched.outcomes) {
+            assert_eq!(x.state_digest, y.state_digest, "machine {}", x.machine);
+        }
+        // Sequential pays one delivery+SMI per CVE; batched pays one
+        // for the whole catalogue.
+        assert!(seq.outcomes.iter().all(|o| o.attempts == 2));
+        assert!(batched.outcomes.iter().all(|o| o.attempts == 1));
+        // The saved SMI's fixed entry/exit/keygen cost shows up as
+        // strictly lower simulated patch latency.
+        assert!(batched.outcomes[0].latency.unwrap() < seq.outcomes[0].latency.unwrap());
+    }
+
+    /// Satellite regression: batched attempts must route every
+    /// catalogue blob through the shared decode-once cache, not decode
+    /// privately — misses stay at one per blob for the whole fleet.
+    #[test]
+    fn batched_catalogue_decodes_once_per_blob() {
+        let (target, blobs) = catalogue_fixture();
+        let config = FleetConfig::new(4, 1)
+            .with_seed(3)
+            .with_catalogue(blobs)
+            .with_batched_smi(true);
+        let report = run_campaign(&target, &[], &config);
+        assert_eq!(report.succeeded, 4);
+        assert_eq!(report.cache_misses, 2, "each catalogue blob decodes once");
+        assert_eq!(report.cache_hits, 6, "4 machines x 2 blobs = 8 lookups");
+    }
+
+    /// A fault inside a batched apply unwinds only the interrupted
+    /// segment; the retry resumes and the machine still converges to
+    /// the fleet's digest.
+    #[test]
+    fn faulted_batched_machine_retries_and_matches() {
+        let (target, blobs) = catalogue_fixture();
+        let config = FleetConfig::new(3, 3)
+            .with_seed(7)
+            .with_catalogue(blobs)
+            .with_batched_smi(true)
+            .with_fault(PlannedFault {
+                machine: 1,
+                smm_write_index: 2,
+            });
+        let report = run_campaign(&target, &[], &config);
+        assert_eq!(report.succeeded, 3, "outcomes: {:?}", report.outcomes);
+        assert_eq!(report.faults_injected, 1);
+        assert!(report.all_identical_digests());
+        assert_eq!(report.outcomes[1].attempts, 2);
+    }
+
     #[test]
     fn stagger_delay_never_panics_and_stays_under_one_rtt() {
         let rtt = Duration::from_millis(60);

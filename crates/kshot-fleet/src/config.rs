@@ -116,6 +116,17 @@ pub struct FleetConfig {
     /// recovery itself. This is how the recovery-error terminal path is
     /// exercised end-to-end. At most one per machine.
     pub recovery_faults: Vec<PlannedFault>,
+    /// Multi-CVE campaign catalogue: encoded [`kshot_patchserver`]
+    /// bundle blobs, applied to every machine in order. Empty (the
+    /// default) keeps the classic single-patch campaign, where the
+    /// session builds its own bundle from the machine's kernel.
+    pub catalogue: Vec<Vec<u8>>,
+    /// When a catalogue is armed: apply all its CVEs in one batched SMI
+    /// per machine (`true`) instead of one SMI per CVE (`false`, the
+    /// default). Simulated-domain results are byte-identical either
+    /// way; only the SMI count — and hence the fixed SMM entry/exit
+    /// cost paid — differs.
+    pub batched_smi: bool,
 }
 
 impl FleetConfig {
@@ -140,6 +151,8 @@ impl FleetConfig {
             health_window: 8,
             rollout: None,
             recovery_faults: Vec::new(),
+            catalogue: Vec::new(),
+            batched_smi: false,
         }
     }
 
@@ -218,6 +231,22 @@ impl FleetConfig {
     /// recovery-error path.
     pub fn with_recovery_fault(mut self, fault: PlannedFault) -> Self {
         self.recovery_faults.push(fault);
+        self
+    }
+
+    /// Builder-style: drive every machine through the given encoded
+    /// bundle blobs (one CVE each), in order. See
+    /// [`FleetConfig::catalogue`].
+    pub fn with_catalogue(mut self, bundles: impl IntoIterator<Item = Vec<u8>>) -> Self {
+        self.catalogue = bundles.into_iter().collect();
+        self
+    }
+
+    /// Builder-style: apply the armed catalogue in one batched SMI per
+    /// machine instead of one SMI per CVE. See
+    /// [`FleetConfig::batched_smi`].
+    pub fn with_batched_smi(mut self, batched: bool) -> Self {
+        self.batched_smi = batched;
         self
     }
 }

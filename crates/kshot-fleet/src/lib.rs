@@ -57,6 +57,17 @@
 //!   byte-identical across worker counts and pipeline depths; the final
 //!   [`CampaignHealth`] (with how much was detected mid-campaign) lands
 //!   in [`CampaignReport::health`].
+//! * **Multi-CVE catalogues, batched SMIs.**
+//!   [`FleetConfig::with_catalogue`] drives every machine through a
+//!   catalogue of k encoded bundles instead of one, and
+//!   [`FleetConfig::with_batched_smi`] merges the whole catalogue into
+//!   a single SMI via [`kshot_core::KShot::live_patch_batch_bundles`],
+//!   paying the fixed SMM entry+exit cost once per machine instead of
+//!   k times (the dwell watchdog budget scales by k). The journal is
+//!   segmented per CVE, so a mid-batch fault preserves the committed
+//!   prefix and the session retries from the first unapplied CVE;
+//!   batched and sequential campaigns produce byte-identical applied
+//!   state at every worker count and pipeline depth.
 //! * **Staged rollouts.** [`FleetConfig::with_rollout`] layers a wave
 //!   scheduler on top: a [`RolloutPlan`] partitions the fleet into a
 //!   canary cohort plus an exponential ramp, admission into each wave

@@ -120,6 +120,18 @@ pub(crate) struct MachineSession {
     /// armed; armed exactly once, immediately before the first
     /// `recover()` call.
     recovery_fault_armed: bool,
+    /// Catalogue campaigns: index of the next catalogue patch to apply
+    /// (equivalently, how many of its CVEs are applied on the machine).
+    /// Stays 0 in classic single-patch campaigns.
+    next_patch: usize,
+    /// Attempts spent on the *current* catalogue patch (or batch
+    /// suffix); reset whenever a patch lands, so the retry budget is
+    /// per patch rather than per machine. Identical to
+    /// `outcome.attempts` in classic campaigns.
+    patch_attempts: u32,
+    /// Accumulated simulated patch latency across catalogue patches;
+    /// becomes `outcome.latency` when the last patch lands.
+    latency_acc: SimTime,
 }
 
 impl MachineSession {
@@ -163,6 +175,9 @@ impl MachineSession {
             kernel: None,
             system: None,
             recovery_fault_armed: false,
+            next_patch: 0,
+            patch_attempts: 0,
+            latency_acc: SimTime::ZERO,
         }
     }
 
@@ -230,6 +245,11 @@ impl MachineSession {
         {
             let m = system.kernel_mut().machine_mut();
             m.set_smm_dwell_budget(config.smm_dwell_budget);
+            if config.batched_smi && !config.catalogue.is_empty() {
+                // One batched SMI legitimately dwells ~k× a single
+                // patch's budget: it does all k CVEs inside one pause.
+                m.set_smm_dwell_budget_scale(config.catalogue.len() as u64);
+            }
             if let Some(slow) = config.slowdowns.iter().find(|s| s.machine == machine) {
                 let scaled = slow_cost_model(m.cost(), slow.factor);
                 m.set_cost(scaled);
@@ -250,6 +270,7 @@ impl MachineSession {
     /// then one link RTT of waiting).
     fn begin_attempt(&mut self, config: &FleetConfig) -> StepStatus {
         self.outcome.attempts += 1;
+        self.patch_attempts += 1;
         if config.link_rtt.is_zero() {
             self.state = SessionState::Patch;
             return StepStatus::Ready;
@@ -266,49 +287,64 @@ impl MachineSession {
         target: &CampaignTarget,
         config: &FleetConfig,
     ) -> StepStatus {
-        let bundle = match cache.get_or_decode(bundle_bytes) {
-            Ok(b) => b,
-            Err(e) => {
-                self.outcome.error = Some(format!("bundle: {e}"));
-                // This terminal path must fold too: an armed plan's
-                // observed-write count would otherwise vanish exactly
-                // like the success-path leak PR 5 fixed.
-                self.fold_injection_stats();
-                return self.finalize(target);
-            }
+        // Decode this attempt's bundle(s) through the shared cache —
+        // decode-once across the whole fleet. Batched attempts route
+        // every catalogue blob through the cache too, so hit/miss
+        // accounting is identical to the sequential drive.
+        let sources: Vec<&[u8]> = if config.catalogue.is_empty() {
+            vec![bundle_bytes]
+        } else if config.batched_smi {
+            config.catalogue.iter().map(|b| b.as_slice()).collect()
+        } else {
+            vec![config.catalogue[self.next_patch].as_slice()]
         };
+        let mut decoded = Vec::with_capacity(sources.len());
+        for bytes in sources {
+            match cache.get_or_decode(bytes) {
+                Ok(b) => decoded.push(b),
+                Err(e) => {
+                    self.outcome.error = Some(format!("bundle: {e}"));
+                    // This terminal path must fold too: an armed plan's
+                    // observed-write count would otherwise vanish exactly
+                    // like the success-path leak PR 5 fixed.
+                    self.fold_injection_stats();
+                    return self.finalize(target);
+                }
+            }
+        }
         let system = self.system.as_mut().expect("Patch follows Install");
-        match system.live_patch_bundle((*bundle).clone()) {
+        let attempt = if config.batched_smi && !config.catalogue.is_empty() {
+            // One SMI for the whole not-yet-applied suffix.
+            system.live_patch_batch_bundles(
+                decoded[self.next_patch..]
+                    .iter()
+                    .map(|b| (**b).clone())
+                    .collect(),
+            )
+        } else {
+            system.live_patch_bundle((*decoded[0]).clone())
+        };
+        match attempt {
             Ok(report) => {
-                self.outcome.ok = true;
-                self.outcome.error = None;
-                self.outcome.latency = Some(report.total());
+                self.latency_acc += report.total();
                 // Fold injection stats on the success path too: an
                 // armed-but-unfired plan (write index never reached)
                 // would otherwise vanish without a trace.
                 self.fold_injection_stats();
-                if config.rollout.is_some() {
-                    // Rollout campaigns keep the patched machine live
-                    // until its wave's verdict: a Halt must still be
-                    // able to drive `rollback_last` on it. The worker
-                    // flushes the machine's shard parcel *now* (the
-                    // monitor judges the wave from it), so snapshot the
-                    // observable fields at their patched-state values —
-                    // finalization re-reads them after the verdict.
-                    let m = self
-                        .system
-                        .as_ref()
-                        .expect("Patch follows Install")
-                        .kernel()
-                        .machine();
-                    self.outcome.sim_clock = m.now();
-                    self.outcome.smm_overbudget = m.smm_overbudget_count();
-                    self.outcome.max_smm_dwell = m.max_smm_dwell();
-                    self.state = SessionState::AwaitVerdict;
-                    StepStatus::Held
-                } else {
-                    self.finalize(target)
+                if !config.catalogue.is_empty() {
+                    self.next_patch += if config.batched_smi {
+                        // One batched SMI landed the whole suffix.
+                        config.catalogue.len() - self.next_patch
+                    } else {
+                        1
+                    };
+                    self.patch_attempts = 0;
+                    if self.next_patch < config.catalogue.len() {
+                        // More CVEs to go: next delivery on the wire.
+                        return self.begin_attempt(config);
+                    }
                 }
+                self.patched(target, config)
             }
             Err(e) => {
                 self.outcome.error = Some(e.to_string());
@@ -324,12 +360,33 @@ impl MachineSession {
                     .expect("Patch follows Install")
                     .recover();
                 match recovered {
-                    Ok(_) => {
+                    Ok(rec) => {
+                        // A faulted batch only unwinds its interrupted
+                        // segment: CVEs whose segments committed stay
+                        // applied, so the retry resumes from the first
+                        // unapplied CVE with a fresh per-patch budget.
+                        if let Recovery::UnwoundApply {
+                            segments_preserved, ..
+                        } = rec
+                        {
+                            if !config.catalogue.is_empty() && segments_preserved > 0 {
+                                self.next_patch = (self.next_patch + segments_preserved)
+                                    .min(config.catalogue.len());
+                                self.patch_attempts = 0;
+                            }
+                        }
                         // Disarm a recovery-window plan that did not
                         // fire, folding its observed writes, so it
                         // cannot leak into the next attempt.
                         self.fold_injection_stats();
-                        if self.outcome.attempts < config.max_attempts.max(1) {
+                        if !config.catalogue.is_empty() && self.next_patch >= config.catalogue.len()
+                        {
+                            // A late fault can error the attempt after
+                            // every segment already committed: the whole
+                            // catalogue is applied, nothing to retry.
+                            return self.patched(target, config);
+                        }
+                        if self.patch_attempts < config.max_attempts.max(1) {
                             // Ready immediately: the backoff is
                             // simulated-clock only, exactly as in the
                             // sequential path.
@@ -356,6 +413,37 @@ impl MachineSession {
         }
     }
 
+    /// The machine is fully patched (every catalogue CVE, or the classic
+    /// single bundle): record success and either park for the wave
+    /// verdict (rollout campaigns) or finalize.
+    fn patched(&mut self, target: &CampaignTarget, config: &FleetConfig) -> StepStatus {
+        self.outcome.ok = true;
+        self.outcome.error = None;
+        self.outcome.latency = Some(self.latency_acc);
+        if config.rollout.is_some() {
+            // Rollout campaigns keep the patched machine live
+            // until its wave's verdict: a Halt must still be
+            // able to drive `rollback_last` on it. The worker
+            // flushes the machine's shard parcel *now* (the
+            // monitor judges the wave from it), so snapshot the
+            // observable fields at their patched-state values —
+            // finalization re-reads them after the verdict.
+            let m = self
+                .system
+                .as_ref()
+                .expect("Patch follows Install")
+                .kernel()
+                .machine();
+            self.outcome.sim_clock = m.now();
+            self.outcome.smm_overbudget = m.smm_overbudget_count();
+            self.outcome.max_smm_dwell = m.max_smm_dwell();
+            self.state = SessionState::AwaitVerdict;
+            StepStatus::Held
+        } else {
+            self.finalize(target)
+        }
+    }
+
     /// Arm the campaign's planned recovery-window fault for this
     /// machine, once, just before the first `recover()` call.
     fn arm_recovery_fault(&mut self, config: &FleetConfig) {
@@ -374,44 +462,51 @@ impl MachineSession {
         }
     }
 
-    /// Revert this machine's applied patch after its wave halted. A
-    /// partial rollback ([`KShotError::RollbackIncomplete`]) is rolled
-    /// forward through the SMRAM journal via `recover()`; only if that
-    /// also fails is the machine reported as `rollback_failed`.
+    /// Revert this machine's applied patches after its wave halted. A
+    /// catalogue session pops once per applied CVE (batched applies
+    /// journal per CVE, so `rollback_last` reverts exactly one); the
+    /// classic single-patch session pops once. A partial rollback
+    /// ([`KShotError::RollbackIncomplete`]) is rolled forward through
+    /// the SMRAM journal via `recover()`; only if that also fails is
+    /// the machine reported as `rollback_failed`.
     fn step_rollback(&mut self, target: &CampaignTarget) -> StepStatus {
+        let pops = self.next_patch.max(1);
         let system = self.system.as_mut().expect("Rollback follows AwaitVerdict");
-        match system.rollback_last() {
-            Ok(out) => {
-                self.outcome.rolled_back = true;
-                self.outcome.rollback_skipped = out.skipped.len() as u64;
-                kshot_telemetry::counter("fleet.rolled_back", 1);
-                self.finalize(target)
-            }
-            Err(e) => {
-                let mut recovered = false;
-                if matches!(e, KShotError::RollbackIncomplete { .. }) {
-                    if let Ok(Recovery::CompletedRollback { skipped, .. }) = system.recover() {
-                        self.outcome.rolled_back = true;
-                        self.outcome.rollback_skipped = skipped.len() as u64;
-                        kshot_telemetry::counter("fleet.rolled_back", 1);
-                        recovered = true;
+        let mut skipped_total = 0u64;
+        for _ in 0..pops {
+            match system.rollback_last() {
+                Ok(out) => skipped_total += out.skipped.len() as u64,
+                Err(e) => {
+                    let mut recovered = false;
+                    if matches!(e, KShotError::RollbackIncomplete { .. }) {
+                        if let Ok(Recovery::CompletedRollback { skipped, .. }) = system.recover() {
+                            skipped_total += skipped.len() as u64;
+                            recovered = true;
+                        }
+                    }
+                    if !recovered {
+                        kshot_telemetry::counter("fleet.rollback_failed", 1);
+                        self.outcome.rollback_failed = true;
+                        self.outcome.ok = false;
+                        self.outcome.error = Some(format!("rollback: {e}"));
+                        return self.finalize(target);
                     }
                 }
-                if !recovered {
-                    kshot_telemetry::counter("fleet.rollback_failed", 1);
-                    self.outcome.rollback_failed = true;
-                    self.outcome.ok = false;
-                    self.outcome.error = Some(format!("rollback: {e}"));
-                }
-                self.finalize(target)
             }
         }
+        self.outcome.rolled_back = true;
+        self.outcome.rollback_skipped = skipped_total;
+        kshot_telemetry::counter("fleet.rolled_back", 1);
+        self.finalize(target)
     }
 
     fn step_backoff(&mut self, config: &FleetConfig) -> StepStatus {
         self.outcome.retries += 1;
-        // The just-failed attempt's 0-based index decides the doubling.
-        let shift = (self.outcome.attempts - 1).min(20);
+        // The just-failed attempt's 0-based index decides the doubling
+        // (per catalogue patch, so a machine deep into its catalogue
+        // backs off like a fresh one — identical to `outcome.attempts`
+        // in classic campaigns).
+        let shift = (self.patch_attempts.max(1) - 1).min(20);
         let backoff = SimTime::from_ns(config.backoff_base.as_ns().saturating_mul(1u64 << shift));
         self.system
             .as_mut()

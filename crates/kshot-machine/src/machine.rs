@@ -84,6 +84,9 @@ pub struct Machine {
     inject: Option<InjectionState>,
     /// Dwell-time watchdog: SMM residency budget per SMI, if armed.
     smm_dwell_budget: Option<SimTime>,
+    /// Multiplier on the armed budget: a batched SMI applying `k` CVEs
+    /// legitimately dwells ~`k`× longer than a single-patch SMI.
+    smm_dwell_budget_scale: u64,
     /// Simulated instant the current SMI was delivered (before the
     /// entry cost was charged), while in SMM.
     smm_entered_at: Option<SimTime>,
@@ -127,6 +130,7 @@ impl Machine {
             smi_count: 0,
             inject: None,
             smm_dwell_budget: None,
+            smm_dwell_budget_scale: 1,
             smm_entered_at: None,
             smm_overbudget: 0,
             max_smm_dwell: SimTime::ZERO,
@@ -195,6 +199,19 @@ impl Machine {
     /// The armed dwell budget, if any.
     pub fn smm_dwell_budget(&self) -> Option<SimTime> {
         self.smm_dwell_budget
+    }
+
+    /// Scale the armed dwell budget by `scale` (clamped to at least 1).
+    /// A batched SMI applying `k` CVEs does ~`k`× the work of a
+    /// single-patch SMI inside one OS pause, so callers arm the
+    /// per-patch budget once and scale it by the batch size.
+    pub fn set_smm_dwell_budget_scale(&mut self, scale: u64) {
+        self.smm_dwell_budget_scale = scale.max(1);
+    }
+
+    /// The current dwell-budget multiplier (1 unless batching).
+    pub fn smm_dwell_budget_scale(&self) -> u64 {
+        self.smm_dwell_budget_scale
     }
 
     /// How many SMIs exceeded the armed dwell budget.
@@ -564,12 +581,13 @@ impl Machine {
             self.max_smm_dwell = self.max_smm_dwell.max(dwell);
             kshot_telemetry::sketch_observe("machine.smm_dwell_ns", dwell.as_ns());
             if let Some(budget) = self.smm_dwell_budget {
-                if dwell > budget {
+                let effective_ns = budget.as_ns().saturating_mul(self.smm_dwell_budget_scale);
+                if dwell.as_ns() > effective_ns {
                     self.smm_overbudget += 1;
                     kshot_telemetry::counter("machine.smm_overbudget", 1);
                     kshot_telemetry::event_with("machine.smm_overbudget", Some(now.as_ns()), |f| {
                         f.push(("dwell_ns", dwell.as_ns().into()));
-                        f.push(("budget_ns", budget.as_ns().into()));
+                        f.push(("budget_ns", effective_ns.into()));
                     });
                 }
             }
@@ -758,6 +776,29 @@ mod tests {
         m.rsm().unwrap();
         assert_eq!(m.smm_overbudget_count(), 1);
         assert!(m.max_smm_dwell() > SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn dwell_budget_scale_admits_batched_smis() {
+        let mut m = machine();
+        let switch = m.cost().smm_entry + m.cost().smm_exit;
+        // Per-patch budget admits the switches plus 1µs of handler work.
+        m.set_smm_dwell_budget(Some(switch + SimTime::from_us(1)));
+        // 3µs of work blows the per-patch budget...
+        m.raise_smi().unwrap();
+        m.charge(SimTime::from_us(3));
+        m.rsm().unwrap();
+        assert_eq!(m.smm_overbudget_count(), 1);
+        // ...but is within budget for a 4-CVE batched SMI.
+        m.set_smm_dwell_budget_scale(4);
+        assert_eq!(m.smm_dwell_budget_scale(), 4);
+        m.raise_smi().unwrap();
+        m.charge(SimTime::from_us(3));
+        m.rsm().unwrap();
+        assert_eq!(m.smm_overbudget_count(), 1);
+        // Scale clamps to at least 1.
+        m.set_smm_dwell_budget_scale(0);
+        assert_eq!(m.smm_dwell_budget_scale(), 1);
     }
 
     #[test]

@@ -98,6 +98,22 @@ pub struct BundleTypes {
     pub t3: bool,
 }
 
+/// One per-CVE slice of a merged (batched) bundle: its own patch id and
+/// how many of the flattened `entries`/`new_functions`/`global_ops` it
+/// contributed. Segments partition each list in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleSegment {
+    /// The segment's own patch id (the real CVE, not the merged
+    /// `BATCH(...)` envelope id).
+    pub id: String,
+    /// Entries this segment contributed.
+    pub entries: u32,
+    /// New functions this segment contributed.
+    pub new_functions: u32,
+    /// Global ops this segment contributed.
+    pub global_ops: u32,
+}
+
 /// The complete patch artefact for one CVE.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PatchBundle {
@@ -114,6 +130,12 @@ pub struct PatchBundle {
     pub global_ops: Vec<GlobalOp>,
     /// Classification.
     pub types: BundleTypes,
+    /// Per-CVE segment table for merged (batched) bundles. Empty means
+    /// the bundle is one implicit segment carrying `id` — the classic
+    /// single-CVE shape. The SGX preprocessor turns this into the
+    /// package's segment table so SMM journals each CVE as its own
+    /// crash-consistency unit.
+    pub segments: Vec<BundleSegment>,
 }
 
 impl PatchBundle {
@@ -169,6 +191,13 @@ impl PatchBundle {
                     w.put_u8(1).put_str(name).put_u64(*addr).put_bytes(bytes);
                 }
             }
+        }
+        w.put_u32(self.segments.len() as u32);
+        for s in &self.segments {
+            w.put_str(&s.id)
+                .put_u32(s.entries)
+                .put_u32(s.new_functions)
+                .put_u32(s.global_ops);
         }
         // Trailing integrity hash over everything prior (paper: "we
         // verify the integrity of the received patch to guard against
@@ -234,6 +263,17 @@ impl PatchBundle {
                 }
             });
         }
+        // Minimum segment footprint: id prefix + three u32 counts.
+        let n = r.get_count("segment count", 4 + 4 + 4 + 4)?;
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            segments.push(BundleSegment {
+                id: r.get_str("segment id")?,
+                entries: r.get_u32("segment entries")?,
+                new_functions: r.get_u32("segment new functions")?,
+                global_ops: r.get_u32("segment global ops")?,
+            });
+        }
         r.finish()?;
         Ok(Self {
             id,
@@ -242,6 +282,7 @@ impl PatchBundle {
             new_functions,
             global_ops,
             types,
+            segments,
         })
     }
 }
@@ -353,6 +394,7 @@ mod tests {
                 t2: true,
                 t3: true,
             },
+            segments: vec![],
         }
     }
 
@@ -372,6 +414,28 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(PatchBundle::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn segmented_bundle_roundtrips() {
+        let mut b = sample_bundle();
+        b.id = "BATCH(CVE-A+CVE-B)".into();
+        b.segments = vec![
+            BundleSegment {
+                id: "CVE-A".into(),
+                entries: 1,
+                new_functions: 1,
+                global_ops: 0,
+            },
+            BundleSegment {
+                id: "CVE-B".into(),
+                entries: 0,
+                new_functions: 0,
+                global_ops: 2,
+            },
+        ];
+        let back = PatchBundle::decode(&b.encode()).unwrap();
+        assert_eq!(back, b);
     }
 
     #[test]

@@ -115,6 +115,7 @@ mod tests {
             }],
             new_functions: vec![],
             global_ops: vec![],
+            segments: vec![],
             types: BundleTypes::default(),
         }
     }

@@ -244,6 +244,7 @@ impl PatchServer {
             entries,
             new_functions,
             global_ops,
+            segments: Vec::new(),
             types: BundleTypes {
                 t1: analysis.types.t1,
                 t2: analysis.types.t2,

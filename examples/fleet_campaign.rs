@@ -25,6 +25,27 @@ use kshot::fleet::{
 };
 use kshot_cve::{find, patch_for};
 
+/// CVEs of the multi-CVE batched campaign, all against the same kernel.
+const BATCH_CVES: [&str; 4] = [
+    "CVE-2016-2543",
+    "CVE-2017-17806",
+    "CVE-2016-5195",
+    "CVE-2016-4578",
+];
+const BATCH_MACHINES: usize = 16;
+const BATCH_RTT: Duration = Duration::from_millis(20);
+
+/// Digest of the kernel text segment — the component of the fleet's
+/// applied-state digest that a rollback restores (the `mem_X` cursor is
+/// never rewound, so reverted bodies stay behind as dead bytes).
+fn text_digest(system: &kshot::core::KShot, target: &CampaignTarget) -> [u8; 32] {
+    let phys = system.kernel().machine().phys();
+    let text = phys
+        .slice(target.layout.kernel_text_base, target.image.text.len())
+        .expect("text segment in bounds");
+    kshot::crypto::sha256::sha256(text)
+}
+
 const MACHINES: usize = 64;
 const LINK_RTT: Duration = Duration::from_millis(60);
 /// Depth for the single-worker pipelined run. 16 in-flight sessions
@@ -168,13 +189,148 @@ fn main() {
     assert_eq!(stop.not_admitted, 6, "the final wave never starts");
     let _ = std::fs::remove_dir_all(&scratch);
 
+    // Batched multi-CVE campaigns: drive every machine through k CVEs,
+    // once as k sequential deliveries+SMIs and once as a single batched
+    // SMI, and measure the amortization crossover. Simulated-domain
+    // results must be byte-identical across workers × depths × modes.
+    println!(
+        "\n== batched campaign: {} CVEs on {BATCH_MACHINES} machines ==",
+        BATCH_CVES.len()
+    );
+    let bundles: Vec<_> = BATCH_CVES
+        .iter()
+        .map(|id| {
+            let s = find(id).expect("benchmark CVE exists");
+            assert_eq!(s.version, spec.version, "catalogue shares one kernel");
+            server
+                .build_patch(&info, &patch_for(s))
+                .expect("server builds the CVE patch")
+                .bundle
+        })
+        .collect();
+    let blobs: Vec<Vec<u8>> = bundles.iter().map(|b| b.encode()).collect();
+    let batch_config = |batched: bool, workers: usize, depth: usize, k: usize| {
+        FleetConfig::new(BATCH_MACHINES, workers)
+            .with_seed(0xBA7C4)
+            .with_link_rtt(BATCH_RTT)
+            .with_pipeline_depth(depth)
+            .with_catalogue(blobs[..k].to_vec())
+            .with_batched_smi(batched)
+    };
+
+    // Digest identity across the grid at k = 4: every (workers, depth,
+    // mode) combination must land every machine on one digest.
+    let k_full = BATCH_CVES.len();
+    let mut grid_digest = None;
+    for (workers, depth) in [(1usize, 1usize), (8, 1), (1, 4), (8, 4)] {
+        for batched in [false, true] {
+            let report = run_campaign(&target, &[], &batch_config(batched, workers, depth, k_full));
+            assert_eq!(
+                report.succeeded, BATCH_MACHINES,
+                "batched fleet machines failed"
+            );
+            assert!(report.all_identical_digests(), "applied state diverged");
+            let digest = report.outcomes[0].state_digest;
+            match grid_digest {
+                None => grid_digest = Some(digest),
+                Some(prev) => assert_eq!(
+                    prev, digest,
+                    "digest diverged at workers={workers} depth={depth} batched={batched}"
+                ),
+            }
+        }
+    }
+    println!("digests identical across workers {{1,8}} x depths {{1,4}} x modes: true");
+
+    // Amortization crossover: k sequential SMIs vs one batched SMI, at
+    // k = 1, 2, 4 on the fast grid point (8 workers, depth 4). Wall
+    // time is measured best-of-3; the simulated latency is exact.
+    let best_of = |config: &FleetConfig| {
+        (0..3)
+            .map(|_| run_campaign(&target, &[], config))
+            .min_by_key(|r| r.wall)
+            .expect("at least one run")
+    };
+    let mut crossover_json = Vec::new();
+    let mut batched_beats_sequential = false;
+    for k in [1usize, 2, 4] {
+        let seq = best_of(&batch_config(false, 8, 4, k));
+        let bat = best_of(&batch_config(true, 8, 4, k));
+        for (a, b) in seq.outcomes.iter().zip(&bat.outcomes) {
+            assert_eq!(
+                a.state_digest, b.state_digest,
+                "k={k}: batched diverged from sequential on machine {}",
+                a.machine
+            );
+        }
+        if k > 1 {
+            // The saved SMI entry/exit/keygen cost is exact in the
+            // simulated domain.
+            assert!(
+                bat.latency_p50 < seq.latency_p50,
+                "k={k}: batched sim latency must beat sequential"
+            );
+        }
+        println!(
+            "k={k}  sequential wall={:>8.1?} sim_p50={:>9}ns   batched wall={:>8.1?} sim_p50={:>9}ns",
+            seq.wall,
+            seq.latency_p50.as_ns(),
+            bat.wall,
+            bat.latency_p50.as_ns(),
+        );
+        if k == k_full {
+            batched_beats_sequential = bat.wall <= seq.wall;
+        }
+        crossover_json.push(format!(
+            "{{\"k\":{k},\"sequential_wall_ms\":{},\"batched_wall_ms\":{},\
+             \"sequential_sim_p50_ns\":{},\"batched_sim_p50_ns\":{}}}",
+            seq.wall.as_millis(),
+            bat.wall.as_millis(),
+            seq.latency_p50.as_ns(),
+            bat.latency_p50.as_ns(),
+        ));
+    }
+    assert!(
+        batched_beats_sequential,
+        "one batched SMI must beat {k_full} sequential deliveries on wall time"
+    );
+
+    // Per-CVE rollback: after a batched apply, one `rollback_last`
+    // pops exactly the last CVE — the machine's text (and active-site
+    // set) matches a machine patched with the k-1 prefix.
+    let mut popped = kshot::bench_setup::install_kshot(target.boot_one(), 77);
+    popped
+        .live_patch_batch_bundles(bundles.clone())
+        .expect("batch applies");
+    popped.rollback_last().expect("pop the last CVE");
+    let mut prefix = kshot::bench_setup::install_kshot(target.boot_one(), 77);
+    for bundle in &bundles[..k_full - 1] {
+        prefix
+            .live_patch_bundle(bundle.clone())
+            .expect("prefix applies");
+    }
+    let rollback_pops_last_cve = text_digest(&popped, &target) == text_digest(&prefix, &target)
+        && popped.active_sites().unwrap().len() == prefix.active_sites().unwrap().len();
+    println!("rollback_last after batch reverts exactly the last CVE: {rollback_pops_last_cve}");
+    assert!(rollback_pops_last_cve);
+
+    let batched_json = format!(
+        "{{\"cves\":{},\"machines\":{BATCH_MACHINES},\"link_rtt_ms\":{},\
+         \"digests_identical_across_modes\":true,\"crossover\":[{}],\
+         \"batched_beats_sequential\":{batched_beats_sequential},\
+         \"rollback_pops_last_cve\":{rollback_pops_last_cve}}}",
+        BATCH_CVES.len(),
+        BATCH_RTT.as_millis(),
+        crossover_json.join(","),
+    );
+
     let json = format!(
         "{{\"bench\":\"fleet_campaign\",\"cve\":\"{}\",\"machines\":{MACHINES},\
          \"link_rtt_ms\":{},\"speedup_wall_8v1\":{speedup:.3},\
          \"speedup_wall_pipelined_v_serial\":{pipeline_speedup:.3},\
          \"identical_digests\":{identical},\
          \"serial\":{},\"parallel\":{},\"pipelined\":{},\
-         \"rollout_healthy\":{},\"rollout_halted\":{}}}\n",
+         \"rollout_healthy\":{},\"rollout_halted\":{},\"batched\":{}}}\n",
         spec.id,
         LINK_RTT.as_millis(),
         serial.to_json(),
@@ -182,6 +338,7 @@ fn main() {
         pipelined.to_json(),
         healthy.to_json(),
         halted.to_json(),
+        batched_json,
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
     std::fs::write(&out, json).expect("write benchmark artefact");

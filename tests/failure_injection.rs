@@ -289,7 +289,9 @@ fn fault_between_trampoline_installs_unwinds_the_first() {
         "the first-applied trampoline should be live at the fault point"
     );
     match system.recover().unwrap() {
-        kshot_core::Recovery::UnwoundApply { id, writes_undone } => {
+        kshot_core::Recovery::UnwoundApply {
+            id, writes_undone, ..
+        } => {
             assert_eq!(id, spec.id);
             assert!(writes_undone >= 1, "first trampoline must be unwound");
         }

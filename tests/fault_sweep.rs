@@ -193,11 +193,21 @@ fn patch_sweep_every_step_fail_write() {
             // Fault hit before the commit point: the journal unwound
             // every kernel write (or none had landed yet).
             PatchState::Pre => {}
-            // Fault hit after the commit point (key rotation, cursor
-            // publication, staged-length clear): the patch is fully
-            // applied and the journal already read Idle.
+            // Fault hit after the last protected write: the patch is
+            // fully applied. Either the journal already read Idle
+            // (fault past the STATE clear) or the window was still
+            // open with its only segment committed — recovery then
+            // preserves it without unwinding a single write.
             PatchState::Post => {
-                assert_eq!(recovery, Recovery::Clean);
+                match &recovery {
+                    Recovery::Clean
+                    | Recovery::UnwoundApply {
+                        writes_undone: 0,
+                        segments_preserved: 1,
+                        ..
+                    } => {}
+                    other => panic!("step {k}: fully applied but recovery was {other:?}"),
+                }
                 rollback_to_pre(&mut system, &targets, k);
             }
         }
@@ -245,7 +255,15 @@ fn patch_sweep_every_step_power_loss() {
         match classify(&mut system, &targets, k) {
             PatchState::Pre => {}
             PatchState::Post => {
-                assert_eq!(recovery, Recovery::Clean);
+                match &recovery {
+                    Recovery::Clean
+                    | Recovery::UnwoundApply {
+                        writes_undone: 0,
+                        segments_preserved: 1,
+                        ..
+                    } => {}
+                    other => panic!("step {k}: fully applied but recovery was {other:?}"),
+                }
                 rollback_to_pre(&mut system, &targets, k);
             }
         }
@@ -338,6 +356,224 @@ fn rollback_sweep_every_step_power_loss() {
             PatchState::Pre => {}
             PatchState::Post => rollback_to_pre(&mut system, &targets, k),
         }
+        k += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched-apply sweeps: a 3-CVE batch is journaled per CVE, so a fault
+// at any SMM write index must be *per-CVE* all-or-nothing — committed
+// segments survive recovery, the interrupted segment unwinds fully,
+// and the machine's bytes match a reference patched with exactly the
+// preserved prefix.
+
+const BATCH_CVES: [&str; 3] = ["CVE-2016-2543", "CVE-2017-17806", "CVE-2016-5195"];
+
+fn batch_fixture() -> (
+    kshot::fleet::CampaignTarget,
+    Vec<kshot::patchserver::PatchBundle>,
+) {
+    let specs: Vec<_> = BATCH_CVES.iter().map(|id| find(id).unwrap()).collect();
+    let version = specs[0].version;
+    assert!(specs.iter().all(|s| s.version == version));
+    let (target, server) = kshot::fleet::CampaignTarget::benchmark(version);
+    let info = target.boot_one().info();
+    let bundles = specs
+        .iter()
+        .map(|spec| {
+            server
+                .build_patch(&info, &patch_for(spec))
+                .expect("server builds the CVE patch")
+                .bundle
+        })
+        .collect();
+    (target, bundles)
+}
+
+/// A fresh machine each sweep iteration: the digest references are
+/// cursor-position-sensitive (relocated bodies embed absolute `mem_X`
+/// addresses), so reusing one machine across iterations would shift
+/// every placement.
+fn fresh_system(target: &kshot::fleet::CampaignTarget) -> KShot {
+    install_kshot(target.boot_one(), 62)
+}
+
+/// Digest of the kernel text segment alone.
+fn text_digest(system: &KShot, target: &kshot::fleet::CampaignTarget) -> [u8; 32] {
+    let phys = system.kernel().machine().phys();
+    let text = phys
+        .slice(target.layout.kernel_text_base, target.image.text.len())
+        .expect("text segment in bounds");
+    kshot::crypto::sha256::sha256(text)
+}
+
+/// Digest of the machine's applied state: kernel text plus the occupied
+/// `mem_X` prefix up to the published placement cursor — the same
+/// regions the fleet's byte-identical check covers.
+fn applied_digest(system: &KShot, target: &kshot::fleet::CampaignTarget) -> [u8; 32] {
+    use kshot::core::reserved::rw_offsets;
+    let phys = system.kernel().machine().phys();
+    let reserved = system.reserved();
+    let cursor_bytes = phys
+        .slice(reserved.rw_base + rw_offsets::NEXT_PADDR, 8)
+        .expect("published cursor in bounds");
+    let cursor = u64::from_le_bytes(cursor_bytes.try_into().expect("eight bytes"));
+    let used = cursor.saturating_sub(reserved.x_base).min(reserved.x_size);
+    let placed = phys
+        .slice(reserved.x_base, used as usize)
+        .expect("occupied mem_X prefix in bounds");
+    let mut acc = [0u8; 64];
+    acc[..32].copy_from_slice(&text_digest(system, target));
+    acc[32..].copy_from_slice(&kshot::crypto::sha256::sha256(placed));
+    kshot::crypto::sha256::sha256(&acc)
+}
+
+/// Reference digests: machines patched with exactly the first `p`
+/// bundles, sequentially, for `p` in `0..=3`. A batched apply (or its
+/// recovered remains) must always match one of these — that is the
+/// per-CVE all-or-nothing invariant in byte form.
+fn prefix_references(
+    target: &kshot::fleet::CampaignTarget,
+    bundles: &[kshot::patchserver::PatchBundle],
+) -> Vec<[u8; 32]> {
+    (0..=bundles.len())
+        .map(|p| {
+            let mut system = fresh_system(target);
+            for bundle in &bundles[..p] {
+                system
+                    .live_patch_bundle(bundle.clone())
+                    .expect("clean prefix apply");
+            }
+            applied_digest(&system, target)
+        })
+        .collect()
+}
+
+/// Fault a batched 3-CVE apply at step `k` (already armed), recover,
+/// and assert the per-CVE all-or-nothing invariant against the prefix
+/// references. Returns the number of preserved segments.
+fn assert_batch_prefix(
+    system: &mut KShot,
+    target: &kshot::fleet::CampaignTarget,
+    refs: &[[u8; 32]],
+    k: u64,
+) -> usize {
+    let recovery = system.recover().expect("recover after injected fault");
+    let digest = applied_digest(system, target);
+    let preserved = match &recovery {
+        // Idle journal: the fault hit before the window opened (nothing
+        // applied) or after it closed (everything applied).
+        Recovery::Clean => {
+            if digest == refs[0] {
+                0
+            } else {
+                refs.len() - 1
+            }
+        }
+        Recovery::UnwoundApply {
+            segments_preserved, ..
+        } => *segments_preserved,
+        other => panic!("step {k}: unexpected recovery {other:?}"),
+    };
+    assert_eq!(
+        digest, refs[preserved],
+        "step {k}: recovered machine must match the {preserved}-CVE prefix reference"
+    );
+    // Per-CVE rollback unwinds the preserved prefix, newest first,
+    // back to boot text (the `mem_X` cursor is never rewound, so only
+    // the text component compares against the 0-prefix reference).
+    for pop in 0..preserved {
+        system
+            .rollback_last()
+            .unwrap_or_else(|e| panic!("step {k}: pop {pop}: {e}"));
+    }
+    assert_eq!(
+        text_digest(system, target),
+        text_digest(&fresh_system(target), target),
+        "step {k}: {preserved} pops must restore boot text"
+    );
+    assert!(system.active_sites().unwrap().is_empty());
+    preserved
+}
+
+/// Sweep a failed SMM write across every step of a batched 3-CVE apply.
+#[test]
+fn batched_patch_sweep_every_step_fail_write() {
+    let (target, bundles) = batch_fixture();
+    let refs = prefix_references(&target, &bundles);
+    let mut faulted_runs = 0u64;
+    let mut preserved_seen = HashSet::new();
+    let mut k = 0u64;
+    loop {
+        assert!(k < MAX_STEPS, "sweep did not terminate");
+        let mut system = fresh_system(&target);
+        system
+            .kernel_mut()
+            .machine_mut()
+            .arm_injection(InjectionPlan::fail_nth_smm_write(k));
+        let result = system.live_patch_batch_bundles(bundles.clone());
+        let stats = system
+            .kernel_mut()
+            .machine_mut()
+            .disarm_injection()
+            .unwrap();
+        if stats.faults_injected == 0 {
+            let report = result.expect("fault-free batch must succeed");
+            assert_eq!(report.segments.len(), bundles.len());
+            assert_eq!(applied_digest(&system, &target), refs[bundles.len()]);
+            break;
+        }
+        faulted_runs += 1;
+        assert!(
+            result.is_err(),
+            "step {k}: the injected fault must surface as an error"
+        );
+        preserved_seen.insert(assert_batch_prefix(&mut system, &target, &refs, k));
+        k += 1;
+    }
+    assert!(
+        faulted_runs >= 30,
+        "only {faulted_runs} faulted runs; injection is not reaching the SMM window"
+    );
+    // The sweep must actually traverse the per-CVE commit points: every
+    // prefix length shows up as a recovery outcome.
+    for p in 0..=bundles.len() {
+        assert!(
+            preserved_seen.contains(&p),
+            "no fault index left exactly {p} segment(s) preserved (saw {preserved_seen:?})"
+        );
+    }
+}
+
+/// Sweep a full power loss (snapshot at the fault, warm-reset resume)
+/// across every step of a batched 3-CVE apply.
+#[test]
+fn batched_patch_sweep_every_step_power_loss() {
+    let (target, bundles) = batch_fixture();
+    let refs = prefix_references(&target, &bundles);
+    let mut k = 0u64;
+    loop {
+        assert!(k < MAX_STEPS, "sweep did not terminate");
+        let mut system = fresh_system(&target);
+        system
+            .kernel_mut()
+            .machine_mut()
+            .arm_injection(InjectionPlan::power_loss_at_smm_write(k));
+        let result = system.live_patch_batch_bundles(bundles.clone());
+        let m = system.kernel_mut().machine_mut();
+        let stats = m.injection_stats().unwrap();
+        if stats.faults_injected == 0 {
+            m.disarm_injection();
+            result.expect("fault-free batch must succeed");
+            assert_eq!(applied_digest(&system, &target), refs[bundles.len()]);
+            break;
+        }
+        assert!(result.is_err(), "step {k}: power loss must surface");
+        let snap = m
+            .take_power_loss_snapshot()
+            .expect("power-loss snapshot present");
+        m.restore_from_snapshot(snap);
+        assert_batch_prefix(&mut system, &target, &refs, k);
         k += 1;
     }
 }

@@ -145,9 +145,28 @@ fn batch_patching_pays_the_pause_once() {
         saved.as_ns() > 2 * 34_000,
         "batch saved only {saved} vs individual {indiv_pause}"
     );
-    // One rollback reverts the whole batch.
-    let restored = batched.rollback_last().unwrap();
-    assert!(restored.restored.len() >= 3);
+    // The batch journals per CVE: one sub-report per patch, in order.
+    assert_eq!(report.segments.len(), 3);
+    for (seg, id) in report.segments.iter().zip(ids.iter()) {
+        assert_eq!(seg.id, *id);
+    }
+    // Rollback pops per CVE: the first pop reverts exactly the last
+    // CVE of the batch, leaving the first two still protecting.
+    batched.rollback_last().unwrap();
+    assert!(exploit_for(specs[2])
+        .is_vulnerable(batched.kernel_mut())
+        .unwrap());
+    for spec in &specs[..2] {
+        let check = exploit_for(spec);
+        assert!(
+            !check.is_vulnerable(batched.kernel_mut()).unwrap(),
+            "{}",
+            spec.id
+        );
+    }
+    // Two more pops revert the rest, newest first.
+    batched.rollback_last().unwrap();
+    batched.rollback_last().unwrap();
     for spec in &specs {
         let check = exploit_for(spec);
         assert!(
