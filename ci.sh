@@ -124,4 +124,19 @@ grep -q '"final_verdict":"degraded"' BENCH_observe.json
 grep -q '"resident_sketch_bytes":' BENCH_observe.json
 grep -q '"agg_lines_per_sec":' BENCH_observe.json
 
+# Integrity gate: the four attack scenarios (handler tamper, rogue
+# write, journal abuse, dwell exhaustion) each caught with a typed
+# verdict and a specific reason, an integrity Halt driving wave
+# auto-rollback to the never-patched digest, and the clean smi
+# flight-record stream byte-identical across worker counts, pipeline
+# depths and batched/sequential modes. The observe example's attack
+# sweep plus clean run land in BENCH_observe.json's "integrity" block:
+# all four attacks caught, zero violations on the clean fleet, bounded
+# resident monitor memory.
+echo "== integrity: flight-record replay, attack sweep, clean-run zero-violation =="
+cargo test -q -p kshot-fleet --test integrity_attacks
+grep -q '"integrity":{"clean_records":64,"clean_violations":0,' BENCH_observe.json
+grep -q '"attacks_caught":4' BENCH_observe.json
+grep -q '"clean_resident_bytes":' BENCH_observe.json
+
 echo "CI OK"

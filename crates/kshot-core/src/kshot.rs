@@ -8,6 +8,7 @@ use rand::{Rng, SeedableRng};
 use kshot_crypto::dh::{DhKeyPair, DhParams};
 use kshot_enclave::SgxPlatform;
 use kshot_kernel::Kernel;
+use kshot_machine::flight::SmiCause;
 use kshot_machine::{MachineError, SimTime};
 use kshot_patchserver::bundle::PatchBundle;
 use kshot_patchserver::channel::SecureChannel;
@@ -222,6 +223,7 @@ impl KShot {
         let mut platform = SgxPlatform::new(&rng.gen::<[u8; 32]>());
         let helper = Helper::create(&mut platform);
         let machine = kernel.machine_mut();
+        machine.declare_smi_cause(SmiCause::Install);
         machine.raise_smi()?;
         let smm = SmmHandler::install(machine, &reserved, &rng.gen::<[u8; 32]>(), group)
             .inspect_err(|_| {
@@ -362,6 +364,7 @@ impl KShot {
         // span covers the full OS pause: SMM entry through RSM.
         let fresh: [u8; 32] = self.rng.gen();
         let smm_window = kshot_telemetry::span_at("smm.window", machine.now().as_ns());
+        machine.declare_smi_cause(SmiCause::Patch);
         machine.raise_smi()?;
         let outcome = self.smm.handle_patch(machine, &self.reserved, &fresh);
         let resume_phase = kshot_telemetry::span_at("phase.resume", machine.now().as_ns());
@@ -598,6 +601,7 @@ impl KShot {
     pub fn rollback_last(&mut self) -> Result<RollbackOutcome, KShotError> {
         let machine = self.kernel.machine_mut();
         let mut span = kshot_telemetry::span_at("kshot.rollback", machine.now().as_ns());
+        machine.declare_smi_cause(SmiCause::Rollback);
         machine.raise_smi()?;
         let result = self.smm.handle_rollback(machine);
         machine.rsm()?;
@@ -637,6 +641,7 @@ impl KShot {
     pub fn recover(&mut self) -> Result<Recovery, KShotError> {
         let machine = self.kernel.machine_mut();
         let mut span = kshot_telemetry::span_at("kshot.recover", machine.now().as_ns());
+        machine.declare_smi_cause(SmiCause::Recover);
         machine.raise_smi()?;
         let result = self.smm.recover(machine, &self.reserved);
         machine.rsm()?;
@@ -657,6 +662,7 @@ impl KShot {
     pub fn introspect(&mut self) -> Result<Vec<Violation>, KShotError> {
         let machine = self.kernel.machine_mut();
         let mut span = kshot_telemetry::span_at("kshot.introspect", machine.now().as_ns());
+        machine.declare_smi_cause(SmiCause::Introspect);
         machine.raise_smi()?;
         let result = introspect::check(machine, &self.smm);
         machine.rsm()?;
@@ -675,6 +681,7 @@ impl KShot {
     /// Machine faults during the sweep.
     pub fn active_sites(&mut self) -> Result<Vec<ActiveSite>, KShotError> {
         let machine = self.kernel.machine_mut();
+        machine.declare_smi_cause(SmiCause::Inventory);
         machine.raise_smi()?;
         let result = introspect::active_trampolines(machine, &self.smm);
         machine.rsm()?;
@@ -689,6 +696,7 @@ impl KShot {
     pub fn repair(&mut self) -> Result<usize, KShotError> {
         let machine = self.kernel.machine_mut();
         let mut span = kshot_telemetry::span_at("kshot.repair", machine.now().as_ns());
+        machine.declare_smi_cause(SmiCause::Repair);
         machine.raise_smi()?;
         let result = introspect::repair(machine, &self.smm);
         machine.rsm()?;
@@ -705,6 +713,7 @@ impl KShot {
     /// Machine faults during the probe.
     pub fn dos_probe(&mut self) -> Result<DosProbe, KShotError> {
         let machine = self.kernel.machine_mut();
+        machine.declare_smi_cause(SmiCause::Probe);
         machine.raise_smi()?;
         let result = introspect::dos_probe(machine, &self.reserved);
         machine.rsm()?;

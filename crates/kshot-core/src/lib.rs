@@ -50,4 +50,7 @@ pub use introspect::ActiveSite;
 pub use kshot::{KShot, KShotError, PatchReport, SgxTimings, SmmTimings};
 pub use package::{PatchPackage, VerificationAlgorithm};
 pub use reserved::ReservedLayout;
-pub use smm::{JournalState, Recovery, RollbackFailure, RollbackOutcome, SegmentOutcome};
+pub use smm::{
+    expected_handler_measurement, JournalState, Recovery, RollbackFailure, RollbackOutcome,
+    SegmentOutcome,
+};

@@ -46,6 +46,7 @@
 use std::fmt;
 
 use kshot_crypto::dh::{DhKeyPair, DhParams};
+use kshot_machine::flight::{fnv1a, JournalOp};
 use kshot_machine::{AccessCtx, CpuMode, Machine, MachineError, SimTime};
 use kshot_patchserver::channel::{ChannelError, Frame, SecureChannel};
 use kshot_patchserver::wire::WireError;
@@ -314,6 +315,35 @@ pub(crate) const JENTRY_CAP: u64 = 256;
 // same SMM-only scratch area.
 
 const OFF_SEGTAB: u64 = 0x16100;
+/// Scratch offset of the sealed handler image (above the segment
+/// table, which ends at 0x17500; SMRAM is 1 MB so there is ample room).
+const OFF_HANDLER_IMAGE: u64 = 0x18000;
+/// Size of the sealed handler image.
+pub(crate) const HANDLER_IMAGE_LEN: usize = 1024;
+
+/// The handler image installed into SMRAM and sealed at install time —
+/// a fixed pseudo-random blob standing in for the handler's code+rodata
+/// (the same "binary" ships to every machine, so one expected
+/// measurement covers the whole fleet, as with a real signed handler).
+pub(crate) fn handler_image() -> [u8; HANDLER_IMAGE_LEN] {
+    let mut img = [0u8; HANDLER_IMAGE_LEN];
+    let mut x: u64 = 0x4B53_484F_545F_494D; // "KSHOT_IM"
+    for b in img.iter_mut() {
+        // splitmix64 step: deterministic, dependency-free.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *b = (z ^ (z >> 31)) as u8;
+    }
+    img
+}
+
+/// The FNV-1a measurement every untampered SMI entry must report for
+/// the sealed handler image; integrity policies pin this value.
+pub fn expected_handler_measurement() -> u64 {
+    fnv1a(&handler_image())
+}
 /// Fixed size of one segment marker:
 /// first_entry u64 | init_records u64 | init_paddr u64 | id len u8 +
 /// up to 55 bytes.
@@ -595,6 +625,12 @@ impl SmmHandler {
         h.write_u64(machine, JOFF_SEG_COMMITTED, 0)?;
         h.publish_public(machine, reserved)?;
         h.publish_cursor(machine, reserved)?;
+        // Install and seal the handler image: every later SMI entry
+        // measures this region into its flight record, so tampering
+        // between SMIs is detectable by the detached monitor.
+        let image = handler_image();
+        machine.write_bytes(AccessCtx::Smm, h.scratch + OFF_HANDLER_IMAGE, &image)?;
+        machine.seal_handler_image(h.scratch + OFF_HANDLER_IMAGE, image.len() as u64);
         Ok(h)
     }
 
@@ -744,7 +780,11 @@ impl SmmHandler {
         // marker lands) — before STATE, like every other header field.
         self.write_u64(machine, JOFF_SEG_COUNT, 0)?;
         self.write_u64(machine, JOFF_SEG_COMMITTED, 0)?;
-        self.write_u64(machine, JOFF_STATE, state)
+        self.write_u64(machine, JOFF_STATE, state)?;
+        machine.flight_note_journal(JournalOp::Begin {
+            rollback: state == JSTATE_ROLLBACK,
+        });
+        Ok(())
     }
 
     /// Close the journal window: STATE goes back to idle *first*; the
@@ -754,6 +794,7 @@ impl SmmHandler {
         self.write_u64(machine, JOFF_ENTRY_COUNT, 0)?;
         self.write_u64(machine, JOFF_SEG_COUNT, 0)?;
         self.write_u64(machine, JOFF_SEG_COMMITTED, 0)?;
+        machine.flight_note_journal(JournalOp::Commit);
         kshot_telemetry::counter("smm.journal_commit", 1);
         Ok(())
     }
@@ -795,6 +836,7 @@ impl SmmHandler {
             machine.write_bytes(AccessCtx::Smm, slot, &buf)?;
             count += 1;
             self.write_u64(machine, JOFF_ENTRY_COUNT, count)?;
+            machine.flight_note_journal(JournalOp::Entries { count: 1 });
             off += chunk;
         }
         Ok(())
@@ -832,7 +874,12 @@ impl SmmHandler {
         marker: &SegMarker,
     ) -> Result<(), SmmError> {
         let addr = self.scratch + OFF_SEGTAB + idx * SEG_LEN;
-        Ok(machine.write_bytes(AccessCtx::Smm, addr, &marker.encode())?)
+        machine.write_bytes(AccessCtx::Smm, addr, &marker.encode())?;
+        machine.flight_note_journal(JournalOp::Segment {
+            index: idx,
+            id_hash: fnv1a(marker.id.as_bytes()),
+        });
+        Ok(())
     }
 
     fn read_segment_marker(&self, machine: &mut Machine, idx: u64) -> Result<SegMarker, SmmError> {

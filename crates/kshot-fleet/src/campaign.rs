@@ -23,12 +23,12 @@ use std::time::{Duration, Instant};
 use kshot_cve::{benchmark_options, benchmark_tree, KernelVersion};
 use kshot_kcc::KernelImage;
 use kshot_kernel::Kernel;
-use kshot_machine::{MemLayout, SimTime};
+use kshot_machine::{MemLayout, SimTime, SmiCause, SmiFlightRecord, WriteRange};
 use kshot_patchserver::{BundleCache, PatchServer};
 use kshot_telemetry::export::record_json_line;
 use kshot_telemetry::{
-    HealthMonitor, MetricsSnapshot, Record, Recorder, RecorderScope, Sink, StreamSink,
-    SCHEMA_VERSION,
+    HealthMonitor, IntegrityPolicy, MetricsSnapshot, Record, Recorder, RecorderScope, Sink,
+    StreamSink, SCHEMA_VERSION,
 };
 
 use crate::config::FleetConfig;
@@ -141,6 +141,16 @@ pub struct MachineOutcome {
     /// rollout stopped before this machine's wave opened — the machine
     /// was never booted and counts as failed.
     pub admitted: bool,
+    /// The machine's SMI flight ring as the campaign last observed it
+    /// (at patched-state snapshot under a rollout, at finalization
+    /// otherwise): one bounded [`SmiFlightRecord`] per SMI, oldest
+    /// evicted first past the ring capacity. Empty when the machine
+    /// never took an SMI (early failure, never admitted).
+    pub flight: Vec<SmiFlightRecord>,
+    /// The SMI behind [`MachineOutcome::max_smm_dwell`]: its index and
+    /// declared cause, so a dwell anomaly names the exact SMI instead
+    /// of just the machine. `None` when no SMI completed.
+    pub dwell_worst: Option<(u64, SmiCause)>,
 }
 
 /// Run one campaign: patch `config.machines` machines, sharded
@@ -171,6 +181,15 @@ pub fn run_campaign(
         });
         (policy.clone(), dir)
     });
+    // The integrity monitor replays the shard `smi` stream from inside
+    // the health monitor's tail loop; arming it without health would
+    // silently verify nothing, so fail loudly.
+    if config.integrity.is_some() {
+        assert!(
+            config.health_policy.is_some(),
+            "FleetConfig::with_integrity requires with_health (the monitor replays the smi stream)"
+        );
+    }
     // A rollout's wave verdicts come from the health monitor; arming
     // one without health would silently never admit past the canary.
     let rollout_cfg = config
@@ -207,8 +226,11 @@ pub fn run_campaign(
             let rollout = rollout_cfg
                 .as_ref()
                 .map(|(plan, waves, gate)| (*plan, waves.as_slice(), gate));
+            let integrity = config.integrity.clone();
             scope.spawn(move || {
-                run_health_monitor(policy, window, machines, workers, dir, done, rollout)
+                run_health_monitor(
+                    policy, window, machines, workers, dir, done, rollout, integrity,
+                )
             })
         });
         let mut handles = Vec::with_capacity(workers);
@@ -276,6 +298,7 @@ pub fn run_campaign(
 /// actuates the shared gate (admission, finalization, rollback) the
 /// workers are watching. Running the controller here keeps its
 /// decisions in the monitor's deterministic snapshot order.
+#[allow(clippy::too_many_arguments)]
 fn run_health_monitor(
     policy: kshot_telemetry::HealthPolicy,
     window: usize,
@@ -284,6 +307,7 @@ fn run_health_monitor(
     dir: PathBuf,
     done: &AtomicBool,
     rollout: Option<(&RolloutPlan, &[Wave], &RolloutGate)>,
+    integrity: Option<IntegrityPolicy>,
 ) -> (CampaignHealth, Option<RolloutTrail>) {
     let shards: Vec<PathBuf> = (0..workers)
         .map(|w| dir.join(format!("worker-{w}.jsonl")))
@@ -291,6 +315,9 @@ fn run_health_monitor(
     let mut monitor = HealthMonitor::new(policy, window, machines, shards);
     if let Some((_, waves, _)) = &rollout {
         monitor = monitor.with_wave_boundaries(waves.iter().map(|w| w.end as u64).collect());
+    }
+    if let Some(policy) = integrity {
+        monitor = monitor.with_integrity(policy);
     }
     let mut monitor = monitor
         .with_snapshot_path(dir.join("health.jsonl"))
@@ -445,11 +472,25 @@ fn seal_parcel(active: &mut Active) -> Parcel {
             .metrics()
             .counter_add("fleet.records_dropped", dropped);
     }
-    let buffered = active
+    let mut buffered = active
         .lines
         .as_ref()
         .map(|l| std::mem::take(&mut *l.lock().unwrap()))
         .unwrap_or_default();
+    // The machine's SMI flight ring, one `smi` line per record, after
+    // the record stream and before the metrics block. Rendered straight
+    // from the ring (never through the Record pipeline, whose lines
+    // carry wall-clock timestamps), so the smi stream is byte-identical
+    // across worker counts, pipeline depths, and batching modes.
+    if active.lines.is_some() {
+        let outcome = &active.session.outcome;
+        buffered.extend(
+            outcome
+                .flight
+                .iter()
+                .map(|rec| smi_json_line(outcome.machine, rec)),
+        );
+    }
     active.flushed = true;
     Some((
         buffered,
@@ -481,6 +522,8 @@ fn skipped_outcome(machine: usize, worker: usize) -> MachineOutcome {
         rollback_skipped: 0,
         rollback_failed: false,
         admitted: false,
+        flight: Vec::new(),
+        dwell_worst: None,
     }
 }
 
@@ -709,11 +752,22 @@ fn machine_json_line(o: &MachineOutcome) -> String {
         Some(t) => format!(",\"latency_ns\":{}", t.as_ns()),
         None => String::new(),
     };
+    // Dwell attribution: which SMI (index + declared cause) produced
+    // `max_smm_dwell_ns`, so a shard reader can name the exact SMI
+    // behind a dwell anomaly. Additive — absent when no SMI completed.
+    let dwell_worst = match o.dwell_worst {
+        Some((smi, cause)) => format!(
+            ",\"dwell_worst_smi\":{},\"dwell_worst_cause\":\"{}\"",
+            smi,
+            cause.label()
+        ),
+        None => String::new(),
+    };
     format!(
         concat!(
             "{{\"type\":\"machine\",\"v\":{},\"machine\":{},\"worker\":{},",
             "\"ok\":{},\"attempts\":{},\"retries\":{},\"faults_injected\":{},",
-            "\"sim_clock_ns\":{},\"smm_overbudget\":{},\"max_smm_dwell_ns\":{}{}}}"
+            "\"sim_clock_ns\":{},\"smm_overbudget\":{},\"max_smm_dwell_ns\":{}{}{}}}"
         ),
         SCHEMA_VERSION,
         o.machine,
@@ -725,7 +779,47 @@ fn machine_json_line(o: &MachineOutcome) -> String {
         o.sim_clock.as_ns(),
         o.smm_overbudget,
         o.max_smm_dwell.as_ns(),
+        dwell_worst,
         latency,
+    )
+}
+
+/// One SMI flight record as a shard line, the schema the
+/// [`kshot_telemetry::IntegrityMonitor`] replays. The measurement (and
+/// the segment-id hashes inside the journal op encoding) travel as hex
+/// strings: the telemetry JSON layer parses numbers as `f64`, which is
+/// only integer-exact to 2^53. Deliberately carries no wall-clock
+/// field, so the smi stream is byte-identical across schedules.
+fn smi_json_line(machine: usize, rec: &SmiFlightRecord) -> String {
+    let writes = rec
+        .writes
+        .iter()
+        .map(|WriteRange { base, len }| format!("[{base},{len}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let journal = rec
+        .journal
+        .iter()
+        .map(|op| format!("\"{}\"", op.encode()))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"type\":\"smi\",\"v\":{},\"machine\":{},\"smi\":{},\"cause\":\"{}\",",
+            "\"measurement\":\"{:#018x}\",\"writes\":[{}],\"writes_truncated\":{},",
+            "\"journal\":[{}],\"journal_truncated\":{},\"dwell_ns\":{},\"exit\":\"{}\"}}"
+        ),
+        kshot_machine::flight::FLIGHT_SCHEMA_VERSION,
+        machine,
+        rec.index,
+        rec.cause.label(),
+        rec.measurement,
+        writes,
+        rec.writes_truncated,
+        journal,
+        rec.journal_truncated,
+        rec.dwell.as_ns(),
+        rec.exit.label(),
     )
 }
 

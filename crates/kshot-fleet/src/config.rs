@@ -5,8 +5,8 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use kshot_machine::SimTime;
-use kshot_telemetry::HealthPolicy;
+use kshot_machine::{AttackKind, SimTime};
+use kshot_telemetry::{HealthPolicy, IntegrityPolicy};
 
 use crate::rollout::RolloutPlan;
 
@@ -35,6 +35,20 @@ pub struct PlannedSlowdown {
     /// Multiplier applied to the machine's SMM cost-model entries
     /// (clamped to ≥ 1).
     pub factor: u32,
+}
+
+/// An attack the campaign arms on one machine after its KShot install
+/// (so the handler image is sealed and measured before the attack can
+/// touch it). The underlying mechanism is `kshot-machine`'s one-shot
+/// [`AttackKind`] actuation: the attack fires inside the machine's next
+/// patch SMI, where the flight recorder observes its effect and the
+/// detached [`kshot_telemetry::IntegrityMonitor`] must flag it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedAttack {
+    /// Index of the machine (0-based) the attack is armed on.
+    pub machine: usize,
+    /// What the attack does. See [`AttackKind`].
+    pub kind: AttackKind,
 }
 
 /// Configuration of one fleet campaign.
@@ -127,6 +141,20 @@ pub struct FleetConfig {
     /// way; only the SMI count — and hence the fixed SMM entry/exit
     /// cost paid — differs.
     pub batched_smi: bool,
+    /// Attacks to arm, at most one per machine (later entries for the
+    /// same machine are ignored). Attacks are armed *after* install so
+    /// the sealed handler measurement predates the tamper — detection,
+    /// not prevention, is what the integrity plane proves.
+    pub attacks: Vec<PlannedAttack>,
+    /// When set, the health monitor replays every `smi` flight-record
+    /// line from the worker shards through a detached
+    /// [`kshot_telemetry::IntegrityMonitor`] judging it against this
+    /// policy; violations escalate the machine's health window to Halt
+    /// (driving auto-rollback under a rollout) and the final
+    /// [`kshot_telemetry::IntegrityReport`] lands in
+    /// `CampaignReport::integrity`. Requires [`FleetConfig::with_health`]
+    /// (the monitor hosts the replay).
+    pub integrity: Option<IntegrityPolicy>,
 }
 
 impl FleetConfig {
@@ -153,6 +181,8 @@ impl FleetConfig {
             recovery_faults: Vec::new(),
             catalogue: Vec::new(),
             batched_smi: false,
+            attacks: Vec::new(),
+            integrity: None,
         }
     }
 
@@ -247,6 +277,23 @@ impl FleetConfig {
     /// [`FleetConfig::batched_smi`].
     pub fn with_batched_smi(mut self, batched: bool) -> Self {
         self.batched_smi = batched;
+        self
+    }
+
+    /// Builder-style: arm `attack` on its machine (after install, so the
+    /// sealed measurement predates the tamper). See
+    /// [`FleetConfig::attacks`].
+    pub fn with_attack(mut self, attack: PlannedAttack) -> Self {
+        self.attacks.push(attack);
+        self
+    }
+
+    /// Builder-style: replay the fleet's `smi` flight-record stream
+    /// through a detached integrity monitor judging against `policy`.
+    /// Requires [`FleetConfig::with_health`]; `run_campaign` panics
+    /// loudly otherwise (a silent no-op integrity plane would be worse).
+    pub fn with_integrity(mut self, policy: IntegrityPolicy) -> Self {
+        self.integrity = Some(policy);
         self
     }
 }

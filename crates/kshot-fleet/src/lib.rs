@@ -57,6 +57,23 @@
 //!   byte-identical across worker counts and pipeline depths; the final
 //!   [`CampaignHealth`] (with how much was detected mid-campaign) lands
 //!   in [`CampaignReport::health`].
+//! * **SMI flight recorder + integrity plane.** Every SMI a machine
+//!   takes appends a bounded, schema-versioned
+//!   [`kshot_machine::SmiFlightRecord`] (cause, handler measurement at
+//!   entry, ordered write-set, journal ops, dwell, exit status) to the
+//!   machine's flight ring; streaming campaigns render each record as
+//!   one `smi` line inside the machine's shard parcel, byte-identical
+//!   across worker counts, pipeline depths, and batched/sequential
+//!   modes. [`FleetConfig::with_integrity`] replays that stream through
+//!   a detached [`kshot_telemetry::IntegrityMonitor`] judging each record
+//!   against declarative invariants (sealed handler measurement,
+//!   write-set containment, journal grammar, dwell budget); violations
+//!   escalate the machine's health window to Halt — driving the staged
+//!   rollout's auto-rollback — and the final
+//!   [`kshot_telemetry::IntegrityReport`] lands in
+//!   [`CampaignReport::integrity`]. [`FleetConfig::with_attack`] arms
+//!   the four adversarial scenarios (handler tamper, rogue SMM write,
+//!   journal abuse, dwell exhaustion) the plane must catch.
 //! * **Multi-CVE catalogues, batched SMIs.**
 //!   [`FleetConfig::with_catalogue`] drives every machine through a
 //!   catalogue of k encoded bundles instead of one, and
@@ -88,7 +105,9 @@ pub mod rollout;
 mod session;
 
 pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
-pub use config::{FleetConfig, PlannedFault, PlannedSlowdown};
-pub use kshot_telemetry::{HealthPolicy, HealthReport, HealthVerdict};
+pub use config::{FleetConfig, PlannedAttack, PlannedFault, PlannedSlowdown};
+pub use kshot_telemetry::{
+    HealthPolicy, HealthReport, HealthVerdict, IntegrityPolicy, IntegrityReport, IntegrityVerdict,
+};
 pub use report::{CampaignHealth, CampaignReport, WorkerOccupancy};
 pub use rollout::{RolloutPlan, RolloutReport, Wave, WaveOutcome};

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use kshot_machine::SimTime;
-use kshot_telemetry::{HealthReport, PhaseProfile, Recorder};
+use kshot_machine::{SimTime, SmiCause};
+use kshot_telemetry::{HealthReport, IntegrityReport, PhaseProfile, Recorder};
 
 use crate::campaign::MachineOutcome;
 use crate::config::FleetConfig;
@@ -102,6 +102,12 @@ pub struct CampaignReport {
     /// one SMI exceeded [`crate::FleetConfig::smm_dwell_budget`].
     /// Always empty when no budget was armed.
     pub dwell_anomalies: Vec<usize>,
+    /// SMI-level attribution for [`CampaignReport::dwell_anomalies`]:
+    /// for each flagged machine, the index and declared cause of the
+    /// SMI behind its worst dwell — the anomaly names the exact SMI,
+    /// not just the machine. Parallel to `dwell_anomalies` (entries
+    /// whose worst SMI was never observed are omitted).
+    pub dwell_anomaly_smis: Vec<(usize, u64, SmiCause)>,
     /// Each worker's busy/in-flight wall-time split, in worker order.
     pub worker_occupancy: Vec<WorkerOccupancy>,
     /// The live health monitor's output, when the campaign armed one
@@ -111,6 +117,11 @@ pub struct CampaignReport {
     /// actuation), when the campaign ran under
     /// [`FleetConfig::with_rollout`](crate::FleetConfig::with_rollout).
     pub rollout: Option<RolloutReport>,
+    /// The detached integrity monitor's end-of-campaign report
+    /// (records replayed, violations, reasons, resident bytes), when
+    /// the campaign armed
+    /// [`FleetConfig::with_integrity`](crate::FleetConfig::with_integrity).
+    pub integrity: Option<IntegrityReport>,
     /// Every machine's telemetry, merged into one recorder (metric
     /// summaries only when the campaign ran `summaries_only`).
     pub recorder: Arc<Recorder>,
@@ -134,11 +145,20 @@ impl CampaignReport {
         let failed = outcomes.len() - succeeded;
         let retries = outcomes.iter().map(|o| o.retries).sum();
         let faults_injected = outcomes.iter().map(|o| o.faults_injected).sum();
-        let dwell_anomalies = outcomes
+        let dwell_anomalies: Vec<usize> = outcomes
             .iter()
             .filter(|o| o.smm_overbudget > 0)
             .map(|o| o.machine)
             .collect();
+        let dwell_anomaly_smis = outcomes
+            .iter()
+            .filter(|o| o.smm_overbudget > 0)
+            .filter_map(|o| o.dwell_worst.map(|(smi, cause)| (o.machine, smi, cause)))
+            .collect();
+        // The integrity section is the health monitor's detached
+        // replay; lift it to the report root so readers need not know
+        // it rides inside the health plane.
+        let integrity = health.as_ref().and_then(|h| h.report.integrity.clone());
 
         let mut latencies: Vec<u64> = outcomes
             .iter()
@@ -184,9 +204,11 @@ impl CampaignReport {
             cache_misses,
             outcomes,
             dwell_anomalies,
+            dwell_anomaly_smis,
             worker_occupancy,
             health,
             rollout,
+            integrity,
             recorder,
         }
     }
@@ -267,6 +289,26 @@ impl CampaignReport {
             None => String::new(),
             Some(r) => format!("\"rollout\":{},", r.to_json()),
         };
+        // Additive again: only integrity campaigns carry the section.
+        let integrity = match &self.integrity {
+            None => String::new(),
+            Some(i) => format!("\"integrity\":{},", i.to_json()),
+        };
+        // SMI-level dwell attribution, additive next to the classic
+        // machine-index list.
+        let dwell_anomaly_smis = self
+            .dwell_anomaly_smis
+            .iter()
+            .map(|(machine, smi, cause)| {
+                format!(
+                    "{{\"machine\":{},\"smi\":{},\"cause\":\"{}\"}}",
+                    machine,
+                    smi,
+                    cause.label()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"v\":{},\"machines\":{},\"workers\":{},\"pipeline_depth\":{},",
@@ -278,8 +320,9 @@ impl CampaignReport {
                 "\"throughput_sim_patches_per_sec\":{:.3},",
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"dwell_anomalies\":[{}],",
+                "\"dwell_anomaly_smis\":[{}],",
                 "\"occupancy\":[{}],",
-                "{}{}\"identical_digests\":{}}}"
+                "{}{}{}\"identical_digests\":{}}}"
             ),
             kshot_telemetry::SCHEMA_VERSION,
             self.machines,
@@ -298,9 +341,11 @@ impl CampaignReport {
             self.cache_hits,
             self.cache_misses,
             dwell_anomalies,
+            dwell_anomaly_smis,
             occupancy,
             health,
             rollout,
+            integrity,
             self.all_identical_digests(),
         )
     }
@@ -339,6 +384,8 @@ mod tests {
             rollback_skipped: 0,
             rollback_failed: false,
             admitted: true,
+            flight: Vec::new(),
+            dwell_worst: None,
         }
     }
 

@@ -169,6 +169,8 @@ impl MachineSession {
                 rollback_skipped: 0,
                 rollback_failed: false,
                 admitted: true,
+                flight: Vec::new(),
+                dwell_worst: None,
             },
             recorder,
             state: SessionState::Boot,
@@ -260,6 +262,13 @@ impl MachineSession {
                 .kernel_mut()
                 .machine_mut()
                 .arm_injection(InjectionPlan::fail_nth_smm_write(fault.smm_write_index));
+        }
+        // Attacks arm *after* install: the handler image is already
+        // sealed and its clean measurement recorded, so a tamper fires
+        // on the next (patch) SMI where the integrity plane must see
+        // the measurement mismatch — detection, not prevention.
+        if let Some(attack) = config.attacks.iter().find(|a| a.machine == machine) {
+            system.kernel_mut().machine_mut().arm_attack(attack.kind);
         }
         self.system = Some(system);
         self.begin_attempt(config)
@@ -437,6 +446,8 @@ impl MachineSession {
             self.outcome.sim_clock = m.now();
             self.outcome.smm_overbudget = m.smm_overbudget_count();
             self.outcome.max_smm_dwell = m.max_smm_dwell();
+            self.outcome.dwell_worst = m.max_smm_dwell_smi();
+            self.outcome.flight = m.flight_snapshot();
             self.state = SessionState::AwaitVerdict;
             StepStatus::Held
         } else {
@@ -523,6 +534,8 @@ impl MachineSession {
         self.outcome.sim_clock = system.kernel().machine().now();
         self.outcome.smm_overbudget = system.kernel().machine().smm_overbudget_count();
         self.outcome.max_smm_dwell = system.kernel().machine().max_smm_dwell();
+        self.outcome.dwell_worst = system.kernel().machine().max_smm_dwell_smi();
+        self.outcome.flight = system.kernel().machine().flight_snapshot();
         self.outcome.state_digest = if self.outcome.rolled_back {
             // A completed rollback restored the kernel text and
             // deactivated every record, but SMM never rewinds the

@@ -24,6 +24,52 @@
 //! can assert the fault actually fired.
 
 use crate::machine::Machine;
+use crate::timing::SimTime;
+
+/// An attack-scenario behaviour, armed with [`Machine::arm_attack`].
+///
+/// Where the fault-injection plans above model *accidents* (bit flips,
+/// power loss), these model an *adversary* abusing the SMM window — the
+/// four behaviours the detached integrity monitor must catch. Each kind
+/// fires once at the point described and then disarms:
+///
+/// * [`AttackKind::TamperHandlerImage`] scribbles over the sealed
+///   handler image just before the next SMI entry measurement (a
+///   bootkit rewriting the handler between SMIs),
+/// * [`AttackKind::RogueWrite`] performs an SMM-context write outside
+///   any declared patch extent at the next SMI entry (a compromised
+///   handler touching memory it has no business in),
+/// * [`AttackKind::JournalAbuse`] appends bogus journal-entry
+///   acknowledgements after the handler committed its window (forging
+///   undo state for a later malicious recovery),
+/// * [`AttackKind::DwellExhaustion`] burns extra simulated time inside
+///   the next SMI (an SMM-level denial of service: the OS is paused the
+///   whole time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Flip a byte of the sealed handler image before the next SMI's
+    /// entry measurement. No-op (stays armed) until an image is sealed.
+    TamperHandlerImage,
+    /// Write `len` bytes at physical `addr` under SMM context at the
+    /// next SMI entry.
+    RogueWrite {
+        /// Target physical address.
+        addr: u64,
+        /// Bytes written (clamped to 1..=64).
+        len: u64,
+    },
+    /// Append `extra_entries` bogus journal-entry acknowledgements at
+    /// the end of the next SMI that actually opened a journal window.
+    JournalAbuse {
+        /// Forged entry count appended after the commit.
+        extra_entries: u64,
+    },
+    /// Charge `extra` simulated time inside the next SMI.
+    DwellExhaustion {
+        /// Extra dwell burned inside the SMI.
+        extra: SimTime,
+    },
+}
 
 /// What condition fires the injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

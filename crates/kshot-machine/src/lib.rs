@@ -30,6 +30,7 @@
 pub mod attrs;
 pub mod cpu;
 pub mod error;
+pub mod flight;
 pub mod inject;
 pub mod layout;
 pub mod machine;
@@ -39,8 +40,9 @@ pub mod timing;
 pub use attrs::PageAttrs;
 pub use cpu::{CpuMode, CpuState};
 pub use error::MachineError;
+pub use flight::{JournalOp, SmiCause, SmiExit, SmiFlightRecord, WriteRange};
 pub use inject::{
-    InjectionAction, InjectionPlan, InjectionStats, InjectionTrigger, MachineSnapshot,
+    AttackKind, InjectionAction, InjectionPlan, InjectionStats, InjectionTrigger, MachineSnapshot,
 };
 pub use layout::MemLayout;
 pub use machine::{AccessCtx, Machine};

@@ -2,11 +2,14 @@
 
 use kshot_isa::Inst;
 
+use std::collections::VecDeque;
+
 use crate::attrs::{Access, PageAttrs};
 use crate::cpu::{CpuMode, CpuState, SAVE_AREA_LEN};
 use crate::error::MachineError;
+use crate::flight::{fnv1a, JournalOp, SmiCause, SmiExit, SmiFlightRecord, FLIGHT_RING_CAP};
 use crate::inject::{
-    InjectionAction, InjectionPlan, InjectionState, InjectionStats, MachineSnapshot,
+    AttackKind, InjectionAction, InjectionPlan, InjectionState, InjectionStats, MachineSnapshot,
 };
 use crate::layout::MemLayout;
 use crate::phys::PhysMemory;
@@ -94,6 +97,24 @@ pub struct Machine {
     smm_overbudget: u64,
     /// Longest SMM dwell observed on this machine.
     max_smm_dwell: SimTime,
+    /// SMI index + cause of the longest dwell, so anomaly reports can
+    /// name the offending SMI rather than just the machine.
+    max_smm_dwell_smi: Option<(u64, SmiCause)>,
+    /// SMIs torn out of SMM by a warm reset before `RSM`.
+    smm_dwell_interrupted: u64,
+    /// Completed per-SMI flight records (bounded ring).
+    flight: VecDeque<SmiFlightRecord>,
+    /// The record of the in-progress SMI, while in SMM.
+    flight_open: Option<SmiFlightRecord>,
+    /// Completed records dropped once the ring filled.
+    flight_dropped: u64,
+    /// Cause declared for the *next* SMI (consumed by `raise_smi`).
+    pending_smi_cause: Option<SmiCause>,
+    /// Sealed handler-image region `(base, len)`, measured at each SMI
+    /// entry once set.
+    sealed_image: Option<(u64, u64)>,
+    /// Armed attack-scenario behaviour, if any (test/CI harnesses only).
+    attack: Option<AttackKind>,
 }
 
 impl Machine {
@@ -134,6 +155,14 @@ impl Machine {
             smm_entered_at: None,
             smm_overbudget: 0,
             max_smm_dwell: SimTime::ZERO,
+            max_smm_dwell_smi: None,
+            smm_dwell_interrupted: 0,
+            flight: VecDeque::new(),
+            flight_open: None,
+            flight_dropped: 0,
+            pending_smi_cause: None,
+            sealed_image: None,
+            attack: None,
         })
     }
 
@@ -223,6 +252,97 @@ impl Machine {
     /// the first completed SMI).
     pub fn max_smm_dwell(&self) -> SimTime {
         self.max_smm_dwell
+    }
+
+    /// SMI index and cause of the longest dwell, if any SMI completed.
+    pub fn max_smm_dwell_smi(&self) -> Option<(u64, SmiCause)> {
+        self.max_smm_dwell_smi
+    }
+
+    /// SMIs torn out of SMM by a warm reset before `RSM` completed.
+    pub fn smm_dwell_interrupted_count(&self) -> u64 {
+        self.smm_dwell_interrupted
+    }
+
+    // ---- SMI flight recorder ---------------------------------------------
+
+    /// Declare the cause of the *next* SMI. Consumed by the next
+    /// [`Machine::raise_smi`]; undeclared SMIs record
+    /// [`SmiCause::Unattributed`].
+    pub fn declare_smi_cause(&mut self, cause: SmiCause) {
+        self.pending_smi_cause = Some(cause);
+    }
+
+    /// Seal the handler image at `[base, base + len)`: every subsequent
+    /// SMI entry measures this region (FNV-1a) into its flight record,
+    /// so tampering between SMIs is detectable by a detached monitor.
+    pub fn seal_handler_image(&mut self, base: u64, len: u64) {
+        self.sealed_image = Some((base, len));
+    }
+
+    /// The sealed handler-image region, if any.
+    pub fn sealed_handler_image(&self) -> Option<(u64, u64)> {
+        self.sealed_image
+    }
+
+    /// Measure the sealed handler image right now (0 when unsealed or
+    /// when the region is out of range).
+    pub fn measure_handler_image(&self) -> u64 {
+        let Some((base, len)) = self.sealed_image else {
+            return 0;
+        };
+        let mut buf = vec![0u8; len as usize];
+        if self.mem.read_raw(base, &mut buf).is_err() {
+            return 0;
+        }
+        fnv1a(&buf)
+    }
+
+    /// Completed flight records, oldest first (bounded ring; see
+    /// [`Machine::flight_dropped_count`] for overflow).
+    pub fn flight_records(&self) -> impl Iterator<Item = &SmiFlightRecord> {
+        self.flight.iter()
+    }
+
+    /// Clone the completed flight records out of the ring, oldest first.
+    pub fn flight_snapshot(&self) -> Vec<SmiFlightRecord> {
+        self.flight.iter().cloned().collect()
+    }
+
+    /// Completed records dropped because the ring was full.
+    pub fn flight_dropped_count(&self) -> u64 {
+        self.flight_dropped
+    }
+
+    /// Note a journal operation into the in-progress SMI's flight
+    /// record (no-op outside an SMI). Called by the SMM handler's
+    /// journal primitives in `kshot-core`.
+    pub fn flight_note_journal(&mut self, op: JournalOp) {
+        if let Some(rec) = self.flight_open.as_mut() {
+            rec.note_journal(op);
+        }
+    }
+
+    /// Arm an attack-scenario behaviour (replacing any armed one). Each
+    /// kind fires once, at the point described on [`AttackKind`], and
+    /// disarms itself; the flight recorder observes the effects like any
+    /// other SMM behaviour, which is how the integrity monitor catches
+    /// it.
+    pub fn arm_attack(&mut self, attack: AttackKind) {
+        self.attack = Some(attack);
+    }
+
+    /// The armed attack, if it has not fired yet.
+    pub fn armed_attack(&self) -> Option<AttackKind> {
+        self.attack
+    }
+
+    fn push_flight(&mut self, rec: SmiFlightRecord) {
+        if self.flight.len() == FLIGHT_RING_CAP {
+            self.flight.pop_front();
+            self.flight_dropped += 1;
+        }
+        self.flight.push_back(rec);
     }
 
     /// The event log (bounded; oldest entries are dropped).
@@ -365,7 +485,15 @@ impl Machine {
     ) -> Result<(), MachineError> {
         self.check(ctx, addr, data.len(), Access::Write)?;
         self.consult_injector(ctx, addr, data.len())?;
-        self.mem.write_raw(addr, data)
+        self.mem.write_raw(addr, data)?;
+        // Flight recorder: landed SMM-context writes join the current
+        // SMI's write-set (faulted writes above never reach here).
+        if ctx == AccessCtx::Smm {
+            if let Some(rec) = self.flight_open.as_mut() {
+                rec.note_write(addr, data.len() as u64);
+            }
+        }
+        Ok(())
     }
 
     /// Ask the armed injection plan (if any) whether this write faults.
@@ -446,14 +574,32 @@ impl Machine {
     /// injection plan is forgotten. The simulated clock continues from
     /// the snapshot instant.
     pub fn restore_from_snapshot(&mut self, snap: MachineSnapshot) {
+        // A warm reset never completes the interrupted SMI: close its
+        // flight record with `Interrupted` (dwell measured on the *live*
+        // clock up to the reset instant) so the monitor can tell "never
+        // exited SMM" from "fast SMI", and count it.
+        let reset_at = self.now();
+        let interrupted = self.flight_open.take().map(|mut rec| {
+            rec.dwell = self
+                .smm_entered_at
+                .map_or(SimTime::ZERO, |entered| reset_at.saturating_sub(entered));
+            rec.exit = SmiExit::Interrupted;
+            rec
+        });
         *self = *snap.inner;
         self.mode = CpuMode::Protected;
         self.cpu = CpuState::new();
         self.inject = None;
-        // A warm reset never completes the interrupted SMI, so the
-        // half-open dwell interval is discarded rather than attributed
-        // to the next RSM.
+        // The half-open dwell interval is discarded rather than
+        // attributed to the next RSM (the snapshot may also have been
+        // taken mid-SMI, so clear its copies too).
         self.smm_entered_at = None;
+        self.flight_open = None;
+        if let Some(rec) = interrupted {
+            self.smm_dwell_interrupted += 1;
+            kshot_telemetry::counter("machine.smm_dwell_interrupted", 1);
+            self.push_flight(rec);
+        }
         kshot_telemetry::counter("machine.snapshot_resume", 1);
     }
 
@@ -556,6 +702,38 @@ impl Machine {
         self.charge(entry_cost);
         let now = self.now();
         self.log(Event::SmiEnter(now));
+        let cause = self
+            .pending_smi_cause
+            .take()
+            .unwrap_or(SmiCause::Unattributed);
+        // A tamper attack models a pre-SMI scribble over the sealed
+        // handler image (e.g. a bootkit): it must land *before* the
+        // entry measurement so the measurement is what catches it.
+        if self.attack == Some(AttackKind::TamperHandlerImage) {
+            if let Some((base, _)) = self.sealed_image {
+                let mut b = [0u8; 1];
+                if self.mem.read_raw(base, &mut b).is_ok() {
+                    let _ = self.mem.write_raw(base, &[b[0] ^ 0xFF]);
+                }
+                self.attack = None;
+            }
+        }
+        let measurement = self.measure_handler_image();
+        self.flight_open = Some(SmiFlightRecord::open(self.smi_count, cause, measurement));
+        // Rogue-write and dwell-exhaustion attacks fire inside the SMI,
+        // after the record opened, so the recorder observes them.
+        match self.attack {
+            Some(AttackKind::RogueWrite { addr, len }) => {
+                self.attack = None;
+                let data = vec![0xEE; (len as usize).clamp(1, 64)];
+                let _ = self.write_bytes(AccessCtx::Smm, addr, &data);
+            }
+            Some(AttackKind::DwellExhaustion { extra }) => {
+                self.attack = None;
+                self.charge(extra);
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -576,9 +754,39 @@ impl Machine {
         let exit_cost = self.cost.smm_exit;
         self.charge(exit_cost);
         let now = self.now();
+        // A journal-abuse attack appends bogus entry acknowledgements
+        // after the handler closed its window; it waits for an SMI that
+        // actually journaled so the abuse lands behind a real Commit.
+        if let Some(AttackKind::JournalAbuse { extra_entries }) = self.attack {
+            if let Some(rec) = self.flight_open.as_mut() {
+                if rec
+                    .journal
+                    .iter()
+                    .any(|op| matches!(op, JournalOp::Begin { .. }))
+                {
+                    rec.note_journal(JournalOp::Entries {
+                        count: extra_entries,
+                    });
+                    self.attack = None;
+                }
+            }
+        }
         if let Some(entered) = self.smm_entered_at.take() {
             let dwell = now.saturating_sub(entered);
-            self.max_smm_dwell = self.max_smm_dwell.max(dwell);
+            if dwell > self.max_smm_dwell {
+                self.max_smm_dwell = dwell;
+                self.max_smm_dwell_smi = self
+                    .flight_open
+                    .as_ref()
+                    .map(|rec| (rec.index, rec.cause))
+                    .or(Some((self.smi_count, SmiCause::Unattributed)));
+            }
+            if let Some(rec) = self.flight_open.take() {
+                let mut rec = rec;
+                rec.dwell = dwell;
+                rec.exit = SmiExit::Ok;
+                self.push_flight(rec);
+            }
             kshot_telemetry::sketch_observe("machine.smm_dwell_ns", dwell.as_ns());
             if let Some(budget) = self.smm_dwell_budget {
                 let effective_ns = budget.as_ns().saturating_mul(self.smm_dwell_budget_scale);
@@ -806,15 +1014,110 @@ mod tests {
         let mut m = machine();
         m.set_smm_dwell_budget(Some(SimTime::from_ns(1)));
         m.raise_smi().unwrap();
+        m.charge(SimTime::from_us(5));
         let snap = m.snapshot();
         // The snapshot was taken mid-SMI; restoring must not attribute
         // the half-open interval to a later RSM.
         m.restore_from_snapshot(snap);
         assert_eq!(m.mode(), CpuMode::Protected);
+        // The torn SMI is counted and closed with an Interrupted flight
+        // record whose dwell covers delivery up to the reset instant.
+        assert_eq!(m.smm_dwell_interrupted_count(), 1);
+        let torn = m.flight_records().last().unwrap();
+        assert_eq!(torn.exit, crate::flight::SmiExit::Interrupted);
+        assert_eq!(torn.dwell, m.cost().smm_entry + SimTime::from_us(5));
         m.raise_smi().unwrap();
         m.rsm().unwrap();
         // Only the post-restore SMI is measured (and flagged, with the
         // 1ns budget).
         assert_eq!(m.smm_overbudget_count(), 1);
+    }
+
+    #[test]
+    fn flight_records_capture_cause_writes_and_dwell() {
+        use crate::flight::{JournalOp, SmiCause, SmiExit, WriteRange};
+        let mut m = machine();
+        let scratch = m.smram_scratch_base();
+        m.declare_smi_cause(SmiCause::Patch);
+        m.raise_smi().unwrap();
+        m.write_bytes(AccessCtx::Smm, scratch, &[1, 2, 3, 4])
+            .unwrap();
+        m.write_bytes(AccessCtx::Smm, scratch + 4, &[5, 6]).unwrap(); // coalesces
+        m.flight_note_journal(JournalOp::Commit);
+        m.charge(SimTime::from_us(1));
+        m.rsm().unwrap();
+        assert_eq!(m.flight_records().count(), 1);
+        let rec = m.flight_records().next().unwrap();
+        assert_eq!(rec.index, 1);
+        assert_eq!(rec.cause, SmiCause::Patch);
+        assert_eq!(rec.exit, SmiExit::Ok);
+        assert_eq!(rec.measurement, 0, "no image sealed yet");
+        assert_eq!(
+            rec.writes,
+            vec![WriteRange {
+                base: scratch,
+                len: 6
+            }]
+        );
+        assert_eq!(rec.journal, vec![JournalOp::Commit]);
+        let switch = m.cost().smm_entry + m.cost().smm_exit;
+        assert_eq!(rec.dwell, switch + SimTime::from_us(1));
+        assert_eq!(rec.dwell, m.max_smm_dwell());
+        assert_eq!(m.max_smm_dwell_smi(), Some((1, SmiCause::Patch)));
+        // The cause declaration is one-shot: the next SMI is
+        // unattributed, and the hardware save-area write never pollutes
+        // the write-set.
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        let rec = m.flight_records().last().unwrap();
+        assert_eq!(rec.cause, SmiCause::Unattributed);
+        assert!(rec.writes.is_empty());
+    }
+
+    #[test]
+    fn sealed_image_is_measured_and_tamper_changes_it() {
+        use crate::flight::fnv1a;
+        let mut m = machine();
+        let base = m.smram_scratch_base() + 0x2000;
+        let image = [0xAB; 64];
+        m.raise_smi().unwrap();
+        m.write_bytes(AccessCtx::Smm, base, &image).unwrap();
+        m.seal_handler_image(base, image.len() as u64);
+        m.rsm().unwrap();
+        let expected = fnv1a(&image);
+        assert_eq!(m.measure_handler_image(), expected);
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        assert_eq!(m.flight_records().last().unwrap().measurement, expected);
+        // Tamper fires before the next entry measurement, then disarms.
+        m.arm_attack(AttackKind::TamperHandlerImage);
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        let tampered = m.flight_records().last().unwrap().measurement;
+        assert_ne!(tampered, expected);
+        assert_eq!(m.armed_attack(), None);
+        // Subsequent SMIs keep measuring the tampered image.
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        assert_eq!(m.flight_records().last().unwrap().measurement, tampered);
+    }
+
+    #[test]
+    fn rogue_write_and_dwell_attacks_are_observable() {
+        use crate::flight::WriteRange;
+        let mut m = machine();
+        m.arm_attack(AttackKind::RogueWrite { addr: 0x40, len: 8 });
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        let rec = m.flight_records().last().unwrap();
+        assert!(rec.writes.contains(&WriteRange { base: 0x40, len: 8 }));
+        let baseline = rec.dwell;
+        m.arm_attack(AttackKind::DwellExhaustion {
+            extra: SimTime::from_ms(10),
+        });
+        m.raise_smi().unwrap();
+        m.rsm().unwrap();
+        let rec = m.flight_records().last().unwrap();
+        assert_eq!(rec.dwell, baseline + SimTime::from_ms(10));
     }
 }

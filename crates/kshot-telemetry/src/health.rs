@@ -392,6 +392,9 @@ pub struct HealthReport {
     pub resident_sketch_bytes: u64,
     /// Wall time spent inside `poll` (aggregation only, not sleeps).
     pub agg_wall: Duration,
+    /// Summary of the attached integrity monitor, when
+    /// [`HealthMonitor::with_integrity`] was used.
+    pub integrity: Option<crate::integrity::IntegrityReport>,
 }
 
 impl HealthReport {
@@ -457,6 +460,13 @@ pub struct HealthMonitor {
     sink: Option<StreamSink>,
     lines_consumed: u64,
     agg_wall: Duration,
+    /// Detached SMM integrity monitor fed with the parcels' `smi.*`
+    /// flight lines, when attached.
+    integrity: Option<crate::integrity::IntegrityMonitor>,
+    /// Integrity violations awaiting their machine's window, so the
+    /// window's verdict escalates to Halt. Drained at window emit —
+    /// bounded by the in-flight machine count, like `parcels`.
+    integrity_flags: std::collections::BTreeMap<u64, Vec<String>>,
 }
 
 impl HealthMonitor {
@@ -490,7 +500,25 @@ impl HealthMonitor {
             sink: None,
             lines_consumed: 0,
             agg_wall: Duration::ZERO,
+            integrity: None,
+            integrity_flags: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Attach a detached SMM integrity monitor: every `smi.*` flight
+    /// line in the tailed parcels is replayed against `policy`, and a
+    /// window containing a violating machine escalates its verdict to
+    /// [`HealthVerdict::Halt`] carrying the violation reasons — which
+    /// drives the rollout controller's auto-rollback exactly like a
+    /// health Halt.
+    pub fn with_integrity(mut self, policy: crate::integrity::IntegrityPolicy) -> HealthMonitor {
+        self.integrity = Some(crate::integrity::IntegrityMonitor::new(policy));
+        self
+    }
+
+    /// The attached integrity monitor, if any.
+    pub fn integrity(&self) -> Option<&crate::integrity::IntegrityMonitor> {
+        self.integrity.as_ref()
     }
 
     /// Tag every emitted snapshot with the rollout wave its window
@@ -593,6 +621,19 @@ impl HealthMonitor {
                 let shard = ShardData::parse(&parcel_lines).map_err(&parse_err)?;
                 self.lines_consumed += parcel_lines.lines().count() as u64;
                 let (machine, agg) = parcel_from_shard(&shard).map_err(&parse_err)?;
+                if let Some(integrity) = self.integrity.as_mut() {
+                    for smi in shard.other_of_type("smi") {
+                        if let crate::integrity::IntegrityVerdict::Violation { reasons } =
+                            integrity.check_value(smi)
+                        {
+                            let flags = self.integrity_flags.entry(machine).or_default();
+                            // Bounded: a machine's flagged reasons stop
+                            // accumulating past what a Halt needs.
+                            let room = 16usize.saturating_sub(flags.len());
+                            flags.extend(reasons.into_iter().take(room));
+                        }
+                    }
+                }
                 self.parcels.insert(machine, agg);
                 parcel_lines.clear();
             }
@@ -619,7 +660,21 @@ impl HealthMonitor {
             }
             self.total.merge_from(&wagg);
             let window = wagg.stats();
-            let verdict = self.policy.evaluate(&window);
+            let mut verdict = self.policy.evaluate(&window);
+            // Integrity violations trump health thresholds: a window
+            // containing a violating machine halts, carrying both the
+            // health reasons (if any) and the violation reasons.
+            let mut integrity_reasons = Vec::new();
+            for m in start..end {
+                if let Some(flags) = self.integrity_flags.remove(&m) {
+                    integrity_reasons.extend(flags);
+                }
+            }
+            if !integrity_reasons.is_empty() {
+                let mut reasons = verdict.reasons().to_vec();
+                reasons.extend(integrity_reasons);
+                verdict = HealthVerdict::Halt { reasons };
+            }
             let wave = self
                 .wave_ends
                 .iter()
@@ -734,6 +789,7 @@ impl HealthMonitor {
             resident_sketch_bytes: self.total.dwell.resident_bytes()
                 + self.total.latency.resident_bytes(),
             agg_wall: self.agg_wall,
+            integrity: self.integrity.as_ref().map(|m| m.report()),
             snapshots: self.snapshots,
             total,
         })
@@ -824,6 +880,66 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// The verdict reason strings are an interface: the rollout plane
+    /// surfaces them verbatim in `halt_reasons` and operators grep
+    /// them. Pin the exact text of every policy-derived sentence, and
+    /// the invariant that a non-healthy verdict always names at least
+    /// one reason.
+    #[test]
+    fn verdict_reason_strings_are_golden() {
+        let policy = HealthPolicy::new()
+            .with_failure_per_mille(50, 300)
+            .with_retry_ceiling_per_mille(250)
+            .with_dwell_budget(1_000_000, 1500);
+
+        let halt = policy.evaluate(&SignalStats {
+            machines: 4,
+            failure_per_mille: 500,
+            ..Default::default()
+        });
+        assert_eq!(halt.label(), "halt");
+        assert_eq!(
+            halt.reasons(),
+            ["failure rate 500 per-mille exceeds halt ceiling 300"]
+        );
+
+        // Every tripped degrade check contributes its own exact
+        // sentence, in check order.
+        let degraded = policy.evaluate(&SignalStats {
+            machines: 4,
+            failure_per_mille: 100,
+            retry_per_mille: 400,
+            dwell_samples: 9,
+            dwell_p99_ns: 2_000_000,
+            ..Default::default()
+        });
+        assert_eq!(degraded.label(), "degraded");
+        assert_eq!(
+            degraded.reasons(),
+            [
+                "failure rate 100 per-mille exceeds degrade ceiling 50",
+                "retry rate 400 per-mille exceeds ceiling 250",
+                "dwell p99 2000000ns exceeds budget 1000000ns x 1500 per-mille margin",
+            ]
+        );
+
+        // A Halt (or Degraded) with no reasons would be unactionable:
+        // severity > 0 if and only if at least one reason names why.
+        for failure in [0, 51, 100, 301, 500, 1000] {
+            let v = policy.evaluate(&SignalStats {
+                machines: 4,
+                failure_per_mille: failure,
+                ..Default::default()
+            });
+            assert_eq!(
+                v.severity() > 0,
+                !v.reasons().is_empty(),
+                "failure {failure}: {v:?}"
+            );
+        }
+        assert!(HealthVerdict::Healthy.reasons().is_empty());
     }
 
     #[test]

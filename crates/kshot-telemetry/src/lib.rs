@@ -59,6 +59,7 @@ pub const SCHEMA_VERSION: u32 = 1;
 
 pub mod export;
 pub mod health;
+pub mod integrity;
 pub mod json;
 mod metrics;
 mod phase;
@@ -73,6 +74,7 @@ pub use health::{
     HealthMonitor, HealthPolicy, HealthReport, HealthSnapshot, HealthVerdict, SignalStats,
     SMM_DWELL_METRIC,
 };
+pub use integrity::{IntegrityMonitor, IntegrityPolicy, IntegrityReport, IntegrityVerdict};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS_NS};
 pub use phase::{PhaseProfile, PhaseStats, PHASES, PHASE_PREFIX};
 pub use record::{json_escape, EventRecord, Field, Record, SpanRecord, Value};

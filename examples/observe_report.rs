@@ -35,11 +35,14 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use kshot::fleet::{run_campaign, CampaignTarget, FleetConfig, HealthPolicy, PlannedSlowdown};
+use kshot::fleet::{
+    run_campaign, CampaignTarget, FleetConfig, HealthPolicy, IntegrityPolicy, PlannedAttack,
+    PlannedSlowdown,
+};
 use kshot::telemetry::json::Value;
 use kshot::telemetry::{HealthMonitor, ShardData, SMM_DWELL_METRIC};
 use kshot_cve::{find, patch_for};
-use kshot_machine::SimTime;
+use kshot_machine::{AttackKind, MemLayout, SimTime};
 
 const MACHINES: usize = 32;
 const WORKERS: usize = 4;
@@ -54,6 +57,23 @@ const HEALTH_WINDOW: usize = 8;
 /// completes (and must be flagged) while later machines are still in
 /// flight.
 const LINK_RTT: Duration = Duration::from_millis(25);
+/// Integrity dwell ceiling. Deliberately far above the *health* budget:
+/// the planned 10x slowdown is a performance anomaly for the health
+/// plane, not an attack, so the clean run must stay violation-free.
+const INTEGRITY_DWELL: SimTime = SimTime::from_ms(5);
+
+/// The declarative per-SMI invariants the detached monitor replays the
+/// `smi` flight stream against: sealed handler measurement, the
+/// machine's legitimate physical extents, and the dwell ceiling.
+fn integrity_policy(layout: &MemLayout) -> IntegrityPolicy {
+    IntegrityPolicy::new()
+        .with_expected_measurement(kshot::core::expected_handler_measurement())
+        .with_allowed_extent(layout.smram_base, layout.smram_size)
+        .with_allowed_extent(layout.kernel_text_base, layout.kernel_text_size)
+        .with_allowed_extent(layout.kernel_data_base, layout.kernel_data_size)
+        .with_allowed_extent(layout.reserved_base, layout.reserved_size)
+        .with_dwell_budget_ns(INTEGRITY_DWELL.as_ns())
+}
 
 fn main() {
     let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
@@ -89,7 +109,8 @@ fn main() {
             machine: SLOW_MACHINE,
             factor: SLOW_FACTOR,
         })
-        .with_health(policy.clone(), HEALTH_WINDOW);
+        .with_health(policy.clone(), HEALTH_WINDOW)
+        .with_integrity(integrity_policy(&target.layout));
 
     // The live dashboard: a second, *external* monitor — the campaign
     // already runs its own — tailing the same shard files the way a
@@ -221,6 +242,30 @@ fn main() {
     );
     assert_eq!(health.report.final_verdict().label(), "degraded");
 
+    // The integrity plane: a clean (if slow) fleet replays with zero
+    // violations, every SMI accounted for, in bounded resident memory.
+    let clean = report.integrity.as_ref().expect("campaign armed integrity");
+    assert_eq!(
+        clean.violations, 0,
+        "clean run violated: {:?}",
+        clean.reasons
+    );
+    assert_eq!(
+        clean.records_checked,
+        2 * MACHINES as u64,
+        "install + patch SMI per machine"
+    );
+    assert!(
+        clean.resident_bytes < 64 * 1024,
+        "integrity monitor must stay bounded, got {} bytes",
+        clean.resident_bytes
+    );
+    println!(
+        "\nINTEGRITY OK: {} flight records replayed, 0 violations, \
+         {} resident bytes",
+        clean.records_checked, clean.resident_bytes
+    );
+
     // Streamed totals equal the in-memory report and the merged shards.
     assert_eq!(health.report.total.ok, report.succeeded as u64);
     assert_eq!(health.report.total.failed, report.failed as u64);
@@ -282,6 +327,51 @@ fn main() {
     );
     println!("\n{}", report.to_json());
 
+    // Attack sweep: four machines, one attack class each. Every attack
+    // is covert with respect to the patch itself (all sessions still
+    // succeed) — only the flight-record replay catches them.
+    println!("\n== integrity attack sweep: one machine per attack class ==");
+    let sweep_dir = out_dir.join("attack-sweep");
+    let _ = fs::remove_dir_all(&sweep_dir);
+    let sweep_cfg = FleetConfig::new(4, 2)
+        .with_seed(0xA77C)
+        .with_stream_dir(&sweep_dir)
+        .with_health(HealthPolicy::new(), 2)
+        .with_integrity(integrity_policy(&target.layout))
+        .with_attack(PlannedAttack {
+            machine: 0,
+            kind: AttackKind::TamperHandlerImage,
+        })
+        .with_attack(PlannedAttack {
+            machine: 1,
+            kind: AttackKind::RogueWrite {
+                addr: 0x40,
+                len: 16,
+            },
+        })
+        .with_attack(PlannedAttack {
+            machine: 2,
+            kind: AttackKind::JournalAbuse { extra_entries: 3 },
+        })
+        .with_attack(PlannedAttack {
+            machine: 3,
+            kind: AttackKind::DwellExhaustion {
+                extra: SimTime::from_ms(50),
+            },
+        });
+    let sweep = run_campaign(&target, &bytes, &sweep_cfg);
+    assert_eq!(sweep.succeeded, 4, "attacks are covert: patches still land");
+    let attacked = sweep.integrity.as_ref().expect("sweep armed integrity");
+    assert_eq!(
+        attacked.violating_machines,
+        vec![0, 1, 2, 3],
+        "every attacked machine must be flagged: {:?}",
+        attacked.reasons
+    );
+    for r in &attacked.reasons {
+        println!("  caught: {r}");
+    }
+
     // The benchmark artefact the CI gate checks: aggregation throughput
     // and the bounded memory the sketch-backed health plane holds.
     let agg_secs = health.report.agg_wall.as_secs_f64();
@@ -296,7 +386,10 @@ fn main() {
             "\"snapshots\":{},\"live_snapshots\":{},\"degraded_live\":{},",
             "\"lines_consumed\":{},\"agg_wall_ms\":{:.3},",
             "\"agg_lines_per_sec\":{:.0},\"resident_sketch_bytes\":{},",
-            "\"final_verdict\":\"{}\"}}"
+            "\"final_verdict\":\"{}\",",
+            "\"integrity\":{{\"clean_records\":{},\"clean_violations\":{},",
+            "\"clean_resident_bytes\":{},\"attack_machines\":{},",
+            "\"attacks_caught\":{}}}}}"
         ),
         MACHINES,
         WORKERS,
@@ -309,6 +402,11 @@ fn main() {
         lines_per_sec,
         health.report.resident_sketch_bytes,
         health.report.final_verdict().label(),
+        clean.records_checked,
+        clean.violations,
+        clean.resident_bytes,
+        sweep.machines,
+        attacked.violating_machines.len(),
     );
     let bench_out =
         std::env::var("OBSERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_observe.json".to_string());

@@ -1,5 +1,7 @@
 //! Security walk-through (paper §V-C/§V-D): rollback, malicious patch
-//! reversion with SMM-introspection repair, and DOS detection.
+//! reversion with SMM-introspection repair, DOS detection, and a
+//! fleet-wide handler-image tamper caught by the detached integrity
+//! monitor — wave halted, auto-rollback to the never-patched state.
 //!
 //! ```text
 //! cargo run --example rollback_and_attack
@@ -8,7 +10,11 @@
 use kshot::bench_setup::{boot_benchmark_kernel, install_kshot};
 use kshot_core::reserved::rw_offsets;
 use kshot_cve::{exploit_for, find, patch_for};
-use kshot_machine::AccessCtx;
+use kshot_fleet::{
+    run_campaign, CampaignTarget, FleetConfig, HealthPolicy, IntegrityPolicy, PlannedAttack,
+    PlannedFault, RolloutPlan,
+};
+use kshot_machine::{AccessCtx, AttackKind};
 
 fn main() {
     let spec = find("CVE-2016-5195").expect("dirty-cow-class benchmark CVE");
@@ -79,5 +85,84 @@ fn main() {
         probe2.staged, probe2.epoch
     );
     assert_eq!(probe.epoch, probe2.epoch);
+    println!();
+
+    println!("== scenario 4: handler tamper caught fleet-wide; wave auto-rolls-back ==");
+    // Eight machines under a staged rollout (canary 2 → waves [0,2),
+    // [2,6), [6,8)). Machine 3 carries a tampered SMM handler image:
+    // one sealed byte flipped after install, so its patch SMI's flight
+    // record reports the wrong measurement. The detached integrity
+    // monitor flags it mid-campaign, the wave halts, and auto-rollback
+    // leaves every patched machine of the wave byte-identical to one
+    // that never patched.
+    let cve = find("CVE-2017-17806").expect("benchmark CVE");
+    let (target, fleet_server) = CampaignTarget::benchmark(cve.version);
+    let info = target.boot_one().info();
+    let bundle = fleet_server
+        .build_patch(&info, &patch_for(cve))
+        .unwrap()
+        .bundle
+        .encode();
+    let dir = std::env::temp_dir().join(format!("kshot-attack-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let layout = target.layout;
+    let policy = IntegrityPolicy::new()
+        .with_expected_measurement(kshot_core::expected_handler_measurement())
+        .with_allowed_extent(layout.smram_base, layout.smram_size)
+        .with_allowed_extent(layout.kernel_text_base, layout.kernel_text_size)
+        .with_allowed_extent(layout.kernel_data_base, layout.kernel_data_size)
+        .with_allowed_extent(layout.reserved_base, layout.reserved_size);
+    let config = FleetConfig::new(8, 2)
+        .with_seed(0x7A3B)
+        .with_stream_dir(&dir)
+        .with_health(HealthPolicy::new(), 2)
+        .with_integrity(policy)
+        .with_rollout(RolloutPlan::canary_machines(2))
+        .with_attack(PlannedAttack {
+            machine: 3,
+            kind: AttackKind::TamperHandlerImage,
+        });
+    let report = run_campaign(&target, &bundle, &config);
+    let integrity = report.integrity.as_ref().expect("integrity armed");
+    println!(
+        "integrity: {} records replayed, {} violation(s) on machines {:?}",
+        integrity.records_checked, integrity.violations, integrity.violating_machines
+    );
+    for r in &integrity.reasons {
+        println!("  {r}");
+    }
+    assert_eq!(integrity.violating_machines, vec![3]);
+    let rollout = report.rollout.as_ref().expect("rollout armed");
+    assert_eq!(rollout.halt_wave, Some(1), "{rollout:?}");
+    println!(
+        "wave 1 halted ({}); {} machine(s) auto-rolled-back, {} never admitted",
+        rollout.halt_verdict.as_deref().unwrap_or("?"),
+        rollout.rolled_back,
+        rollout.not_admitted
+    );
+    // The never-patched reference digest comes from a terminally
+    // faulted twin: its failed apply is recovered, leaving exactly the
+    // pre-patch bytes.
+    let never_patched = {
+        let mut twin = FleetConfig::new(1, 1)
+            .with_seed(0x7A3B)
+            .with_fault(PlannedFault {
+                machine: 0,
+                smm_write_index: 2,
+            });
+        twin.max_attempts = 1;
+        run_campaign(&target, &bundle, &twin).outcomes[0].state_digest
+    };
+    for (machine, o) in report.outcomes.iter().enumerate().take(6).skip(2) {
+        assert!(o.rolled_back, "{o:?}");
+        assert_eq!(
+            o.state_digest, never_patched,
+            "machine {machine}: rollback must equal never-patched"
+        );
+    }
+    assert_ne!(report.outcomes[0].state_digest, never_patched);
+    println!("halted wave reverted to the never-patched digest; canary keeps its patch");
+    let _ = std::fs::remove_dir_all(&dir);
+
     println!("\nall scenarios OK");
 }
