@@ -52,6 +52,18 @@ cargo test -q -p kshot-fleet pipelined_worker_matches_sequential_results
 echo "== sketch error-bound property =="
 cargo test -q -p kshot-telemetry --test prop_sketch
 
+# Roll-up gates: the Merkle accumulator's unit surface (append/merge/
+# root/divergence/frontier round-trip), the fleet fold's merge-equals-
+# sequential-fold property plus the fold-mode campaign tests (fold ==
+# retained summaries, pipelined reorder, streamed roll-up lines
+# reconstructing the campaign root), and the cross-scheduler
+# root-vs-digest-vector property with the exact divergence locator.
+echo "== merkle roll-up + outcome folding =="
+cargo test -q -p kshot-telemetry merkle
+cargo test -q -p kshot-telemetry rollup
+cargo test -q -p kshot-fleet fold
+cargo test -q -p kshot --test merkle_rollup
+
 echo "== health stream determinism =="
 cargo test -q -p kshot-fleet --test health_stream
 
@@ -97,6 +109,17 @@ grep -q '"not_admitted":6' BENCH_fleet.json
 grep -q '"batched":{' BENCH_fleet.json
 grep -q '"batched_beats_sequential":true' BENCH_fleet.json
 grep -q '"rollback_pops_last_cve":true' BENCH_fleet.json
+# Million-machine scale gate: the fold + Merkle-roll-up stage ran a
+# >=100k-machine campaign (6+ digit machine count), its Merkle root was
+# byte-identical across the workers {1,8} x depths {1,4} grid AND equal
+# to the retained 64-machine digest-vector root, and the fold's
+# resident footprint stayed under 1/10th of the measured retained
+# equivalent.
+grep -q '"scale":{' BENCH_fleet.json
+grep -Eq '"scale":\{"machines":[1-9][0-9]{5}' BENCH_fleet.json
+grep -q '"merkle_root_identical":true' BENCH_fleet.json
+grep -q '"root_matches_digest_vector":true' BENCH_fleet.json
+grep -q '"resident_bounded":true' BENCH_fleet.json
 
 # Streaming observability gate: the example streams a 32-machine
 # campaign to per-worker JSON-lines shards, tails them *live* with a

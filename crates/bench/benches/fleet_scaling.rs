@@ -68,6 +68,36 @@ fn fleet_scaling(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Retained vs folded on a compute-bound fleet (no link RTT): the
+    // fold path skips the per-machine recorder scope and record stream,
+    // recycles boot images through the per-worker arena, and replaces
+    // the outcome vector + exact latency sort with O(log n) fold state —
+    // the per-machine throughput gap is the whole point of fold mode.
+    let mut group = c.benchmark_group("fleet_fold");
+    group.sample_size(10);
+    for (label, fold) in [("retained", false), ("folded", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("128_machines_1_worker", label),
+            &fold,
+            |b, &fold| {
+                let mut config = FleetConfig::new(128, 1).with_seed(0xF01D);
+                if fold {
+                    config = config.with_outcome_fold();
+                }
+                b.iter(|| {
+                    let report = run_campaign(&target, &bytes, &config);
+                    assert_eq!(report.failed, 0);
+                    if fold {
+                        report.fold.as_ref().expect("fold report").merkle_root()[0] as usize
+                    } else {
+                        report.succeeded
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
 }
 
 criterion_group!(benches, fleet_scaling);

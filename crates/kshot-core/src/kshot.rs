@@ -257,6 +257,14 @@ impl KShot {
         &mut self.kernel
     }
 
+    /// Tear the system down, releasing the kernel (and with it the
+    /// machine and its pristine boot image) to the caller. Used by
+    /// fleet session arenas to recycle boot-image allocations across
+    /// the machines a worker drives.
+    pub fn into_kernel(self) -> Kernel {
+        self.kernel
+    }
+
     /// The reserved-region layout.
     pub fn reserved(&self) -> &ReservedLayout {
         &self.reserved

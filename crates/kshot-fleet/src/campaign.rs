@@ -32,11 +32,12 @@ use kshot_telemetry::{
 };
 
 use crate::config::FleetConfig;
+use crate::fold::OutcomeFold;
 use crate::report::{CampaignHealth, CampaignReport, WorkerOccupancy};
 use crate::rollout::{
     RolloutController, RolloutGate, RolloutPlan, RolloutReport, RolloutTrail, Wave, WaveAction,
 };
-use crate::session::{MachineSession, StepStatus};
+use crate::session::{MachineSession, SessionArena, StepStatus};
 
 /// What every machine in the fleet patches: one pre-linked kernel image
 /// (shared immutably — booting a machine clones segments, not relinks
@@ -153,12 +154,18 @@ pub struct MachineOutcome {
     pub dwell_worst: Option<(u64, SmiCause)>,
 }
 
-/// Run one campaign: patch `config.machines` machines, sharded
-/// round-robin over `config.workers` OS threads, all applying the
-/// bundle serialized in `bundle_bytes` (decoded once through a shared
-/// [`BundleCache`]).
+/// Run one campaign: patch `config.machines` machines, sharded over
+/// `config.workers` OS threads, all applying the bundle serialized in
+/// `bundle_bytes` (decoded once through a shared [`BundleCache`]).
 ///
-/// Machine `i` runs on worker `i % workers`. Each worker keeps up to
+/// Machine `i` runs on worker `i % workers` (round-robin), except in
+/// fold mode ([`FleetConfig::fold_outcomes`]) where each worker owns
+/// one contiguous ascending range — the sharding that makes each
+/// worker's Merkle roll-up a single range and the cross-worker fold
+/// merge an adjacent-range join. Per-machine results are independent of
+/// the machine→worker mapping (a machine's seed, clock, and digest
+/// derive only from its own index), so the two shardings produce
+/// identical simulated-domain results. Each worker keeps up to
 /// [`FleetConfig::pipeline_depth`] sessions live at once, stepping
 /// whichever has CPU work while the others wait out their link RTT or
 /// backoff deadlines; per-machine execution stays deterministic because
@@ -172,6 +179,15 @@ pub fn run_campaign(
     let cache = BundleCache::new();
     let workers = config.workers.max(1);
     let started = Instant::now();
+
+    // Fold mode drops outcomes as sessions retire; a rollout's verdict
+    // plane needs retained outcomes (and round-robin wave admission),
+    // so the combination would silently mis-report — fail loudly.
+    assert!(
+        !(config.fold_outcomes && config.rollout.is_some()),
+        "FleetConfig::with_outcome_fold is incompatible with with_rollout \
+         (verdict actuation needs retained outcomes and round-robin admission)"
+    );
 
     // The health monitor tails the worker shard files; arming it
     // without streaming would silently watch nothing, so fail loudly.
@@ -207,7 +223,14 @@ pub fn run_campaign(
         });
     let campaign_done = AtomicBool::new(false);
 
-    let mut per_machine: Vec<(MachineOutcome, Arc<Recorder>)> = Vec::with_capacity(config.machines);
+    let mut per_machine: Vec<(MachineOutcome, Arc<Recorder>)> =
+        Vec::with_capacity(if config.fold_outcomes {
+            0
+        } else {
+            config.machines
+        });
+    let mut fold: Option<OutcomeFold> = None;
+    let mut fold_recorders: Vec<Arc<Recorder>> = Vec::new();
     let mut occupancy: Vec<WorkerOccupancy> = Vec::with_capacity(workers);
     let mut health: Option<CampaignHealth> = None;
     let mut trail: Option<RolloutTrail> = None;
@@ -241,9 +264,22 @@ pub fn run_campaign(
                 scope.spawn(move || run_worker(target, cache, bundle_bytes, config, worker, gate)),
             );
         }
+        // Workers are joined in worker order; in fold mode that is also
+        // ascending machine-range order, so folds merge left to right.
         for handle in handles {
-            let (results, worker_occupancy) = handle.join().expect("fleet worker panicked");
-            per_machine.extend(results);
+            let (yielded, worker_occupancy) = handle.join().expect("fleet worker panicked");
+            match yielded {
+                WorkerYield::Retained(results) => per_machine.extend(results),
+                WorkerYield::Folded(worker_fold, recorder) => {
+                    fold_recorders.push(recorder);
+                    match fold.as_mut() {
+                        None => fold = Some(*worker_fold),
+                        Some(merged) => merged
+                            .merge(&worker_fold)
+                            .expect("worker folds cover adjacent machine ranges"),
+                    }
+                }
+            }
             occupancy.push(worker_occupancy);
         }
         // Every worker has flushed its shard; release the monitor for
@@ -271,12 +307,19 @@ pub fn run_campaign(
         }
         outcomes.push(outcome);
     }
+    // Fold mode: each worker carried one recorder (streaming folds
+    // merged their machines' metric totals into it; the unstreamed
+    // fast path recorded nothing — the fold is the summary).
+    for worker_recorder in &fold_recorders {
+        recorder.metrics().merge_from(worker_recorder.metrics());
+    }
     let rollout = rollout_cfg.map(|(plan, _, _)| {
         RolloutReport::assemble(plan, config.machines, trail.unwrap_or_default(), &outcomes)
     });
     CampaignReport::assemble(
         config,
         outcomes,
+        fold,
         recorder,
         occupancy,
         wall,
@@ -285,6 +328,18 @@ pub fn run_campaign(
         health,
         rollout,
     )
+}
+
+/// What one worker hands back: its machines' retained outcomes and
+/// recorders (the classic mode), or one streaming fold plus the
+/// worker-level recorder (fold mode — outcomes were dropped as their
+/// sessions retired).
+enum WorkerYield {
+    /// One `(outcome, recorder)` per machine, in completion order.
+    Retained(Vec<(MachineOutcome, Arc<Recorder>)>),
+    /// The worker's contiguous range folded down, plus its merged
+    /// metric totals (empty in the unstreamed fast path).
+    Folded(Box<OutcomeFold>, Arc<Recorder>),
 }
 
 /// The campaign's live health thread: poll the worker shards every
@@ -527,9 +582,39 @@ fn skipped_outcome(machine: usize, worker: usize) -> MachineOutcome {
     }
 }
 
-/// Drive one worker's share of the fleet (machines `worker`, `worker +
-/// workers`, ...) with up to `config.pipeline_depth` sessions in
-/// flight, and return their outcomes plus the worker's busy/in-flight
+/// The machines `worker` owns: round-robin (`worker`, `worker +
+/// workers`, ...) in retained mode, one contiguous ascending range in
+/// fold mode. The contiguous split hands `machines / workers` machines
+/// to every worker (the first `machines % workers` workers take one
+/// extra), ranges tiling `0..machines` in worker order — so worker
+/// `w`'s range starts exactly where worker `w-1`'s ends and the
+/// per-worker folds merge as adjacent Merkle ranges.
+fn worker_shard(config: &FleetConfig, worker: usize) -> Vec<usize> {
+    let workers = config.workers.max(1);
+    if config.fold_outcomes {
+        let base = config.machines / workers;
+        let rem = config.machines % workers;
+        let start = worker * base + worker.min(rem);
+        let len = base + usize::from(worker < rem);
+        (start..start + len).collect()
+    } else {
+        (worker..config.machines).step_by(workers).collect()
+    }
+}
+
+/// Where `worker`'s fold-mode range starts even when it is empty (more
+/// workers than machines): the end of the previous worker's range, so
+/// empty folds still merge as zero-length adjacent ranges.
+fn worker_fold_start(config: &FleetConfig, worker: usize) -> usize {
+    let workers = config.workers.max(1);
+    let base = config.machines / workers;
+    let rem = config.machines % workers;
+    worker * base + worker.min(rem)
+}
+
+/// Drive one worker's share of the fleet (see [`worker_shard`]) with up
+/// to `config.pipeline_depth` sessions in flight, and return its yield
+/// (retained outcomes or a fold) plus the worker's busy/in-flight
 /// occupancy split.
 fn run_worker(
     target: &CampaignTarget,
@@ -538,9 +623,10 @@ fn run_worker(
     config: &FleetConfig,
     worker: usize,
     gate: Option<&RolloutGate>,
-) -> (Vec<(MachineOutcome, Arc<Recorder>)>, WorkerOccupancy) {
+) -> (WorkerYield, WorkerOccupancy) {
     let workers = config.workers.max(1);
     let depth = config.pipeline_depth.max(1);
+    let fold_mode = config.fold_outcomes;
     // Stagger worker starts across one link RTT. Without this the
     // fleet convoys: every worker sleeps its RTT in lockstep (host
     // core idle), then all wake and contend for it at once. Offsetting
@@ -557,7 +643,31 @@ fn run_worker(
         StreamSink::to_path(&path).unwrap_or_else(|e| panic!("open shard {}: {e}", path.display()))
     });
 
-    let my_machines: Vec<usize> = (worker..config.machines).step_by(workers).collect();
+    let my_machines = worker_shard(config, worker);
+    // Whether sessions record telemetry at all. Fold mode without a
+    // stream sink is the fast path: no per-machine recorder, no
+    // RecorderScope entered around steps (every telemetry emit
+    // early-returns without a scope), no parcels sealed — the fold is
+    // the campaign's entire summary. Fold *with* streaming keeps the
+    // per-machine recorders so shard parcels stay byte-identical to
+    // the retained mode's.
+    let record_scope = !fold_mode || sink.is_some();
+    // Fast-path sessions share one inert recorder (the session struct
+    // needs one); nothing ever enters it, so it stays empty.
+    let shared_recorder = Recorder::with_capacity(1);
+    // Fold mode: the worker's running summary plus a depth-bounded
+    // reorder buffer — pipelined sessions retire out of order, but the
+    // Merkle roll-up must absorb digests in machine order.
+    let fold_start = worker_fold_start(config, worker);
+    let mut fold = OutcomeFold::starting_at(fold_start);
+    let mut next_fold = fold_start;
+    let mut pending: BTreeMap<usize, MachineOutcome> = BTreeMap::new();
+    // Fold mode's worker-level recorder: streaming folds merge each
+    // machine's metric totals into it before dropping the machine.
+    let fold_recorder = Recorder::with_capacity(1);
+    // Per-worker image arena: boot draws from it, finalize returns to
+    // it, so at most `depth` image clones ever exist per worker.
+    let mut arena = SessionArena::with_capacity(depth);
     let mut next_admit = 0usize;
     let mut live = 0usize;
     let mut park_seq = 0u64;
@@ -572,7 +682,7 @@ fn run_worker(
     // Shard parcels waiting for their turn in the shard file.
     let mut parcels: BTreeMap<usize, Parcel> = BTreeMap::new();
     let mut next_flush = 0usize;
-    let mut results = Vec::with_capacity(my_machines.len());
+    let mut results = Vec::with_capacity(if fold_mode { 0 } else { my_machines.len() });
     let mut busy = Duration::ZERO;
     let mut in_flight = Duration::ZERO;
 
@@ -601,7 +711,11 @@ fn run_worker(
             if gate.is_some_and(|g| !g.may_admit(machine)) {
                 break;
             }
-            let recorder = Recorder::new();
+            let recorder = if record_scope {
+                Recorder::new()
+            } else {
+                Arc::clone(&shared_recorder)
+            };
             let lines = sink.as_ref().map(|_| {
                 let lines = Arc::new(Mutex::new(Vec::new()));
                 recorder.add_sink(Box::new(BufferSink {
@@ -645,9 +759,18 @@ fn run_worker(
 
         if let Some(mut active) = ready.pop_front() {
             let step_started = Instant::now();
-            let status = {
+            let status = if record_scope {
                 let _scope = RecorderScope::enter(Arc::clone(&active.session.recorder));
-                active.session.step(target, cache, bundle_bytes, config)
+                active
+                    .session
+                    .step(target, cache, bundle_bytes, config, &mut arena)
+            } else {
+                // Fold fast path: no recorder scope, so every telemetry
+                // emit inside the step early-returns — the per-machine
+                // record pipeline costs nothing.
+                active
+                    .session
+                    .step(target, cache, bundle_bytes, config, &mut arena)
             };
             busy += step_started.elapsed();
             match status {
@@ -683,13 +806,33 @@ fn run_worker(
                 }
                 StepStatus::Done => {
                     live -= 1;
-                    if !active.flushed {
+                    if record_scope && !active.flushed {
                         let parcel = seal_parcel(&mut active);
                         parcels.insert(active.session.outcome.machine, parcel);
                         flush_parcels(&sink, &mut parcels, &my_machines, &mut next_flush);
                     }
                     let Active { session, .. } = active;
-                    results.push((session.outcome, session.recorder));
+                    if fold_mode {
+                        // Streaming folds keep the machine's metric
+                        // totals (the parcel snapshot already rendered
+                        // them) before its recorder drops with it.
+                        if record_scope {
+                            fold_recorder
+                                .metrics()
+                                .merge_from(session.recorder.metrics());
+                        }
+                        // Pipelined sessions retire out of order; the
+                        // roll-up absorbs in machine order through a
+                        // reorder buffer never deeper than the pipeline.
+                        pending.insert(session.outcome.machine, session.outcome);
+                        debug_assert!(pending.len() <= depth);
+                        while let Some(o) = pending.remove(&next_fold) {
+                            fold.absorb(&o);
+                            next_fold += 1;
+                        }
+                    } else {
+                        results.push((session.outcome, session.recorder));
+                    }
                 }
             }
         } else if let Some(p) = parked.peek() {
@@ -712,16 +855,61 @@ fn run_worker(
             break;
         }
     }
+    if fold_mode {
+        debug_assert!(pending.is_empty(), "every retired outcome was absorbed");
+        debug_assert_eq!(fold.machines(), my_machines.len());
+        // Close the shard with the worker's digest roll-up: the stated
+        // root plus the frontier nodes that let
+        // [`kshot_telemetry::ShardData::digest_rollups`] reconstruct
+        // the tree and merge adjacent worker ranges back to the
+        // campaign root offline.
+        if let Some(sink) = &sink {
+            sink.write_raw_line(&rollup_json_line(&fold));
+        }
+    }
     if let Some(sink) = &sink {
         sink.flush();
     }
+    let yielded = if fold_mode {
+        WorkerYield::Folded(Box::new(fold), fold_recorder)
+    } else {
+        WorkerYield::Retained(results)
+    };
     (
-        results,
+        yielded,
         WorkerOccupancy {
             worker,
             busy,
             in_flight,
         },
+    )
+}
+
+/// The shard line closing a fold-mode worker's shard: its Merkle
+/// roll-up as `{"type":"rollup",...}` with the stated root and the
+/// O(log n) frontier, the serialization
+/// [`kshot_telemetry::ShardData::digest_rollups`] validates and
+/// reconstructs. Roots alone would not compose — bagged peaks are not
+/// mergeable — so the frontier travels too.
+fn rollup_json_line(fold: &OutcomeFold) -> String {
+    use kshot_telemetry::merkle::digest_hex;
+    let frontier = fold
+        .tree
+        .frontier()
+        .iter()
+        .map(|n| format!("[{},{},\"{}\"]", n.level, n.index, digest_hex(&n.hash)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"type\":\"rollup\",\"v\":{},\"start\":{},\"machines\":{},",
+            "\"root\":\"{}\",\"frontier\":[{}]}}"
+        ),
+        SCHEMA_VERSION,
+        fold.tree.start(),
+        fold.tree.len(),
+        digest_hex(&fold.merkle_root()),
+        frontier,
     )
 }
 
@@ -1120,5 +1308,135 @@ mod tests {
         let max = stagger_delay(Duration::MAX, usize::MAX - 1, usize::MAX);
         assert!(max <= Duration::MAX);
         assert_eq!(stagger_delay(rtt, 3, 0), Duration::ZERO);
+    }
+
+    /// Contiguous fold-mode sharding must tile `0..machines` exactly,
+    /// in worker order, for every split — including workers that get an
+    /// empty range (their fold starts where the previous one ends, so
+    /// zero-length merges still chain).
+    #[test]
+    fn fold_shards_tile_the_fleet_in_worker_order() {
+        for (machines, workers) in [(0, 3), (1, 4), (7, 3), (8, 3), (9, 3), (100, 8)] {
+            let mut config = FleetConfig::new(machines, workers).with_outcome_fold();
+            config.workers = workers;
+            let mut next = 0usize;
+            for worker in 0..workers {
+                assert_eq!(
+                    worker_fold_start(&config, worker),
+                    next,
+                    "machines={machines} workers={workers} worker={worker}"
+                );
+                let shard = worker_shard(&config, worker);
+                for (i, &m) in shard.iter().enumerate() {
+                    assert_eq!(m, next + i);
+                }
+                next += shard.len();
+            }
+            assert_eq!(next, machines, "machines={machines} workers={workers}");
+        }
+    }
+
+    /// The fold campaign must agree with the retained campaign on every
+    /// summary it keeps — counts, retries, the Merkle root — while
+    /// retaining no per-machine outcomes at all.
+    #[test]
+    fn fold_campaign_matches_retained_campaign() {
+        let (target, bytes) = campaign_fixture();
+        let base = FleetConfig::new(6, 2)
+            .with_seed(77)
+            .with_fault(PlannedFault {
+                machine: 3,
+                smm_write_index: 2,
+            });
+        let retained = run_campaign(&target, &bytes, &base);
+        let folded = run_campaign(&target, &bytes, &base.clone().with_outcome_fold());
+        assert_eq!(retained.succeeded, 6, "outcomes: {:?}", retained.outcomes);
+        assert_eq!(folded.succeeded, 6);
+        assert_eq!(folded.failed, 0);
+        assert_eq!(folded.retries, retained.retries);
+        assert_eq!(folded.faults_injected, retained.faults_injected);
+        assert!(folded.outcomes.is_empty(), "fold mode retains no outcomes");
+        let fold = folded.fold.as_ref().expect("fold mode carries the fold");
+        assert_eq!(fold.machines(), 6);
+        assert_eq!(fold.merkle_root(), retained.digest_root());
+        assert!(folded.all_identical_digests());
+        assert_eq!(folded.latency_max, retained.latency_max);
+        assert!(
+            fold.resident_bytes() < 64 * 1024,
+            "fold stays small: {} bytes",
+            fold.resident_bytes()
+        );
+    }
+
+    /// Pipelined fold workers retire sessions out of machine order; the
+    /// reorder buffer must still absorb them in order, so the root (and
+    /// every counter) matches the depth-1 drive exactly.
+    #[test]
+    fn pipelined_fold_matches_sequential_fold() {
+        let (target, bytes) = campaign_fixture();
+        let base = FleetConfig::new(5, 2)
+            .with_seed(31)
+            .with_fault(PlannedFault {
+                machine: 1,
+                smm_write_index: 3,
+            })
+            .with_outcome_fold();
+        let seq = run_campaign(&target, &bytes, &base);
+        let piped = run_campaign(&target, &bytes, &base.clone().with_pipeline_depth(4));
+        let (a, b) = (seq.fold.as_ref().unwrap(), piped.fold.as_ref().unwrap());
+        assert_eq!(a.merkle_root(), b.merkle_root());
+        assert_eq!(a.succeeded, b.succeeded);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(seq.latency_p50, piped.latency_p50);
+        assert_eq!(seq.latency_max, piped.latency_max);
+    }
+
+    /// Fold + streaming: every worker seals the same parcels as a
+    /// retained streaming run *and* appends one roll-up line; the
+    /// roll-ups parsed back from the shards merge (in range order,
+    /// across workers) to exactly the campaign's root.
+    #[test]
+    fn streamed_fold_rollups_reconstruct_the_campaign_root() {
+        let (target, bytes) = campaign_fixture();
+        let dir = std::env::temp_dir().join(format!("kshot-fold-rollup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        const WORKERS: usize = 3;
+        let config = FleetConfig::new(7, WORKERS)
+            .with_seed(19)
+            .with_outcome_fold()
+            .with_stream_dir(&dir);
+        let report = run_campaign(&target, &bytes, &config);
+        assert_eq!(report.succeeded, 7);
+        let root = report.fold.as_ref().unwrap().merkle_root();
+        let mut rollups = Vec::new();
+        for worker in 0..WORKERS {
+            let shard =
+                kshot_telemetry::ShardData::parse_file(dir.join(format!("worker-{worker}.jsonl")))
+                    .expect("worker shard parses");
+            rollups.extend(shard.digest_rollups().expect("roll-up lines validate"));
+        }
+        rollups.sort_by_key(|r| r.start);
+        assert_eq!(rollups.len(), WORKERS, "one roll-up line per worker");
+        let mut merged = rollups.remove(0).tree;
+        for r in rollups {
+            merged.merge(&r.tree).expect("worker ranges are adjacent");
+        }
+        assert_eq!(merged.len(), 7);
+        assert_eq!(
+            merged.root(),
+            root,
+            "shard roll-ups reconstruct the campaign root"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with with_rollout")]
+    fn fold_mode_rejects_rollouts_loudly() {
+        let (target, bytes) = campaign_fixture();
+        let config = FleetConfig::new(4, 2)
+            .with_outcome_fold()
+            .with_rollout(crate::rollout::RolloutPlan::canary_machines(2));
+        run_campaign(&target, &bytes, &config);
     }
 }

@@ -155,6 +155,22 @@ pub struct FleetConfig {
     /// `CampaignReport::integrity`. Requires [`FleetConfig::with_health`]
     /// (the monitor hosts the replay).
     pub integrity: Option<IntegrityPolicy>,
+    /// Streaming outcome folding: each machine's
+    /// [`crate::MachineOutcome`] is absorbed into a per-worker
+    /// [`crate::OutcomeFold`] (counts, latency sketch, Merkle digest
+    /// roll-up) the moment its session retires, and the outcome itself
+    /// is dropped — the campaign's resident state stays O(workers ×
+    /// pipeline_depth) instead of O(machines). The report then carries
+    /// the merged fold ([`crate::CampaignReport::fold`]) and an empty
+    /// `outcomes` vector. Fold mode shards machines *contiguously*
+    /// (worker `w` owns one ascending range) instead of round-robin, so
+    /// each worker's fold covers one Merkle range and the cross-worker
+    /// merge is a pure adjacent-range join; per-machine results are
+    /// worker-independent, so digests and roots are unchanged by the
+    /// resharding. Incompatible with [`FleetConfig::rollout`] (verdict
+    /// actuation needs retained outcomes and round-robin wave
+    /// admission); `run_campaign` panics loudly on the combination.
+    pub fold_outcomes: bool,
 }
 
 impl FleetConfig {
@@ -183,6 +199,7 @@ impl FleetConfig {
             batched_smi: false,
             attacks: Vec::new(),
             integrity: None,
+            fold_outcomes: false,
         }
     }
 
@@ -296,6 +313,16 @@ impl FleetConfig {
         self.integrity = Some(policy);
         self
     }
+
+    /// Builder-style: fold outcomes as sessions retire instead of
+    /// retaining them — the memory-bounded mode for very large fleets.
+    /// Implies summaries-only (the record stream, if wanted, lives in
+    /// the shard files). See [`FleetConfig::fold_outcomes`].
+    pub fn with_outcome_fold(mut self) -> Self {
+        self.fold_outcomes = true;
+        self.retain_records = false;
+        self
+    }
 }
 
 /// splitmix64: the standard 64-bit mix used to expand one campaign seed
@@ -324,6 +351,16 @@ mod tests {
         assert_eq!(c.with_pipeline_depth(0).pipeline_depth, 1);
         // Zero workers is clamped rather than deadlocking the shard loop.
         assert_eq!(FleetConfig::new(1, 0).workers, 1);
+    }
+
+    #[test]
+    fn outcome_fold_implies_summaries_only() {
+        let c = FleetConfig::new(8, 2).with_outcome_fold();
+        assert!(c.fold_outcomes);
+        assert!(
+            !c.retain_records,
+            "fold mode drops outcomes; retaining records would defeat it"
+        );
     }
 
     #[test]

@@ -97,17 +97,33 @@
 //!   point, and rollback set are byte-identical across worker counts
 //!   and pipeline depths; the [`RolloutReport`] lands in
 //!   [`CampaignReport::rollout`].
+//! * **Million-machine folding.** [`FleetConfig::with_outcome_fold`]
+//!   is the memory-bounded mode for very large fleets: machines are
+//!   sharded contiguously, each worker absorbs outcomes into an
+//!   [`OutcomeFold`] (counters, a mergeable latency sketch, capped
+//!   dwell attribution, and a [`kshot_telemetry::DigestTree`] Merkle
+//!   roll-up) the moment a session retires, and the campaign merges
+//!   the per-worker folds left to right. Resident state is O(workers ×
+//!   pipeline_depth + log machines) instead of O(machines); root
+//!   equality of the digest roll-up replaces the all-pairs digest
+//!   comparison, and [`kshot_telemetry::FullDigestTree`] can name the
+//!   first diverging machine between two retained runs. Per-worker
+//!   session arenas recycle the booted kernel image across a worker's
+//!   machines, so fold-mode campaigns also stop paying a fresh
+//!   multi-megabyte image clone per machine.
 
 pub mod campaign;
 pub mod config;
+pub mod fold;
 pub mod report;
 pub mod rollout;
 mod session;
 
 pub use campaign::{run_campaign, CampaignTarget, MachineOutcome};
 pub use config::{FleetConfig, PlannedAttack, PlannedFault, PlannedSlowdown};
+pub use fold::OutcomeFold;
 pub use kshot_telemetry::{
     HealthPolicy, HealthReport, HealthVerdict, IntegrityPolicy, IntegrityReport, IntegrityVerdict,
 };
-pub use report::{CampaignHealth, CampaignReport, WorkerOccupancy};
+pub use report::{CampaignHealth, CampaignReport, WorkerOccupancy, DWELL_ANOMALY_CAP};
 pub use rollout::{RolloutPlan, RolloutReport, Wave, WaveOutcome};

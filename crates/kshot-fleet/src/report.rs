@@ -6,11 +6,33 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use kshot_machine::{SimTime, SmiCause};
-use kshot_telemetry::{HealthReport, IntegrityReport, PhaseProfile, Recorder};
+use kshot_telemetry::{
+    DigestTree, HealthReport, IntegrityReport, PhaseProfile, QuantileSketch, Recorder,
+};
 
 use crate::campaign::MachineOutcome;
 use crate::config::FleetConfig;
+use crate::fold::OutcomeFold;
 use crate::rollout::RolloutReport;
+
+/// Most dwell anomalies the report attributes individually. A fleet
+/// where *every* machine overstays its budget would otherwise grow the
+/// anomaly vectors linearly with fleet size — at a million machines,
+/// the unbounded attribution list was itself the memory leak. Flagged
+/// machines beyond the cap are counted in
+/// [`CampaignReport::dwell_anomalies_truncated`]; the cap covers any
+/// plausible *anomaly* population, and a fleet-wide overrun is a
+/// campaign configuration problem the count still surfaces.
+pub const DWELL_ANOMALY_CAP: usize = 64;
+
+/// Largest retained campaign whose latency percentiles are computed by
+/// exactly sorting every sample. Above this the report folds latencies
+/// through a [`QuantileSketch`] instead: O(occupied buckets) resident
+/// instead of O(machines), never undershooting the exact nearest-rank
+/// sample and overshooting by at most
+/// [`QuantileSketch::MAX_RELATIVE_ERROR_PER_MILLE`]. The max stays
+/// exact in both paths.
+pub(crate) const LATENCY_EXACT_MAX: usize = 4096;
 
 /// What the live health monitor produced for one campaign: the full
 /// [`HealthReport`] plus how much of it was *live* — snapshots emitted
@@ -96,11 +118,19 @@ pub struct CampaignReport {
     pub cache_hits: u64,
     /// Bundle-cache misses (decodes) across the fleet.
     pub cache_misses: u64,
-    /// Per-machine outcomes, ordered by machine index.
+    /// Per-machine outcomes, ordered by machine index. Empty in fold
+    /// mode ([`crate::FleetConfig::fold_outcomes`]) — the summary lives
+    /// in [`CampaignReport::fold`] instead.
     pub outcomes: Vec<MachineOutcome>,
+    /// The merged streaming fold, when the campaign ran with
+    /// [`crate::FleetConfig::with_outcome_fold`]: counters, the latency
+    /// sketch, and the Merkle digest roll-up that replace the retained
+    /// outcome vector.
+    pub fold: Option<OutcomeFold>,
     /// Machines (by index) the SMM dwell watchdog flagged — at least
     /// one SMI exceeded [`crate::FleetConfig::smm_dwell_budget`].
-    /// Always empty when no budget was armed.
+    /// Always empty when no budget was armed; capped at
+    /// [`DWELL_ANOMALY_CAP`] entries.
     pub dwell_anomalies: Vec<usize>,
     /// SMI-level attribution for [`CampaignReport::dwell_anomalies`]:
     /// for each flagged machine, the index and declared cause of the
@@ -108,6 +138,9 @@ pub struct CampaignReport {
     /// not just the machine. Parallel to `dwell_anomalies` (entries
     /// whose worst SMI was never observed are omitted).
     pub dwell_anomaly_smis: Vec<(usize, u64, SmiCause)>,
+    /// Flagged machines beyond [`DWELL_ANOMALY_CAP`]: their individual
+    /// attribution was dropped, but the overrun is still counted.
+    pub dwell_anomalies_truncated: u64,
     /// Each worker's busy/in-flight wall-time split, in worker order.
     pub worker_occupancy: Vec<WorkerOccupancy>,
     /// The live health monitor's output, when the campaign armed one
@@ -128,11 +161,13 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Fold per-machine outcomes into the campaign summary.
+    /// Fold per-machine outcomes — or an already-streamed
+    /// [`OutcomeFold`] — into the campaign summary.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         config: &FleetConfig,
         outcomes: Vec<MachineOutcome>,
+        fold: Option<OutcomeFold>,
         recorder: Arc<Recorder>,
         worker_occupancy: Vec<WorkerOccupancy>,
         wall: Duration,
@@ -141,33 +176,82 @@ impl CampaignReport {
         health: Option<CampaignHealth>,
         rollout: Option<RolloutReport>,
     ) -> CampaignReport {
-        let succeeded = outcomes.iter().filter(|o| o.ok).count();
-        let failed = outcomes.len() - succeeded;
-        let retries = outcomes.iter().map(|o| o.retries).sum();
-        let faults_injected = outcomes.iter().map(|o| o.faults_injected).sum();
-        let dwell_anomalies: Vec<usize> = outcomes
-            .iter()
-            .filter(|o| o.smm_overbudget > 0)
-            .map(|o| o.machine)
-            .collect();
-        let dwell_anomaly_smis = outcomes
-            .iter()
-            .filter(|o| o.smm_overbudget > 0)
-            .filter_map(|o| o.dwell_worst.map(|(smi, cause)| (o.machine, smi, cause)))
-            .collect();
+        let (succeeded, failed, retries, faults_injected) = match &fold {
+            Some(f) => (
+                f.succeeded as usize,
+                f.failed as usize,
+                f.retries,
+                f.faults_injected,
+            ),
+            None => (
+                outcomes.iter().filter(|o| o.ok).count(),
+                outcomes.iter().filter(|o| !o.ok).count(),
+                outcomes.iter().map(|o| o.retries).sum(),
+                outcomes.iter().map(|o| o.faults_injected).sum(),
+            ),
+        };
+        let mut dwell_anomalies: Vec<usize> = Vec::new();
+        let mut dwell_anomaly_smis: Vec<(usize, u64, SmiCause)> = Vec::new();
+        let mut dwell_anomalies_truncated = 0u64;
+        match &fold {
+            Some(f) => {
+                dwell_anomalies.clone_from(&f.dwell_anomalies);
+                dwell_anomaly_smis.clone_from(&f.dwell_anomaly_smis);
+                dwell_anomalies_truncated = f.dwell_anomalies_truncated;
+            }
+            None => {
+                for o in outcomes.iter().filter(|o| o.smm_overbudget > 0) {
+                    if dwell_anomalies.len() < DWELL_ANOMALY_CAP {
+                        dwell_anomalies.push(o.machine);
+                        if let Some((smi, cause)) = o.dwell_worst {
+                            dwell_anomaly_smis.push((o.machine, smi, cause));
+                        }
+                    } else {
+                        dwell_anomalies_truncated += 1;
+                    }
+                }
+            }
+        }
         // The integrity section is the health monitor's detached
         // replay; lift it to the report root so readers need not know
         // it rides inside the health plane.
         let integrity = health.as_ref().and_then(|h| h.report.integrity.clone());
 
-        let mut latencies: Vec<u64> = outcomes
-            .iter()
-            .filter_map(|o| o.latency.map(|t| t.as_ns()))
-            .collect();
-        latencies.sort_unstable();
-        let latency_p50 = SimTime::from_ns(percentile(&latencies, 50));
-        let latency_p95 = SimTime::from_ns(percentile(&latencies, 95));
-        let latency_max = SimTime::from_ns(latencies.last().copied().unwrap_or(0));
+        let (latency_p50, latency_p95, latency_max) = match &fold {
+            // A fold already carries the sketch; its max is exact.
+            Some(f) => (
+                SimTime::from_ns(f.latency.quantile_per_mille(500)),
+                SimTime::from_ns(f.latency.quantile_per_mille(950)),
+                SimTime::from_ns(f.latency.max()),
+            ),
+            // Retained campaigns above the exact threshold fold their
+            // latencies through a sketch too: sorting a million u64s
+            // per report was the second O(machines) cost after the
+            // outcome vector itself.
+            None if outcomes.len() > LATENCY_EXACT_MAX => {
+                let mut sketch = QuantileSketch::new();
+                for ns in outcomes.iter().filter_map(|o| o.latency.map(|t| t.as_ns())) {
+                    sketch.observe(ns);
+                }
+                (
+                    SimTime::from_ns(sketch.quantile_per_mille(500)),
+                    SimTime::from_ns(sketch.quantile_per_mille(950)),
+                    SimTime::from_ns(sketch.max()),
+                )
+            }
+            None => {
+                let mut latencies: Vec<u64> = outcomes
+                    .iter()
+                    .filter_map(|o| o.latency.map(|t| t.as_ns()))
+                    .collect();
+                latencies.sort_unstable();
+                (
+                    SimTime::from_ns(percentile(&latencies, 50)),
+                    SimTime::from_ns(percentile(&latencies, 95)),
+                    SimTime::from_ns(latencies.last().copied().unwrap_or(0)),
+                )
+            }
+        };
 
         let wall_secs = wall.as_secs_f64();
         let throughput_wall = if wall_secs > 0.0 {
@@ -175,11 +259,14 @@ impl CampaignReport {
         } else {
             0.0
         };
-        let slowest_ns = outcomes
-            .iter()
-            .map(|o| o.sim_clock.as_ns())
-            .max()
-            .unwrap_or(0);
+        let slowest_ns = match &fold {
+            Some(f) => f.slowest_sim_clock.as_ns(),
+            None => outcomes
+                .iter()
+                .map(|o| o.sim_clock.as_ns())
+                .max()
+                .unwrap_or(0),
+        };
         let throughput_sim = if slowest_ns > 0 {
             succeeded as f64 / (slowest_ns as f64 / 1e9)
         } else {
@@ -203,8 +290,10 @@ impl CampaignReport {
             cache_hits,
             cache_misses,
             outcomes,
+            fold,
             dwell_anomalies,
             dwell_anomaly_smis,
+            dwell_anomalies_truncated,
             worker_occupancy,
             health,
             rollout,
@@ -224,14 +313,35 @@ impl CampaignReport {
 
     /// Whether every machine ended with the same text/`mem_X` digest —
     /// the fleet-wide "byte-identical applied state" property. Vacuously
-    /// true for an empty campaign.
+    /// true for an empty campaign. Fold campaigns answer from the
+    /// fold's O(1) uniformity tracker; retained campaigns compare the
+    /// outcome vector.
     pub fn all_identical_digests(&self) -> bool {
-        match self.outcomes.first() {
-            None => true,
-            Some(first) => self
-                .outcomes
-                .iter()
-                .all(|o| o.state_digest == first.state_digest),
+        match &self.fold {
+            Some(f) => f.all_identical_digests(),
+            None => match self.outcomes.first() {
+                None => true,
+                Some(first) => self
+                    .outcomes
+                    .iter()
+                    .all(|o| o.state_digest == first.state_digest),
+            },
+        }
+    }
+
+    /// Merkle root over every machine's state digest, in machine order
+    /// — 32 bytes that stand in for the whole digest vector. Two
+    /// campaigns over the same fleet are byte-identical iff their roots
+    /// are equal, regardless of which ran folded and which retained
+    /// (the fold's incremental tree and the vector-built tree commit to
+    /// the same leaves).
+    pub fn digest_root(&self) -> [u8; 32] {
+        match &self.fold {
+            Some(f) => f.merkle_root(),
+            None => {
+                let leaves: Vec<[u8; 32]> = self.outcomes.iter().map(|o| o.state_digest).collect();
+                DigestTree::from_leaves(&leaves).root()
+            }
         }
     }
 
@@ -309,6 +419,24 @@ impl CampaignReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        // Additive: the fold summary, only on fold-mode campaigns.
+        let fold = match &self.fold {
+            None => String::new(),
+            Some(f) => format!(
+                concat!(
+                    "\"fold\":{{\"machines\":{},\"merkle_root\":\"{}\",",
+                    "\"resident_bytes\":{},\"latency_sketch_buckets\":{},",
+                    "\"first_divergence\":{}}},"
+                ),
+                f.machines(),
+                kshot_telemetry::merkle::digest_hex(&f.merkle_root()),
+                f.resident_bytes(),
+                f.latency.bucket_len(),
+                f.first_divergence()
+                    .map(|m| m.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+            ),
+        };
         format!(
             concat!(
                 "{{\"v\":{},\"machines\":{},\"workers\":{},\"pipeline_depth\":{},",
@@ -321,8 +449,9 @@ impl CampaignReport {
                 "\"cache\":{{\"hits\":{},\"misses\":{}}},",
                 "\"dwell_anomalies\":[{}],",
                 "\"dwell_anomaly_smis\":[{}],",
+                "\"dwell_anomalies_truncated\":{},",
                 "\"occupancy\":[{}],",
-                "{}{}{}\"identical_digests\":{}}}"
+                "{}{}{}{}\"identical_digests\":{}}}"
             ),
             kshot_telemetry::SCHEMA_VERSION,
             self.machines,
@@ -342,10 +471,12 @@ impl CampaignReport {
             self.cache_misses,
             dwell_anomalies,
             dwell_anomaly_smis,
+            self.dwell_anomalies_truncated,
             occupancy,
             health,
             rollout,
             integrity,
+            fold,
             self.all_identical_digests(),
         )
     }
@@ -403,6 +534,7 @@ mod tests {
         let report = CampaignReport::assemble(
             &config,
             outcomes,
+            None,
             Recorder::new(),
             vec![
                 WorkerOccupancy {
@@ -451,6 +583,7 @@ mod tests {
         let report = CampaignReport::assemble(
             &FleetConfig::new(0, 1),
             Vec::new(),
+            None,
             Recorder::new(),
             Vec::new(),
             Duration::ZERO,
@@ -472,5 +605,123 @@ mod tests {
         assert_eq!(percentile(&v, 95), 30);
         assert_eq!(percentile(&v, 100), 40);
         assert_eq!(percentile(&[], 50), 0);
+    }
+
+    fn assemble(outcomes: Vec<MachineOutcome>, fold: Option<OutcomeFold>) -> CampaignReport {
+        let machines = fold
+            .as_ref()
+            .map(|f| f.machines())
+            .unwrap_or(outcomes.len());
+        CampaignReport::assemble(
+            &FleetConfig::new(machines, 2),
+            outcomes,
+            fold,
+            Recorder::new(),
+            Vec::new(),
+            Duration::from_millis(10),
+            0,
+            0,
+            None,
+            None,
+        )
+    }
+
+    /// Satellite (b): above the exact threshold the percentiles come
+    /// from the sketch. The estimate must never undershoot the exact
+    /// nearest-rank sample and never overshoot it by more than the
+    /// sketch's documented γ − 1 relative error; the max stays exact.
+    #[test]
+    fn sketch_percentiles_stay_within_documented_error_above_threshold() {
+        let n = LATENCY_EXACT_MAX + 1_000;
+        // A spread of latencies over three decades so bucket widths
+        // actually matter; 7919 is coprime to n so values don't repeat
+        // in lockstep.
+        let outcomes: Vec<MachineOutcome> = (0..n)
+            .map(|m| outcome(m, true, 10_000 + (m as u64 * 7_919) % 9_000_000, 5))
+            .collect();
+        let mut exact: Vec<u64> = outcomes
+            .iter()
+            .filter_map(|o| o.latency.map(|t| t.as_ns()))
+            .collect();
+        exact.sort_unstable();
+        let report = assemble(outcomes, None);
+        for (q, got) in [(500u64, report.latency_p50), (950, report.latency_p95)] {
+            // The sketch ranks by ceil(count·q/1000), 1-based.
+            let rank = (exact.len() as u64 * q).div_ceil(1000).max(1) as usize;
+            let want = exact[rank - 1];
+            let got = got.as_ns();
+            assert!(got >= want, "q={q}: sketch {got} undershoots exact {want}");
+            assert!(
+                got as u128 * 1000
+                    <= want as u128 * (1000 + QuantileSketch::MAX_RELATIVE_ERROR_PER_MILLE as u128),
+                "q={q}: sketch {got} overshoots exact {want} beyond γ"
+            );
+        }
+        assert_eq!(
+            report.latency_max.as_ns(),
+            *exact.last().unwrap(),
+            "the max stays exact on the sketch path"
+        );
+    }
+
+    /// Satellite (a): the dwell-anomaly vectors cap at
+    /// [`DWELL_ANOMALY_CAP`] and the overflow is counted, not dropped.
+    #[test]
+    fn dwell_anomalies_cap_with_truncation_counter() {
+        let outcomes: Vec<MachineOutcome> = (0..DWELL_ANOMALY_CAP + 9)
+            .map(|m| {
+                let mut o = outcome(m, true, 1_000, 5);
+                o.smm_overbudget = 1;
+                o.dwell_worst = Some((2, SmiCause::Patch));
+                o
+            })
+            .collect();
+        let report = assemble(outcomes, None);
+        assert_eq!(report.dwell_anomalies.len(), DWELL_ANOMALY_CAP);
+        assert_eq!(report.dwell_anomaly_smis.len(), DWELL_ANOMALY_CAP);
+        assert_eq!(report.dwell_anomalies_truncated, 9);
+        let json = report.to_json();
+        assert!(json.contains("\"dwell_anomalies_truncated\":9"), "{json}");
+    }
+
+    /// A report assembled from a fold must summarize identically to one
+    /// assembled from the outcomes the fold absorbed — same counts,
+    /// same root, same identical-digests verdict, percentiles within
+    /// the sketch's bracket.
+    #[test]
+    fn fold_assembly_matches_retained_assembly() {
+        let outcomes: Vec<MachineOutcome> = (0..300)
+            .map(|m| {
+                let ok = m % 97 != 13;
+                let digest = if m == 250 { 9 } else { 4 };
+                outcome(m, ok, 5_000 + m as u64 * 31, digest)
+            })
+            .collect();
+        let mut fold = OutcomeFold::new();
+        for o in &outcomes {
+            fold.absorb(o);
+        }
+        let retained = assemble(outcomes.clone(), None);
+        let folded = assemble(Vec::new(), Some(fold));
+        assert_eq!(folded.succeeded, retained.succeeded);
+        assert_eq!(folded.failed, retained.failed);
+        assert_eq!(folded.retries, retained.retries);
+        assert_eq!(folded.digest_root(), retained.digest_root());
+        assert!(!folded.all_identical_digests());
+        assert_eq!(folded.fold.as_ref().unwrap().first_divergence(), Some(250));
+        assert_eq!(folded.latency_max, retained.latency_max);
+        // Retained (300 outcomes) took the exact path; the fold's
+        // sketch must bracket it from above within γ.
+        let (p50_exact, p50_fold) = (retained.latency_p50.as_ns(), folded.latency_p50.as_ns());
+        assert!(p50_fold >= p50_exact);
+        assert!(
+            p50_fold as u128 * 1000
+                <= p50_exact as u128
+                    * (1000 + QuantileSketch::MAX_RELATIVE_ERROR_PER_MILLE as u128)
+        );
+        let json = folded.to_json();
+        assert!(json.contains("\"fold\":{\"machines\":300"), "{json}");
+        assert!(json.contains("\"merkle_root\":\""), "{json}");
+        assert!(json.contains("\"identical_digests\":false"), "{json}");
     }
 }

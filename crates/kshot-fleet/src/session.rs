@@ -35,6 +35,7 @@ use std::time::Instant;
 use kshot_core::reserved::rw_offsets;
 use kshot_core::{KShot, KShotError, Recovery};
 use kshot_crypto::sha256::sha256;
+use kshot_kcc::KernelImage;
 use kshot_kernel::Kernel;
 use kshot_machine::{CostModel, InjectionPlan, LinearCost, SimTime};
 use kshot_patchserver::BundleCache;
@@ -42,6 +43,61 @@ use kshot_telemetry::Recorder;
 
 use crate::campaign::{CampaignTarget, MachineOutcome};
 use crate::config::{splitmix64, FleetConfig};
+
+/// A per-worker pool of kernel images recycled across the worker's
+/// machines.
+///
+/// Booting a machine used to clone the shared campaign image — a
+/// multi-megabyte allocation per machine that the session dropped
+/// wholesale at finalization. The image is never mutated after boot
+/// (`Kernel::boot` copies its segments into the machine's physical
+/// memory and keeps the image only as a reference), so a finalized
+/// session's image is byte-identical to a fresh clone and can be handed
+/// verbatim to the worker's next machine. The pool holds at most
+/// `pipeline_depth` images — the most sessions a worker ever has live —
+/// so arena memory is O(depth), not O(machines).
+pub(crate) struct SessionArena {
+    images: Vec<KernelImage>,
+    cap: usize,
+    reused: u64,
+}
+
+impl SessionArena {
+    /// An empty arena holding at most `cap` recycled images.
+    pub(crate) fn with_capacity(cap: usize) -> SessionArena {
+        SessionArena {
+            images: Vec::with_capacity(cap.clamp(1, 64)),
+            cap: cap.max(1),
+            reused: 0,
+        }
+    }
+
+    /// An image to boot the next machine from: recycled if the pool has
+    /// one, else a fresh clone of the shared campaign image.
+    fn take(&mut self, target: &CampaignTarget) -> KernelImage {
+        match self.images.pop() {
+            Some(image) => {
+                self.reused += 1;
+                image
+            }
+            None => (*target.image).clone(),
+        }
+    }
+
+    /// Return a finalized session's image to the pool (dropped if the
+    /// pool is already at capacity).
+    fn reclaim(&mut self, image: KernelImage) {
+        if self.images.len() < self.cap {
+            self.images.push(image);
+        }
+    }
+
+    /// How many boots were served from the pool instead of cloning.
+    #[cfg(test)]
+    pub(crate) fn reuses(&self) -> u64 {
+        self.reused
+    }
+}
 
 /// Where a session is in its Boot → Install → InFlight → Patch →
 /// Backoff → Done lifecycle.
@@ -185,26 +241,28 @@ impl MachineSession {
 
     /// Advance the session by one phase. The scheduler must only call
     /// this once any pending deadline has passed, and must run it under
-    /// this session's recorder scope.
+    /// this session's recorder scope. `arena` is the worker's image
+    /// pool: Boot draws from it, finalization returns to it.
     pub(crate) fn step(
         &mut self,
         target: &CampaignTarget,
         cache: &BundleCache,
         bundle_bytes: &[u8],
         config: &FleetConfig,
+        arena: &mut SessionArena,
     ) -> StepStatus {
         match self.state {
-            SessionState::Boot => self.step_boot(target),
+            SessionState::Boot => self.step_boot(target, arena),
             SessionState::Install => self.step_install(config),
             // A released InFlight deadline means the delivery landed:
             // the patch attempt is the next CPU work.
             SessionState::InFlight { .. } | SessionState::Patch => {
-                self.step_patch(cache, bundle_bytes, target, config)
+                self.step_patch(cache, bundle_bytes, target, config, arena)
             }
             SessionState::Backoff { .. } => self.step_backoff(config),
             SessionState::AwaitVerdict => StepStatus::Held,
-            SessionState::Rollback => self.step_rollback(target),
-            SessionState::Release => self.finalize(target),
+            SessionState::Rollback => self.step_rollback(target, arena),
+            SessionState::Release => self.finalize(target, arena),
             SessionState::Done => StepStatus::Done,
         }
     }
@@ -221,12 +279,8 @@ impl MachineSession {
         };
     }
 
-    fn step_boot(&mut self, target: &CampaignTarget) -> StepStatus {
-        match Kernel::boot(
-            (*target.image).clone(),
-            target.version.as_str(),
-            target.layout,
-        ) {
+    fn step_boot(&mut self, target: &CampaignTarget, arena: &mut SessionArena) -> StepStatus {
+        match Kernel::boot(arena.take(target), target.version.as_str(), target.layout) {
             Ok(kernel) => {
                 self.kernel = Some(kernel);
                 self.state = SessionState::Install;
@@ -295,6 +349,7 @@ impl MachineSession {
         bundle_bytes: &[u8],
         target: &CampaignTarget,
         config: &FleetConfig,
+        arena: &mut SessionArena,
     ) -> StepStatus {
         // Decode this attempt's bundle(s) through the shared cache —
         // decode-once across the whole fleet. Batched attempts route
@@ -317,7 +372,7 @@ impl MachineSession {
                     // observed-write count would otherwise vanish exactly
                     // like the success-path leak PR 5 fixed.
                     self.fold_injection_stats();
-                    return self.finalize(target);
+                    return self.finalize(target, arena);
                 }
             }
         }
@@ -353,7 +408,7 @@ impl MachineSession {
                         return self.begin_attempt(config);
                     }
                 }
-                self.patched(target, config)
+                self.patched(target, config, arena)
             }
             Err(e) => {
                 self.outcome.error = Some(e.to_string());
@@ -393,7 +448,7 @@ impl MachineSession {
                             // A late fault can error the attempt after
                             // every segment already committed: the whole
                             // catalogue is applied, nothing to retry.
-                            return self.patched(target, config);
+                            return self.patched(target, config, arena);
                         }
                         if self.patch_attempts < config.max_attempts.max(1) {
                             // Ready immediately: the backoff is
@@ -403,7 +458,7 @@ impl MachineSession {
                             self.state = SessionState::Backoff { deadline };
                             StepStatus::Wait
                         } else {
-                            self.finalize(target)
+                            self.finalize(target, arena)
                         }
                     }
                     Err(re) => {
@@ -415,7 +470,7 @@ impl MachineSession {
                         self.outcome.recovery_failed = true;
                         self.outcome.error = Some(format!("{e}; recovery failed: {re}"));
                         self.fold_injection_stats();
-                        self.finalize(target)
+                        self.finalize(target, arena)
                     }
                 }
             }
@@ -425,7 +480,12 @@ impl MachineSession {
     /// The machine is fully patched (every catalogue CVE, or the classic
     /// single bundle): record success and either park for the wave
     /// verdict (rollout campaigns) or finalize.
-    fn patched(&mut self, target: &CampaignTarget, config: &FleetConfig) -> StepStatus {
+    fn patched(
+        &mut self,
+        target: &CampaignTarget,
+        config: &FleetConfig,
+        arena: &mut SessionArena,
+    ) -> StepStatus {
         self.outcome.ok = true;
         self.outcome.error = None;
         self.outcome.latency = Some(self.latency_acc);
@@ -451,7 +511,7 @@ impl MachineSession {
             self.state = SessionState::AwaitVerdict;
             StepStatus::Held
         } else {
-            self.finalize(target)
+            self.finalize(target, arena)
         }
     }
 
@@ -480,7 +540,7 @@ impl MachineSession {
     /// ([`KShotError::RollbackIncomplete`]) is rolled forward through
     /// the SMRAM journal via `recover()`; only if that also fails is
     /// the machine reported as `rollback_failed`.
-    fn step_rollback(&mut self, target: &CampaignTarget) -> StepStatus {
+    fn step_rollback(&mut self, target: &CampaignTarget, arena: &mut SessionArena) -> StepStatus {
         let pops = self.next_patch.max(1);
         let system = self.system.as_mut().expect("Rollback follows AwaitVerdict");
         let mut skipped_total = 0u64;
@@ -500,7 +560,7 @@ impl MachineSession {
                         self.outcome.rollback_failed = true;
                         self.outcome.ok = false;
                         self.outcome.error = Some(format!("rollback: {e}"));
-                        return self.finalize(target);
+                        return self.finalize(target, arena);
                     }
                 }
             }
@@ -508,7 +568,7 @@ impl MachineSession {
         self.outcome.rolled_back = true;
         self.outcome.rollback_skipped = skipped_total;
         kshot_telemetry::counter("fleet.rolled_back", 1);
-        self.finalize(target)
+        self.finalize(target, arena)
     }
 
     fn step_backoff(&mut self, config: &FleetConfig) -> StepStatus {
@@ -529,7 +589,7 @@ impl MachineSession {
     }
 
     /// Record what the installed machine ended as and release it.
-    fn finalize(&mut self, target: &CampaignTarget) -> StepStatus {
+    fn finalize(&mut self, target: &CampaignTarget, arena: &mut SessionArena) -> StepStatus {
         let system = self.system.as_ref().expect("finalize with a live system");
         self.outcome.sim_clock = system.kernel().machine().now();
         self.outcome.smm_overbudget = system.kernel().machine().smm_overbudget_count();
@@ -552,8 +612,13 @@ impl MachineSession {
         };
         // Drop the machine now: at pipeline depth k a worker holds k
         // live machines, so releasing each one's memory at completion
-        // (not at collection) bounds the high-water mark.
-        self.system = None;
+        // (not at collection) bounds the high-water mark. The boot
+        // image rides back into the worker's arena — it was never
+        // mutated after boot, so the next machine boots from it
+        // verbatim instead of cloning the shared image again.
+        if let Some(system) = self.system.take() {
+            arena.reclaim(system.into_kernel().into_image());
+        }
         self.state = SessionState::Done;
         StepStatus::Done
     }
@@ -671,10 +736,11 @@ mod tests {
         });
         let cache = BundleCache::new();
         let garbage: &[u8] = b"not a bundle";
+        let mut arena = SessionArena::with_capacity(1);
         let mut session = MachineSession::new(0, 0, Recorder::new());
-        let boot = session.step(&target, &cache, garbage, &config);
+        let boot = session.step(&target, &cache, garbage, &config, &mut arena);
         assert_eq!(boot, StepStatus::Ready, "Boot");
-        let install = session.step(&target, &cache, garbage, &config);
+        let install = session.step(&target, &cache, garbage, &config, &mut arena);
         assert_eq!(install, StepStatus::Ready, "Install, zero RTT");
         {
             let m = session
@@ -688,7 +754,7 @@ mod tests {
             m.write_bytes(AccessCtx::Smm, scratch, &[0]).unwrap();
             m.rsm().unwrap();
         }
-        let done = session.step(&target, &cache, garbage, &config);
+        let done = session.step(&target, &cache, garbage, &config, &mut arena);
         assert_eq!(done, StepStatus::Done, "decode failure is terminal");
         let o = &session.outcome;
         assert!(!o.ok);
@@ -701,6 +767,43 @@ mod tests {
         assert!(
             o.injection_writes_seen >= 1,
             "armed plan's observed writes must survive the decode-failure path"
+        );
+    }
+
+    /// The arena hands a finalized machine's boot image to the next
+    /// machine verbatim. Because the image is never mutated after boot,
+    /// a recycled-image session must be indistinguishable from a
+    /// fresh-clone session in every simulated-domain observable.
+    #[test]
+    fn arena_recycles_the_boot_image_without_changing_results() {
+        let spec = find("CVE-2017-17806").expect("benchmark CVE exists");
+        let (target, server) = CampaignTarget::benchmark(spec.version);
+        let info = target.boot_one().info();
+        let bundle = server
+            .build_patch(&info, &kshot_cve::patch_for(spec))
+            .expect("server builds the CVE patch")
+            .bundle
+            .encode();
+        let config = FleetConfig::new(2, 1);
+        let cache = BundleCache::new();
+        let drive = |arena: &mut SessionArena, machine: usize| {
+            let mut session = MachineSession::new(machine, 0, Recorder::new());
+            while session.step(&target, &cache, &bundle, &config, arena) != StepStatus::Done {}
+            session.outcome
+        };
+        let mut shared = SessionArena::with_capacity(1);
+        let a = drive(&mut shared, 0);
+        assert_eq!(shared.reuses(), 0, "first boot had nothing to recycle");
+        let b = drive(&mut shared, 1);
+        assert_eq!(shared.reuses(), 1, "second boot reuses the reclaimed image");
+        let mut fresh = SessionArena::with_capacity(1);
+        let b_fresh = drive(&mut fresh, 1);
+        assert!(a.ok && b.ok);
+        assert_eq!(b.state_digest, b_fresh.state_digest);
+        assert_eq!(b.sim_clock, b_fresh.sim_clock);
+        assert_eq!(
+            b.latency.map(|t| t.as_ns()),
+            b_fresh.latency.map(|t| t.as_ns())
         );
     }
 }

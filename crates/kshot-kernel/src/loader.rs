@@ -218,6 +218,16 @@ impl Kernel {
         &self.image
     }
 
+    /// Tear the kernel down and reclaim its pristine boot image. The
+    /// image is never mutated after [`boot`](Self::boot) (live patching
+    /// writes machine memory only), so the returned value is
+    /// bit-identical to what was booted — fleet workers recycle it into
+    /// the next machine's boot instead of cloning the shared image
+    /// again.
+    pub fn into_image(self) -> KernelImage {
+        self.image
+    }
+
     /// The execution-trace ring (post-mortem debugging aid).
     pub fn exec_trace(&self) -> &crate::interp::ExecTrace {
         &self.exec_trace

@@ -713,6 +713,32 @@ impl HealthMonitor {
         self.next_window_start.min(self.machines) + self.parcels.len() as u64
     }
 
+    /// Approximate bytes of *per-machine* state currently resident:
+    /// parcels awaiting their window, pending integrity flags, and the
+    /// campaign-total sketches. This is the number the million-machine
+    /// scaling argument rests on — windows retire their machines'
+    /// parcels as they close, so the figure is bounded by (workers ×
+    /// window straggle + one window), not by the fleet size. The 10k
+    /// regression test pins it.
+    pub fn resident_state_bytes(&self) -> u64 {
+        let agg_fixed = std::mem::size_of::<Agg>() as u64;
+        let parcel_bytes: u64 = self
+            .parcels
+            .values()
+            .map(|a| agg_fixed + a.dwell.resident_bytes() + a.latency.resident_bytes())
+            .sum();
+        let flag_bytes: u64 = self
+            .integrity_flags
+            .values()
+            .map(|flags| flags.iter().map(|f| f.len() as u64 + 24).sum::<u64>())
+            .sum();
+        parcel_bytes
+            + flag_bytes
+            + agg_fixed
+            + self.total.dwell.resident_bytes()
+            + self.total.latency.resident_bytes()
+    }
+
     /// Plain-text dashboard: one row per emitted window plus a totals
     /// row — what the live example prints while the campaign runs.
     pub fn render_table(&self) -> String {
@@ -977,6 +1003,86 @@ mod tests {
         assert_eq!(snaps[1].total.machines, 4);
         assert_eq!(snaps[1].total.dwell_samples, 4);
         assert_eq!(snaps[1].verdict, HealthVerdict::Healthy);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the million-machine path: window state for
+    /// retired machines must actually be dropped as windows close. A
+    /// 10k-machine monitored run, polled incrementally the way the
+    /// in-campaign monitor thread does, must keep per-machine resident
+    /// state bounded by the straggle (one chunk of parcels), never
+    /// O(machines) — and end with only the campaign-total sketches
+    /// resident.
+    #[test]
+    fn ten_k_machine_run_retires_window_state() {
+        let dir = scratch("retire10k");
+        let shard = dir.join("worker-0.jsonl");
+        std::fs::write(&shard, "").unwrap();
+        let mut mon = HealthMonitor::new(HealthPolicy::new(), 8, 10_000, vec![shard.clone()]);
+        let mut peak = 0u64;
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        for chunk in 0..20u64 {
+            for m in chunk * 500..(chunk + 1) * 500 {
+                f.write_all(machine_parcel(m, true, 0, &[40_000 + m % 64]).as_bytes())
+                    .unwrap();
+            }
+            f.flush().unwrap();
+            mon.poll().unwrap();
+            peak = peak.max(mon.resident_state_bytes());
+        }
+        drop(f);
+        assert_eq!(mon.machines_seen(), 10_000);
+        assert_eq!(mon.snapshots().len(), 10_000 / 8);
+        // Chunks arrive window-aligned, so every poll drains all its
+        // parcels: the observed resident stays around the fixed totals,
+        // nowhere near the ~2 MB that retaining 10k Aggs would cost.
+        assert!(peak < 16 * 1024, "peak resident {peak} bytes");
+        assert!(
+            mon.resident_state_bytes() < 8 * 1024,
+            "final resident {} bytes",
+            mon.resident_state_bytes()
+        );
+        let report = mon.finish().unwrap();
+        assert_eq!(report.total.machines, 10_000);
+        assert_eq!(report.total.ok, 10_000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A withheld machine blocks its window, so parcels past it pile up
+    /// until it lands — resident state tracks the straggle and then
+    /// collapses when the hole fills. This is the bound the accessor
+    /// exists to expose.
+    #[test]
+    fn resident_state_tracks_straggle_and_collapses() {
+        let dir = scratch("straggle");
+        let shard = dir.join("worker-0.jsonl");
+        std::fs::write(&shard, "").unwrap();
+        let mut mon = HealthMonitor::new(HealthPolicy::new(), 8, 256, vec![shard.clone()]);
+        let mut f = OpenOptions::new().append(true).open(&shard).unwrap();
+        // Machines 1..256 arrive; machine 0 never does (yet), so no
+        // window can emit and every parcel stays resident.
+        for m in 1..256u64 {
+            f.write_all(machine_parcel(m, true, 0, &[40_000]).as_bytes())
+                .unwrap();
+        }
+        f.flush().unwrap();
+        mon.poll().unwrap();
+        let stalled = mon.resident_state_bytes();
+        assert_eq!(mon.snapshots().len(), 0);
+        assert!(stalled > 255 * 64, "straggle not visible: {stalled} bytes");
+        // The hole fills: every window emits at once and the parcel
+        // state collapses to the campaign totals.
+        f.write_all(machine_parcel(0, true, 0, &[40_000]).as_bytes())
+            .unwrap();
+        f.flush().unwrap();
+        drop(f);
+        mon.poll().unwrap();
+        assert_eq!(mon.snapshots().len(), 256 / 8);
+        let drained = mon.resident_state_bytes();
+        assert!(
+            drained * 16 < stalled,
+            "windows closed but state kept: {drained} vs {stalled}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

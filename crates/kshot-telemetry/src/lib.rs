@@ -61,6 +61,7 @@ pub mod export;
 pub mod health;
 pub mod integrity;
 pub mod json;
+pub mod merkle;
 mod metrics;
 mod phase;
 mod record;
@@ -75,11 +76,12 @@ pub use health::{
     SMM_DWELL_METRIC,
 };
 pub use integrity::{IntegrityMonitor, IntegrityPolicy, IntegrityReport, IntegrityVerdict};
+pub use merkle::{DigestTree, FrontierNode, FullDigestTree, MerkleError};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, DEFAULT_BOUNDS_NS};
 pub use phase::{PhaseProfile, PhaseStats, PHASES, PHASE_PREFIX};
 pub use record::{json_escape, EventRecord, Field, Record, SpanRecord, Value};
 pub use recorder::{Recorder, Sink, DEFAULT_CAPACITY};
-pub use shard::{ShardData, ShardError};
+pub use shard::{DigestRollup, ShardData, ShardError};
 pub use sketch::QuantileSketch;
 pub use span::SpanGuard;
 pub use stream::{StreamSink, DEFAULT_FLUSH_EVERY};

@@ -32,6 +32,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::json::{self, Value};
+use crate::merkle::{self, DigestTree, FrontierNode};
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 use crate::phase::{PhaseProfile, PHASE_PREFIX};
 use crate::sketch::QuantileSketch;
@@ -72,6 +73,23 @@ impl fmt::Display for ShardError {
 }
 
 impl std::error::Error for ShardError {}
+
+/// One worker's Merkle digest roll-up, parsed back from a
+/// `{"type":"rollup",...}` shard line. Because the line carries the
+/// tree's O(log n) *frontier* — not just the bagged root, which is not
+/// mergeable — an offline reader can re-merge adjacent worker roll-ups
+/// into the campaign root without any per-machine digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestRollup {
+    /// First machine index the worker's contiguous range covers.
+    pub start: u64,
+    /// Machines in the range.
+    pub machines: u64,
+    /// The worker-range Merkle root (also recomputable from `tree`).
+    pub root: merkle::Digest,
+    /// The reconstructed accumulator, ready for [`DigestTree::merge`].
+    pub tree: DigestTree,
+}
 
 /// Aggregates parsed back from one or more JSON-lines shards.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -378,6 +396,75 @@ impl ShardData {
         self.other
             .iter()
             .filter(move |v| v.get("type").and_then(Value::as_str) == Some(ty))
+    }
+
+    /// Parse every `"rollup"` line into a typed [`DigestRollup`], in
+    /// stream order. Each frontier is validated to tile its declared
+    /// range and to reproduce the line's stated root, so a corrupt
+    /// roll-up fails here rather than producing a silently-wrong merged
+    /// campaign root.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed roll-up line.
+    pub fn digest_rollups(&self) -> Result<Vec<DigestRollup>, String> {
+        let mut out = Vec::new();
+        for v in self.other_of_type("rollup") {
+            let start = v
+                .get("start")
+                .and_then(Value::as_u64)
+                .ok_or("rollup: missing/invalid \"start\"")?;
+            let machines = v
+                .get("machines")
+                .and_then(Value::as_u64)
+                .ok_or("rollup: missing/invalid \"machines\"")?;
+            let root = v
+                .get("root")
+                .and_then(Value::as_str)
+                .and_then(merkle::digest_from_hex)
+                .ok_or("rollup: missing/invalid \"root\"")?;
+            let nodes = match v.get("frontier") {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|item| match item {
+                        Value::Array(parts) if parts.len() == 3 => {
+                            let level = parts[0]
+                                .as_u64()
+                                .filter(|&l| l <= 63)
+                                .ok_or("rollup: invalid frontier level")?;
+                            let index =
+                                parts[1].as_u64().ok_or("rollup: invalid frontier index")?;
+                            let hash = parts[2]
+                                .as_str()
+                                .and_then(merkle::digest_from_hex)
+                                .ok_or("rollup: invalid frontier hash")?;
+                            Ok(FrontierNode {
+                                level: level as u32,
+                                index,
+                                hash,
+                            })
+                        }
+                        _ => Err("rollup: frontier node is not [level,index,hash]".to_string()),
+                    })
+                    .collect::<Result<Vec<FrontierNode>, String>>()?,
+                _ => return Err("rollup: missing/invalid \"frontier\"".to_string()),
+            };
+            let tree = DigestTree::from_frontier(start, machines, nodes)
+                .map_err(|e| format!("rollup: {e}"))?;
+            if tree.root() != root {
+                return Err(format!(
+                    "rollup: stated root does not match its frontier (machines {start}..{})",
+                    start + machines
+                ));
+            }
+            out.push(DigestRollup {
+                start,
+                machines,
+                root,
+                tree,
+            });
+        }
+        Ok(out)
     }
 
     /// Check this aggregate's metric totals against an in-memory
@@ -733,6 +820,62 @@ mod tests {
         assert_eq!(ShardData::merge_tree(Vec::new()), ShardData::new());
         let one = sequential.clone();
         assert_eq!(ShardData::merge_tree(vec![one.clone()]), one);
+    }
+
+    /// Worker roll-up lines reconstruct per-worker trees whose merge
+    /// equals the tree built over all digests sequentially — the
+    /// offline half of the million-machine digest proof.
+    #[test]
+    fn digest_rollups_reconstruct_and_merge_to_the_campaign_root() {
+        use crate::merkle::digest_hex;
+        let digests: Vec<[u8; 32]> = (0..23u64)
+            .map(|i| {
+                let mut d = [0u8; 32];
+                d[..8].copy_from_slice(&i.to_le_bytes());
+                d
+            })
+            .collect();
+        let reference = DigestTree::from_leaves(&digests);
+        // Two workers over contiguous ranges [0,10) and [10,23).
+        let mut lines = String::new();
+        for (start, end) in [(0usize, 10usize), (10, 23)] {
+            let mut tree = DigestTree::starting_at(start as u64);
+            digests[start..end].iter().for_each(|d| tree.append(*d));
+            let frontier: Vec<String> = tree
+                .frontier()
+                .iter()
+                .map(|n| format!("[{},{},\"{}\"]", n.level, n.index, digest_hex(&n.hash)))
+                .collect();
+            lines.push_str(&format!(
+                "{{\"type\":\"rollup\",\"v\":1,\"start\":{},\"machines\":{},\"root\":\"{}\",\"frontier\":[{}]}}\n",
+                start,
+                end - start,
+                digest_hex(&tree.root()),
+                frontier.join(",")
+            ));
+        }
+        let shard = ShardData::parse(&lines).unwrap();
+        let rollups = shard.digest_rollups().unwrap();
+        assert_eq!(rollups.len(), 2);
+        let mut merged = rollups[0].tree.clone();
+        merged.merge(&rollups[1].tree).unwrap();
+        assert_eq!(merged.root(), reference.root());
+        assert_eq!(rollups[0].root, rollups[0].tree.root());
+
+        // A corrupted stated root fails loudly, not silently.
+        let mut tampered = lines.clone();
+        let first_root_at = tampered.find("\"root\":\"").unwrap() + 8;
+        let replacement = if &tampered[first_root_at..first_root_at + 1] == "0" {
+            "1"
+        } else {
+            "0"
+        };
+        tampered.replace_range(first_root_at..first_root_at + 1, replacement);
+        let err = ShardData::parse(&tampered)
+            .unwrap()
+            .digest_rollups()
+            .unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
     }
 
     #[test]

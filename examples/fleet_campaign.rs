@@ -21,8 +21,10 @@
 use std::time::Duration;
 
 use kshot::fleet::{
-    run_campaign, CampaignTarget, FleetConfig, HealthPolicy, PlannedFault, RolloutPlan,
+    run_campaign, CampaignTarget, FleetConfig, HealthPolicy, MachineOutcome, PlannedFault,
+    RolloutPlan,
 };
+use kshot::telemetry::{merkle, DigestTree};
 use kshot_cve::{find, patch_for};
 
 /// CVEs of the multi-CVE batched campaign, all against the same kernel.
@@ -314,6 +316,139 @@ fn main() {
     println!("rollback_last after batch reverts exactly the last CVE: {rollback_pops_last_cve}");
     assert!(rollback_pops_last_cve);
 
+    // Million-machine scale stage: outcome folding + Merkle roll-up.
+    // Three measurements land in the "scale" block:
+    //
+    //  * root identity — fold campaigns across workers {1,8} × depths
+    //    {1,4} produce one byte-identical Merkle root;
+    //  * root vs vector — a fold run of the 64-machine fleet above
+    //    reproduces exactly the root of the retained run's full digest
+    //    vector (the incremental roll-up loses nothing);
+    //  * resident bound — a ≥100k-machine fold campaign (override the
+    //    size with `KSHOT_SCALE_MACHINES`) retains orders of magnitude
+    //    less than the equivalent outcome vector would, measured
+    //    against the retained runs' actual per-outcome footprint.
+    let scale_machines: usize = std::env::var("KSHOT_SCALE_MACHINES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    println!("\n== scale: outcome folding + Merkle roll-up ==");
+
+    const GRID_MACHINES: usize = 2048;
+    let fold_config = |machines: usize, workers: usize, depth: usize| {
+        FleetConfig::new(machines, workers)
+            .with_seed(0x5CA1E)
+            .with_pipeline_depth(depth)
+            .with_outcome_fold()
+    };
+    let mut grid_root = None;
+    let mut merkle_root_identical = true;
+    for (workers, depth) in [(1usize, 1usize), (1, 4), (8, 1), (8, 4)] {
+        let report = run_campaign(&target, &bytes, &fold_config(GRID_MACHINES, workers, depth));
+        assert_eq!(
+            report.succeeded, GRID_MACHINES,
+            "scale grid machines failed"
+        );
+        assert!(report.outcomes.is_empty(), "fold mode retains no outcomes");
+        let fold = report.fold.as_ref().expect("fold mode carries the fold");
+        let root = fold.merkle_root();
+        println!(
+            "grid workers={workers} depth={depth}  machines={GRID_MACHINES}  \
+             root={}  fold_resident={}B",
+            &merkle::digest_hex(&root)[..16],
+            fold.resident_bytes(),
+        );
+        match grid_root {
+            None => grid_root = Some(root),
+            Some(prev) => merkle_root_identical &= prev == root,
+        }
+    }
+    assert!(
+        merkle_root_identical,
+        "Merkle root diverged across the workers x depths grid"
+    );
+
+    // Root vs vector: the serial retained run above (same seed, same 64
+    // machines — outcome digests are scheduling- and RTT-independent)
+    // is the ground truth the incremental roll-up must reproduce.
+    let leaves: Vec<[u8; 32]> = serial.outcomes.iter().map(|o| o.state_digest).collect();
+    let vector_root = DigestTree::from_leaves(&leaves).root();
+    let fold_64 = run_campaign(
+        &target,
+        &bytes,
+        &fold_config(MACHINES, 4, 8).with_seed(0xF1EE7),
+    );
+    let root_matches_digest_vector =
+        fold_64.fold.as_ref().expect("fold report").merkle_root() == vector_root;
+    println!(
+        "fold root == retained digest-vector root (64 machines): {root_matches_digest_vector}"
+    );
+    assert!(
+        root_matches_digest_vector,
+        "roll-up diverged from the digest vector"
+    );
+
+    // What one retained outcome actually costs in memory — measured
+    // from the retained runs above (struct + flight-ring heap + error
+    // strings), deliberately *excluding* each outcome's Arc<Recorder>
+    // record stream, so the comparison is against the leanest retained
+    // representation, not the fattest.
+    let outcome_bytes = |o: &MachineOutcome| {
+        std::mem::size_of::<MachineOutcome>()
+            + o.flight.capacity() * std::mem::size_of::<kshot::machine::SmiFlightRecord>()
+            + o.error.as_ref().map_or(0, |e| e.capacity())
+    };
+    let per_outcome: usize =
+        serial.outcomes.iter().map(outcome_bytes).sum::<usize>() / serial.outcomes.len().max(1);
+
+    // The headline run: a fleet three-plus orders of magnitude past the
+    // retained-mode design point. One worker at depth 1 is the fastest
+    // grid point on a single-core host (interleaving live multi-MB
+    // machines thrashes the cache; extra workers just contend) — the
+    // cross-worker merge and pipelined reorder paths are already pinned
+    // by the root-identity grid above.
+    let (scale_workers, scale_depth) = (1usize, 1usize);
+    let scale_report = run_campaign(
+        &target,
+        &bytes,
+        &fold_config(scale_machines, scale_workers, scale_depth),
+    );
+    assert_eq!(
+        scale_report.succeeded, scale_machines,
+        "scale fleet machines failed"
+    );
+    assert!(scale_report.all_identical_digests(), "scale fleet diverged");
+    let scale_fold = scale_report.fold.as_ref().expect("fold report");
+    let fold_resident = scale_fold.resident_bytes() as usize;
+    let retained_equiv = per_outcome * scale_machines;
+    let resident_bounded = fold_resident * 10 < retained_equiv;
+    println!(
+        "scale  machines={scale_machines}  wall={:?}  {:.0} patches/s (wall)\n\
+         scale  fold resident: {} B   retained equivalent: {} B ({} B/outcome measured)\n\
+         scale  resident bounded (fold < 1/10th of retained): {resident_bounded}",
+        scale_report.wall, scale_report.throughput_wall, fold_resident, retained_equiv, per_outcome,
+    );
+    assert!(
+        resident_bounded,
+        "fold resident {fold_resident} B is not < 1/10th of retained {retained_equiv} B"
+    );
+
+    let scale_json = format!(
+        "{{\"machines\":{scale_machines},\"workers\":{scale_workers},\"pipeline_depth\":{scale_depth},\
+         \"wall_ms\":{},\"throughput_wall\":{:.1},\
+         \"fold_resident_bytes\":{fold_resident},\
+         \"retained_equiv_bytes\":{retained_equiv},\
+         \"per_outcome_bytes\":{per_outcome},\
+         \"resident_bounded\":{resident_bounded},\
+         \"grid_machines\":{GRID_MACHINES},\
+         \"merkle_root_identical\":{merkle_root_identical},\
+         \"root_matches_digest_vector\":{root_matches_digest_vector},\
+         \"merkle_root\":\"{}\"}}",
+        scale_report.wall.as_millis(),
+        scale_report.throughput_wall,
+        merkle::digest_hex(&scale_fold.merkle_root()),
+    );
+
     let batched_json = format!(
         "{{\"cves\":{},\"machines\":{BATCH_MACHINES},\"link_rtt_ms\":{},\
          \"digests_identical_across_modes\":true,\"crossover\":[{}],\
@@ -330,7 +465,8 @@ fn main() {
          \"speedup_wall_pipelined_v_serial\":{pipeline_speedup:.3},\
          \"identical_digests\":{identical},\
          \"serial\":{},\"parallel\":{},\"pipelined\":{},\
-         \"rollout_healthy\":{},\"rollout_halted\":{},\"batched\":{}}}\n",
+         \"rollout_healthy\":{},\"rollout_halted\":{},\"batched\":{},\
+         \"scale\":{}}}\n",
         spec.id,
         LINK_RTT.as_millis(),
         serial.to_json(),
@@ -339,6 +475,7 @@ fn main() {
         healthy.to_json(),
         halted.to_json(),
         batched_json,
+        scale_json,
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet.json".to_string());
     std::fs::write(&out, json).expect("write benchmark artefact");
